@@ -1,0 +1,109 @@
+// Command melody-platform serves the MELODY crowdsourcing platform over
+// HTTP: worker registration, per-run reverse auctions (Algorithm 1), answer
+// and score collection, and LDS-based quality tracking between runs
+// (Algorithms 2-3). Pair it with cmd/melody-worker agents and a
+// cmd/melody-requester driver.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"melody"
+	"melody/internal/eventlog"
+	"melody/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melody-platform:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		qualityMin = flag.Float64("quality-min", 1, "qualification quality floor (Theta_m)")
+		qualityMax = flag.Float64("quality-max", 10, "qualification quality ceiling (Theta_M)")
+		costMin    = flag.Float64("cost-min", 1, "qualification cost floor (C_m)")
+		costMax    = flag.Float64("cost-max", 2, "qualification cost ceiling (C_M)")
+		initMean   = flag.Float64("init-mean", 5.5, "initial quality belief mean (mu^0)")
+		initVar    = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
+		emPeriod   = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
+		walPath    = flag.String("wal", "", "write-ahead log path; enables durable state and crash recovery")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "melody-platform ", log.LstdFlags)
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: *initMean,
+		InitialVar:  *initVar,
+		Params:      melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod:    *emPeriod,
+		EMWindow:    60,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction: melody.AuctionConfig{
+			QualityMin: *qualityMin, QualityMax: *qualityMax,
+			CostMin: *costMin, CostMax: *costMax,
+		},
+		Estimator: tracker,
+	})
+	if err != nil {
+		return err
+	}
+	var backend platform.Backend = p
+	if *walPath != "" {
+		persistent, wal, err := eventlog.OpenPersistent(*walPath, p)
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		backend = persistent
+		logger.Printf("durable state in %s; recovered %d completed runs, %d workers",
+			*walPath, p.Run(), len(p.Workers()))
+	}
+	srv, err := platform.NewServer(backend, logger)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

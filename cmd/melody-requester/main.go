@@ -1,0 +1,84 @@
+// Command melody-requester drives complete runs against a melody-platform
+// server: it publishes task sets with a budget, waits for bids, closes the
+// auction, scores the answers that come back, and finishes the run so the
+// platform updates worker quality.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"melody/internal/platform"
+	"melody/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melody-requester:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "platform base URL")
+		runs        = flag.Int("runs", 10, "number of runs to drive")
+		tasks       = flag.Int("tasks", 5, "tasks per run")
+		thresholdLo = flag.Float64("threshold-lo", 8, "minimum task quality threshold")
+		thresholdHi = flag.Float64("threshold-hi", 16, "maximum task quality threshold")
+		budget      = flag.Float64("budget", 100, "budget per run")
+		bidWait     = flag.Duration("bid-wait", 500*time.Millisecond, "how long to accept bids")
+		interval    = flag.Duration("interval", time.Second, "pause between runs")
+		seed        = flag.Int64("seed", 1, "random seed for task thresholds")
+	)
+	flag.Parse()
+
+	client, err := platform.NewClient(*addr, nil)
+	if err != nil {
+		return err
+	}
+	r := stats.NewRNG(*seed)
+	requester, err := platform.NewRequester(platform.RequesterConfig{
+		Client: client,
+		Tasks: func(run int) []platform.TaskSpec {
+			specs := make([]platform.TaskSpec, *tasks)
+			for j := range specs {
+				specs[j] = platform.TaskSpec{
+					ID:        fmt.Sprintf("run%d-task%d", run, j),
+					Threshold: r.Uniform(*thresholdLo, *thresholdHi),
+				}
+			}
+			return specs
+		},
+		Budget:        *budget,
+		BidWait:       *bidWait,
+		AnswerTimeout: 10 * time.Second,
+		ScoreLo:       1, ScoreHi: 10,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for run := 1; run <= *runs; run++ {
+		out, err := requester.RunOnce(ctx, run)
+		if err != nil {
+			return fmt.Errorf("run %d: %w", run, err)
+		}
+		log.Printf("run %d: %d tasks satisfied, %d assignments, payment %.2f",
+			run, len(out.SelectedTasks), len(out.Assignments), out.TotalPayment)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command melody-sim regenerates the tables and figures of the MELODY paper
+// (Section 7). It runs one named experiment, or all of them, printing
+// aligned text to stdout and optionally writing CSV files.
+//
+// Usage:
+//
+//	melody-sim [flags] <experiment|all>
+//	melody-sim -list
+//
+// Experiments: table1 fig1 table3 fig4a fig4b fig4c fig5a fig5b fig5c fig6
+// fig7 fig8 table4 fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"melody/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "melody-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("melody-sim", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 1, "random seed")
+		scale  = fs.Float64("scale", 1.0, "experiment scale in (0,1]; smaller is faster")
+		csvDir = fs.String("csv-dir", "", "directory to write per-figure CSV files (optional)")
+		format = fs.String("format", "text", "stdout format: text or markdown")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one experiment ID or 'all' (use -list to see them)")
+	}
+	if *format != "text" && *format != "markdown" {
+		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
+	}
+	markdown := *format == "markdown"
+	target := fs.Arg(0)
+
+	var selected []experiments.Experiment
+	if target == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(target)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	for _, e := range selected {
+		fmt.Fprintf(out, "=== %s: %s (seed %d, scale %g) ===\n", e.ID, e.Description, *seed, *scale)
+		result, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, tbl := range result.Tables {
+			render := tbl.Render
+			if markdown {
+				render = tbl.RenderMarkdown
+			}
+			if err := render(out); err != nil {
+				return err
+			}
+			if err := writeCSV(*csvDir, tbl.ID, tbl.WriteCSV); err != nil {
+				return err
+			}
+		}
+		for _, fig := range result.Figures {
+			render := fig.Render
+			if markdown {
+				render = fig.RenderMarkdown
+			}
+			if err := render(out); err != nil {
+				return err
+			}
+			if err := writeCSV(*csvDir, fig.ID, fig.WriteCSV); err != nil {
+				return err
+			}
+		}
+		for _, note := range result.Notes {
+			fmt.Fprintf(out, "note: %s\n", note)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// writeCSV writes one artifact's CSV into dir (no-op when dir is empty).
+func writeCSV(dir, id string, write func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig1", "fig4a", "fig9"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "0.08", "-seed", "5", "fig5c"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fig5c") || !strings.Contains(got, "note:") {
+		t.Errorf("unexpected output:\n%s", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing experiment accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-scale", "0.08", "-csv-dir", dir, "table4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Parameter,Value") {
+		t.Errorf("CSV content unexpected:\n%s", data)
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "markdown", "table4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "### table4") || !strings.Contains(got, "| --- |") {
+		t.Errorf("markdown output unexpected:\n%s", got)
+	}
+	if err := run([]string{"-format", "yaml", "table4"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunTablesOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Long-term quality awareness") {
+		t.Error("table1 content missing")
+	}
+}

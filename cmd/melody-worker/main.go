@@ -1,0 +1,100 @@
+// Command melody-worker runs an autonomous worker agent against a
+// melody-platform server: it registers, bids in every run, and answers the
+// tasks it wins with quality drawn from a configurable latent trajectory
+// (one of the paper's Fig. 1 archetypes).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"melody/internal/platform"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melody-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "platform base URL")
+		id        = flag.String("id", "", "worker ID (required)")
+		cost      = flag.Float64("cost", 1.5, "true cost per task")
+		frequency = flag.Int("frequency", 2, "maximum tasks per run")
+		pattern   = flag.String("pattern", "stable", "latent quality pattern: rising|declining|fluctuating|stable")
+		horizon   = flag.Int("horizon", 200, "trajectory length in runs")
+		sigma     = flag.Float64("sigma", 1.0, "answer noise standard deviation")
+		seed      = flag.Int64("seed", 0, "random seed (0 = derive from ID)")
+	)
+	flag.Parse()
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+
+	var p workerpool.Pattern
+	switch *pattern {
+	case "rising":
+		p = workerpool.Rising
+	case "declining":
+		p = workerpool.Declining
+	case "fluctuating":
+		p = workerpool.Fluctuating
+	case "stable":
+		p = workerpool.Stable
+	default:
+		return fmt.Errorf("unknown pattern %q", *pattern)
+	}
+	if *seed == 0 {
+		for _, c := range *id {
+			*seed = *seed*131 + int64(c)
+		}
+	}
+	r := stats.NewRNG(*seed)
+	traj, err := workerpool.Generate(r.Split(), workerpool.TrajectoryConfig{
+		Pattern: p, Runs: *horizon, Lo: 1, Hi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		return err
+	}
+
+	client, err := platform.NewClient(*addr, nil)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	agent, err := platform.NewWorkerAgent(ctx, platform.WorkerAgentConfig{
+		Client:   client,
+		WorkerID: *id,
+		Cost:     *cost, Frequency: *frequency,
+		LatentQuality: func(run int) float64 {
+			idx := run - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(traj) {
+				idx = len(traj) - 1
+			}
+			return traj[idx]
+		},
+		ScoreSigma: *sigma,
+		RNG:        r.Split(),
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("worker %s (%s pattern) joined %s; ctrl-c to leave", *id, p, *addr)
+	<-ctx.Done()
+	return agent.Stop()
+}

@@ -1,0 +1,33 @@
+// Package melody is a from-scratch Go implementation of MELODY, the
+// long-term dynamic quality-aware incentive mechanism for crowdsourcing of
+// Wang, Guo, Cao and Guo (ICDCS 2017).
+//
+// MELODY models the interaction between a requester and a pool of workers as
+// reverse auctions that run continuously. Within one run, Algorithm 1
+// allocates tasks to workers and prices them so that the mechanism is
+// individually rational, budget feasible, O(1)-competitive and truthful (per
+// task; see EXPERIMENTS.md for the exact guarantees observed). Between runs,
+// each worker's latent quality is tracked with a scalar-Gaussian Linear
+// Dynamical System: a Kalman posterior update after every run (Theorem 3)
+// and Expectation-Maximization re-estimation of the per-worker
+// hyper-parameters every T runs (Algorithm 2/3).
+//
+// The package exposes three layers:
+//
+//   - The auction layer: Auction wraps the single-run mechanism; build
+//     instances from Worker, Task and Bid values and obtain an Outcome with
+//     the allocation and payment schemes.
+//   - The quality layer: QualityTracker tracks workers' long-term quality
+//     from per-run score sets (NewQualityTracker), alongside the baseline
+//     estimators used in the paper's evaluation (NewStaticEstimator,
+//     NewMLCurrentRunEstimator, NewMLAllRunsEstimator).
+//   - The platform layer: Platform ties both together into the paper's
+//     Fig. 2 run lifecycle — open a run with tasks and a budget, collect
+//     bids, close the auction, collect answer scores, and finish the run to
+//     update every worker's quality for the next one.
+//
+// The internal packages additionally provide the paper's full evaluation
+// harness (internal/experiments regenerates every table and figure), the
+// simulation world (internal/workerpool, internal/market) and an HTTP
+// platform substrate (internal/platform) used by the cmd/ binaries.
+package melody

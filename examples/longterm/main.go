@@ -1,0 +1,202 @@
+// Long-term estimator comparison: a miniature of the paper's Section 7.7
+// experiment built purely on the public API. A population of workers with
+// all four Fig. 1 quality archetypes works 300 runs; the same world is
+// replayed under the four quality estimators (MELODY, STATIC, ML-CR,
+// ML-AR) and the realized estimation error and requester utility are
+// compared.
+//
+// Run with: go run ./examples/longterm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"melody"
+)
+
+const (
+	nWorkers   = 40
+	nTasks     = 30
+	nRuns      = 300
+	budget     = 70.0
+	threshold  = 16.0
+	scoreSigma = 1.5
+)
+
+// latentWorld fixes every worker's hidden quality trajectory and bids so
+// each estimator faces the identical population.
+type latentWorld struct {
+	ids   []string
+	bids  map[string]melody.Bid
+	trajs map[string][]float64
+}
+
+func buildWorld(rng interface {
+	Uniform(lo, hi float64) float64
+	UniformInt(lo, hi int) int
+	Normal(mean, stddev float64) float64
+}) *latentWorld {
+	w := &latentWorld{
+		bids:  make(map[string]melody.Bid, nWorkers),
+		trajs: make(map[string][]float64, nWorkers),
+	}
+	for i := 0; i < nWorkers; i++ {
+		id := fmt.Sprintf("worker-%02d", i)
+		w.ids = append(w.ids, id)
+		w.bids[id] = melody.Bid{
+			Cost:      rng.Uniform(1, 2),
+			Frequency: rng.UniformInt(1, 4),
+		}
+		traj := make([]float64, nRuns)
+		base := rng.Uniform(3, 8)
+		switch i % 4 {
+		case 0: // rising
+			for t := range traj {
+				traj[t] = base + 4*float64(t)/float64(nRuns)
+			}
+		case 1: // declining
+			for t := range traj {
+				traj[t] = base + 2 - 4*float64(t)/float64(nRuns)
+			}
+		case 2: // fluctuating
+			for t := range traj {
+				traj[t] = base + 1.5*math.Sin(2*math.Pi*float64(t)/80)
+			}
+		default: // stable
+			for t := range traj {
+				traj[t] = base
+			}
+		}
+		for t := range traj {
+			traj[t] = clamp(traj[t]+rng.Normal(0, 0.3), 1, 10)
+		}
+		w.trajs[id] = traj
+	}
+	return w
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world := buildWorld(melody.NewSeededRNG(99))
+
+	type candidate struct {
+		name  string
+		build func() (melody.Estimator, error)
+	}
+	candidates := []candidate{
+		{"MELODY", func() (melody.Estimator, error) {
+			return melody.NewQualityTracker(melody.QualityTrackerConfig{
+				InitialMean: 5.5, InitialVar: 2.25,
+				Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: scoreSigma * scoreSigma},
+				EMPeriod: 10, EMWindow: 60,
+			})
+		}},
+		{"STATIC", func() (melody.Estimator, error) { return melody.NewStaticEstimator(5.5, 50) }},
+		{"ML-CR", func() (melody.Estimator, error) { return melody.NewMLCurrentRunEstimator(5.5), nil }},
+		{"ML-AR", func() (melody.Estimator, error) { return melody.NewMLAllRunsEstimator(5.5), nil }},
+	}
+
+	fmt.Printf("%-8s %14s %16s\n", "method", "avg est error", "avg true utility")
+	for _, cand := range candidates {
+		est, err := cand.build()
+		if err != nil {
+			return err
+		}
+		avgErr, avgUtil, err := simulate(world, est)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cand.name, err)
+		}
+		fmt.Printf("%-8s %14.3f %16.2f\n", cand.name, avgErr, avgUtil)
+	}
+	return nil
+}
+
+// simulate replays the fixed world under one estimator.
+func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64, err error) {
+	platform, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: est,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, id := range world.ids {
+		if err := platform.RegisterWorker(id); err != nil {
+			return 0, 0, err
+		}
+	}
+	scoreRNG := melody.NewSeededRNG(123)
+
+	var errSum, utilSum float64
+	for run := 0; run < nRuns; run++ {
+		tasks := make([]melody.Task, nTasks)
+		for j := range tasks {
+			tasks[j] = melody.Task{ID: fmt.Sprintf("r%d-t%d", run, j), Threshold: threshold}
+		}
+		if err := platform.OpenRun(tasks, budget); err != nil {
+			return 0, 0, err
+		}
+		// Track this run's estimates for the error metric before scores
+		// arrive.
+		estErr := 0.0
+		qualified := 0
+		for _, id := range world.ids {
+			q, err := platform.Quality(id)
+			if err != nil {
+				return 0, 0, err
+			}
+			if q >= 1 && q <= 10 {
+				estErr += math.Abs(q - world.trajs[id][run])
+				qualified++
+			}
+			if err := platform.SubmitBid(id, world.bids[id]); err != nil {
+				return 0, 0, err
+			}
+		}
+		if qualified > 0 {
+			errSum += estErr / float64(qualified)
+		}
+		out, err := platform.CloseAuction()
+		if err != nil {
+			return 0, 0, err
+		}
+		// True utility: selected tasks whose received latent quality meets
+		// the threshold.
+		received := make(map[string]float64)
+		for _, a := range out.Assignments {
+			received[a.TaskID] += world.trajs[a.WorkerID][run]
+		}
+		for _, id := range out.SelectedTasks {
+			if received[id] >= threshold {
+				utilSum++
+			}
+		}
+		for _, a := range out.Assignments {
+			score := clamp(world.trajs[a.WorkerID][run]+scoreRNG.Normal(0, scoreSigma), 1, 10)
+			if err := platform.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := platform.FinishRun(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return errSum / nRuns, utilSum / nRuns, nil
+}

@@ -1,0 +1,122 @@
+// Quickstart: one reverse auction with the MELODY mechanism, then a few
+// platform runs showing the quality tracker at work.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"melody"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Layer 1: a single-run auction ---------------------------------
+	auction, err := melody.NewAuction(melody.AuctionConfig{
+		QualityMin: 1, QualityMax: 10, // acceptable quality interval [Theta_m, Theta_M]
+		CostMin: 1, CostMax: 2, // acceptable cost interval [C_m, C_M]
+	})
+	if err != nil {
+		return err
+	}
+
+	out, err := auction.Run(melody.Instance{
+		Budget: 20,
+		Workers: []melody.Worker{
+			{ID: "ada", Bid: melody.Bid{Cost: 1.0, Frequency: 2}, Quality: 8.0},
+			{ID: "bob", Bid: melody.Bid{Cost: 1.2, Frequency: 2}, Quality: 6.5},
+			{ID: "cyd", Bid: melody.Bid{Cost: 1.5, Frequency: 2}, Quality: 7.0},
+			{ID: "dee", Bid: melody.Bid{Cost: 1.9, Frequency: 2}, Quality: 5.0},
+		},
+		Tasks: []melody.Task{
+			{ID: "proofread-1", Threshold: 12}, // needs ~2 good workers
+			{ID: "proofread-2", Threshold: 14},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("auction: %d/%d tasks satisfied, total payment %.2f\n",
+		out.Utility(), 2, out.TotalPayment)
+	for _, a := range out.Assignments {
+		fmt.Printf("  %s -> %s, paid %.3f\n", a.TaskID, a.WorkerID, a.Payment)
+	}
+
+	// --- Layer 2: the platform across runs ------------------------------
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25, // preset belief N(mu^0, sigma^0)
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+		EMPeriod: 5, EMWindow: 50, // re-learn {a, gamma, eta} every 5 runs
+	})
+	if err != nil {
+		return err
+	}
+	platform, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range []string{"ada", "bob", "cyd", "dee"} {
+		if err := platform.RegisterWorker(id); err != nil {
+			return err
+		}
+	}
+
+	// Ada is actually excellent (true quality 9), Dee is poor (3). Watch
+	// the platform discover this from scores.
+	latent := map[string]float64{"ada": 9, "bob": 6, "cyd": 7, "dee": 3}
+	rng := melody.NewSeededRNG(42)
+	for run := 1; run <= 8; run++ {
+		if err := platform.OpenRun([]melody.Task{
+			{ID: fmt.Sprintf("batch%d-a", run), Threshold: 12},
+			{ID: fmt.Sprintf("batch%d-b", run), Threshold: 12},
+		}, 25); err != nil {
+			return err
+		}
+		bids := map[string]melody.Bid{
+			"ada": {Cost: 1.0, Frequency: 2},
+			"bob": {Cost: 1.2, Frequency: 2},
+			"cyd": {Cost: 1.5, Frequency: 2},
+			"dee": {Cost: 1.1, Frequency: 2},
+		}
+		for id, bid := range bids {
+			if err := platform.SubmitBid(id, bid); err != nil {
+				return err
+			}
+		}
+		result, err := platform.CloseAuction()
+		if err != nil {
+			return err
+		}
+		// The requester verifies each answer and scores it; scores reflect
+		// the worker's hidden quality plus noise.
+		for _, a := range result.Assignments {
+			score := latent[a.WorkerID] + rng.Normal(0, 0.8)
+			if err := platform.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+				return err
+			}
+		}
+		if err := platform.FinishRun(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\nlearned quality estimates after 8 runs (true values in parens):")
+	for _, id := range platform.Workers() {
+		q, err := platform.Quality(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s %.2f (%.0f)\n", id, q, latent[id])
+	}
+	return nil
+}

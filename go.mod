@@ -1,0 +1,3 @@
+module melody
+
+go 1.22

@@ -1,0 +1,205 @@
+// Package aggregate implements the score-measurement methods the paper
+// delegates to (footnote 5 and Section 2.3): turning raw worker answers
+// into the per-answer scores s_ij that drive MELODY's quality inference.
+//
+// Three scorers are provided, covering the paper's citations:
+//
+//   - MajorityVote: for categorical answers (labels), score an answer by
+//     agreement with the majority of redundant answers — the unsupervised
+//     method footnote 5 names.
+//   - GoldQuestions: score by agreement with known ground truth on planted
+//     gold tasks ("scores given by the requester manually after answer
+//     verification").
+//   - CentroidDeviation: for numeric answers (sensor readings), score by
+//     deviation from the cluster centroid, following Yang et al. [10].
+//
+// All scorers emit scores on a caller-chosen [Lo, Hi] scale so they plug
+// directly into the platform's quality model.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scale is the score interval scores are emitted on (Table 4 uses [1, 10]).
+type Scale struct {
+	Lo, Hi float64
+}
+
+// Validate reports whether the scale is proper.
+func (s Scale) Validate() error {
+	if s.Hi <= s.Lo {
+		return fmt.Errorf("aggregate: scale [%v, %v] inverted", s.Lo, s.Hi)
+	}
+	return nil
+}
+
+// at maps a fraction in [0,1] onto the scale.
+func (s Scale) at(frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return s.Lo + (s.Hi-s.Lo)*frac
+}
+
+// LabelAnswer is one categorical answer to a task.
+type LabelAnswer struct {
+	WorkerID string
+	Label    string
+}
+
+// MajorityVote scores categorical answers to one task by agreement with
+// the plurality label. Workers agreeing with the plurality receive the
+// plurality's support fraction mapped onto the scale; disagreeing workers
+// receive their own label's support fraction. With a unanimous crowd every
+// worker scores Hi.
+//
+// Ties are broken toward the lexicographically smallest label so scoring
+// is deterministic.
+func MajorityVote(answers []LabelAnswer, scale Scale) (map[string]float64, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if len(answers) == 0 {
+		return nil, errors.New("aggregate: no answers to vote on")
+	}
+	support := make(map[string]int)
+	seen := make(map[string]bool, len(answers))
+	for _, a := range answers {
+		if a.WorkerID == "" {
+			return nil, errors.New("aggregate: answer with empty worker ID")
+		}
+		if seen[a.WorkerID] {
+			return nil, fmt.Errorf("aggregate: duplicate answer from %s", a.WorkerID)
+		}
+		seen[a.WorkerID] = true
+		support[a.Label]++
+	}
+	total := float64(len(answers))
+	scores := make(map[string]float64, len(answers))
+	for _, a := range answers {
+		scores[a.WorkerID] = scale.at(float64(support[a.Label]) / total)
+	}
+	return scores, nil
+}
+
+// PluralityLabel returns the winning label of a vote (ties broken toward
+// the lexicographically smallest label).
+func PluralityLabel(answers []LabelAnswer) (string, error) {
+	if len(answers) == 0 {
+		return "", errors.New("aggregate: no answers to vote on")
+	}
+	support := make(map[string]int)
+	for _, a := range answers {
+		support[a.Label]++
+	}
+	labels := make([]string, 0, len(support))
+	for l := range support {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best := labels[0]
+	for _, l := range labels[1:] {
+		if support[l] > support[best] {
+			best = l
+		}
+	}
+	return best, nil
+}
+
+// GoldQuestions scores answers against known ground truth: a correct
+// answer scores Hi, an incorrect one Lo. Tasks without gold truth are
+// skipped (absent from the result).
+type GoldQuestions struct {
+	// Truth maps task ID to the correct label.
+	Truth map[string]string
+	Scale Scale
+}
+
+// Score evaluates one (task, answer) pair. ok is false when the task has
+// no gold truth.
+func (g GoldQuestions) Score(taskID, label string) (float64, bool, error) {
+	if err := g.Scale.Validate(); err != nil {
+		return 0, false, err
+	}
+	truth, has := g.Truth[taskID]
+	if !has {
+		return 0, false, nil
+	}
+	if label == truth {
+		return g.Scale.Hi, true, nil
+	}
+	return g.Scale.Lo, true, nil
+}
+
+// NumericAnswer is one numeric answer (e.g. a sensor reading) to a task.
+type NumericAnswer struct {
+	WorkerID string
+	Value    float64
+}
+
+// CentroidDeviation scores numeric answers to one task by their deviation
+// from the answers' centroid, after Yang et al. [10]: the closest answer
+// scores Hi and scores fall linearly to Lo at (or beyond) maxDev absolute
+// deviation. A non-positive maxDev uses the largest observed deviation
+// (so the farthest answer scores exactly Lo; with a single answer or all
+// answers identical, everyone scores Hi).
+func CentroidDeviation(answers []NumericAnswer, maxDev float64, scale Scale) (map[string]float64, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if len(answers) == 0 {
+		return nil, errors.New("aggregate: no answers to score")
+	}
+	seen := make(map[string]bool, len(answers))
+	var sum float64
+	for _, a := range answers {
+		if a.WorkerID == "" {
+			return nil, errors.New("aggregate: answer with empty worker ID")
+		}
+		if seen[a.WorkerID] {
+			return nil, fmt.Errorf("aggregate: duplicate answer from %s", a.WorkerID)
+		}
+		if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+			return nil, fmt.Errorf("aggregate: non-finite answer from %s", a.WorkerID)
+		}
+		seen[a.WorkerID] = true
+		sum += a.Value
+	}
+	centroid := sum / float64(len(answers))
+	if maxDev <= 0 {
+		for _, a := range answers {
+			if d := math.Abs(a.Value - centroid); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	scores := make(map[string]float64, len(answers))
+	for _, a := range answers {
+		d := math.Abs(a.Value - centroid)
+		if maxDev == 0 {
+			scores[a.WorkerID] = scale.Hi
+			continue
+		}
+		scores[a.WorkerID] = scale.at(1 - d/maxDev)
+	}
+	return scores, nil
+}
+
+// Centroid returns the mean of the numeric answers.
+func Centroid(answers []NumericAnswer) (float64, error) {
+	if len(answers) == 0 {
+		return 0, errors.New("aggregate: no answers")
+	}
+	var sum float64
+	for _, a := range answers {
+		sum += a.Value
+	}
+	return sum / float64(len(answers)), nil
+}

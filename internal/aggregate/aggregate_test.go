@@ -1,0 +1,224 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+)
+
+var unit = Scale{Lo: 0, Hi: 1}
+var paper = Scale{Lo: 1, Hi: 10}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestScaleValidate(t *testing.T) {
+	if err := (Scale{Lo: 1, Hi: 1}).Validate(); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+	if err := (Scale{Lo: 2, Hi: 1}).Validate(); err == nil {
+		t.Error("inverted scale accepted")
+	}
+	if err := paper.Validate(); err != nil {
+		t.Errorf("valid scale rejected: %v", err)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	answers := []LabelAnswer{
+		{WorkerID: "a", Label: "cat"},
+		{WorkerID: "b", Label: "cat"},
+		{WorkerID: "c", Label: "cat"},
+		{WorkerID: "d", Label: "dog"},
+	}
+	scores, err := MajorityVote(answers, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cat voters: 3/4 support -> 1 + 9*0.75 = 7.75; dog voter: 1/4 -> 3.25.
+	for _, id := range []string{"a", "b", "c"} {
+		if !almostEqual(scores[id], 7.75, 1e-12) {
+			t.Errorf("%s = %v, want 7.75", id, scores[id])
+		}
+	}
+	if !almostEqual(scores["d"], 3.25, 1e-12) {
+		t.Errorf("d = %v, want 3.25", scores["d"])
+	}
+}
+
+func TestMajorityVoteUnanimous(t *testing.T) {
+	answers := []LabelAnswer{
+		{WorkerID: "a", Label: "x"},
+		{WorkerID: "b", Label: "x"},
+	}
+	scores, err := MajorityVote(answers, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range scores {
+		if s != 10 {
+			t.Errorf("%s = %v, want 10 (unanimous)", id, s)
+		}
+	}
+}
+
+func TestMajorityVoteErrors(t *testing.T) {
+	if _, err := MajorityVote(nil, paper); err == nil {
+		t.Error("empty vote accepted")
+	}
+	if _, err := MajorityVote([]LabelAnswer{{WorkerID: "", Label: "x"}}, paper); err == nil {
+		t.Error("empty worker ID accepted")
+	}
+	dup := []LabelAnswer{{WorkerID: "a", Label: "x"}, {WorkerID: "a", Label: "y"}}
+	if _, err := MajorityVote(dup, paper); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+	if _, err := MajorityVote([]LabelAnswer{{WorkerID: "a", Label: "x"}}, Scale{}); err == nil {
+		t.Error("invalid scale accepted")
+	}
+}
+
+func TestPluralityLabel(t *testing.T) {
+	tests := []struct {
+		name    string
+		answers []LabelAnswer
+		want    string
+	}{
+		{
+			name: "clear majority",
+			answers: []LabelAnswer{
+				{WorkerID: "a", Label: "dog"}, {WorkerID: "b", Label: "dog"},
+				{WorkerID: "c", Label: "cat"},
+			},
+			want: "dog",
+		},
+		{
+			name: "tie broken lexicographically",
+			answers: []LabelAnswer{
+				{WorkerID: "a", Label: "dog"}, {WorkerID: "b", Label: "cat"},
+			},
+			want: "cat",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := PluralityLabel(tt.answers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("PluralityLabel = %q, want %q", got, tt.want)
+			}
+		})
+	}
+	if _, err := PluralityLabel(nil); err == nil {
+		t.Error("empty vote accepted")
+	}
+}
+
+func TestGoldQuestions(t *testing.T) {
+	g := GoldQuestions{
+		Truth: map[string]string{"t1": "cat"},
+		Scale: paper,
+	}
+	score, ok, err := g.Score("t1", "cat")
+	if err != nil || !ok || score != 10 {
+		t.Errorf("correct answer = (%v, %v, %v), want (10, true, nil)", score, ok, err)
+	}
+	score, ok, err = g.Score("t1", "dog")
+	if err != nil || !ok || score != 1 {
+		t.Errorf("wrong answer = (%v, %v, %v), want (1, true, nil)", score, ok, err)
+	}
+	_, ok, err = g.Score("t2", "cat")
+	if err != nil || ok {
+		t.Errorf("non-gold task = (%v, %v), want (false, nil)", ok, err)
+	}
+	bad := GoldQuestions{Scale: Scale{}}
+	if _, _, err := bad.Score("t", "x"); err == nil {
+		t.Error("invalid scale accepted")
+	}
+}
+
+func TestCentroidDeviation(t *testing.T) {
+	answers := []NumericAnswer{
+		{WorkerID: "a", Value: 10},
+		{WorkerID: "b", Value: 10},
+		{WorkerID: "c", Value: 16}, // centroid 12; deviations 2, 2, 4
+	}
+	scores, err := CentroidDeviation(answers, 0, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(scores["a"], 0.5, 1e-12) || !almostEqual(scores["b"], 0.5, 1e-12) {
+		t.Errorf("a,b = %v,%v, want 0.5", scores["a"], scores["b"])
+	}
+	if !almostEqual(scores["c"], 0, 1e-12) {
+		t.Errorf("c = %v, want 0 (farthest)", scores["c"])
+	}
+}
+
+func TestCentroidDeviationExplicitMax(t *testing.T) {
+	answers := []NumericAnswer{
+		{WorkerID: "a", Value: 5},
+		{WorkerID: "b", Value: 7}, // centroid 6, deviations 1 each
+	}
+	scores, err := CentroidDeviation(answers, 4, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(scores["a"], 0.75, 1e-12) || !almostEqual(scores["b"], 0.75, 1e-12) {
+		t.Errorf("scores = %v, want 0.75 each", scores)
+	}
+	// Deviations beyond maxDev clamp to Lo.
+	far := []NumericAnswer{
+		{WorkerID: "a", Value: 0},
+		{WorkerID: "b", Value: 100},
+	}
+	scores, err = CentroidDeviation(far, 10, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores["a"] != 0 || scores["b"] != 0 {
+		t.Errorf("clamped scores = %v, want 0", scores)
+	}
+}
+
+func TestCentroidDeviationIdenticalAnswers(t *testing.T) {
+	answers := []NumericAnswer{
+		{WorkerID: "a", Value: 3},
+		{WorkerID: "b", Value: 3},
+	}
+	scores, err := CentroidDeviation(answers, 0, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range scores {
+		if s != 10 {
+			t.Errorf("%s = %v, want 10 (identical answers)", id, s)
+		}
+	}
+}
+
+func TestCentroidDeviationErrors(t *testing.T) {
+	if _, err := CentroidDeviation(nil, 0, unit); err == nil {
+		t.Error("empty answers accepted")
+	}
+	if _, err := CentroidDeviation([]NumericAnswer{{WorkerID: "", Value: 1}}, 0, unit); err == nil {
+		t.Error("empty worker ID accepted")
+	}
+	dup := []NumericAnswer{{WorkerID: "a", Value: 1}, {WorkerID: "a", Value: 2}}
+	if _, err := CentroidDeviation(dup, 0, unit); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+	if _, err := CentroidDeviation([]NumericAnswer{{WorkerID: "a", Value: math.NaN()}}, 0, unit); err == nil {
+		t.Error("NaN answer accepted")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c, err := Centroid([]NumericAnswer{{WorkerID: "a", Value: 2}, {WorkerID: "b", Value: 4}})
+	if err != nil || c != 3 {
+		t.Errorf("Centroid = (%v, %v), want (3, nil)", c, err)
+	}
+	if _, err := Centroid(nil); err == nil {
+		t.Error("empty centroid accepted")
+	}
+}

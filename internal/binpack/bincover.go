@@ -1,0 +1,268 @@
+// Package binpack implements the dual bin packing (bin covering) problem
+// that Theorem 1 reduces the SRA problem to, together with the classical
+// approximation algorithms of Csirik, Frenk, Zhang and Labbé [46] whose
+// guarantee supplies the beta constant of Lemma 4.
+//
+// An instance is a set of item sizes and a bin capacity C; the goal is to
+// partition items into a maximum number of bins each of total size >= C.
+// The package provides:
+//
+//   - Next-Fit covering (the "simple" algorithm, guarantee OPT/2 - ...),
+//   - the improved two-phase algorithm filling bins with one large item
+//     plus small items (guarantee 2/3 asymptotically),
+//   - an exhaustive exact solver for tiny instances (test oracle),
+//   - the UpperBound sum(s)/C used to certify solutions,
+//   - ReduceSRA, the executable Theorem 1 reduction from an SRA instance.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"melody/internal/core"
+)
+
+// Instance is one bin covering problem.
+type Instance struct {
+	// Sizes are the item sizes, all positive.
+	Sizes []float64
+	// Capacity is the bin capacity C > 0.
+	Capacity float64
+}
+
+// Validate reports whether the instance is well formed.
+func (in Instance) Validate() error {
+	if !(in.Capacity > 0) || math.IsInf(in.Capacity, 0) {
+		return fmt.Errorf("binpack: capacity %v must be positive and finite", in.Capacity)
+	}
+	for i, s := range in.Sizes {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return fmt.Errorf("binpack: item %d size %v must be positive and finite", i, s)
+		}
+	}
+	return nil
+}
+
+// Cover is a solution: Bins[k] lists the indices of the items in covered
+// bin k. Leftover items are not reported.
+type Cover struct {
+	Bins [][]int
+}
+
+// Count returns the number of covered bins.
+func (c Cover) Count() int { return len(c.Bins) }
+
+// Verify checks that every bin in the cover reaches the capacity and no
+// item is used twice.
+func (c Cover) Verify(in Instance) error {
+	used := make(map[int]bool)
+	for k, bin := range c.Bins {
+		var sum float64
+		for _, idx := range bin {
+			if idx < 0 || idx >= len(in.Sizes) {
+				return fmt.Errorf("binpack: bin %d references item %d out of range", k, idx)
+			}
+			if used[idx] {
+				return fmt.Errorf("binpack: item %d used twice", idx)
+			}
+			used[idx] = true
+			sum += in.Sizes[idx]
+		}
+		if sum < in.Capacity-1e-9 {
+			return fmt.Errorf("binpack: bin %d total %v below capacity %v", k, sum, in.Capacity)
+		}
+	}
+	return nil
+}
+
+// UpperBound returns floor(sum(sizes)/C), an upper bound on the number of
+// coverable bins.
+func UpperBound(in Instance) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, s := range in.Sizes {
+		sum += s
+	}
+	return int(sum / in.Capacity), nil
+}
+
+// NextFit is the simple online covering algorithm: items are thrown into
+// the current bin until it reaches the capacity, then the bin is closed.
+// Its worst-case guarantee is NF >= (OPT-1)/2 for any item order; on items
+// sorted in decreasing order it performs considerably better.
+func NextFit(in Instance) (Cover, error) {
+	if err := in.Validate(); err != nil {
+		return Cover{}, err
+	}
+	var cover Cover
+	var current []int
+	var sum float64
+	for idx, s := range in.Sizes {
+		current = append(current, idx)
+		sum += s
+		if sum >= in.Capacity {
+			cover.Bins = append(cover.Bins, current)
+			current = nil
+			sum = 0
+		}
+	}
+	return cover, nil
+}
+
+// NextFitDecreasing sorts items in decreasing size before running NextFit,
+// which removes the pathological orderings.
+func NextFitDecreasing(in Instance) (Cover, error) {
+	if err := in.Validate(); err != nil {
+		return Cover{}, err
+	}
+	order := make([]int, len(in.Sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.Sizes[order[a]] > in.Sizes[order[b]] })
+
+	var cover Cover
+	var current []int
+	var sum float64
+	for _, idx := range order {
+		current = append(current, idx)
+		sum += in.Sizes[idx]
+		if sum >= in.Capacity {
+			cover.Bins = append(cover.Bins, current)
+			current = nil
+			sum = 0
+		}
+	}
+	return cover, nil
+}
+
+// Improved is the two-phase algorithm of [46]: phase one covers bins with
+// single large items (size >= C); phase two pairs the largest remaining
+// item with the smallest items needed to finish the bin. Asymptotic
+// guarantee 2/3 * OPT.
+func Improved(in Instance) (Cover, error) {
+	if err := in.Validate(); err != nil {
+		return Cover{}, err
+	}
+	order := make([]int, len(in.Sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.Sizes[order[a]] > in.Sizes[order[b]] })
+
+	var cover Cover
+	lo, hi := 0, len(order)-1
+	// Phase one: single-item bins.
+	for lo < len(order) && in.Sizes[order[lo]] >= in.Capacity {
+		cover.Bins = append(cover.Bins, []int{order[lo]})
+		lo++
+	}
+	// Phase two: one big item plus the smallest items that finish the bin.
+	for lo <= hi {
+		bin := []int{order[lo]}
+		sum := in.Sizes[order[lo]]
+		lo++
+		for sum < in.Capacity && lo <= hi {
+			bin = append(bin, order[hi])
+			sum += in.Sizes[order[hi]]
+			hi--
+		}
+		if sum >= in.Capacity {
+			cover.Bins = append(cover.Bins, bin)
+		}
+	}
+	return cover, nil
+}
+
+// Exact solves tiny instances by exhaustive search (test oracle). It
+// returns only the optimal count; reconstructing an optimal cover is not
+// needed by the tests.
+func Exact(in Instance) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(in.Sizes)
+	if n > 12 {
+		return 0, errors.New("binpack: instance too large for exact search")
+	}
+	ub, err := UpperBound(in)
+	if err != nil {
+		return 0, err
+	}
+	if ub == 0 || n == 0 {
+		return 0, nil
+	}
+	// DFS: assign each item to one of the open bins or leave it unused.
+	best := 0
+	bins := make([]float64, 0, ub)
+	var dfs func(item int)
+	dfs = func(item int) {
+		if item == n {
+			covered := 0
+			for _, b := range bins {
+				if b >= in.Capacity-1e-9 {
+					covered++
+				}
+			}
+			if covered > best {
+				best = covered
+			}
+			return
+		}
+		// Prune: even covering every remaining bin cannot beat best.
+		if len(bins) <= best && len(bins) == ub {
+			covered := 0
+			for _, b := range bins {
+				if b >= in.Capacity-1e-9 {
+					covered++
+				}
+			}
+			if covered+int(remainingSum(in, item)/in.Capacity) <= best {
+				return
+			}
+		}
+		// Leave the item unused.
+		dfs(item + 1)
+		// Put it in each existing bin.
+		for i := range bins {
+			bins[i] += in.Sizes[item]
+			dfs(item + 1)
+			bins[i] -= in.Sizes[item]
+		}
+		// Open a new bin (bounded by the upper bound).
+		if len(bins) < ub {
+			bins = append(bins, in.Sizes[item])
+			dfs(item + 1)
+			bins = bins[:len(bins)-1]
+		}
+	}
+	dfs(0)
+	return best, nil
+}
+
+func remainingSum(in Instance, from int) float64 {
+	var sum float64
+	for _, s := range in.Sizes[from:] {
+		sum += s
+	}
+	return sum
+}
+
+// ReduceSRA is the executable Theorem 1 reduction: an SRA instance with
+// zero payments, unit frequencies and a common threshold C maps to bin
+// covering with item sizes mu_i and capacity C. Solving the SRA instance
+// solves the covering instance, establishing NP-hardness of SRA.
+func ReduceSRA(workers []core.Worker, capacity float64) (Instance, error) {
+	in := Instance{Capacity: capacity, Sizes: make([]float64, len(workers))}
+	for i, w := range workers {
+		in.Sizes[i] = w.Quality
+	}
+	if err := in.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return in, nil
+}

@@ -1,0 +1,218 @@
+package binpack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+func TestInstanceValidate(t *testing.T) {
+	if err := (Instance{Capacity: 0}).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if err := (Instance{Capacity: 1, Sizes: []float64{0}}).Validate(); err == nil {
+		t.Error("zero item accepted")
+	}
+	if err := (Instance{Capacity: 1, Sizes: []float64{0.5}}).Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	in := Instance{Capacity: 10, Sizes: []float64{5, 5, 5, 5, 5}}
+	ub, err := UpperBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub != 2 {
+		t.Errorf("UpperBound = %d, want 2", ub)
+	}
+}
+
+func TestNextFitHandExample(t *testing.T) {
+	in := Instance{Capacity: 10, Sizes: []float64{6, 5, 4, 7, 3, 8}}
+	cover, err := NextFit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cover.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	// 6+5 covers, 4+7 covers, 3+8 covers.
+	if cover.Count() != 3 {
+		t.Errorf("NextFit = %d bins, want 3", cover.Count())
+	}
+}
+
+func TestExactHandExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instance
+		want int
+	}{
+		{"empty", Instance{Capacity: 5}, 0},
+		{"single large item", Instance{Capacity: 5, Sizes: []float64{6}}, 1},
+		{"pairs", Instance{Capacity: 10, Sizes: []float64{5, 5, 5, 5}}, 2},
+		{"one short", Instance{Capacity: 10, Sizes: []float64{5, 4}}, 0},
+		{"mixed", Instance{Capacity: 10, Sizes: []float64{9, 2, 8, 3, 1, 1}}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Exact(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Exact = %d, want %d", got, tt.want)
+			}
+		})
+	}
+	if _, err := Exact(Instance{Capacity: 1, Sizes: make([]float64, 13)}); err == nil {
+		t.Error("oversized exact accepted (and sizes invalid)")
+	}
+}
+
+// coverSpec generates random small covering instances.
+type coverSpec struct {
+	Seed int64
+	N    int
+}
+
+// Generate implements quick.Generator.
+func (coverSpec) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(coverSpec{Seed: r.Int63(), N: 1 + r.Intn(9)})
+}
+
+func (s coverSpec) instance() Instance {
+	r := stats.NewRNG(s.Seed)
+	in := Instance{Capacity: 10, Sizes: make([]float64, s.N)}
+	for i := range in.Sizes {
+		in.Sizes[i] = r.Uniform(1, 12)
+	}
+	return in
+}
+
+// TestAlgorithmsAreValidAndBounded: every algorithm produces a verifiable
+// cover, never beats the exact optimum, and never exceeds the size bound.
+func TestAlgorithmsAreValidAndBounded(t *testing.T) {
+	algos := map[string]func(Instance) (Cover, error){
+		"NextFit":           NextFit,
+		"NextFitDecreasing": NextFitDecreasing,
+		"Improved":          Improved,
+	}
+	f := func(spec coverSpec) bool {
+		in := spec.instance()
+		opt, err := Exact(in)
+		if err != nil {
+			return false
+		}
+		ub, err := UpperBound(in)
+		if err != nil {
+			return false
+		}
+		if opt > ub {
+			t.Fatalf("exact %d exceeds upper bound %d", opt, ub)
+		}
+		for name, algo := range algos {
+			cover, err := algo(in)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := cover.Verify(in); err != nil {
+				t.Fatalf("%s produced invalid cover: %v", name, err)
+			}
+			if cover.Count() > opt {
+				t.Fatalf("%s covered %d bins, exact optimum is %d", name, cover.Count(), opt)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImprovedGuarantee: the two-phase algorithm's asymptotic 2/3
+// guarantee, tested as Improved >= floor(2*OPT/3) - 1 to absorb the
+// additive constant on small instances.
+func TestImprovedGuarantee(t *testing.T) {
+	f := func(spec coverSpec) bool {
+		in := spec.instance()
+		opt, err := Exact(in)
+		if err != nil {
+			return false
+		}
+		cover, err := Improved(in)
+		if err != nil {
+			return false
+		}
+		return cover.Count() >= (2*opt)/3-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNextFitGuarantee: NF >= (OPT-1)/2.
+func TestNextFitGuarantee(t *testing.T) {
+	f := func(spec coverSpec) bool {
+		in := spec.instance()
+		opt, err := Exact(in)
+		if err != nil {
+			return false
+		}
+		cover, err := NextFit(in)
+		if err != nil {
+			return false
+		}
+		return cover.Count() >= (opt-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverVerifyRejectsBadCovers(t *testing.T) {
+	in := Instance{Capacity: 10, Sizes: []float64{5, 5, 4}}
+	bad := []Cover{
+		{Bins: [][]int{{0}}},            // under capacity
+		{Bins: [][]int{{0, 0}}},         // duplicate item
+		{Bins: [][]int{{0, 7}}},         // out of range
+		{Bins: [][]int{{0, 1}, {1, 2}}}, // item reused across bins
+	}
+	for i, c := range bad {
+		if err := c.Verify(in); err == nil {
+			t.Errorf("case %d: invalid cover accepted", i)
+		}
+	}
+}
+
+// TestReduceSRA: the Theorem 1 reduction maps worker qualities to item
+// sizes, and solving the covering instance bounds the SRA optimum with
+// zero payments and unit frequencies.
+func TestReduceSRA(t *testing.T) {
+	workers := []core.Worker{
+		{ID: "a", Bid: core.Bid{Cost: 1, Frequency: 1}, Quality: 6},
+		{ID: "b", Bid: core.Bid{Cost: 1, Frequency: 1}, Quality: 5},
+		{ID: "c", Bid: core.Bid{Cost: 1, Frequency: 1}, Quality: 5},
+	}
+	in, err := ReduceSRA(workers, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6+5 covers one bin; remaining 5 cannot cover another.
+	if opt != 1 {
+		t.Errorf("reduced optimum = %d, want 1", opt)
+	}
+	if _, err := ReduceSRA(nil, 0); err == nil {
+		t.Error("invalid capacity accepted")
+	}
+}

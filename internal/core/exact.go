@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInstanceTooLarge is returned by ExactOPT when the brute-force search
+// space is too big to enumerate.
+var ErrInstanceTooLarge = errors.New("core: instance too large for exact search")
+
+// exactSearchLimit caps the number of states the exact solver explores.
+const exactSearchLimit = 20_000_000
+
+// ExactOPT computes the true optimum of the SRA problem by exhaustive
+// search: the maximum number of tasks whose thresholds can be covered by an
+// integral allocation (x_ij binary, per-worker frequency limits) when the
+// omniscient requester pays every assigned worker exactly their true cost.
+// It is a test oracle for tiny instances only.
+//
+// The search assigns workers one at a time, choosing for each worker the
+// subset of tasks it serves (at most its frequency), accumulating cost, and
+// finally counts covered tasks within budget.
+func ExactOPT(in Instance, cfg Config) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	var workers []Worker
+	for _, w := range in.Workers {
+		if cfg.Qualifies(w) {
+			workers = append(workers, w)
+		}
+	}
+	m := len(in.Tasks)
+	if m > 10 {
+		return 0, ErrInstanceTooLarge
+	}
+	// Rough state-space estimate: (subsets per worker)^workers.
+	perWorker := float64(int(1) << uint(m))
+	if math.Pow(perWorker, float64(len(workers))) > exactSearchLimit {
+		return 0, fmt.Errorf("%w: %d workers x %d tasks", ErrInstanceTooLarge, len(workers), m)
+	}
+
+	remaining := make([]float64, m)
+	for j, t := range in.Tasks {
+		remaining[j] = t.Threshold
+	}
+	best := 0
+	var dfs func(wi int, spent float64)
+	dfs = func(wi int, spent float64) {
+		if wi == len(workers) {
+			count := 0
+			for j := range remaining {
+				if remaining[j] <= 1e-9 {
+					count++
+				}
+			}
+			if count > best {
+				best = count
+			}
+			return
+		}
+		w := workers[wi]
+		// Enumerate subsets of tasks for this worker, capped at frequency.
+		for mask := 0; mask < (1 << uint(m)); mask++ {
+			bits := popcount(mask)
+			if bits > w.Bid.Frequency {
+				continue
+			}
+			cost := float64(bits) * w.Bid.Cost
+			if spent+cost > in.Budget+1e-9 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					remaining[j] -= w.Quality
+				}
+			}
+			dfs(wi+1, spent+cost)
+			for j := 0; j < m; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					remaining[j] += w.Quality
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+	return best, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

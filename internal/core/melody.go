@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Melody implements Algorithm 1, the paper's truthful, individually
+// rational, budget-feasible, O(1)-competitive mechanism for the Single Run
+// Auction problem. It is deterministic.
+type Melody struct {
+	cfg Config
+}
+
+var _ Mechanism = (*Melody)(nil)
+
+// NewMelody constructs the MELODY mechanism with the given qualification
+// intervals.
+func NewMelody(cfg Config) (*Melody, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Melody{cfg: cfg}, nil
+}
+
+// Config returns the qualification configuration.
+func (m *Melody) Config() Config { return m.cfg }
+
+// Name implements Mechanism.
+func (m *Melody) Name() string { return "MELODY" }
+
+// preAllocation is the per-task result of Algorithm 1's first stage.
+type preAllocation struct {
+	task    Task
+	winners []Worker  // the top-k available workers covering Q_j
+	pays    []float64 // p_ij for each winner, parallel to winners
+	total   float64   // P_j
+}
+
+// Run implements Mechanism. The two stages follow Algorithm 1:
+//
+// Pre-allocation (lines 2-14): workers are ranked by mu/c descending, tasks
+// by Q ascending. For each task, the smallest prefix of still-available
+// (n_i > 0) workers whose quality sum covers Q_j wins, and each winner is
+// paid the critical price (c_pivot/mu_pivot)*mu_i where the pivot is the
+// next available worker in the ranking queue; if no pivot exists the task
+// cannot be priced truthfully and is skipped.
+//
+// Scheme determination (lines 15-21): candidate tasks are sorted by total
+// payment P_j ascending and accepted while the remaining budget allows.
+func (m *Melody) Run(in Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("melody: %w", err)
+	}
+	ranked := rankWorkers(in.Workers, m.cfg)
+	tasks := sortTasksByThreshold(in.Tasks)
+
+	remaining := make(map[string]int, len(ranked))
+	for _, w := range ranked {
+		remaining[w.ID] = w.Bid.Frequency
+	}
+
+	// Pre-allocation stage.
+	candidates := make([]preAllocation, 0, len(tasks))
+	for _, task := range tasks {
+		pre, ok := m.preAllocate(task, ranked, remaining)
+		if !ok {
+			continue
+		}
+		for _, w := range pre.winners {
+			remaining[w.ID]--
+		}
+		candidates = append(candidates, pre)
+	}
+
+	// Scheme determination stage.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].total != candidates[j].total {
+			return candidates[i].total < candidates[j].total
+		}
+		return candidates[i].task.ID < candidates[j].task.ID
+	})
+	out := &Outcome{TaskPayment: make(map[string]float64)}
+	budget := in.Budget
+	for _, c := range candidates {
+		if c.total > budget {
+			// Candidates are sorted ascending by P_j, so nothing later fits
+			// either.
+			break
+		}
+		budget -= c.total
+		out.SelectedTasks = append(out.SelectedTasks, c.task.ID)
+		out.TaskPayment[c.task.ID] = c.total
+		out.TotalPayment += c.total
+		for i, w := range c.winners {
+			out.Assignments = append(out.Assignments, Assignment{
+				WorkerID: w.ID,
+				TaskID:   c.task.ID,
+				Payment:  c.pays[i],
+			})
+		}
+	}
+	return out, nil
+}
+
+// preAllocate finds, for one task, the smallest prefix of available ranked
+// workers whose total estimated quality reaches the threshold, and prices
+// each winner at the pivot's cost density (Algorithm 1, lines 6-12).
+func (m *Melody) preAllocate(task Task, ranked []Worker, remaining map[string]int) (preAllocation, bool) {
+	pre := preAllocation{task: task}
+	var sum float64
+	covered := -1 // index in ranked of the last winner
+	for idx, w := range ranked {
+		if remaining[w.ID] <= 0 {
+			continue
+		}
+		pre.winners = append(pre.winners, w)
+		sum += w.Quality
+		if sum >= task.Threshold {
+			covered = idx
+			break
+		}
+	}
+	if covered < 0 {
+		return preAllocation{}, false
+	}
+	// The pivot is the next available worker after the winning prefix. Its
+	// cost density caps what each winner is paid, making the payment
+	// independent of the winner's own bid (the critical-payment rule behind
+	// Theorem 4).
+	var pivot *Worker
+	for idx := covered + 1; idx < len(ranked); idx++ {
+		if remaining[ranked[idx].ID] > 0 {
+			pivot = &ranked[idx]
+			break
+		}
+	}
+	if pivot == nil {
+		return preAllocation{}, false
+	}
+	density := pivot.Bid.Cost / pivot.Quality
+	pre.pays = make([]float64, len(pre.winners))
+	for i, w := range pre.winners {
+		p := density * w.Quality
+		pre.pays[i] = p
+		pre.total += p
+	}
+	return pre, true
+}

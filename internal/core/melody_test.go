@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"melody/internal/stats"
+)
+
+// paperConfig mirrors Table 3's implied qualification intervals: quality in
+// [2,4], cost in [1,2].
+func paperConfig() Config {
+	return Config{QualityMin: 2, QualityMax: 4, CostMin: 1, CostMax: 2}
+}
+
+// paperInstance draws a random instance per Table 3.
+func paperInstance(r *stats.RNG, n, m int, budget float64) Instance {
+	in := Instance{Budget: budget}
+	for i := 0; i < n; i++ {
+		in.Workers = append(in.Workers, Worker{
+			ID:      "w" + itoa(i),
+			Bid:     Bid{Cost: r.Uniform(1, 2), Frequency: r.UniformInt(1, 5)},
+			Quality: r.Uniform(2, 4),
+		})
+	}
+	for j := 0; j < m; j++ {
+		in.Tasks = append(in.Tasks, Task{ID: "t" + itoa(j), Threshold: r.Uniform(6, 12)})
+	}
+	return in
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestNewMelodyValidatesConfig(t *testing.T) {
+	if _, err := NewMelody(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewMelody(paperConfig()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMelodyRejectsInvalidInstance(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	bad := []Instance{
+		{Budget: -1},
+		{Budget: 1, Workers: []Worker{{ID: "", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3}}},
+		{Budget: 1, Workers: []Worker{
+			{ID: "a", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3},
+			{ID: "a", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3},
+		}},
+		{Budget: 1, Workers: []Worker{{ID: "a", Bid: Bid{Cost: 0, Frequency: 1}, Quality: 3}}},
+		{Budget: 1, Workers: []Worker{{ID: "a", Bid: Bid{Cost: 1, Frequency: 0}, Quality: 3}}},
+		{Budget: 1, Tasks: []Task{{ID: "t", Threshold: 0}}},
+		{Budget: 1, Tasks: []Task{{ID: "t", Threshold: 5}, {ID: "t", Threshold: 5}}},
+		{Budget: math.Inf(1)},
+	}
+	for i, in := range bad {
+		if _, err := m.Run(in); err == nil {
+			t.Errorf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestMelodyEmptyInstance(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	out, err := m.Run(Instance{Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() != 0 || out.TotalPayment != 0 {
+		t.Errorf("empty instance produced utility %d payment %v", out.Utility(), out.TotalPayment)
+	}
+}
+
+func TestMelodyHandAllocation(t *testing.T) {
+	// Three workers ranked by mu/c: a (3/1=3), b (2.5/1=2.5), c (2/2=1).
+	// One task with threshold 5 -> winners a+b (3+2.5 >= 5), pivot c with
+	// density 2/2 = 1, payments 3*1 and 2.5*1, P_j = 5.5.
+	m, _ := NewMelody(paperConfig())
+	in := Instance{
+		Budget: 10,
+		Workers: []Worker{
+			{ID: "a", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3},
+			{ID: "b", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 2.5},
+			{ID: "c", Bid: Bid{Cost: 2, Frequency: 1}, Quality: 2},
+		},
+		Tasks: []Task{{ID: "t1", Threshold: 5}},
+	}
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() != 1 {
+		t.Fatalf("utility = %d, want 1", out.Utility())
+	}
+	pay := out.WorkerPayments()
+	if !almostEqual(pay["a"], 3, 1e-12) || !almostEqual(pay["b"], 2.5, 1e-12) {
+		t.Errorf("payments = %v, want a:3 b:2.5", pay)
+	}
+	if _, won := pay["c"]; won {
+		t.Error("pivot c must not win")
+	}
+	if !almostEqual(out.TotalPayment, 5.5, 1e-12) {
+		t.Errorf("total payment = %v, want 5.5", out.TotalPayment)
+	}
+}
+
+func TestMelodyNoPivotMeansNoAllocation(t *testing.T) {
+	// Two workers exactly cover the task but leave no pivot: the task
+	// cannot be priced and must be skipped.
+	m, _ := NewMelody(paperConfig())
+	in := Instance{
+		Budget: 100,
+		Workers: []Worker{
+			{ID: "a", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3},
+			{ID: "b", Bid: Bid{Cost: 1, Frequency: 1}, Quality: 3},
+		},
+		Tasks: []Task{{ID: "t1", Threshold: 6}},
+	}
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() != 0 {
+		t.Errorf("utility = %d, want 0 (no pivot available)", out.Utility())
+	}
+}
+
+func TestMelodyQualificationFilter(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	in := Instance{
+		Budget: 100,
+		Workers: []Worker{
+			{ID: "lowq", Bid: Bid{Cost: 1, Frequency: 5}, Quality: 1},    // below Theta_m
+			{ID: "highq", Bid: Bid{Cost: 1, Frequency: 5}, Quality: 9},   // above Theta_M
+			{ID: "cheap", Bid: Bid{Cost: 0.5, Frequency: 5}, Quality: 3}, // below C_m
+			{ID: "dear", Bid: Bid{Cost: 3, Frequency: 5}, Quality: 3},    // above C_M
+			{ID: "ok1", Bid: Bid{Cost: 1, Frequency: 5}, Quality: 3},
+			{ID: "ok2", Bid: Bid{Cost: 1.5, Frequency: 5}, Quality: 3},
+			{ID: "ok3", Bid: Bid{Cost: 2, Frequency: 5}, Quality: 3},
+		},
+		Tasks: []Task{{ID: "t1", Threshold: 6}},
+	}
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Assignments {
+		switch a.WorkerID {
+		case "lowq", "highq", "cheap", "dear":
+			t.Errorf("unqualified worker %q won a task", a.WorkerID)
+		}
+	}
+	if out.Utility() != 1 {
+		t.Errorf("utility = %d, want 1", out.Utility())
+	}
+}
+
+func TestMelodyRespectsFrequency(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	r := stats.NewRNG(3)
+	in := paperInstance(r, 40, 60, 1e6)
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := out.WorkerTaskCount()
+	freq := make(map[string]int)
+	for _, w := range in.Workers {
+		freq[w.ID] = w.Bid.Frequency
+	}
+	for id, c := range counts {
+		if c > freq[id] {
+			t.Errorf("worker %s assigned %d tasks, frequency %d", id, c, freq[id])
+		}
+	}
+}
+
+func TestMelodySelectedTasksAreSatisfied(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	r := stats.NewRNG(4)
+	in := paperInstance(r, 100, 80, 500)
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quality := make(map[string]float64)
+	for _, w := range in.Workers {
+		quality[w.ID] = w.Quality
+	}
+	received := make(map[string]float64)
+	for _, a := range out.Assignments {
+		received[a.TaskID] += quality[a.WorkerID]
+	}
+	thresholds := make(map[string]float64)
+	for _, task := range in.Tasks {
+		thresholds[task.ID] = task.Threshold
+	}
+	for _, id := range out.SelectedTasks {
+		if received[id] < thresholds[id]-1e-9 {
+			t.Errorf("selected task %s received %v < threshold %v", id, received[id], thresholds[id])
+		}
+	}
+	if len(out.SelectedTasks) == 0 {
+		t.Error("expected at least one satisfied task in a generous instance")
+	}
+}
+
+func TestMelodyDeterministic(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	in := paperInstance(stats.NewRNG(9), 50, 50, 300)
+	a, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Assignments) != len(b.Assignments) || a.TotalPayment != b.TotalPayment {
+		t.Error("MELODY is not deterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("assignment %d differs: %+v vs %+v", i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+}
+
+func TestMelodyBudgetZero(t *testing.T) {
+	m, _ := NewMelody(paperConfig())
+	in := paperInstance(stats.NewRNG(10), 30, 20, 0)
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() != 0 || out.TotalPayment != 0 {
+		t.Errorf("zero budget produced utility %d payment %v", out.Utility(), out.TotalPayment)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+// TrueUtility counts the tasks whose total received *latent* quality reaches
+// the threshold: sum_i x_ij * q_i >= Q_j. The platform never observes q_i;
+// this metric is what the paper's Section 7.7 calls the requester's real
+// utility and is computable only inside a simulation that knows the latent
+// qualities.
+func TrueUtility(out *Outcome, tasks []Task, latent map[string]float64) int {
+	thresholds := make(map[string]float64, len(tasks))
+	for _, t := range tasks {
+		thresholds[t.ID] = t.Threshold
+	}
+	received := make(map[string]float64)
+	for _, a := range out.Assignments {
+		received[a.TaskID] += latent[a.WorkerID]
+	}
+	count := 0
+	for _, id := range out.SelectedTasks {
+		if received[id] >= thresholds[id] {
+			count++
+		}
+	}
+	return count
+}
+
+// WorkerUtility computes a worker's utility in the run (Definition 1):
+// the total payment received minus the true cost per completed task. The
+// worker completes at most trueFrequency tasks (the paper's n-bar_i is the
+// maximum the worker is *willing* to complete), so assignments beyond it
+// contribute nothing — matching the frequency-truthfulness argument of
+// Theorem 4.
+func WorkerUtility(out *Outcome, workerID string, trueCost float64, trueFrequency int) float64 {
+	var u float64
+	done := 0
+	for _, a := range out.Assignments {
+		if a.WorkerID != workerID {
+			continue
+		}
+		if done >= trueFrequency {
+			break
+		}
+		u += a.Payment - trueCost
+		done++
+	}
+	return u
+}

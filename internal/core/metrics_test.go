@@ -1,0 +1,88 @@
+package core
+
+import "testing"
+
+func TestTrueUtility(t *testing.T) {
+	out := &Outcome{
+		Assignments: []Assignment{
+			{WorkerID: "a", TaskID: "t1", Payment: 2},
+			{WorkerID: "b", TaskID: "t1", Payment: 2},
+			{WorkerID: "a", TaskID: "t2", Payment: 2},
+		},
+		SelectedTasks: []string{"t1", "t2"},
+	}
+	tasks := []Task{{ID: "t1", Threshold: 5}, {ID: "t2", Threshold: 5}}
+	// Latent qualities: a=3, b=2.5; t1 receives 5.5 (satisfied), t2
+	// receives 3 (not truly satisfied even though selected).
+	latent := map[string]float64{"a": 3, "b": 2.5}
+	if got := TrueUtility(out, tasks, latent); got != 1 {
+		t.Errorf("TrueUtility = %d, want 1", got)
+	}
+}
+
+func TestTrueUtilityEmptyOutcome(t *testing.T) {
+	if got := TrueUtility(&Outcome{}, nil, nil); got != 0 {
+		t.Errorf("TrueUtility = %d, want 0", got)
+	}
+}
+
+func TestWorkerUtility(t *testing.T) {
+	out := &Outcome{
+		Assignments: []Assignment{
+			{WorkerID: "a", TaskID: "t1", Payment: 3},
+			{WorkerID: "a", TaskID: "t2", Payment: 2.5},
+			{WorkerID: "b", TaskID: "t1", Payment: 4},
+		},
+	}
+	// Worker a, true cost 1, true frequency 2: both tasks count.
+	if got := WorkerUtility(out, "a", 1, 2); !almostEqual(got, 3.5, 1e-12) {
+		t.Errorf("utility = %v, want 3.5", got)
+	}
+	// True frequency 1: only the first assignment counts.
+	if got := WorkerUtility(out, "a", 1, 1); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("capped utility = %v, want 2", got)
+	}
+	// Unknown worker has zero utility.
+	if got := WorkerUtility(out, "zzz", 1, 5); got != 0 {
+		t.Errorf("unknown worker utility = %v, want 0", got)
+	}
+}
+
+func TestOutcomeHelpers(t *testing.T) {
+	out := &Outcome{
+		Assignments: []Assignment{
+			{WorkerID: "a", TaskID: "t1", Payment: 3},
+			{WorkerID: "a", TaskID: "t2", Payment: 2},
+			{WorkerID: "b", TaskID: "t1", Payment: 4},
+		},
+		SelectedTasks: []string{"t1", "t2"},
+	}
+	if out.Utility() != 2 {
+		t.Errorf("Utility = %d, want 2", out.Utility())
+	}
+	pays := out.WorkerPayments()
+	if !almostEqual(pays["a"], 5, 1e-12) || !almostEqual(pays["b"], 4, 1e-12) {
+		t.Errorf("WorkerPayments = %v", pays)
+	}
+	counts := out.WorkerTaskCount()
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("WorkerTaskCount = %v", counts)
+	}
+	tasks := out.TasksOf("a")
+	if len(tasks) != 2 || tasks[0] != "t1" || tasks[1] != "t2" {
+		t.Errorf("TasksOf(a) = %v", tasks)
+	}
+	if got := out.TasksOf("nobody"); got != nil {
+		t.Errorf("TasksOf(nobody) = %v, want nil", got)
+	}
+}
+
+func TestApproxFactorLambda(t *testing.T) {
+	// lambda = C_M^2 (Tm + TM) TM^2 / (C_m^2 Tm^3)
+	// With Table 3's intervals: 4 * 6 * 16 / (1 * 8) = 48, the paper's
+	// "theoretical approximation factor of 48*beta" remark in Section 7.1.
+	cfg := paperConfig()
+	if got := cfg.ApproxFactorLambda(); !almostEqual(got, 48, 1e-9) {
+		t.Errorf("lambda = %v, want 48", got)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OptUB computes the estimated upper bound on the optimal SRA solution used
+// as the OPT-UB benchmark in Section 7.1 (the paper's Appendix C is not
+// included in the published text; this relaxation is documented in
+// DESIGN.md).
+//
+// The bound relaxes the problem in two ways, each of which can only increase
+// the achievable number of satisfied tasks:
+//
+//  1. Integrality: each worker is treated as n_i * mu_i divisible "quality
+//     units" priced at the worker's true cost density c_i/mu_i, so tasks may
+//     be covered by fractions of workers and hit their thresholds exactly.
+//  2. Payments: the omniscient optimum pays workers exactly their cost
+//     (Lemma 2's reasoning), never the truthful premium.
+//
+// Under the relaxation, quality units are interchangeable, so the optimum
+// covers tasks cheapest-requirement-first using cheapest-density-first
+// capacity; the greedy below is exact for the relaxed problem and therefore
+// an upper bound for the integral one.
+type OptUB struct {
+	cfg Config
+}
+
+var _ Mechanism = (*OptUB)(nil)
+
+// NewOptUB constructs the OPT-UB benchmark.
+func NewOptUB(cfg Config) (*OptUB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &OptUB{cfg: cfg}, nil
+}
+
+// Name implements Mechanism.
+func (o *OptUB) Name() string { return "OPT-UB" }
+
+// Run implements Mechanism. The returned outcome carries the number of
+// coverable tasks in SelectedTasks and the relaxed spend in TotalPayment;
+// Assignments is empty because the fractional cover does not correspond to
+// an integral scheme.
+func (o *OptUB) Run(in Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("optub: %w", err)
+	}
+	type capacity struct {
+		units   float64 // remaining quality units n_i * mu_i
+		density float64 // cost per quality unit c_i / mu_i
+	}
+	caps := make([]capacity, 0, len(in.Workers))
+	for _, w := range in.Workers {
+		if !o.cfg.Qualifies(w) {
+			continue
+		}
+		caps = append(caps, capacity{
+			units:   float64(w.Bid.Frequency) * w.Quality,
+			density: w.Bid.Cost / w.Quality,
+		})
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].density < caps[j].density })
+	tasks := sortTasksByThreshold(in.Tasks)
+
+	out := &Outcome{TaskPayment: make(map[string]float64)}
+	budget := in.Budget
+	ci := 0 // first capacity entry with units remaining
+	for _, task := range tasks {
+		// Tentative pass: price the cover without consuming capacity.
+		need := task.Threshold
+		cost := 0.0
+		for i := ci; need > 0 && i < len(caps); i++ {
+			take := caps[i].units
+			if take > need {
+				take = need
+			}
+			cost += take * caps[i].density
+			need -= take
+		}
+		if need > 0 || cost > budget {
+			// Tasks are sorted ascending by threshold and capacity is drawn
+			// cheapest-first, so no later task can be covered either.
+			break
+		}
+		// Commit: shrink capacities permanently.
+		budget -= cost
+		out.TotalPayment += cost
+		out.SelectedTasks = append(out.SelectedTasks, task.ID)
+		out.TaskPayment[task.ID] = cost
+		need = task.Threshold
+		// The epsilon guards against float rounding between the tentative
+		// and commit passes exhausting capacity spuriously.
+		for need > 1e-12 && ci < len(caps) {
+			take := caps[ci].units
+			if take > need {
+				take = need
+			}
+			caps[ci].units -= take
+			need -= take
+			if caps[ci].units <= 0 {
+				ci++
+			}
+		}
+	}
+	return out, nil
+}

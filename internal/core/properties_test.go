@@ -1,0 +1,233 @@
+package core
+
+// Property tests verifying the paper's Theorems 4, 6 and budget feasibility
+// on randomized instances, for both MELODY and the RANDOM baseline.
+
+import (
+	"math"
+	"testing"
+
+	"melody/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestIndividualRationality: every winner's payment covers their cost
+// (Theorem 6), for both mechanisms, across many random instances.
+func TestIndividualRationality(t *testing.T) {
+	r := stats.NewRNG(100)
+	mel, _ := NewMelody(paperConfig())
+	for trial := 0; trial < 50; trial++ {
+		in := paperInstance(r.Split(), 5+r.Intn(80), 5+r.Intn(60), r.Uniform(0, 800))
+		rnd, _ := NewRandom(paperConfig(), r.Split())
+		for _, mech := range []Mechanism{mel, rnd} {
+			out, err := mech.Run(in)
+			if err != nil {
+				t.Fatalf("%s: %v", mech.Name(), err)
+			}
+			costs := make(map[string]float64)
+			for _, w := range in.Workers {
+				costs[w.ID] = w.Bid.Cost
+			}
+			for _, a := range out.Assignments {
+				if a.Payment < costs[a.WorkerID]-1e-9 {
+					t.Fatalf("%s trial %d: worker %s paid %v below cost %v",
+						mech.Name(), trial, a.WorkerID, a.Payment, costs[a.WorkerID])
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetFeasibility: total payment never exceeds the budget.
+func TestBudgetFeasibility(t *testing.T) {
+	r := stats.NewRNG(200)
+	mel, _ := NewMelody(paperConfig())
+	for trial := 0; trial < 50; trial++ {
+		budget := r.Uniform(0, 1500)
+		in := paperInstance(r.Split(), 5+r.Intn(150), 5+r.Intn(100), budget)
+		rnd, _ := NewRandom(paperConfig(), r.Split())
+		for _, mech := range []Mechanism{mel, rnd} {
+			out, err := mech.Run(in)
+			if err != nil {
+				t.Fatalf("%s: %v", mech.Name(), err)
+			}
+			if out.TotalPayment > budget+1e-9 {
+				t.Fatalf("%s trial %d: payment %v exceeds budget %v",
+					mech.Name(), trial, out.TotalPayment, budget)
+			}
+			var sum float64
+			for _, a := range out.Assignments {
+				sum += a.Payment
+			}
+			if !almostEqual(sum, out.TotalPayment, 1e-6) {
+				t.Fatalf("%s: assignment payments %v != TotalPayment %v", mech.Name(), sum, out.TotalPayment)
+			}
+		}
+	}
+}
+
+// TestCostTruthfulnessSingleTask: for a single-task auction, MELODY's
+// critical-payment rule is exactly truthful — the winner set and pivot are
+// invariant to where a winner sits inside the winning prefix, so a worker
+// wins iff their quality-per-cost clears the pivot's and is always paid the
+// pivot density. This is the granularity at which the paper's Theorem 4
+// proof operates (fixed k and pivot). Strict per-instance truthfulness on
+// multi-task instances does NOT hold (see TestCostTruthfulnessOnAverage and
+// EXPERIMENTS.md): lying can reshuffle pre-allocation across tasks with
+// frequency depletion and budget staging.
+func TestCostTruthfulnessSingleTask(t *testing.T) {
+	r := stats.NewRNG(300)
+	mel, _ := NewMelody(paperConfig())
+	for trial := 0; trial < 60; trial++ {
+		in := paperInstance(r.Split(), 6+r.Intn(30), 1, r.Uniform(5, 50))
+		wi := r.Intn(len(in.Workers))
+		truthful := in.Workers[wi]
+		base, err := mel.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+		for dev := 0; dev < 12; dev++ {
+			lie := r.Uniform(0.5, 2.5) // includes bids that disqualify
+			mutated := cloneInstance(in)
+			mutated.Workers[wi].Bid.Cost = lie
+			out, err := mel.Run(mutated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+			if lyingU > truthfulU+1e-9 {
+				t.Fatalf("trial %d: worker %s gains by lying cost %v->%v: %v > %v",
+					trial, truthful.ID, truthful.Bid.Cost, lie, lyingU, truthfulU)
+			}
+		}
+	}
+}
+
+// TestCostTruthfulnessOnAverage is the Fig. 6-style statistical check on
+// full multi-task instances: across many sampled (instance, worker,
+// deviation) triples, misreporting cost must not pay on average. Individual
+// deviations can gain (the paper's per-task proof does not bind the
+// cross-task interactions), but the expected gain is clearly negative.
+func TestCostTruthfulnessOnAverage(t *testing.T) {
+	r := stats.NewRNG(301)
+	mel, _ := NewMelody(paperConfig())
+	var gain stats.Accumulator
+	gains := 0
+	probes := 0
+	for trial := 0; trial < 40; trial++ {
+		in := paperInstance(r.Split(), 8+r.Intn(30), 5+r.Intn(20), r.Uniform(50, 400))
+		base, err := mel.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 3; probe++ {
+			wi := r.Intn(len(in.Workers))
+			truthful := in.Workers[wi]
+			truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+			for dev := 0; dev < 4; dev++ {
+				mutated := cloneInstance(in)
+				mutated.Workers[wi].Bid.Cost = r.Uniform(1, 2)
+				out, err := mel.Run(mutated)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+				gain.Add(lyingU - truthfulU)
+				probes++
+				if lyingU > truthfulU+1e-9 {
+					gains++
+				}
+			}
+		}
+	}
+	if gain.Mean() > 0 {
+		t.Errorf("average utility gain from misreporting cost is positive: %v", gain.Mean())
+	}
+	if frac := float64(gains) / float64(probes); frac > 0.25 {
+		t.Errorf("misreporting cost paid off in %.0f%% of probes; expected rare", 100*frac)
+	}
+}
+
+// TestFrequencyTruthfulnessOnAverage: under- or over-reporting frequency
+// must not pay on average (completed tasks are capped at the true
+// frequency, per the paper's Theorem 4 frequency argument).
+func TestFrequencyTruthfulnessOnAverage(t *testing.T) {
+	r := stats.NewRNG(400)
+	mel, _ := NewMelody(paperConfig())
+	var gain stats.Accumulator
+	for trial := 0; trial < 40; trial++ {
+		in := paperInstance(r.Split(), 8+r.Intn(30), 10+r.Intn(30), r.Uniform(100, 600))
+		base, err := mel.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wi := r.Intn(len(in.Workers))
+		truthful := in.Workers[wi]
+		truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+		for lie := 1; lie <= 8; lie++ {
+			if lie == truthful.Bid.Frequency {
+				continue
+			}
+			mutated := cloneInstance(in)
+			mutated.Workers[wi].Bid.Frequency = lie
+			out, err := mel.Run(mutated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+			gain.Add(lyingU - truthfulU)
+		}
+	}
+	if gain.Mean() > 0 {
+		t.Errorf("average utility gain from misreporting frequency is positive: %v", gain.Mean())
+	}
+}
+
+// TestRandomCostTruthfulnessSingleTask verifies the Appendix-D payment rule
+// on single-task auctions with coupled random seeds: the pool draw order is
+// identical across the truthful and deviating runs, isolating the bid. As
+// with MELODY, gains must not occur on average; per-realization gains from
+// shifted pool stopping points are possible, so the assertion is
+// statistical.
+func TestRandomCostTruthfulnessSingleTask(t *testing.T) {
+	r := stats.NewRNG(500)
+	var gain stats.Accumulator
+	for trial := 0; trial < 60; trial++ {
+		seed := int64(trial*7919 + 13)
+		in := paperInstance(r.Split(), 10+r.Intn(20), 1, r.Uniform(5, 50))
+		wi := r.Intn(len(in.Workers))
+		truthful := in.Workers[wi]
+
+		runWith := func(inst Instance) float64 {
+			rnd, err := NewRandom(paperConfig(), stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := rnd.Run(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+		}
+		truthfulU := runWith(in)
+		for dev := 0; dev < 5; dev++ {
+			mutated := cloneInstance(in)
+			mutated.Workers[wi].Bid.Cost = r.Uniform(1, 2)
+			gain.Add(runWith(mutated) - truthfulU)
+		}
+	}
+	if gain.Mean() > 0 {
+		t.Errorf("average utility gain from misreporting to RANDOM is positive: %v", gain.Mean())
+	}
+}
+
+func cloneInstance(in Instance) Instance {
+	out := Instance{Budget: in.Budget}
+	out.Workers = make([]Worker, len(in.Workers))
+	copy(out.Workers, in.Workers)
+	out.Tasks = make([]Task, len(in.Tasks))
+	copy(out.Tasks, in.Tasks)
+	return out
+}

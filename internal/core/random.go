@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"melody/internal/stats"
+)
+
+// Random implements the RANDOM baseline of Section 7.1: tasks are processed
+// in random order and, for each task, workers are drawn into a pool
+// uniformly at random until the pool's top-k workers by quality-per-cost
+// cover the threshold. The top-k win; the pool member with the lowest
+// mu/c is the loser and serves as the pricing pivot (payment mu_i *
+// c_pivot/mu_pivot, Appendix D), which keeps RANDOM truthful.
+//
+// Note on the paper's formula: Section 7.1 writes "sum_{i<=k} mu_i < Q_j and
+// sum_{i<=k+1} mu_i >= Q_j", which would leave the winners short of the
+// threshold; we use the reading consistent with Definition 2 and Appendix D
+// (the k winners cover Q_j, the (k+1)-th drawn worker is the loser/pivot).
+//
+// A task whose pool payment exceeds the remaining budget is skipped; later
+// (cheaper) tasks may still be accepted, preserving budget feasibility.
+type Random struct {
+	cfg Config
+	rng *stats.RNG
+}
+
+var _ Mechanism = (*Random)(nil)
+
+// NewRandom constructs the RANDOM baseline with its own random stream.
+func NewRandom(cfg Config, rng *stats.RNG) (*Random, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: RANDOM requires a random source")
+	}
+	return &Random{cfg: cfg, rng: rng}, nil
+}
+
+// Name implements Mechanism.
+func (r *Random) Name() string { return "RANDOM" }
+
+// Run implements Mechanism.
+func (r *Random) Run(in Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("random: %w", err)
+	}
+	qualified := make([]Worker, 0, len(in.Workers))
+	for _, w := range in.Workers {
+		if r.cfg.Qualifies(w) {
+			qualified = append(qualified, w)
+		}
+	}
+	remaining := make(map[string]int, len(qualified))
+	for _, w := range qualified {
+		remaining[w.ID] = w.Bid.Frequency
+	}
+
+	taskOrder := r.rng.Perm(len(in.Tasks))
+	out := &Outcome{TaskPayment: make(map[string]float64)}
+	budget := in.Budget
+	for _, ti := range taskOrder {
+		task := in.Tasks[ti]
+		winners, pays, total, ok := r.poolForTask(task, qualified, remaining)
+		if !ok || total > budget {
+			continue
+		}
+		budget -= total
+		out.SelectedTasks = append(out.SelectedTasks, task.ID)
+		out.TaskPayment[task.ID] = total
+		out.TotalPayment += total
+		for i, w := range winners {
+			remaining[w.ID]--
+			out.Assignments = append(out.Assignments, Assignment{
+				WorkerID: w.ID,
+				TaskID:   task.ID,
+				Payment:  pays[i],
+			})
+		}
+	}
+	return out, nil
+}
+
+// poolForTask draws available workers uniformly at random until the pool
+// minus its lowest-density member covers the threshold.
+func (r *Random) poolForTask(task Task, qualified []Worker, remaining map[string]int) (winners []Worker, pays []float64, total float64, ok bool) {
+	available := make([]Worker, 0, len(qualified))
+	for _, w := range qualified {
+		if remaining[w.ID] > 0 {
+			available = append(available, w)
+		}
+	}
+	// Draw without replacement in random order; grow the pool until the
+	// top-k cover Q_j.
+	order := r.rng.Perm(len(available))
+	var pool []Worker
+	var sum float64
+	found := -1
+	for drawn, oi := range order {
+		w := available[oi]
+		pool = append(pool, w)
+		sum += w.Quality
+		if len(pool) >= 2 {
+			// Check whether the pool minus its lowest-density member covers
+			// the threshold.
+			sort.Slice(pool, func(i, j int) bool {
+				di := pool[i].Quality / pool[i].Bid.Cost
+				dj := pool[j].Quality / pool[j].Bid.Cost
+				if di != dj {
+					return di > dj
+				}
+				return pool[i].ID < pool[j].ID
+			})
+			last := pool[len(pool)-1]
+			if sum-last.Quality >= task.Threshold {
+				found = drawn
+				break
+			}
+		}
+	}
+	if found < 0 {
+		return nil, nil, 0, false
+	}
+	pivot := pool[len(pool)-1]
+	winners = pool[:len(pool)-1]
+	density := pivot.Bid.Cost / pivot.Quality
+	pays = make([]float64, len(winners))
+	for i, w := range winners {
+		pays[i] = density * w.Quality
+		total += pays[i]
+	}
+	return winners, pays, total, true
+}

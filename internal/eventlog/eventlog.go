@@ -1,0 +1,183 @@
+// Package eventlog provides durable, append-only persistence for the
+// MELODY platform: every state-changing platform operation is recorded as a
+// JSON-lines event, and a crashed platform is rebuilt by replaying the log
+// into a fresh instance. Replay is exact because the platform is
+// deterministic given its inputs (the auction breaks ties by ID and the
+// quality model is a closed-form recursion).
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Kind discriminates event payloads.
+type Kind string
+
+// The event kinds, one per state-changing platform operation.
+const (
+	KindRegister Kind = "register"
+	KindOpenRun  Kind = "open_run"
+	KindBid      Kind = "bid"
+	KindClose    Kind = "close_auction"
+	KindScore    Kind = "score"
+	KindFinish   Kind = "finish_run"
+)
+
+// TaskRecord is a task inside an open_run event.
+type TaskRecord struct {
+	ID        string  `json:"id"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Event is one durable platform operation. Fields are populated according
+// to Kind; unused fields are omitted from the encoding.
+type Event struct {
+	Seq       int64        `json:"seq"`
+	Kind      Kind         `json:"kind"`
+	Worker    string       `json:"worker,omitempty"`
+	Task      string       `json:"task,omitempty"`
+	Cost      float64      `json:"cost,omitempty"`
+	Frequency int          `json:"frequency,omitempty"`
+	Score     float64      `json:"score,omitempty"`
+	Budget    float64      `json:"budget,omitempty"`
+	Tasks     []TaskRecord `json:"tasks,omitempty"`
+}
+
+// validate checks kind-specific invariants before an event is persisted.
+func (e Event) validate() error {
+	switch e.Kind {
+	case KindRegister:
+		if e.Worker == "" {
+			return errors.New("eventlog: register event without worker")
+		}
+	case KindOpenRun:
+		if len(e.Tasks) == 0 {
+			return errors.New("eventlog: open_run event without tasks")
+		}
+	case KindBid:
+		if e.Worker == "" {
+			return errors.New("eventlog: bid event without worker")
+		}
+	case KindScore:
+		if e.Worker == "" || e.Task == "" {
+			return errors.New("eventlog: score event without worker or task")
+		}
+	case KindClose, KindFinish:
+	default:
+		return fmt.Errorf("eventlog: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Log is an append-only JSON-lines event log. Not safe for concurrent use;
+// the Recorder serializes access.
+type Log struct {
+	f    *os.File
+	w    *bufio.Writer
+	seq  int64
+	sync bool
+}
+
+// Open opens (creating if needed) the log at path in append mode and scans
+// existing events to resume the sequence number. When syncEveryAppend is
+// true every Append fsyncs before returning (write-ahead-log durability);
+// otherwise appends are buffered and flushed on Close.
+func Open(path string, syncEveryAppend bool) (*Log, error) {
+	events, err := ReadAll(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	var seq int64
+	if n := len(events); n > 0 {
+		seq = events[n-1].Seq
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: open %s: %w", path, err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), seq: seq, sync: syncEveryAppend}, nil
+}
+
+// Append persists one event, assigning and returning its sequence number.
+func (l *Log) Append(e Event) (int64, error) {
+	if err := e.validate(); err != nil {
+		return 0, err
+	}
+	l.seq++
+	e.Seq = l.seq
+	buf, err := json.Marshal(e)
+	if err != nil {
+		l.seq--
+		return 0, fmt.Errorf("eventlog: encode: %w", err)
+	}
+	if _, err := l.w.Write(append(buf, '\n')); err != nil {
+		l.seq--
+		return 0, fmt.Errorf("eventlog: append: %w", err)
+	}
+	if l.sync {
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("eventlog: flush: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("eventlog: fsync: %w", err)
+		}
+	}
+	return e.Seq, nil
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() int64 { return l.seq }
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("eventlog: flush: %w", err)
+	}
+	return l.f.Close()
+}
+
+// ReadAll reads every event from the log at path. A truncated final line
+// (torn write from a crash) is tolerated and ignored, matching
+// write-ahead-log recovery semantics; corruption elsewhere is an error.
+func ReadAll(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var events []Event
+	reader := bufio.NewReader(f)
+	var prevSeq int64
+	for {
+		line, err := reader.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			var e Event
+			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
+				return nil, fmt.Errorf("eventlog: corrupt event after seq %d: %w", prevSeq, jsonErr)
+			}
+			if e.Seq != prevSeq+1 {
+				return nil, fmt.Errorf("eventlog: sequence gap: %d follows %d", e.Seq, prevSeq)
+			}
+			if vErr := e.validate(); vErr != nil {
+				return nil, vErr
+			}
+			prevSeq = e.Seq
+			events = append(events, e)
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			// A partial line without a newline is a torn final write.
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: read: %w", err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package eventlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "platform.log")
+}
+
+func TestAppendAndReadAll(t *testing.T) {
+	path := tempLog(t)
+	log, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Kind: KindRegister, Worker: "w1"},
+		{Kind: KindOpenRun, Tasks: []TaskRecord{{ID: "t1", Threshold: 5}}, Budget: 10},
+		{Kind: KindBid, Worker: "w1", Cost: 1.5, Frequency: 2},
+		{Kind: KindClose},
+		{Kind: KindScore, Worker: "w1", Task: "t1", Score: 7},
+		{Kind: KindFinish},
+	}
+	for i, e := range events {
+		seq, err := log.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != int64(i+1) {
+			t.Errorf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if log.Seq() != 6 {
+		t.Errorf("Seq = %d, want 6", log.Seq())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i, e := range got {
+		if e.Kind != events[i].Kind {
+			t.Errorf("event %d kind %q, want %q", i, e.Kind, events[i].Kind)
+		}
+	}
+	if got[2].Cost != 1.5 || got[2].Frequency != 2 {
+		t.Errorf("bid payload lost: %+v", got[2])
+	}
+	if got[1].Tasks[0].Threshold != 5 || got[1].Budget != 10 {
+		t.Errorf("open_run payload lost: %+v", got[1])
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	log, err := Open(tempLog(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	bad := []Event{
+		{Kind: KindRegister},                 // no worker
+		{Kind: KindOpenRun},                  // no tasks
+		{Kind: KindBid},                      // no worker
+		{Kind: KindScore, Worker: "w"},       // no task
+		{Kind: Kind("mystery"), Worker: "w"}, // unknown kind
+	}
+	for i, e := range bad {
+		if _, err := log.Append(e); err == nil {
+			t.Errorf("case %d: invalid event accepted", i)
+		}
+	}
+	if log.Seq() != 0 {
+		t.Errorf("failed appends advanced seq to %d", log.Seq())
+	}
+}
+
+func TestOpenResumesSequence(t *testing.T) {
+	path := tempLog(t)
+	log, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(Event{Kind: KindRegister, Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := reopened.Append(Event{Kind: KindRegister, Worker: "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Errorf("resumed seq = %d, want 2", seq)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Worker != "w2" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestReadAllToleratesTornFinalWrite(t *testing.T) {
+	path := tempLog(t)
+	log, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(Event{Kind: KindRegister, Worker: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial JSON line without newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"kind":"regi`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	events, err := ReadAll(path)
+	if err != nil {
+		t.Fatalf("torn final write should be tolerated: %v", err)
+	}
+	if len(events) != 1 {
+		t.Errorf("got %d events, want 1", len(events))
+	}
+}
+
+func TestReadAllRejectsMidLogCorruption(t *testing.T) {
+	path := tempLog(t)
+	content := `{"seq":1,"kind":"register","worker":"w1"}` + "\n" +
+		"GARBAGE LINE\n" +
+		`{"seq":3,"kind":"register","worker":"w3"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path); err == nil {
+		t.Error("mid-log corruption accepted")
+	}
+}
+
+func TestReadAllRejectsSequenceGap(t *testing.T) {
+	path := tempLog(t)
+	content := `{"seq":1,"kind":"register","worker":"w1"}` + "\n" +
+		`{"seq":3,"kind":"register","worker":"w3"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path); err == nil {
+		t.Error("sequence gap accepted")
+	}
+}
+
+func TestReadAllMissingFile(t *testing.T) {
+	_, err := ReadAll(filepath.Join(t.TempDir(), "nope.log"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file err = %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"melody"
+)
+
+// PersistentPlatform combines a platform with a write-ahead event log into
+// a single handle exposing the full platform API: mutations go through the
+// Recorder (and thus the log), reads delegate to the platform. It is the
+// backend cmd/melody-platform uses when started with -wal.
+type PersistentPlatform struct {
+	rec *Recorder
+}
+
+// OpenPersistent opens (or creates) the write-ahead log at path, replays
+// any existing events into the given freshly constructed platform, and
+// returns the combined handle plus the log (which the caller must Close on
+// shutdown).
+func OpenPersistent(path string, p *melody.Platform) (*PersistentPlatform, *Log, error) {
+	// A missing log file is a first boot, not an error.
+	if err := Replay(path, p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("eventlog: recover from %s: %w", path, err)
+	}
+	log, err := Open(path, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := NewRecorder(p, log)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	return &PersistentPlatform{rec: rec}, log, nil
+}
+
+// RegisterWorker implements the platform API.
+func (pp *PersistentPlatform) RegisterWorker(workerID string) error {
+	return pp.rec.RegisterWorker(workerID)
+}
+
+// OpenRun implements the platform API.
+func (pp *PersistentPlatform) OpenRun(tasks []melody.Task, budget float64) error {
+	return pp.rec.OpenRun(tasks, budget)
+}
+
+// SubmitBid implements the platform API.
+func (pp *PersistentPlatform) SubmitBid(workerID string, bid melody.Bid) error {
+	return pp.rec.SubmitBid(workerID, bid)
+}
+
+// CloseAuction implements the platform API.
+func (pp *PersistentPlatform) CloseAuction() (*melody.Outcome, error) {
+	return pp.rec.CloseAuction()
+}
+
+// SubmitScore implements the platform API.
+func (pp *PersistentPlatform) SubmitScore(workerID, taskID string, score float64) error {
+	return pp.rec.SubmitScore(workerID, taskID, score)
+}
+
+// FinishRun implements the platform API.
+func (pp *PersistentPlatform) FinishRun() error {
+	return pp.rec.FinishRun()
+}
+
+// Workers implements the platform API (read-only, not logged).
+func (pp *PersistentPlatform) Workers() []string { return pp.rec.Platform().Workers() }
+
+// Run implements the platform API (read-only, not logged).
+func (pp *PersistentPlatform) Run() int { return pp.rec.Platform().Run() }
+
+// Quality implements the platform API (read-only, not logged).
+func (pp *PersistentPlatform) Quality(workerID string) (float64, error) {
+	return pp.rec.Platform().Quality(workerID)
+}
+
+// Forecast implements the platform API (read-only, not logged).
+func (pp *PersistentPlatform) Forecast(workerID string, steps int) (melody.QualityForecast, error) {
+	return pp.rec.Platform().Forecast(workerID, steps)
+}

@@ -1,0 +1,156 @@
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"melody"
+)
+
+// Recorder wraps a melody.Platform so that every successful state-changing
+// operation is appended to a durable event log. A platform rebuilt with
+// Replay from the same log reaches the identical state (same quality
+// estimates, same run counter), because the platform is deterministic.
+//
+// Operations are applied to the platform first and logged only on success,
+// so the log never contains rejected operations; a crash between apply and
+// append loses at most the operation whose acknowledgment was never
+// written.
+type Recorder struct {
+	mu  sync.Mutex
+	p   *melody.Platform
+	log *Log
+}
+
+// NewRecorder wraps platform with the log.
+func NewRecorder(p *melody.Platform, log *Log) (*Recorder, error) {
+	if p == nil || log == nil {
+		return nil, errors.New("eventlog: recorder needs a platform and a log")
+	}
+	return &Recorder{p: p, log: log}, nil
+}
+
+// Platform exposes the wrapped platform for read-only queries (Quality,
+// Workers, Run).
+func (r *Recorder) Platform() *melody.Platform { return r.p }
+
+// RegisterWorker registers and records a worker.
+func (r *Recorder) RegisterWorker(workerID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.p.RegisterWorker(workerID); err != nil {
+		return err
+	}
+	_, err := r.log.Append(Event{Kind: KindRegister, Worker: workerID})
+	return err
+}
+
+// OpenRun opens and records a run.
+func (r *Recorder) OpenRun(tasks []melody.Task, budget float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.p.OpenRun(tasks, budget); err != nil {
+		return err
+	}
+	records := make([]TaskRecord, len(tasks))
+	for i, t := range tasks {
+		records[i] = TaskRecord{ID: t.ID, Threshold: t.Threshold}
+	}
+	_, err := r.log.Append(Event{Kind: KindOpenRun, Tasks: records, Budget: budget})
+	return err
+}
+
+// SubmitBid submits and records a bid.
+func (r *Recorder) SubmitBid(workerID string, bid melody.Bid) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.p.SubmitBid(workerID, bid); err != nil {
+		return err
+	}
+	_, err := r.log.Append(Event{
+		Kind: KindBid, Worker: workerID, Cost: bid.Cost, Frequency: bid.Frequency,
+	})
+	return err
+}
+
+// CloseAuction closes the auction and records the closure. The outcome
+// itself is not logged: replaying the close recomputes it exactly.
+func (r *Recorder) CloseAuction() (*melody.Outcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out, err := r.p.CloseAuction()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.log.Append(Event{Kind: KindClose}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitScore submits and records a score.
+func (r *Recorder) SubmitScore(workerID, taskID string, score float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.p.SubmitScore(workerID, taskID, score); err != nil {
+		return err
+	}
+	_, err := r.log.Append(Event{Kind: KindScore, Worker: workerID, Task: taskID, Score: score})
+	return err
+}
+
+// FinishRun finishes and records the run.
+func (r *Recorder) FinishRun() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.p.FinishRun(); err != nil {
+		return err
+	}
+	_, err := r.log.Append(Event{Kind: KindFinish})
+	return err
+}
+
+// Replay applies every event from the log at path to a fresh platform,
+// rebuilding its state after a crash or restart. The platform must have
+// been constructed with the same configuration (auction intervals and
+// estimator parameters) as the one that wrote the log.
+func Replay(path string, p *melody.Platform) error {
+	if p == nil {
+		return errors.New("eventlog: replay needs a platform")
+	}
+	events, err := ReadAll(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := apply(p, e); err != nil {
+			return fmt.Errorf("eventlog: replay seq %d (%s): %w", e.Seq, e.Kind, err)
+		}
+	}
+	return nil
+}
+
+func apply(p *melody.Platform, e Event) error {
+	switch e.Kind {
+	case KindRegister:
+		return p.RegisterWorker(e.Worker)
+	case KindOpenRun:
+		tasks := make([]melody.Task, len(e.Tasks))
+		for i, t := range e.Tasks {
+			tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
+		}
+		return p.OpenRun(tasks, e.Budget)
+	case KindBid:
+		return p.SubmitBid(e.Worker, melody.Bid{Cost: e.Cost, Frequency: e.Frequency})
+	case KindClose:
+		_, err := p.CloseAuction()
+		return err
+	case KindScore:
+		return p.SubmitScore(e.Worker, e.Task, e.Score)
+	case KindFinish:
+		return p.FinishRun()
+	default:
+		return fmt.Errorf("eventlog: unknown event kind %q", e.Kind)
+	}
+}

@@ -1,0 +1,163 @@
+// Package experiments defines one runnable experiment per table and figure
+// of the paper's evaluation (Section 7), built on the core mechanism, the
+// quality estimators, and the market engine. Each experiment returns typed
+// figures/tables that cmd/melody-sim renders and bench_test.go regenerates.
+package experiments
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/lds"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// Scale in (0, 1] shrinks sweep sizes, repetition counts and horizons
+	// proportionally so tests and quick benches stay fast. 1 reproduces the
+	// paper-scale experiment.
+	Scale float64
+}
+
+// withDefaults normalizes options.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled returns max(minimum, round(full*scale)).
+func (o Options) scaled(full, minimum int) int {
+	v := int(float64(full)*o.Scale + 0.5)
+	if v < minimum {
+		return minimum
+	}
+	return v
+}
+
+// SRAConfig is the Table 3 workload: the distributions that the single-run
+// auction experiments draw workers and tasks from.
+type SRAConfig struct {
+	QualityLo, QualityHi     float64 // mu_i ~ U[2,4]
+	CostLo, CostHi           float64 // c_i ~ U[1,2]
+	FreqLo, FreqHi           int     // n_i ~ U[1,5]
+	ThresholdLo, ThresholdHi float64 // Q_j ~ U[6,12]
+}
+
+// PaperSRA is Table 3's parameter setting.
+func PaperSRA() SRAConfig {
+	return SRAConfig{
+		QualityLo: 2, QualityHi: 4,
+		CostLo: 1, CostHi: 2,
+		FreqLo: 1, FreqHi: 5,
+		ThresholdLo: 6, ThresholdHi: 12,
+	}
+}
+
+// AuctionConfig returns the qualification intervals implied by the
+// workload's supports.
+func (c SRAConfig) AuctionConfig() core.Config {
+	return core.Config{
+		QualityMin: c.QualityLo, QualityMax: c.QualityHi,
+		CostMin: c.CostLo, CostMax: c.CostHi,
+	}
+}
+
+// Instance draws one SRA instance with n workers, m tasks and the given
+// budget.
+func (c SRAConfig) Instance(r *stats.RNG, n, m int, budget float64) core.Instance {
+	in := core.Instance{
+		Budget:  budget,
+		Workers: make([]core.Worker, n),
+		Tasks:   make([]core.Task, m),
+	}
+	for i := range in.Workers {
+		in.Workers[i] = core.Worker{
+			ID: fmt.Sprintf("w%d", i),
+			Bid: core.Bid{
+				Cost:      r.Uniform(c.CostLo, c.CostHi),
+				Frequency: r.UniformInt(c.FreqLo, c.FreqHi),
+			},
+			Quality: r.Uniform(c.QualityLo, c.QualityHi),
+		}
+	}
+	for j := range in.Tasks {
+		in.Tasks[j] = core.Task{
+			ID:        fmt.Sprintf("t%d", j),
+			Threshold: r.Uniform(c.ThresholdLo, c.ThresholdHi),
+		}
+	}
+	return in
+}
+
+// LongTermConfig is the Table 4 workload for the Section 7.7 experiments.
+type LongTermConfig struct {
+	Workers      int     // N = 300
+	TasksPerRun  int     // M^r = 500
+	Runs         int     // 1000
+	Budget       float64 // B^r = 800
+	ThresholdLo  float64 // Q_j ~ U[20,40]
+	ThresholdHi  float64
+	CostLo       float64 // c_i ~ U[1,2]
+	CostHi       float64
+	FreqLo       int // n_i ~ U[1,5]
+	FreqHi       int
+	ScoreLo      float64 // scores clamped to [1,10]
+	ScoreHi      float64
+	ScoreSigma   float64 // sigma_S = 3
+	InitMean     float64 // mu^0 = 5.5
+	InitVar      float64 // sigma^0 = 2.25
+	EMPeriod     int     // T = 10
+	PatternNoise float64 // per-run jitter on latent trajectories
+}
+
+// PaperLongTerm is Table 4's parameter setting.
+func PaperLongTerm() LongTermConfig {
+	return LongTermConfig{
+		Workers: 300, TasksPerRun: 500, Runs: 1000, Budget: 800,
+		ThresholdLo: 20, ThresholdHi: 40,
+		CostLo: 1, CostHi: 2, FreqLo: 1, FreqHi: 5,
+		ScoreLo: 1, ScoreHi: 10, ScoreSigma: 3,
+		InitMean: 5.5, InitVar: 2.25, EMPeriod: 10,
+		PatternNoise: 0.4,
+	}
+}
+
+// AuctionConfig returns the qualification intervals for the long-term
+// setting: quality on the score scale, cost on the bid support.
+func (c LongTermConfig) AuctionConfig() core.Config {
+	return core.Config{
+		QualityMin: c.ScoreLo, QualityMax: c.ScoreHi,
+		CostMin: c.CostLo, CostMax: c.CostHi,
+	}
+}
+
+// Population draws the simulated workforce with trajectories mixed over the
+// four Fig. 1 archetypes.
+func (c LongTermConfig) Population(r *stats.RNG) ([]*workerpool.Worker, error) {
+	return workerpool.NewPopulation(r, workerpool.PopulationConfig{
+		N: c.Workers, Runs: c.Runs,
+		CostMin: c.CostLo, CostMax: c.CostHi,
+		FreqMin: c.FreqLo, FreqMax: c.FreqHi,
+		QualityLo: c.ScoreLo, QualityHi: c.ScoreHi,
+		Noise: c.PatternNoise,
+	})
+}
+
+// MelodyEstimator builds the paper's estimator for this setting: prior
+// N(mu^0, sigma^0), EM every T runs over a bounded window.
+func (c LongTermConfig) MelodyEstimator() (*quality.Melody, error) {
+	return quality.NewMelody(quality.MelodyConfig{
+		Init:     lds.State{Mean: c.InitMean, Var: c.InitVar},
+		Params:   lds.Params{A: 1.0, Gamma: 0.3, Eta: c.ScoreSigma * c.ScoreSigma},
+		EMPeriod: c.EMPeriod,
+		EMWindow: 60,
+		EM:       lds.EMConfig{MaxIter: 12},
+	})
+}

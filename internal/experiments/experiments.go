@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"melody/internal/report"
+)
+
+// Output is what one experiment produces: figures, tables and free-form
+// summary notes (paper-vs-measured comparisons).
+type Output struct {
+	Figures []*report.Figure
+	Tables  []*report.Table
+	Notes   []string
+}
+
+// Experiment pairs an identifier from the paper (table or figure number)
+// with a runnable reproduction.
+type Experiment struct {
+	// ID matches DESIGN.md's per-experiment index, e.g. "fig4a", "table1".
+	ID string
+	// Description summarizes what the paper shows there.
+	Description string
+	// Run executes the experiment.
+	Run func(opts Options) (*Output, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Description: "mechanism property comparison", Run: Table1},
+		{ID: "fig1", Description: "four long-term quality archetypes", Run: Fig1},
+		{ID: "table3", Description: "SRA parameter settings", Run: Table3},
+		{ID: "fig4a", Description: "requester utility vs number of workers", Run: Fig4a},
+		{ID: "fig4b", Description: "requester utility vs budget", Run: Fig4b},
+		{ID: "fig4c", Description: "requester utility vs number of tasks", Run: Fig4c},
+		{ID: "fig5a", Description: "individual rationality check", Run: Fig5a},
+		{ID: "fig5b", Description: "worker utility distribution", Run: Fig5b},
+		{ID: "fig5c", Description: "budget feasibility check", Run: Fig5c},
+		{ID: "fig6", Description: "short-term truthfulness check", Run: Fig6},
+		{ID: "fig7", Description: "long-term truthfulness check", Run: Fig7},
+		{ID: "fig8", Description: "running time scaling", Run: Fig8},
+		{ID: "table4", Description: "long-term parameter settings", Run: Table4},
+		{ID: "fig9", Description: "long-term quality awareness", Run: Fig9},
+		{ID: "casestudy", Description: "footnote-4 stable-worker fraction (extension)", Run: CaseStudy},
+		{ID: "fig9ci", Description: "fig9 with parallel replications and 95% CIs (extension)", Run: Fig9CI},
+		{ID: "ablation", Description: "design-choice ablations: EM period/window, qualification, Eq. 19 (extension)", Run: Ablations},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids)
+}

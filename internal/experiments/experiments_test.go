@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 7, Scale: 0.08} }
+
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out.Figures) == 0 && len(out.Tables) == 0 {
+				t.Fatalf("%s produced no figures or tables", e.ID)
+			}
+			for _, f := range out.Figures {
+				if err := f.Validate(); err != nil {
+					t.Errorf("%s: %v", e.ID, err)
+				}
+			}
+			for _, tbl := range out.Tables {
+				if err := tbl.Validate(); err != nil {
+					t.Errorf("%s: %v", e.ID, err)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig9" {
+		t.Errorf("ByID returned %q", e.ID)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestOptionsScaled(t *testing.T) {
+	o := Options{Scale: 0.1}.withDefaults()
+	if got := o.scaled(1000, 10); got != 100 {
+		t.Errorf("scaled(1000) = %d, want 100", got)
+	}
+	if got := o.scaled(50, 20); got != 20 {
+		t.Errorf("scaled floor = %d, want 20", got)
+	}
+	if def := (Options{}).withDefaults(); def.Scale != 1 {
+		t.Errorf("default scale = %v", def.Scale)
+	}
+	if def := (Options{Scale: 2}).withDefaults(); def.Scale != 1 {
+		t.Errorf("overscale = %v", def.Scale)
+	}
+}
+
+// TestFig4ShapeMelodyBetweenBaselines: at each sweep point, MELODY's
+// utility must not exceed OPT-UB and on aggregate must beat RANDOM — the
+// qualitative content of Fig. 4.
+func TestFig4ShapeMelodyBetweenBaselines(t *testing.T) {
+	out, err := Fig4a(Options{Seed: 11, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := out.Figures[0]
+	bySuffix := map[string][]float64{}
+	for _, s := range fig.Series {
+		switch {
+		case strings.HasPrefix(s.Name, "OPT-UB"):
+			bySuffix["ub"] = append(bySuffix["ub"], s.Y...)
+		case strings.HasPrefix(s.Name, "MELODY"):
+			bySuffix["mel"] = append(bySuffix["mel"], s.Y...)
+		case strings.HasPrefix(s.Name, "RANDOM"):
+			bySuffix["rnd"] = append(bySuffix["rnd"], s.Y...)
+		}
+	}
+	var melSum, rndSum float64
+	for i := range bySuffix["mel"] {
+		if bySuffix["mel"][i] > bySuffix["ub"][i]+1e-9 {
+			t.Errorf("point %d: MELODY %v above OPT-UB %v", i, bySuffix["mel"][i], bySuffix["ub"][i])
+		}
+		melSum += bySuffix["mel"][i]
+		rndSum += bySuffix["rnd"][i]
+	}
+	if melSum <= rndSum {
+		t.Errorf("MELODY aggregate %v not above RANDOM %v", melSum, rndSum)
+	}
+}
+
+// TestFig5aNoIRViolations: the individual-rationality scatter must report
+// zero violations.
+func TestFig5aNoIRViolations(t *testing.T) {
+	out, err := Fig5a(Options{Seed: 13, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Notes) == 0 || !strings.Contains(out.Notes[0], " 0 individual-rationality violations") {
+		t.Errorf("unexpected IR note: %v", out.Notes)
+	}
+	s := out.Figures[0].Series[0]
+	for i := range s.X {
+		if s.Y[i] < s.X[i]-1e-9 {
+			t.Errorf("winner %d paid %v below cost %v", i, s.Y[i], s.X[i])
+		}
+	}
+}
+
+// TestFig5cPaymentNeverExceedsBudget: every payment point lies on or below
+// the diagonal.
+func TestFig5cPaymentNeverExceedsBudget(t *testing.T) {
+	out, err := Fig5c(Options{Seed: 17, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pay, diag []float64
+	for _, s := range out.Figures[0].Series {
+		if s.Name == "total payment" {
+			pay = s.Y
+		} else {
+			diag = s.Y
+		}
+	}
+	for i := range pay {
+		if pay[i] > diag[i]+1e-9 {
+			t.Errorf("budget %v: payment %v exceeds it", diag[i], pay[i])
+		}
+	}
+}
+
+// TestFig6PanelsAndLoserCleanliness: fig6 must produce the four panels and
+// pick a loser whose profile is theorem-clean (losers form the easier
+// class); the winner panel reports its residual deviation gain honestly in
+// the notes.
+func TestFig6Panels(t *testing.T) {
+	out, err := Fig6(Options{Seed: 19, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Figures) != 4 {
+		t.Fatalf("fig6 produced %d panels", len(out.Figures))
+	}
+	wantIDs := map[string]bool{"fig6a": true, "fig6b": true, "fig6c": true, "fig6d": true}
+	for _, f := range out.Figures {
+		if !wantIDs[f.ID] {
+			t.Errorf("unexpected panel %s", f.ID)
+		}
+	}
+	foundLoserNote := false
+	for _, note := range out.Notes {
+		if strings.Contains(note, "loser panels") {
+			foundLoserNote = true
+			if !strings.Contains(note, "gain 0.0000") {
+				t.Errorf("loser panel not clean: %s", note)
+			}
+		}
+	}
+	if !foundLoserNote {
+		t.Error("missing loser note")
+	}
+}
+
+// TestFig9MelodyWins: MELODY must achieve the lowest average estimation
+// error and the highest average true utility among the four estimators —
+// the headline of the paper.
+func TestFig9MelodyWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-term simulation")
+	}
+	lt := PaperLongTerm()
+	lt.Workers = 60
+	lt.TasksPerRun = 60
+	lt.Runs = 200
+	ests, err := fig9Estimators(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*fig9Result
+	for _, est := range ests {
+		res, err := runLongTerm(23, lt, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		t.Logf("%s: avgError=%.3f avgUtility=%.2f", res.name, res.avgError, res.avgUtility)
+	}
+	var melody *fig9Result
+	for _, res := range results {
+		if res.name == "MELODY" {
+			melody = res
+		}
+	}
+	for _, res := range results {
+		if res.name == "MELODY" {
+			continue
+		}
+		if melody.avgError >= res.avgError {
+			t.Errorf("MELODY error %.3f not below %s error %.3f", melody.avgError, res.name, res.avgError)
+		}
+		if melody.avgUtility <= res.avgUtility {
+			t.Errorf("MELODY utility %.2f not above %s utility %.2f", melody.avgUtility, res.name, res.avgUtility)
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	ys := []float64{1, 2, 3, 4, 5, 6}
+	xs, out := downsample(ys, 3)
+	if len(out) != 3 || out[0] != 1.5 || out[1] != 3.5 || out[2] != 5.5 {
+		t.Errorf("downsample = %v", out)
+	}
+	if xs[0] != 2 || xs[2] != 6 {
+		t.Errorf("downsample xs = %v", xs)
+	}
+	// No-op when already small enough.
+	xs, out = downsample(ys, 10)
+	if len(out) != 6 || xs[5] != 6 {
+		t.Errorf("no-op downsample = %v %v", xs, out)
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/report"
+	"melody/internal/stats"
+)
+
+// sweepPoint is one x position of a Fig. 4 sweep, evaluated for the three
+// mechanisms and averaged over repetitions.
+type sweepResult struct {
+	optUB, melody, random float64
+}
+
+// runSweepPoint draws reps instances and averages each mechanism's utility.
+func runSweepPoint(r *stats.RNG, cfg SRAConfig, n, m int, budget float64, reps int) (sweepResult, error) {
+	auction := cfg.AuctionConfig()
+	mel, err := core.NewMelody(auction)
+	if err != nil {
+		return sweepResult{}, err
+	}
+	ub, err := core.NewOptUB(auction)
+	if err != nil {
+		return sweepResult{}, err
+	}
+	var res sweepResult
+	for rep := 0; rep < reps; rep++ {
+		in := cfg.Instance(r.Split(), n, m, budget)
+		rnd, err := core.NewRandom(auction, r.Split())
+		if err != nil {
+			return sweepResult{}, err
+		}
+		uo, err := ub.Run(in)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		mo, err := mel.Run(in)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		ro, err := rnd.Run(in)
+		if err != nil {
+			return sweepResult{}, err
+		}
+		res.optUB += float64(uo.Utility())
+		res.melody += float64(mo.Utility())
+		res.random += float64(ro.Utility())
+	}
+	f := float64(reps)
+	res.optUB /= f
+	res.melody /= f
+	res.random /= f
+	return res, nil
+}
+
+// competitivenessNotes summarizes the two headline numbers of Section 7.1:
+// the worst observed OPT-UB/MELODY ratio and the average MELODY/RANDOM
+// improvement.
+func competitivenessNotes(points []sweepResult) []string {
+	worstRatio := 1.0
+	var gainSum float64
+	var gainN int
+	for _, p := range points {
+		if p.melody > 0 {
+			if ratio := p.optUB / p.melody; ratio > worstRatio {
+				worstRatio = ratio
+			}
+		}
+		if p.random > 0 {
+			gainSum += (p.melody - p.random) / p.random
+			gainN++
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("max observed approximation factor OPT-UB/MELODY = %.3f (paper reports 1.337)", worstRatio),
+	}
+	if gainN > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"MELODY outperforms RANDOM by %.1f%% on average (paper reports 259.2%%)",
+			100*gainSum/float64(gainN)))
+	}
+	return notes
+}
+
+// Fig4a reproduces Fig. 4a: requester utility vs the number of workers
+// (Table 3 setting I: M=500, N=10..700, B in {600, 800}).
+func Fig4a(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	r := stats.NewRNG(opts.Seed)
+	cfg := PaperSRA()
+	m := opts.scaled(500, 40)
+	reps := opts.scaled(3, 1)
+	budgets := []float64{600, 800}
+	maxN := opts.scaled(700, 60)
+	step := maxN / 12
+	if step < 1 {
+		step = 1
+	}
+
+	fig := &report.Figure{
+		ID: "fig4a", Title: "Requester's utility changing with the number of workers",
+		XLabel: "number of workers", YLabel: "requester's utility",
+	}
+	var all []sweepResult
+	for _, budget := range budgets {
+		var xs []float64
+		var ub, mel, rnd []float64
+		for n := step; n <= maxN; n += step {
+			p, err := runSweepPoint(r, cfg, n, m, budget, reps)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, p)
+			xs = append(xs, float64(n))
+			ub = append(ub, p.optUB)
+			mel = append(mel, p.melody)
+			rnd = append(rnd, p.random)
+		}
+		tag := fmt.Sprintf(" (B=%g)", budget)
+		fig.Series = append(fig.Series,
+			report.Series{Name: "OPT-UB" + tag, X: xs, Y: ub},
+			report.Series{Name: "MELODY" + tag, X: xs, Y: mel},
+			report.Series{Name: "RANDOM" + tag, X: xs, Y: rnd},
+		)
+	}
+	return &Output{Figures: []*report.Figure{fig}, Notes: competitivenessNotes(all)}, nil
+}
+
+// Fig4b reproduces Fig. 4b: requester utility vs budget (Table 3 setting
+// II: M=500, N in {100, 250}, B=10..2310).
+func Fig4b(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	r := stats.NewRNG(opts.Seed)
+	cfg := PaperSRA()
+	m := opts.scaled(500, 40)
+	reps := opts.scaled(3, 1)
+	ns := []int{opts.scaled(100, 20), opts.scaled(250, 40)}
+	maxB := 2310.0 * opts.Scale
+	if maxB < 200 {
+		maxB = 200
+	}
+	stepB := maxB / 12
+
+	fig := &report.Figure{
+		ID: "fig4b", Title: "Requester's utility changing with the value of budget",
+		XLabel: "budget", YLabel: "requester's utility",
+	}
+	var all []sweepResult
+	for _, n := range ns {
+		var xs []float64
+		var ub, mel, rnd []float64
+		for b := stepB; b <= maxB+1e-9; b += stepB {
+			p, err := runSweepPoint(r, cfg, n, m, b, reps)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, p)
+			xs = append(xs, b)
+			ub = append(ub, p.optUB)
+			mel = append(mel, p.melody)
+			rnd = append(rnd, p.random)
+		}
+		tag := fmt.Sprintf(" (N=%d)", n)
+		fig.Series = append(fig.Series,
+			report.Series{Name: "OPT-UB" + tag, X: xs, Y: ub},
+			report.Series{Name: "MELODY" + tag, X: xs, Y: mel},
+			report.Series{Name: "RANDOM" + tag, X: xs, Y: rnd},
+		)
+	}
+	return &Output{Figures: []*report.Figure{fig}, Notes: competitivenessNotes(all)}, nil
+}
+
+// Fig4c reproduces Fig. 4c: requester utility vs the number of tasks
+// (Table 3 setting III: M=10..700, N in {100, 400}, B=2000).
+func Fig4c(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	r := stats.NewRNG(opts.Seed)
+	cfg := PaperSRA()
+	reps := opts.scaled(3, 1)
+	ns := []int{opts.scaled(100, 20), opts.scaled(400, 50)}
+	maxM := opts.scaled(700, 60)
+	step := maxM / 12
+	if step < 1 {
+		step = 1
+	}
+
+	fig := &report.Figure{
+		ID: "fig4c", Title: "Requester's utility changing with the number of tasks",
+		XLabel: "number of tasks", YLabel: "requester's utility",
+	}
+	var all []sweepResult
+	for _, n := range ns {
+		var xs []float64
+		var ub, mel, rnd []float64
+		for m := step; m <= maxM; m += step {
+			p, err := runSweepPoint(r, cfg, n, m, 2000, reps)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, p)
+			xs = append(xs, float64(m))
+			ub = append(ub, p.optUB)
+			mel = append(mel, p.melody)
+			rnd = append(rnd, p.random)
+		}
+		tag := fmt.Sprintf(" (N=%d)", n)
+		fig.Series = append(fig.Series,
+			report.Series{Name: "OPT-UB" + tag, X: xs, Y: ub},
+			report.Series{Name: "MELODY" + tag, X: xs, Y: mel},
+			report.Series{Name: "RANDOM" + tag, X: xs, Y: rnd},
+		)
+	}
+	return &Output{Figures: []*report.Figure{fig}, Notes: competitivenessNotes(all)}, nil
+}

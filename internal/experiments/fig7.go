@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/market"
+	"melody/internal/report"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// fig7Setting is the reduced long-term world used by the truthfulness
+// study. The paper runs 1,000 repetitions of 100 runs on the full Section
+// 7.2 instance; we keep the 100-run horizon but shrink the population and
+// task set (the utility-gain *shape* is what the figure demonstrates; see
+// EXPERIMENTS.md for the substitution note).
+type fig7Setting struct {
+	workers  int
+	tasks    int
+	runs     int
+	reps     int
+	budget   float64
+	longterm LongTermConfig
+}
+
+func newFig7Setting(opts Options) fig7Setting {
+	return fig7Setting{
+		workers:  opts.scaled(100, 20),
+		tasks:    opts.scaled(100, 10),
+		runs:     opts.scaled(100, 10),
+		reps:     opts.scaled(10, 2),
+		budget:   400,
+		longterm: PaperLongTerm(),
+	}
+}
+
+// totalUtility simulates one repetition and returns the designated worker's
+// total utility across all runs.
+func (s fig7Setting) totalUtility(seed int64, strategy workerpool.Strategy) (float64, error) {
+	r := stats.NewRNG(seed)
+	lt := s.longterm
+	population, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: s.workers, Runs: s.runs,
+		CostMin: lt.CostLo, CostMax: lt.CostHi,
+		FreqMin: lt.FreqLo, FreqMax: lt.FreqHi,
+		QualityLo: lt.ScoreLo, QualityHi: lt.ScoreHi,
+		Noise: lt.PatternNoise,
+	})
+	if err != nil {
+		return 0, err
+	}
+	subject := population[0]
+	subject.Strategy = strategy
+
+	est, err := lt.MelodyEstimator()
+	if err != nil {
+		return 0, err
+	}
+	mech, err := core.NewMelody(lt.AuctionConfig())
+	if err != nil {
+		return 0, err
+	}
+	eng, err := market.NewEngine(market.Config{
+		Mechanism: mech, Auction: lt.AuctionConfig(),
+		Estimator: est, Workers: population,
+		TasksPerRun: s.tasks, ThresholdMin: lt.ThresholdLo, ThresholdMax: lt.ThresholdHi,
+		Budget: s.budget, ScoreSigma: lt.ScoreSigma,
+		ScoreLo: lt.ScoreLo, ScoreHi: lt.ScoreHi,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for run := 0; run < s.runs; run++ {
+		res, err := eng.Step()
+		if err != nil {
+			return 0, err
+		}
+		total += res.WorkerUtilities[subject.ID]
+	}
+	return total, nil
+}
+
+// averageGain returns the mean utility gain of cheating with probability p
+// relative to the truthful twin simulation (identical seeds), over reps
+// repetitions.
+func (s fig7Setting) averageGain(baseSeed int64, p float64, cheat func(prob float64) workerpool.Strategy) (float64, error) {
+	var gain stats.Accumulator
+	for rep := 0; rep < s.reps; rep++ {
+		seed := baseSeed + int64(rep)*1_000_003
+		truthful, err := s.totalUtility(seed, workerpool.Truthful{})
+		if err != nil {
+			return 0, err
+		}
+		lying, err := s.totalUtility(seed, cheat(p))
+		if err != nil {
+			return 0, err
+		}
+		gain.Add(lying - truthful)
+	}
+	return gain.Mean(), nil
+}
+
+// Fig7 reproduces Fig. 7: the expected total-utility gain from misreporting
+// cost (panel a) or frequency (panel b) as the cheating probability grows,
+// for always-higher, always-lower and random misreports. Long-term
+// truthfulness (Theorem 5) predicts non-positive gains everywhere, with
+// over-bidding cost hurting the most.
+func Fig7(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	s := newFig7Setting(opts)
+	lt := s.longterm
+	probs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+	costCheat := func(dir workerpool.CheatDirection) func(float64) workerpool.Strategy {
+		return func(p float64) workerpool.Strategy {
+			return workerpool.CostCheat{Prob: p, Direction: dir, CostMin: lt.CostLo, CostMax: lt.CostHi}
+		}
+	}
+	freqCheat := func(dir workerpool.CheatDirection) func(float64) workerpool.Strategy {
+		return func(p float64) workerpool.Strategy {
+			return workerpool.FrequencyCheat{Prob: p, Direction: dir, FreqMax: lt.FreqHi}
+		}
+	}
+
+	type panelSpec struct {
+		figID, title string
+		cheats       map[workerpool.CheatDirection]func(float64) workerpool.Strategy
+	}
+	panels := []panelSpec{
+		{
+			figID: "fig7a", title: "Long-term cost-truthfulness (total utility gain vs cheat probability)",
+			cheats: map[workerpool.CheatDirection]func(float64) workerpool.Strategy{
+				workerpool.CheatHigher: costCheat(workerpool.CheatHigher),
+				workerpool.CheatLower:  costCheat(workerpool.CheatLower),
+				workerpool.CheatRandom: costCheat(workerpool.CheatRandom),
+			},
+		},
+		{
+			figID: "fig7b", title: "Long-term frequency-truthfulness (total utility gain vs cheat probability)",
+			cheats: map[workerpool.CheatDirection]func(float64) workerpool.Strategy{
+				workerpool.CheatHigher: freqCheat(workerpool.CheatHigher),
+				workerpool.CheatLower:  freqCheat(workerpool.CheatLower),
+				workerpool.CheatRandom: freqCheat(workerpool.CheatRandom),
+			},
+		},
+	}
+
+	out := &Output{}
+	for pi, panel := range panels {
+		fig := &report.Figure{
+			ID: panel.figID, Title: panel.title,
+			XLabel: "cheating probability", YLabel: "expected total utility gain",
+		}
+		for _, dir := range []workerpool.CheatDirection{workerpool.CheatHigher, workerpool.CheatLower, workerpool.CheatRandom} {
+			xs := make([]float64, 0, len(probs))
+			ys := make([]float64, 0, len(probs))
+			for _, p := range probs {
+				g, err := s.averageGain(opts.Seed+int64(pi)*7_000_001, p, panel.cheats[dir])
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, p)
+				ys = append(ys, g)
+			}
+			fig.Series = append(fig.Series, report.Series{Name: "bid " + dir.String(), X: xs, Y: ys})
+			out.Notes = append(out.Notes, fmt.Sprintf("%s bid-%s: gain at p=1 is %.3f (paper: negative, worst for higher cost bids)",
+				panel.figID, dir, ys[len(ys)-1]))
+		}
+		out.Figures = append(out.Figures, fig)
+	}
+	return out, nil
+}

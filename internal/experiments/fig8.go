@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"melody/internal/core"
+	"melody/internal/report"
+	"melody/internal/stats"
+)
+
+// timeRun measures MELODY's wall-clock allocation time on one instance,
+// averaged over reps executions.
+func timeRun(mel *core.Melody, in core.Instance, reps int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := mel.Run(in); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(reps) / 1000.0, nil
+}
+
+// Fig8 reproduces Fig. 8: MELODY's running time as the number of workers
+// (panel a, M in {500, 5000}) and the number of tasks (panel b, N in
+// {500, 2000}) grow, with B=800. Theorem 8 predicts O(NM) scaling, i.e.
+// linear in each panel.
+func Fig8(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	r := stats.NewRNG(opts.Seed)
+	cfg := PaperSRA()
+	mel, err := core.NewMelody(cfg.AuctionConfig())
+	if err != nil {
+		return nil, err
+	}
+	reps := 3
+	budget := 800.0
+
+	out := &Output{}
+
+	// Panel a: time vs N.
+	figA := &report.Figure{
+		ID: "fig8a", Title: "Running time changing with the number of workers",
+		XLabel: "number of workers", YLabel: "running time (ms)",
+	}
+	maxN := opts.scaled(1000, 100)
+	stepN := maxN / 10
+	for _, m := range []int{opts.scaled(500, 50), opts.scaled(5000, 200)} {
+		var xs, ys []float64
+		for n := stepN; n <= maxN; n += stepN {
+			in := cfg.Instance(r.Split(), n, m, budget)
+			ms, err := timeRun(mel, in, reps)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, ms)
+		}
+		figA.Series = append(figA.Series, report.Series{
+			Name: fmt.Sprintf("M=%d", m), X: xs, Y: ys,
+		})
+	}
+	out.Figures = append(out.Figures, figA)
+
+	// Panel b: time vs M.
+	figB := &report.Figure{
+		ID: "fig8b", Title: "Running time changing with the number of tasks",
+		XLabel: "number of tasks", YLabel: "running time (ms)",
+	}
+	maxM := opts.scaled(5000, 200)
+	stepM := maxM / 10
+	for _, n := range []int{opts.scaled(500, 50), opts.scaled(2000, 100)} {
+		var xs, ys []float64
+		for m := stepM; m <= maxM; m += stepM {
+			in := cfg.Instance(r.Split(), n, m, budget)
+			ms, err := timeRun(mel, in, reps)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(m))
+			ys = append(ys, ms)
+		}
+		figB.Series = append(figB.Series, report.Series{
+			Name: fmt.Sprintf("N=%d", n), X: xs, Y: ys,
+		})
+	}
+	out.Figures = append(out.Figures, figB)
+
+	// A rough linearity check: the time at the largest N should be within a
+	// generous factor of the linear extrapolation from the smallest N.
+	for _, fig := range out.Figures {
+		for _, s := range fig.Series {
+			if len(s.X) < 2 || s.Y[0] <= 0 {
+				continue
+			}
+			predicted := s.Y[0] * s.X[len(s.X)-1] / s.X[0]
+			actual := s.Y[len(s.Y)-1]
+			out.Notes = append(out.Notes, fmt.Sprintf(
+				"%s %s: last point %.3f ms vs linear extrapolation %.3f ms",
+				fig.ID, s.Name, actual, predicted))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/market"
+	"melody/internal/quality"
+	"melody/internal/report"
+	"melody/internal/stats"
+)
+
+// fig9Result is one estimator's trace through the long-term simulation.
+type fig9Result struct {
+	name       string
+	errors     []float64 // estimation error per run
+	utilities  []float64 // true requester utility per run
+	avgError   float64
+	avgUtility float64
+}
+
+// runLongTerm simulates the Table 4 world under one estimator. The worker
+// population is rebuilt from the same seed for every estimator so all four
+// face identical latent trajectories, bids and task streams.
+func runLongTerm(seed int64, lt LongTermConfig, est quality.Estimator) (*fig9Result, error) {
+	r := stats.NewRNG(seed)
+	population, err := lt.Population(r.Split())
+	if err != nil {
+		return nil, err
+	}
+	mech, err := core.NewMelody(lt.AuctionConfig())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := market.NewEngine(market.Config{
+		Mechanism: mech, Auction: lt.AuctionConfig(),
+		Estimator: est, Workers: population,
+		TasksPerRun: lt.TasksPerRun, ThresholdMin: lt.ThresholdLo, ThresholdMax: lt.ThresholdHi,
+		Budget: lt.Budget, ScoreSigma: lt.ScoreSigma,
+		ScoreLo: lt.ScoreLo, ScoreHi: lt.ScoreHi,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &fig9Result{name: est.Name()}
+	var errAcc, utilAcc stats.Accumulator
+	for run := 0; run < lt.Runs; run++ {
+		step, err := eng.Step()
+		if err != nil {
+			return nil, err
+		}
+		res.errors = append(res.errors, step.EstimationError)
+		res.utilities = append(res.utilities, float64(step.TrueUtility))
+		errAcc.Add(step.EstimationError)
+		utilAcc.Add(float64(step.TrueUtility))
+	}
+	res.avgError = errAcc.Mean()
+	res.avgUtility = utilAcc.Mean()
+	return res, nil
+}
+
+// downsample averages ys into at most points buckets, returning bucket-end
+// run indices and bucket means. It keeps figure output readable for
+// 1,000-run traces.
+func downsample(ys []float64, points int) (xs, out []float64) {
+	if points <= 0 || len(ys) <= points {
+		xs = make([]float64, len(ys))
+		for i := range ys {
+			xs[i] = float64(i + 1)
+		}
+		return xs, ys
+	}
+	bucket := (len(ys) + points - 1) / points
+	for start := 0; start < len(ys); start += bucket {
+		end := start + bucket
+		if end > len(ys) {
+			end = len(ys)
+		}
+		mean, _ := stats.Mean(ys[start:end])
+		xs = append(xs, float64(end))
+		out = append(out, mean)
+	}
+	return xs, out
+}
+
+// fig9Estimators builds the four competitors with identical initial
+// estimates (mu^0).
+func fig9Estimators(lt LongTermConfig) ([]quality.Estimator, error) {
+	mel, err := lt.MelodyEstimator()
+	if err != nil {
+		return nil, err
+	}
+	static, err := quality.NewStatic(lt.InitMean, 50)
+	if err != nil {
+		return nil, err
+	}
+	return []quality.Estimator{
+		static,
+		quality.NewMLCurrentRun(lt.InitMean),
+		quality.NewMLAllRuns(lt.InitMean),
+		mel,
+	}, nil
+}
+
+// Fig9 reproduces Fig. 9 and the Section 7.7 summary: the per-run average
+// quality-estimation error (panel a) and the requester's true utility per
+// run (panel b) for STATIC, ML-CR, ML-AR and MELODY on the Table 4 world,
+// plus the aggregate improvements the paper headlines.
+func Fig9(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	lt := PaperLongTerm()
+	lt.Workers = opts.scaled(lt.Workers, 40)
+	lt.TasksPerRun = opts.scaled(lt.TasksPerRun, 40)
+	lt.Runs = opts.scaled(lt.Runs, 60)
+
+	ests, err := fig9Estimators(lt)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*fig9Result, 0, len(ests))
+	for _, est := range ests {
+		res, err := runLongTerm(opts.Seed, lt, est)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", est.Name(), err)
+		}
+		results = append(results, res)
+	}
+
+	errFig := &report.Figure{
+		ID: "fig9a", Title: "Average estimation error of quality per run",
+		XLabel: "run", YLabel: "average estimation error",
+	}
+	utilFig := &report.Figure{
+		ID: "fig9b", Title: "Requester's (true) utility per run",
+		XLabel: "run", YLabel: "requester's utility",
+	}
+	for _, res := range results {
+		xs, ys := downsample(res.errors, 100)
+		errFig.Series = append(errFig.Series, report.Series{Name: res.name, X: xs, Y: ys})
+		xs, ys = downsample(res.utilities, 100)
+		utilFig.Series = append(utilFig.Series, report.Series{Name: res.name, X: xs, Y: ys})
+	}
+
+	out := &Output{Figures: []*report.Figure{errFig, utilFig}}
+	var melody *fig9Result
+	for _, res := range results {
+		if res.name == "MELODY" {
+			melody = res
+		}
+	}
+	out.Notes = append(out.Notes, fmt.Sprintf(
+		"MELODY average requester utility %.1f (paper: 94.6 at full scale)", melody.avgUtility))
+	paperUtilGain := map[string]string{"STATIC": "46.6%", "ML-CR": "19.7%", "ML-AR": "18.2%"}
+	paperErrDrop := map[string]string{"STATIC": "24.2%", "ML-CR": "18.5%", "ML-AR": "17.6%"}
+	for _, res := range results {
+		if res.name == "MELODY" {
+			continue
+		}
+		utilGain := 0.0
+		if res.avgUtility > 0 {
+			utilGain = 100 * (melody.avgUtility - res.avgUtility) / res.avgUtility
+		}
+		errDrop := 0.0
+		if res.avgError > 0 {
+			errDrop = 100 * (res.avgError - melody.avgError) / res.avgError
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"vs %s: utility +%.1f%% (paper %s), estimation error -%.1f%% (paper %s)",
+			res.name, utilGain, paperUtilGain[res.name], errDrop, paperErrDrop[res.name]))
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"melody/internal/core"
+	"melody/internal/market"
+	"melody/internal/quality"
+	"melody/internal/report"
+	"melody/internal/stats"
+)
+
+// Fig9CI is an extension of the paper's Fig. 9: instead of a single
+// simulated deployment per estimator, it runs several independent
+// replications in parallel and reports cross-replication means with 95%
+// confidence half-widths. The paper draws conclusions from one trajectory;
+// the replicated version shows the estimator ordering is not a seed
+// artifact.
+func Fig9CI(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	lt := PaperLongTerm()
+	lt.Workers = opts.scaled(120, 30)
+	lt.TasksPerRun = opts.scaled(120, 30)
+	lt.Runs = opts.scaled(400, 40)
+	replications := opts.scaled(8, 3)
+
+	buildFor := func(makeEst func() (quality.Estimator, error)) func(seed int64) (*market.Engine, error) {
+		return func(seed int64) (*market.Engine, error) {
+			r := stats.NewRNG(seed)
+			population, err := lt.Population(r.Split())
+			if err != nil {
+				return nil, err
+			}
+			est, err := makeEst()
+			if err != nil {
+				return nil, err
+			}
+			mech, err := core.NewMelody(lt.AuctionConfig())
+			if err != nil {
+				return nil, err
+			}
+			return market.NewEngine(market.Config{
+				Mechanism: mech, Auction: lt.AuctionConfig(),
+				Estimator: est, Workers: population,
+				TasksPerRun: lt.TasksPerRun, ThresholdMin: lt.ThresholdLo, ThresholdMax: lt.ThresholdHi,
+				Budget: lt.Budget, ScoreSigma: lt.ScoreSigma,
+				ScoreLo: lt.ScoreLo, ScoreHi: lt.ScoreHi,
+				RNG: r.Split(),
+			})
+		}
+	}
+
+	type candidate struct {
+		name string
+		make func() (quality.Estimator, error)
+	}
+	candidates := []candidate{
+		{"STATIC", func() (quality.Estimator, error) { return quality.NewStatic(lt.InitMean, 50) }},
+		{"ML-CR", func() (quality.Estimator, error) { return quality.NewMLCurrentRun(lt.InitMean), nil }},
+		{"ML-AR", func() (quality.Estimator, error) { return quality.NewMLAllRuns(lt.InitMean), nil }},
+		{"EWMA", func() (quality.Estimator, error) { return quality.NewEWMA(lt.InitMean, 0.3) }},
+		{"MELODY", func() (quality.Estimator, error) { return lt.MelodyEstimator() }},
+	}
+
+	errFig := &report.Figure{
+		ID: "fig9ci-error", Title: "Estimation error per run, mean over replications",
+		XLabel: "run", YLabel: "average estimation error",
+	}
+	utilFig := &report.Figure{
+		ID: "fig9ci-utility", Title: "True requester utility per run, mean over replications",
+		XLabel: "run", YLabel: "requester's utility",
+	}
+	out := &Output{}
+	seeds := market.Seeds(opts.Seed, replications)
+	concurrency := runtime.NumCPU()
+	for _, cand := range candidates {
+		reps, err := market.RunReplications(buildFor(cand.make), seeds, lt.Runs, concurrency)
+		if err != nil {
+			return nil, fmt.Errorf("fig9ci %s: %w", cand.name, err)
+		}
+		agg, err := market.AggregateReplications(reps)
+		if err != nil {
+			return nil, err
+		}
+		xs, ys := downsample(agg.MeanError, 80)
+		errFig.Series = append(errFig.Series, report.Series{Name: cand.name, X: xs, Y: ys})
+		xs, ys = downsample(agg.MeanUtility, 80)
+		utilFig.Series = append(utilFig.Series, report.Series{Name: cand.name, X: xs, Y: ys})
+
+		meanErr, meanUtil := agg.OverallMeans()
+		// Representative CI from the final run.
+		last := agg.Runs - 1
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"%s: overall error %.3f, overall utility %.2f (final-run 95%% CI half-widths: ±%.3f err, ±%.2f util; %d replications)",
+			cand.name, meanErr, meanUtil, agg.ErrorCI95[last], agg.UtilityCI95[last], replications))
+	}
+	out.Figures = append(out.Figures, errFig, utilFig)
+	return out, nil
+}

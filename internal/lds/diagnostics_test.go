@@ -1,0 +1,109 @@
+package lds
+
+import (
+	"math"
+	"testing"
+
+	"melody/internal/stats"
+)
+
+func TestInnovationsStandardNormalUnderTruth(t *testing.T) {
+	r := stats.NewRNG(404)
+	truth := Params{A: 0.98, Gamma: 0.3, Eta: 2.0}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := synthHistory(r, truth, init, 2000, func(t int) int { return 1 + t%3 })
+
+	innovations, err := Innovations(truth, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(innovations) != 2000 {
+		t.Fatalf("got %d innovations, want 2000", len(innovations))
+	}
+	var acc stats.Accumulator
+	for _, in := range innovations {
+		acc.Add(in.Standardized)
+	}
+	if !almostEqual(acc.Mean(), 0, 0.08) {
+		t.Errorf("innovation mean = %v, want ~0", acc.Mean())
+	}
+	if !almostEqual(acc.Variance(), 1, 0.12) {
+		t.Errorf("innovation variance = %v, want ~1", acc.Variance())
+	}
+	score, err := MisfitScore(innovations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(score, 1, 0.12) {
+		t.Errorf("misfit score = %v, want ~1 for a well-specified model", score)
+	}
+}
+
+func TestInnovationsDetectLevelShift(t *testing.T) {
+	// A worker whose quality jumps by +10 mid-history violates the smooth
+	// transition model; the misfit score must blow up.
+	r := stats.NewRNG(405)
+	p := Params{A: 1, Gamma: 0.05, Eta: 1.0}
+	init := State{Mean: 5, Var: 0.5}
+	history := make([][]float64, 100)
+	for t := range history {
+		level := 5.0
+		if t >= 50 {
+			level = 15.0
+		}
+		history[t] = []float64{r.NormalVar(level, p.Eta)}
+	}
+	innovations, err := Innovations(p, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := MisfitScore(innovations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 1.5 {
+		t.Errorf("misfit score = %v; expected well above 1 for a level shift", score)
+	}
+	// The run right after the shift must carry an extreme innovation.
+	var atShift float64
+	for _, in := range innovations {
+		if in.Run == 51 {
+			atShift = in.Standardized
+		}
+	}
+	if atShift < 4 {
+		t.Errorf("innovation at the shift = %v, want > 4 sigma", atShift)
+	}
+}
+
+func TestInnovationsSkipEmptyRuns(t *testing.T) {
+	p := Params{A: 1, Gamma: 0.3, Eta: 1}
+	init := State{Mean: 5, Var: 1}
+	history := [][]float64{{5}, {}, {6}, {}}
+	innovations, err := Innovations(p, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(innovations) != 2 {
+		t.Fatalf("got %d innovations, want 2", len(innovations))
+	}
+	if innovations[0].Run != 1 || innovations[1].Run != 3 {
+		t.Errorf("runs = %d, %d; want 1, 3", innovations[0].Run, innovations[1].Run)
+	}
+}
+
+func TestInnovationsValidation(t *testing.T) {
+	if _, err := Innovations(Params{}, State{Mean: 0, Var: 1}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	good := Params{A: 1, Gamma: 1, Eta: 1}
+	if _, err := Innovations(good, State{}, nil); err == nil {
+		t.Error("invalid init accepted")
+	}
+	if _, err := Innovations(good, State{Mean: 0, Var: 1}, [][]float64{{1, math.Inf(1)}}); err == nil {
+		t.Error("infinite score accepted")
+	}
+	if _, err := MisfitScore(nil); err == nil {
+		t.Error("empty misfit accepted")
+	}
+}

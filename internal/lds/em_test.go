@@ -1,0 +1,164 @@
+package lds
+
+import (
+	"testing"
+
+	"melody/internal/stats"
+)
+
+// synthHistory simulates a score history from known parameters.
+func synthHistory(r *stats.RNG, p Params, init State, runs int, scoresPerRun func(run int) int) [][]float64 {
+	q := r.NormalVar(init.Mean, init.Var)
+	history := make([][]float64, runs)
+	for t := 0; t < runs; t++ {
+		q = r.NormalVar(p.A*q, p.Gamma)
+		n := scoresPerRun(t)
+		scores := make([]float64, n)
+		for j := range scores {
+			scores[j] = r.NormalVar(q, p.Eta)
+		}
+		history[t] = scores
+	}
+	return history
+}
+
+func TestEMRejectsDegenerateInputs(t *testing.T) {
+	start := Params{A: 1, Gamma: 1, Eta: 1}
+	init := State{Mean: 0, Var: 1}
+	if _, err := EM(start, init, nil, EMConfig{}); err == nil {
+		t.Error("empty history accepted")
+	}
+	if _, err := EM(start, init, [][]float64{{}, {}}, EMConfig{}); err == nil {
+		t.Error("history with no scores accepted")
+	}
+	if _, err := EM(Params{}, init, [][]float64{{1}}, EMConfig{}); err == nil {
+		t.Error("invalid start params accepted")
+	}
+}
+
+func TestEMImprovesLogLikelihood(t *testing.T) {
+	r := stats.NewRNG(101)
+	truth := Params{A: 0.98, Gamma: 0.3, Eta: 2.5}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := synthHistory(r, truth, init, 120, func(int) int { return 3 })
+
+	start := Params{A: 1.2, Gamma: 1.5, Eta: 0.5}
+	llStart, err := LogLikelihood(start, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EM(start, init, history, EMConfig{MaxIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLikelihood <= llStart {
+		t.Errorf("EM did not improve likelihood: %v -> %v", llStart, res.LogLikelihood)
+	}
+}
+
+func TestEMMonotoneLikelihood(t *testing.T) {
+	// The fundamental EM guarantee: each iteration cannot decrease the
+	// marginal likelihood. We step one iteration at a time and check.
+	r := stats.NewRNG(55)
+	truth := Params{A: 0.95, Gamma: 0.5, Eta: 1.5}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := synthHistory(r, truth, init, 60, func(t int) int { return 1 + t%3 })
+
+	cur := Params{A: 0.5, Gamma: 2.0, Eta: 0.3}
+	prevLL, err := LogLikelihood(cur, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		res, err := EM(cur, init, history, EMConfig{MaxIter: 1, Tol: 1e-300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll := res.LogLikelihood
+		if ll < prevLL-1e-8 {
+			t.Fatalf("iteration %d decreased log likelihood: %v -> %v", i+1, prevLL, ll)
+		}
+		prevLL = ll
+		cur = res.Params
+	}
+}
+
+func TestEMRecoversParameters(t *testing.T) {
+	r := stats.NewRNG(2024)
+	truth := Params{A: 0.99, Gamma: 0.2, Eta: 3.0}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := synthHistory(r, truth, init, 800, func(int) int { return 4 })
+
+	start := Params{A: 0.8, Gamma: 1.0, Eta: 1.0}
+	res, err := EM(start, init, history, EMConfig{MaxIter: 200, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Params
+	if !almostEqual(got.A, truth.A, 0.05) {
+		t.Errorf("A = %v, want ~%v", got.A, truth.A)
+	}
+	if !almostEqual(got.Eta, truth.Eta, 0.5) {
+		t.Errorf("Eta = %v, want ~%v", got.Eta, truth.Eta)
+	}
+	// Gamma is the hardest to pin down; accept the right order of magnitude.
+	if got.Gamma <= 0 || got.Gamma > 1.0 {
+		t.Errorf("Gamma = %v, want positive and near %v", got.Gamma, truth.Gamma)
+	}
+}
+
+func TestEMHandlesSparseObservation(t *testing.T) {
+	// Workers frequently win no tasks in a run; EM must cope with mostly
+	// empty score sets.
+	r := stats.NewRNG(7)
+	truth := Params{A: 1.0, Gamma: 0.4, Eta: 2.0}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := synthHistory(r, truth, init, 200, func(t int) int {
+		if t%4 == 0 {
+			return 2
+		}
+		return 0
+	})
+	res, err := EM(Params{A: 1, Gamma: 1, Eta: 1}, init, history, EMConfig{MaxIter: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Params.Validate(); err != nil {
+		t.Errorf("EM produced invalid params: %v", err)
+	}
+}
+
+func TestEMConvergesFlagAndIterations(t *testing.T) {
+	r := stats.NewRNG(31)
+	truth := Params{A: 0.9, Gamma: 0.5, Eta: 1.0}
+	init := State{Mean: 5, Var: 1}
+	history := synthHistory(r, truth, init, 100, func(int) int { return 2 })
+
+	res, err := EM(truth, init, history, EMConfig{MaxIter: 100, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("EM starting at a near-optimum should converge within 100 iterations")
+	}
+	if res.Iterations <= 0 || res.Iterations > 100 {
+		t.Errorf("Iterations = %d out of range", res.Iterations)
+	}
+}
+
+func TestEMVarianceFloor(t *testing.T) {
+	// A constant history drives gamma toward zero; the floor must keep the
+	// model proper.
+	history := make([][]float64, 50)
+	for i := range history {
+		history[i] = []float64{5, 5}
+	}
+	res, err := EM(Params{A: 1, Gamma: 0.5, Eta: 0.5}, State{Mean: 5, Var: 1}, history,
+		EMConfig{MaxIter: 100, VarFloor: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.Gamma < 1e-6 || res.Params.Eta < 1e-6 {
+		t.Errorf("variance floor violated: %+v", res.Params)
+	}
+}

@@ -1,0 +1,68 @@
+package lds
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forecast is a k-step-ahead predictive distribution over a worker's
+// latent quality, with a Gaussian credible interval.
+type Forecast struct {
+	// Steps is the forecast horizon (1 = next run, matching Eq. 19).
+	Steps int
+	// Mean and Var define the predictive Gaussian N(Mean, Var).
+	Mean float64
+	Var  float64
+}
+
+// Interval returns the central credible interval that contains the stated
+// probability mass (e.g. 0.95). Implemented with an inverse-erf free
+// approximation: the quantile is computed by bisection on the Gaussian CDF,
+// which is exact to the tolerance of math.Erf.
+func (f Forecast) Interval(mass float64) (lo, hi float64, err error) {
+	if !(mass > 0 && mass < 1) {
+		return 0, 0, fmt.Errorf("lds: interval mass %v must be in (0,1)", mass)
+	}
+	z := gaussianQuantile((1 + mass) / 2)
+	sd := math.Sqrt(f.Var)
+	return f.Mean - z*sd, f.Mean + z*sd, nil
+}
+
+// gaussianQuantile returns the standard-normal quantile by bisection on the
+// CDF Phi(x) = (1 + erf(x/sqrt2))/2. p must be in (0, 1).
+func gaussianQuantile(p float64) float64 {
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*(1+math.Erf(mid/math.Sqrt2)) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Predict.Forecast: ForecastAhead propagates a posterior belief k steps
+// through the transition density with no intervening observations:
+//
+//	mean_k = a^k * mu
+//	var_k  = a^{2k} * sigma + gamma * (a^{2(k-1)} + ... + a^2 + 1)
+//
+// For k = 1 this is exactly the prior alpha(q_{r+1}) of Eq. (3)/(19).
+func ForecastAhead(p Params, posterior State, steps int) (Forecast, error) {
+	if err := p.Validate(); err != nil {
+		return Forecast{}, err
+	}
+	if err := posterior.Validate(); err != nil {
+		return Forecast{}, err
+	}
+	if steps < 1 {
+		return Forecast{}, fmt.Errorf("lds: forecast steps %d must be at least 1", steps)
+	}
+	cur := posterior
+	for i := 0; i < steps; i++ {
+		cur = Predict(p, cur)
+	}
+	return Forecast{Steps: steps, Mean: cur.Mean, Var: cur.Var}, nil
+}

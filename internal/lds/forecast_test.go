@@ -1,0 +1,112 @@
+package lds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForecastAheadOneStepMatchesPredict(t *testing.T) {
+	p := Params{A: 0.9, Gamma: 0.4, Eta: 1}
+	st := State{Mean: 5, Var: 2}
+	f, err := ForecastAhead(p, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Predict(p, st)
+	if f.Mean != want.Mean || f.Var != want.Var {
+		t.Errorf("forecast = %+v, predict = %+v", f, want)
+	}
+}
+
+func TestForecastAheadClosedForm(t *testing.T) {
+	p := Params{A: 0.8, Gamma: 0.5, Eta: 1}
+	st := State{Mean: 10, Var: 1}
+	k := 4
+	f, err := ForecastAhead(p, st, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := p.A * p.A
+	wantMean := st.Mean * math.Pow(p.A, float64(k))
+	wantVar := st.Var * math.Pow(a2, float64(k))
+	for i := 0; i < k; i++ {
+		wantVar += p.Gamma * math.Pow(a2, float64(i))
+	}
+	if !almostEqual(f.Mean, wantMean, 1e-12) {
+		t.Errorf("mean = %v, want %v", f.Mean, wantMean)
+	}
+	if !almostEqual(f.Var, wantVar, 1e-12) {
+		t.Errorf("var = %v, want %v", f.Var, wantVar)
+	}
+}
+
+func TestForecastAheadValidation(t *testing.T) {
+	good := Params{A: 1, Gamma: 1, Eta: 1}
+	st := State{Mean: 0, Var: 1}
+	if _, err := ForecastAhead(good, st, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := ForecastAhead(Params{}, st, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := ForecastAhead(good, State{}, 1); err == nil {
+		t.Error("invalid state accepted")
+	}
+}
+
+func TestForecastInterval(t *testing.T) {
+	f := Forecast{Steps: 1, Mean: 0, Var: 1}
+	lo, hi, err := f.Interval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard normal 95% interval is +/- 1.95996.
+	if !almostEqual(lo, -1.95996, 1e-4) || !almostEqual(hi, 1.95996, 1e-4) {
+		t.Errorf("95%% interval = [%v, %v]", lo, hi)
+	}
+	// Scaled and shifted.
+	f = Forecast{Steps: 1, Mean: 5, Var: 4}
+	lo, hi, err = f.Interval(0.6827) // ~1 sigma
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(lo, 3, 0.01) || !almostEqual(hi, 7, 0.01) {
+		t.Errorf("1-sigma interval = [%v, %v], want ~[3, 7]", lo, hi)
+	}
+	if _, _, err := f.Interval(0); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, _, err := f.Interval(1); err == nil {
+		t.Error("unit mass accepted")
+	}
+}
+
+func TestGaussianQuantile(t *testing.T) {
+	tests := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.95996},
+		{0.025, -1.95996},
+		{0.8413, 0.9998}, // ~1 sigma
+	}
+	for _, tt := range tests {
+		if got := gaussianQuantile(tt.p); !almostEqual(got, tt.want, 1e-3) {
+			t.Errorf("quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestForecastVarianceGrowsWithHorizon(t *testing.T) {
+	p := Params{A: 1, Gamma: 0.3, Eta: 1}
+	st := State{Mean: 5, Var: 1}
+	prev := 0.0
+	for k := 1; k <= 10; k++ {
+		f, err := ForecastAhead(p, st, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Var <= prev {
+			t.Fatalf("variance did not grow at horizon %d: %v <= %v", k, f.Var, prev)
+		}
+		prev = f.Var
+	}
+}

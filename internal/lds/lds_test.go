@@ -1,0 +1,240 @@
+package lds
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"melody/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{name: "valid", p: Params{A: 1, Gamma: 0.5, Eta: 2}},
+		{name: "zero gamma", p: Params{A: 1, Gamma: 0, Eta: 2}, wantErr: true},
+		{name: "negative eta", p: Params{A: 1, Gamma: 0.5, Eta: -1}, wantErr: true},
+		{name: "nan a", p: Params{A: math.NaN(), Gamma: 0.5, Eta: 2}, wantErr: true},
+		{name: "inf gamma", p: Params{A: 1, Gamma: math.Inf(1), Eta: 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStateValidate(t *testing.T) {
+	if err := (State{Mean: 5, Var: 1}).Validate(); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+	if err := (State{Mean: 5, Var: 0}).Validate(); err == nil {
+		t.Error("zero variance accepted")
+	}
+	if err := (State{Mean: math.Inf(1), Var: 1}).Validate(); err == nil {
+		t.Error("infinite mean accepted")
+	}
+}
+
+func TestUpdateMatchesTheorem3Formulas(t *testing.T) {
+	// Directly check Eq. (17)-(18) on a hand-computed example.
+	p := Params{A: 0.9, Gamma: 0.4, Eta: 2.0}
+	prev := State{Mean: 5.0, Var: 1.0}
+	scores := []float64{6.0, 4.0, 5.0} // N=3, S=15
+
+	k := p.A*p.A*prev.Var + p.Gamma // 0.81 + 0.4 = 1.21
+	n, s := 3.0, 15.0
+	wantMean := (p.A*p.Eta*prev.Mean + k*s) / (n*k + p.Eta)
+	wantVar := k * p.Eta / (n*k + p.Eta)
+
+	got, err := Update(p, prev, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Mean, wantMean, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got.Mean, wantMean)
+	}
+	if !almostEqual(got.Var, wantVar, 1e-12) {
+		t.Errorf("Var = %v, want %v", got.Var, wantVar)
+	}
+}
+
+func TestUpdateEmptyScoresEqualsPredict(t *testing.T) {
+	p := Params{A: 0.95, Gamma: 0.3, Eta: 1.0}
+	prev := State{Mean: 4.2, Var: 0.8}
+	got, err := Update(p, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Predict(p, prev)
+	if got != want {
+		t.Errorf("Update with no scores = %+v, want Predict = %+v", got, want)
+	}
+}
+
+func TestUpdateRejectsBadInputs(t *testing.T) {
+	good := Params{A: 1, Gamma: 1, Eta: 1}
+	if _, err := Update(Params{}, State{Mean: 0, Var: 1}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Update(good, State{Mean: 0, Var: -1}, nil); err == nil {
+		t.Error("invalid state accepted")
+	}
+	if _, err := Update(good, State{Mean: 0, Var: 1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN score accepted")
+	}
+}
+
+// TestUpdateIsConjugateBayes verifies Theorem 3 against a from-first-
+// principles sequential Bayesian update: predict once, then fold each score
+// in one at a time with the standard single-observation conjugate formulas.
+func TestUpdateIsConjugateBayes(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(Params{
+				A:     r.Float64()*2 - 0.5,
+				Gamma: r.Float64()*2 + 0.01,
+				Eta:   r.Float64()*3 + 0.01,
+			})
+			vals[1] = reflect.ValueOf(State{
+				Mean: r.Float64()*10 - 5,
+				Var:  r.Float64()*3 + 0.01,
+			})
+			n := r.Intn(6) + 1
+			scores := make([]float64, n)
+			for i := range scores {
+				scores[i] = r.Float64()*10 - 5
+			}
+			vals[2] = reflect.ValueOf(scores)
+		},
+	}
+	f := func(p Params, prev State, scores []float64) bool {
+		got, err := Update(p, prev, scores)
+		if err != nil {
+			return false
+		}
+		b := Predict(p, prev)
+		for _, s := range scores {
+			predVar := b.Var + p.Eta
+			gain := b.Var / predVar
+			b = State{Mean: b.Mean + gain*(s-b.Mean), Var: b.Var * p.Eta / predVar}
+		}
+		return almostEqual(got.Mean, b.Mean, 1e-9) && almostEqual(got.Var, b.Var, 1e-9)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPosteriorVarianceShrinksWithMoreScores(t *testing.T) {
+	p := Params{A: 1, Gamma: 0.2, Eta: 3.0}
+	prev := State{Mean: 5, Var: 2}
+	prevVar := math.Inf(1)
+	for n := 1; n <= 10; n++ {
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = 5
+		}
+		st, err := Update(p, prev, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Var <= 0 {
+			t.Fatalf("posterior variance %v not positive at n=%d", st.Var, n)
+		}
+		if st.Var >= prevVar {
+			t.Fatalf("posterior variance %v did not shrink at n=%d (prev %v)", st.Var, n, prevVar)
+		}
+		prevVar = st.Var
+	}
+}
+
+func TestFilterEqualsIteratedUpdate(t *testing.T) {
+	p := Params{A: 0.9, Gamma: 0.3, Eta: 1.0}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := [][]float64{{5.0}, {6.0, 6.5}, {}, {4.0}}
+
+	states, err := Filter(p, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := init
+	for i, scores := range history {
+		next, err := Update(p, cur, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if states[i] != next {
+			t.Errorf("run %d: Filter %+v != Update %+v", i+1, states[i], next)
+		}
+		cur = next
+	}
+}
+
+func TestSmoothErrors(t *testing.T) {
+	good := Params{A: 1, Gamma: 1, Eta: 1}
+	init := State{Mean: 0, Var: 1}
+	if _, err := Smooth(good, init, nil); err == nil {
+		t.Error("empty history accepted")
+	}
+	if _, err := Smooth(Params{}, init, [][]float64{{1}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestSmoothedVarianceNotAboveFiltered(t *testing.T) {
+	p := Params{A: 0.95, Gamma: 0.4, Eta: 2.0}
+	init := State{Mean: 5.5, Var: 2.25}
+	r := stats.NewRNG(8)
+	history := make([][]float64, 30)
+	for i := range history {
+		n := r.Intn(4)
+		history[i] = make([]float64, n)
+		for j := range history[i] {
+			history[i][j] = r.Normal(5, 2)
+		}
+	}
+	filtered, err := Filter(p, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := Smooth(p, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range filtered {
+		if sm.Var[i+1] > filtered[i].Var+1e-12 {
+			t.Errorf("run %d: smoothed var %v > filtered var %v", i+1, sm.Var[i+1], filtered[i].Var)
+		}
+	}
+	// The final smoothed state equals the final filtered state.
+	last := len(history)
+	if !almostEqual(sm.Mean[last], filtered[last-1].Mean, 1e-12) ||
+		!almostEqual(sm.Var[last], filtered[last-1].Var, 1e-12) {
+		t.Error("final smoothed state differs from final filtered state")
+	}
+}
+
+func TestPredictGrowsUncertainty(t *testing.T) {
+	p := Params{A: 1, Gamma: 0.5, Eta: 1}
+	st := State{Mean: 3, Var: 1}
+	next := Predict(p, st)
+	if next.Var <= st.Var {
+		t.Errorf("prediction with a=1 must grow variance: %v -> %v", st.Var, next.Var)
+	}
+	if next.Mean != 3 {
+		t.Errorf("prediction mean = %v, want 3", next.Mean)
+	}
+}

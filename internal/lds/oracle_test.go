@@ -1,0 +1,241 @@
+package lds
+
+// This file contains a brute-force multivariate-Gaussian oracle used to
+// verify the Kalman filter and RTS smoother exactly. The joint distribution
+// of (q_0, ..., q_R) given all scores is Gaussian with a tridiagonal
+// precision matrix; we build that matrix densely, invert it with Gaussian
+// elimination, and compare marginals and lag-one covariances against the
+// recursive implementations.
+
+import (
+	"math"
+	"testing"
+)
+
+// solveDense inverts a symmetric positive-definite matrix via Gauss-Jordan
+// elimination with partial pivoting. Only suitable for tiny test systems.
+func solveDense(m [][]float64) [][]float64 {
+	n := len(m)
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		pv := aug[col][col]
+		for j := range aug[col] {
+			aug[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			for j := range aug[r] {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = make([]float64, n)
+		copy(inv[i], aug[i][n:])
+	}
+	return inv
+}
+
+// jointPosterior computes the exact posterior mean vector and covariance
+// matrix of (q_0..q_R) given the full score history, via the tridiagonal
+// precision construction.
+func jointPosterior(p Params, init State, history [][]float64) (mean []float64, cov [][]float64) {
+	n := len(history)
+	dim := n + 1
+	prec := make([][]float64, dim)
+	for i := range prec {
+		prec[i] = make([]float64, dim)
+	}
+	b := make([]float64, dim)
+
+	prec[0][0] = 1 / init.Var
+	b[0] = init.Mean / init.Var
+	for t := 1; t <= n; t++ {
+		// Transition q_t | q_{t-1} ~ N(a q_{t-1}, gamma).
+		prec[t][t] += 1 / p.Gamma
+		prec[t-1][t-1] += p.A * p.A / p.Gamma
+		prec[t-1][t] -= p.A / p.Gamma
+		prec[t][t-1] -= p.A / p.Gamma
+		// Emissions.
+		for _, s := range history[t-1] {
+			prec[t][t] += 1 / p.Eta
+			b[t] += s / p.Eta
+		}
+	}
+	cov = solveDense(prec)
+	mean = make([]float64, dim)
+	for i := range mean {
+		for j := range b {
+			mean[i] += cov[i][j] * b[j]
+		}
+	}
+	return mean, cov
+}
+
+func TestSmootherMatchesDenseOracle(t *testing.T) {
+	tests := []struct {
+		name    string
+		params  Params
+		init    State
+		history [][]float64
+	}{
+		{
+			name:    "short dense history",
+			params:  Params{A: 0.95, Gamma: 0.4, Eta: 2.0},
+			init:    State{Mean: 5.5, Var: 2.25},
+			history: [][]float64{{6.1, 5.2}, {4.8}, {5.9, 6.3, 5.5}},
+		},
+		{
+			name:    "history with missing runs",
+			params:  Params{A: 1.0, Gamma: 0.1, Eta: 3.0},
+			init:    State{Mean: 5.5, Var: 2.25},
+			history: [][]float64{{7.0}, {}, {}, {3.0, 4.0}},
+		},
+		{
+			name:    "shrinking transition",
+			params:  Params{A: 0.8, Gamma: 1.0, Eta: 0.5},
+			init:    State{Mean: 0, Var: 1},
+			history: [][]float64{{1.0, 1.5}, {2.0}, {}, {2.5}, {3.0, 2.8, 3.1}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			wantMean, wantCov := jointPosterior(tt.params, tt.init, tt.history)
+			sm, err := Smooth(tt.params, tt.init, tt.history)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(wantMean); i++ {
+				if !almostEqual(sm.Mean[i], wantMean[i], 1e-9) {
+					t.Errorf("smoothed mean[%d] = %v, oracle %v", i, sm.Mean[i], wantMean[i])
+				}
+				if !almostEqual(sm.Var[i], wantCov[i][i], 1e-9) {
+					t.Errorf("smoothed var[%d] = %v, oracle %v", i, sm.Var[i], wantCov[i][i])
+				}
+			}
+			for i := 1; i < len(wantMean); i++ {
+				if !almostEqual(sm.CrossCov[i], wantCov[i][i-1], 1e-9) {
+					t.Errorf("cross cov[%d] = %v, oracle %v", i, sm.CrossCov[i], wantCov[i][i-1])
+				}
+			}
+		})
+	}
+}
+
+func TestFilterMatchesDenseOracleAtFinalStep(t *testing.T) {
+	params := Params{A: 0.9, Gamma: 0.3, Eta: 1.5}
+	init := State{Mean: 5.5, Var: 2.25}
+	history := [][]float64{{6.0, 5.0}, {4.5}, {}, {5.8, 6.2}}
+
+	states, err := Filter(params, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantCov := jointPosterior(params, init, history)
+	last := len(history)
+	// The filtered posterior at the final run conditions on everything, so
+	// it must agree with the smoothed (joint) marginal there.
+	if !almostEqual(states[last-1].Mean, wantMean[last], 1e-9) {
+		t.Errorf("final filtered mean = %v, oracle %v", states[last-1].Mean, wantMean[last])
+	}
+	if !almostEqual(states[last-1].Var, wantCov[last][last], 1e-9) {
+		t.Errorf("final filtered var = %v, oracle %v", states[last-1].Var, wantCov[last][last])
+	}
+}
+
+func TestLogLikelihoodMatchesDenseOracle(t *testing.T) {
+	// For a purely-observed tiny model we can also compute the marginal
+	// likelihood densely: marginalize the latent chain by brute force using
+	// the score-space Gaussian N(Hm, H Sigma H^T + eta I).
+	params := Params{A: 0.9, Gamma: 0.5, Eta: 1.2}
+	init := State{Mean: 2.0, Var: 1.0}
+	history := [][]float64{{2.5}, {1.8, 2.2}}
+
+	// Prior over (q_0, q_1, q_2): mean and covariance from the transition
+	// chain with no observations.
+	noObs := [][]float64{{}, {}}
+	priorMean, priorCov := jointPosterior(params, init, noObs)
+
+	// Observation matrix H maps latent index to each score: scores are
+	// q_1; q_2, q_2.
+	obsIdx := []int{1, 2, 2}
+	obs := []float64{2.5, 1.8, 2.2}
+	d := len(obs)
+	sMean := make([]float64, d)
+	sCov := make([][]float64, d)
+	for i := range sCov {
+		sCov[i] = make([]float64, d)
+		sMean[i] = priorMean[obsIdx[i]]
+		for j := range sCov[i] {
+			sCov[i][j] = priorCov[obsIdx[i]][obsIdx[j]]
+			if i == j {
+				sCov[i][j] += params.Eta
+			}
+		}
+	}
+	// Dense log N(obs; sMean, sCov).
+	inv := solveDense(sCov)
+	det := denseDet(sCov)
+	var quad float64
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			quad += (obs[i] - sMean[i]) * inv[i][j] * (obs[j] - sMean[j])
+		}
+	}
+	want := -0.5*(float64(d)*math.Log(2*math.Pi)+math.Log(det)) - 0.5*quad
+
+	got, err := LogLikelihood(params, init, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("LogLikelihood = %v, oracle %v", got, want)
+	}
+}
+
+// denseDet computes the determinant by LU-style elimination (test only).
+func denseDet(m [][]float64) float64 {
+	n := len(m)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		copy(a[i], m[i])
+	}
+	det := 1.0
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			det = -det
+		}
+		det *= a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	return det
+}

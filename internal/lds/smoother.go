@@ -1,0 +1,70 @@
+package lds
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Smoothed holds the outputs of the RTS (Rauch-Tung-Striebel) backward pass
+// over a score history of R runs. Index 0 corresponds to the initial state
+// q_0 (the platform prior); indices 1..R correspond to runs 1..R.
+type Smoothed struct {
+	// Mean[t] and Var[t] are E[q_t | S_1..S_R] and Var[q_t | S_1..S_R].
+	Mean []float64
+	Var  []float64
+	// CrossCov[t] is Cov(q_t, q_{t-1} | S_1..S_R) for t = 1..R; CrossCov[0]
+	// is unused and zero.
+	CrossCov []float64
+}
+
+// Smooth runs the forward filter followed by the RTS backward recursion,
+// returning smoothed marginals for q_0..q_R and the lag-one cross
+// covariances EM needs. history[r] is the score set of run r+1.
+func Smooth(p Params, init State, history [][]float64) (*Smoothed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := init.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(history)
+	if n == 0 {
+		return nil, errors.New("lds: cannot smooth an empty history")
+	}
+
+	// Forward pass. filtered[t], predicted[t] for t = 0..n, where
+	// predicted[t] is the prior variance P_t = a^2*V_{t-1} + gamma used by
+	// the backward gain (predicted[0] unused).
+	filtered := make([]State, n+1)
+	predicted := make([]float64, n+1)
+	filtered[0] = init
+	for t := 1; t <= n; t++ {
+		predicted[t] = p.A*p.A*filtered[t-1].Var + p.Gamma
+		next, err := Update(p, filtered[t-1], history[t-1])
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", t, err)
+		}
+		filtered[t] = next
+	}
+
+	// Backward pass.
+	sm := &Smoothed{
+		Mean:     make([]float64, n+1),
+		Var:      make([]float64, n+1),
+		CrossCov: make([]float64, n+1),
+	}
+	sm.Mean[n] = filtered[n].Mean
+	sm.Var[n] = filtered[n].Var
+	for t := n - 1; t >= 0; t-- {
+		// Smoother gain J_t = V_t * a / P_{t+1}.
+		j := filtered[t].Var * p.A / predicted[t+1]
+		sm.Mean[t] = filtered[t].Mean + j*(sm.Mean[t+1]-p.A*filtered[t].Mean)
+		sm.Var[t] = filtered[t].Var + j*j*(sm.Var[t+1]-predicted[t+1])
+		// Lag-one covariance Cov(q_{t+1}, q_t | all) = J_t * V_{t+1|T}.
+		sm.CrossCov[t+1] = j * sm.Var[t+1]
+	}
+	return sm, nil
+}
+
+// Runs returns the number of runs R covered by the smoothed history.
+func (s *Smoothed) Runs() int { return len(s.Mean) - 1 }

@@ -1,0 +1,202 @@
+// Package ledger implements the platform's money-handling substrate: a
+// double-entry ledger with requester escrow and worker balances. A run's
+// budget is escrowed when the run opens, payments move from escrow to
+// worker balances when the auction settles, and the unspent remainder is
+// refunded when the run finishes — making budget feasibility (constraint 9
+// of the paper) an accounting invariant instead of a convention.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Account identifies a ledger account.
+type Account string
+
+// Reserved accounts.
+const (
+	// Requester is the requester's funding account.
+	Requester Account = "requester"
+	// Escrow holds a run's budget between OpenRun and FinishRun.
+	Escrow Account = "escrow"
+)
+
+// EntryKind labels ledger entries.
+type EntryKind string
+
+// The entry kinds.
+const (
+	KindDeposit EntryKind = "deposit"
+	KindEscrow  EntryKind = "escrow"
+	KindPayment EntryKind = "payment"
+	KindRefund  EntryKind = "refund"
+)
+
+// Entry is one immutable ledger record: amount moved from one account to
+// another.
+type Entry struct {
+	Seq    int64
+	Kind   EntryKind
+	From   Account
+	To     Account
+	Amount float64
+	// Memo carries context (task ID, run number).
+	Memo string
+}
+
+// Ledger is a thread-safe double-entry ledger. Every mutation preserves
+// the invariant that the sum of all balances equals the sum of deposits
+// (money is neither created nor destroyed internally).
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[Account]float64
+	entries  []Entry
+	seq      int64
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{balances: make(map[Account]float64)}
+}
+
+// Deposit credits external money into an account.
+func (l *Ledger) Deposit(to Account, amount float64, memo string) (int64, error) {
+	if err := checkAmount(amount); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.balances[to] += amount
+	return l.record(KindDeposit, "", to, amount, memo), nil
+}
+
+// Transfer moves money between accounts, failing on insufficient funds.
+func (l *Ledger) Transfer(kind EntryKind, from, to Account, amount float64, memo string) (int64, error) {
+	if err := checkAmount(amount); err != nil {
+		return 0, err
+	}
+	if from == to {
+		return 0, errors.New("ledger: transfer to self")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.balances[from] < amount-1e-9 {
+		return 0, fmt.Errorf("ledger: insufficient funds in %q: have %.6f, need %.6f",
+			from, l.balances[from], amount)
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	return l.record(kind, from, to, amount, memo), nil
+}
+
+// record appends an entry; callers hold l.mu.
+func (l *Ledger) record(kind EntryKind, from, to Account, amount float64, memo string) int64 {
+	l.seq++
+	l.entries = append(l.entries, Entry{
+		Seq: l.seq, Kind: kind, From: from, To: to, Amount: amount, Memo: memo,
+	})
+	return l.seq
+}
+
+// Balance returns an account's balance (zero for unknown accounts).
+func (l *Ledger) Balance(a Account) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[a]
+}
+
+// Entries returns a copy of the full history.
+func (l *Ledger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Accounts returns all accounts with their balances, sorted by name.
+func (l *Ledger) Accounts() []struct {
+	Account Account
+	Balance float64
+} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]struct {
+		Account Account
+		Balance float64
+	}, 0, len(l.balances))
+	for a, b := range l.balances {
+		out = append(out, struct {
+			Account Account
+			Balance float64
+		}{a, b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Account < out[j].Account })
+	return out
+}
+
+func checkAmount(amount float64) error {
+	if !(amount > 0) || math.IsInf(amount, 0) || math.IsNaN(amount) {
+		return fmt.Errorf("ledger: amount %v must be positive and finite", amount)
+	}
+	return nil
+}
+
+// RunSettlement drives the per-run money flow.
+type RunSettlement struct {
+	ledger *Ledger
+	run    int
+	budget float64
+	spent  float64
+	open   bool
+}
+
+// OpenRun escrows the run's budget from the requester account.
+func (l *Ledger) OpenRun(run int, budget float64) (*RunSettlement, error) {
+	if _, err := l.Transfer(KindEscrow, Requester, Escrow, budget, fmt.Sprintf("run %d budget", run)); err != nil {
+		return nil, err
+	}
+	return &RunSettlement{ledger: l, run: run, budget: budget, open: true}, nil
+}
+
+// Pay settles one assignment from escrow to the worker's account. Payments
+// beyond the escrowed budget are rejected — the accounting form of budget
+// feasibility.
+func (s *RunSettlement) Pay(worker Account, amount float64, taskID string) error {
+	if !s.open {
+		return errors.New("ledger: settlement already closed")
+	}
+	if s.spent+amount > s.budget+1e-9 {
+		return fmt.Errorf("ledger: run %d payment %.6f would exceed budget %.6f (spent %.6f)",
+			s.run, amount, s.budget, s.spent)
+	}
+	if _, err := s.ledger.Transfer(KindPayment, Escrow, worker, amount,
+		fmt.Sprintf("run %d task %s", s.run, taskID)); err != nil {
+		return err
+	}
+	s.spent += amount
+	return nil
+}
+
+// Close refunds the unspent escrow to the requester and seals the
+// settlement.
+func (s *RunSettlement) Close() error {
+	if !s.open {
+		return errors.New("ledger: settlement already closed")
+	}
+	s.open = false
+	remainder := s.budget - s.spent
+	if remainder <= 1e-12 {
+		return nil
+	}
+	_, err := s.ledger.Transfer(KindRefund, Escrow, Requester, remainder,
+		fmt.Sprintf("run %d refund", s.run))
+	return err
+}
+
+// Spent returns the total paid out so far.
+func (s *RunSettlement) Spent() float64 { return s.spent }

@@ -1,0 +1,207 @@
+package ledger
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/experiments"
+	"melody/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDepositAndBalance(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 100, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(Requester); got != 100 {
+		t.Errorf("balance = %v, want 100", got)
+	}
+	if got := l.Balance("nobody"); got != 0 {
+		t.Errorf("unknown balance = %v, want 0", got)
+	}
+	if _, err := l.Deposit(Requester, 0, "zero"); err == nil {
+		t.Error("zero deposit accepted")
+	}
+	if _, err := l.Deposit(Requester, math.NaN(), "nan"); err == nil {
+		t.Error("NaN deposit accepted")
+	}
+}
+
+func TestTransferInsufficientFunds(t *testing.T) {
+	l := New()
+	if _, err := l.Transfer(KindPayment, Requester, "w", 5, "no funds"); err == nil {
+		t.Error("overdraft accepted")
+	}
+	if _, err := l.Transfer(KindPayment, Requester, Requester, 5, "self"); err == nil {
+		t.Error("self transfer accepted")
+	}
+}
+
+func TestConservationOfMoney(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 1000, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(6)
+	accounts := []Account{"w1", "w2", "w3"}
+	for i := 0; i < 200; i++ {
+		amount := r.Uniform(0.1, 5)
+		to := accounts[r.Intn(len(accounts))]
+		if _, err := l.Transfer(KindPayment, Requester, to, amount, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total float64
+	for _, ab := range l.Accounts() {
+		total += ab.Balance
+	}
+	if !almostEqual(total, 1000, 1e-9) {
+		t.Errorf("money not conserved: total %v", total)
+	}
+}
+
+func TestEntriesAreSequencedCopies(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 10, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Transfer(KindPayment, Requester, "w", 4, "b"); err != nil {
+		t.Fatal(err)
+	}
+	entries := l.Entries()
+	if len(entries) != 2 || entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	entries[0].Amount = 999 // mutating the copy must not affect the ledger
+	if l.Entries()[0].Amount != 10 {
+		t.Error("Entries exposed internal state")
+	}
+}
+
+func TestRunSettlementFlow(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 100, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.OpenRun(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(Escrow); got != 60 {
+		t.Errorf("escrow = %v, want 60", got)
+	}
+	if err := s.Pay("w1", 25, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pay("w2", 30, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	// Exceeding the budget must fail even though escrow technically has 5
+	// left and the ledger more.
+	if err := s.Pay("w3", 6, "t3"); err == nil {
+		t.Error("over-budget payment accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(Escrow); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("escrow after close = %v, want 0", got)
+	}
+	if got := l.Balance(Requester); !almostEqual(got, 45, 1e-9) {
+		t.Errorf("requester refund wrong: %v, want 45", got)
+	}
+	if got := s.Spent(); !almostEqual(got, 55, 1e-9) {
+		t.Errorf("spent = %v, want 55", got)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("double close accepted")
+	}
+	if err := s.Pay("w1", 1, "t"); err == nil {
+		t.Error("payment after close accepted")
+	}
+}
+
+func TestOpenRunRequiresFunds(t *testing.T) {
+	l := New()
+	if _, err := l.OpenRun(1, 50); err == nil {
+		t.Error("unfunded escrow accepted")
+	}
+}
+
+// TestSettleAuctionOutcome: settling a real MELODY outcome through the
+// ledger succeeds exactly because the mechanism is budget feasible.
+func TestSettleAuctionOutcome(t *testing.T) {
+	cfg := experiments.PaperSRA()
+	mech, err := core.NewMelody(cfg.AuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := cfg.Instance(stats.NewRNG(8), 120, 80, 300)
+	out, err := mech.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() == 0 {
+		t.Fatal("trivial outcome; instance too small")
+	}
+	l := New()
+	if _, err := l.Deposit(Requester, in.Budget, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.OpenRun(1, in.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Assignments {
+		if err := s.Pay(Account(a.WorkerID), a.Payment, a.TaskID); err != nil {
+			t.Fatalf("settlement failed on a budget-feasible outcome: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.Spent(), out.TotalPayment, 1e-6) {
+		t.Errorf("ledger spent %v != outcome payment %v", s.Spent(), out.TotalPayment)
+	}
+	var workerTotal float64
+	for _, ab := range l.Accounts() {
+		if ab.Account != Requester && ab.Account != Escrow {
+			workerTotal += ab.Balance
+		}
+	}
+	if !almostEqual(workerTotal, out.TotalPayment, 1e-6) {
+		t.Errorf("worker balances %v != total payment %v", workerTotal, out.TotalPayment)
+	}
+}
+
+func TestLedgerConcurrentTransfers(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 10000, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			to := Account("w" + string(rune('0'+g)))
+			for i := 0; i < 100; i++ {
+				if _, err := l.Transfer(KindPayment, Requester, to, 1, "c"); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Balance(Requester); !almostEqual(got, 10000-800, 1e-9) {
+		t.Errorf("requester balance = %v, want 9200", got)
+	}
+	if len(l.Entries()) != 801 {
+		t.Errorf("entries = %d, want 801", len(l.Entries()))
+	}
+}

@@ -1,0 +1,143 @@
+package market
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+func TestWorkerActiveAt(t *testing.T) {
+	tests := []struct {
+		name    string
+		arrival int
+		depart  int
+		run     int
+		want    bool
+	}{
+		{"always present", 0, 0, 1, true},
+		{"before arrival", 5, 0, 4, false},
+		{"at arrival", 5, 0, 5, true},
+		{"before departure", 0, 10, 9, true},
+		{"at departure", 0, 10, 10, false},
+		{"window", 3, 8, 5, true},
+		{"after window", 3, 8, 8, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := &workerpool.Worker{ArrivalRun: tt.arrival, DepartureRun: tt.depart}
+			if got := w.ActiveAt(tt.run); got != tt.want {
+				t.Errorf("ActiveAt(%d) = %v, want %v", tt.run, got, tt.want)
+			}
+		})
+	}
+}
+
+// churnEngine builds a world with one late-arriving worker and one early-
+// departing worker among steady residents.
+func churnEngine(t *testing.T, est quality.Estimator) (*Engine, *workerpool.Worker, *workerpool.Worker) {
+	t.Helper()
+	r := stats.NewRNG(314)
+	flat := func(level float64, runs int) []float64 {
+		traj := make([]float64, runs)
+		for i := range traj {
+			traj[i] = level
+		}
+		return traj
+	}
+	const runs = 20
+	newcomer := &workerpool.Worker{
+		ID: "newcomer", TrueBid: core.Bid{Cost: 1.0, Frequency: 3},
+		Trajectory: flat(9, runs), Strategy: workerpool.Truthful{},
+		ArrivalRun: 11,
+	}
+	leaver := &workerpool.Worker{
+		ID: "leaver", TrueBid: core.Bid{Cost: 1.0, Frequency: 3},
+		Trajectory: flat(9, runs), Strategy: workerpool.Truthful{},
+		DepartureRun: 6,
+	}
+	workers := []*workerpool.Worker{newcomer, leaver}
+	for i := 0; i < 10; i++ {
+		workers = append(workers, &workerpool.Worker{
+			ID:         "resident-" + string(rune('a'+i)),
+			TrueBid:    core.Bid{Cost: 1.2, Frequency: 3},
+			Trajectory: flat(6, runs),
+			Strategy:   workerpool.Truthful{},
+		})
+	}
+	mech, err := core.NewMelody(longTermAuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: est, Workers: workers,
+		TasksPerRun: 5, ThresholdMin: 15, ThresholdMax: 20,
+		Budget: 100, ScoreSigma: 0.5, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, newcomer, leaver
+}
+
+func TestChurnNewcomerAndLeaver(t *testing.T) {
+	est := melodyEstimator(t)
+	eng, newcomer, leaver := churnEngine(t, est)
+
+	newcomerEverAssignedEarly := false
+	leaverEverAssignedLate := false
+	for run := 1; run <= 20; run++ {
+		if run == 11 {
+			// Entering the arrival run, the newcomer's estimate must still
+			// be the prior a*mu0 = 5.5 (Algorithm 3, newcomer branch) — it
+			// has never been observed.
+			if got := est.Estimate(newcomer.ID); got != 5.5 {
+				t.Errorf("newcomer arrival estimate = %v, want prior 5.5", got)
+			}
+		}
+		res, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, newcomerActive := res.WorkerUtilities[newcomer.ID]
+		_, leaverActive := res.WorkerUtilities[leaver.ID]
+		if run < 11 && newcomerActive {
+			newcomerEverAssignedEarly = true
+		}
+		if run >= 6 && leaverActive {
+			leaverEverAssignedLate = true
+		}
+	}
+	if newcomerEverAssignedEarly {
+		t.Error("newcomer participated before arrival")
+	}
+	if leaverEverAssignedLate {
+		t.Error("leaver participated after departure")
+	}
+	// After 10 active runs with latent quality 9 and cheap bids, the
+	// newcomer's estimate should have risen well above the prior.
+	if got := est.Estimate(newcomer.ID); got < 7 {
+		t.Errorf("newcomer estimate after arrival = %v, want > 7", got)
+	}
+}
+
+func TestChurnLeaverEstimateFrozen(t *testing.T) {
+	est := quality.NewMLAllRuns(5.5)
+	eng, _, leaver := churnEngine(t, est)
+	var atDeparture float64
+	for run := 1; run <= 20; run++ {
+		if run == 6 {
+			atDeparture = est.Estimate(leaver.ID)
+		}
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := est.Estimate(leaver.ID); got != atDeparture {
+		t.Errorf("departed worker's estimate moved: %v -> %v", atDeparture, got)
+	}
+}

@@ -1,0 +1,227 @@
+package market
+
+import (
+	"strings"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/lds"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// longTermAuctionConfig mirrors the Section 7.7 setting: qualities live on
+// the score scale [1,10], costs in [1,2].
+func longTermAuctionConfig() core.Config {
+	return core.Config{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2}
+}
+
+func testEngine(t *testing.T, seed int64, est quality.Estimator, n, m, runs int) *Engine {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: n, Runs: runs,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.NewMelody(longTermAuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: est, Workers: workers,
+		TasksPerRun: m, ThresholdMin: 20, ThresholdMax: 40,
+		Budget: 800, ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func melodyEstimator(t *testing.T) *quality.Melody {
+	t.Helper()
+	est, err := quality.NewMelody(quality.MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10,
+		EMWindow: 50,
+		EM:       lds.EMConfig{MaxIter: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestConfigValidate(t *testing.T) {
+	mech, _ := core.NewMelody(longTermAuctionConfig())
+	est := quality.NewMLAllRuns(5.5)
+	w := &workerpool.Worker{ID: "w", TrueBid: core.Bid{Cost: 1, Frequency: 1},
+		Trajectory: []float64{5}, Strategy: workerpool.Truthful{}}
+	valid := Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(), Estimator: est,
+		Workers: []*workerpool.Worker{w}, TasksPerRun: 10,
+		ThresholdMin: 20, ThresholdMax: 40, Budget: 800,
+		ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10, RNG: stats.NewRNG(1),
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(c Config) Config
+	}{
+		{"nil mechanism", func(c Config) Config { c.Mechanism = nil; return c }},
+		{"nil estimator", func(c Config) Config { c.Estimator = nil; return c }},
+		{"no workers", func(c Config) Config { c.Workers = nil; return c }},
+		{"zero tasks", func(c Config) Config { c.TasksPerRun = 0; return c }},
+		{"bad thresholds", func(c Config) Config { c.ThresholdMin = 40; c.ThresholdMax = 20; return c }},
+		{"negative budget", func(c Config) Config { c.Budget = -1; return c }},
+		{"negative sigma", func(c Config) Config { c.ScoreSigma = -1; return c }},
+		{"bad score range", func(c Config) Config { c.ScoreLo = 10; c.ScoreHi = 1; return c }},
+		{"nil rng", func(c Config) Config { c.RNG = nil; return c }},
+		{"nil worker", func(c Config) Config { c.Workers = []*workerpool.Worker{nil}; return c }},
+		{"no strategy", func(c Config) Config {
+			c.Workers = []*workerpool.Worker{{ID: "x", Trajectory: []float64{5}}}
+			return c
+		}},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.mutate(valid).Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestEngineStepBasics(t *testing.T) {
+	eng := testEngine(t, 42, quality.NewMLAllRuns(5.5), 100, 50, 20)
+	res, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run != 1 {
+		t.Errorf("Run = %d, want 1", res.Run)
+	}
+	if res.EstimatedUtility < 0 || res.EstimatedUtility > 50 {
+		t.Errorf("EstimatedUtility = %d out of [0,50]", res.EstimatedUtility)
+	}
+	if res.TrueUtility > res.EstimatedUtility {
+		t.Errorf("TrueUtility %d exceeds EstimatedUtility %d", res.TrueUtility, res.EstimatedUtility)
+	}
+	if res.TotalPayment > 800+1e-9 {
+		t.Errorf("payment %v exceeds budget", res.TotalPayment)
+	}
+	if res.QualifiedWorkers <= 0 {
+		t.Error("no qualified workers in a generous population")
+	}
+	if res.EstimationError < 0 {
+		t.Errorf("negative estimation error %v", res.EstimationError)
+	}
+	if eng.Run() != 1 {
+		t.Errorf("engine run counter = %d", eng.Run())
+	}
+}
+
+func TestEngineStepsAccumulate(t *testing.T) {
+	eng := testEngine(t, 43, quality.NewMLCurrentRun(5.5), 80, 40, 30)
+	results, err := eng.Steps(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Run != i+1 {
+			t.Errorf("result %d has Run %d", i, r.Run)
+		}
+	}
+	if _, err := eng.Steps(0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestEngineWithMelodyEstimatorLearns(t *testing.T) {
+	// Over a long horizon the MELODY estimator must reduce the estimation
+	// error well below the initial run's.
+	est := melodyEstimator(t)
+	eng := testEngine(t, 44, est, 60, 30, 120)
+	results, err := eng.Steps(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := stats.Mean(collectErrors(results[:10]))
+	tail, _ := stats.Mean(collectErrors(results[len(results)-10:]))
+	if tail >= head {
+		t.Errorf("estimation error did not improve: first10=%v last10=%v", head, tail)
+	}
+}
+
+func TestEngineWorkerUtilitiesNonNegativeUnderTruthfulness(t *testing.T) {
+	eng := testEngine(t, 45, quality.NewMLAllRuns(5.5), 80, 40, 20)
+	results, err := eng.Steps(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		for id, u := range res.WorkerUtilities {
+			if u < -1e-9 {
+				t.Fatalf("run %d: truthful worker %s has negative utility %v", res.Run, id, u)
+			}
+		}
+	}
+}
+
+func TestEngineDeterministicGivenSeed(t *testing.T) {
+	run := func() []*RunResult {
+		eng := testEngine(t, 46, quality.NewMLAllRuns(5.5), 50, 25, 10)
+		results, err := eng.Steps(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].EstimatedUtility != b[i].EstimatedUtility ||
+			a[i].TrueUtility != b[i].TrueUtility ||
+			a[i].TotalPayment != b[i].TotalPayment ||
+			a[i].EstimationError != b[i].EstimationError {
+			t.Fatalf("run %d differs between identical seeds", i+1)
+		}
+	}
+}
+
+func TestEngineErrorPropagation(t *testing.T) {
+	// An estimator that errors must surface with run context.
+	eng := testEngine(t, 47, failingEstimator{}, 10, 5, 5)
+	_, err := eng.Step()
+	if err == nil || !strings.Contains(err.Error(), "run 1") {
+		t.Errorf("expected run-context error, got %v", err)
+	}
+}
+
+type failingEstimator struct{}
+
+func (failingEstimator) Name() string            { return "FAIL" }
+func (failingEstimator) Estimate(string) float64 { return 5 }
+func (failingEstimator) Observe(string, []float64) error {
+	return strings.NewReader("").UnreadByte() // any non-nil error
+}
+
+func collectErrors(rs []*RunResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.EstimationError
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"melody/internal/stats"
+)
+
+// Replication is one independent simulation's telemetry.
+type Replication struct {
+	Seed    int64
+	Results []*RunResult
+}
+
+// RunReplications executes independent simulations for every seed, up to
+// `concurrency` at a time, each built by the caller's factory and stepped
+// for `runs` runs. Engines must not share mutable state (each factory call
+// must create fresh estimators, populations and RNGs). The returned
+// replications are ordered by the seeds slice regardless of completion
+// order; the first error cancels nothing but is reported after all
+// goroutines drain (each replication is independent, so partial results
+// remain valid).
+func RunReplications(build func(seed int64) (*Engine, error), seeds []int64, runs, concurrency int) ([]Replication, error) {
+	if build == nil {
+		return nil, errors.New("market: nil engine factory")
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("market: no seeds")
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("market: runs %d must be positive", runs)
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if concurrency > len(seeds) {
+		concurrency = len(seeds)
+	}
+
+	out := make([]Replication, len(seeds))
+	errs := make([]error, len(seeds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				seed := seeds[idx]
+				eng, err := build(seed)
+				if err != nil {
+					errs[idx] = fmt.Errorf("market: seed %d: %w", seed, err)
+					continue
+				}
+				results, err := eng.Steps(runs)
+				if err != nil {
+					errs[idx] = fmt.Errorf("market: seed %d: %w", seed, err)
+					continue
+				}
+				out[idx] = Replication{Seed: seed, Results: results}
+			}
+		}()
+	}
+	for idx := range seeds {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Aggregate summarizes replications into per-run cross-replication means
+// and 95% confidence half-widths (normal approximation) for the estimation
+// error and the true requester utility.
+type Aggregate struct {
+	Runs int
+	// MeanError[r] is the mean estimation error at run r+1 across
+	// replications; ErrorCI95[r] is the 95% confidence half-width.
+	MeanError []float64
+	ErrorCI95 []float64
+	// MeanUtility and UtilityCI95 are the same for true requester utility.
+	MeanUtility []float64
+	UtilityCI95 []float64
+}
+
+// AggregateReplications combines replications; all must have the same
+// number of runs.
+func AggregateReplications(reps []Replication) (*Aggregate, error) {
+	if len(reps) == 0 {
+		return nil, errors.New("market: no replications to aggregate")
+	}
+	runs := len(reps[0].Results)
+	for _, rep := range reps {
+		if len(rep.Results) != runs {
+			return nil, fmt.Errorf("market: replication %d has %d runs, want %d",
+				rep.Seed, len(rep.Results), runs)
+		}
+	}
+	agg := &Aggregate{
+		Runs:        runs,
+		MeanError:   make([]float64, runs),
+		ErrorCI95:   make([]float64, runs),
+		MeanUtility: make([]float64, runs),
+		UtilityCI95: make([]float64, runs),
+	}
+	n := float64(len(reps))
+	for r := 0; r < runs; r++ {
+		var errAcc, utilAcc stats.Accumulator
+		for _, rep := range reps {
+			errAcc.Add(rep.Results[r].EstimationError)
+			utilAcc.Add(float64(rep.Results[r].TrueUtility))
+		}
+		agg.MeanError[r] = errAcc.Mean()
+		agg.MeanUtility[r] = utilAcc.Mean()
+		if len(reps) > 1 {
+			agg.ErrorCI95[r] = 1.96 * math.Sqrt(errAcc.SampleVariance()/n)
+			agg.UtilityCI95[r] = 1.96 * math.Sqrt(utilAcc.SampleVariance()/n)
+		}
+	}
+	return agg, nil
+}
+
+// OverallMeans returns the across-runs averages of the aggregated error
+// and utility, the single-number summaries Section 7.7 reports.
+func (a *Aggregate) OverallMeans() (meanError, meanUtility float64) {
+	me, _ := stats.Mean(a.MeanError)
+	mu, _ := stats.Mean(a.MeanUtility)
+	return me, mu
+}
+
+// Seeds returns n deterministic, well-spread seeds derived from base.
+func Seeds(base int64, n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)*1_000_003
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return seeds
+}

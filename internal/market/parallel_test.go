@@ -1,0 +1,141 @@
+package market
+
+import (
+	"errors"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// buildSmallEngine is a replication factory over a tiny world.
+func buildSmallEngine(t *testing.T) func(seed int64) (*Engine, error) {
+	t.Helper()
+	return func(seed int64) (*Engine, error) {
+		r := stats.NewRNG(seed)
+		workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+			N: 30, Runs: 50,
+			CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+			QualityLo: 1, QualityHi: 10, Noise: 0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mech, err := core.NewMelody(longTermAuctionConfig())
+		if err != nil {
+			return nil, err
+		}
+		return NewEngine(Config{
+			Mechanism: mech, Auction: longTermAuctionConfig(),
+			Estimator: quality.NewMLAllRuns(5.5), Workers: workers,
+			TasksPerRun: 20, ThresholdMin: 20, ThresholdMax: 40,
+			Budget: 200, ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+			RNG: r.Split(),
+		})
+	}
+}
+
+func TestRunReplicationsValidation(t *testing.T) {
+	build := buildSmallEngine(t)
+	if _, err := RunReplications(nil, []int64{1}, 5, 2); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := RunReplications(build, nil, 5, 2); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := RunReplications(build, []int64{1}, 0, 2); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestRunReplicationsParallelMatchesSequential(t *testing.T) {
+	build := buildSmallEngine(t)
+	seeds := Seeds(7, 4)
+
+	parallel, err := RunReplications(build, seeds, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := RunReplications(build, seeds, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if parallel[i].Seed != sequential[i].Seed {
+			t.Fatalf("seed order differs at %d", i)
+		}
+		for r := range parallel[i].Results {
+			p, s := parallel[i].Results[r], sequential[i].Results[r]
+			if p.EstimationError != s.EstimationError || p.TrueUtility != s.TrueUtility {
+				t.Fatalf("seed %d run %d differs between parallel and sequential", seeds[i], r+1)
+			}
+		}
+	}
+}
+
+func TestRunReplicationsPropagatesFactoryError(t *testing.T) {
+	wantErr := errors.New("boom")
+	build := func(seed int64) (*Engine, error) {
+		if seed == 2 {
+			return nil, wantErr
+		}
+		return buildSmallEngine(t)(seed)
+	}
+	_, err := RunReplications(build, []int64{1, 2, 3}, 5, 3)
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestAggregateReplications(t *testing.T) {
+	build := buildSmallEngine(t)
+	reps, err := RunReplications(build, Seeds(11, 3), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateReplications(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 8 || len(agg.MeanError) != 8 || len(agg.MeanUtility) != 8 {
+		t.Fatalf("aggregate shape wrong: %+v", agg)
+	}
+	for r := 0; r < agg.Runs; r++ {
+		if agg.MeanError[r] < 0 || agg.ErrorCI95[r] < 0 || agg.UtilityCI95[r] < 0 {
+			t.Fatalf("negative aggregate at run %d", r+1)
+		}
+	}
+	me, mu := agg.OverallMeans()
+	if me <= 0 || mu < 0 {
+		t.Errorf("overall means = %v, %v", me, mu)
+	}
+}
+
+func TestAggregateReplicationsErrors(t *testing.T) {
+	if _, err := AggregateReplications(nil); err == nil {
+		t.Error("empty aggregation accepted")
+	}
+	ragged := []Replication{
+		{Seed: 1, Results: []*RunResult{{Run: 1}}},
+		{Seed: 2, Results: []*RunResult{{Run: 1}, {Run: 2}}},
+	}
+	if _, err := AggregateReplications(ragged); err == nil {
+		t.Error("ragged replications accepted")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	seeds := Seeds(100, 5)
+	if len(seeds) != 5 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	seen := make(map[int64]bool)
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,91 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RunSpec describes one run's demand side: who is requesting, how many
+// tasks, their threshold range and the budget. The paper's system model
+// (Section 3.1) has several requesters in the cloud with one publicizing a
+// task set per run; a RunSpec generator captures that rotation.
+type RunSpec struct {
+	RequesterID  string
+	Tasks        int
+	ThresholdMin float64
+	ThresholdMax float64
+	Budget       float64
+}
+
+// Validate reports whether the spec can drive a run.
+func (s RunSpec) Validate() error {
+	switch {
+	case s.Tasks <= 0:
+		return fmt.Errorf("market: run spec with %d tasks", s.Tasks)
+	case s.ThresholdMax < s.ThresholdMin || s.ThresholdMin <= 0:
+		return fmt.Errorf("market: run spec threshold range [%v, %v] invalid", s.ThresholdMin, s.ThresholdMax)
+	case s.Budget < 0:
+		return fmt.Errorf("market: run spec budget %v negative", s.Budget)
+	default:
+		return nil
+	}
+}
+
+// RequesterSpec is one requester's standing demand profile.
+type RequesterSpec struct {
+	ID           string
+	Tasks        int
+	ThresholdMin float64
+	ThresholdMax float64
+	Budget       float64
+}
+
+// RotatingRequesters returns a RunSpec generator that cycles round-robin
+// through the given requesters, one per run, as in the paper's multi-
+// requester model.
+func RotatingRequesters(requesters []RequesterSpec) (func(run int) RunSpec, error) {
+	if len(requesters) == 0 {
+		return nil, errors.New("market: no requesters")
+	}
+	seen := make(map[string]bool, len(requesters))
+	for i, r := range requesters {
+		if r.ID == "" {
+			return nil, fmt.Errorf("market: requester %d has empty ID", i)
+		}
+		if seen[r.ID] {
+			return nil, fmt.Errorf("market: duplicate requester %q", r.ID)
+		}
+		seen[r.ID] = true
+		spec := RunSpec{
+			RequesterID:  r.ID,
+			Tasks:        r.Tasks,
+			ThresholdMin: r.ThresholdMin,
+			ThresholdMax: r.ThresholdMax,
+			Budget:       r.Budget,
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("market: requester %q: %w", r.ID, err)
+		}
+	}
+	reqs := make([]RequesterSpec, len(requesters))
+	copy(reqs, requesters)
+	return func(run int) RunSpec {
+		r := reqs[run%len(reqs)]
+		return RunSpec{
+			RequesterID:  r.ID,
+			Tasks:        r.Tasks,
+			ThresholdMin: r.ThresholdMin,
+			ThresholdMax: r.ThresholdMax,
+			Budget:       r.Budget,
+		}
+	}, nil
+}
+
+// PerRequester groups run results by requester ID.
+func PerRequester(results []*RunResult) map[string][]*RunResult {
+	out := make(map[string][]*RunResult)
+	for _, r := range results {
+		out[r.RequesterID] = append(out[r.RequesterID], r)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package market
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+func TestRunSpecValidate(t *testing.T) {
+	good := RunSpec{Tasks: 5, ThresholdMin: 10, ThresholdMax: 20, Budget: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []RunSpec{
+		{Tasks: 0, ThresholdMin: 10, ThresholdMax: 20, Budget: 100},
+		{Tasks: 5, ThresholdMin: 20, ThresholdMax: 10, Budget: 100},
+		{Tasks: 5, ThresholdMin: 0, ThresholdMax: 20, Budget: 100},
+		{Tasks: 5, ThresholdMin: 10, ThresholdMax: 20, Budget: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestRotatingRequestersValidation(t *testing.T) {
+	if _, err := RotatingRequesters(nil); err == nil {
+		t.Error("empty requesters accepted")
+	}
+	if _, err := RotatingRequesters([]RequesterSpec{
+		{ID: "", Tasks: 5, ThresholdMin: 10, ThresholdMax: 20, Budget: 100},
+	}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := RotatingRequesters([]RequesterSpec{
+		{ID: "a", Tasks: 5, ThresholdMin: 10, ThresholdMax: 20, Budget: 100},
+		{ID: "a", Tasks: 5, ThresholdMin: 10, ThresholdMax: 20, Budget: 100},
+	}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := RotatingRequesters([]RequesterSpec{
+		{ID: "a", Tasks: 0, ThresholdMin: 10, ThresholdMax: 20, Budget: 100},
+	}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRotatingRequestersCycle(t *testing.T) {
+	spec, err := RotatingRequesters([]RequesterSpec{
+		{ID: "alpha", Tasks: 3, ThresholdMin: 10, ThresholdMax: 20, Budget: 50},
+		{ID: "beta", Tasks: 7, ThresholdMin: 30, ThresholdMax: 40, Budget: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		s := spec(run)
+		wantID := "alpha"
+		if run%2 == 1 {
+			wantID = "beta"
+		}
+		if s.RequesterID != wantID {
+			t.Errorf("run %d requester = %s, want %s", run, s.RequesterID, wantID)
+		}
+	}
+	if spec(1).Budget != 200 || spec(0).Tasks != 3 {
+		t.Error("spec fields not carried through")
+	}
+}
+
+func TestEngineWithRotatingRequesters(t *testing.T) {
+	r := stats.NewRNG(606)
+	workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: 40, Runs: 20,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := RotatingRequesters([]RequesterSpec{
+		{ID: "labels-inc", Tasks: 10, ThresholdMin: 20, ThresholdMax: 30, Budget: 150},
+		{ID: "sense-co", Tasks: 30, ThresholdMin: 10, ThresholdMax: 15, Budget: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.NewMelody(longTermAuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: quality.NewMLAllRuns(5.5), Workers: workers,
+		Spec:       spec,
+		ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.Steps(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := PerRequester(results)
+	if len(grouped["labels-inc"]) != 5 || len(grouped["sense-co"]) != 5 {
+		t.Fatalf("grouping = %d/%d, want 5/5", len(grouped["labels-inc"]), len(grouped["sense-co"]))
+	}
+	for _, res := range grouped["labels-inc"] {
+		if res.TotalPayment > 150+1e-9 {
+			t.Errorf("labels-inc run %d overspent: %v", res.Run, res.TotalPayment)
+		}
+		if res.EstimatedUtility > 10 {
+			t.Errorf("labels-inc run %d satisfied %d > 10 tasks", res.Run, res.EstimatedUtility)
+		}
+	}
+	for _, res := range grouped["sense-co"] {
+		if res.TotalPayment > 60+1e-9 {
+			t.Errorf("sense-co run %d overspent: %v", res.Run, res.TotalPayment)
+		}
+	}
+}
+
+func TestEngineSpecValidationFailsLazily(t *testing.T) {
+	r := stats.NewRNG(607)
+	workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: 5, Runs: 5,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.NewMelody(longTermAuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: quality.NewMLAllRuns(5.5), Workers: workers,
+		Spec:       func(int) RunSpec { return RunSpec{} }, // invalid per-run
+		ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(); err == nil {
+		t.Error("invalid per-run spec accepted")
+	}
+}

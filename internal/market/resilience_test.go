@@ -1,0 +1,133 @@
+package market
+
+// Resilience tests: degenerate worlds must produce empty-but-valid runs,
+// never panics or corrupted telemetry.
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+func degenerateEngine(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	r := stats.NewRNG(777)
+	workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: 20, Runs: 10,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 3,
+		QualityLo: 1, QualityHi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := core.NewMelody(longTermAuctionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: quality.NewMLAllRuns(5.5), Workers: workers,
+		TasksPerRun: 10, ThresholdMin: 20, ThresholdMax: 40,
+		Budget: 200, ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	}
+	mutate(&cfg)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEngineUnsatisfiableThresholds(t *testing.T) {
+	// Thresholds no pool of 20 workers can cover: every run must complete
+	// with zero utility and zero payment, and telemetry stays sane.
+	eng := degenerateEngine(t, func(c *Config) {
+		c.ThresholdMin = 5000
+		c.ThresholdMax = 6000
+	})
+	for run := 0; run < 5; run++ {
+		res, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EstimatedUtility != 0 || res.TrueUtility != 0 || res.TotalPayment != 0 {
+			t.Fatalf("unsatisfiable run produced utility %d/%d payment %v",
+				res.EstimatedUtility, res.TrueUtility, res.TotalPayment)
+		}
+		if res.EstimationError < 0 {
+			t.Fatal("negative estimation error")
+		}
+	}
+}
+
+func TestEngineAllWorkersDisqualified(t *testing.T) {
+	// A qualification interval that no bid can satisfy: runs proceed with
+	// zero qualified workers.
+	eng := degenerateEngine(t, func(c *Config) {
+		narrow := core.Config{QualityMin: 100, QualityMax: 200, CostMin: 1, CostMax: 2}
+		mech, err := core.NewMelody(narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Mechanism = mech
+		c.Auction = narrow
+	})
+	res, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QualifiedWorkers != 0 {
+		t.Errorf("qualified = %d, want 0", res.QualifiedWorkers)
+	}
+	if res.EstimationError != 0 {
+		t.Errorf("estimation error over empty set = %v, want 0", res.EstimationError)
+	}
+	if res.EstimatedUtility != 0 {
+		t.Errorf("utility = %d, want 0", res.EstimatedUtility)
+	}
+}
+
+func TestEngineZeroBudget(t *testing.T) {
+	eng := degenerateEngine(t, func(c *Config) { c.Budget = 0 })
+	res, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPayment != 0 || res.EstimatedUtility != 0 {
+		t.Errorf("zero-budget run paid %v for %d tasks", res.TotalPayment, res.EstimatedUtility)
+	}
+}
+
+func TestRandomMechanismDeterministicGivenSeed(t *testing.T) {
+	cfgRun := func() *core.Outcome {
+		rnd, err := core.NewRandom(longTermAuctionConfig(), stats.NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRNG(5)
+		in := core.Instance{Budget: 100}
+		for i := 0; i < 30; i++ {
+			in.Workers = append(in.Workers, core.Worker{
+				ID:      string(rune('a' + i)),
+				Bid:     core.Bid{Cost: r.Uniform(1, 2), Frequency: 2},
+				Quality: r.Uniform(1, 10),
+			})
+		}
+		for j := 0; j < 10; j++ {
+			in.Tasks = append(in.Tasks, core.Task{ID: string(rune('A' + j)), Threshold: r.Uniform(10, 20)})
+		}
+		out, err := rnd.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := cfgRun(), cfgRun()
+	if a.TotalPayment != b.TotalPayment || len(a.Assignments) != len(b.Assignments) {
+		t.Error("RANDOM with identical seeds diverged")
+	}
+}

@@ -1,0 +1,177 @@
+package platform
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx platform response, carrying the HTTP status and the
+// server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("platform: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Client talks to a platform Server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the platform at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for a default with a 10s
+// timeout.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("platform: empty base URL")
+	}
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("platform: invalid base URL: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+}
+
+// do issues a request with optional JSON body and decodes a JSON response
+// into out (which may be nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("platform: encode request: %w", err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("platform: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("platform: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			apiErr.Error = resp.Status
+		}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("platform: decode response: %w", err)
+	}
+	return nil
+}
+
+// Status fetches the platform's current run phase.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var out StatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &out)
+	return out, err
+}
+
+// RegisterWorker registers a worker ID.
+func (c *Client) RegisterWorker(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers", RegisterWorkerRequest{WorkerID: workerID}, nil)
+}
+
+// Workers lists registered worker IDs.
+func (c *Client) Workers(ctx context.Context) ([]string, error) {
+	var out WorkersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Workers, nil
+}
+
+// Quality fetches the platform's quality estimate for a worker.
+func (c *Client) Quality(ctx context.Context, workerID string) (float64, error) {
+	var out QualityResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/workers/"+url.PathEscape(workerID)+"/quality", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Quality, nil
+}
+
+// Forecast fetches the k-step-ahead predictive distribution of a worker's
+// quality with its 95% credible interval.
+func (c *Client) Forecast(ctx context.Context, workerID string, steps int) (ForecastResponse, error) {
+	var out ForecastResponse
+	path := fmt.Sprintf("/v1/workers/%s/forecast?steps=%d", url.PathEscape(workerID), steps)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// OpenRun starts a run with the given tasks and budget.
+func (c *Client) OpenRun(ctx context.Context, tasks []TaskSpec, budget float64) error {
+	return c.do(ctx, http.MethodPost, "/v1/runs", OpenRunRequest{Tasks: tasks, Budget: budget}, nil)
+}
+
+// SubmitBid submits or replaces a worker's bid for the open run.
+func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
+	return c.do(ctx, http.MethodPost, "/v1/runs/current/bids",
+		BidRequest{WorkerID: workerID, Cost: cost, Frequency: frequency}, nil)
+}
+
+// CloseAuction ends bidding and returns the allocation.
+func (c *Client) CloseAuction(ctx context.Context) (OutcomeResponse, error) {
+	var out OutcomeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runs/current/close", nil, &out)
+	return out, err
+}
+
+// Outcome fetches the current run's allocation after the auction closed.
+func (c *Client) Outcome(ctx context.Context) (OutcomeResponse, error) {
+	var out OutcomeResponse
+	err := c.do(ctx, http.MethodGet, "/v1/runs/current/outcome", nil, &out)
+	return out, err
+}
+
+// SubmitAnswer uploads a worker's answer for an assigned task.
+func (c *Client) SubmitAnswer(ctx context.Context, workerID, taskID, payload string) error {
+	return c.do(ctx, http.MethodPost, "/v1/runs/current/answers",
+		AnswerRequest{WorkerID: workerID, TaskID: taskID, Payload: payload}, nil)
+}
+
+// Answers lists the answers submitted so far in the current run.
+func (c *Client) Answers(ctx context.Context) ([]Answer, error) {
+	var out AnswersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/current/answers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Answers, nil
+}
+
+// SubmitScore records the requester's score for an answer.
+func (c *Client) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
+	return c.do(ctx, http.MethodPost, "/v1/runs/current/scores",
+		ScoreRequest{WorkerID: workerID, TaskID: taskID, Score: score}, nil)
+}
+
+// FinishRun completes the run and triggers the quality update.
+func (c *Client) FinishRun(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/runs/current/finish", nil, nil)
+}

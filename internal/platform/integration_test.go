@@ -1,0 +1,243 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// TestEndToEndWithConcurrentAgents spins up the HTTP platform, a fleet of
+// autonomous worker agents and a requester, then drives several complete
+// runs. It checks that allocations happen, scores flow back, and the
+// platform's quality estimates converge toward the agents' latent
+// qualities.
+func TestEndToEndWithConcurrentAgents(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	r := stats.NewRNG(2024)
+	const nAgents = 8
+	latents := make(map[string]float64, nAgents)
+	agents := make([]*WorkerAgent, 0, nAgents)
+	for i := 0; i < nAgents; i++ {
+		id := fmt.Sprintf("agent-%02d", i)
+		latent := r.Uniform(4, 9)
+		latents[id] = latent
+		agent, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+			Client:        client,
+			WorkerID:      id,
+			Cost:          r.Uniform(1, 2),
+			Frequency:     2,
+			LatentQuality: func(int) float64 { return latent },
+			ScoreSigma:    0.5,
+			PollInterval:  10 * time.Millisecond,
+			RNG:           r.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, agent)
+	}
+	defer func() {
+		for _, a := range agents {
+			if err := a.Stop(); err != nil {
+				t.Errorf("agent stop: %v", err)
+			}
+		}
+	}()
+
+	requester, err := NewRequester(RequesterConfig{
+		Client: client,
+		Tasks: func(run int) []TaskSpec {
+			return []TaskSpec{
+				{ID: fmt.Sprintf("r%d-a", run), Threshold: 12},
+				{ID: fmt.Sprintf("r%d-b", run), Threshold: 12},
+			}
+		},
+		Budget:        200,
+		BidWait:       250 * time.Millisecond,
+		AnswerTimeout: 5 * time.Second,
+		ScoreLo:       1, ScoreHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalSelected := 0
+	for run := 1; run <= 5; run++ {
+		out, err := requester.RunOnce(ctx, run)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		totalSelected += len(out.SelectedTasks)
+	}
+	if totalSelected == 0 {
+		t.Fatal("no tasks were ever selected across five runs")
+	}
+
+	// Quality estimates of workers who actually won tasks should have moved
+	// toward their latent qualities.
+	moved := 0
+	for id, latent := range latents {
+		q, err := client.Quality(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != 5.5 { // initial estimate
+			moved++
+			if diff := q - latent; diff > 3 || diff < -3 {
+				t.Errorf("worker %s: estimate %.2f far from latent %.2f", id, q, latent)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no quality estimate ever moved; scores did not flow")
+	}
+}
+
+// TestWorkerAgentStopsCleanly verifies the managed-goroutine contract: Stop
+// returns promptly even mid-poll.
+func TestWorkerAgentStopsCleanly(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx := context.Background()
+	agent, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+		Client:        client,
+		WorkerID:      "loner",
+		Cost:          1.5,
+		Frequency:     1,
+		LatentQuality: func(int) float64 { return 5 },
+		ScoreSigma:    1,
+		PollInterval:  5 * time.Millisecond,
+		RNG:           stats.NewRNG(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- agent.Stop() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Stop() = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent did not stop within 2s")
+	}
+}
+
+func TestNewWorkerAgentValidation(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx := context.Background()
+	if _, err := NewWorkerAgent(ctx, WorkerAgentConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+		Client: client, WorkerID: "w",
+		LatentQuality: func(int) float64 { return 5 },
+	}); err == nil {
+		t.Error("missing RNG accepted")
+	}
+}
+
+func TestNewRequesterValidation(t *testing.T) {
+	_, client := newTestServer(t)
+	if _, err := NewRequester(RequesterConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewRequester(RequesterConfig{
+		Client: client,
+		Tasks:  func(int) []TaskSpec { return nil },
+		// ScoreHi <= ScoreLo
+	}); err == nil {
+		t.Error("invalid score range accepted")
+	}
+}
+
+// TestAgentWithDriftingQuality exercises a worker whose latent quality
+// follows a rising trajectory, confirming the platform's estimate follows.
+func TestAgentWithDriftingQuality(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	r := stats.NewRNG(77)
+	traj, err := workerpool.Generate(r.Split(), workerpool.TrajectoryConfig{
+		Pattern: workerpool.Rising, Runs: 12, Lo: 1, Hi: 10, Noise: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rising agent plus two stable helpers so tasks can be covered and
+	// a pivot exists.
+	riser, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+		Client:   client,
+		WorkerID: "riser",
+		Cost:     1.0, Frequency: 2,
+		LatentQuality: func(run int) float64 {
+			if run-1 < len(traj) && run >= 1 {
+				return traj[run-1]
+			}
+			return traj[len(traj)-1]
+		},
+		ScoreSigma:   0.3,
+		PollInterval: 10 * time.Millisecond,
+		RNG:          r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer riser.Stop()
+	for i := 0; i < 3; i++ {
+		helper, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+			Client:   client,
+			WorkerID: fmt.Sprintf("helper-%d", i),
+			Cost:     1.4, Frequency: 2,
+			LatentQuality: func(int) float64 { return 6 },
+			ScoreSigma:    0.3,
+			PollInterval:  10 * time.Millisecond,
+			RNG:           r.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer helper.Stop()
+	}
+
+	requester, err := NewRequester(RequesterConfig{
+		Client: client,
+		Tasks: func(run int) []TaskSpec {
+			return []TaskSpec{{ID: fmt.Sprintf("r%d", run), Threshold: 10}}
+		},
+		Budget:        100,
+		BidWait:       200 * time.Millisecond,
+		AnswerTimeout: 5 * time.Second,
+		ScoreLo:       1, ScoreHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late float64
+	for run := 1; run <= 10; run++ {
+		if _, err := requester.RunOnce(ctx, run); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		q, err := client.Quality(ctx, "riser")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run == 3 {
+			early = q
+		}
+		if run == 10 {
+			late = q
+		}
+	}
+	if late <= early {
+		t.Errorf("rising worker's estimate did not rise: run3=%.2f run10=%.2f", early, late)
+	}
+}

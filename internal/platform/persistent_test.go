@@ -1,0 +1,135 @@
+package platform
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"melody"
+	"melody/internal/eventlog"
+)
+
+// The write-ahead-logged platform must satisfy the server's backend
+// contract.
+var _ Backend = (*eventlog.PersistentPlatform)(nil)
+
+func buildPlatform(t *testing.T) *melody.Platform {
+	t.Helper()
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10, EMWindow: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPersistentServerSurvivesRestart drives runs over HTTP against a
+// WAL-backed server, "crashes" it, boots a replacement from the same log,
+// and checks the state carried over.
+func TestPersistentServerSurvivesRestart(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "platform.wal")
+	ctx := context.Background()
+
+	boot := func() (*httptest.Server, *Client, *eventlog.Log) {
+		backend, wal, err := eventlog.OpenPersistent(walPath, buildPlatform(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(backend, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		client, err := NewClient(ts.URL, ts.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts, client, wal
+	}
+
+	// First life: register workers and complete two runs.
+	ts, c, wal := boot()
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if err := c.RegisterWorker(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastQuality float64
+	for run := 1; run <= 2; run++ {
+		if err := c.OpenRun(ctx, []TaskSpec{{ID: taskID(run), Threshold: 9}}, 50); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []string{"w1", "w2", "w3"} {
+			if err := c.SubmitBid(ctx, id, 1.2, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := c.CloseAuction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range out.Assignments {
+			if err := c.SubmitScore(ctx, a.WorkerID, a.TaskID, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.FinishRun(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := c.Quality(ctx, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastQuality = q
+	// Crash: close the server and the log.
+	ts.Close()
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: same log, fresh platform.
+	ts2, c2, wal2 := boot()
+	defer ts2.Close()
+	defer wal2.Close()
+
+	st, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 {
+		t.Errorf("restored workers = %d, want 3", st.Workers)
+	}
+	q2, err := c2.Quality(ctx, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != lastQuality {
+		t.Errorf("restored quality %v != pre-crash %v", q2, lastQuality)
+	}
+	// The restored platform accepts the next run.
+	if err := c2.OpenRun(ctx, []TaskSpec{{ID: "after-restart", Threshold: 9}}, 50); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if err := c2.SubmitBid(ctx, id, 1.2, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c2.CloseAuction(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func taskID(run int) string { return "task-" + string(rune('0'+run)) }

@@ -1,0 +1,318 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"melody"
+)
+
+// Backend is the platform surface the HTTP server drives. It is satisfied
+// by *melody.Platform and by eventlog.PersistentPlatform (the write-ahead-
+// logged variant used with -wal).
+type Backend interface {
+	RegisterWorker(workerID string) error
+	OpenRun(tasks []melody.Task, budget float64) error
+	SubmitBid(workerID string, bid melody.Bid) error
+	CloseAuction() (*melody.Outcome, error)
+	SubmitScore(workerID, taskID string, score float64) error
+	FinishRun() error
+	Workers() []string
+	Run() int
+	Quality(workerID string) (float64, error)
+	Forecast(workerID string, steps int) (melody.QualityForecast, error)
+}
+
+var _ Backend = (*melody.Platform)(nil)
+
+// Server exposes a platform Backend over HTTP. It adds the answer-routing
+// layer (workers submit answers, the requester fetches them for scoring)
+// that the core platform leaves to the deployment.
+type Server struct {
+	platform Backend
+	logger   *log.Logger
+
+	mu      sync.Mutex
+	phase   Phase
+	run     int // 1-based index of the run currently open (or last opened)
+	answers []Answer
+	outcome *OutcomeResponse
+}
+
+// NewServer wraps a platform backend in an HTTP API. logger may be nil to
+// disable request logging.
+func NewServer(p Backend, logger *log.Logger) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("platform: nil platform")
+	}
+	return &Server{platform: p, logger: logger, phase: PhaseIdle}, nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
+	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
+	mux.HandleFunc("GET /v1/workers/{id}/quality", s.handleQuality)
+	mux.HandleFunc("GET /v1/workers/{id}/forecast", s.handleForecast)
+	mux.HandleFunc("POST /v1/runs", s.handleOpenRun)
+	mux.HandleFunc("POST /v1/runs/current/bids", s.handleBid)
+	mux.HandleFunc("POST /v1/runs/current/close", s.handleClose)
+	mux.HandleFunc("GET /v1/runs/current/outcome", s.handleOutcome)
+	mux.HandleFunc("POST /v1/runs/current/answers", s.handleAnswer)
+	mux.HandleFunc("GET /v1/runs/current/answers", s.handleListAnswers)
+	mux.HandleFunc("POST /v1/runs/current/scores", s.handleScore)
+	mux.HandleFunc("POST /v1/runs/current/finish", s.handleFinish)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; nothing more we can do.
+		return
+	}
+}
+
+// writeError maps platform errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, melody.ErrRunOpen),
+		errors.Is(err, melody.ErrAuctionClosed),
+		errors.Is(err, melody.ErrAuctionOpen),
+		errors.Is(err, melody.ErrNoRunOpen):
+		status = http.StatusConflict
+	case errors.Is(err, melody.ErrUnknownWorker),
+		errors.Is(err, melody.ErrNotAssigned):
+		status = http.StatusNotFound
+	case errors.Is(err, melody.ErrNoForecast):
+		status = http.StatusNotImplemented
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody decodes a JSON body, rejecting unknown fields.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("platform: invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	phase := s.phase
+	run := s.run
+	s.mu.Unlock()
+	if phase == PhaseIdle {
+		run = s.platform.Run()
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Run:     run,
+		Phase:   phase,
+		Workers: len(s.platform.Workers()),
+	})
+}
+
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req RegisterWorkerRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.platform.RegisterWorker(req.WorkerID); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("registered worker %s", req.WorkerID)
+	writeJSON(w, http.StatusCreated, struct{}{})
+}
+
+func (s *Server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, WorkersResponse{Workers: s.platform.Workers()})
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q, err := s.platform.Quality(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QualityResponse{WorkerID: id, Quality: q})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	steps := 1
+	if raw := r.URL.Query().Get("steps"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid steps parameter"})
+			return
+		}
+		steps = v
+	}
+	f, err := s.platform.Forecast(id, steps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	lo, hi, err := f.Interval(0.95)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ForecastResponse{
+		WorkerID: id, Steps: f.Steps, Mean: f.Mean, Variance: f.Var, Lo95: lo, Hi95: hi,
+	})
+}
+
+func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
+	var req OpenRunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	tasks := make([]melody.Task, len(req.Tasks))
+	for i, t := range req.Tasks {
+		tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
+	}
+	if err := s.platform.OpenRun(tasks, req.Budget); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.run = s.platform.Run() + 1
+	s.phase = PhaseBidding
+	s.answers = nil
+	s.outcome = nil
+	s.mu.Unlock()
+	s.logf("run %d opened with %d tasks, budget %g", s.run, len(tasks), req.Budget)
+	writeJSON(w, http.StatusCreated, struct{}{})
+}
+
+func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
+	var req BidRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	bid := melody.Bid{Cost: req.Cost, Frequency: req.Frequency}
+	if err := s.platform.SubmitBid(req.WorkerID, bid); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
+	out, err := s.platform.CloseAuction()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := toOutcomeResponse(out)
+	s.mu.Lock()
+	s.phase = PhaseScoring
+	s.outcome = &resp
+	s.mu.Unlock()
+	s.logf("run %d auction closed: %d tasks selected, payment %.3f",
+		s.run, len(resp.SelectedTasks), resp.TotalPayment)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleOutcome(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := s.outcome
+	s.mu.Unlock()
+	if out == nil {
+		writeError(w, melody.ErrAuctionOpen)
+		return
+	}
+	writeJSON(w, http.StatusOK, *out)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req AnswerRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase != PhaseScoring {
+		writeError(w, melody.ErrAuctionOpen)
+		return
+	}
+	if s.outcome == nil || !s.assignedLocked(req.WorkerID, req.TaskID) {
+		writeError(w, fmt.Errorf("%w: worker %s task %s", melody.ErrNotAssigned, req.WorkerID, req.TaskID))
+		return
+	}
+	s.answers = append(s.answers, Answer{
+		WorkerID: req.WorkerID, TaskID: req.TaskID, Payload: req.Payload,
+	})
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+// assignedLocked reports whether (worker, task) is in the current outcome.
+// Callers must hold s.mu.
+func (s *Server) assignedLocked(workerID, taskID string) bool {
+	for _, a := range s.outcome.Assignments {
+		if a.WorkerID == workerID && a.TaskID == taskID {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleListAnswers(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	answers := append([]Answer(nil), s.answers...)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, AnswersResponse{Answers: answers})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.platform.SubmitScore(req.WorkerID, req.TaskID, req.Score); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, _ *http.Request) {
+	if err := s.platform.FinishRun(); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.phase = PhaseIdle
+	s.answers = nil
+	s.outcome = nil
+	s.mu.Unlock()
+	s.logf("run finished; %d total runs completed", s.platform.Run())
+	writeJSON(w, http.StatusOK, struct{}{})
+}

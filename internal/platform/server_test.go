@@ -1,0 +1,248 @@
+package platform
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"melody"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10, EMWindow: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, client
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Error("nil platform accepted")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient("", nil); err == nil {
+		t.Error("empty URL accepted")
+	}
+	if _, err := NewClient("http://x", nil); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}
+
+func TestStatusIdle(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != PhaseIdle || st.Run != 0 || st.Workers != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestFullRunOverHTTP(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if err := c.RegisterWorker(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	workers, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 3 {
+		t.Fatalf("workers = %v", workers)
+	}
+
+	tasks := []TaskSpec{{ID: "t1", Threshold: 9}, {ID: "t2", Threshold: 9}}
+	if err := c.OpenRun(ctx, tasks, 100); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != PhaseBidding || st.Run != 1 {
+		t.Errorf("status after open = %+v", st)
+	}
+
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if err := c.SubmitBid(ctx, id, 1.2, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := c.CloseAuction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SelectedTasks) == 0 {
+		t.Fatal("no tasks selected")
+	}
+	got, err := c.Outcome(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Assignments) != len(out.Assignments) {
+		t.Errorf("Outcome mismatch: %d vs %d", len(got.Assignments), len(out.Assignments))
+	}
+
+	for _, a := range out.Assignments {
+		if err := c.SubmitAnswer(ctx, a.WorkerID, a.TaskID, AnswerPayload(7.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	answers, err := c.Answers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(out.Assignments) {
+		t.Fatalf("answers = %d, want %d", len(answers), len(out.Assignments))
+	}
+	for _, ans := range answers {
+		sample, err := ParseAnswerPayload(ans.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SubmitScore(ctx, ans.WorkerID, ans.TaskID, sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FinishRun(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != PhaseIdle || st.Run != 1 {
+		t.Errorf("status after finish = %+v", st)
+	}
+	q, err := c.Quality(ctx, out.Assignments[0].WorkerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 5.5 {
+		t.Errorf("scored worker quality %v did not rise", q)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	ts, c := newTestServer(t)
+	ctx := context.Background()
+
+	// Conflict: bid with no open run.
+	err := c.SubmitBid(ctx, "w", 1, 1)
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Errorf("bid without run = %v", err)
+	}
+	// Not found: quality of unknown worker.
+	_, err = c.Quality(ctx, "ghost")
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown quality = %v", err)
+	}
+	// Bad request: malformed JSON body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/workers", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+	// Unknown field rejected.
+	resp, err = ts.Client().Post(ts.URL+"/v1/workers", "application/json",
+		strings.NewReader(`{"workerId":"w","extra":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d", resp.StatusCode)
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestAnswerValidation(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	if err := c.RegisterWorker(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenRun(ctx, []TaskSpec{{ID: "t", Threshold: 3}}, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Answers before close are rejected.
+	if err := c.SubmitAnswer(ctx, "w1", "t", AnswerPayload(5)); err == nil {
+		t.Error("answer before close accepted")
+	}
+	if err := c.SubmitBid(ctx, "w1", 1.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One worker cannot satisfy threshold 3 alone unless quality suffices;
+	// initial estimate 5.5 >= 3 so the task can be covered, but there is no
+	// pivot worker -> no allocation. Answer for unassigned pair must 404.
+	if _, err := c.CloseAuction(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := c.SubmitAnswer(ctx, "w1", "t", AnswerPayload(5))
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unassigned answer = %v", err)
+	}
+}
+
+func TestParseAnswerPayload(t *testing.T) {
+	p := AnswerPayload(7.25)
+	v, err := ParseAnswerPayload(p)
+	if err != nil || v != 7.25 {
+		t.Errorf("round trip = %v, %v", v, err)
+	}
+	if _, err := ParseAnswerPayload("garbage"); err == nil {
+		t.Error("garbage payload accepted")
+	}
+	if _, err := ParseAnswerPayload("q=notanumber"); err == nil {
+		t.Error("non-numeric payload accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package platform exposes the MELODY crowdsourcing platform over HTTP:
+// a JSON API for worker registration, bidding, allocation, answer
+// submission and scoring, mirroring the paper's Fig. 2 workflow, plus a Go
+// client and ready-made worker/requester agents. The cmd/melody-platform,
+// cmd/melody-worker and cmd/melody-requester binaries are thin wrappers
+// around this package.
+package platform
+
+import "melody"
+
+// Phase describes where the current run is in its lifecycle.
+type Phase string
+
+// Run phases, surfaced by GET /v1/status.
+const (
+	// PhaseIdle means no run is open.
+	PhaseIdle Phase = "idle"
+	// PhaseBidding means a run is open and accepting bids.
+	PhaseBidding Phase = "bidding"
+	// PhaseScoring means the auction closed; answers and scores are being
+	// collected.
+	PhaseScoring Phase = "scoring"
+)
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	// Run is the 1-based index of the current run while one is open, or the
+	// number of completed runs when idle.
+	Run int `json:"run"`
+	// Phase is the lifecycle phase.
+	Phase Phase `json:"phase"`
+	// Workers is the number of registered workers.
+	Workers int `json:"workers"`
+}
+
+// RegisterWorkerRequest is the body of POST /v1/workers.
+type RegisterWorkerRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+// WorkersResponse is the body of GET /v1/workers.
+type WorkersResponse struct {
+	Workers []string `json:"workers"`
+}
+
+// QualityResponse is the body of GET /v1/workers/{id}/quality.
+type QualityResponse struct {
+	WorkerID string  `json:"workerId"`
+	Quality  float64 `json:"quality"`
+}
+
+// ForecastResponse is the body of GET /v1/workers/{id}/forecast: the
+// k-step-ahead predictive distribution with a 95% credible interval.
+type ForecastResponse struct {
+	WorkerID string  `json:"workerId"`
+	Steps    int     `json:"steps"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	Lo95     float64 `json:"lo95"`
+	Hi95     float64 `json:"hi95"`
+}
+
+// TaskSpec is one task in an OpenRunRequest.
+type TaskSpec struct {
+	ID        string  `json:"id"`
+	Threshold float64 `json:"threshold"`
+}
+
+// OpenRunRequest is the body of POST /v1/runs.
+type OpenRunRequest struct {
+	Tasks  []TaskSpec `json:"tasks"`
+	Budget float64    `json:"budget"`
+}
+
+// BidRequest is the body of POST /v1/runs/current/bids.
+type BidRequest struct {
+	WorkerID  string  `json:"workerId"`
+	Cost      float64 `json:"cost"`
+	Frequency int     `json:"frequency"`
+}
+
+// AssignmentSpec is one allocated (worker, task, payment) triple.
+type AssignmentSpec struct {
+	WorkerID string  `json:"workerId"`
+	TaskID   string  `json:"taskId"`
+	Payment  float64 `json:"payment"`
+}
+
+// OutcomeResponse is the body of POST /v1/runs/current/close and GET
+// /v1/runs/current/outcome.
+type OutcomeResponse struct {
+	Assignments   []AssignmentSpec `json:"assignments"`
+	SelectedTasks []string         `json:"selectedTasks"`
+	TotalPayment  float64          `json:"totalPayment"`
+}
+
+// AnswerRequest is the body of POST /v1/runs/current/answers.
+type AnswerRequest struct {
+	WorkerID string `json:"workerId"`
+	TaskID   string `json:"taskId"`
+	Payload  string `json:"payload"`
+}
+
+// Answer is one submitted answer, as returned by GET
+// /v1/runs/current/answers.
+type Answer struct {
+	WorkerID string `json:"workerId"`
+	TaskID   string `json:"taskId"`
+	Payload  string `json:"payload"`
+}
+
+// AnswersResponse is the body of GET /v1/runs/current/answers.
+type AnswersResponse struct {
+	Answers []Answer `json:"answers"`
+}
+
+// ScoreRequest is the body of POST /v1/runs/current/scores.
+type ScoreRequest struct {
+	WorkerID string  `json:"workerId"`
+	TaskID   string  `json:"taskId"`
+	Score    float64 `json:"score"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toOutcomeResponse converts a core outcome to its wire form.
+func toOutcomeResponse(out *melody.Outcome) OutcomeResponse {
+	resp := OutcomeResponse{
+		SelectedTasks: append([]string(nil), out.SelectedTasks...),
+		TotalPayment:  out.TotalPayment,
+	}
+	for _, a := range out.Assignments {
+		resp.Assignments = append(resp.Assignments, AssignmentSpec{
+			WorkerID: a.WorkerID, TaskID: a.TaskID, Payment: a.Payment,
+		})
+	}
+	return resp
+}

@@ -1,0 +1,164 @@
+package quality
+
+import "fmt"
+
+// Static implements the STATIC baseline [7]: worker quality is computed from
+// the scores of the first WarmupRuns runs and then frozen for the rest of
+// the deployment (the paper uses 50 warm-up runs). During warm-up the
+// estimate is the running mean of all scores seen so far, so that allocation
+// can proceed from run one.
+type Static struct {
+	initial    float64
+	warmupRuns int
+	workers    map[string]*staticWorker
+}
+
+type staticWorker struct {
+	runsSeen int
+	sum      float64
+	count    int
+	frozen   bool
+	estimate float64
+}
+
+var _ Estimator = (*Static)(nil)
+
+// NewStatic constructs the STATIC baseline. initial is the estimate for
+// unseen workers; warmupRuns is the number of runs after which the estimate
+// freezes.
+func NewStatic(initial float64, warmupRuns int) (*Static, error) {
+	if warmupRuns <= 0 {
+		return nil, fmt.Errorf("quality: warmupRuns %d must be positive", warmupRuns)
+	}
+	return &Static{
+		initial:    initial,
+		warmupRuns: warmupRuns,
+		workers:    make(map[string]*staticWorker),
+	}, nil
+}
+
+// Name implements Estimator.
+func (s *Static) Name() string { return "STATIC" }
+
+// Estimate implements Estimator.
+func (s *Static) Estimate(workerID string) float64 {
+	w, ok := s.workers[workerID]
+	if !ok {
+		return s.initial
+	}
+	return w.estimate
+}
+
+// Observe implements Estimator.
+func (s *Static) Observe(workerID string, scores []float64) error {
+	if err := validateScores(scores); err != nil {
+		return err
+	}
+	w, ok := s.workers[workerID]
+	if !ok {
+		w = &staticWorker{estimate: s.initial}
+		s.workers[workerID] = w
+	}
+	if w.frozen {
+		return nil
+	}
+	w.runsSeen++
+	for _, sc := range scores {
+		w.sum += sc
+		w.count++
+	}
+	if w.count > 0 {
+		w.estimate = w.sum / float64(w.count)
+	}
+	if w.runsSeen >= s.warmupRuns {
+		w.frozen = true
+	}
+	return nil
+}
+
+// MLCurrentRun implements the ML-CR baseline used by most prior
+// quality-aware mechanisms: the estimate for the next run is the maximum-
+// likelihood (sample-mean) quality of the current run only. Runs with no
+// scores leave the estimate unchanged. This over-fits the worker's latest
+// performance.
+type MLCurrentRun struct {
+	initial   float64
+	estimates map[string]float64
+}
+
+var _ Estimator = (*MLCurrentRun)(nil)
+
+// NewMLCurrentRun constructs the ML-CR baseline.
+func NewMLCurrentRun(initial float64) *MLCurrentRun {
+	return &MLCurrentRun{initial: initial, estimates: make(map[string]float64)}
+}
+
+// Name implements Estimator.
+func (m *MLCurrentRun) Name() string { return "ML-CR" }
+
+// Estimate implements Estimator.
+func (m *MLCurrentRun) Estimate(workerID string) float64 {
+	if e, ok := m.estimates[workerID]; ok {
+		return e
+	}
+	return m.initial
+}
+
+// Observe implements Estimator.
+func (m *MLCurrentRun) Observe(workerID string, scores []float64) error {
+	if err := validateScores(scores); err != nil {
+		return err
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	m.estimates[workerID] = sum / float64(len(scores))
+	return nil
+}
+
+// MLAllRuns implements the ML-AR baseline [4,13]: the estimate is the
+// maximum-likelihood (sample-mean) quality over the worker's entire history,
+// treating every run with equal weight. This under-fits a drifting worker.
+type MLAllRuns struct {
+	initial float64
+	sums    map[string]float64
+	counts  map[string]int
+}
+
+var _ Estimator = (*MLAllRuns)(nil)
+
+// NewMLAllRuns constructs the ML-AR baseline.
+func NewMLAllRuns(initial float64) *MLAllRuns {
+	return &MLAllRuns{
+		initial: initial,
+		sums:    make(map[string]float64),
+		counts:  make(map[string]int),
+	}
+}
+
+// Name implements Estimator.
+func (m *MLAllRuns) Name() string { return "ML-AR" }
+
+// Estimate implements Estimator.
+func (m *MLAllRuns) Estimate(workerID string) float64 {
+	if c := m.counts[workerID]; c > 0 {
+		return m.sums[workerID] / float64(c)
+	}
+	return m.initial
+}
+
+// Observe implements Estimator.
+func (m *MLAllRuns) Observe(workerID string, scores []float64) error {
+	if err := validateScores(scores); err != nil {
+		return err
+	}
+	for _, s := range scores {
+		m.sums[workerID] += s
+		m.counts[workerID]++
+	}
+	return nil
+}

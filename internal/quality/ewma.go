@@ -1,0 +1,63 @@
+package quality
+
+import "fmt"
+
+// EWMA is an exponentially weighted moving average estimator — an
+// extension baseline between the paper's ML-CR (all weight on the latest
+// run) and ML-AR (uniform weight on all history): the estimate after run r
+// is (1-alpha)*previous + alpha*mean(S_r). It adapts to drift like MELODY
+// but has no model of trend (no transition coefficient) and no uncertainty,
+// making it a useful ablation point for the LDS design choice.
+type EWMA struct {
+	initial   float64
+	alpha     float64
+	estimates map[string]float64
+}
+
+var _ Estimator = (*EWMA)(nil)
+
+// NewEWMA constructs the estimator; alpha in (0, 1] is the smoothing
+// weight on new evidence.
+func NewEWMA(initial, alpha float64) (*EWMA, error) {
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("quality: EWMA alpha %v must be in (0, 1]", alpha)
+	}
+	return &EWMA{
+		initial:   initial,
+		alpha:     alpha,
+		estimates: make(map[string]float64),
+	}, nil
+}
+
+// Name implements Estimator.
+func (e *EWMA) Name() string { return "EWMA" }
+
+// Estimate implements Estimator.
+func (e *EWMA) Estimate(workerID string) float64 {
+	if v, ok := e.estimates[workerID]; ok {
+		return v
+	}
+	return e.initial
+}
+
+// Observe implements Estimator. Runs without scores leave the estimate
+// unchanged.
+func (e *EWMA) Observe(workerID string, scores []float64) error {
+	if err := validateScores(scores); err != nil {
+		return err
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	mean := sum / float64(len(scores))
+	prev, ok := e.estimates[workerID]
+	if !ok {
+		prev = e.initial
+	}
+	e.estimates[workerID] = (1-e.alpha)*prev + e.alpha*mean
+	return nil
+}

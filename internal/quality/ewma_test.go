@@ -1,0 +1,92 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(5, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewEWMA(5, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := NewEWMA(5, 0.3); err != nil {
+		t.Errorf("valid alpha rejected: %v", err)
+	}
+}
+
+func TestEWMAUpdateRule(t *testing.T) {
+	e, _ := NewEWMA(5, 0.5)
+	if e.Estimate("w") != 5 {
+		t.Errorf("initial = %v", e.Estimate("w"))
+	}
+	if err := e.Observe("w", []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5*5 + 0.5*9 = 7.
+	if got := e.Estimate("w"); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("estimate = %v, want 7", got)
+	}
+	if err := e.Observe("w", []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5*7 + 0.5*2 = 4.5.
+	if got := e.Estimate("w"); !almostEqual(got, 4.5, 1e-12) {
+		t.Errorf("estimate = %v, want 4.5", got)
+	}
+}
+
+func TestEWMAEmptyRunKeepsEstimate(t *testing.T) {
+	e, _ := NewEWMA(5, 0.5)
+	if err := e.Observe("w", []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Estimate("w")
+	if err := e.Observe("w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Estimate("w") != before {
+		t.Errorf("empty run moved estimate %v -> %v", before, e.Estimate("w"))
+	}
+}
+
+func TestEWMAAlphaOneIsMLCR(t *testing.T) {
+	e, _ := NewEWMA(5, 1)
+	cr := NewMLCurrentRun(5.0)
+	seqs := [][]float64{{3, 5}, {8}, {}, {2, 2, 2}}
+	for _, scores := range seqs {
+		if err := e.Observe("w", scores); err != nil {
+			t.Fatal(err)
+		}
+		if err := cr.Observe("w", scores); err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(e.Estimate("w"), cr.Estimate("w"), 1e-12) {
+			t.Fatalf("alpha=1 EWMA %v != ML-CR %v", e.Estimate("w"), cr.Estimate("w"))
+		}
+	}
+}
+
+func TestEWMARejectsBadScores(t *testing.T) {
+	e, _ := NewEWMA(5, 0.5)
+	if err := e.Observe("w", []float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestEWMATracksDrift(t *testing.T) {
+	e, _ := NewEWMA(5, 0.3)
+	q := 3.0
+	for run := 0; run < 100; run++ {
+		q += 0.05
+		if err := e.Observe("w", []float64{q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// EWMA lags a rising trend but should be close.
+	if math.Abs(e.Estimate("w")-q) > 1.0 {
+		t.Errorf("estimate %v too far from drifted %v", e.Estimate("w"), q)
+	}
+}

@@ -1,0 +1,218 @@
+package quality
+
+import (
+	"fmt"
+
+	"melody/internal/lds"
+)
+
+// MelodyConfig parameterizes the LDS-based estimator.
+type MelodyConfig struct {
+	// Init is the platform's preset initial belief N(mu^0, sigma^0) over a
+	// new worker's quality (Table 4 uses mu^0 = 5.5, sigma^0 = 2.25).
+	Init lds.State
+	// Params is the initial hyper-parameter guess theta^0 for every worker,
+	// refined by EM as history accrues.
+	Params lds.Params
+	// EMPeriod is the paper's T: hyper-parameters are re-estimated with
+	// Algorithm 2 every T runs (Table 4 uses T = 10). Zero disables EM.
+	EMPeriod int
+	// EMWindow bounds the score history EM is run over (most recent runs);
+	// zero means the full history. A window keeps the cost of each EM call
+	// constant over a long deployment.
+	EMWindow int
+	// MisfitTrigger, when positive, re-runs EM as soon as the worker's
+	// model-misfit score (mean squared standardized innovation; ~1 for a
+	// well-specified model) exceeds it, without waiting out the full
+	// EMPeriod. This is an extension beyond the paper's fixed-period
+	// Algorithm 3; a typical threshold is 2-4.
+	MisfitTrigger float64
+	// EM configures the inner EM loop.
+	EM lds.EMConfig
+}
+
+// Validate reports whether the configuration is usable.
+func (c MelodyConfig) Validate() error {
+	if err := c.Init.Validate(); err != nil {
+		return fmt.Errorf("quality: init state: %w", err)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("quality: params: %w", err)
+	}
+	if c.EMPeriod < 0 || c.EMWindow < 0 {
+		return fmt.Errorf("quality: negative EM period or window")
+	}
+	if c.MisfitTrigger < 0 {
+		return fmt.Errorf("quality: negative misfit trigger")
+	}
+	return nil
+}
+
+// melodyWorker is the per-worker state of Algorithm 3.
+type melodyWorker struct {
+	posterior lds.State
+	params    lds.Params
+	history   [][]float64
+	// windowInit is the filtered posterior just before the oldest run still
+	// in history. EM uses it as the window's initial state so a sliding
+	// window does not keep re-anchoring the chain at the global prior.
+	windowInit  lds.State
+	sinceEM     int
+	everUpdated bool
+}
+
+// Melody is the paper's quality estimator: each worker's latent quality is
+// tracked with the Theorem 3 Kalman recursion, and the worker's
+// hyper-parameters theta = {a, gamma, eta} are re-learned with EM every
+// EMPeriod runs (Algorithm 3).
+type Melody struct {
+	cfg     MelodyConfig
+	workers map[string]*melodyWorker
+}
+
+var _ Estimator = (*Melody)(nil)
+
+// NewMelody constructs the MELODY estimator.
+func NewMelody(cfg MelodyConfig) (*Melody, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Melody{cfg: cfg, workers: make(map[string]*melodyWorker)}, nil
+}
+
+// Name implements Estimator.
+func (m *Melody) Name() string { return "MELODY" }
+
+// Estimate implements Estimator: mu^{r+1} = a * mu-hat^r (Eq. 19). A
+// never-observed worker gets a * mu^0 (Algorithm 3, line 2).
+func (m *Melody) Estimate(workerID string) float64 {
+	w, ok := m.workers[workerID]
+	if !ok {
+		return m.cfg.Params.A * m.cfg.Init.Mean
+	}
+	return w.params.A * w.posterior.Mean
+}
+
+// Posterior exposes the worker's current posterior belief (mu-hat, sigma-hat)
+// for inspection; ok is false for unknown workers.
+func (m *Melody) Posterior(workerID string) (lds.State, bool) {
+	w, ok := m.workers[workerID]
+	if !ok {
+		return lds.State{}, false
+	}
+	return w.posterior, true
+}
+
+// Params exposes the worker's current hyper-parameters; unknown workers
+// report the configured initial guess.
+func (m *Melody) Params(workerID string) lds.Params {
+	if w, ok := m.workers[workerID]; ok {
+		return w.params
+	}
+	return m.cfg.Params
+}
+
+// Forecast returns the k-step-ahead predictive distribution of the
+// worker's latent quality (steps = 1 is the next run's prior, Eq. 19).
+// Unknown workers are forecast from the platform's initial belief.
+func (m *Melody) Forecast(workerID string, steps int) (lds.Forecast, error) {
+	posterior := m.cfg.Init
+	params := m.cfg.Params
+	if w, ok := m.workers[workerID]; ok {
+		posterior = w.posterior
+		params = w.params
+	}
+	return lds.ForecastAhead(params, posterior, steps)
+}
+
+// Misfit returns the worker's model-misfit score: the mean squared
+// standardized one-step prediction residual over the retained history
+// (near 1 when the LDS fits; far above 1 when the worker's dynamics
+// violate it — see lds.MisfitScore). ok is false for workers with no
+// scored history.
+func (m *Melody) Misfit(workerID string) (float64, bool, error) {
+	w, found := m.workers[workerID]
+	if !found || !hasScores(w.history) {
+		return 0, false, nil
+	}
+	innovations, err := lds.Innovations(w.params, w.windowInit, w.history)
+	if err != nil {
+		return 0, false, fmt.Errorf("quality: worker %s: %w", workerID, err)
+	}
+	score, err := lds.MisfitScore(innovations)
+	if err != nil {
+		return 0, false, fmt.Errorf("quality: worker %s: %w", workerID, err)
+	}
+	return score, true, nil
+}
+
+// Observe implements Estimator: the Theorem 3 posterior update, followed by
+// EM re-estimation when the worker's parameters have not been updated for
+// EMPeriod runs (Algorithm 3, lines 6-8).
+func (m *Melody) Observe(workerID string, scores []float64) error {
+	if err := validateScores(scores); err != nil {
+		return err
+	}
+	w, ok := m.workers[workerID]
+	if !ok {
+		w = &melodyWorker{posterior: m.cfg.Init, params: m.cfg.Params, windowInit: m.cfg.Init}
+		m.workers[workerID] = w
+	}
+	next, err := lds.Update(w.params, w.posterior, scores)
+	if err != nil {
+		return fmt.Errorf("quality: worker %s: %w", workerID, err)
+	}
+	w.posterior = next
+	w.everUpdated = true
+
+	recorded := make([]float64, len(scores))
+	copy(recorded, scores)
+	w.history = append(w.history, recorded)
+	for m.cfg.EMWindow > 0 && len(w.history) > m.cfg.EMWindow {
+		// Slide the window: fold the evicted run into the window-start
+		// prior with the filter, so EM sees a correctly anchored chain.
+		evicted := w.history[0]
+		w.history = w.history[1:]
+		advanced, err := lds.Update(w.params, w.windowInit, evicted)
+		if err != nil {
+			return fmt.Errorf("quality: worker %s window: %w", workerID, err)
+		}
+		w.windowInit = advanced
+	}
+
+	if m.cfg.EMPeriod > 0 {
+		w.sinceEM++
+		due := w.sinceEM >= m.cfg.EMPeriod
+		if !due && m.cfg.MisfitTrigger > 0 && hasScores(w.history) {
+			// Adaptive re-estimation: a persistently surprised model
+			// re-learns immediately instead of waiting out the period.
+			innovations, err := lds.Innovations(w.params, w.windowInit, w.history)
+			if err != nil {
+				return fmt.Errorf("quality: worker %s diagnostics: %w", workerID, err)
+			}
+			if score, err := lds.MisfitScore(innovations); err == nil && score > m.cfg.MisfitTrigger {
+				due = true
+			}
+		}
+		if due {
+			w.sinceEM = 0
+			if hasScores(w.history) {
+				res, err := lds.EM(w.params, w.windowInit, w.history, m.cfg.EM)
+				if err != nil {
+					return fmt.Errorf("quality: worker %s EM: %w", workerID, err)
+				}
+				w.params = res.Params
+			}
+		}
+	}
+	return nil
+}
+
+func hasScores(history [][]float64) bool {
+	for _, runScores := range history {
+		if len(runScores) > 0 {
+			return true
+		}
+	}
+	return false
+}

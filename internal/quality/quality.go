@@ -1,0 +1,40 @@
+// Package quality implements the long-term worker-quality estimators the
+// paper evaluates in Section 7.7: MELODY's LDS-based estimator (Algorithm 3,
+// with periodic EM re-estimation per Algorithm 2) and the three baselines
+// STATIC, ML-CR and ML-AR.
+//
+// An estimator consumes, run after run, the set of scores each worker earned
+// (possibly empty when the worker won no tasks) and produces the estimated
+// quality mu_i^{r+1} the platform uses for allocation in the next run.
+package quality
+
+import "fmt"
+
+// Estimator is the per-run quality estimation interface shared by MELODY and
+// the baselines. Implementations are not safe for concurrent use; the market
+// engine drives them from a single goroutine.
+type Estimator interface {
+	// Name identifies the estimator in reports and figures.
+	Name() string
+	// Estimate returns the estimated quality for the coming run. Workers
+	// never seen before receive the estimator's initial estimate.
+	Estimate(workerID string) float64
+	// Observe records the scores the worker earned in the run that just
+	// ended and updates the worker's estimate. Call it for every worker
+	// every run, with an empty slice when the worker earned no scores.
+	Observe(workerID string, scores []float64) error
+}
+
+// validateScores rejects non-finite scores early so estimator state can
+// never be poisoned.
+func validateScores(scores []float64) error {
+	for _, s := range scores {
+		if s != s { // NaN
+			return fmt.Errorf("quality: NaN score")
+		}
+		if s > 1e18 || s < -1e18 {
+			return fmt.Errorf("quality: score %v out of range", s)
+		}
+	}
+	return nil
+}

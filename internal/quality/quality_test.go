@@ -1,0 +1,238 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"melody/internal/lds"
+	"melody/internal/stats"
+)
+
+func testMelodyConfig() MelodyConfig {
+	return MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1.0, Gamma: 0.3, Eta: 9.0},
+		EMPeriod: 10,
+		EMWindow: 60,
+		EM:       lds.EMConfig{MaxIter: 15},
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMelodyValidation(t *testing.T) {
+	if _, err := NewMelody(MelodyConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := testMelodyConfig()
+	cfg.EMPeriod = -1
+	if _, err := NewMelody(cfg); err == nil {
+		t.Error("negative EM period accepted")
+	}
+	if _, err := NewMelody(testMelodyConfig()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMelodyInitialEstimate(t *testing.T) {
+	m, _ := NewMelody(testMelodyConfig())
+	// Unknown worker: a * mu0 = 1.0 * 5.5.
+	if got := m.Estimate("new"); !almostEqual(got, 5.5, 1e-12) {
+		t.Errorf("initial estimate = %v, want 5.5", got)
+	}
+	if _, ok := m.Posterior("new"); ok {
+		t.Error("unknown worker has a posterior")
+	}
+}
+
+func TestMelodyObserveMatchesLDSUpdate(t *testing.T) {
+	cfg := testMelodyConfig()
+	cfg.EMPeriod = 0 // isolate the Kalman update
+	m, _ := NewMelody(cfg)
+	scores := []float64{6, 7}
+	if err := m.Observe("w", scores); err != nil {
+		t.Fatal(err)
+	}
+	want, err := lds.Update(cfg.Params, cfg.Init, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Posterior("w")
+	if !ok {
+		t.Fatal("no posterior after observe")
+	}
+	if !almostEqual(got.Mean, want.Mean, 1e-12) || !almostEqual(got.Var, want.Var, 1e-12) {
+		t.Errorf("posterior = %+v, want %+v", got, want)
+	}
+	if est := m.Estimate("w"); !almostEqual(est, cfg.Params.A*want.Mean, 1e-12) {
+		t.Errorf("Estimate = %v, want a*muhat = %v", est, cfg.Params.A*want.Mean)
+	}
+}
+
+func TestMelodyEmptyObservationDrifts(t *testing.T) {
+	cfg := testMelodyConfig()
+	cfg.EMPeriod = 0
+	m, _ := NewMelody(cfg)
+	if err := m.Observe("w", nil); err != nil {
+		t.Fatal(err)
+	}
+	post, _ := m.Posterior("w")
+	// Pure prediction: variance grows by gamma (a=1).
+	if !almostEqual(post.Var, cfg.Init.Var+cfg.Params.Gamma, 1e-12) {
+		t.Errorf("variance after empty run = %v, want %v", post.Var, cfg.Init.Var+cfg.Params.Gamma)
+	}
+}
+
+func TestMelodyEMRefinesParams(t *testing.T) {
+	cfg := testMelodyConfig()
+	cfg.EMPeriod = 5
+	cfg.EM = lds.EMConfig{MaxIter: 20}
+	m, _ := NewMelody(cfg)
+	r := stats.NewRNG(9)
+	// Feed a low-noise trajectory; EM should pull eta far below the initial
+	// guess of 9.
+	q := 5.0
+	for run := 0; run < 25; run++ {
+		q += 0.02
+		scores := []float64{q + r.Normal(0, 0.2), q + r.Normal(0, 0.2)}
+		if err := m.Observe("w", scores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Params("w")
+	if got == cfg.Params {
+		t.Fatal("EM never updated the parameters")
+	}
+	if got.Eta >= 5 {
+		t.Errorf("EM left eta at %v; expected well below the initial 9 on low-noise data", got.Eta)
+	}
+}
+
+func TestMelodyTracksDriftBetterThanFrozenPrior(t *testing.T) {
+	cfg := testMelodyConfig()
+	m, _ := NewMelody(cfg)
+	r := stats.NewRNG(10)
+	q := 3.0
+	for run := 0; run < 100; run++ {
+		q += 0.05 // steady rise
+		scores := []float64{stats.Clamp(r.Normal(q, 1), 1, 10)}
+		if err := m.Observe("w", scores); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finalQ := q
+	if est := m.Estimate("w"); math.Abs(est-finalQ) > 1.5 {
+		t.Errorf("estimate %v too far from drifted latent %v", est, finalQ)
+	}
+}
+
+func TestMelodyRejectsBadScores(t *testing.T) {
+	m, _ := NewMelody(testMelodyConfig())
+	if err := m.Observe("w", []float64{math.NaN()}); err == nil {
+		t.Error("NaN score accepted")
+	}
+	if err := m.Observe("w", []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf score accepted")
+	}
+}
+
+func TestStaticFreezesAfterWarmup(t *testing.T) {
+	s, err := NewStatic(5.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimate("w") != 5.5 {
+		t.Errorf("initial estimate = %v, want 5.5", s.Estimate("w"))
+	}
+	for run := 0; run < 3; run++ {
+		if err := s.Observe("w", []float64{4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Estimate("w"); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("warmup estimate = %v, want 4", got)
+	}
+	// Post-warm-up observations must be ignored.
+	for run := 0; run < 10; run++ {
+		if err := s.Observe("w", []float64{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Estimate("w"); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("frozen estimate moved to %v", got)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	if _, err := NewStatic(5, 0); err == nil {
+		t.Error("zero warmup accepted")
+	}
+}
+
+func TestMLCurrentRunTracksLatestRunOnly(t *testing.T) {
+	m := NewMLCurrentRun(5.5)
+	if m.Estimate("w") != 5.5 {
+		t.Errorf("initial = %v", m.Estimate("w"))
+	}
+	if err := m.Observe("w", []float64{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate("w"); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("estimate = %v, want 3", got)
+	}
+	if err := m.Observe("w", []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate("w"); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("estimate = %v, want 10 (current run only)", got)
+	}
+	// Empty run keeps the last estimate.
+	if err := m.Observe("w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate("w"); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("estimate after empty run = %v, want 10", got)
+	}
+}
+
+func TestMLAllRunsAveragesEverything(t *testing.T) {
+	m := NewMLAllRuns(5.5)
+	if err := m.Observe("w", []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe("w", []float64{4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate("w"); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("estimate = %v, want 4", got)
+	}
+	if got := m.Estimate("other"); got != 5.5 {
+		t.Errorf("unseen worker = %v, want 5.5", got)
+	}
+}
+
+func TestBaselinesRejectBadScores(t *testing.T) {
+	st, _ := NewStatic(5, 10)
+	ests := []Estimator{st, NewMLCurrentRun(5), NewMLAllRuns(5)}
+	for _, e := range ests {
+		if err := e.Observe("w", []float64{math.NaN()}); err == nil {
+			t.Errorf("%s accepted NaN", e.Name())
+		}
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	m, _ := NewMelody(testMelodyConfig())
+	st, _ := NewStatic(5, 10)
+	names := map[Estimator]string{
+		m:                  "MELODY",
+		st:                 "STATIC",
+		NewMLCurrentRun(5): "ML-CR",
+		NewMLAllRuns(5):    "ML-AR",
+	}
+	for e, want := range names {
+		if e.Name() != want {
+			t.Errorf("Name = %q, want %q", e.Name(), want)
+		}
+	}
+}

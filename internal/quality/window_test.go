@@ -1,0 +1,65 @@
+package quality
+
+import (
+	"testing"
+
+	"melody/internal/lds"
+)
+
+// TestWindowedEMAnchorsAtFilteredPosterior guards the sliding-window fix:
+// EM over a trimmed history must use the filtered posterior at the window
+// start, not the global prior. For a worker whose level sits persistently
+// below the prior mu0=5.5, re-anchoring every window at 5.5 would keep
+// re-learning a phantom decline (a well below 1) forever; with the correct
+// anchor, once the window no longer contains the initial transient, the
+// learned transition coefficient stays near 1.
+func TestWindowedEMAnchorsAtFilteredPosterior(t *testing.T) {
+	cfg := MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1, Gamma: 0.3, Eta: 1},
+		EMPeriod: 10,
+		EMWindow: 15,
+		EM:       lds.EMConfig{MaxIter: 30},
+	}
+	m, err := NewMelody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 runs at a constant level of 3.0 — far below the prior.
+	for run := 0; run < 80; run++ {
+		if err := m.Observe("w", []float64{3.0, 3.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := m.Params("w")
+	if p.A < 0.9 {
+		t.Errorf("learned a = %v; window re-anchoring regression (phantom decline)", p.A)
+	}
+	if est := m.Estimate("w"); est < 2.2 || est > 3.8 {
+		t.Errorf("estimate = %v, want near the true level 3.0", est)
+	}
+}
+
+// TestUnboundedHistoryStillWorks: EMWindow = 0 keeps the full history and
+// the original prior anchor.
+func TestUnboundedHistoryStillWorks(t *testing.T) {
+	cfg := MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1, Gamma: 0.3, Eta: 1},
+		EMPeriod: 10,
+		EMWindow: 0,
+		EM:       lds.EMConfig{MaxIter: 20},
+	}
+	m, err := NewMelody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 40; run++ {
+		if err := m.Observe("w", []float64{6.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if est := m.Estimate("w"); est < 5.0 || est > 7.0 {
+		t.Errorf("estimate = %v, want near 6.0", est)
+	}
+}

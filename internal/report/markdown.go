@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if err := writeMarkdownRow(w, t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeMarkdownRow(w, sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeMarkdownRow(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// RenderMarkdown writes the figure as a markdown table: shared-x figures
+// become one table with a column per series; disjoint-x figures render one
+// table per series.
+func (f *Figure) RenderMarkdown(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	writeTable := func(header []string, rows [][]string) error {
+		if err := writeMarkdownRow(w, header); err != nil {
+			return err
+		}
+		sep := make([]string, len(header))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		if err := writeMarkdownRow(w, sep); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := writeMarkdownRow(w, row); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if f.sharedX() {
+		header := append([]string{f.XLabel}, seriesNames(f.Series)...)
+		rows := make([][]string, len(f.Series[0].X))
+		for i := range rows {
+			row := make([]string, 0, len(f.Series)+1)
+			row = append(row, formatFloat(f.Series[0].X[i]))
+			for _, s := range f.Series {
+				row = append(row, formatFloat(s.Y[i]))
+			}
+			rows[i] = row
+		}
+		return writeTable(header, rows)
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "**series %s**\n\n", markdownEscape(s.Name)); err != nil {
+			return err
+		}
+		rows := make([][]string, len(s.X))
+		for i := range rows {
+			rows[i] = []string{formatFloat(s.X[i]), formatFloat(s.Y[i])}
+		}
+		if err := writeTable([]string{f.XLabel, f.YLabel}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMarkdownRow(w io.Writer, cells []string) error {
+	escaped := make([]string, len(cells))
+	for i, c := range cells {
+		escaped[i] = markdownEscape(c)
+	}
+	_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | "))
+	return err
+}
+
+func markdownEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

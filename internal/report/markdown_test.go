@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID: "table1", Title: "Props",
+		Header: []string{"Name", "Value"},
+		Rows:   [][]string{{"a|b", "1"}},
+	}
+	var b strings.Builder
+	if err := tbl.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "### table1 — Props") {
+		t.Errorf("missing heading:\n%s", out)
+	}
+	if !strings.Contains(out, "| Name | Value |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(out, `a\|b`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if err := (&Table{}).RenderMarkdown(&b); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+func TestFigureRenderMarkdownSharedX(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| N | MELODY | RANDOM |") {
+		t.Errorf("missing combined header:\n%s", out)
+	}
+	if !strings.Contains(out, "| 10 | 5 | 2 |") {
+		t.Errorf("missing data row:\n%s", out)
+	}
+}
+
+func TestFigureRenderMarkdownDisjointX(t *testing.T) {
+	f := sampleFigure()
+	f.Series[1].X = []float64{11, 21}
+	var b strings.Builder
+	if err := f.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "**series MELODY**") || !strings.Contains(out, "**series RANDOM**") {
+		t.Errorf("missing per-series blocks:\n%s", out)
+	}
+	if err := (&Figure{}).RenderMarkdown(&b); err == nil {
+		t.Error("invalid figure accepted")
+	}
+}

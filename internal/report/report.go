@@ -1,0 +1,236 @@
+// Package report renders the experiment harness's outputs: named data
+// series (figures) and tables, as aligned text for terminals and as CSV for
+// downstream plotting.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one named line in a figure: y values over shared or per-series
+// x values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced paper figure: a set of series plus axis metadata.
+type Figure struct {
+	ID     string // e.g. "fig4a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Validate reports whether all series are well formed.
+func (f *Figure) Validate() error {
+	if f.ID == "" {
+		return errors.New("report: figure without ID")
+	}
+	if len(f.Series) == 0 {
+		return fmt.Errorf("report: figure %s has no series", f.ID)
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: figure %s series %q: %d x values, %d y values",
+				f.ID, s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("report: figure %s series %q is empty", f.ID, s.Name)
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as an aligned text table: one row per x value of
+// the first series, one column per series. Series are aligned by position
+// when they share x values; otherwise each series is printed in its own
+// block.
+func (f *Figure) Render(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if f.sharedX() {
+		header := append([]string{f.XLabel}, seriesNames(f.Series)...)
+		rows := make([][]string, len(f.Series[0].X))
+		for i := range rows {
+			row := make([]string, 0, len(f.Series)+1)
+			row = append(row, formatFloat(f.Series[0].X[i]))
+			for _, s := range f.Series {
+				row = append(row, formatFloat(s.Y[i]))
+			}
+			rows[i] = row
+		}
+		return writeAligned(w, header, rows)
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "## series %s\n", s.Name); err != nil {
+			return err
+		}
+		rows := make([][]string, len(s.X))
+		for i := range rows {
+			rows[i] = []string{formatFloat(s.X[i]), formatFloat(s.Y[i])}
+		}
+		if err := writeAligned(w, []string{f.XLabel, f.YLabel}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the figure in long form: series,x,y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s\n",
+				csvEscape(s.Name), formatFloat(s.X[i]), formatFloat(s.Y[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Figure) sharedX() bool {
+	first := f.Series[0].X
+	for _, s := range f.Series[1:] {
+		if len(s.X) != len(first) {
+			return false
+		}
+		for i := range first {
+			if s.X[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Validate reports whether the table is rectangular.
+func (t *Table) Validate() error {
+	if t.ID == "" {
+		return errors.New("report: table without ID")
+	}
+	if len(t.Header) == 0 {
+		return fmt.Errorf("report: table %s has no header", t.ID)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("report: table %s row %d has %d cells, header has %d",
+				t.ID, i, len(row), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	return writeAligned(w, t.Header, t.Rows)
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		if _, err := io.WriteString(w, strings.Join(cells, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

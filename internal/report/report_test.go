@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "fig4a", Title: "Utility vs workers", XLabel: "N", YLabel: "utility",
+		Series: []Series{
+			{Name: "MELODY", X: []float64{10, 20}, Y: []float64{5, 9}},
+			{Name: "RANDOM", X: []float64{10, 20}, Y: []float64{2, 3}},
+		},
+	}
+}
+
+func TestFigureValidate(t *testing.T) {
+	if err := sampleFigure().Validate(); err != nil {
+		t.Fatalf("valid figure rejected: %v", err)
+	}
+	bad := []*Figure{
+		{},
+		{ID: "f"},
+		{ID: "f", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}},
+		{ID: "f", Series: []Series{{Name: "s"}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid figure accepted", i)
+		}
+	}
+}
+
+func TestFigureRenderSharedX(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig4a", "MELODY", "RANDOM", "10", "20", "N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Shared-x figures are one table, not per-series blocks.
+	if strings.Contains(out, "## series") {
+		t.Error("shared-x figure rendered per-series blocks")
+	}
+}
+
+func TestFigureRenderDisjointX(t *testing.T) {
+	f := sampleFigure()
+	f.Series[1].X = []float64{11, 21}
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "## series MELODY") {
+		t.Error("disjoint-x figure should render per-series blocks")
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5", len(lines))
+	}
+	if lines[1] != "MELODY,10,5" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestTableValidateAndRender(t *testing.T) {
+	tbl := &Table{
+		ID: "table1", Title: "Properties",
+		Header: []string{"Mechanism", "Truthful"},
+		Rows:   [][]string{{"MELODY", "yes"}},
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MELODY") {
+		t.Error("render missing row")
+	}
+	bad := &Table{ID: "t", Header: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged table accepted")
+	}
+	if err := (&Table{}).Validate(); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestTableWriteCSVEscaping(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "x",
+		Header: []string{"name", "note"},
+		Rows:   [][]string{{`a,b`, `say "hi"`}},
+	}
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{{10, "10"}, {2.5, "2.5"}, {-3, "-3"}, {0.123456789, "0.123457"}}
+	for _, tt := range tests {
+		if got := formatFloat(tt.v); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+		min, max float64
+	}{
+		{name: "single", xs: []float64{4}, mean: 4, variance: 0, min: 4, max: 4},
+		{name: "pair", xs: []float64{2, 4}, mean: 3, variance: 1, min: 2, max: 4},
+		{name: "symmetric", xs: []float64{-1, 0, 1}, mean: 0, variance: 2.0 / 3.0, min: -1, max: 1},
+		{name: "constant", xs: []float64{5, 5, 5, 5}, mean: 5, variance: 0, min: 5, max: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var acc Accumulator
+			for _, x := range tt.xs {
+				acc.Add(x)
+			}
+			if acc.N() != len(tt.xs) {
+				t.Errorf("N = %d, want %d", acc.N(), len(tt.xs))
+			}
+			if !almostEqual(acc.Mean(), tt.mean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", acc.Mean(), tt.mean)
+			}
+			if !almostEqual(acc.Variance(), tt.variance, 1e-12) {
+				t.Errorf("Variance = %v, want %v", acc.Variance(), tt.variance)
+			}
+			if acc.Min() != tt.min || acc.Max() != tt.max {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", acc.Min(), acc.Max(), tt.min, tt.max)
+			}
+		})
+	}
+}
+
+func TestAccumulatorMatchesDirectFormula(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological float inputs
+			}
+		}
+		var acc Accumulator
+		var sum float64
+		for _, x := range xs {
+			acc.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs))
+		scale := math.Max(1, math.Abs(wantVar))
+		return almostEqual(acc.Mean(), mean, 1e-6*math.Max(1, math.Abs(mean))) &&
+			almostEqual(acc.Variance(), wantVar, 1e-6*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVarianceEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Variance(nil); err != ErrEmpty {
+		t.Errorf("Variance(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	var acc Accumulator
+	for _, x := range []float64{2, 4, 6} {
+		acc.Add(x)
+	}
+	if got := acc.SampleVariance(); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 4", got)
+	}
+	var single Accumulator
+	single.Add(1)
+	if got := single.SampleVariance(); got != 0 {
+		t.Errorf("SampleVariance of one sample = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(nil) should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile out of range should fail")
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input slice")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3.5}); !almostEqual(got, 6.5, 1e-12) {
+		t.Errorf("Sum = %v, want 6.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	h.Add(-100)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("outliers not clamped: %v", h.Counts)
+	}
+}
+
+func TestHistogramDensitySumsToOne(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 7)
+	r := NewRNG(2)
+	for i := 0; i < 500; i++ {
+		h.Add(r.Float64())
+	}
+	var total float64
+	for i := range h.Counts {
+		total += h.Density(i)
+	}
+	if !almostEqual(total, 1, 1e-12) {
+		t.Errorf("densities sum to %v", total)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); !almostEqual(got, 9, 1e-12) {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.Min() != 1 || e.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v", e.Min(), e.Max())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Errorf("NewECDF(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			cur := e.At(x)
+			if cur < prev || cur < 0 || cur > 1 {
+				return false
+			}
+			prev = cur
+		}
+		return e.At(e.Max()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import "errors"
+
+// Line is a fitted simple linear regression y = Intercept + Slope*x.
+type Line struct {
+	Slope     float64
+	Intercept float64
+}
+
+// FitLine fits ordinary least squares through (xs[i], ys[i]).
+// At least two points with non-degenerate x spread are required.
+func FitLine(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, errors.New("stats: mismatched regression inputs")
+	}
+	if len(xs) < 2 {
+		return Line{}, errors.New("stats: regression needs at least two points")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return Line{}, errors.New("stats: degenerate regression (constant x)")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return Line{
+		Slope:     slope,
+		Intercept: (sy - slope*sx) / n,
+	}, nil
+}
+
+// At evaluates the fitted line at x.
+func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// StabilityCriterion captures the paper's footnote-4 definition of a
+// "stable" worker: the slope of the regression line of the quality curve is
+// within [-SlopeBound, SlopeBound] and the variance of the curve is below
+// VarianceBound.
+type StabilityCriterion struct {
+	SlopeBound    float64
+	VarianceBound float64
+}
+
+// PaperStability is the criterion the paper uses for its AMT case study:
+// slope within [-0.05, 0.05] and variance below 100.
+var PaperStability = StabilityCriterion{SlopeBound: 0.05, VarianceBound: 100}
+
+// IsStable reports whether the quality curve ys (indexed by run) is stable
+// under the criterion.
+func (c StabilityCriterion) IsStable(ys []float64) (bool, error) {
+	if len(ys) < 2 {
+		return false, errors.New("stats: stability needs at least two runs")
+	}
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	line, err := FitLine(xs, ys)
+	if err != nil {
+		return false, err
+	}
+	v, err := Variance(ys)
+	if err != nil {
+		return false, err
+	}
+	stable := line.Slope >= -c.SlopeBound && line.Slope <= c.SlopeBound &&
+		v < c.VarianceBound
+	return stable, nil
+}

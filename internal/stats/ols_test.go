@@ -1,0 +1,109 @@
+package stats
+
+import "testing"
+
+func TestFitLineExact(t *testing.T) {
+	tests := []struct {
+		name      string
+		xs, ys    []float64
+		slope     float64
+		intercept float64
+	}{
+		{
+			name:  "y=2x+1",
+			xs:    []float64{0, 1, 2, 3},
+			ys:    []float64{1, 3, 5, 7},
+			slope: 2, intercept: 1,
+		},
+		{
+			name:  "flat",
+			xs:    []float64{0, 1, 2},
+			ys:    []float64{4, 4, 4},
+			slope: 0, intercept: 4,
+		},
+		{
+			name:  "negative slope",
+			xs:    []float64{0, 2},
+			ys:    []float64{10, 4},
+			slope: -3, intercept: 10,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			line, err := FitLine(tt.xs, tt.ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(line.Slope, tt.slope, 1e-12) {
+				t.Errorf("Slope = %v, want %v", line.Slope, tt.slope)
+			}
+			if !almostEqual(line.Intercept, tt.intercept, 1e-12) {
+				t.Errorf("Intercept = %v, want %v", line.Intercept, tt.intercept)
+			}
+		})
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestLineAt(t *testing.T) {
+	l := Line{Slope: 2, Intercept: -1}
+	if got := l.At(3); got != 5 {
+		t.Errorf("At(3) = %v, want 5", got)
+	}
+}
+
+func TestFitLineRecoversNoisyTrend(t *testing.T) {
+	r := NewRNG(17)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 0.5*float64(i) + 3 + r.Normal(0, 0.5)
+	}
+	line, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(line.Slope, 0.5, 0.02) {
+		t.Errorf("Slope = %v, want ~0.5", line.Slope)
+	}
+}
+
+func TestStabilityCriterion(t *testing.T) {
+	c := PaperStability
+	tests := []struct {
+		name   string
+		ys     []float64
+		stable bool
+	}{
+		{name: "flat low variance", ys: []float64{50, 50.2, 49.9, 50.1, 50}, stable: true},
+		{name: "rising trend", ys: []float64{10, 20, 30, 40, 50}, stable: false},
+		{name: "declining trend", ys: []float64{90, 70, 50, 30, 10}, stable: false},
+		{name: "flat but high variance", ys: []float64{20, 80, 20, 80, 20, 80}, stable: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := c.IsStable(tt.ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.stable {
+				t.Errorf("IsStable = %v, want %v", got, tt.stable)
+			}
+		})
+	}
+	if _, err := c.IsStable([]float64{1}); err == nil {
+		t.Error("single run should fail")
+	}
+}

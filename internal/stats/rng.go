@@ -1,0 +1,86 @@
+// Package stats provides the statistical substrate used across the MELODY
+// reproduction: deterministic seeded random sources, the distributions the
+// paper draws workloads from, descriptive statistics, histograms, empirical
+// CDFs, and ordinary least squares (used by the paper's "stable worker"
+// definition in Section 1, footnote 4).
+//
+// All randomness in the repository flows through *stats.RNG so that every
+// experiment is reproducible bit-for-bit from its seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source. It wraps math/rand with the
+// distribution helpers the MELODY workloads need. RNG is not safe for
+// concurrent use; derive independent streams with Split.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, statistically independent RNG from r. The derived
+// stream depends only on r's current state, so a fixed seed plus a fixed
+// sequence of Split calls yields a reproducible tree of streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo, which indicates a programming error in the caller.
+func (r *RNG) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("stats: UniformInt bounds inverted")
+	}
+	return lo + r.src.Intn(hi-lo+1)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// NormalVar returns a Gaussian sample parameterized by variance, matching the
+// paper's N(x; mu, delta) notation where delta is a variance (Eq. 12-13).
+func (r *RNG) NormalVar(mean, variance float64) float64 {
+	return r.Normal(mean, math.Sqrt(variance))
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }
+
+// Shuffle randomly permutes n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

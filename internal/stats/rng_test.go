@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	// Derived streams must differ from each other.
+	same := true
+	for i := 0; i < 16; i++ {
+		if s1.Float64() != s2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("split streams are identical")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		x := r.Uniform(2, 4)
+		if x < 2 || x >= 4 {
+			t.Fatalf("Uniform(2,4) = %v out of range", x)
+		}
+	}
+}
+
+func TestUniformIntRange(t *testing.T) {
+	r := NewRNG(1)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.UniformInt(1, 5)
+		if v < 1 || v > 5 {
+			t.Fatalf("UniformInt(1,5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 1; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("UniformInt never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestUniformIntInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UniformInt with inverted bounds should panic")
+		}
+	}()
+	NewRNG(1).UniformInt(5, 1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(99)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Normal(5.5, 1.5))
+	}
+	if !almostEqual(acc.Mean(), 5.5, 0.02) {
+		t.Errorf("Normal mean = %v, want ~5.5", acc.Mean())
+	}
+	if !almostEqual(acc.StdDev(), 1.5, 0.02) {
+		t.Errorf("Normal stddev = %v, want ~1.5", acc.StdDev())
+	}
+}
+
+func TestNormalVarMatchesVariance(t *testing.T) {
+	r := NewRNG(3)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.NormalVar(0, 9))
+	}
+	if !almostEqual(acc.Variance(), 9, 0.2) {
+		t.Errorf("NormalVar variance = %v, want ~9", acc.Variance())
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if !almostEqual(p, 0.3, 0.01) {
+		t.Errorf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{math.Inf(1), 0, 10, 10},
+		{math.Inf(-1), 0, 10, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

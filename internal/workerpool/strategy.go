@@ -1,0 +1,221 @@
+package workerpool
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+// Strategy decides what a worker bids each run given their true bid. The
+// long-term truthfulness study (Fig. 7) needs workers who misreport with a
+// configurable probability and direction.
+type Strategy interface {
+	// Bid returns the declared bid for the run. Implementations may
+	// randomize using the provided source.
+	Bid(r *stats.RNG, truth core.Bid) core.Bid
+}
+
+// Truthful always declares the true bid.
+type Truthful struct{}
+
+var _ Strategy = Truthful{}
+
+// Bid implements Strategy.
+func (Truthful) Bid(_ *stats.RNG, truth core.Bid) core.Bid { return truth }
+
+// CheatDirection selects how a misreporting worker distorts the bid.
+type CheatDirection int
+
+// The three cheating behaviours studied in Fig. 7.
+const (
+	// CheatHigher reports a value above the true one.
+	CheatHigher CheatDirection = iota + 1
+	// CheatLower reports a value below the true one.
+	CheatLower
+	// CheatRandom reports a uniformly random value within bounds.
+	CheatRandom
+)
+
+// String implements fmt.Stringer.
+func (d CheatDirection) String() string {
+	switch d {
+	case CheatHigher:
+		return "higher"
+	case CheatLower:
+		return "lower"
+	case CheatRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("CheatDirection(%d)", int(d))
+	}
+}
+
+// CostCheat misreports the cost bid with probability Prob, leaving
+// frequency truthful. Reported costs stay within [CostMin, CostMax] so the
+// worker remains qualified — the interesting deviations are the ones the
+// platform cannot filter.
+type CostCheat struct {
+	Prob             float64
+	Direction        CheatDirection
+	CostMin, CostMax float64
+}
+
+var _ Strategy = CostCheat{}
+
+// Bid implements Strategy.
+func (c CostCheat) Bid(r *stats.RNG, truth core.Bid) core.Bid {
+	if !r.Bernoulli(c.Prob) {
+		return truth
+	}
+	lie := truth
+	switch c.Direction {
+	case CheatHigher:
+		lie.Cost = r.Uniform(truth.Cost, c.CostMax)
+	case CheatLower:
+		lie.Cost = r.Uniform(c.CostMin, truth.Cost)
+	default:
+		lie.Cost = r.Uniform(c.CostMin, c.CostMax)
+	}
+	return lie
+}
+
+// FrequencyCheat misreports the frequency bid with probability Prob,
+// leaving cost truthful. Reported frequencies stay within [1, FreqMax].
+type FrequencyCheat struct {
+	Prob      float64
+	Direction CheatDirection
+	FreqMax   int
+}
+
+var _ Strategy = FrequencyCheat{}
+
+// Bid implements Strategy.
+func (c FrequencyCheat) Bid(r *stats.RNG, truth core.Bid) core.Bid {
+	if !r.Bernoulli(c.Prob) {
+		return truth
+	}
+	lie := truth
+	switch c.Direction {
+	case CheatHigher:
+		if truth.Frequency < c.FreqMax {
+			lie.Frequency = r.UniformInt(truth.Frequency+1, c.FreqMax)
+		}
+	case CheatLower:
+		if truth.Frequency > 1 {
+			lie.Frequency = r.UniformInt(1, truth.Frequency-1)
+		}
+	default:
+		lie.Frequency = r.UniformInt(1, c.FreqMax)
+	}
+	return lie
+}
+
+// Worker is a simulated worker: immutable true bid, a latent-quality
+// trajectory indexed by run, and a bidding strategy. ArrivalRun and
+// DepartureRun model churn: the worker participates in 1-based runs r with
+// ArrivalRun <= r and (DepartureRun == 0 or r < DepartureRun). The zero
+// values mean "always present", so populations without churn need not set
+// them. Newly arrived workers exercise the paper's Algorithm 3 newcomer
+// branch: their first estimate comes from the preset prior N(mu^0, sigma^0).
+type Worker struct {
+	ID           string
+	TrueBid      core.Bid
+	Trajectory   []float64
+	Strategy     Strategy
+	ArrivalRun   int
+	DepartureRun int
+}
+
+// ActiveAt reports whether the worker participates in the given 1-based
+// run.
+func (w *Worker) ActiveAt(run int) bool {
+	if w.ArrivalRun > 0 && run < w.ArrivalRun {
+		return false
+	}
+	if w.DepartureRun > 0 && run >= w.DepartureRun {
+		return false
+	}
+	return true
+}
+
+// LatentQuality returns q_i^r for run (zero-based). Runs beyond the
+// trajectory hold the final value, so long simulations degrade gracefully.
+func (w *Worker) LatentQuality(run int) float64 {
+	if len(w.Trajectory) == 0 {
+		return 0
+	}
+	if run >= len(w.Trajectory) {
+		run = len(w.Trajectory) - 1
+	}
+	if run < 0 {
+		run = 0
+	}
+	return w.Trajectory[run]
+}
+
+// PopulationConfig draws a whole worker population per Table 4: true costs
+// and frequencies uniform in their ranges, trajectories mixed over the four
+// archetypes.
+type PopulationConfig struct {
+	N                    int
+	Runs                 int
+	CostMin, CostMax     float64
+	FreqMin, FreqMax     int
+	QualityLo, QualityHi float64
+	Noise                float64
+	// PatternWeights maps each archetype to its share of the population.
+	// Empty means uniform over the four archetypes.
+	PatternWeights map[Pattern]float64
+}
+
+// NewPopulation draws n simulated workers with truthful strategies; callers
+// can override Strategy per worker afterwards.
+func NewPopulation(r *stats.RNG, cfg PopulationConfig) ([]*Worker, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workerpool: population size %d must be positive", cfg.N)
+	}
+	weights := cfg.PatternWeights
+	if len(weights) == 0 {
+		weights = map[Pattern]float64{Rising: 1, Declining: 1, Fluctuating: 1, Stable: 1}
+	}
+	var total float64
+	for _, p := range AllPatterns() {
+		total += weights[p]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workerpool: pattern weights sum to %v", total)
+	}
+	workers := make([]*Worker, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pick := r.Uniform(0, total)
+		pattern := Stable
+		for _, p := range AllPatterns() {
+			if pick < weights[p] {
+				pattern = p
+				break
+			}
+			pick -= weights[p]
+		}
+		traj, err := Generate(r, TrajectoryConfig{
+			Pattern: pattern,
+			Runs:    cfg.Runs,
+			Lo:      cfg.QualityLo,
+			Hi:      cfg.QualityHi,
+			Noise:   cfg.Noise,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workerpool: worker %d: %w", i, err)
+		}
+		workers = append(workers, &Worker{
+			ID: fmt.Sprintf("w%04d", i),
+			TrueBid: core.Bid{
+				Cost:      r.Uniform(cfg.CostMin, cfg.CostMax),
+				Frequency: r.UniformInt(cfg.FreqMin, cfg.FreqMax),
+			},
+			Trajectory: traj,
+			Strategy:   Truthful{},
+		})
+	}
+	return workers, nil
+}

@@ -1,0 +1,145 @@
+// Package workerpool models the simulated worker population: latent-quality
+// trajectories following the four archetypes of the paper's Fig. 1 (rising,
+// declining, fluctuating, stable), score emission per Eq. (13), and bidding
+// strategies (truthful and the misreporting behaviours of the Fig. 7
+// long-term truthfulness study).
+package workerpool
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"melody/internal/stats"
+)
+
+// Pattern is a long-term latent-quality archetype from Fig. 1.
+type Pattern int
+
+// The four archetypes observed in the AMT affective-text dataset.
+const (
+	Rising Pattern = iota + 1
+	Declining
+	Fluctuating
+	Stable
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Rising:
+		return "rising"
+	case Declining:
+		return "declining"
+	case Fluctuating:
+		return "fluctuating"
+	case Stable:
+		return "stable"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// AllPatterns lists the archetypes in presentation order (Fig. 1a-1d).
+func AllPatterns() []Pattern {
+	return []Pattern{Rising, Declining, Fluctuating, Stable}
+}
+
+// TrajectoryConfig parameterizes latent-quality generation. Qualities live
+// on the score scale [Lo, Hi] (Table 4 uses [1, 10]).
+type TrajectoryConfig struct {
+	Pattern Pattern
+	Runs    int
+	Lo, Hi  float64
+	// Noise is the standard deviation of the per-run Gaussian jitter added
+	// on top of the global pattern.
+	Noise float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c TrajectoryConfig) Validate() error {
+	if c.Runs <= 0 {
+		return fmt.Errorf("workerpool: trajectory needs at least one run, got %d", c.Runs)
+	}
+	if c.Hi <= c.Lo {
+		return fmt.Errorf("workerpool: quality range [%v, %v] inverted", c.Lo, c.Hi)
+	}
+	if c.Noise < 0 {
+		return errors.New("workerpool: negative noise")
+	}
+	switch c.Pattern {
+	case Rising, Declining, Fluctuating, Stable:
+	default:
+		return fmt.Errorf("workerpool: unknown pattern %v", c.Pattern)
+	}
+	return nil
+}
+
+// Generate produces a latent-quality trajectory q^1..q^Runs following the
+// configured global pattern with random per-worker shape parameters and
+// additive Gaussian noise, clamped to [Lo, Hi]. The paper's Section 7.7
+// generates worker quality exactly this way ("the quality sequence of each
+// worker follows a specific global pattern ... with random noises").
+func Generate(r *stats.RNG, cfg TrajectoryConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	span := cfg.Hi - cfg.Lo
+	out := make([]float64, cfg.Runs)
+	switch cfg.Pattern {
+	case Rising, Declining:
+		// Logistic ramp between two random levels, mirrored for Declining:
+		// expertise accumulates gradually, which is the paper's explanation
+		// for monotone trends.
+		low := cfg.Lo + span*r.Uniform(0.05, 0.3)
+		high := cfg.Hi - span*r.Uniform(0.05, 0.3)
+		mid := float64(cfg.Runs) * r.Uniform(0.3, 0.7)
+		steep := r.Uniform(4, 10) / float64(cfg.Runs)
+		for t := range out {
+			frac := 1 / (1 + math.Exp(-steep*(float64(t)-mid)))
+			v := low + (high-low)*frac
+			if cfg.Pattern == Declining {
+				v = low + high - v
+			}
+			out[t] = v
+		}
+	case Fluctuating:
+		// Two superimposed sinusoids with random period and phase around a
+		// random base level.
+		base := cfg.Lo + span*r.Uniform(0.35, 0.65)
+		amp1 := span * r.Uniform(0.1, 0.25)
+		amp2 := span * r.Uniform(0.05, 0.15)
+		per1 := float64(cfg.Runs) * r.Uniform(0.2, 0.5)
+		per2 := float64(cfg.Runs) * r.Uniform(0.05, 0.15)
+		ph1 := r.Uniform(0, 2*math.Pi)
+		ph2 := r.Uniform(0, 2*math.Pi)
+		for t := range out {
+			out[t] = base +
+				amp1*math.Sin(2*math.Pi*float64(t)/per1+ph1) +
+				amp2*math.Sin(2*math.Pi*float64(t)/per2+ph2)
+		}
+	case Stable:
+		level := cfg.Lo + span*r.Uniform(0.3, 0.7)
+		for t := range out {
+			out[t] = level
+		}
+	}
+	for t := range out {
+		out[t] = stats.Clamp(out[t]+r.Normal(0, cfg.Noise), cfg.Lo, cfg.Hi)
+	}
+	return out, nil
+}
+
+// EmitScores draws the observed score set for a worker who completed n
+// tasks in a run with latent quality q: each score is N(q, sigma^2) clamped
+// to the score scale (Eq. 13; Table 4 clamps to [1, 10] with sigma_S = 3).
+func EmitScores(r *stats.RNG, q float64, n int, sigma, lo, hi float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = stats.Clamp(r.Normal(q, sigma), lo, hi)
+	}
+	return scores
+}

@@ -1,0 +1,295 @@
+package workerpool
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+func trajCfg(p Pattern) TrajectoryConfig {
+	return TrajectoryConfig{Pattern: p, Runs: 200, Lo: 1, Hi: 10, Noise: 0.3}
+}
+
+func TestTrajectoryConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     TrajectoryConfig
+		wantErr bool
+	}{
+		{name: "valid", cfg: trajCfg(Rising)},
+		{name: "zero runs", cfg: TrajectoryConfig{Pattern: Rising, Lo: 1, Hi: 10}, wantErr: true},
+		{name: "inverted range", cfg: TrajectoryConfig{Pattern: Rising, Runs: 10, Lo: 10, Hi: 1}, wantErr: true},
+		{name: "negative noise", cfg: TrajectoryConfig{Pattern: Rising, Runs: 10, Lo: 1, Hi: 10, Noise: -1}, wantErr: true},
+		{name: "bad pattern", cfg: TrajectoryConfig{Pattern: Pattern(0), Runs: 10, Lo: 1, Hi: 10}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateBoundsAndLength(t *testing.T) {
+	r := stats.NewRNG(1)
+	for _, p := range AllPatterns() {
+		traj, err := Generate(r, trajCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(traj) != 200 {
+			t.Fatalf("%v: length %d", p, len(traj))
+		}
+		for i, q := range traj {
+			if q < 1 || q > 10 {
+				t.Fatalf("%v: q[%d] = %v out of [1,10]", p, i, q)
+			}
+		}
+	}
+}
+
+func TestRisingTrajectoryRises(t *testing.T) {
+	r := stats.NewRNG(2)
+	for trial := 0; trial < 10; trial++ {
+		traj, err := Generate(r, trajCfg(Rising))
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, _ := stats.Mean(traj[:40])
+		tail, _ := stats.Mean(traj[len(traj)-40:])
+		if tail <= head {
+			t.Errorf("trial %d: rising trajectory fell %v -> %v", trial, head, tail)
+		}
+	}
+}
+
+func TestDecliningTrajectoryDeclines(t *testing.T) {
+	r := stats.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		traj, err := Generate(r, trajCfg(Declining))
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, _ := stats.Mean(traj[:40])
+		tail, _ := stats.Mean(traj[len(traj)-40:])
+		if tail >= head {
+			t.Errorf("trial %d: declining trajectory rose %v -> %v", trial, head, tail)
+		}
+	}
+}
+
+func TestStableTrajectoryIsStable(t *testing.T) {
+	r := stats.NewRNG(4)
+	cfg := trajCfg(Stable)
+	cfg.Noise = 0.2
+	for trial := 0; trial < 10; trial++ {
+		traj, err := Generate(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable, err := stats.PaperStability.IsStable(traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Errorf("trial %d: stable trajectory fails the paper's stability criterion", trial)
+		}
+	}
+}
+
+func TestFluctuatingTrajectoryHasSwing(t *testing.T) {
+	r := stats.NewRNG(5)
+	traj, err := Generate(r, trajCfg(Fluctuating))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := stats.Variance(traj)
+	if v < 0.2 {
+		t.Errorf("fluctuating trajectory variance %v too small", v)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	want := map[Pattern]string{
+		Rising: "rising", Declining: "declining",
+		Fluctuating: "fluctuating", Stable: "stable", Pattern(99): "Pattern(99)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestEmitScores(t *testing.T) {
+	r := stats.NewRNG(6)
+	scores := EmitScores(r, 5.5, 1000, 3, 1, 10)
+	if len(scores) != 1000 {
+		t.Fatalf("len = %d", len(scores))
+	}
+	var acc stats.Accumulator
+	for _, s := range scores {
+		if s < 1 || s > 10 {
+			t.Fatalf("score %v out of range", s)
+		}
+		acc.Add(s)
+	}
+	if acc.Mean() < 4.5 || acc.Mean() > 6.5 {
+		t.Errorf("score mean %v far from latent 5.5", acc.Mean())
+	}
+	if got := EmitScores(r, 5, 0, 3, 1, 10); got != nil {
+		t.Errorf("zero tasks should emit nil, got %v", got)
+	}
+}
+
+func TestTruthfulStrategy(t *testing.T) {
+	truth := core.Bid{Cost: 1.5, Frequency: 3}
+	if got := (Truthful{}).Bid(stats.NewRNG(1), truth); got != truth {
+		t.Errorf("Truthful.Bid = %+v, want %+v", got, truth)
+	}
+}
+
+func TestCostCheatDirections(t *testing.T) {
+	r := stats.NewRNG(7)
+	truth := core.Bid{Cost: 1.5, Frequency: 3}
+	higher := CostCheat{Prob: 1, Direction: CheatHigher, CostMin: 1, CostMax: 2}
+	lower := CostCheat{Prob: 1, Direction: CheatLower, CostMin: 1, CostMax: 2}
+	random := CostCheat{Prob: 1, Direction: CheatRandom, CostMin: 1, CostMax: 2}
+	for i := 0; i < 100; i++ {
+		if b := higher.Bid(r, truth); b.Cost < truth.Cost || b.Cost > 2 {
+			t.Fatalf("higher cheat produced %v", b.Cost)
+		}
+		if b := lower.Bid(r, truth); b.Cost > truth.Cost || b.Cost < 1 {
+			t.Fatalf("lower cheat produced %v", b.Cost)
+		}
+		if b := random.Bid(r, truth); b.Cost < 1 || b.Cost >= 2 {
+			t.Fatalf("random cheat produced %v", b.Cost)
+		}
+		if b := higher.Bid(r, truth); b.Frequency != truth.Frequency {
+			t.Fatal("cost cheat changed frequency")
+		}
+	}
+	never := CostCheat{Prob: 0, Direction: CheatHigher, CostMin: 1, CostMax: 2}
+	if b := never.Bid(r, truth); b != truth {
+		t.Errorf("prob 0 cheat lied: %+v", b)
+	}
+}
+
+func TestFrequencyCheatDirections(t *testing.T) {
+	r := stats.NewRNG(8)
+	truth := core.Bid{Cost: 1.5, Frequency: 3}
+	higher := FrequencyCheat{Prob: 1, Direction: CheatHigher, FreqMax: 5}
+	lower := FrequencyCheat{Prob: 1, Direction: CheatLower, FreqMax: 5}
+	for i := 0; i < 100; i++ {
+		if b := higher.Bid(r, truth); b.Frequency <= truth.Frequency-1 || b.Frequency > 5 {
+			t.Fatalf("higher cheat produced %d", b.Frequency)
+		}
+		if b := lower.Bid(r, truth); b.Frequency >= truth.Frequency || b.Frequency < 1 {
+			t.Fatalf("lower cheat produced %d", b.Frequency)
+		}
+	}
+	// At the boundary there is no room to lie higher.
+	atMax := core.Bid{Cost: 1, Frequency: 5}
+	if b := higher.Bid(r, atMax); b != atMax {
+		t.Errorf("boundary cheat changed bid: %+v", b)
+	}
+}
+
+func TestLatentQuality(t *testing.T) {
+	w := &Worker{Trajectory: []float64{1, 2, 3}}
+	tests := []struct {
+		run  int
+		want float64
+	}{{0, 1}, {2, 3}, {5, 3}, {-1, 1}}
+	for _, tt := range tests {
+		if got := w.LatentQuality(tt.run); got != tt.want {
+			t.Errorf("LatentQuality(%d) = %v, want %v", tt.run, got, tt.want)
+		}
+	}
+	empty := &Worker{}
+	if got := empty.LatentQuality(0); got != 0 {
+		t.Errorf("empty trajectory = %v, want 0", got)
+	}
+}
+
+func TestNewPopulation(t *testing.T) {
+	r := stats.NewRNG(9)
+	cfg := PopulationConfig{
+		N: 50, Runs: 100,
+		CostMin: 1, CostMax: 2,
+		FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10,
+		Noise: 0.5,
+	}
+	workers, err := NewPopulation(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 50 {
+		t.Fatalf("population size %d", len(workers))
+	}
+	seen := make(map[string]bool)
+	for _, w := range workers {
+		if seen[w.ID] {
+			t.Fatalf("duplicate worker ID %s", w.ID)
+		}
+		seen[w.ID] = true
+		if w.TrueBid.Cost < 1 || w.TrueBid.Cost >= 2 {
+			t.Errorf("cost %v out of range", w.TrueBid.Cost)
+		}
+		if w.TrueBid.Frequency < 1 || w.TrueBid.Frequency > 5 {
+			t.Errorf("frequency %d out of range", w.TrueBid.Frequency)
+		}
+		if len(w.Trajectory) != 100 {
+			t.Errorf("trajectory length %d", len(w.Trajectory))
+		}
+		if _, ok := w.Strategy.(Truthful); !ok {
+			t.Error("default strategy is not Truthful")
+		}
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	r := stats.NewRNG(10)
+	if _, err := NewPopulation(r, PopulationConfig{N: 0}); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := NewPopulation(r, PopulationConfig{
+		N: 5, Runs: 10, CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10,
+		PatternWeights: map[Pattern]float64{Rising: 0},
+	}); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+}
+
+func TestNewPopulationWeights(t *testing.T) {
+	r := stats.NewRNG(11)
+	cfg := PopulationConfig{
+		N: 40, Runs: 150,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10, Noise: 0.1,
+		PatternWeights: map[Pattern]float64{Rising: 1},
+	}
+	workers, err := NewPopulation(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every trajectory must rise.
+	for _, w := range workers {
+		head, _ := stats.Mean(w.Trajectory[:30])
+		tail, _ := stats.Mean(w.Trajectory[len(w.Trajectory)-30:])
+		if tail <= head {
+			t.Errorf("worker %s: weighted-rising population produced non-rising trajectory", w.ID)
+		}
+	}
+}
+
+func TestCheatDirectionString(t *testing.T) {
+	if CheatHigher.String() != "higher" || CheatLower.String() != "lower" ||
+		CheatRandom.String() != "random" {
+		t.Error("CheatDirection strings wrong")
+	}
+}

@@ -1,0 +1,102 @@
+package melody
+
+import (
+	"math"
+	"testing"
+)
+
+func ledgerPlatform(t *testing.T, money *Ledger) *Platform {
+	t.Helper()
+	tracker, err := NewQualityTracker(QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+		EMPeriod: 5, EMWindow: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(PlatformConfig{
+		Auction:   AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+		Ledger:    money,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformWithLedgerSettlement(t *testing.T) {
+	money := NewLedger()
+	if _, err := money.Deposit(RequesterAccount, 500, "campaign funding"); err != nil {
+		t.Fatal(err)
+	}
+	p := ledgerPlatform(t, money)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := p.RegisterWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const budget = 60.0
+	if err := p.OpenRun([]Task{{ID: "t1", Threshold: 12}, {ID: "t2", Threshold: 12}}, budget); err != nil {
+		t.Fatal(err)
+	}
+	// Budget escrowed.
+	if got := money.Balance(RequesterAccount); got != 500-budget {
+		t.Errorf("requester after escrow = %v, want %v", got, 500-budget)
+	}
+	for i, id := range []string{"a", "b", "c", "d"} {
+		bid := Bid{Cost: 1.0 + 0.2*float64(i), Frequency: 2}
+		if err := p.SubmitBid(id, bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := p.CloseAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalPayment <= 0 {
+		t.Fatal("expected a non-trivial settlement")
+	}
+	// Workers got paid from escrow.
+	pays := out.WorkerPayments()
+	for id, want := range pays {
+		if got := money.Balance(LedgerAccount(id)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("worker %s balance %v, want %v", id, got, want)
+		}
+	}
+	for _, a := range out.Assignments {
+		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+	// Unspent escrow refunded; conservation holds.
+	wantRequester := 500 - out.TotalPayment
+	if got := money.Balance(RequesterAccount); math.Abs(got-wantRequester) > 1e-9 {
+		t.Errorf("requester after refund = %v, want %v", got, wantRequester)
+	}
+	if got := money.Balance("escrow"); math.Abs(got) > 1e-9 {
+		t.Errorf("escrow not emptied: %v", got)
+	}
+}
+
+func TestPlatformWithLedgerRequiresFunding(t *testing.T) {
+	p := ledgerPlatform(t, NewLedger()) // unfunded
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 50); err == nil {
+		t.Error("unfunded run accepted")
+	}
+}
+
+func TestPlatformWithoutLedgerUnaffected(t *testing.T) {
+	p := ledgerPlatform(t, nil)
+	if err := p.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 50); err != nil {
+		t.Fatalf("ledger-less platform failed: %v", err)
+	}
+}

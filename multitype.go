@@ -1,0 +1,184 @@
+package melody
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownTaskType is returned for operations on an unconfigured task
+// type.
+var ErrUnknownTaskType = errors.New("melody: unknown task type")
+
+// TypedTask is a task tagged with its type (e.g. "labeling", "sensing").
+// Section 3.1 of the paper scopes each mechanism run to homogeneous tasks
+// and notes the model "can be easily extended to the scenario with multiple
+// types of tasks by designing the incentive mechanism for each individual
+// type respectively" — MultiTypePlatform is that extension: one independent
+// Platform (auction + quality estimator) per type.
+type TypedTask struct {
+	Type string
+	Task Task
+}
+
+// MultiTypePlatform routes runs, bids, scores and quality queries to
+// per-type Platforms. A worker has an independent quality estimate for
+// every task type, reflecting that expertise does not transfer across
+// heterogeneous work.
+type MultiTypePlatform struct {
+	platforms map[string]*Platform
+	types     []string
+}
+
+// NewMultiTypePlatform builds one Platform per configured type. Estimators
+// must not be shared between types (each platform owns its estimator's
+// state); the constructor cannot verify this, so callers must pass a fresh
+// estimator per type.
+func NewMultiTypePlatform(configs map[string]PlatformConfig) (*MultiTypePlatform, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("melody: no task types configured")
+	}
+	m := &MultiTypePlatform{platforms: make(map[string]*Platform, len(configs))}
+	for taskType, cfg := range configs {
+		if taskType == "" {
+			return nil, errors.New("melody: empty task type")
+		}
+		p, err := NewPlatform(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("melody: type %q: %w", taskType, err)
+		}
+		m.platforms[taskType] = p
+		m.types = append(m.types, taskType)
+	}
+	sort.Strings(m.types)
+	return m, nil
+}
+
+// Types returns the configured task types in sorted order.
+func (m *MultiTypePlatform) Types() []string {
+	return append([]string(nil), m.types...)
+}
+
+// platform resolves a task type.
+func (m *MultiTypePlatform) platform(taskType string) (*Platform, error) {
+	p, ok := m.platforms[taskType]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTaskType, taskType)
+	}
+	return p, nil
+}
+
+// RegisterWorker registers the worker for every task type.
+func (m *MultiTypePlatform) RegisterWorker(workerID string) error {
+	for _, taskType := range m.types {
+		if err := m.platforms[taskType].RegisterWorker(workerID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenRun opens one run per task type present in tasks, each with its own
+// budget. Types without tasks stay idle; every listed type must have a
+// budget entry.
+func (m *MultiTypePlatform) OpenRun(tasks []TypedTask, budgets map[string]float64) error {
+	byType := make(map[string][]Task)
+	for _, t := range tasks {
+		if _, ok := m.platforms[t.Type]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownTaskType, t.Type)
+		}
+		byType[t.Type] = append(byType[t.Type], t.Task)
+	}
+	if len(byType) == 0 {
+		return errors.New("melody: no tasks to open")
+	}
+	// Validate budgets first so a partial failure cannot leave some types
+	// opened and others not.
+	for taskType := range byType {
+		if _, ok := budgets[taskType]; !ok {
+			return fmt.Errorf("melody: no budget for task type %q", taskType)
+		}
+	}
+	opened := make([]string, 0, len(byType))
+	for _, taskType := range m.types {
+		typeTasks, ok := byType[taskType]
+		if !ok {
+			continue
+		}
+		if err := m.platforms[taskType].OpenRun(typeTasks, budgets[taskType]); err != nil {
+			// Roll back nothing: runs already opened stay open and the
+			// caller sees which type failed. Validation above makes this
+			// reachable only through per-task validation errors.
+			return fmt.Errorf("melody: type %q: %w", taskType, err)
+		}
+		opened = append(opened, taskType)
+	}
+	_ = opened
+	return nil
+}
+
+// SubmitBid records a worker's bid for one task type's open run.
+func (m *MultiTypePlatform) SubmitBid(workerID, taskType string, bid Bid) error {
+	p, err := m.platform(taskType)
+	if err != nil {
+		return err
+	}
+	return p.SubmitBid(workerID, bid)
+}
+
+// CloseAuction closes every open per-type auction and returns the outcomes
+// keyed by type. Types with no open run are skipped.
+func (m *MultiTypePlatform) CloseAuction() (map[string]*Outcome, error) {
+	outcomes := make(map[string]*Outcome)
+	for _, taskType := range m.types {
+		out, err := m.platforms[taskType].CloseAuction()
+		if err != nil {
+			if errors.Is(err, ErrNoRunOpen) {
+				continue
+			}
+			return outcomes, fmt.Errorf("melody: type %q: %w", taskType, err)
+		}
+		outcomes[taskType] = out
+	}
+	if len(outcomes) == 0 {
+		return nil, ErrNoRunOpen
+	}
+	return outcomes, nil
+}
+
+// SubmitScore records a score for a worker's answer within one type's run.
+func (m *MultiTypePlatform) SubmitScore(workerID, taskType, taskID string, score float64) error {
+	p, err := m.platform(taskType)
+	if err != nil {
+		return err
+	}
+	return p.SubmitScore(workerID, taskID, score)
+}
+
+// FinishRun finishes every type's open run, updating per-type quality.
+func (m *MultiTypePlatform) FinishRun() error {
+	finished := 0
+	for _, taskType := range m.types {
+		err := m.platforms[taskType].FinishRun()
+		switch {
+		case err == nil:
+			finished++
+		case errors.Is(err, ErrNoRunOpen):
+		default:
+			return fmt.Errorf("melody: type %q: %w", taskType, err)
+		}
+	}
+	if finished == 0 {
+		return ErrNoRunOpen
+	}
+	return nil
+}
+
+// Quality returns the worker's quality estimate for one task type.
+func (m *MultiTypePlatform) Quality(workerID, taskType string) (float64, error) {
+	p, err := m.platform(taskType)
+	if err != nil {
+		return 0, err
+	}
+	return p.Quality(workerID)
+}

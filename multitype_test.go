@@ -1,0 +1,190 @@
+package melody
+
+import (
+	"errors"
+	"testing"
+)
+
+func multiTypeConfig(t *testing.T) map[string]PlatformConfig {
+	t.Helper()
+	build := func() PlatformConfig {
+		tracker, err := NewQualityTracker(QualityTrackerConfig{
+			InitialMean: 5.5, InitialVar: 2.25,
+			Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+			EMPeriod: 5, EMWindow: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PlatformConfig{
+			Auction:   AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+			Estimator: tracker,
+		}
+	}
+	return map[string]PlatformConfig{
+		"labeling": build(),
+		"sensing":  build(),
+	}
+}
+
+func TestNewMultiTypePlatformValidation(t *testing.T) {
+	if _, err := NewMultiTypePlatform(nil); err == nil {
+		t.Error("no types accepted")
+	}
+	if _, err := NewMultiTypePlatform(map[string]PlatformConfig{"": {}}); err == nil {
+		t.Error("empty type accepted")
+	}
+	if _, err := NewMultiTypePlatform(map[string]PlatformConfig{"x": {}}); err == nil {
+		t.Error("invalid platform config accepted")
+	}
+}
+
+func TestMultiTypeLifecycle(t *testing.T) {
+	m, err := NewMultiTypePlatform(multiTypeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Types(); len(got) != 2 || got[0] != "labeling" || got[1] != "sensing" {
+		t.Fatalf("Types = %v", got)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.RegisterWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tasks := []TypedTask{
+		{Type: "labeling", Task: Task{ID: "l1", Threshold: 10}},
+		{Type: "sensing", Task: Task{ID: "s1", Threshold: 10}},
+	}
+	budgets := map[string]float64{"labeling": 50, "sensing": 50}
+	if err := m.OpenRun(tasks, budgets); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.SubmitBid(id, "labeling", Bid{Cost: 1.2, Frequency: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SubmitBid(id, "sensing", Bid{Cost: 1.8, Frequency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outcomes, err := m.CloseAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes for %d types, want 2", len(outcomes))
+	}
+	// Score labeling answers high, sensing answers low: quality estimates
+	// must diverge per type for the same worker.
+	for taskType, out := range outcomes {
+		score := 9.0
+		if taskType == "sensing" {
+			score = 2.0
+		}
+		for _, a := range out.Assignments {
+			if err := m.SubmitScore(a.WorkerID, taskType, a.TaskID, score); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+
+	scoredWorker := outcomes["labeling"].Assignments[0].WorkerID
+	ql, err := m.Quality(scoredWorker, "labeling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := m.Quality(scoredWorker, "sensing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ql <= qs {
+		t.Errorf("per-type qualities did not diverge: labeling %v <= sensing %v", ql, qs)
+	}
+}
+
+func TestMultiTypeUnknownType(t *testing.T) {
+	m, err := NewMultiTypePlatform(multiTypeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SubmitBid("w", "cooking", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownTaskType) {
+		t.Errorf("unknown type bid = %v", err)
+	}
+	if _, err := m.Quality("w", "cooking"); !errors.Is(err, ErrUnknownTaskType) {
+		t.Errorf("unknown type quality = %v", err)
+	}
+	err = m.OpenRun([]TypedTask{{Type: "cooking", Task: Task{ID: "t", Threshold: 1}}},
+		map[string]float64{"cooking": 10})
+	if !errors.Is(err, ErrUnknownTaskType) {
+		t.Errorf("unknown type open = %v", err)
+	}
+}
+
+func TestMultiTypePartialRun(t *testing.T) {
+	// Only one type has tasks this run; the other stays idle and finish
+	// succeeds.
+	m, err := NewMultiTypePlatform(multiTypeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.RegisterWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := []TypedTask{{Type: "labeling", Task: Task{ID: "l1", Threshold: 8}}}
+	if err := m.OpenRun(tasks, map[string]float64{"labeling": 30}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.SubmitBid(id, "labeling", Bid{Cost: 1.1, Frequency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outcomes, err := m.CloseAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(outcomes))
+	}
+	if _, ok := outcomes["labeling"]; !ok {
+		t.Fatal("missing labeling outcome")
+	}
+	for _, a := range outcomes["labeling"].Assignments {
+		if err := m.SubmitScore(a.WorkerID, "labeling", a.TaskID, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiTypeOpenRunValidation(t *testing.T) {
+	m, err := NewMultiTypePlatform(multiTypeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OpenRun(nil, nil); err == nil {
+		t.Error("empty task set accepted")
+	}
+	tasks := []TypedTask{{Type: "labeling", Task: Task{ID: "l1", Threshold: 8}}}
+	if err := m.OpenRun(tasks, map[string]float64{}); err == nil {
+		t.Error("missing budget accepted")
+	}
+	if _, err := m.CloseAuction(); !errors.Is(err, ErrNoRunOpen) {
+		t.Errorf("close with nothing open = %v", err)
+	}
+	if err := m.FinishRun(); !errors.Is(err, ErrNoRunOpen) {
+		t.Errorf("finish with nothing open = %v", err)
+	}
+}

@@ -1,0 +1,340 @@
+package melody
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"melody/internal/ledger"
+)
+
+// Money-handling re-exports: an optional double-entry ledger can be
+// attached to a Platform so every run's budget is escrowed and every
+// payment settles to a worker balance.
+type (
+	// Ledger is the double-entry ledger type.
+	Ledger = ledger.Ledger
+	// LedgerAccount identifies a ledger account.
+	LedgerAccount = ledger.Account
+)
+
+// NewLedger returns an empty ledger. Fund the requester with
+// Deposit(RequesterAccount, ...) before opening runs on a ledger-backed
+// platform.
+func NewLedger() *Ledger { return ledger.New() }
+
+// RequesterAccount is the requester's funding account.
+const RequesterAccount = ledger.Requester
+
+// Platform state errors, matchable with errors.Is.
+var (
+	// ErrRunOpen is returned when an operation requires no open run.
+	ErrRunOpen = errors.New("melody: a run is already open")
+	// ErrNoRunOpen is returned when an operation requires an open run.
+	ErrNoRunOpen = errors.New("melody: no run is open")
+	// ErrAuctionClosed is returned when bids arrive after the auction
+	// closed.
+	ErrAuctionClosed = errors.New("melody: auction already closed")
+	// ErrAuctionOpen is returned when scores arrive before the auction
+	// closed.
+	ErrAuctionOpen = errors.New("melody: auction not closed yet")
+	// ErrUnknownWorker is returned for operations on unregistered workers.
+	ErrUnknownWorker = errors.New("melody: unknown worker")
+	// ErrNotAssigned is returned when a score targets a pair that was never
+	// allocated.
+	ErrNotAssigned = errors.New("melody: task not assigned to worker")
+	// ErrNoForecast is returned when the platform's estimator cannot
+	// produce predictive distributions (only the LDS tracker can).
+	ErrNoForecast = errors.New("melody: estimator does not support forecasting")
+)
+
+// Forecaster is the optional estimator capability of producing k-step-ahead
+// predictive distributions; the LDS QualityTracker implements it.
+type Forecaster interface {
+	Forecast(workerID string, steps int) (QualityForecast, error)
+}
+
+// PlatformConfig assembles a Platform.
+type PlatformConfig struct {
+	// Auction holds the qualification intervals of the mechanism.
+	Auction AuctionConfig
+	// Estimator tracks workers' long-term quality. Usually the tracker from
+	// NewQualityTracker; any Estimator works.
+	Estimator Estimator
+	// Ledger optionally settles money for real: OpenRun escrows the budget
+	// from the requester account (which must be funded), CloseAuction pays
+	// winners from escrow, FinishRun refunds the remainder. Nil disables
+	// settlement.
+	Ledger *Ledger
+}
+
+// Platform is the paper's crowdsourcing platform: it owns the worker
+// registry, runs the per-run reverse auction, collects answer scores and
+// updates every worker's quality estimate between runs (the Fig. 2
+// workflow). Platform is safe for concurrent use.
+type Platform struct {
+	mu      sync.Mutex
+	auction *Auction
+	est     Estimator
+	money   *Ledger
+	workers map[string]bool
+	run     int
+	open    *openRun
+}
+
+// openRun is the mutable state of the currently open run.
+type openRun struct {
+	tasks      []Task
+	budget     float64
+	bids       map[string]Bid
+	outcome    *Outcome
+	assigned   map[string]map[string]bool // worker -> task -> assigned
+	scores     map[string][]float64       // worker -> scores this run
+	settlement *ledger.RunSettlement      // nil when no ledger is attached
+}
+
+// NewPlatform constructs a Platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.Estimator == nil {
+		return nil, errors.New("melody: platform needs an estimator")
+	}
+	auction, err := NewAuction(cfg.Auction)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{
+		auction: auction,
+		est:     cfg.Estimator,
+		money:   cfg.Ledger,
+		workers: make(map[string]bool),
+	}, nil
+}
+
+// RegisterWorker adds a worker to the universal worker set. Registering an
+// existing worker is a no-op.
+func (p *Platform) RegisterWorker(workerID string) error {
+	if workerID == "" {
+		return errors.New("melody: empty worker ID")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workers[workerID] = true
+	return nil
+}
+
+// Workers returns the registered worker IDs in sorted order.
+func (p *Platform) Workers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.workers))
+	for id := range p.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run returns the number of completed runs.
+func (p *Platform) Run() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.run
+}
+
+// Quality returns the platform's current quality estimate for the worker.
+func (p *Platform) Quality(workerID string) (float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.workers[workerID] {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
+	}
+	return p.est.Estimate(workerID), nil
+}
+
+// Forecast returns the k-step-ahead predictive distribution of a worker's
+// quality, when the platform's estimator supports it (the LDS tracker
+// does); otherwise ErrNoForecast.
+func (p *Platform) Forecast(workerID string, steps int) (QualityForecast, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.workers[workerID] {
+		return QualityForecast{}, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
+	}
+	f, ok := p.est.(Forecaster)
+	if !ok {
+		return QualityForecast{}, ErrNoForecast
+	}
+	return f.Forecast(workerID, steps)
+}
+
+// OpenRun starts a new run: the requester publishes a task set and a
+// budget. Bids are accepted until CloseAuction.
+func (p *Platform) OpenRun(tasks []Task, budget float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.open != nil {
+		return ErrRunOpen
+	}
+	if len(tasks) == 0 {
+		return errors.New("melody: a run needs at least one task")
+	}
+	if budget < 0 {
+		return fmt.Errorf("melody: negative budget %v", budget)
+	}
+	seen := make(map[string]bool, len(tasks))
+	copied := make([]Task, len(tasks))
+	for i, t := range tasks {
+		if t.ID == "" {
+			return errors.New("melody: task with empty ID")
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("melody: duplicate task ID %q", t.ID)
+		}
+		if !(t.Threshold > 0) {
+			return fmt.Errorf("melody: task %q threshold %v must be positive", t.ID, t.Threshold)
+		}
+		seen[t.ID] = true
+		copied[i] = t
+	}
+	run := &openRun{
+		tasks:  copied,
+		budget: budget,
+		bids:   make(map[string]Bid),
+		scores: make(map[string][]float64),
+	}
+	if p.money != nil && budget > 0 {
+		settlement, err := p.money.OpenRun(p.run+1, budget)
+		if err != nil {
+			return fmt.Errorf("melody: escrow run budget: %w", err)
+		}
+		run.settlement = settlement
+	}
+	p.open = run
+	return nil
+}
+
+// SubmitBid records a worker's bid for the open run. Re-submitting replaces
+// the previous bid; only the final bid before CloseAuction counts.
+func (p *Platform) SubmitBid(workerID string, bid Bid) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.open == nil {
+		return ErrNoRunOpen
+	}
+	if p.open.outcome != nil {
+		return ErrAuctionClosed
+	}
+	if !p.workers[workerID] {
+		return fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
+	}
+	if !(bid.Cost > 0) {
+		return fmt.Errorf("melody: bid cost %v must be positive", bid.Cost)
+	}
+	if bid.Frequency < 1 {
+		return fmt.Errorf("melody: bid frequency %d must be at least 1", bid.Frequency)
+	}
+	p.open.bids[workerID] = bid
+	return nil
+}
+
+// CloseAuction ends the bidding phase, runs the mechanism and returns the
+// allocation and payment schemes. Workers who did not bid are excluded.
+func (p *Platform) CloseAuction() (*Outcome, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.open == nil {
+		return nil, ErrNoRunOpen
+	}
+	if p.open.outcome != nil {
+		return nil, ErrAuctionClosed
+	}
+	workers := make([]Worker, 0, len(p.open.bids))
+	for id, bid := range p.open.bids {
+		workers = append(workers, Worker{
+			ID:      id,
+			Bid:     bid,
+			Quality: p.est.Estimate(id),
+		})
+	}
+	// Deterministic instance ordering regardless of map iteration.
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+	out, err := p.auction.Run(Instance{
+		Workers: workers,
+		Tasks:   p.open.tasks,
+		Budget:  p.open.budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.open.settlement != nil {
+		// Settle every payment from escrow. The mechanism is budget
+		// feasible, so this cannot overdraw; an error here indicates a
+		// programming bug and aborts the close before state changes.
+		for _, a := range out.Assignments {
+			if err := p.open.settlement.Pay(LedgerAccount(a.WorkerID), a.Payment, a.TaskID); err != nil {
+				return nil, fmt.Errorf("melody: settle payment: %w", err)
+			}
+		}
+	}
+	p.open.outcome = out
+	p.open.assigned = make(map[string]map[string]bool)
+	for _, a := range out.Assignments {
+		if p.open.assigned[a.WorkerID] == nil {
+			p.open.assigned[a.WorkerID] = make(map[string]bool)
+		}
+		p.open.assigned[a.WorkerID][a.TaskID] = true
+	}
+	return out, nil
+}
+
+// SubmitScore records the requester's score for a worker's answer to an
+// assigned task. Each assigned (worker, task) pair takes at most one score.
+func (p *Platform) SubmitScore(workerID, taskID string, score float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.open == nil {
+		return ErrNoRunOpen
+	}
+	if p.open.outcome == nil {
+		return ErrAuctionOpen
+	}
+	if !p.open.assigned[workerID][taskID] {
+		return fmt.Errorf("%w: worker %s task %s", ErrNotAssigned, workerID, taskID)
+	}
+	p.open.assigned[workerID][taskID] = false // consume the slot
+	p.open.scores[workerID] = append(p.open.scores[workerID], score)
+	return nil
+}
+
+// FinishRun ends the run: every registered worker's quality is updated from
+// the scores collected this run (an empty set for workers who won nothing),
+// and the platform becomes ready for the next OpenRun.
+func (p *Platform) FinishRun() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.open == nil {
+		return ErrNoRunOpen
+	}
+	if p.open.outcome == nil {
+		return ErrAuctionOpen
+	}
+	ids := make([]string, 0, len(p.workers))
+	for id := range p.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := p.est.Observe(id, p.open.scores[id]); err != nil {
+			return fmt.Errorf("melody: update %s: %w", id, err)
+		}
+	}
+	if p.open.settlement != nil {
+		if err := p.open.settlement.Close(); err != nil {
+			return fmt.Errorf("melody: refund escrow: %w", err)
+		}
+	}
+	p.run++
+	p.open = nil
+	return nil
+}

@@ -1,0 +1,285 @@
+package melody
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func testPlatform(t *testing.T) *Platform {
+	t.Helper()
+	tracker, err := NewQualityTracker(QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10, EMWindow: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(PlatformConfig{
+		Auction:   AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	if _, err := NewPlatform(PlatformConfig{}); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	if _, err := NewPlatform(PlatformConfig{Estimator: NewMLAllRunsEstimator(5)}); err == nil {
+		t.Error("zero auction config accepted")
+	}
+}
+
+func TestPlatformLifecycle(t *testing.T) {
+	p := testPlatform(t)
+	for _, id := range []string{"alice", "bob", "carol", "dave"} {
+		if err := p.RegisterWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Workers(); len(got) != 4 || got[0] != "alice" {
+		t.Fatalf("Workers() = %v", got)
+	}
+
+	tasks := []Task{{ID: "label-1", Threshold: 10}, {ID: "label-2", Threshold: 10}}
+	if err := p.OpenRun(tasks, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun(tasks, 100); !errors.Is(err, ErrRunOpen) {
+		t.Errorf("double open = %v, want ErrRunOpen", err)
+	}
+
+	bids := map[string]Bid{
+		"alice": {Cost: 1.0, Frequency: 2},
+		"bob":   {Cost: 1.2, Frequency: 2},
+		"carol": {Cost: 1.5, Frequency: 2},
+		"dave":  {Cost: 1.8, Frequency: 2},
+	}
+	for id, b := range bids {
+		if err := p.SubmitBid(id, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SubmitBid("mallory", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown worker bid = %v", err)
+	}
+	if err := p.SubmitScore("alice", "label-1", 8); !errors.Is(err, ErrAuctionOpen) {
+		t.Errorf("early score = %v, want ErrAuctionOpen", err)
+	}
+
+	out, err := p.CloseAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Utility() == 0 {
+		t.Fatal("no tasks satisfied in a generous run")
+	}
+	if _, err := p.CloseAuction(); !errors.Is(err, ErrAuctionClosed) {
+		t.Errorf("double close = %v, want ErrAuctionClosed", err)
+	}
+	if err := p.SubmitBid("alice", bids["alice"]); !errors.Is(err, ErrAuctionClosed) {
+		t.Errorf("late bid = %v, want ErrAuctionClosed", err)
+	}
+
+	// Score every assignment.
+	for _, a := range out.Assignments {
+		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); err != nil {
+			t.Fatal(err)
+		}
+		// Second score for the same pair must be rejected.
+		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); !errors.Is(err, ErrNotAssigned) {
+			t.Errorf("duplicate score = %v, want ErrNotAssigned", err)
+		}
+	}
+	if err := p.SubmitScore("alice", "label-99", 5); !errors.Is(err, ErrNotAssigned) {
+		t.Errorf("unassigned score = %v, want ErrNotAssigned", err)
+	}
+
+	if err := p.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Run() != 1 {
+		t.Errorf("Run() = %d, want 1", p.Run())
+	}
+	// A scored worker's estimate moved toward the score.
+	winner := out.Assignments[0].WorkerID
+	q, err := p.Quality(winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 5.5 {
+		t.Errorf("winner quality %v did not move toward the 7.5 scores", q)
+	}
+	if _, err := p.Quality("mallory"); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown quality = %v", err)
+	}
+}
+
+func TestPlatformOpenRunValidation(t *testing.T) {
+	p := testPlatform(t)
+	if err := p.OpenRun(nil, 10); err == nil {
+		t.Error("empty task set accepted")
+	}
+	if err := p.OpenRun([]Task{{ID: "", Threshold: 1}}, 10); err == nil {
+		t.Error("empty task ID accepted")
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 0}}, 10); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 1}, {ID: "t", Threshold: 1}}, 10); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 1}}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestPlatformBidValidation(t *testing.T) {
+	p := testPlatform(t)
+	if err := p.SubmitBid("w", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrNoRunOpen) {
+		t.Errorf("bid without run = %v", err)
+	}
+	if err := p.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBid("w", Bid{Cost: 0, Frequency: 1}); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if err := p.SubmitBid("w", Bid{Cost: 1, Frequency: 0}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestPlatformMultipleRuns(t *testing.T) {
+	p := testPlatform(t)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := p.RegisterWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for run := 0; run < 5; run++ {
+		if err := p.OpenRun([]Task{{ID: "t", Threshold: 8}}, 50); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []string{"a", "b", "c"} {
+			if err := p.SubmitBid(id, Bid{Cost: 1.2, Frequency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := p.CloseAuction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range out.Assignments {
+			if err := p.SubmitScore(a.WorkerID, a.TaskID, 6); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.FinishRun(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Run() != 5 {
+		t.Errorf("Run() = %d, want 5", p.Run())
+	}
+}
+
+func TestPlatformConcurrentBids(t *testing.T) {
+	p := testPlatform(t)
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := p.RegisterWorker(workerID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 40}}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.SubmitBid(workerID(i), Bid{Cost: 1.5, Frequency: 1}); err != nil {
+				t.Errorf("bid %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	out, err := p.CloseAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("nil outcome")
+	}
+	if err := p.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func workerID(i int) string { return string(rune('A'+i%26)) + string(rune('a'+i/26)) }
+
+func TestPlatformForecast(t *testing.T) {
+	p := testPlatform(t)
+	if _, err := p.Forecast("ghost", 1); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown worker forecast = %v", err)
+	}
+	if err := p.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Forecast("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Steps != 2 || f.Var <= 0 {
+		t.Errorf("forecast = %+v", f)
+	}
+	lo, hi, err := f.Interval(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= f.Mean || hi <= f.Mean {
+		t.Errorf("interval [%v, %v] does not bracket %v", lo, hi, f.Mean)
+	}
+}
+
+func TestPlatformForecastUnsupported(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{
+		Auction:   AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: NewMLAllRunsEstimator(5.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forecast("w", 1); !errors.Is(err, ErrNoForecast) {
+		t.Errorf("baseline forecast = %v, want ErrNoForecast", err)
+	}
+}
+
+func TestPlatformFinishWithoutClose(t *testing.T) {
+	p := testPlatform(t)
+	if err := p.FinishRun(); !errors.Is(err, ErrNoRunOpen) {
+		t.Errorf("finish without run = %v", err)
+	}
+	if err := p.RegisterWorker("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FinishRun(); !errors.Is(err, ErrAuctionOpen) {
+		t.Errorf("finish before close = %v", err)
+	}
+}
