@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench-snapshot clean
+
+# ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
+# change lands.
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race re-runs the suite under the race detector; the concurrent paths
+# (quality.ObserveBatch, market.RunReplications, experiments.forEachPoint)
+# carry differential tests that exercise them.
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs every benchmark once — a compile-and-liveness check, not
+# a measurement.
+bench-smoke:
+	$(GO) test . -run '^$$' -bench . -benchtime 1x
+
+# bench-snapshot records a full BENCH_<n>.json regression snapshot against
+# the latest committed one (see cmd/melody-bench).
+bench-snapshot:
+	$(GO) run ./cmd/melody-bench -baseline $$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,345 @@
+// Command melody-bench is the repository's bench-regression harness: it runs
+// the kernel benchmarks (allocator, inference, estimator) through
+// testing.Benchmark and writes a BENCH_<n>.json snapshot so the performance
+// trajectory of the hot paths is tracked across PRs.
+//
+// Usage:
+//
+//	melody-bench                     # run all kernels, write BENCH_<next>.json
+//	melody-bench -out BENCH_2.json   # explicit snapshot name
+//	melody-bench -baseline BENCH_1.json
+//	                                 # embed a prior snapshot and print speedups
+//	melody-bench -filter alloc/      # run a subset
+//	melody-bench -list               # list kernel names
+//
+// Snapshots are plain JSON (see Snapshot below); compare any two with the
+// -baseline flag or a JSON diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/experiments"
+	"melody/internal/lds"
+	"melody/internal/quality"
+	"melody/internal/stats"
+)
+
+// Entry is one kernel's measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the on-disk BENCH_<n>.json format.
+type Snapshot struct {
+	Schema     int     `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note,omitempty"`
+	Entries    []Entry `json:"entries"`
+	// Baseline embeds the prior snapshot's entries when -baseline is given,
+	// so a committed snapshot is self-contained before/after evidence.
+	Baseline     []Entry `json:"baseline,omitempty"`
+	BaselineNote string  `json:"baseline_note,omitempty"`
+}
+
+// kernel is one named benchmark.
+type kernel struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func benchInstance(n, m int, budget float64) core.Instance {
+	r := stats.NewRNG(9)
+	return experiments.PaperSRA().Instance(r, n, m, budget)
+}
+
+func melodyKernel(n, m int, budget float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchInstance(n, m, budget)
+		mech, err := core.NewMelody(experiments.PaperSRA().AuctionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mech.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func randomKernel(n, m int, budget float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchInstance(n, m, budget)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mech, err := core.NewRandom(experiments.PaperSRA().AuctionConfig(), stats.NewRNG(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mech.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func optUBKernel(n, m int, budget float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchInstance(n, m, budget)
+		mech, err := core.NewOptUB(experiments.PaperSRA().AuctionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mech.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func kalmanKernel(b *testing.B) {
+	p := lds.Params{A: 1, Gamma: 0.3, Eta: 9}
+	st := lds.State{Mean: 5.5, Var: 2.25}
+	scores := []float64{6.0, 5.1, 7.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := lds.Update(p, st, scores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = next
+		if st.Var < 1e-9 {
+			st = lds.State{Mean: 5.5, Var: 2.25}
+		}
+	}
+}
+
+func smootherKernel(b *testing.B) {
+	r := stats.NewRNG(4)
+	history := make([][]float64, 100)
+	for t := range history {
+		history[t] = []float64{r.Normal(5, 2), r.Normal(5, 2)}
+	}
+	p := lds.Params{A: 1, Gamma: 0.3, Eta: 9}
+	init := lds.State{Mean: 5.5, Var: 2.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lds.Smooth(p, init, history); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func emKernel(b *testing.B) {
+	r := stats.NewRNG(5)
+	history := make([][]float64, 60)
+	for t := range history {
+		history[t] = []float64{r.Normal(5, 2)}
+	}
+	start := lds.Params{A: 1, Gamma: 0.3, Eta: 9}
+	init := lds.State{Mean: 5.5, Var: 2.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lds.EM(start, init, history, lds.EMConfig{MaxIter: 12, Tol: 1e-300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// observeKernel measures the estimator's steady-state per-run cost with the
+// paper's EM period and window: every iteration is one Observe, every 10th
+// carries an EM re-estimation over the 60-run window.
+func observeKernel(b *testing.B) {
+	est, err := quality.NewMelody(quality.MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10,
+		EMWindow: 60,
+		EM:       lds.EMConfig{MaxIter: 12},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(6)
+	pool := make([][]float64, 97)
+	for i := range pool {
+		pool[i] = []float64{r.Normal(5, 2), r.Normal(5, 2), r.Normal(5, 2)}
+	}
+	// Warm past the window so every benchmarked Observe runs at capacity.
+	for i := 0; i < 80; i++ {
+		if err := est.Observe("w", pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := est.Observe("w", pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func kernels() []kernel {
+	return []kernel{
+		{"alloc/melody/n300_m500", melodyKernel(300, 500, 2000)},
+		{"alloc/melody/n1000_m5000", melodyKernel(1000, 5000, 800)},
+		{"alloc/melody/n3000_m5000", melodyKernel(3000, 5000, 5000)},
+		{"alloc/random/n300_m500", randomKernel(300, 500, 2000)},
+		{"alloc/optub/n300_m500", optUBKernel(300, 500, 2000)},
+		{"lds/kalman_update", kalmanKernel},
+		{"lds/rts_smoother_r100", smootherKernel},
+		{"lds/em_w60_i12", emKernel},
+		{"quality/observe_t10_w60", observeKernel},
+	}
+}
+
+// nextSnapshotName returns BENCH_<n>.json for the smallest n not yet on disk.
+func nextSnapshotName(dir string) string {
+	for n := 1; ; n++ {
+		name := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+	}
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	out := flag.String("out", "", "snapshot path (default: next free BENCH_<n>.json)")
+	baseline := flag.String("baseline", "", "prior snapshot to embed and compare against")
+	filter := flag.String("filter", "", "regexp selecting kernels to run")
+	note := flag.String("note", "", "free-form note stored in the snapshot")
+	list := flag.Bool("list", false, "list kernel names and exit")
+	flag.Parse()
+
+	ks := kernels()
+	if *list {
+		for _, k := range ks {
+			fmt.Println(k.name)
+		}
+		return
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		re, err = regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "melody-bench: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	snap := &Snapshot{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+	var base *Snapshot
+	if *baseline != "" {
+		var err error
+		base, err = loadSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "melody-bench: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Baseline = base.Entries
+		snap.BaselineNote = base.Note
+	}
+
+	baseByName := map[string]Entry{}
+	if base != nil {
+		for _, e := range base.Entries {
+			baseByName[e.Name] = e
+		}
+	}
+
+	run := ks
+	if re != nil {
+		run = nil
+		for _, k := range ks {
+			if re.MatchString(k.name) {
+				run = append(run, k)
+			}
+		}
+		if len(run) == 0 {
+			fmt.Fprintf(os.Stderr, "melody-bench: -filter %q matches no kernel (see -list)\n", *filter)
+			os.Exit(2)
+		}
+	}
+
+	for _, k := range run {
+		res := testing.Benchmark(k.fn)
+		e := Entry{
+			Name:        k.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		snap.Entries = append(snap.Entries, e)
+		line := fmt.Sprintf("%-28s %12.0f ns/op %10d B/op %8d allocs/op",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		if b, ok := baseByName[e.Name]; ok && e.NsPerOp > 0 {
+			line += fmt.Sprintf("   %5.2fx vs baseline", b.NsPerOp/e.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
+
+	path := *out
+	if path == "" {
+		path = nextSnapshotName(".")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "melody-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "melody-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("snapshot written to %s\n", path)
+}

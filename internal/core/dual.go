@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 )
 
 // MelodyDual solves the dual form of the SRA problem sketched in the
@@ -51,47 +50,13 @@ func (m *MelodyDual) Run(in Instance) (*Outcome, error) {
 		return nil, fmt.Errorf("melody-dual: %w", err)
 	}
 
-	mel := Melody{cfg: m.cfg}
-	ranked := rankWorkers(in.Workers, m.cfg)
-	tasks := sortTasksByThreshold(in.Tasks)
-	remaining := make(map[string]int, len(ranked))
-	for _, w := range ranked {
-		remaining[w.ID] = w.Bid.Frequency
-	}
-
-	candidates := make([]preAllocation, 0, len(tasks))
-	for _, task := range tasks {
-		pre, ok := mel.preAllocate(task, ranked, remaining)
-		if !ok {
-			continue
-		}
-		for _, w := range pre.winners {
-			remaining[w.ID]--
-		}
-		candidates = append(candidates, pre)
-	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].total != candidates[j].total {
-			return candidates[i].total < candidates[j].total
-		}
-		return candidates[i].task.ID < candidates[j].task.ID
-	})
-
-	out := &Outcome{TaskPayment: make(map[string]float64)}
-	for _, c := range candidates {
+	pre := preAllocateAll(m.cfg, in)
+	out := &Outcome{TaskPayment: make(map[string]float64, len(pre.candidates))}
+	for _, c := range pre.candidates {
 		if len(out.SelectedTasks) >= m.target {
 			break
 		}
-		out.SelectedTasks = append(out.SelectedTasks, c.task.ID)
-		out.TaskPayment[c.task.ID] = c.total
-		out.TotalPayment += c.total
-		for i, w := range c.winners {
-			out.Assignments = append(out.Assignments, Assignment{
-				WorkerID: w.ID,
-				TaskID:   c.task.ID,
-				Payment:  c.pays[i],
-			})
-		}
+		pre.accept(out, c)
 	}
 	return out, nil
 }

@@ -29,121 +29,186 @@ func (m *Melody) Config() Config { return m.cfg }
 // Name implements Mechanism.
 func (m *Melody) Name() string { return "MELODY" }
 
-// preAllocation is the per-task result of Algorithm 1's first stage.
+// preAllocation is the per-task result of Algorithm 1's first stage. Winners
+// and payments live in the Run-wide arenas (winnerArena/payArena) at
+// [off, off+n); storing offsets instead of per-task slices keeps the
+// pre-allocation stage at two amortized allocations total.
 type preAllocation struct {
-	task    Task
-	winners []Worker  // the top-k available workers covering Q_j
-	pays    []float64 // p_ij for each winner, parallel to winners
-	total   float64   // P_j
+	task  Task
+	off   int     // start of this task's winners/pays in the arenas
+	n     int     // number of winners
+	total float64 // P_j
 }
 
-// Run implements Mechanism. The two stages follow Algorithm 1:
+// availIndex is the allocator's next-available skip structure over the
+// ranked worker array. remaining[i] is worker i's unconsumed frequency;
+// next[i] is a path-compressed pointer to the lowest rank >= i that may
+// still be available. A prefix scan therefore skips runs of exhausted
+// workers in amortized O(1) instead of re-walking them for every task,
+// bringing Algorithm 1's pre-allocation stage to O(N + M*k) where k is the
+// per-task winner count.
+type availIndex struct {
+	remaining []int
+	next      []int32
+}
+
+func newAvailIndex(ranked []Worker) availIndex {
+	a := availIndex{
+		remaining: make([]int, len(ranked)),
+		next:      make([]int32, len(ranked)),
+	}
+	for i, w := range ranked {
+		a.remaining[i] = w.Bid.Frequency
+		a.next[i] = int32(i)
+	}
+	return a
+}
+
+// find returns the lowest available rank >= i, or len(remaining) when the
+// suffix is exhausted, compressing the pointer chain it walked.
+func (a *availIndex) find(i int) int {
+	n := len(a.remaining)
+	root := i
+	for root < n && a.remaining[root] <= 0 {
+		root = int(a.next[root])
+	}
+	for i < n && a.remaining[i] <= 0 {
+		i, a.next[i] = int(a.next[i]), int32(root)
+	}
+	return root
+}
+
+// consume spends one unit of worker i's frequency, splicing the rank out of
+// the skip structure when it exhausts.
+func (a *availIndex) consume(i int) {
+	a.remaining[i]--
+	if a.remaining[i] == 0 {
+		a.next[i] = int32(i + 1)
+	}
+}
+
+// preAllocResult is the output of Algorithm 1's pre-allocation stage,
+// shared by Melody (budgeted primal) and MelodyDual (utility-target dual).
+type preAllocResult struct {
+	ranked      []Worker
+	candidates  []preAllocation // sorted ascending by (P_j, task ID)
+	winnerArena []int32
+	payArena    []float64
+}
+
+// accept copies candidate c into the outcome.
+func (r *preAllocResult) accept(out *Outcome, c preAllocation) {
+	out.SelectedTasks = append(out.SelectedTasks, c.task.ID)
+	out.TaskPayment[c.task.ID] = c.total
+	out.TotalPayment += c.total
+	for i := 0; i < c.n; i++ {
+		out.Assignments = append(out.Assignments, Assignment{
+			WorkerID: r.ranked[r.winnerArena[c.off+i]].ID,
+			TaskID:   c.task.ID,
+			Payment:  r.payArena[c.off+i],
+		})
+	}
+}
+
+// preAllocateAll runs Algorithm 1's pre-allocation stage (lines 2-14):
+// workers are ranked by mu/c descending, tasks by Q ascending. For each
+// task, the smallest prefix of still-available (n_i > 0) workers whose
+// quality sum covers Q_j wins, and each winner is paid the critical price
+// (c_pivot/mu_pivot)*mu_i where the pivot is the next available worker in
+// the ranking queue; if no pivot exists the task cannot be priced
+// truthfully and is skipped. Candidates are returned sorted ascending by
+// total payment, ready for either scheme-determination rule.
 //
-// Pre-allocation (lines 2-14): workers are ranked by mu/c descending, tasks
-// by Q ascending. For each task, the smallest prefix of still-available
-// (n_i > 0) workers whose quality sum covers Q_j wins, and each winner is
-// paid the critical price (c_pivot/mu_pivot)*mu_i where the pivot is the
-// next available worker in the ranking queue; if no pivot exists the task
-// cannot be priced truthfully and is skipped.
-//
-// Scheme determination (lines 15-21): candidate tasks are sorted by total
-// payment P_j ascending and accepted while the remaining budget allows.
+// Workers are addressed by rank position throughout — no per-task ID map —
+// and exhausted ranks are skipped via the path-compressed availIndex, so a
+// task's scan costs its winner count, not the full ranking length.
+func preAllocateAll(cfg Config, in Instance) preAllocResult {
+	ranked := rankWorkers(in.Workers, cfg)
+	tasks := sortTasksByThreshold(in.Tasks)
+	avail := newAvailIndex(ranked)
+
+	// Winner ranks and payments accumulate in shared arenas; a failed task
+	// rolls its provisional winners back by truncating.
+	res := preAllocResult{
+		ranked:      ranked,
+		candidates:  make([]preAllocation, 0, len(tasks)),
+		winnerArena: make([]int32, 0, 4*len(tasks)),
+		payArena:    make([]float64, 0, 4*len(tasks)),
+	}
+	for _, task := range tasks {
+		off := len(res.winnerArena)
+		sum := 0.0
+		covered := -1
+		for idx := avail.find(0); idx < len(ranked); idx = avail.find(idx + 1) {
+			res.winnerArena = append(res.winnerArena, int32(idx))
+			sum += ranked[idx].Quality
+			if sum >= task.Threshold {
+				covered = idx
+				break
+			}
+		}
+		if covered < 0 {
+			// The available set cannot cover this threshold. Failures leave
+			// the available set untouched and tasks are sorted by ascending
+			// Q_j, so every later task fails the same way: stop scanning.
+			res.winnerArena = res.winnerArena[:off]
+			break
+		}
+		pivot := avail.find(covered + 1)
+		if pivot >= len(ranked) {
+			// Covered only by using the last available worker, leaving no
+			// pivot to price against. Any later task needs at least as much
+			// quality from the same available set, so it too would end on
+			// the last available rank without a pivot: stop scanning.
+			res.winnerArena = res.winnerArena[:off]
+			break
+		}
+		// The pivot is the next available worker after the winning prefix.
+		// Its cost density caps what each winner is paid, making the payment
+		// independent of the winner's own bid (the critical-payment rule
+		// behind Theorem 4).
+		density := ranked[pivot].Bid.Cost / ranked[pivot].Quality
+		total := 0.0
+		for _, wi := range res.winnerArena[off:] {
+			p := density * ranked[wi].Quality
+			res.payArena = append(res.payArena, p)
+			total += p
+		}
+		for _, wi := range res.winnerArena[off:] {
+			avail.consume(int(wi))
+		}
+		res.candidates = append(res.candidates, preAllocation{
+			task: task, off: off, n: len(res.winnerArena) - off, total: total,
+		})
+	}
+	sort.Slice(res.candidates, func(i, j int) bool {
+		if res.candidates[i].total != res.candidates[j].total {
+			return res.candidates[i].total < res.candidates[j].total
+		}
+		return res.candidates[i].task.ID < res.candidates[j].task.ID
+	})
+	return res
+}
+
+// Run implements Mechanism. The two stages follow Algorithm 1: the indexed
+// pre-allocation stage (see preAllocateAll), then scheme determination
+// (lines 15-21) accepting candidate tasks in ascending order of total
+// payment P_j while the remaining budget allows.
 func (m *Melody) Run(in Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("melody: %w", err)
 	}
-	ranked := rankWorkers(in.Workers, m.cfg)
-	tasks := sortTasksByThreshold(in.Tasks)
-
-	remaining := make(map[string]int, len(ranked))
-	for _, w := range ranked {
-		remaining[w.ID] = w.Bid.Frequency
-	}
-
-	// Pre-allocation stage.
-	candidates := make([]preAllocation, 0, len(tasks))
-	for _, task := range tasks {
-		pre, ok := m.preAllocate(task, ranked, remaining)
-		if !ok {
-			continue
-		}
-		for _, w := range pre.winners {
-			remaining[w.ID]--
-		}
-		candidates = append(candidates, pre)
-	}
-
-	// Scheme determination stage.
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].total != candidates[j].total {
-			return candidates[i].total < candidates[j].total
-		}
-		return candidates[i].task.ID < candidates[j].task.ID
-	})
-	out := &Outcome{TaskPayment: make(map[string]float64)}
+	pre := preAllocateAll(m.cfg, in)
+	out := &Outcome{TaskPayment: make(map[string]float64, len(pre.candidates))}
 	budget := in.Budget
-	for _, c := range candidates {
+	for _, c := range pre.candidates {
 		if c.total > budget {
 			// Candidates are sorted ascending by P_j, so nothing later fits
 			// either.
 			break
 		}
 		budget -= c.total
-		out.SelectedTasks = append(out.SelectedTasks, c.task.ID)
-		out.TaskPayment[c.task.ID] = c.total
-		out.TotalPayment += c.total
-		for i, w := range c.winners {
-			out.Assignments = append(out.Assignments, Assignment{
-				WorkerID: w.ID,
-				TaskID:   c.task.ID,
-				Payment:  c.pays[i],
-			})
-		}
+		pre.accept(out, c)
 	}
 	return out, nil
-}
-
-// preAllocate finds, for one task, the smallest prefix of available ranked
-// workers whose total estimated quality reaches the threshold, and prices
-// each winner at the pivot's cost density (Algorithm 1, lines 6-12).
-func (m *Melody) preAllocate(task Task, ranked []Worker, remaining map[string]int) (preAllocation, bool) {
-	pre := preAllocation{task: task}
-	var sum float64
-	covered := -1 // index in ranked of the last winner
-	for idx, w := range ranked {
-		if remaining[w.ID] <= 0 {
-			continue
-		}
-		pre.winners = append(pre.winners, w)
-		sum += w.Quality
-		if sum >= task.Threshold {
-			covered = idx
-			break
-		}
-	}
-	if covered < 0 {
-		return preAllocation{}, false
-	}
-	// The pivot is the next available worker after the winning prefix. Its
-	// cost density caps what each winner is paid, making the payment
-	// independent of the winner's own bid (the critical-payment rule behind
-	// Theorem 4).
-	var pivot *Worker
-	for idx := covered + 1; idx < len(ranked); idx++ {
-		if remaining[ranked[idx].ID] > 0 {
-			pivot = &ranked[idx]
-			break
-		}
-	}
-	if pivot == nil {
-		return preAllocation{}, false
-	}
-	density := pivot.Bid.Cost / pivot.Quality
-	pre.pays = make([]float64, len(pre.winners))
-	for i, w := range pre.winners {
-		p := density * w.Quality
-		pre.pays[i] = p
-		pre.total += p
-	}
-	return pre, true
 }

@@ -65,7 +65,10 @@ func (o *OptUB) Run(in Instance) (*Outcome, error) {
 	sort.Slice(caps, func(i, j int) bool { return caps[i].density < caps[j].density })
 	tasks := sortTasksByThreshold(in.Tasks)
 
-	out := &Outcome{TaskPayment: make(map[string]float64)}
+	// The ci cursor below is OPT-UB's counterpart of the MELODY allocator's
+	// next-available index: capacity already drained is never re-scanned, so
+	// the whole sweep is O(N log N + M·k) like the indexed primal.
+	out := &Outcome{TaskPayment: make(map[string]float64, len(tasks))}
 	budget := in.Budget
 	ci := 0 // first capacity entry with units remaining
 	for _, task := range tasks {

@@ -21,6 +21,15 @@ import (
 //
 // A task whose pool payment exceeds the remaining budget is skipped; later
 // (cheaper) tasks may still be accepted, preserving budget feasibility.
+//
+// Like the MELODY allocator, workers are addressed by position into the
+// qualified slice: availability is an incrementally compacted index list
+// instead of a per-task map rebuild, and the draw pool is kept sorted by
+// binary insertion instead of being fully re-sorted after every draw. The
+// comparator is a strict total order (densities tie-break on unique IDs),
+// so the insertion-sorted pool is byte-identical to the seed's re-sorted
+// one, and the RNG stream (one Perm per task over the same availability
+// count) is unchanged.
 type Random struct {
 	cfg Config
 	rng *stats.RNG
@@ -42,20 +51,42 @@ func NewRandom(cfg Config, rng *stats.RNG) (*Random, error) {
 // Name implements Mechanism.
 func (r *Random) Name() string { return "RANDOM" }
 
+// randomState is the per-Run working set, reused across tasks.
+type randomState struct {
+	qualified []Worker
+	density   []float64 // qualified[i].Quality / qualified[i].Bid.Cost
+	remaining []int     // unconsumed frequency per qualified index
+	available []int32   // qualified indices with remaining > 0, in rank order
+	pool      []int32   // current task's draw pool, kept sorted by density
+}
+
+// less orders qualified indices by descending density with the ID
+// tie-break, matching the seed's sort.Slice comparator exactly.
+func (s *randomState) less(a, b int32) bool {
+	if s.density[a] != s.density[b] {
+		return s.density[a] > s.density[b]
+	}
+	return s.qualified[a].ID < s.qualified[b].ID
+}
+
 // Run implements Mechanism.
 func (r *Random) Run(in Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("random: %w", err)
 	}
-	qualified := make([]Worker, 0, len(in.Workers))
+	st := randomState{qualified: make([]Worker, 0, len(in.Workers))}
 	for _, w := range in.Workers {
 		if r.cfg.Qualifies(w) {
-			qualified = append(qualified, w)
+			st.qualified = append(st.qualified, w)
 		}
 	}
-	remaining := make(map[string]int, len(qualified))
-	for _, w := range qualified {
-		remaining[w.ID] = w.Bid.Frequency
+	st.density = make([]float64, len(st.qualified))
+	st.remaining = make([]int, len(st.qualified))
+	st.available = make([]int32, len(st.qualified))
+	for i, w := range st.qualified {
+		st.density[i] = w.Quality / w.Bid.Cost
+		st.remaining[i] = w.Bid.Frequency
+		st.available[i] = int32(i)
 	}
 
 	taskOrder := r.rng.Perm(len(in.Tasks))
@@ -63,7 +94,7 @@ func (r *Random) Run(in Instance) (*Outcome, error) {
 	budget := in.Budget
 	for _, ti := range taskOrder {
 		task := in.Tasks[ti]
-		winners, pays, total, ok := r.poolForTask(task, qualified, remaining)
+		winners, pays, total, ok := r.poolForTask(task, &st)
 		if !ok || total > budget {
 			continue
 		}
@@ -71,64 +102,71 @@ func (r *Random) Run(in Instance) (*Outcome, error) {
 		out.SelectedTasks = append(out.SelectedTasks, task.ID)
 		out.TaskPayment[task.ID] = total
 		out.TotalPayment += total
-		for i, w := range winners {
-			remaining[w.ID]--
+		exhausted := false
+		for i, wi := range winners {
+			st.remaining[wi]--
+			if st.remaining[wi] == 0 {
+				exhausted = true
+			}
 			out.Assignments = append(out.Assignments, Assignment{
-				WorkerID: w.ID,
+				WorkerID: st.qualified[wi].ID,
 				TaskID:   task.ID,
 				Payment:  pays[i],
 			})
+		}
+		if exhausted {
+			// Compact the availability list in place, preserving rank order —
+			// the incremental equivalent of the seed's per-task rebuild.
+			kept := st.available[:0]
+			for _, wi := range st.available {
+				if st.remaining[wi] > 0 {
+					kept = append(kept, wi)
+				}
+			}
+			st.available = kept
 		}
 	}
 	return out, nil
 }
 
 // poolForTask draws available workers uniformly at random until the pool
-// minus its lowest-density member covers the threshold.
-func (r *Random) poolForTask(task Task, qualified []Worker, remaining map[string]int) (winners []Worker, pays []float64, total float64, ok bool) {
-	available := make([]Worker, 0, len(qualified))
-	for _, w := range qualified {
-		if remaining[w.ID] > 0 {
-			available = append(available, w)
-		}
-	}
+// minus its lowest-density member covers the threshold. The returned
+// winners/pays alias state scratch buffers valid until the next call.
+func (r *Random) poolForTask(task Task, st *randomState) (winners []int32, pays []float64, total float64, ok bool) {
 	// Draw without replacement in random order; grow the pool until the
-	// top-k cover Q_j.
-	order := r.rng.Perm(len(available))
-	var pool []Worker
+	// top-k cover Q_j. The permutation length must equal the availability
+	// count so the RNG stream matches the seed implementation draw for draw.
+	order := r.rng.Perm(len(st.available))
+	st.pool = st.pool[:0]
 	var sum float64
-	found := -1
-	for drawn, oi := range order {
-		w := available[oi]
-		pool = append(pool, w)
-		sum += w.Quality
-		if len(pool) >= 2 {
+	found := false
+	for _, oi := range order {
+		wi := st.available[oi]
+		// Binary-insert to keep the pool sorted by descending density.
+		pos := sort.Search(len(st.pool), func(k int) bool { return st.less(wi, st.pool[k]) })
+		st.pool = append(st.pool, 0)
+		copy(st.pool[pos+1:], st.pool[pos:])
+		st.pool[pos] = wi
+		sum += st.qualified[wi].Quality
+		if len(st.pool) >= 2 {
 			// Check whether the pool minus its lowest-density member covers
 			// the threshold.
-			sort.Slice(pool, func(i, j int) bool {
-				di := pool[i].Quality / pool[i].Bid.Cost
-				dj := pool[j].Quality / pool[j].Bid.Cost
-				if di != dj {
-					return di > dj
-				}
-				return pool[i].ID < pool[j].ID
-			})
-			last := pool[len(pool)-1]
-			if sum-last.Quality >= task.Threshold {
-				found = drawn
+			last := st.pool[len(st.pool)-1]
+			if sum-st.qualified[last].Quality >= task.Threshold {
+				found = true
 				break
 			}
 		}
 	}
-	if found < 0 {
+	if !found {
 		return nil, nil, 0, false
 	}
-	pivot := pool[len(pool)-1]
-	winners = pool[:len(pool)-1]
+	pivot := st.qualified[st.pool[len(st.pool)-1]]
+	winners = st.pool[:len(st.pool)-1]
 	density := pivot.Bid.Cost / pivot.Quality
 	pays = make([]float64, len(winners))
-	for i, w := range winners {
-		pays[i] = density * w.Quality
+	for i, wi := range winners {
+		pays[i] = density * st.qualified[wi].Quality
 		total += pays[i]
 	}
 	return winners, pays, total, true

@@ -95,16 +95,17 @@ func Ablations(opts Options) (*Output, error) {
 		Title:  "Design-choice ablations on the reduced Table 4 world",
 		Header: []string{"Ablation", "Configuration", "avg est. error", "avg true utility"},
 	}
+	// Rows are declared serially, then every cell — an independent world
+	// rebuilt from opts.Seed with its own estimator — is simulated in
+	// parallel; the table keeps declaration order.
+	type rowSpec struct {
+		group, config string
+		est           quality.Estimator
+		auction       core.Config
+	}
+	var rows []rowSpec
 	addRow := func(group, config string, est quality.Estimator, auction core.Config) error {
-		errMean, utilMean, err := ablationCell(opts.Seed, lt, auction, est)
-		if err != nil {
-			return fmt.Errorf("ablation %s/%s: %w", group, config, err)
-		}
-		tbl.Rows = append(tbl.Rows, []string{
-			group, config,
-			fmt.Sprintf("%.3f", errMean),
-			fmt.Sprintf("%.2f", utilMean),
-		})
+		rows = append(rows, rowSpec{group: group, config: config, est: est, auction: auction})
 		return nil
 	}
 
@@ -172,6 +173,23 @@ func Ablations(opts Options) (*Output, error) {
 		return nil, err
 	}
 	if err := addRow("allocation estimate", "posterior mean", &posteriorEstimator{inner: innerForPost}, paperAuction); err != nil {
+		return nil, err
+	}
+
+	tbl.Rows = make([][]string, len(rows))
+	if err := forEachPoint(len(rows), func(i int) error {
+		row := rows[i]
+		errMean, utilMean, err := ablationCell(opts.Seed, lt, row.auction, row.est)
+		if err != nil {
+			return fmt.Errorf("ablation %s/%s: %w", row.group, row.config, err)
+		}
+		tbl.Rows[i] = []string{
+			row.group, row.config,
+			fmt.Sprintf("%.3f", errMean),
+			fmt.Sprintf("%.2f", utilMean),
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 

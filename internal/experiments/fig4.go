@@ -14,8 +14,49 @@ type sweepResult struct {
 	optUB, melody, random float64
 }
 
+// sweepSpec describes one sweep point's workload.
+type sweepSpec struct {
+	n, m   int
+	budget float64
+}
+
+// splitPointRNGs derives one point's RNG streams from the sweep stream: two
+// splits per repetition — the instance stream, then the RANDOM-mechanism
+// stream — in exactly the order the serial driver used to interleave them.
+// Splitting every point up front from a single goroutine is what lets
+// runSweep evaluate the points concurrently while reproducing the serial
+// driver's stream tree bit for bit (see TestRunSweepMatchesSerialSplits).
+func splitPointRNGs(r *stats.RNG, reps int) []*stats.RNG {
+	rngs := make([]*stats.RNG, 2*reps)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	return rngs
+}
+
+// runSweep evaluates every spec — in parallel, up to GOMAXPROCS points at a
+// time — and returns the results in spec order.
+func runSweep(r *stats.RNG, cfg SRAConfig, specs []sweepSpec, reps int) ([]sweepResult, error) {
+	rngs := make([][]*stats.RNG, len(specs))
+	for i := range specs {
+		rngs[i] = splitPointRNGs(r, reps)
+	}
+	results := make([]sweepResult, len(specs))
+	err := forEachPoint(len(specs), func(i int) error {
+		res, err := runSweepPoint(rngs[i], cfg, specs[i].n, specs[i].m, specs[i].budget, reps)
+		if err != nil {
+			return fmt.Errorf("sweep point N=%d M=%d B=%g: %w", specs[i].n, specs[i].m, specs[i].budget, err)
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}
+
 // runSweepPoint draws reps instances and averages each mechanism's utility.
-func runSweepPoint(r *stats.RNG, cfg SRAConfig, n, m int, budget float64, reps int) (sweepResult, error) {
+// rngs carries the point's pre-split streams, two per repetition
+// (splitPointRNGs order).
+func runSweepPoint(rngs []*stats.RNG, cfg SRAConfig, n, m int, budget float64, reps int) (sweepResult, error) {
 	auction := cfg.AuctionConfig()
 	mel, err := core.NewMelody(auction)
 	if err != nil {
@@ -27,8 +68,8 @@ func runSweepPoint(r *stats.RNG, cfg SRAConfig, n, m int, budget float64, reps i
 	}
 	var res sweepResult
 	for rep := 0; rep < reps; rep++ {
-		in := cfg.Instance(r.Split(), n, m, budget)
-		rnd, err := core.NewRandom(auction, r.Split())
+		in := cfg.Instance(rngs[2*rep], n, m, budget)
+		rnd, err := core.NewRandom(auction, rngs[2*rep+1])
 		if err != nil {
 			return sweepResult{}, err
 		}
@@ -103,16 +144,23 @@ func Fig4a(opts Options) (*Output, error) {
 		ID: "fig4a", Title: "Requester's utility changing with the number of workers",
 		XLabel: "number of workers", YLabel: "requester's utility",
 	}
-	var all []sweepResult
+	var specs []sweepSpec
+	for _, budget := range budgets {
+		for n := step; n <= maxN; n += step {
+			specs = append(specs, sweepSpec{n: n, m: m, budget: budget})
+		}
+	}
+	all, err := runSweep(r, cfg, specs, reps)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, budget := range budgets {
 		var xs []float64
 		var ub, mel, rnd []float64
 		for n := step; n <= maxN; n += step {
-			p, err := runSweepPoint(r, cfg, n, m, budget, reps)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, p)
+			p := all[idx]
+			idx++
 			xs = append(xs, float64(n))
 			ub = append(ub, p.optUB)
 			mel = append(mel, p.melody)
@@ -147,16 +195,23 @@ func Fig4b(opts Options) (*Output, error) {
 		ID: "fig4b", Title: "Requester's utility changing with the value of budget",
 		XLabel: "budget", YLabel: "requester's utility",
 	}
-	var all []sweepResult
+	var specs []sweepSpec
+	for _, n := range ns {
+		for b := stepB; b <= maxB+1e-9; b += stepB {
+			specs = append(specs, sweepSpec{n: n, m: m, budget: b})
+		}
+	}
+	all, err := runSweep(r, cfg, specs, reps)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, n := range ns {
 		var xs []float64
 		var ub, mel, rnd []float64
 		for b := stepB; b <= maxB+1e-9; b += stepB {
-			p, err := runSweepPoint(r, cfg, n, m, b, reps)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, p)
+			p := all[idx]
+			idx++
 			xs = append(xs, b)
 			ub = append(ub, p.optUB)
 			mel = append(mel, p.melody)
@@ -190,16 +245,23 @@ func Fig4c(opts Options) (*Output, error) {
 		ID: "fig4c", Title: "Requester's utility changing with the number of tasks",
 		XLabel: "number of tasks", YLabel: "requester's utility",
 	}
-	var all []sweepResult
+	var specs []sweepSpec
+	for _, n := range ns {
+		for m := step; m <= maxM; m += step {
+			specs = append(specs, sweepSpec{n: n, m: m, budget: 2000})
+		}
+	}
+	all, err := runSweep(r, cfg, specs, reps)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, n := range ns {
 		var xs []float64
 		var ub, mel, rnd []float64
 		for m := step; m <= maxM; m += step {
-			p, err := runSweepPoint(r, cfg, n, m, 2000, reps)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, p)
+			p := all[idx]
+			idx++
 			xs = append(xs, float64(m))
 			ub = append(ub, p.optUB)
 			mel = append(mel, p.melody)

@@ -118,13 +118,20 @@ func Fig9(opts Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*fig9Result, 0, len(ests))
-	for _, est := range ests {
-		res, err := runLongTerm(opts.Seed, lt, est)
+	// The four competitors are fully independent — each rebuilds its world
+	// from a fresh stats.NewRNG(opts.Seed) — so they run concurrently;
+	// results stay in estimator order.
+	results := make([]*fig9Result, len(ests))
+	err = forEachPoint(len(ests), func(i int) error {
+		res, err := runLongTerm(opts.Seed, lt, ests[i])
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", est.Name(), err)
+			return fmt.Errorf("fig9 %s: %w", ests[i].Name(), err)
 		}
-		results = append(results, res)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	errFig := &report.Figure{

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// forEachPoint evaluates fn(0..n-1) across up to GOMAXPROCS goroutines and
+// blocks until all finish. Errors do not cancel remaining points (each point
+// is independent); they are returned joined in index order so the output is
+// deterministic regardless of completion order. fn must only write to
+// per-index state.
+//
+// Experiment drivers use it to parallelize sweep points after the
+// randomness has been pre-split serially: every point receives its RNG
+// stream before any evaluation starts, so the fan-out cannot perturb the
+// seed-determined stream tree (see splitPointRNGs).
+func forEachPoint(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errors.Join(errs...)
+}

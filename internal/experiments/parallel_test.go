@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+func TestForEachPointOrderAndErrors(t *testing.T) {
+	if err := forEachPoint(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	out := make([]int, 100)
+	var calls atomic.Int64
+	if err := forEachPoint(len(out), func(i int) error {
+		calls.Add(1)
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 100 {
+		t.Fatalf("fn called %d times, want 100", calls.Load())
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+
+	boom := errors.New("boom-7")
+	err := forEachPoint(10, func(i int) error {
+		if i == 7 || i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the cause: %v", err)
+	}
+}
+
+// TestRunSweepMatchesSerialSplits pins the RNG contract of the parallel
+// sweep driver: pre-splitting every point's streams from one goroutine and
+// evaluating in parallel must reproduce, bit for bit, what the seed's
+// serial driver produced by interleaving r.Split() calls with evaluation.
+func TestRunSweepMatchesSerialSplits(t *testing.T) {
+	cfg := PaperSRA()
+	auction := cfg.AuctionConfig()
+	specs := []sweepSpec{
+		{n: 30, m: 40, budget: 200},
+		{n: 50, m: 25, budget: 120},
+		{n: 10, m: 60, budget: 600},
+		{n: 80, m: 80, budget: 50},
+	}
+	const reps = 3
+
+	// Serial oracle: the pre-parallelization driver, with Split interleaved
+	// into the evaluation loop.
+	serial := func(seed int64) []sweepResult {
+		r := stats.NewRNG(seed)
+		mel, err := core.NewMelody(auction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := core.NewOptUB(auction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]sweepResult, len(specs))
+		for p, spec := range specs {
+			var res sweepResult
+			for rep := 0; rep < reps; rep++ {
+				in := cfg.Instance(r.Split(), spec.n, spec.m, spec.budget)
+				rnd, err := core.NewRandom(auction, r.Split())
+				if err != nil {
+					t.Fatal(err)
+				}
+				uo, err := ub.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mo, err := mel.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ro, err := rnd.Run(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.optUB += float64(uo.Utility())
+				res.melody += float64(mo.Utility())
+				res.random += float64(ro.Utility())
+			}
+			res.optUB /= reps
+			res.melody /= reps
+			res.random /= reps
+			out[p] = res
+		}
+		return out
+	}
+
+	for _, seed := range []int64{1, 17, 424242} {
+		want := serial(seed)
+		got, err := runSweep(stats.NewRNG(seed), cfg, specs, reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: parallel sweep diverged from serial driver\ngot:  %+v\nwant: %+v", seed, got, want)
+		}
+	}
+}
+
+// TestFig4aDeterministic: the parallel driver must yield identical output
+// across invocations regardless of goroutine scheduling.
+func TestFig4aDeterministic(t *testing.T) {
+	opts := Options{Seed: 31, Scale: 0.1}
+	a, err := Fig4a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4a(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig4a output differs between identically-seeded invocations")
+	}
+}
+
+// TestAblationsDeterministic: parallel cells must not reorder or perturb
+// the table.
+func TestAblationsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-term simulation")
+	}
+	opts := Options{Seed: 31, Scale: 0.05}
+	a, err := Ablations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ablations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Ablations output differs between identically-seeded invocations")
+	}
+	for i, row := range a.Tables[0].Rows {
+		if len(row) != 4 || row[0] == "" {
+			t.Fatalf("row %d malformed: %v", i, row)
+		}
+	}
+}

@@ -24,13 +24,20 @@ type Innovation struct {
 // the history. Runs without scores contribute no innovation (there is
 // nothing to predict against).
 func Innovations(p Params, init State, history [][]float64) ([]Innovation, error) {
+	return InnovationsInto(nil, p, init, history)
+}
+
+// InnovationsInto is the buffer-reusing form of Innovations: residuals are
+// appended into dst[:0] so per-run diagnostics (e.g. a misfit trigger
+// evaluated after every observation) can run allocation-free.
+func InnovationsInto(dst []Innovation, p Params, init State, history [][]float64) ([]Innovation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
-	var out []Innovation
+	out := dst[:0]
 	cur := init
 	for r, scores := range history {
 		prior := Predict(p, cur)

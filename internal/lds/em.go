@@ -57,6 +57,14 @@ type EMResult struct {
 //
 // with sums over t = 1..R (transitions from the fixed q_0 included).
 func EM(start Params, init State, history [][]float64, cfg EMConfig) (EMResult, error) {
+	return new(Workspace).EM(start, init, history, cfg)
+}
+
+// EM is the buffer-reusing form of the package-level EM: every iteration's
+// smoother pass runs in the workspace's buffers, so repeated re-estimation
+// over the same worker allocates nothing once the buffers have grown to the
+// window length.
+func (ws *Workspace) EM(start Params, init State, history [][]float64, cfg EMConfig) (EMResult, error) {
 	cfg = cfg.withDefaults()
 	if err := start.Validate(); err != nil {
 		return EMResult{}, err
@@ -78,7 +86,7 @@ func EM(start Params, init State, history [][]float64, cfg EMConfig) (EMResult, 
 	cur := start
 	res := EMResult{Params: cur}
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
-		sm, err := Smooth(cur, init, history)
+		sm, err := ws.Smooth(cur, init, history)
 		if err != nil {
 			return EMResult{}, fmt.Errorf("EM iteration %d: %w", iter, err)
 		}

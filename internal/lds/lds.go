@@ -117,13 +117,20 @@ func Update(p Params, prev State, scores []float64) (State, error) {
 // posterior after each run. init is the platform's initial belief
 // N(mu0, sigma0).
 func Filter(p Params, init State, history [][]float64) ([]State, error) {
+	return FilterInto(nil, p, init, history)
+}
+
+// FilterInto is the buffer-reusing form of Filter: the filtered posteriors
+// are appended into dst[:0] (growing it as needed) so a caller looping over
+// histories can amortize the output allocation away.
+func FilterInto(dst []State, p Params, init State, history [][]float64) ([]State, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if err := init.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]State, len(history))
+	out := growStates(dst, len(history))
 	cur := init
 	for r, scores := range history {
 		next, err := Update(p, cur, scores)

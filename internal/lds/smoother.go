@@ -19,8 +19,17 @@ type Smoothed struct {
 
 // Smooth runs the forward filter followed by the RTS backward recursion,
 // returning smoothed marginals for q_0..q_R and the lag-one cross
-// covariances EM needs. history[r] is the score set of run r+1.
+// covariances EM needs. history[r] is the score set of run r+1. The result
+// is freshly allocated; use Workspace.Smooth on a hot path to reuse
+// buffers across calls.
 func Smooth(p Params, init State, history [][]float64) (*Smoothed, error) {
+	return new(Workspace).Smooth(p, init, history)
+}
+
+// Smooth is the buffer-reusing form of the package-level Smooth: the
+// returned Smoothed aliases the workspace and is valid until the next call
+// on it.
+func (ws *Workspace) Smooth(p Params, init State, history [][]float64) (*Smoothed, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,8 +44,10 @@ func Smooth(p Params, init State, history [][]float64) (*Smoothed, error) {
 	// Forward pass. filtered[t], predicted[t] for t = 0..n, where
 	// predicted[t] is the prior variance P_t = a^2*V_{t-1} + gamma used by
 	// the backward gain (predicted[0] unused).
-	filtered := make([]State, n+1)
-	predicted := make([]float64, n+1)
+	ws.filtered = growStates(ws.filtered, n+1)
+	ws.predicted = growFloats(ws.predicted, n+1)
+	filtered := ws.filtered
+	predicted := ws.predicted
 	filtered[0] = init
 	for t := 1; t <= n; t++ {
 		predicted[t] = p.A*p.A*filtered[t-1].Var + p.Gamma
@@ -48,11 +59,10 @@ func Smooth(p Params, init State, history [][]float64) (*Smoothed, error) {
 	}
 
 	// Backward pass.
-	sm := &Smoothed{
-		Mean:     make([]float64, n+1),
-		Var:      make([]float64, n+1),
-		CrossCov: make([]float64, n+1),
-	}
+	ws.sm.Mean = growFloats(ws.sm.Mean, n+1)
+	ws.sm.Var = growFloats(ws.sm.Var, n+1)
+	ws.sm.CrossCov = growFloats(ws.sm.CrossCov, n+1)
+	sm := &ws.sm
 	sm.Mean[n] = filtered[n].Mean
 	sm.Var[n] = filtered[n].Var
 	for t := n - 1; t >= 0; t-- {

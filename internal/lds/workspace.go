@@ -1,0 +1,37 @@
+package lds
+
+// Workspace holds reusable buffers for the smoother, EM, the filter and the
+// innovation diagnostics, so repeated inference over the same worker (the
+// estimator's per-run hot path) runs allocation-free once the buffers have
+// grown to the history length. A Workspace is not safe for concurrent use;
+// give each worker (or goroutine) its own. The zero value is ready to use.
+//
+// Results returned by Workspace methods alias its buffers and are valid
+// only until the next call on the same Workspace; the package-level Smooth,
+// EM, Filter and Innovations wrappers use a fresh Workspace per call and
+// stay safe to retain.
+type Workspace struct {
+	filtered  []State
+	predicted []float64
+	sm        Smoothed
+}
+
+// states returns a zeroed State buffer of length n.
+func growStates(buf []State, n int) []State {
+	if cap(buf) < n {
+		return make([]State, n)
+	}
+	return buf[:n]
+}
+
+// growFloats returns a zeroed float64 buffer of length n.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}

@@ -186,7 +186,9 @@ func (e *Engine) Step() (*RunResult, error) {
 	}
 
 	// 4. Workers complete their tasks (at most their true frequency) and
-	// the requester scores the answers from the latent quality.
+	// the requester scores the answers from the latent quality. Score
+	// emission stays serial — it draws from the engine's single RNG stream —
+	// while the estimator updates are deferred to one batch below.
 	latent := make(map[string]float64, len(active))
 	assigned := out.WorkerTaskCount()
 	result := &RunResult{
@@ -196,8 +198,10 @@ func (e *Engine) Step() (*RunResult, error) {
 		TotalPayment:     out.TotalPayment,
 		WorkerUtilities:  make(map[string]float64, len(active)),
 	}
+	ids := make([]string, len(active))
+	scoreSets := make([][]float64, len(active))
 	var errSum float64
-	for _, w := range active {
+	for i, w := range active {
 		q := w.LatentQuality(runIdx)
 		latent[w.ID] = q
 
@@ -205,12 +209,8 @@ func (e *Engine) Step() (*RunResult, error) {
 		if completed > w.TrueBid.Frequency {
 			completed = w.TrueBid.Frequency
 		}
-		scores := workerpool.EmitScores(cfg.RNG, q, completed, cfg.ScoreSigma, cfg.ScoreLo, cfg.ScoreHi)
-
-		// 5. The platform updates the worker's quality for the next run.
-		if err := cfg.Estimator.Observe(w.ID, scores); err != nil {
-			return nil, fmt.Errorf("market: run %d: observe %s: %w", runIdx+1, w.ID, err)
-		}
+		ids[i] = w.ID
+		scoreSets[i] = workerpool.EmitScores(cfg.RNG, q, completed, cfg.ScoreSigma, cfg.ScoreLo, cfg.ScoreHi)
 
 		result.WorkerUtilities[w.ID] = core.WorkerUtility(out, w.ID, w.TrueBid.Cost, w.TrueBid.Frequency)
 		bidWorker := core.Worker{ID: w.ID, Bid: w.TrueBid, Quality: estimates[w.ID]}
@@ -221,6 +221,22 @@ func (e *Engine) Step() (*RunResult, error) {
 				diff = -diff
 			}
 			errSum += diff
+		}
+	}
+
+	// 5. The platform updates every worker's quality for the next run.
+	// Estimators that support batch observation absorb the whole run at
+	// once (MELODY shards its independent per-worker Kalman/EM updates
+	// across a goroutine pool, bit-identically to the serial loop).
+	if batch, ok := cfg.Estimator.(quality.BatchObserver); ok {
+		if err := batch.ObserveBatch(ids, scoreSets); err != nil {
+			return nil, fmt.Errorf("market: run %d: observe batch: %w", runIdx+1, err)
+		}
+	} else {
+		for i, id := range ids {
+			if err := cfg.Estimator.Observe(id, scoreSets[i]); err != nil {
+				return nil, fmt.Errorf("market: run %d: observe %s: %w", runIdx+1, id, err)
+			}
 		}
 	}
 	if result.QualifiedWorkers > 0 {

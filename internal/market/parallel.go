@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -17,13 +18,13 @@ type Replication struct {
 }
 
 // RunReplications executes independent simulations for every seed, up to
-// `concurrency` at a time, each built by the caller's factory and stepped
-// for `runs` runs. Engines must not share mutable state (each factory call
-// must create fresh estimators, populations and RNGs). The returned
-// replications are ordered by the seeds slice regardless of completion
-// order; the first error cancels nothing but is reported after all
-// goroutines drain (each replication is independent, so partial results
-// remain valid).
+// `concurrency` at a time (defaulting to runtime.GOMAXPROCS(0) when
+// non-positive), each built by the caller's factory and stepped for `runs`
+// runs. Engines must not share mutable state (each factory call must create
+// fresh estimators, populations and RNGs). The returned replications are
+// ordered by the seeds slice regardless of completion order; errors cancel
+// nothing and are reported joined in seed order after all goroutines drain
+// (each replication is independent, so partial results remain valid).
 func RunReplications(build func(seed int64) (*Engine, error), seeds []int64, runs, concurrency int) ([]Replication, error) {
 	if build == nil {
 		return nil, errors.New("market: nil engine factory")
@@ -35,7 +36,7 @@ func RunReplications(build func(seed int64) (*Engine, error), seeds []int64, run
 		return nil, fmt.Errorf("market: runs %d must be positive", runs)
 	}
 	if concurrency <= 0 {
-		concurrency = 1
+		concurrency = runtime.GOMAXPROCS(0)
 	}
 	if concurrency > len(seeds) {
 		concurrency = len(seeds)
@@ -43,7 +44,7 @@ func RunReplications(build func(seed int64) (*Engine, error), seeds []int64, run
 
 	out := make([]Replication, len(seeds))
 	errs := make([]error, len(seeds))
-	jobs := make(chan int)
+	jobs := make(chan int, len(seeds))
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
@@ -71,12 +72,7 @@ func RunReplications(build func(seed int64) (*Engine, error), seeds []int64, run
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // Aggregate summarizes replications into per-run cross-replication means

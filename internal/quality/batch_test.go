@@ -1,0 +1,200 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"melody/internal/lds"
+	"melody/internal/stats"
+)
+
+func batchTestConfig() MelodyConfig {
+	return MelodyConfig{
+		Init:     lds.State{Mean: 5.5, Var: 2.25},
+		Params:   lds.Params{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 5,
+		EMWindow: 12,
+		EM:       lds.EMConfig{MaxIter: 8},
+	}
+}
+
+// TestObserveBatchMatchesSerial drives two identical estimators through the
+// same multi-run trace — one via per-worker Observe calls, one via
+// ObserveBatch — and requires bit-identical state for every worker after
+// every run. Run under -race this also exercises the sharded pool.
+func TestObserveBatchMatchesSerial(t *testing.T) {
+	for _, cfg := range []MelodyConfig{
+		batchTestConfig(),
+		{Init: lds.State{Mean: 5.5, Var: 2.25}, Params: lds.Params{A: 0.98, Gamma: 0.3, Eta: 4},
+			EMPeriod: 3, EMWindow: 0, MisfitTrigger: 2.5, EM: lds.EMConfig{MaxIter: 6}},
+	} {
+		serial, err := NewMelody(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := NewMelody(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRNG(42)
+		const workers = 64
+		ids := make([]string, workers)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("w%02d", i)
+		}
+		for run := 0; run < 30; run++ {
+			scores := make([][]float64, workers)
+			for i := range scores {
+				// Mix of empty, short and long score sets.
+				n := r.Intn(4)
+				for k := 0; k < n; k++ {
+					scores[i] = append(scores[i], r.Normal(5, 2))
+				}
+			}
+			for i := range ids {
+				if err := serial.Observe(ids[i], scores[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := batched.ObserveBatch(ids, scores); err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range ids {
+				se, be := serial.Estimate(id), batched.Estimate(id)
+				if se != be {
+					t.Fatalf("run %d worker %s: serial estimate %v != batch estimate %v", run, id, se, be)
+				}
+				sp, _ := serial.Posterior(id)
+				bp, _ := batched.Posterior(id)
+				if sp != bp {
+					t.Fatalf("run %d worker %s: posterior %+v != %+v", run, id, sp, bp)
+				}
+				if serial.Params(id) != batched.Params(id) {
+					t.Fatalf("run %d worker %s: params diverged", run, id)
+				}
+			}
+		}
+	}
+}
+
+// TestObserveBatchDuplicateIDs: duplicate worker IDs inside one batch must
+// degrade to the serial order, not race on shared state.
+func TestObserveBatchDuplicateIDs(t *testing.T) {
+	serial, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, 24)
+	scores := make([][]float64, 0, 24)
+	for i := 0; i < 24; i++ {
+		ids = append(ids, fmt.Sprintf("w%d", i%3)) // heavy duplication
+		scores = append(scores, []float64{float64(i%7) + 1})
+	}
+	for i := range ids {
+		if err := serial.Observe(ids[i], scores[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.ObserveBatch(ids, scores); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"w0", "w1", "w2"} {
+		if serial.Estimate(id) != batched.Estimate(id) {
+			t.Errorf("worker %s: duplicate-ID batch diverged from serial", id)
+		}
+	}
+}
+
+// TestObserveBatchReportsAllErrors: a batch with several poisoned workers
+// reports every failure, not just the first.
+func TestObserveBatchReportsAllErrors(t *testing.T) {
+	m, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 16)
+	scores := make([][]float64, 16)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%02d", i)
+		scores[i] = []float64{5}
+	}
+	scores[2] = []float64{math.NaN()}
+	scores[11] = []float64{math.NaN()}
+	err = m.ObserveBatch(ids, scores)
+	if err == nil {
+		t.Fatal("poisoned batch accepted")
+	}
+	if !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("error does not identify the NaN scores: %v", err)
+	}
+	// Healthy workers must still have been observed.
+	if _, ok := m.Posterior("w00"); !ok {
+		t.Error("healthy worker skipped by failing batch")
+	}
+	// Both failures joined.
+	if got := strings.Count(err.Error(), "NaN"); got != 2 {
+		t.Errorf("joined error mentions %d failures, want 2", got)
+	}
+}
+
+// TestObserveBatchSizeMismatch rejects ragged input.
+func TestObserveBatchSizeMismatch(t *testing.T) {
+	m, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ObserveBatch([]string{"a", "b"}, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+}
+
+// TestWindowMemoryBounded guards the slice-aliasing fix: after far more
+// runs than the window, the retained history must hold exactly window runs
+// and reuse ring slots instead of growing the backing array.
+func TestWindowMemoryBounded(t *testing.T) {
+	cfg := batchTestConfig()
+	cfg.EMWindow = 10
+	m, err := NewMelody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 500; run++ {
+		if err := m.Observe("w", []float64{5, 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := m.workers["w"]
+	if got := len(w.hist.buf); got != cfg.EMWindow {
+		t.Errorf("ring backing holds %d slots, want %d", got, cfg.EMWindow)
+	}
+	if got := w.hist.count; got != cfg.EMWindow {
+		t.Errorf("ring count %d, want %d", got, cfg.EMWindow)
+	}
+	if view := w.hist.view(); len(view) != cfg.EMWindow {
+		t.Errorf("view length %d, want %d", len(view), cfg.EMWindow)
+	}
+}
+
+// TestScoreHistoryRingOrder checks chronological ordering across the wrap.
+func TestScoreHistoryRingOrder(t *testing.T) {
+	h := scoreHistory{window: 3}
+	for i := 1; i <= 7; i++ {
+		if _, ok := h.evictIfFull(); ok != (i > 3) {
+			t.Fatalf("push %d: unexpected eviction state %v", i, ok)
+		}
+		h.push([]float64{float64(i)})
+	}
+	view := h.view()
+	want := []float64{5, 6, 7}
+	for i, run := range view {
+		if run[0] != want[i] {
+			t.Fatalf("view = %v, want runs %v", view, want)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package quality
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"melody/internal/lds"
 )
@@ -29,6 +32,9 @@ type MelodyConfig struct {
 	MisfitTrigger float64
 	// EM configures the inner EM loop.
 	EM lds.EMConfig
+	// BatchConcurrency bounds the goroutine pool ObserveBatch shards
+	// workers across; zero or negative means runtime.GOMAXPROCS(0).
+	BatchConcurrency int
 }
 
 // Validate reports whether the configuration is usable.
@@ -48,29 +54,104 @@ func (c MelodyConfig) Validate() error {
 	return nil
 }
 
-// melodyWorker is the per-worker state of Algorithm 3.
+// scoreHistory retains the per-run score sets EM learns from. With a
+// positive window it is a fixed-capacity ring: evicted runs hand their
+// backing slices back for reuse, so a long deployment holds exactly
+// O(window) memory instead of retaining every evicted run in a shared
+// backing array (the slice-aliasing leak of the seed's history[1:]
+// re-slicing). With window zero the history grows unboundedly, as the
+// paper's full-history variant requires.
+type scoreHistory struct {
+	window int // 0 = unbounded
+	buf    [][]float64
+	start  int // index of the oldest run when bounded
+	count  int
+	linear [][]float64 // scratch for a wrapped ring's chronological view
+}
+
+// evictIfFull removes and returns the oldest run's scores when the ring is
+// at capacity, so the caller can fold it into the window-start prior and
+// recycle the slice.
+func (h *scoreHistory) evictIfFull() ([]float64, bool) {
+	if h.window <= 0 || h.count < h.window {
+		return nil, false
+	}
+	ev := h.buf[h.start]
+	h.buf[h.start] = nil
+	h.start = (h.start + 1) % h.window
+	h.count--
+	return ev, true
+}
+
+// push appends the newest run's scores.
+func (h *scoreHistory) push(scores []float64) {
+	if h.window <= 0 || len(h.buf) < h.window {
+		h.buf = append(h.buf, scores)
+	} else {
+		h.buf[(h.start+h.count)%h.window] = scores
+	}
+	h.count++
+}
+
+// view returns the retained runs in chronological order. The result may
+// alias internal scratch and is valid until the next push.
+func (h *scoreHistory) view() [][]float64 {
+	if h.start == 0 {
+		return h.buf[:h.count]
+	}
+	h.linear = h.linear[:0]
+	for i := 0; i < h.count; i++ {
+		h.linear = append(h.linear, h.buf[(h.start+i)%len(h.buf)])
+	}
+	return h.linear
+}
+
+// hasScores reports whether any retained run carries at least one score.
+func (h *scoreHistory) hasScores() bool {
+	for i := 0; i < h.count; i++ {
+		if len(h.buf[(h.start+i)%len(h.buf)]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// melodyWorker is the per-worker state of Algorithm 3. Each worker owns its
+// inference buffers, so independent workers can be updated concurrently.
 type melodyWorker struct {
 	posterior lds.State
 	params    lds.Params
-	history   [][]float64
+	hist      scoreHistory
 	// windowInit is the filtered posterior just before the oldest run still
 	// in history. EM uses it as the window's initial state so a sliding
 	// window does not keep re-anchoring the chain at the global prior.
-	windowInit  lds.State
-	sinceEM     int
-	everUpdated bool
+	windowInit lds.State
+	sinceEM    int
+	ws         lds.Workspace    // reusable smoother/EM buffers
+	inn        []lds.Innovation // reusable misfit-diagnostic buffer
+	gen        uint64           // last ObserveBatch generation that touched this worker
 }
 
 // Melody is the paper's quality estimator: each worker's latent quality is
 // tracked with the Theorem 3 Kalman recursion, and the worker's
 // hyper-parameters theta = {a, gamma, eta} are re-learned with EM every
 // EMPeriod runs (Algorithm 3).
+//
+// Melody is not safe for concurrent use, but ObserveBatch internally shards
+// its independent per-worker updates across a bounded goroutine pool and is
+// bit-identical to the equivalent sequence of Observe calls.
 type Melody struct {
 	cfg     MelodyConfig
 	workers map[string]*melodyWorker
+	// batchGen stamps workers touched by the current ObserveBatch so
+	// duplicate IDs inside one batch are detected without a per-batch set.
+	batchGen uint64
 }
 
-var _ Estimator = (*Melody)(nil)
+var (
+	_ Estimator     = (*Melody)(nil)
+	_ BatchObserver = (*Melody)(nil)
+)
 
 // NewMelody constructs the MELODY estimator.
 func NewMelody(cfg MelodyConfig) (*Melody, error) {
@@ -132,10 +213,11 @@ func (m *Melody) Forecast(workerID string, steps int) (lds.Forecast, error) {
 // scored history.
 func (m *Melody) Misfit(workerID string) (float64, bool, error) {
 	w, found := m.workers[workerID]
-	if !found || !hasScores(w.history) {
+	if !found || !w.hist.hasScores() {
 		return 0, false, nil
 	}
-	innovations, err := lds.Innovations(w.params, w.windowInit, w.history)
+	innovations, err := lds.InnovationsInto(w.inn[:0], w.params, w.windowInit, w.hist.view())
+	w.inn = innovations
 	if err != nil {
 		return 0, false, fmt.Errorf("quality: worker %s: %w", workerID, err)
 	}
@@ -146,47 +228,66 @@ func (m *Melody) Misfit(workerID string) (float64, bool, error) {
 	return score, true, nil
 }
 
+// lookup returns the worker's state, creating it on first contact.
+func (m *Melody) lookup(workerID string) *melodyWorker {
+	w, ok := m.workers[workerID]
+	if !ok {
+		w = &melodyWorker{
+			posterior:  m.cfg.Init,
+			params:     m.cfg.Params,
+			windowInit: m.cfg.Init,
+			hist:       scoreHistory{window: m.cfg.EMWindow},
+		}
+		m.workers[workerID] = w
+	}
+	return w
+}
+
 // Observe implements Estimator: the Theorem 3 posterior update, followed by
 // EM re-estimation when the worker's parameters have not been updated for
 // EMPeriod runs (Algorithm 3, lines 6-8).
 func (m *Melody) Observe(workerID string, scores []float64) error {
+	return m.observeWorker(m.lookup(workerID), workerID, scores)
+}
+
+// observeWorker is the single-worker update shared by Observe and
+// ObserveBatch. It touches only the given worker's state plus the read-only
+// configuration, so distinct workers can be updated concurrently.
+func (m *Melody) observeWorker(w *melodyWorker, workerID string, scores []float64) error {
 	if err := validateScores(scores); err != nil {
 		return err
-	}
-	w, ok := m.workers[workerID]
-	if !ok {
-		w = &melodyWorker{posterior: m.cfg.Init, params: m.cfg.Params, windowInit: m.cfg.Init}
-		m.workers[workerID] = w
 	}
 	next, err := lds.Update(w.params, w.posterior, scores)
 	if err != nil {
 		return fmt.Errorf("quality: worker %s: %w", workerID, err)
 	}
 	w.posterior = next
-	w.everUpdated = true
 
-	recorded := make([]float64, len(scores))
-	copy(recorded, scores)
-	w.history = append(w.history, recorded)
-	for m.cfg.EMWindow > 0 && len(w.history) > m.cfg.EMWindow {
-		// Slide the window: fold the evicted run into the window-start
-		// prior with the filter, so EM sees a correctly anchored chain.
-		evicted := w.history[0]
-		w.history = w.history[1:]
+	// Slide the window: fold the evicted run into the window-start prior
+	// with the filter, so EM sees a correctly anchored chain; its slice is
+	// then recycled as the backing for the newest run's copy.
+	var recorded []float64
+	if evicted, ok := w.hist.evictIfFull(); ok {
 		advanced, err := lds.Update(w.params, w.windowInit, evicted)
 		if err != nil {
 			return fmt.Errorf("quality: worker %s window: %w", workerID, err)
 		}
 		w.windowInit = advanced
+		recorded = evicted[:0]
 	}
+	if cap(recorded) < len(scores) {
+		recorded = make([]float64, 0, len(scores))
+	}
+	w.hist.push(append(recorded, scores...))
 
 	if m.cfg.EMPeriod > 0 {
 		w.sinceEM++
 		due := w.sinceEM >= m.cfg.EMPeriod
-		if !due && m.cfg.MisfitTrigger > 0 && hasScores(w.history) {
+		if !due && m.cfg.MisfitTrigger > 0 && w.hist.hasScores() {
 			// Adaptive re-estimation: a persistently surprised model
 			// re-learns immediately instead of waiting out the period.
-			innovations, err := lds.Innovations(w.params, w.windowInit, w.history)
+			innovations, err := lds.InnovationsInto(w.inn[:0], w.params, w.windowInit, w.hist.view())
+			w.inn = innovations
 			if err != nil {
 				return fmt.Errorf("quality: worker %s diagnostics: %w", workerID, err)
 			}
@@ -196,8 +297,8 @@ func (m *Melody) Observe(workerID string, scores []float64) error {
 		}
 		if due {
 			w.sinceEM = 0
-			if hasScores(w.history) {
-				res, err := lds.EM(w.params, w.windowInit, w.history, m.cfg.EM)
+			if w.hist.hasScores() {
+				res, err := w.ws.EM(w.params, w.windowInit, w.hist.view(), m.cfg.EM)
 				if err != nil {
 					return fmt.Errorf("quality: worker %s EM: %w", workerID, err)
 				}
@@ -208,11 +309,71 @@ func (m *Melody) Observe(workerID string, scores []float64) error {
 	return nil
 }
 
-func hasScores(history [][]float64) bool {
-	for _, runScores := range history {
-		if len(runScores) > 0 {
-			return true
-		}
+// minParallelBatch is the batch size below which sharding overhead beats
+// the win from parallel updates.
+const minParallelBatch = 8
+
+// ObserveBatch implements BatchObserver: one whole run's observations at
+// once. Per-worker Kalman/EM updates are independent, so the batch is
+// sharded across a bounded goroutine pool; results are bit-identical to
+// calling Observe per worker in order. Unlike a serial Observe loop, which
+// stops at the first failure, every worker is processed and all failures
+// are reported (joined in batch order).
+func (m *Melody) ObserveBatch(ids []string, scores [][]float64) error {
+	if len(ids) != len(scores) {
+		return fmt.Errorf("quality: batch mismatch: %d ids, %d score sets", len(ids), len(scores))
 	}
-	return false
+	if len(ids) == 0 {
+		return nil
+	}
+	// Resolve (and create) worker state serially: map writes are not
+	// goroutine-safe, and the generation stamp flags duplicate IDs, which
+	// would alias state across goroutines.
+	m.batchGen++
+	workers := make([]*melodyWorker, len(ids))
+	duplicates := false
+	for i, id := range ids {
+		w := m.lookup(id)
+		if w.gen == m.batchGen {
+			duplicates = true
+		}
+		w.gen = m.batchGen
+		workers[i] = w
+	}
+
+	concurrency := m.cfg.BatchConcurrency
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > len(ids) {
+		concurrency = len(ids)
+	}
+	if duplicates || concurrency <= 1 || len(ids) < minParallelBatch {
+		var errs []error
+		for i := range ids {
+			if err := m.observeWorker(workers[i], ids[i], scores[i]); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+
+	errs := make([]error, len(ids))
+	chunk := (len(ids) + concurrency - 1) / concurrency
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(ids); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				errs[i] = m.observeWorker(workers[i], ids[i], scores[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }

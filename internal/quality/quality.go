@@ -25,6 +25,17 @@ type Estimator interface {
 	Observe(workerID string, scores []float64) error
 }
 
+// BatchObserver is implemented by estimators that can absorb one whole
+// run's observations at once. ObserveBatch(ids, scores) must produce
+// exactly the state that calling Observe(ids[i], scores[i]) for every i in
+// order would, but may update independent workers concurrently; the market
+// engine prefers it over the serial Observe loop when available. Unlike the
+// serial loop it processes every worker even when some fail, reporting all
+// failures joined in batch order.
+type BatchObserver interface {
+	ObserveBatch(ids []string, scores [][]float64) error
+}
+
 // validateScores rejects non-finite scores early so estimator state can
 // never be poisoned.
 func validateScores(scores []float64) error {
