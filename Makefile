@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-snapshot clean
+.PHONY: ci vet build test race bench-smoke bench-snapshot chaos-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race bench-smoke
+ci: vet build test race chaos-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,12 @@ race:
 # a measurement.
 bench-smoke:
 	$(GO) test . -run '^$$' -bench . -benchtime 1x
+
+# chaos-smoke re-runs the seeded fault-injection suite on its own: the
+# chaos harness unit tests plus the 20-run soak season with a mid-season
+# kill and WAL recovery (internal/platform/chaos_soak_test.go).
+chaos-smoke:
+	$(GO) test ./internal/chaos/ ./internal/platform/ -run 'TestChaosSoakSeason|TestTransport|TestMiddleware' -count 1
 
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
 # the latest committed one (see cmd/melody-bench).

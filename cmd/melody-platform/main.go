@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"melody"
+	"melody/internal/chaos"
 	"melody/internal/eventlog"
 	"melody/internal/platform"
 )
@@ -40,6 +41,9 @@ func run() error {
 		initVar    = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
 		emPeriod   = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
 		walPath    = flag.String("wal", "", "write-ahead log path; enables durable state and crash recovery")
+		bidDL      = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
+		scoreDL    = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
+		chaosSpec  = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
 	)
 	flag.Parse()
 
@@ -75,14 +79,26 @@ func run() error {
 		logger.Printf("durable state in %s; recovered %d completed runs, %d workers",
 			*walPath, p.Run(), len(p.Workers()))
 	}
-	srv, err := platform.NewServer(backend, logger)
+	srv, err := platform.NewServer(backend, logger, platform.WithDeadlines(*bidDL, *scoreDL))
 	if err != nil {
 		return err
+	}
+	handler := srv.Handler()
+	if *chaosSpec != "" {
+		scenario, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		handler, err = chaos.Middleware(scenario, handler)
+		if err != nil {
+			return err
+		}
+		logger.Printf("chaos injection active: %s", scenario)
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)

@@ -36,10 +36,13 @@ func run() error {
 		bidWait     = flag.Duration("bid-wait", 500*time.Millisecond, "how long to accept bids")
 		interval    = flag.Duration("interval", time.Second, "pause between runs")
 		seed        = flag.Int64("seed", 1, "random seed for task thresholds")
+		retries     = flag.Int("retries", 4, "max attempts per API call (1 disables retries)")
 	)
 	flag.Parse()
 
-	client, err := platform.NewClient(*addr, nil)
+	policy := platform.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	client, err := platform.NewClientWithPolicy(*addr, nil, policy)
 	if err != nil {
 		return err
 	}

@@ -35,6 +35,7 @@ func run() error {
 		horizon   = flag.Int("horizon", 200, "trajectory length in runs")
 		sigma     = flag.Float64("sigma", 1.0, "answer noise standard deviation")
 		seed      = flag.Int64("seed", 0, "random seed (0 = derive from ID)")
+		retries   = flag.Int("retries", 4, "max attempts per API call (1 disables retries)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -67,7 +68,9 @@ func run() error {
 		return err
 	}
 
-	client, err := platform.NewClient(*addr, nil)
+	policy := platform.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	client, err := platform.NewClientWithPolicy(*addr, nil, policy)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,155 @@
+// Package chaos injects deterministic, seeded faults into the MELODY
+// networked platform: request drops, duplicated deliveries, lost replies,
+// injected server errors and latency. The same Scenario drives a
+// client-side http.RoundTripper wrapper (Transport) and a server-side
+// middleware (Middleware), so tests and the cmd/melody-platform -chaos
+// flag exercise the identical failure model the retry/idempotency layer is
+// designed to survive.
+//
+// Faults are drawn from a single seeded stream, so a scenario replays the
+// same fault sequence for the same sequence of requests. Under concurrent
+// traffic the assignment of faults to requests depends on scheduling, but
+// the aggregate fault mix stays fixed — which is what soak tests assert
+// over.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"melody/internal/stats"
+)
+
+// ErrInjected is the sentinel wrapped by every fault the harness injects,
+// so tests can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Scenario configures the fault mix. The zero value injects nothing.
+type Scenario struct {
+	// Seed seeds the fault stream; scenarios with equal seeds and equal
+	// request sequences inject identical fault sequences.
+	Seed int64
+	// Drop is the probability a request is lost before reaching the
+	// server (a connection drop; the operation never happens).
+	Drop float64
+	// Dup is the probability a request is delivered twice (the duplicate
+	// delivery a retrying network layer can produce).
+	Dup float64
+	// Err is the probability the server answers 503 without handling the
+	// request (middleware only).
+	Err float64
+	// Lose is the probability the request is handled but the response is
+	// lost (the client sees a transport error even though the operation
+	// happened — the case idempotency exists for).
+	Lose float64
+	// DelayMin and DelayMax bound the uniform extra latency added to each
+	// request. Zero adds none.
+	DelayMin, DelayMax time.Duration
+}
+
+// Validate reports whether the scenario is usable.
+func (s Scenario) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", s.Drop}, {"dup", s.Dup}, {"err", s.Err}, {"lose", s.Lose}} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0, 1)", p.name, p.v)
+		}
+	}
+	if s.DelayMin < 0 || s.DelayMax < s.DelayMin {
+		return fmt.Errorf("chaos: delay range [%v, %v] invalid", s.DelayMin, s.DelayMax)
+	}
+	return nil
+}
+
+// Active reports whether the scenario injects any fault at all.
+func (s Scenario) Active() bool {
+	return s.Drop > 0 || s.Dup > 0 || s.Err > 0 || s.Lose > 0 || s.DelayMax > 0
+}
+
+// String renders the scenario in the Parse format.
+func (s Scenario) String() string {
+	return fmt.Sprintf("seed=%d,drop=%g,dup=%g,err=%g,lose=%g,delay=%s-%s",
+		s.Seed, s.Drop, s.Dup, s.Err, s.Lose, s.DelayMin, s.DelayMax)
+}
+
+// Parse builds a Scenario from a compact spec like
+// "seed=42,drop=0.05,dup=0.05,err=0.02,lose=0.05,delay=1ms-20ms".
+// Unknown keys are errors; omitted keys keep their zero value. A delay
+// without a dash ("delay=20ms") means a fixed range [0, 20ms].
+func Parse(spec string) (Scenario, error) {
+	var s Scenario
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, value, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return s, fmt.Errorf("chaos: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(value, 10, 64)
+		case "drop":
+			s.Drop, err = strconv.ParseFloat(value, 64)
+		case "dup":
+			s.Dup, err = strconv.ParseFloat(value, 64)
+		case "err":
+			s.Err, err = strconv.ParseFloat(value, 64)
+		case "lose":
+			s.Lose, err = strconv.ParseFloat(value, 64)
+		case "delay":
+			lo, hi, dashed := strings.Cut(value, "-")
+			if dashed {
+				if s.DelayMin, err = time.ParseDuration(lo); err == nil {
+					s.DelayMax, err = time.ParseDuration(hi)
+				}
+			} else {
+				s.DelayMax, err = time.ParseDuration(value)
+			}
+		default:
+			return s, fmt.Errorf("chaos: unknown field %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("chaos: field %q: %w", key, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// dice is the shared, mutex-guarded seeded fault stream.
+type dice struct {
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+func newDice(seed int64) *dice { return &dice{rng: stats.NewRNG(seed)} }
+
+// roll draws one Bernoulli fault decision.
+func (d *dice) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Bernoulli(p)
+}
+
+// delay draws one latency sample from [min, max].
+func (d *dice) delay(min, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.rng.Uniform(float64(min), float64(max)))
+}

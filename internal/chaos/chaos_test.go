@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	s, err := Parse("seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Scenario{Seed: 42, Drop: 0.05, Dup: 0.1, Err: 0.02, Lose: 0.03,
+		DelayMin: time.Millisecond, DelayMax: 20 * time.Millisecond}
+	if s != want {
+		t.Errorf("Parse = %+v, want %+v", s, want)
+	}
+	if s2, err := Parse(s.String()); err != nil || s2 != s {
+		t.Errorf("String round trip = %+v, %v", s2, err)
+	}
+	if s, err := Parse("delay=5ms"); err != nil || s.DelayMax != 5*time.Millisecond || s.DelayMin != 0 {
+		t.Errorf("single delay = %+v, %v", s, err)
+	}
+	if s, err := Parse(""); err != nil || s.Active() {
+		t.Errorf("empty spec = %+v, %v", s, err)
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "drop", "delay=xyz", "drop=-0.1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// countingTransport records deliveries and returns 200s.
+type countingTransport struct{ delivered atomic.Int64 }
+
+func (c *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	c.delivered.Add(1)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("{}")),
+		Header:     make(http.Header),
+		Request:    req,
+	}, nil
+}
+
+func TestTransportFaultMix(t *testing.T) {
+	inner := &countingTransport{}
+	tr, err := NewTransport(inner, Scenario{Seed: 7, Drop: 0.2, Dup: 0.2, Lose: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 2000
+	var ok, failed, injected int
+	for i := 0; i < calls; i++ {
+		req, err := http.NewRequest(http.MethodGet, "http://example.test/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			failed++
+			if errors.Is(err, ErrInjected) {
+				injected++
+			}
+			continue
+		}
+		discard(resp)
+		ok++
+	}
+	if injected != failed {
+		t.Errorf("%d failures but %d injected", failed, injected)
+	}
+	// P(visible failure) = drop + (1-drop)*lose = 0.2 + 0.8*0.2 = 0.36.
+	if failed < calls*30/100 || failed > calls*42/100 {
+		t.Errorf("failed = %d/%d, want ~36%%", failed, calls)
+	}
+	// Deliveries: (1-drop)*(1+dup) in expectation = 0.8*1.2 = 0.96 per call.
+	delivered := inner.delivered.Load()
+	if delivered < calls*90/100 || delivered > calls*102/100 {
+		t.Errorf("delivered = %d for %d calls, want ~96%%", delivered, calls)
+	}
+	if delivered <= int64(calls-failed) {
+		t.Errorf("no duplicate deliveries observed: %d delivered, %d succeeded", delivered, ok)
+	}
+}
+
+func TestTransportDeterminism(t *testing.T) {
+	run := func() []bool {
+		inner := &countingTransport{}
+		tr, err := NewTransport(inner, Scenario{Seed: 11, Drop: 0.3, Lose: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			req, _ := http.NewRequest(http.MethodGet, "http://example.test/", nil)
+			resp, err := tr.RoundTrip(req)
+			if err == nil {
+				discard(resp)
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at request %d", i)
+		}
+	}
+}
+
+func TestMiddlewareDupAndErr(t *testing.T) {
+	var handled atomic.Int64
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		handled.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	h, err := Middleware(Scenario{Seed: 3, Dup: 0.3, Err: 0.2}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const calls = 1000
+	var ok, unavailable int
+	for i := 0; i < calls; i++ {
+		resp, err := ts.Client().Post(ts.URL, "application/json", strings.NewReader(`{"x":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			unavailable++
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if unavailable < calls*14/100 || unavailable > calls*26/100 {
+		t.Errorf("503s = %d/%d, want ~20%%", unavailable, calls)
+	}
+	// Handled ≈ ok * (1 + dup): duplicates run the handler twice.
+	if h := handled.Load(); h <= int64(ok) {
+		t.Errorf("no duplicate handling observed: handled %d, ok %d", h, ok)
+	}
+}
+
+func TestMiddlewareDropAbortsConnection(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	h, err := Middleware(Scenario{Seed: 1, Drop: 0.999}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	failures := 0
+	for i := 0; i < 20; i++ {
+		resp, err := ts.Client().Get(ts.URL)
+		if err != nil {
+			failures++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if failures == 0 {
+		t.Error("drop=0.999 produced no transport errors")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Scenario{Drop: 1.0}).Validate(); err == nil {
+		t.Error("drop=1 accepted")
+	}
+	if err := (Scenario{DelayMin: 2, DelayMax: 1}).Validate(); err == nil {
+		t.Error("inverted delay range accepted")
+	}
+	if err := (Scenario{}).Validate(); err != nil {
+		t.Errorf("zero scenario rejected: %v", err)
+	}
+	if _, err := NewTransport(nil, Scenario{Drop: 2}); err == nil {
+		t.Error("NewTransport accepted invalid scenario")
+	}
+	if _, err := Middleware(Scenario{Err: -1}, http.NotFoundHandler()); err == nil {
+		t.Error("Middleware accepted invalid scenario")
+	}
+}

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an http.Handler with server-observable faults: added
+// latency, 503 responses sent without handling, duplicated deliveries (the
+// handler runs twice for one request), dropped connections before
+// handling, and lost replies (the handler runs, the connection dies before
+// the response leaves). cmd/melody-platform mounts it under -chaos.
+func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	d := newDice(s.Seed)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var (
+			delay = d.delay(s.DelayMin, s.DelayMax)
+			fail  = d.roll(s.Err)
+			drop  = d.roll(s.Drop)
+			dup   = d.roll(s.Dup)
+			lose  = d.roll(s.Lose)
+		)
+		if delay > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(delay):
+			}
+		}
+		if fail {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"chaos: injected server error","code":"unavailable"}` + "\n"))
+			return
+		}
+		if drop {
+			// Abort the connection without a response: the client sees a
+			// transport error and the operation never happened.
+			panic(http.ErrAbortHandler)
+		}
+		if !dup && !lose {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// dup and lose both need replayable deliveries: buffer the body
+		// once and hand each delivery its own reader.
+		body, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		deliver := func(w http.ResponseWriter) {
+			req := r.Clone(r.Context())
+			req.Body = io.NopCloser(bytes.NewReader(body))
+			next.ServeHTTP(w, req)
+		}
+		if dup {
+			// First delivery's response is discarded, as if a network
+			// layer retransmitted the request.
+			deliver(discardWriter{})
+		}
+		if lose {
+			// Handle the request, then kill the connection before the
+			// response escapes: the operation happened, the client must
+			// retry into the idempotency layer.
+			deliver(discardWriter{})
+			panic(http.ErrAbortHandler)
+		}
+		deliver(w)
+	}), nil
+}
+
+// discardWriter swallows a handler's response.
+type discardWriter struct{}
+
+func (discardWriter) Header() http.Header         { return make(http.Header) }
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (discardWriter) WriteHeader(int)             {}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with client-observable faults:
+// added latency, connection drops before delivery, duplicated deliveries,
+// and lost replies after delivery. Inject it into an http.Client to make
+// every caller of that client live through the scenario.
+type Transport struct {
+	inner    http.RoundTripper
+	scenario Scenario
+	dice     *dice
+}
+
+// NewTransport validates the scenario and wraps inner (nil means
+// http.DefaultTransport).
+func NewTransport(inner http.RoundTripper, s Scenario) (*Transport, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, scenario: s, dice: newDice(s.Seed)}, nil
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Draw every fault decision up front so the fault stream depends only
+	// on the request sequence, not on which faults fired.
+	s := t.scenario
+	var (
+		delay = t.dice.delay(s.DelayMin, s.DelayMax)
+		drop  = t.dice.roll(s.Drop)
+		dup   = t.dice.roll(s.Dup)
+		lose  = t.dice.roll(s.Lose)
+	)
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if drop {
+		return nil, fmt.Errorf("connection dropped before delivery: %w", ErrInjected)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		// Deliver the same request a second time; the first delivery's
+		// response is discarded, as if a network layer retransmitted.
+		if clone, ok := cloneRequest(req); ok {
+			discard(resp)
+			resp, err = t.inner.RoundTrip(clone)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if lose {
+		discard(resp)
+		return nil, fmt.Errorf("response lost after delivery: %w", ErrInjected)
+	}
+	return resp, nil
+}
+
+// cloneRequest builds a replayable copy of req for a duplicate delivery.
+// Requests whose body cannot be replayed (no GetBody) are not duplicated.
+func cloneRequest(req *http.Request) (*http.Request, bool) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return clone, true
+	}
+	if req.GetBody == nil {
+		return nil, false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	clone.Body = body
+	return clone, true
+}
+
+// discard drains and closes a response body so the underlying connection
+// can be reused.
+func discard(resp *http.Response) {
+	if resp != nil && resp.Body != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

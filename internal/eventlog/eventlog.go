@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 )
@@ -46,6 +47,21 @@ type Event struct {
 	Score     float64      `json:"score,omitempty"`
 	Budget    float64      `json:"budget,omitempty"`
 	Tasks     []TaskRecord `json:"tasks,omitempty"`
+	// CRC is the IEEE CRC-32 of the record's canonical encoding (the JSON
+	// of the event with CRC itself zeroed), detecting silent on-disk
+	// corruption. Zero means "no checksum": records written before
+	// checksumming was introduced still replay.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// checksum computes the event's CRC over its canonical encoding.
+func (e Event) checksum() (uint32, error) {
+	e.CRC = 0
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: encode: %w", err)
+	}
+	return crc32.ChecksumIEEE(buf), nil
 }
 
 // validate checks kind-specific invariants before an event is persisted.
@@ -87,14 +103,25 @@ type Log struct {
 // existing events to resume the sequence number. When syncEveryAppend is
 // true every Append fsyncs before returning (write-ahead-log durability);
 // otherwise appends are buffered and flushed on Close.
+//
+// A torn final record (a partial line left by a crash mid-write) is
+// truncated away before appending resumes, so the next record never lands
+// after garbage and a later replay sees a clean log.
 func Open(path string, syncEveryAppend bool) (*Log, error) {
-	events, err := ReadAll(path)
+	events, valid, err := readAll(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
 	var seq int64
 	if n := len(events); n > 0 {
 		seq = events[n-1].Seq
+	}
+	if info, statErr := os.Stat(path); statErr == nil && info.Size() > valid {
+		// Crash recovery: drop the torn tail so appends continue from the
+		// end of the last complete record.
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, fmt.Errorf("eventlog: truncate torn tail of %s: %w", path, err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -104,12 +131,20 @@ func Open(path string, syncEveryAppend bool) (*Log, error) {
 }
 
 // Append persists one event, assigning and returning its sequence number.
+// Every record carries a CRC-32 of its canonical encoding so silent disk
+// corruption is detected at replay instead of being deserialized.
 func (l *Log) Append(e Event) (int64, error) {
 	if err := e.validate(); err != nil {
 		return 0, err
 	}
 	l.seq++
 	e.Seq = l.seq
+	crc, err := e.checksum()
+	if err != nil {
+		l.seq--
+		return 0, err
+	}
+	e.CRC = crc
 	buf, err := json.Marshal(e)
 	if err != nil {
 		l.seq--
@@ -144,15 +179,24 @@ func (l *Log) Close() error {
 
 // ReadAll reads every event from the log at path. A truncated final line
 // (torn write from a crash) is tolerated and ignored, matching
-// write-ahead-log recovery semantics; corruption elsewhere is an error.
+// write-ahead-log recovery semantics; corruption elsewhere — including a
+// CRC mismatch on a checksummed record — is an error.
 func ReadAll(path string) ([]Event, error) {
+	events, _, err := readAll(path)
+	return events, err
+}
+
+// readAll is ReadAll plus the byte offset of the end of the last complete,
+// valid record — the point Open truncates a torn tail back to.
+func readAll(path string) ([]Event, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 
 	var events []Event
+	var valid int64
 	reader := bufio.NewReader(f)
 	var prevSeq int64
 	for {
@@ -160,24 +204,39 @@ func ReadAll(path string) ([]Event, error) {
 		if len(line) > 0 && err == nil {
 			var e Event
 			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
-				return nil, fmt.Errorf("eventlog: corrupt event after seq %d: %w", prevSeq, jsonErr)
+				return nil, valid, fmt.Errorf("eventlog: corrupt event after seq %d: %w", prevSeq, jsonErr)
 			}
 			if e.Seq != prevSeq+1 {
-				return nil, fmt.Errorf("eventlog: sequence gap: %d follows %d", e.Seq, prevSeq)
+				return nil, valid, fmt.Errorf("eventlog: sequence gap: %d follows %d", e.Seq, prevSeq)
 			}
 			if vErr := e.validate(); vErr != nil {
-				return nil, vErr
+				return nil, valid, vErr
+			}
+			if e.CRC != 0 {
+				// Checksummed record: verify against the canonical encoding.
+				// Records without a CRC (older logs) replay unverified.
+				want := e.CRC
+				got, sumErr := e.checksum()
+				if sumErr != nil {
+					return nil, valid, sumErr
+				}
+				if got != want {
+					return nil, valid, fmt.Errorf(
+						"eventlog: checksum mismatch on seq %d: record is corrupt", e.Seq)
+				}
+				e.CRC = 0
 			}
 			prevSeq = e.Seq
 			events = append(events, e)
+			valid += int64(len(line))
 			continue
 		}
 		if errors.Is(err, io.EOF) {
 			// A partial line without a newline is a torn final write.
-			return events, nil
+			return events, valid, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("eventlog: read: %w", err)
+			return nil, valid, fmt.Errorf("eventlog: read: %w", err)
 		}
 	}
 }

@@ -70,6 +70,10 @@ func (pp *PersistentPlatform) FinishRun() error {
 // Workers implements the platform API (read-only, not logged).
 func (pp *PersistentPlatform) Workers() []string { return pp.rec.Platform().Workers() }
 
+// State implements the platform API (read-only, not logged). Front-ends
+// use it to resume mid-run after a crash recovery.
+func (pp *PersistentPlatform) State() melody.RunState { return pp.rec.Platform().State() }
+
 // Run implements the platform API (read-only, not logged).
 func (pp *PersistentPlatform) Run() int { return pp.rec.Platform().Run() }
 

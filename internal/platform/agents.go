@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"melody"
 	"melody/internal/stats"
 )
 
@@ -114,14 +115,25 @@ func (a *WorkerAgent) loop(ctx context.Context) {
 				continue
 			}
 			err := a.cfg.Client.SubmitBid(ctx, a.cfg.WorkerID, a.cfg.Cost, a.cfg.Frequency)
-			if err == nil {
+			switch {
+			case err == nil:
+				lastBid = status.Run
+			case errors.Is(err, melody.ErrAuctionClosed):
+				// The bidding deadline closed the auction between our
+				// status poll and the bid; this run is lost for us.
 				lastBid = status.Run
 			}
 		case PhaseScoring:
 			if status.Run == lastAnswered {
 				continue
 			}
-			if err := a.answer(ctx, status.Run); err == nil {
+			err := a.answer(ctx, status.Run)
+			switch {
+			case err == nil:
+				lastAnswered = status.Run
+			case errors.Is(err, melody.ErrNoRunOpen), errors.Is(err, melody.ErrNotAssigned):
+				// The run finished under us (scoring deadline) or we
+				// were never a winner; nothing left to upload.
 				lastAnswered = status.Run
 			}
 		}
@@ -203,21 +215,28 @@ func (q *Requester) RunOnce(ctx context.Context, run int) (OutcomeResponse, erro
 		return OutcomeResponse{}, fmt.Errorf("platform: close run %d: %w", run, err)
 	}
 
-	// Wait until every assignment has an answer (or time out and score what
-	// arrived).
-	deadline := time.Now().Add(q.cfg.AnswerTimeout)
+	// Wait until every assignment has an answer, bounded by a context
+	// deadline rather than a polled clock; when it expires, score whatever
+	// arrived (missing winners degrade into the estimator's
+	// missing-observation path).
+	waitCtx, cancel := context.WithDeadline(ctx, time.Now().Add(q.cfg.AnswerTimeout))
+	defer cancel()
 	var answers []Answer
+wait:
 	for {
 		answers, err = c.Answers(ctx)
 		if err != nil {
 			return OutcomeResponse{}, fmt.Errorf("platform: answers run %d: %w", run, err)
 		}
-		if len(answers) >= len(out.Assignments) || time.Now().After(deadline) {
+		if len(answers) >= len(out.Assignments) {
 			break
 		}
 		select {
-		case <-ctx.Done():
-			return OutcomeResponse{}, ctx.Err()
+		case <-waitCtx.Done():
+			if ctx.Err() != nil {
+				return OutcomeResponse{}, ctx.Err()
+			}
+			break wait
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
@@ -228,6 +247,14 @@ func (q *Requester) RunOnce(ctx context.Context, run int) (OutcomeResponse, erro
 		}
 		score := stats.Clamp(sample, q.cfg.ScoreLo, q.cfg.ScoreHi)
 		if err := c.SubmitScore(ctx, ans.WorkerID, ans.TaskID, score); err != nil {
+			if errors.Is(err, melody.ErrNoRunOpen) {
+				// The scoring deadline finished the run under us; the
+				// remaining scores are moot.
+				return out, nil
+			}
+			if errors.Is(err, melody.ErrNotAssigned) {
+				continue
+			}
 			return OutcomeResponse{}, fmt.Errorf("platform: score run %d: %w", run, err)
 		}
 	}

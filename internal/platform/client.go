@@ -7,17 +7,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
 )
 
-// APIError is a non-2xx platform response, carrying the HTTP status and the
-// server's error message.
+// APIError is a non-2xx platform response, carrying the HTTP status, the
+// server's error message, and the machine-readable error code when the
+// failure maps onto a melody sentinel error.
 type APIError struct {
 	Status  int
 	Message string
+	Code    string
 }
 
 // Error implements error.
@@ -25,16 +28,87 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("platform: HTTP %d: %s", e.Status, e.Message)
 }
 
-// Client talks to a platform Server.
+// Is lets callers branch on platform state with the melody sentinels —
+// errors.Is(err, melody.ErrAuctionClosed) — instead of matching statuses
+// or message strings across the wire.
+func (e *APIError) Is(target error) bool {
+	if e.Code == "" {
+		return false
+	}
+	return sentinelForCode(e.Code) == target
+}
+
+// RetryPolicy bounds the client's retry loop. Retries are safe because the
+// platform's mutation protocol is idempotent: a retried request whose
+// first delivery succeeded (but whose response was lost) is a no-op
+// success on the server.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call; values below 2
+	// disable retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; subsequent steps double.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewClient installs: 4 attempts with
+// 25ms base backoff capped at 1s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+}
+
+// backoffDelay returns the sleep before retry number attempt (0-based),
+// using capped exponential growth with equal jitter: half the step is
+// deterministic, half is scaled by u in [0, 1).
+func backoffDelay(p RetryPolicy, attempt int, u float64) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// retryable classifies an attempt's failure: transport-level errors
+// (connection drops, resets, per-attempt timeouts) and 5xx/408/429
+// responses are worth retrying; any other HTTP response — in particular
+// every other 4xx — reached the server and reflects platform state, so
+// retrying cannot help.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500 ||
+			apiErr.Status == http.StatusRequestTimeout ||
+			apiErr.Status == http.StatusTooManyRequests
+	}
+	var urlErr *url.Error
+	return errors.As(err, &urlErr)
+}
+
+// Client talks to a platform Server, transparently retrying transient
+// failures per its RetryPolicy.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient creates a client for the platform at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default with a 10s
-// timeout.
+// timeout. The client retries transient failures per DefaultRetryPolicy;
+// use NewClientWithPolicy to tune or disable that.
 func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	return NewClientWithPolicy(baseURL, httpClient, DefaultRetryPolicy())
+}
+
+// NewClientWithPolicy is NewClient with an explicit retry policy.
+func NewClientWithPolicy(baseURL string, httpClient *http.Client, policy RetryPolicy) (*Client, error) {
 	if baseURL == "" {
 		return nil, errors.New("platform: empty base URL")
 	}
@@ -44,25 +118,48 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}, nil
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient, retry: policy}, nil
 }
 
 // do issues a request with optional JSON body and decodes a JSON response
-// into out (which may be nil).
+// into out (which may be nil), retrying retryable failures with capped
+// exponential backoff. The happy path allocates nothing beyond what a
+// single un-retried request would.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("platform: encode request: %w", err)
 		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.attempt(ctx, method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= c.retry.MaxAttempts || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(backoffDelay(c.retry, attempt, rand.Float64())):
+		}
+	}
+}
+
+// attempt issues the request once.
+func (c *Client) attempt(ctx context.Context, method, path string, buf []byte, out any) error {
+	var reader io.Reader
+	if buf != nil {
 		reader = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
 	if err != nil {
 		return fmt.Errorf("platform: build request: %w", err)
 	}
-	if body != nil {
+	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -75,7 +172,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
 			apiErr.Error = resp.Status
 		}
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error, Code: apiErr.Code}
 	}
 	if out == nil {
 		return nil

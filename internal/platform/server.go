@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"melody"
 )
@@ -24,6 +25,7 @@ type Backend interface {
 	FinishRun() error
 	Workers() []string
 	Run() int
+	State() melody.RunState
 	Quality(workerID string) (float64, error)
 	Forecast(workerID string, steps int) (melody.QualityForecast, error)
 }
@@ -32,25 +34,113 @@ var _ Backend = (*melody.Platform)(nil)
 
 // Server exposes a platform Backend over HTTP. It adds the answer-routing
 // layer (workers submit answers, the requester fetches them for scoring)
-// that the core platform leaves to the deployment.
+// that the core platform leaves to the deployment, plus the run-deadline
+// watchdog that keeps a season moving when workers or the requester crash
+// mid-run.
 type Server struct {
 	platform Backend
 	logger   *log.Logger
+
+	// bidDeadline and scoreDeadline bound how long a run may sit in the
+	// bidding and scoring phases; zero disables the watchdog.
+	bidDeadline   time.Duration
+	scoreDeadline time.Duration
 
 	mu      sync.Mutex
 	phase   Phase
 	run     int // 1-based index of the run currently open (or last opened)
 	answers []Answer
 	outcome *OutcomeResponse
+	timer   *time.Timer // pending phase-deadline action, nil when disarmed
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithDeadlines arms the run watchdog: a run still bidding after bid
+// elapses is closed with the bids that arrived, and a run still scoring
+// after score elapses is finished with the scores that arrived — absent
+// winners degrade into the estimator's missing-observation path instead of
+// wedging the season. Zero disables either deadline.
+func WithDeadlines(bid, score time.Duration) ServerOption {
+	return func(s *Server) { s.bidDeadline, s.scoreDeadline = bid, score }
 }
 
 // NewServer wraps a platform backend in an HTTP API. logger may be nil to
-// disable request logging.
-func NewServer(p Backend, logger *log.Logger) (*Server, error) {
+// disable request logging. The server resumes mid-run state from the
+// backend (relevant after a WAL crash recovery): an open run restores the
+// bidding or scoring phase — with its outcome — rather than idling forever.
+func NewServer(p Backend, logger *log.Logger, opts ...ServerOption) (*Server, error) {
 	if p == nil {
 		return nil, errors.New("platform: nil platform")
 	}
-	return &Server{platform: p, logger: logger, phase: PhaseIdle}, nil
+	s := &Server{platform: p, logger: logger, phase: PhaseIdle}
+	for _, opt := range opts {
+		opt(s)
+	}
+	st := p.State()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.run = st.CompletedRuns
+	if st.Open {
+		s.run = st.CompletedRuns + 1
+		if st.AuctionClosed {
+			s.phase = PhaseScoring
+			resp := toOutcomeResponse(st.Outcome)
+			s.outcome = &resp
+			s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
+			s.logf("resumed run %d in scoring phase", s.run)
+		} else {
+			s.phase = PhaseBidding
+			s.scheduleLocked(s.bidDeadline, s.run, s.deadlineClose)
+			s.logf("resumed run %d in bidding phase", s.run)
+		}
+	}
+	return s, nil
+}
+
+// scheduleLocked re-arms the phase-deadline timer; callers hold s.mu. A
+// non-positive deadline just disarms any pending action.
+func (s *Server) scheduleLocked(d time.Duration, run int, fire func(run int)) {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if d <= 0 {
+		return
+	}
+	s.timer = time.AfterFunc(d, func() { fire(run) })
+}
+
+// deadlineClose fires when a run sat in bidding past the deadline.
+func (s *Server) deadlineClose(run int) {
+	s.mu.Lock()
+	stale := s.phase != PhaseBidding || s.run != run
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	s.logf("run %d: bidding deadline reached, closing auction", run)
+	if _, err := s.closeAuction(); err != nil {
+		s.logf("run %d: deadline close: %v", run, err)
+	}
+}
+
+// deadlineFinish fires when a run sat in scoring past the deadline. The
+// run finishes with whatever scores arrived; winners that never answered
+// are observed as missing (empty score sets), so a crashed worker degrades
+// the quality estimate instead of blocking the season.
+func (s *Server) deadlineFinish(run int) {
+	s.mu.Lock()
+	stale := s.phase != PhaseScoring || s.run != run
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	s.logf("run %d: scoring deadline reached, finishing with collected scores", run)
+	if err := s.finishRun(); err != nil {
+		s.logf("run %d: deadline finish: %v", run, err)
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -88,7 +178,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError maps platform errors onto HTTP statuses.
+// writeError maps platform errors onto HTTP statuses, attaching the wire
+// error code so clients can recover the melody sentinel with errors.Is.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -103,7 +194,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, melody.ErrNoForecast):
 		status = http.StatusNotImplemented
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: errorCode(err)})
 }
 
 // decodeBody decodes a JSON body, rejecting unknown fields.
@@ -200,12 +291,18 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	s.run = s.platform.Run() + 1
-	s.phase = PhaseBidding
-	s.answers = nil
-	s.outcome = nil
+	run := s.platform.Run() + 1
+	// An idempotent replay of the currently open run must not reset the
+	// run's answers, outcome or deadline; only a genuinely new run does.
+	if s.phase == PhaseIdle || s.run != run {
+		s.run = run
+		s.phase = PhaseBidding
+		s.answers = nil
+		s.outcome = nil
+		s.scheduleLocked(s.bidDeadline, run, s.deadlineClose)
+		s.logf("run %d opened with %d tasks, budget %g", run, len(tasks), req.Budget)
+	}
 	s.mu.Unlock()
-	s.logf("run %d opened with %d tasks, budget %g", s.run, len(tasks), req.Budget)
 	writeJSON(w, http.StatusCreated, struct{}{})
 }
 
@@ -224,19 +321,39 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
-	out, err := s.platform.CloseAuction()
+	resp, err := s.closeAuction()
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// closeAuction is the close path shared by the HTTP handler and the
+// bidding-deadline watchdog. Closing an already-closed run replays the
+// recorded outcome (the platform's close is idempotent) without restarting
+// the scoring deadline.
+func (s *Server) closeAuction() (OutcomeResponse, error) {
+	s.mu.Lock()
+	if s.phase == PhaseScoring && s.outcome != nil {
+		resp := *s.outcome
+		s.mu.Unlock()
+		return resp, nil
+	}
+	s.mu.Unlock()
+	out, err := s.platform.CloseAuction()
+	if err != nil {
+		return OutcomeResponse{}, err
 	}
 	resp := toOutcomeResponse(out)
 	s.mu.Lock()
 	s.phase = PhaseScoring
 	s.outcome = &resp
+	s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
 	s.mu.Unlock()
 	s.logf("run %d auction closed: %d tasks selected, payment %.3f",
 		s.run, len(resp.SelectedTasks), resp.TotalPayment)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleOutcome(w http.ResponseWriter, _ *http.Request) {
@@ -265,6 +382,16 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if s.outcome == nil || !s.assignedLocked(req.WorkerID, req.TaskID) {
 		writeError(w, fmt.Errorf("%w: worker %s task %s", melody.ErrNotAssigned, req.WorkerID, req.TaskID))
 		return
+	}
+	// Idempotent on (worker, task, run): a duplicate delivery replaces the
+	// recorded answer instead of duplicating it, so the requester never
+	// sees — and never double-scores — the same assignment twice.
+	for i := range s.answers {
+		if s.answers[i].WorkerID == req.WorkerID && s.answers[i].TaskID == req.TaskID {
+			s.answers[i].Payload = req.Payload
+			writeJSON(w, http.StatusAccepted, struct{}{})
+			return
+		}
 	}
 	s.answers = append(s.answers, Answer{
 		WorkerID: req.WorkerID, TaskID: req.TaskID, Payload: req.Payload,
@@ -304,15 +431,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFinish(w http.ResponseWriter, _ *http.Request) {
+	if err := s.finishRun(); err != nil {
+		// A retried finish whose first delivery landed sees ErrNoRunOpen
+		// from the platform; when the server's state shows that run did
+		// complete, report the replay as a no-op success.
+		s.mu.Lock()
+		replayed := errors.Is(err, melody.ErrNoRunOpen) &&
+			s.phase == PhaseIdle && s.run > 0 && s.platform.Run() >= s.run
+		s.mu.Unlock()
+		if !replayed {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// finishRun is the finish path shared by the HTTP handler and the
+// scoring-deadline watchdog. Winners without scores degrade into the
+// estimator's missing-observation path inside the platform's FinishRun.
+func (s *Server) finishRun() error {
 	if err := s.platform.FinishRun(); err != nil {
-		writeError(w, err)
-		return
+		return err
 	}
 	s.mu.Lock()
 	s.phase = PhaseIdle
 	s.answers = nil
 	s.outcome = nil
+	s.scheduleLocked(0, 0, nil)
 	s.mu.Unlock()
 	s.logf("run finished; %d total runs completed", s.platform.Run())
-	writeJSON(w, http.StatusOK, struct{}{})
+	return nil
 }

@@ -6,7 +6,11 @@
 // around this package.
 package platform
 
-import "melody"
+import (
+	"errors"
+
+	"melody"
+)
 
 // Phase describes where the current run is in its lifecycle.
 type Phase string
@@ -121,9 +125,60 @@ type ScoreRequest struct {
 	Score    float64 `json:"score"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Code carries the
+// machine-readable platform error so clients can map it back onto the
+// melody sentinel errors (see APIError.Is); it is empty for errors with no
+// sentinel (validation failures, malformed bodies).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Wire error codes, one per melody sentinel error.
+const (
+	CodeRunOpen       = "run_open"
+	CodeNoRunOpen     = "no_run_open"
+	CodeAuctionClosed = "auction_closed"
+	CodeAuctionOpen   = "auction_open"
+	CodeUnknownWorker = "unknown_worker"
+	CodeNotAssigned   = "not_assigned"
+	CodeNoForecast    = "no_forecast"
+)
+
+// wireCodes pairs each sentinel with its wire code, in one place so the
+// server-side encoding and the client-side decoding cannot drift.
+var wireCodes = []struct {
+	code     string
+	sentinel error
+}{
+	{CodeRunOpen, melody.ErrRunOpen},
+	{CodeNoRunOpen, melody.ErrNoRunOpen},
+	{CodeAuctionClosed, melody.ErrAuctionClosed},
+	{CodeAuctionOpen, melody.ErrAuctionOpen},
+	{CodeUnknownWorker, melody.ErrUnknownWorker},
+	{CodeNotAssigned, melody.ErrNotAssigned},
+	{CodeNoForecast, melody.ErrNoForecast},
+}
+
+// errorCode maps a platform error onto its wire code ("" when none).
+func errorCode(err error) string {
+	for _, wc := range wireCodes {
+		if errors.Is(err, wc.sentinel) {
+			return wc.code
+		}
+	}
+	return ""
+}
+
+// sentinelForCode maps a wire code back onto the melody sentinel (nil when
+// unknown).
+func sentinelForCode(code string) error {
+	for _, wc := range wireCodes {
+		if wc.code == code {
+			return wc.sentinel
+		}
+	}
+	return nil
 }
 
 // toOutcomeResponse converts a core outcome to its wire form.

@@ -89,9 +89,38 @@ type openRun struct {
 	budget     float64
 	bids       map[string]Bid
 	outcome    *Outcome
-	assigned   map[string]map[string]bool // worker -> task -> assigned
-	scores     map[string][]float64       // worker -> scores this run
-	settlement *ledger.RunSettlement      // nil when no ledger is attached
+	assigned   map[string]map[string]bool    // worker -> task -> assigned
+	scores     map[string][]float64          // worker -> scores this run
+	recorded   map[string]map[string]float64 // worker -> task -> accepted score
+	settlement *ledger.RunSettlement         // nil when no ledger is attached
+}
+
+// RunState is a point-in-time snapshot of where the platform is in the run
+// lifecycle, used by networked front-ends to resume after a crash recovery.
+type RunState struct {
+	// CompletedRuns is the number of finished runs.
+	CompletedRuns int
+	// Open reports whether a run is currently open.
+	Open bool
+	// AuctionClosed reports whether the open run's auction has closed.
+	AuctionClosed bool
+	// Outcome is the open run's allocation; non-nil iff AuctionClosed.
+	Outcome *Outcome
+}
+
+// State returns the platform's current lifecycle snapshot.
+func (p *Platform) State() RunState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := RunState{CompletedRuns: p.run}
+	if p.open != nil {
+		st.Open = true
+		if p.open.outcome != nil {
+			st.AuctionClosed = true
+			st.Outcome = p.open.outcome
+		}
+	}
+	return st
 }
 
 // NewPlatform constructs a Platform.
@@ -170,10 +199,20 @@ func (p *Platform) Forecast(workerID string, steps int) (QualityForecast, error)
 
 // OpenRun starts a new run: the requester publishes a task set and a
 // budget. Bids are accepted until CloseAuction.
+//
+// OpenRun is idempotent on the run's natural key (the task set plus
+// budget): re-opening the currently open run with an identical spec is a
+// no-op success, so a client that lost the acknowledgment can safely
+// retry. Opening a different spec while a run is open remains ErrRunOpen.
+// Distinct runs should therefore use distinct task IDs (the bundled
+// requester generates "run<r>-task<j>").
 func (p *Platform) OpenRun(tasks []Task, budget float64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.open != nil {
+		if p.open.budget == budget && sameTasks(p.open.tasks, tasks) {
+			return nil // retried open of the same run
+		}
 		return ErrRunOpen
 	}
 	if len(tasks) == 0 {
@@ -214,16 +253,32 @@ func (p *Platform) OpenRun(tasks []Task, budget float64) error {
 	return nil
 }
 
+// sameTasks reports whether two task lists are identical (same IDs and
+// thresholds in the same order).
+func sameTasks(a, b []Task) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // SubmitBid records a worker's bid for the open run. Re-submitting replaces
 // the previous bid; only the final bid before CloseAuction counts.
+//
+// SubmitBid is idempotent on (worker, run): re-submitting the bid already
+// on record after the auction closed is a no-op success (the retry of a
+// bid whose acknowledgment was lost), while a new or changed bid after the
+// close remains ErrAuctionClosed.
 func (p *Platform) SubmitBid(workerID string, bid Bid) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.open == nil {
 		return ErrNoRunOpen
-	}
-	if p.open.outcome != nil {
-		return ErrAuctionClosed
 	}
 	if !p.workers[workerID] {
 		return fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
@@ -234,12 +289,22 @@ func (p *Platform) SubmitBid(workerID string, bid Bid) error {
 	if bid.Frequency < 1 {
 		return fmt.Errorf("melody: bid frequency %d must be at least 1", bid.Frequency)
 	}
+	if p.open.outcome != nil {
+		if prev, ok := p.open.bids[workerID]; ok && prev == bid {
+			return nil // retried delivery of the bid that already counted
+		}
+		return ErrAuctionClosed
+	}
 	p.open.bids[workerID] = bid
 	return nil
 }
 
 // CloseAuction ends the bidding phase, runs the mechanism and returns the
 // allocation and payment schemes. Workers who did not bid are excluded.
+//
+// CloseAuction is idempotent: closing an already-closed auction returns
+// the original outcome again without re-running the mechanism or settling
+// any payment twice, so a retried close after a lost response is safe.
 func (p *Platform) CloseAuction() (*Outcome, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -247,7 +312,7 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 		return nil, ErrNoRunOpen
 	}
 	if p.open.outcome != nil {
-		return nil, ErrAuctionClosed
+		return p.open.outcome, nil // retried close: replay the outcome
 	}
 	workers := make([]Worker, 0, len(p.open.bids))
 	for id, bid := range p.open.bids {
@@ -278,6 +343,7 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 		}
 	}
 	p.open.outcome = out
+	p.open.recorded = make(map[string]map[string]float64)
 	p.open.assigned = make(map[string]map[string]bool)
 	for _, a := range out.Assignments {
 		if p.open.assigned[a.WorkerID] == nil {
@@ -290,6 +356,11 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 
 // SubmitScore records the requester's score for a worker's answer to an
 // assigned task. Each assigned (worker, task) pair takes at most one score.
+//
+// SubmitScore is idempotent on (worker, task, run): re-submitting the
+// score already on record for the pair is a no-op success (a retried
+// delivery), while a different value for an already-scored pair — or a
+// pair that was never allocated — is ErrNotAssigned.
 func (p *Platform) SubmitScore(workerID, taskID string, score float64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -300,9 +371,20 @@ func (p *Platform) SubmitScore(workerID, taskID string, score float64) error {
 		return ErrAuctionOpen
 	}
 	if !p.open.assigned[workerID][taskID] {
+		if prev, ok := p.open.recorded[workerID][taskID]; ok {
+			if prev == score {
+				return nil // retried delivery of the score that already counted
+			}
+			return fmt.Errorf("%w: worker %s task %s already scored %v (got %v)",
+				ErrNotAssigned, workerID, taskID, prev, score)
+		}
 		return fmt.Errorf("%w: worker %s task %s", ErrNotAssigned, workerID, taskID)
 	}
 	p.open.assigned[workerID][taskID] = false // consume the slot
+	if p.open.recorded[workerID] == nil {
+		p.open.recorded[workerID] = make(map[string]float64)
+	}
+	p.open.recorded[workerID][taskID] = score
 	p.open.scores[workerID] = append(p.open.scores[workerID], score)
 	return nil
 }

@@ -37,12 +37,12 @@ func TestNewPlatformValidation(t *testing.T) {
 
 func TestPlatformLifecycle(t *testing.T) {
 	p := testPlatform(t)
-	for _, id := range []string{"alice", "bob", "carol", "dave"} {
+	for _, id := range []string{"alice", "bob", "carol", "dave", "erin"} {
 		if err := p.RegisterWorker(id); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := p.Workers(); len(got) != 4 || got[0] != "alice" {
+	if got := p.Workers(); len(got) != 5 || got[0] != "alice" {
 		t.Fatalf("Workers() = %v", got)
 	}
 
@@ -50,8 +50,16 @@ func TestPlatformLifecycle(t *testing.T) {
 	if err := p.OpenRun(tasks, 100); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.OpenRun(tasks, 100); !errors.Is(err, ErrRunOpen) {
-		t.Errorf("double open = %v, want ErrRunOpen", err)
+	// Re-opening the same run spec is an idempotent replay; a different
+	// spec while a run is open is still rejected.
+	if err := p.OpenRun(tasks, 100); err != nil {
+		t.Errorf("replayed open = %v, want nil", err)
+	}
+	if err := p.OpenRun(tasks, 200); !errors.Is(err, ErrRunOpen) {
+		t.Errorf("conflicting open = %v, want ErrRunOpen", err)
+	}
+	if err := p.OpenRun([]Task{{ID: "other", Threshold: 5}}, 100); !errors.Is(err, ErrRunOpen) {
+		t.Errorf("different open = %v, want ErrRunOpen", err)
 	}
 
 	bids := map[string]Bid{
@@ -79,11 +87,24 @@ func TestPlatformLifecycle(t *testing.T) {
 	if out.Utility() == 0 {
 		t.Fatal("no tasks satisfied in a generous run")
 	}
-	if _, err := p.CloseAuction(); !errors.Is(err, ErrAuctionClosed) {
-		t.Errorf("double close = %v, want ErrAuctionClosed", err)
+	// A retried close replays the same outcome instead of failing.
+	out2, err := p.CloseAuction()
+	if err != nil {
+		t.Errorf("replayed close = %v, want nil", err)
 	}
-	if err := p.SubmitBid("alice", bids["alice"]); !errors.Is(err, ErrAuctionClosed) {
-		t.Errorf("late bid = %v, want ErrAuctionClosed", err)
+	if out2 != out {
+		t.Error("replayed close returned a different outcome")
+	}
+	// Replaying the bid already on record is a no-op; a changed bid after
+	// the close is still rejected.
+	if err := p.SubmitBid("alice", bids["alice"]); err != nil {
+		t.Errorf("replayed bid = %v, want nil", err)
+	}
+	if err := p.SubmitBid("alice", Bid{Cost: 1.1, Frequency: 2}); !errors.Is(err, ErrAuctionClosed) {
+		t.Errorf("changed late bid = %v, want ErrAuctionClosed", err)
+	}
+	if err := p.SubmitBid("erin", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrAuctionClosed) {
+		t.Errorf("fresh late bid = %v, want ErrAuctionClosed", err)
 	}
 
 	// Score every assignment.
@@ -91,9 +112,13 @@ func TestPlatformLifecycle(t *testing.T) {
 		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); err != nil {
 			t.Fatal(err)
 		}
-		// Second score for the same pair must be rejected.
-		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); !errors.Is(err, ErrNotAssigned) {
-			t.Errorf("duplicate score = %v, want ErrNotAssigned", err)
+		// A retried score with the same value is a no-op; a different value
+		// for the consumed slot is rejected.
+		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); err != nil {
+			t.Errorf("replayed score = %v, want nil", err)
+		}
+		if err := p.SubmitScore(a.WorkerID, a.TaskID, 3.0); !errors.Is(err, ErrNotAssigned) {
+			t.Errorf("conflicting score = %v, want ErrNotAssigned", err)
 		}
 	}
 	if err := p.SubmitScore("alice", "label-99", 5); !errors.Is(err, ErrNotAssigned) {
