@@ -1,10 +1,13 @@
 GO ?= go
+# FUZZTIME bounds each fuzz target's smoke run inside ci; raise it for real
+# exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
+FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race bench-smoke bench-snapshot chaos-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race chaos-smoke bench-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +24,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# verify-props re-runs the mechanism-verification suite on its own: the
+# internal/verify checkers' self-tests (truthfulness probes, differential
+# oracles, counterexample shrinker) and the property tests that call them
+# from internal/core. See TESTING.md for the invariant catalog.
+verify-props:
+	$(GO) test ./internal/verify/ ./internal/core/ -count 1
+
 # bench-smoke runs every benchmark once — a compile-and-liveness check, not
 # a measurement.
 bench-smoke:
@@ -31,6 +41,16 @@ bench-smoke:
 # kill and WAL recovery (internal/platform/chaos_soak_test.go).
 chaos-smoke:
 	$(GO) test ./internal/chaos/ ./internal/platform/ -run 'TestChaosSoakSeason|TestTransport|TestMiddleware' -count 1
+
+# fuzz-smoke gives each native fuzz target a short budget on top of its
+# committed seed corpus (testdata/fuzz/ in each package); any crasher is a
+# hard failure. See TESTING.md for how to run longer sessions and how to
+# promote new corpus entries.
+fuzz-smoke:
+	$(GO) test ./internal/verify/ -run '^$$' -fuzz '^FuzzMelodyAuction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eventlog/ -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/platform/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lds/ -run '^$$' -fuzz '^FuzzKalmanFilter$$' -fuzztime $(FUZZTIME)
 
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
 # the latest committed one (see cmd/melody-bench).

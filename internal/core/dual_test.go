@@ -61,7 +61,7 @@ func TestDualMatchesPrimalCheapestPrefix(t *testing.T) {
 	for _, id := range primal.SelectedTasks[:target] {
 		primalPrefix += primal.TaskPayment[id]
 	}
-	if !almostEqual(dOut.TotalPayment, primalPrefix, 1e-9) {
+	if !almostEqual(dOut.TotalPayment, primalPrefix, testTol) {
 		t.Errorf("dual payment %v != primal cheapest prefix %v", dOut.TotalPayment, primalPrefix)
 	}
 }
@@ -107,7 +107,7 @@ func TestDualIndividualRationality(t *testing.T) {
 			costs[w.ID] = w.Bid.Cost
 		}
 		for _, a := range out.Assignments {
-			if a.Payment < costs[a.WorkerID]-1e-9 {
+			if a.Payment < costs[a.WorkerID]-testTol {
 				t.Fatalf("trial %d: payment %v below cost %v", trial, a.Payment, costs[a.WorkerID])
 			}
 		}

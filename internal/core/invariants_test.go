@@ -1,15 +1,21 @@
-package core
+package core_test
 
 // Structural invariants of auction outcomes, checked with testing/quick
-// over randomized instances for all three mechanisms.
+// over randomized instances for all four mechanisms. The actual checking
+// logic lives in internal/verify (CheckAuctionOutcome and the per-mechanism
+// Checks presets); these tests only generate instances and route outcomes
+// through it.
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"melody/internal/core"
 	"melody/internal/stats"
+	"melody/internal/verify"
 )
 
 // instanceSpec is a generatable description of a random SRA instance.
@@ -30,112 +36,23 @@ func (instanceSpec) Generate(r *rand.Rand, _ int) reflect.Value {
 	})
 }
 
-func (s instanceSpec) instance() Instance {
-	return paperInstance(stats.NewRNG(s.Seed), s.N, s.M, s.Budget)
-}
-
-// checkOutcomeInvariants verifies structural well-formedness:
-//  1. every assignment references an existing worker and task,
-//  2. no (worker, task) pair appears twice (x_ij is binary),
-//  3. every assigned task is in SelectedTasks and vice versa,
-//  4. per-task payments sum to TaskPayment and overall to TotalPayment,
-//  5. payments are positive,
-//  6. frequencies are respected,
-//  7. selected tasks are covered by the winners' estimated quality.
-func checkOutcomeInvariants(t *testing.T, in Instance, out *Outcome, fractional bool) {
-	t.Helper()
-	workers := make(map[string]Worker, len(in.Workers))
-	for _, w := range in.Workers {
-		workers[w.ID] = w
-	}
-	tasks := make(map[string]Task, len(in.Tasks))
-	for _, task := range in.Tasks {
-		tasks[task.ID] = task
-	}
-	selected := make(map[string]bool, len(out.SelectedTasks))
-	for _, id := range out.SelectedTasks {
-		if _, ok := tasks[id]; !ok {
-			t.Fatalf("selected unknown task %s", id)
-		}
-		if selected[id] {
-			t.Fatalf("task %s selected twice", id)
-		}
-		selected[id] = true
-	}
-
-	if fractional {
-		// OPT-UB reports no integral assignments; only payment accounting
-		// applies.
-		var sum float64
-		for id, p := range out.TaskPayment {
-			if !selected[id] {
-				t.Fatalf("payment for unselected task %s", id)
-			}
-			sum += p
-		}
-		if !almostEqual(sum, out.TotalPayment, 1e-6) {
-			t.Fatalf("task payments %v != total %v", sum, out.TotalPayment)
-		}
-		return
-	}
-
-	pairSeen := make(map[[2]string]bool)
-	perTaskPay := make(map[string]float64)
-	perTaskQuality := make(map[string]float64)
-	perWorkerCount := make(map[string]int)
-	var total float64
-	for _, a := range out.Assignments {
-		w, ok := workers[a.WorkerID]
-		if !ok {
-			t.Fatalf("assignment references unknown worker %s", a.WorkerID)
-		}
-		if _, ok := tasks[a.TaskID]; !ok {
-			t.Fatalf("assignment references unknown task %s", a.TaskID)
-		}
-		key := [2]string{a.WorkerID, a.TaskID}
-		if pairSeen[key] {
-			t.Fatalf("pair %v assigned twice (x_ij must be binary)", key)
-		}
-		pairSeen[key] = true
-		if !selected[a.TaskID] {
-			t.Fatalf("assignment to unselected task %s", a.TaskID)
-		}
-		if a.Payment <= 0 {
-			t.Fatalf("non-positive payment %v", a.Payment)
-		}
-		perTaskPay[a.TaskID] += a.Payment
-		perTaskQuality[a.TaskID] += w.Quality
-		perWorkerCount[a.WorkerID]++
-		total += a.Payment
-	}
-	if !almostEqual(total, out.TotalPayment, 1e-6) {
-		t.Fatalf("assignments sum %v != TotalPayment %v", total, out.TotalPayment)
-	}
-	for id := range selected {
-		if !almostEqual(perTaskPay[id], out.TaskPayment[id], 1e-6) {
-			t.Fatalf("task %s: payments %v != TaskPayment %v", id, perTaskPay[id], out.TaskPayment[id])
-		}
-		if perTaskQuality[id] < tasks[id].Threshold-1e-9 {
-			t.Fatalf("task %s: quality %v below threshold %v", id, perTaskQuality[id], tasks[id].Threshold)
-		}
-	}
-	for id, count := range perWorkerCount {
-		if count > workers[id].Bid.Frequency {
-			t.Fatalf("worker %s assigned %d > frequency %d", id, count, workers[id].Bid.Frequency)
-		}
-	}
+func (s instanceSpec) instance() core.Instance {
+	return verify.RandomInstance(stats.NewRNG(s.Seed), s.N, s.M, s.Budget)
 }
 
 func TestMelodyOutcomeInvariants(t *testing.T) {
-	mel, _ := NewMelody(paperConfig())
+	mel, _ := core.NewMelody(verify.PaperConfig())
 	f := func(spec instanceSpec) bool {
 		in := spec.instance()
 		out, err := mel.Run(in)
 		if err != nil {
 			return false
 		}
-		checkOutcomeInvariants(t, in, out, false)
-		return out.TotalPayment <= in.Budget+1e-9
+		if err := verify.CheckAuctionOutcome(in, out, verify.MelodyChecks()); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
@@ -145,7 +62,7 @@ func TestMelodyOutcomeInvariants(t *testing.T) {
 func TestRandomOutcomeInvariants(t *testing.T) {
 	f := func(spec instanceSpec) bool {
 		in := spec.instance()
-		rnd, err := NewRandom(paperConfig(), stats.NewRNG(spec.Seed+1))
+		rnd, err := core.NewRandom(verify.PaperConfig(), stats.NewRNG(spec.Seed+1))
 		if err != nil {
 			return false
 		}
@@ -153,8 +70,11 @@ func TestRandomOutcomeInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		checkOutcomeInvariants(t, in, out, false)
-		return out.TotalPayment <= in.Budget+1e-9
+		if err := verify.CheckAuctionOutcome(in, out, verify.RandomChecks()); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
@@ -162,15 +82,40 @@ func TestRandomOutcomeInvariants(t *testing.T) {
 }
 
 func TestOptUBOutcomeInvariants(t *testing.T) {
-	ub, _ := NewOptUB(paperConfig())
+	ub, _ := core.NewOptUB(verify.PaperConfig())
 	f := func(spec instanceSpec) bool {
 		in := spec.instance()
 		out, err := ub.Run(in)
 		if err != nil {
 			return false
 		}
-		checkOutcomeInvariants(t, in, out, true)
-		return out.TotalPayment <= in.Budget+1e-9
+		if err := verify.CheckAuctionOutcome(in, out, verify.OptUBChecks()); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualOutcomeInvariants(t *testing.T) {
+	f := func(spec instanceSpec) bool {
+		in := spec.instance()
+		dual, err := core.NewMelodyDual(verify.PaperConfig(), 1+int(spec.Seed%7))
+		if err != nil {
+			return false
+		}
+		out, err := dual.Run(in)
+		if err != nil {
+			return false
+		}
+		if err := verify.CheckAuctionOutcome(in, out, verify.DualChecks()); err != nil {
+			t.Error(err)
+			return false
+		}
+		return out.Utility() <= dual.Target()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
@@ -181,7 +126,7 @@ func TestOptUBOutcomeInvariants(t *testing.T) {
 // requester's utility (the candidate set is budget-independent and tasks
 // are accepted cheapest-first).
 func TestMelodyBudgetMonotonicity(t *testing.T) {
-	mel, _ := NewMelody(paperConfig())
+	mel, _ := core.NewMelody(verify.PaperConfig())
 	f := func(spec instanceSpec) bool {
 		in := spec.instance()
 		small, err := mel.Run(in)
@@ -201,21 +146,52 @@ func TestMelodyBudgetMonotonicity(t *testing.T) {
 	}
 }
 
-func TestDualOutcomeInvariants(t *testing.T) {
+// TestOptUBDominatesMelody: the fractional relaxation is a genuine upper
+// bound — under the same budget OPT-UB never satisfies fewer tasks than
+// MELODY, and MELODY never beats the exact optimum bracketed by
+// verify.CheckExactBounds on small instances.
+func TestOptUBDominatesMelody(t *testing.T) {
+	mel, _ := core.NewMelody(verify.PaperConfig())
+	ub, _ := core.NewOptUB(verify.PaperConfig())
 	f := func(spec instanceSpec) bool {
 		in := spec.instance()
-		dual, err := NewMelodyDual(paperConfig(), 1+int(spec.Seed%7))
+		mout, err := mel.Run(in)
 		if err != nil {
 			return false
 		}
-		out, err := dual.Run(in)
+		uout, err := ub.Run(in)
 		if err != nil {
 			return false
 		}
-		checkOutcomeInvariants(t, in, out, false)
-		return out.Utility() <= dual.Target()
+		if uout.Utility() < mout.Utility() {
+			t.Errorf("OPT-UB utility %d below MELODY's %d (N=%d M=%d B=%.4g)",
+				uout.Utility(), mout.Utility(), spec.N, spec.M, in.Budget)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMelodyMatchesExactOnSmallInstances: differential oracle against the
+// brute-force optimum for enumerable instances.
+func TestMelodyMatchesExactOnSmallInstances(t *testing.T) {
+	r := stats.NewRNG(777)
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		in := verify.RandomInstance(r.Split(), 2+r.Intn(6), 1+r.Intn(2), r.Uniform(5, 60))
+		err := verify.CheckExactBounds(verify.PaperConfig(), in)
+		if errors.Is(err, core.ErrInstanceTooLarge) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d/40 instances were enumerable; generator too large", checked)
 	}
 }

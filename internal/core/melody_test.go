@@ -7,6 +7,13 @@ import (
 	"melody/internal/stats"
 )
 
+// testTol is the in-package copy of verify.Tol (these tests cannot import
+// internal/verify without an import cycle): the pointwise tolerance for
+// comparing individually-computed float64 quantities.
+const testTol = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
 // paperConfig mirrors Table 3's implied qualification intervals: quality in
 // [2,4], cost in [1,2].
 func paperConfig() Config {
@@ -210,7 +217,7 @@ func TestMelodySelectedTasksAreSatisfied(t *testing.T) {
 		thresholds[task.ID] = task.Threshold
 	}
 	for _, id := range out.SelectedTasks {
-		if received[id] < thresholds[id]-1e-9 {
+		if received[id] < thresholds[id]-testTol {
 			t.Errorf("selected task %s received %v < threshold %v", id, received[id], thresholds[id])
 		}
 	}

@@ -82,7 +82,7 @@ func TestApproxFactorLambda(t *testing.T) {
 	// With Table 3's intervals: 4 * 6 * 16 / (1 * 8) = 48, the paper's
 	// "theoretical approximation factor of 48*beta" remark in Section 7.1.
 	cfg := paperConfig()
-	if got := cfg.ApproxFactorLambda(); !almostEqual(got, 48, 1e-9) {
+	if got := cfg.ApproxFactorLambda(); !almostEqual(got, 48, testTol) {
 		t.Errorf("lambda = %v, want 48", got)
 	}
 }

@@ -28,7 +28,7 @@ func TestOptUBHandExample(t *testing.T) {
 		t.Fatalf("OPT-UB utility = %d, want 1", out.Utility())
 	}
 	wantCost := 3*(1.0/3) + 1*(2.0/3)
-	if !almostEqual(out.TaskPayment["t1"], wantCost, 1e-9) {
+	if !almostEqual(out.TaskPayment["t1"], wantCost, testTol) {
 		t.Errorf("t1 cost = %v, want %v", out.TaskPayment["t1"], wantCost)
 	}
 }
@@ -49,7 +49,7 @@ func TestOptUBBudgetBinds(t *testing.T) {
 	if out.Utility() != 1 {
 		t.Errorf("utility = %d, want 1 (budget binds)", out.Utility())
 	}
-	if out.TotalPayment > in.Budget+1e-9 {
+	if out.TotalPayment > in.Budget+testTol {
 		t.Errorf("OPT-UB overspent: %v > %v", out.TotalPayment, in.Budget)
 	}
 }

@@ -1,107 +1,99 @@
-package core
+package core_test
 
-// Property tests verifying the paper's Theorems 4, 6 and budget feasibility
-// on randomized instances, for both MELODY and the RANDOM baseline.
+// Property tests verifying the paper's Theorems 4/5/6 and budget
+// feasibility on randomized instances, for all four mechanisms. The tests
+// are thin callers of internal/verify, which owns the checkers, the
+// deviation probes and the shared tolerances; see TESTING.md for the
+// invariant catalog.
 
 import (
-	"math"
 	"testing"
 
+	"melody/internal/core"
 	"melody/internal/stats"
+	"melody/internal/verify"
 )
 
-func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
-
-// TestIndividualRationality: every winner's payment covers their cost
-// (Theorem 6), for both mechanisms, across many random instances.
+// TestIndividualRationality: every winner's payment covers their declared
+// cost (Theorem 6) for MELODY, MELODY-DUAL and RANDOM across random
+// instances.
 func TestIndividualRationality(t *testing.T) {
 	r := stats.NewRNG(100)
-	mel, _ := NewMelody(paperConfig())
+	cfg := verify.PaperConfig()
+	mel, _ := core.NewMelody(cfg)
 	for trial := 0; trial < 50; trial++ {
-		in := paperInstance(r.Split(), 5+r.Intn(80), 5+r.Intn(60), r.Uniform(0, 800))
-		rnd, _ := NewRandom(paperConfig(), r.Split())
-		for _, mech := range []Mechanism{mel, rnd} {
+		in := verify.RandomInstance(r.Split(), 5+r.Intn(80), 5+r.Intn(60), r.Uniform(0, 800))
+		rnd, _ := core.NewRandom(cfg, r.Split())
+		dual, _ := core.NewMelodyDual(cfg, 1+r.Intn(8))
+		for _, mech := range []core.Mechanism{mel, rnd, dual} {
 			out, err := mech.Run(in)
 			if err != nil {
 				t.Fatalf("%s: %v", mech.Name(), err)
 			}
-			costs := make(map[string]float64)
-			for _, w := range in.Workers {
-				costs[w.ID] = w.Bid.Cost
-			}
-			for _, a := range out.Assignments {
-				if a.Payment < costs[a.WorkerID]-1e-9 {
-					t.Fatalf("%s trial %d: worker %s paid %v below cost %v",
-						mech.Name(), trial, a.WorkerID, a.Payment, costs[a.WorkerID])
-				}
+			if err := verify.CheckIndividualRationality(in, out); err != nil {
+				t.Fatalf("%s trial %d: %v", mech.Name(), trial, err)
 			}
 		}
 	}
 }
 
-// TestBudgetFeasibility: total payment never exceeds the budget.
+// TestBudgetFeasibility: total payment never exceeds the budget (MELODY,
+// RANDOM and the OPT-UB relaxation; MELODY-DUAL has no budget constraint),
+// and the per-assignment accounting re-sums to TotalPayment.
 func TestBudgetFeasibility(t *testing.T) {
 	r := stats.NewRNG(200)
-	mel, _ := NewMelody(paperConfig())
+	cfg := verify.PaperConfig()
+	mel, _ := core.NewMelody(cfg)
+	ub, _ := core.NewOptUB(cfg)
 	for trial := 0; trial < 50; trial++ {
 		budget := r.Uniform(0, 1500)
-		in := paperInstance(r.Split(), 5+r.Intn(150), 5+r.Intn(100), budget)
-		rnd, _ := NewRandom(paperConfig(), r.Split())
-		for _, mech := range []Mechanism{mel, rnd} {
+		in := verify.RandomInstance(r.Split(), 5+r.Intn(150), 5+r.Intn(100), budget)
+		rnd, _ := core.NewRandom(cfg, r.Split())
+		checks := map[core.Mechanism]verify.Checks{
+			mel: verify.MelodyChecks(),
+			rnd: verify.RandomChecks(),
+			ub:  verify.OptUBChecks(),
+		}
+		for mech, c := range checks {
 			out, err := mech.Run(in)
 			if err != nil {
 				t.Fatalf("%s: %v", mech.Name(), err)
 			}
-			if out.TotalPayment > budget+1e-9 {
-				t.Fatalf("%s trial %d: payment %v exceeds budget %v",
-					mech.Name(), trial, out.TotalPayment, budget)
+			if err := verify.CheckBudgetFeasible(in, out); err != nil {
+				t.Fatalf("%s trial %d: %v", mech.Name(), trial, err)
 			}
-			var sum float64
-			for _, a := range out.Assignments {
-				sum += a.Payment
-			}
-			if !almostEqual(sum, out.TotalPayment, 1e-6) {
-				t.Fatalf("%s: assignment payments %v != TotalPayment %v", mech.Name(), sum, out.TotalPayment)
+			if err := verify.CheckOutcome(in, out, c.Kind); err != nil {
+				t.Fatalf("%s trial %d: %v", mech.Name(), trial, err)
 			}
 		}
 	}
 }
 
-// TestCostTruthfulnessSingleTask: for a single-task auction, MELODY's
-// critical-payment rule is exactly truthful — the winner set and pivot are
-// invariant to where a winner sits inside the winning prefix, so a worker
-// wins iff their quality-per-cost clears the pivot's and is always paid the
-// pivot density. This is the granularity at which the paper's Theorem 4
-// proof operates (fixed k and pivot). Strict per-instance truthfulness on
-// multi-task instances does NOT hold (see TestCostTruthfulnessOnAverage and
-// EXPERIMENTS.md): lying can reshuffle pre-allocation across tasks with
-// frequency depletion and budget staging.
-func TestCostTruthfulnessSingleTask(t *testing.T) {
+// TestCostTruthfulnessFixedCover: strict Theorem 5 check in the
+// fixed-cover-size regime (homogeneous quality, single task), where no
+// deviation can change the winner count k and the paper's fixed-k-and-pivot
+// proof binds exactly. On heterogeneous instances a cover-shifting
+// deviation can be strictly profitable (see
+// verify.TestKnownCoverShiftCounterexample and TESTING.md), so the general
+// regime is checked statistically below.
+func TestCostTruthfulnessFixedCover(t *testing.T) {
+	mel, _ := core.NewMelody(verify.PaperConfig())
 	r := stats.NewRNG(300)
-	mel, _ := NewMelody(paperConfig())
-	for trial := 0; trial < 60; trial++ {
-		in := paperInstance(r.Split(), 6+r.Intn(30), 1, r.Uniform(5, 50))
-		wi := r.Intn(len(in.Workers))
-		truthful := in.Workers[wi]
-		base, err := mel.Run(in)
-		if err != nil {
-			t.Fatal(err)
-		}
-		truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
-		for dev := 0; dev < 12; dev++ {
-			lie := r.Uniform(0.5, 2.5) // includes bids that disqualify
-			mutated := cloneInstance(in)
-			mutated.Workers[wi].Bid.Cost = lie
-			out, err := mel.Run(mutated)
-			if err != nil {
-				t.Fatal(err)
-			}
-			lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
-			if lyingU > truthfulU+1e-9 {
-				t.Fatalf("trial %d: worker %s gains by lying cost %v->%v: %v > %v",
-					trial, truthful.ID, truthful.Bid.Cost, lie, lyingU, truthfulU)
-			}
-		}
+	const instances = 60
+	gens := make([]core.Instance, instances)
+	for i := range gens {
+		gens[i] = verify.EqualQualityInstance(r.Split(), 6+r.Intn(30), 1, r.Uniform(5, 50))
+	}
+	ce, err := verify.ProbeInstances(
+		func(int) verify.RunFunc { return mel.Run },
+		func(probe int) core.Instance { return gens[probe] },
+		instances, 12,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("worker gains by lying in the fixed-k regime: %s", ce)
 	}
 }
 
@@ -112,41 +104,27 @@ func TestCostTruthfulnessSingleTask(t *testing.T) {
 // cross-task interactions), but the expected gain is clearly negative.
 func TestCostTruthfulnessOnAverage(t *testing.T) {
 	r := stats.NewRNG(301)
-	mel, _ := NewMelody(paperConfig())
-	var gain stats.Accumulator
-	gains := 0
-	probes := 0
+	mel, _ := core.NewMelody(verify.PaperConfig())
+	var agg verify.DeviationStats
 	for trial := 0; trial < 40; trial++ {
-		in := paperInstance(r.Split(), 8+r.Intn(30), 5+r.Intn(20), r.Uniform(50, 400))
-		base, err := mel.Run(in)
-		if err != nil {
-			t.Fatal(err)
-		}
+		in := verify.RandomInstance(r.Split(), 8+r.Intn(30), 5+r.Intn(20), r.Uniform(50, 400))
 		for probe := 0; probe < 3; probe++ {
 			wi := r.Intn(len(in.Workers))
-			truthful := in.Workers[wi]
-			truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+			lies := make([]core.Bid, 0, 4)
 			for dev := 0; dev < 4; dev++ {
-				mutated := cloneInstance(in)
-				mutated.Workers[wi].Bid.Cost = r.Uniform(1, 2)
-				out, err := mel.Run(mutated)
-				if err != nil {
-					t.Fatal(err)
-				}
-				lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
-				gain.Add(lyingU - truthfulU)
-				probes++
-				if lyingU > truthfulU+1e-9 {
-					gains++
-				}
+				lies = append(lies, core.Bid{Cost: r.Uniform(1, 2), Frequency: in.Workers[wi].Bid.Frequency})
+			}
+			if err := verify.MeasureDeviations(mel.Run, in, wi, lies, &agg); err != nil {
+				t.Fatal(err)
 			}
 		}
 	}
-	if gain.Mean() > 0 {
-		t.Errorf("average utility gain from misreporting cost is positive: %v", gain.Mean())
+	if agg.MeanGain() > 0 {
+		t.Errorf("average utility gain from misreporting cost is positive: %v (worst: %s)",
+			agg.MeanGain(), agg.Worst)
 	}
-	if frac := float64(gains) / float64(probes); frac > 0.25 {
-		t.Errorf("misreporting cost paid off in %.0f%% of probes; expected rare", 100*frac)
+	if agg.GainRate() > 0.25 {
+		t.Errorf("misreporting cost paid off in %.0f%% of probes; expected rare", 100*agg.GainRate())
 	}
 }
 
@@ -155,33 +133,19 @@ func TestCostTruthfulnessOnAverage(t *testing.T) {
 // frequency, per the paper's Theorem 4 frequency argument).
 func TestFrequencyTruthfulnessOnAverage(t *testing.T) {
 	r := stats.NewRNG(400)
-	mel, _ := NewMelody(paperConfig())
-	var gain stats.Accumulator
+	mel, _ := core.NewMelody(verify.PaperConfig())
+	var agg verify.DeviationStats
 	for trial := 0; trial < 40; trial++ {
-		in := paperInstance(r.Split(), 8+r.Intn(30), 10+r.Intn(30), r.Uniform(100, 600))
-		base, err := mel.Run(in)
-		if err != nil {
+		in := verify.RandomInstance(r.Split(), 8+r.Intn(30), 10+r.Intn(30), r.Uniform(100, 600))
+		wi := r.Intn(len(in.Workers))
+		if err := verify.MeasureDeviations(mel.Run, in, wi,
+			verify.FrequencyGrid(in.Workers[wi].Bid, 8), &agg); err != nil {
 			t.Fatal(err)
 		}
-		wi := r.Intn(len(in.Workers))
-		truthful := in.Workers[wi]
-		truthfulU := WorkerUtility(base, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
-		for lie := 1; lie <= 8; lie++ {
-			if lie == truthful.Bid.Frequency {
-				continue
-			}
-			mutated := cloneInstance(in)
-			mutated.Workers[wi].Bid.Frequency = lie
-			out, err := mel.Run(mutated)
-			if err != nil {
-				t.Fatal(err)
-			}
-			lyingU := WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
-			gain.Add(lyingU - truthfulU)
-		}
 	}
-	if gain.Mean() > 0 {
-		t.Errorf("average utility gain from misreporting frequency is positive: %v", gain.Mean())
+	if agg.MeanGain() > 0 {
+		t.Errorf("average utility gain from misreporting frequency is positive: %v (worst: %s)",
+			agg.MeanGain(), agg.Worst)
 	}
 }
 
@@ -193,41 +157,29 @@ func TestFrequencyTruthfulnessOnAverage(t *testing.T) {
 // statistical.
 func TestRandomCostTruthfulnessSingleTask(t *testing.T) {
 	r := stats.NewRNG(500)
-	var gain stats.Accumulator
+	cfg := verify.PaperConfig()
+	var agg verify.DeviationStats
 	for trial := 0; trial < 60; trial++ {
 		seed := int64(trial*7919 + 13)
-		in := paperInstance(r.Split(), 10+r.Intn(20), 1, r.Uniform(5, 50))
+		in := verify.RandomInstance(r.Split(), 10+r.Intn(20), 1, r.Uniform(5, 50))
 		wi := r.Intn(len(in.Workers))
-		truthful := in.Workers[wi]
-
-		runWith := func(inst Instance) float64 {
-			rnd, err := NewRandom(paperConfig(), stats.NewRNG(seed))
+		run := func(inst core.Instance) (*core.Outcome, error) {
+			rnd, err := core.NewRandom(cfg, stats.NewRNG(seed))
 			if err != nil {
-				t.Fatal(err)
+				return nil, err
 			}
-			out, err := rnd.Run(inst)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return WorkerUtility(out, truthful.ID, truthful.Bid.Cost, truthful.Bid.Frequency)
+			return rnd.Run(inst)
 		}
-		truthfulU := runWith(in)
+		lies := make([]core.Bid, 0, 5)
 		for dev := 0; dev < 5; dev++ {
-			mutated := cloneInstance(in)
-			mutated.Workers[wi].Bid.Cost = r.Uniform(1, 2)
-			gain.Add(runWith(mutated) - truthfulU)
+			lies = append(lies, core.Bid{Cost: r.Uniform(1, 2), Frequency: in.Workers[wi].Bid.Frequency})
+		}
+		if err := verify.MeasureDeviations(run, in, wi, lies, &agg); err != nil {
+			t.Fatal(err)
 		}
 	}
-	if gain.Mean() > 0 {
-		t.Errorf("average utility gain from misreporting to RANDOM is positive: %v", gain.Mean())
+	if agg.MeanGain() > 0 {
+		t.Errorf("average utility gain from misreporting to RANDOM is positive: %v (worst: %s)",
+			agg.MeanGain(), agg.Worst)
 	}
-}
-
-func cloneInstance(in Instance) Instance {
-	out := Instance{Budget: in.Budget}
-	out.Workers = make([]Worker, len(in.Workers))
-	copy(out.Workers, in.Workers)
-	out.Tasks = make([]Task, len(in.Tasks))
-	copy(out.Tasks, in.Tasks)
-	return out
 }

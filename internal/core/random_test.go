@@ -38,7 +38,7 @@ func TestRandomSelectedTasksAreSatisfied(t *testing.T) {
 		t.Fatal("expected RANDOM to satisfy at least one task")
 	}
 	for _, id := range out.SelectedTasks {
-		if received[id] < thr[id]-1e-9 {
+		if received[id] < thr[id]-testTol {
 			t.Errorf("task %s received %v < %v", id, received[id], thr[id])
 		}
 	}

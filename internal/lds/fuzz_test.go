@@ -1,0 +1,104 @@
+package lds_test
+
+import (
+	"math"
+	"testing"
+
+	"melody/internal/lds"
+	"melody/internal/stats"
+	"melody/internal/verify"
+)
+
+// saneKalmanRegime bounds the fuzzed hyper-parameters to the numerically
+// meaningful range. The validator accepts any positive finite variances,
+// but e.g. eta = 1e300 overflows the filter's float64 arithmetic by design;
+// the fuzzer's job here is logic bugs (negative variances, smoother/filter
+// divergence, EM decreases), not float overflow, so wilder regimes are
+// skipped rather than sanitized — the interesting boundary inputs stay
+// under the fuzzer's direct control.
+func saneKalmanRegime(p lds.Params, init lds.State) bool {
+	return math.Abs(p.A) <= 1.5 &&
+		p.Gamma >= 1e-6 && p.Gamma <= 1e3 &&
+		p.Eta >= 1e-6 && p.Eta <= 1e3 &&
+		math.Abs(init.Mean) <= 1e3 &&
+		init.Var >= 1e-6 && init.Var <= 1e3
+}
+
+// FuzzKalmanFilter drives the filter, smoother and EM over fuzzer-chosen
+// hyper-parameters and seed-derived score histories (with missing runs) and
+// funnels the results through the verify LDS checkers: posterior variances
+// stay positive (Theorem 3), the smoothed marginal matches the filtered
+// posterior at t=T with no variance inflation, and the EM log-likelihood
+// never decreases (Algorithm 2). Invalid parameters must be rejected by
+// Filter, never half-processed.
+//
+// Explore with `go test ./internal/lds -run '^$' -fuzz FuzzKalmanFilter`.
+func FuzzKalmanFilter(f *testing.F) {
+	f.Add(1.0, 0.3, 9.0, 5.5, 2.25, int64(1), uint8(6), uint8(3), uint8(0))
+	f.Add(0.9, 0.1, 1.0, 0.0, 1.0, int64(2), uint8(1), uint8(1), uint8(0))
+	f.Add(-1.2, 1e-6, 1e3, -999.0, 1e-6, int64(3), uint8(11), uint8(3), uint8(255))
+	f.Add(1.0, 0.3, 9.0, 5.5, 2.25, int64(4), uint8(8), uint8(0), uint8(255)) // all-missing
+	f.Add(math.NaN(), -1.0, 0.0, math.Inf(1), -2.25, int64(5), uint8(3), uint8(2), uint8(0))
+
+	f.Fuzz(func(t *testing.T, a, gamma, eta, m0, v0 float64, seed int64, runs, obs, missing uint8) {
+		p := lds.Params{A: a, Gamma: gamma, Eta: eta}
+		init := lds.State{Mean: m0, Var: v0}
+
+		r := stats.NewRNG(seed)
+		n := 1 + int(runs%12)
+		history := make([][]float64, n)
+		for t2 := 0; t2 < n; t2++ {
+			if missing&(1<<(uint(t2)%8)) != 0 {
+				continue // missing run: no observations
+			}
+			k := int(obs % 4)
+			for o := 0; o < k; o++ {
+				history[t2] = append(history[t2], r.Uniform(0, 10))
+			}
+		}
+
+		if p.Validate() != nil || init.Validate() != nil {
+			if _, err := lds.Filter(p, init, history); err == nil {
+				t.Fatalf("Filter accepted invalid params %+v / init %+v", p, init)
+			}
+			if _, err := lds.Smooth(p, init, history); err == nil {
+				t.Fatalf("Smooth accepted invalid params %+v / init %+v", p, init)
+			}
+			return
+		}
+		if !saneKalmanRegime(p, init) {
+			t.Skip("outside the numerically sane regime")
+		}
+
+		filtered, err := lds.Filter(p, init, history)
+		if err != nil {
+			t.Fatalf("filter: %v", err)
+		}
+		if err := verify.CheckStates(filtered); err != nil {
+			t.Fatal(err)
+		}
+		ll, err := lds.LogLikelihood(p, init, history)
+		if err != nil {
+			t.Fatalf("log-likelihood: %v", err)
+		}
+		if math.IsNaN(ll) || math.IsInf(ll, 0) {
+			t.Fatalf("log-likelihood is not finite: %v", ll)
+		}
+		if err := verify.CheckFilterSmootherConsistency(p, init, history); err != nil {
+			t.Fatal(err)
+		}
+		scores := 0
+		for _, run := range history {
+			scores += len(run)
+		}
+		if scores > 0 {
+			// EM needs at least one observation to form an M-step; the
+			// filter and smoother above already covered the all-missing case.
+			if err := verify.CheckEMMonotone(p, init, history, 3); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := lds.EM(p, init, history, lds.EMConfig{MaxIter: 1}); err == nil {
+			t.Fatal("EM learned from a history with no scores")
+		}
+	})
+}

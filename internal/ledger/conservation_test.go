@@ -1,0 +1,98 @@
+package ledger_test
+
+// Money-conservation tests driven through the verify checkers: across any
+// sequence of deposits, escrows, payments and refunds, the sum of balances
+// equals the sum of external deposits, and a finished run leaves nothing
+// stuck in escrow.
+
+import (
+	"testing"
+
+	"melody/internal/ledger"
+	"melody/internal/stats"
+	"melody/internal/verify"
+)
+
+func TestConservationAcrossRandomSettlements(t *testing.T) {
+	r := stats.NewRNG(42)
+	l := ledger.New()
+	if _, err := l.Deposit(ledger.Requester, 10_000, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 25; run++ {
+		budget := r.Uniform(10, 200)
+		s, err := l.OpenRun(run, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Conservation must hold mid-run too, with money parked in escrow.
+		if err := verify.CheckMoneyConservation(l); err != nil {
+			t.Fatalf("run %d after escrow: %v", run, err)
+		}
+		spent := 0.0
+		for w := 0; w < r.Intn(6); w++ {
+			amount := r.Uniform(1, 20)
+			if spent+amount > budget {
+				break
+			}
+			worker := ledger.Account("w" + string(rune('a'+w)))
+			if err := s.Pay(worker, amount, "t1"); err != nil {
+				t.Fatal(err)
+			}
+			spent += amount
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckMoneyConservation(l); err != nil {
+			t.Fatalf("run %d after close: %v", run, err)
+		}
+		if err := verify.CheckEscrowSettled(l); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+}
+
+func TestEscrowSettledCatchesStuckRun(t *testing.T) {
+	l := ledger.New()
+	if _, err := l.Deposit(ledger.Requester, 100, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.OpenRun(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	// The settlement is never closed: 40 sits in escrow. Conservation still
+	// holds (no money vanished), but escrow settlement must flag it.
+	if err := verify.CheckMoneyConservation(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckEscrowSettled(l); err == nil {
+		t.Fatal("stuck escrow not detected")
+	}
+}
+
+func TestOverspendRejectedKeepsConservation(t *testing.T) {
+	l := ledger.New()
+	if _, err := l.Deposit(ledger.Requester, 50, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.OpenRun(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pay("w1", 25, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pay("w2", 10, "t2"); err == nil {
+		t.Fatal("payment beyond escrowed budget accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckMoneyConservation(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckEscrowSettled(l); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package verify
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+// FuzzMelodyAuction drives all four mechanisms over fuzzer-chosen instances
+// and funnels every outcome through the full invariant checkers plus the
+// reference differential oracle. The instance is a Table-3 draw (seed, n,
+// m, budget) with one extra fuzzer-controlled worker and task appended raw,
+// so the fuzzer can steer edge values (boundary costs/qualities, huge
+// thresholds, zero budgets) directly; instances the validator rejects are
+// skipped — Run must reject them cleanly, never panic.
+//
+// Run the smoke pass with `make fuzz-smoke`, or explore with
+//
+//	go test ./internal/verify -run '^$' -fuzz FuzzMelodyAuction
+func FuzzMelodyAuction(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(4), 120.0, 1.5, 3.0, uint8(2), 8.0, uint8(3))
+	f.Add(int64(2), uint8(0), uint8(0), 0.0, 1.0, 2.0, uint8(1), 6.0, uint8(1))
+	f.Add(int64(3), uint8(80), uint8(50), 900.0, 2.0, 4.0, uint8(5), 12.0, uint8(7))
+	f.Add(int64(4), uint8(3), uint8(1), 5.0, 0.5, 9.0, uint8(200), 1e6, uint8(1))
+	f.Add(int64(-9e18), uint8(255), uint8(255), 1e308, 1e-300, -3.0, uint8(0), -1.0, uint8(255))
+
+	cfg := PaperConfig()
+	mel, err := core.NewMelody(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ub, err := core.NewOptUB(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, n, m uint8, budget, cost, quality float64, freq uint8, threshold float64, target uint8) {
+		r := stats.NewRNG(seed)
+		if budget < 0 || budget > 1e12 {
+			budget = r.Uniform(0, 1000)
+		}
+		in := RandomInstance(r, int(n%100), int(m%60), budget)
+		// The raw fuzzer-controlled worker and task: Validate is the only
+		// gate, so boundary and garbage values flow to it directly.
+		in.Workers = append(in.Workers, core.Worker{
+			ID:      "fuzz-w",
+			Bid:     core.Bid{Cost: cost, Frequency: int(freq)},
+			Quality: quality,
+		})
+		in.Tasks = append(in.Tasks, core.Task{ID: "fuzz-t", Threshold: threshold})
+		if err := in.Validate(); err != nil {
+			// Invalid instances must be rejected identically by every
+			// mechanism, never half-processed.
+			if _, runErr := mel.Run(in); runErr == nil {
+				t.Fatalf("Validate rejected the instance (%v) but MELODY ran it", err)
+			}
+			return
+		}
+
+		out, err := mel.Run(in)
+		if err != nil {
+			t.Fatalf("melody: %v", err)
+		}
+		if err := CheckAuctionOutcome(in, out, MelodyChecks()); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckAgainstReference(cfg, in); err != nil {
+			t.Fatal(err)
+		}
+
+		dual, err := core.NewMelodyDual(cfg, 1+int(target%9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dout, err := dual.Run(in)
+		if err != nil {
+			t.Fatalf("melody-dual: %v", err)
+		}
+		if err := CheckAuctionOutcome(in, dout, DualChecks()); err != nil {
+			t.Fatal(err)
+		}
+		if dout.Utility() > dual.Target() {
+			t.Fatalf("melody-dual overshot target %d: utility %d", dual.Target(), dout.Utility())
+		}
+
+		rnd, err := core.NewRandom(cfg, stats.NewRNG(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rout, err := rnd.Run(in)
+		if err != nil {
+			t.Fatalf("random: %v", err)
+		}
+		if err := CheckAuctionOutcome(in, rout, RandomChecks()); err != nil {
+			t.Fatal(err)
+		}
+
+		uout, err := ub.Run(in)
+		if err != nil {
+			t.Fatalf("opt-ub: %v", err)
+		}
+		if err := CheckAuctionOutcome(in, uout, OptUBChecks()); err != nil {
+			t.Fatal(err)
+		}
+		// OPT-UB is a relaxation bound: it can never satisfy fewer tasks
+		// than MELODY achieves under the same budget.
+		if uout.Utility() < out.Utility() {
+			t.Fatalf("OPT-UB utility %d below MELODY's %d", uout.Utility(), out.Utility())
+		}
+	})
+}

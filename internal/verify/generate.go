@@ -1,0 +1,63 @@
+package verify
+
+import (
+	"strconv"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+// PaperConfig returns the qualification intervals implied by the paper's
+// Table 3: quality in [2,4], cost in [1,2]. It is the configuration every
+// property test and fuzz target verifies under.
+func PaperConfig() core.Config {
+	return core.Config{QualityMin: 2, QualityMax: 4, CostMin: 1, CostMax: 2}
+}
+
+// RandomInstance draws a random single-run-auction instance per Table 3:
+// n workers with uniform costs in [1,2), frequencies in [1,5] and qualities
+// in [2,4); m tasks with thresholds in [6,12).
+func RandomInstance(r *stats.RNG, n, m int, budget float64) core.Instance {
+	in := core.Instance{Budget: budget}
+	in.Workers = make([]core.Worker, 0, n)
+	for i := 0; i < n; i++ {
+		in.Workers = append(in.Workers, core.Worker{
+			ID:      "w" + strconv.Itoa(i),
+			Bid:     core.Bid{Cost: r.Uniform(1, 2), Frequency: r.UniformInt(1, 5)},
+			Quality: r.Uniform(2, 4),
+		})
+	}
+	in.Tasks = make([]core.Task, 0, m)
+	for j := 0; j < m; j++ {
+		in.Tasks = append(in.Tasks, core.Task{ID: "t" + strconv.Itoa(j), Threshold: r.Uniform(6, 12)})
+	}
+	return in
+}
+
+// EqualQualityInstance draws a Table-3 instance whose workers all share one
+// quality level (uniform in [2,4)). With homogeneous quality a task's cover
+// size k = ceil(Q_j/mu) is bid-independent, so no deviation can change the
+// winner count — the fixed-k-and-pivot regime in which Theorem 4/5's
+// critical-payment argument binds exactly and strict per-instance
+// truthfulness is provable. See TESTING.md: on heterogeneous instances a
+// deviation that changes the cover size can be strictly profitable, so
+// general instances are probed statistically instead.
+func EqualQualityInstance(r *stats.RNG, n, m int, budget float64) core.Instance {
+	in := RandomInstance(r, n, m, budget)
+	mu := r.Uniform(2, 4)
+	for i := range in.Workers {
+		in.Workers[i].Quality = mu
+	}
+	return in
+}
+
+// CloneInstance deep-copies an instance so a deviation probe can mutate one
+// worker's bid without touching the original.
+func CloneInstance(in core.Instance) core.Instance {
+	out := core.Instance{Budget: in.Budget}
+	out.Workers = make([]core.Worker, len(in.Workers))
+	copy(out.Workers, in.Workers)
+	out.Tasks = make([]core.Task, len(in.Tasks))
+	copy(out.Tasks, in.Tasks)
+	return out
+}

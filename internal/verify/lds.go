@@ -1,0 +1,114 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"melody/internal/lds"
+)
+
+// llSlack is the relative slack allowed when comparing log-likelihoods
+// across EM iterations: monotonicity is exact in theory (each M-step
+// maximizes the EM lower bound), but the closed-form M-step and the
+// variance floor introduce rounding at the 1e-12 relative scale; 1e-7
+// leaves margin without masking real regressions.
+func llSlack(ll float64) float64 { return 1e-7 * (1 + math.Abs(ll)) }
+
+// CheckStates verifies the numerical invariants of a filtered trajectory:
+// every posterior is a proper Gaussian belief — finite mean, strictly
+// positive finite variance (Theorem 3's recursion can never produce a
+// negative variance).
+func CheckStates(states []lds.State) error {
+	for t, s := range states {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("verify: run %d: %w", t+1, err)
+		}
+	}
+	return nil
+}
+
+// CheckFilterSmootherConsistency verifies two structural identities tying
+// the forward (Kalman) filter to the RTS smoother on the same history:
+//
+//  1. at t = T the smoothed marginal equals the filtered posterior exactly
+//     (the backward pass starts from it), and
+//  2. at every t the smoothed variance is positive and never exceeds the
+//     filtered variance (conditioning on the future cannot lose
+//     information).
+func CheckFilterSmootherConsistency(p lds.Params, init lds.State, history [][]float64) error {
+	if len(history) == 0 {
+		return fmt.Errorf("verify: empty history")
+	}
+	filtered, err := lds.Filter(p, init, history)
+	if err != nil {
+		return fmt.Errorf("verify: filter: %w", err)
+	}
+	if err := CheckStates(filtered); err != nil {
+		return err
+	}
+	sm, err := lds.Smooth(p, init, history)
+	if err != nil {
+		return fmt.Errorf("verify: smoother: %w", err)
+	}
+	n := sm.Runs()
+	if n != len(history) {
+		return fmt.Errorf("verify: smoother covered %d runs, history has %d", n, len(history))
+	}
+	last := filtered[n-1]
+	if !almostEqual(sm.Mean[n], last.Mean, Tol*(1+math.Abs(last.Mean))) ||
+		!almostEqual(sm.Var[n], last.Var, Tol*(1+last.Var)) {
+		return fmt.Errorf("verify: smoothed marginal at t=T (%v, %v) != filtered posterior (%v, %v)",
+			sm.Mean[n], sm.Var[n], last.Mean, last.Var)
+	}
+	for t := 1; t <= n; t++ {
+		if !finite(sm.Mean[t]) {
+			return fmt.Errorf("verify: smoothed mean at t=%d is not finite: %v", t, sm.Mean[t])
+		}
+		if !(sm.Var[t] > 0) || !finite(sm.Var[t]) {
+			return fmt.Errorf("verify: smoothed variance at t=%d is not positive and finite: %v", t, sm.Var[t])
+		}
+		fv := filtered[t-1].Var
+		if sm.Var[t] > fv*(1+Tol)+Tol {
+			return fmt.Errorf("verify: smoothed variance %v at t=%d exceeds filtered variance %v (smoothing lost information)",
+				sm.Var[t], t, fv)
+		}
+	}
+	return nil
+}
+
+// CheckEMMonotone verifies Algorithm 2's defining property: the log
+// marginal likelihood is non-decreasing across EM iterations. It evaluates
+// the likelihood at the starting parameters and after k = 1..maxIter
+// iterations (EM is deterministic, so the k-iteration run extends the
+// (k-1)-iteration one) and reports the first decrease beyond the numerical
+// slack.
+func CheckEMMonotone(start lds.Params, init lds.State, history [][]float64, maxIter int) error {
+	if maxIter < 1 {
+		maxIter = 5
+	}
+	prev, err := lds.LogLikelihood(start, init, history)
+	if err != nil {
+		return fmt.Errorf("verify: log-likelihood at start: %w", err)
+	}
+	for k := 1; k <= maxIter; k++ {
+		res, err := lds.EM(start, init, history, lds.EMConfig{MaxIter: k})
+		if err != nil {
+			return fmt.Errorf("verify: EM with %d iterations: %w", k, err)
+		}
+		if !finite(res.LogLikelihood) {
+			return fmt.Errorf("verify: EM log-likelihood after %d iterations is not finite: %v", k, res.LogLikelihood)
+		}
+		if res.LogLikelihood < prev-llSlack(prev) {
+			return fmt.Errorf("verify: EM log-likelihood decreased at iteration %d: %v -> %v",
+				k, prev, res.LogLikelihood)
+		}
+		if err := res.Params.Validate(); err != nil {
+			return fmt.Errorf("verify: EM produced improper parameters after %d iterations: %w", k, err)
+		}
+		prev = res.LogLikelihood
+		if res.Iterations < k || res.Converged {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"fmt"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+// RunFunc executes a mechanism on an instance. Probes call it repeatedly on
+// mutated instances, so implementations must be deterministic across calls:
+// pass Melody.Run directly, and for randomized mechanisms construct a fresh
+// identically-seeded mechanism inside the closure so the random stream is
+// coupled between the truthful and deviating replays.
+type RunFunc func(core.Instance) (*core.Outcome, error)
+
+// Counterexample is a recorded truthfulness violation: an instance, a
+// worker, and a misreported bid under which the worker's utility —
+// evaluated at the TRUE bid per Definition 1 — strictly exceeds the
+// truthful utility.
+type Counterexample struct {
+	Instance core.Instance
+	// Worker indexes Instance.Workers; TrueBid is its honest bid (the bid
+	// stored in Instance), Lie the profitable misreport.
+	Worker  int
+	TrueBid core.Bid
+	Lie     core.Bid
+	// TruthfulUtility and LyingUtility are the worker's utilities under the
+	// honest and misreported bids.
+	TruthfulUtility float64
+	LyingUtility    float64
+}
+
+// Gain is the utility improvement the lie obtained.
+func (c *Counterexample) Gain() float64 { return c.LyingUtility - c.TruthfulUtility }
+
+// String renders the counterexample compactly for failure messages.
+func (c *Counterexample) String() string {
+	return fmt.Sprintf(
+		"worker %s (N=%d, M=%d, B=%.4g): bid (c=%.6g, n=%d) -> lie (c=%.6g, n=%d) raises utility %.6g -> %.6g (gain %.3g)",
+		c.Instance.Workers[c.Worker].ID, len(c.Instance.Workers), len(c.Instance.Tasks), c.Instance.Budget,
+		c.TrueBid.Cost, c.TrueBid.Frequency, c.Lie.Cost, c.Lie.Frequency,
+		c.TruthfulUtility, c.LyingUtility, c.Gain())
+}
+
+// CostGrid returns steps bids spanning costs [lo, hi] at the worker's true
+// frequency — the deviation grid for cost-misreport probes. The grid
+// deliberately includes costs outside the qualification interval (bids that
+// disqualify the worker), which a truthful mechanism must also not reward.
+func CostGrid(truth core.Bid, lo, hi float64, steps int) []core.Bid {
+	if steps < 2 {
+		steps = 2
+	}
+	lies := make([]core.Bid, 0, steps)
+	for i := 0; i < steps; i++ {
+		c := lo + (hi-lo)*float64(i)/float64(steps-1)
+		lies = append(lies, core.Bid{Cost: c, Frequency: truth.Frequency})
+	}
+	return lies
+}
+
+// FrequencyGrid returns bids misreporting the frequency from 1 to maxFreq
+// (skipping the truthful value) at the worker's true cost.
+func FrequencyGrid(truth core.Bid, maxFreq int) []core.Bid {
+	lies := make([]core.Bid, 0, maxFreq)
+	for n := 1; n <= maxFreq; n++ {
+		if n == truth.Frequency {
+			continue
+		}
+		lies = append(lies, core.Bid{Cost: truth.Cost, Frequency: n})
+	}
+	return lies
+}
+
+// ProbeWorker replays the mechanism with worker w's bid replaced by each
+// lie in turn and returns the first deviation that strictly improves the
+// worker's utility (Theorem 5 says none may exist), or nil when every lie
+// loses or ties. Utilities are always evaluated at the true bid: payments
+// received minus true cost per completed task, completions capped at the
+// true frequency (core.WorkerUtility).
+func ProbeWorker(run RunFunc, in core.Instance, w int, lies []core.Bid) (*Counterexample, error) {
+	if w < 0 || w >= len(in.Workers) {
+		return nil, fmt.Errorf("verify: probe worker index %d out of range [0,%d)", w, len(in.Workers))
+	}
+	truth := in.Workers[w]
+	base, err := run(in)
+	if err != nil {
+		return nil, fmt.Errorf("verify: truthful run: %w", err)
+	}
+	truthfulU := core.WorkerUtility(base, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+	for _, lie := range lies {
+		mutated := CloneInstance(in)
+		mutated.Workers[w].Bid = lie
+		out, err := run(mutated)
+		if err != nil {
+			return nil, fmt.Errorf("verify: deviating run (lie %+v): %w", lie, err)
+		}
+		lyingU := core.WorkerUtility(out, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+		if lyingU > truthfulU+Tol {
+			return &Counterexample{
+				Instance:        in,
+				Worker:          w,
+				TrueBid:         truth.Bid,
+				Lie:             lie,
+				TruthfulUtility: truthfulU,
+				LyingUtility:    lyingU,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// DeviationStats aggregates utility gains across many deviation probes for
+// the statistical form of the truthfulness check: on instances outside the
+// fixed-cover-size regime (see EqualQualityInstance), individual deviations
+// can be strictly profitable, so the suite bounds how often and how much
+// instead of requiring zero.
+type DeviationStats struct {
+	// Probes counts evaluated deviations; Gains those that strictly
+	// improved the deviator's utility (beyond Tol).
+	Probes int
+	Gains  int
+	// GainSum accumulates lyingUtility - truthfulUtility over all probes
+	// (negative terms included), so GainSum/Probes is the expected gain
+	// from a random misreport.
+	GainSum float64
+	// Worst is the largest-gain violation seen, nil when none.
+	Worst *Counterexample
+}
+
+// MeanGain is the average utility change per deviation.
+func (s *DeviationStats) MeanGain() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return s.GainSum / float64(s.Probes)
+}
+
+// GainRate is the fraction of deviations that strictly gained.
+func (s *DeviationStats) GainRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Gains) / float64(s.Probes)
+}
+
+// MeasureDeviations replays the mechanism for every lie and folds each
+// utility change into agg. Unlike ProbeWorker it never stops early: every
+// deviation is measured.
+func MeasureDeviations(run RunFunc, in core.Instance, w int, lies []core.Bid, agg *DeviationStats) error {
+	if w < 0 || w >= len(in.Workers) {
+		return fmt.Errorf("verify: probe worker index %d out of range [0,%d)", w, len(in.Workers))
+	}
+	truth := in.Workers[w]
+	base, err := run(in)
+	if err != nil {
+		return fmt.Errorf("verify: truthful run: %w", err)
+	}
+	truthfulU := core.WorkerUtility(base, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+	for _, lie := range lies {
+		mutated := CloneInstance(in)
+		mutated.Workers[w].Bid = lie
+		out, err := run(mutated)
+		if err != nil {
+			return fmt.Errorf("verify: deviating run (lie %+v): %w", lie, err)
+		}
+		lyingU := core.WorkerUtility(out, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+		agg.Probes++
+		agg.GainSum += lyingU - truthfulU
+		if lyingU > truthfulU+Tol {
+			agg.Gains++
+			if agg.Worst == nil || lyingU-truthfulU > agg.Worst.Gain() {
+				agg.Worst = &Counterexample{
+					Instance: in, Worker: w, TrueBid: truth.Bid, Lie: lie,
+					TruthfulUtility: truthfulU, LyingUtility: lyingU,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ProbeInstances runs single-worker cost and frequency deviation probes over
+// count randomized instances drawn by gen, returning the first (shrunk)
+// counterexample. mech must build a RunFunc for a given probe index so
+// randomized mechanisms can couple seeds per instance. It is the engine
+// behind the package's Theorem-5 regression suite and FuzzMelodyAuction.
+func ProbeInstances(mech func(probe int) RunFunc, gen func(probe int) core.Instance, count, devsPerWorker int) (*Counterexample, error) {
+	r := stats.NewRNG(0x5eed7)
+	for probe := 0; probe < count; probe++ {
+		in := gen(probe)
+		if len(in.Workers) == 0 {
+			continue
+		}
+		run := mech(probe)
+		w := r.Intn(len(in.Workers))
+		lies := CostGrid(in.Workers[w].Bid, 0.5, 2.5, devsPerWorker)
+		lies = append(lies, FrequencyGrid(in.Workers[w].Bid, 6)...)
+		ce, err := ProbeWorker(run, in, w, lies)
+		if err != nil {
+			return nil, fmt.Errorf("verify: probe %d: %w", probe, err)
+		}
+		if ce != nil {
+			return Shrink(run, ce), nil
+		}
+	}
+	return nil, nil
+}
+
+// Shrink greedily minimizes a counterexample before it is reported: it
+// repeatedly removes workers and tasks from the instance while the
+// violation (same worker, same lie, utility still strictly improved)
+// persists, so the failure a human debugs involves the fewest moving parts.
+// The probed worker itself is never removed. Shrinking is best-effort: if
+// the mechanism errors on a shrunk instance the removal is simply skipped.
+func Shrink(run RunFunc, ce *Counterexample) *Counterexample {
+	cur := ce
+	for {
+		smaller := shrinkStep(run, cur)
+		if smaller == nil {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// shrinkStep tries every single-element removal and returns the first that
+// preserves the violation, or nil when the counterexample is 1-minimal.
+func shrinkStep(run RunFunc, ce *Counterexample) *Counterexample {
+	for i := range ce.Instance.Workers {
+		if i == ce.Worker {
+			continue
+		}
+		cand := CloneInstance(ce.Instance)
+		cand.Workers = append(cand.Workers[:i], cand.Workers[i+1:]...)
+		w := ce.Worker
+		if i < w {
+			w--
+		}
+		if v := reverify(run, cand, w, ce.Lie); v != nil {
+			return v
+		}
+	}
+	for j := range ce.Instance.Tasks {
+		cand := CloneInstance(ce.Instance)
+		cand.Tasks = append(cand.Tasks[:j], cand.Tasks[j+1:]...)
+		if len(cand.Tasks) == 0 {
+			continue
+		}
+		if v := reverify(run, cand, ce.Worker, ce.Lie); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// reverify re-runs the truthful and deviating auctions on a shrunk instance
+// and rebuilds the counterexample when the gain survives.
+func reverify(run RunFunc, in core.Instance, w int, lie core.Bid) *Counterexample {
+	truth := in.Workers[w]
+	base, err := run(in)
+	if err != nil {
+		return nil
+	}
+	truthfulU := core.WorkerUtility(base, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+	mutated := CloneInstance(in)
+	mutated.Workers[w].Bid = lie
+	out, err := run(mutated)
+	if err != nil {
+		return nil
+	}
+	lyingU := core.WorkerUtility(out, truth.ID, truth.Bid.Cost, truth.Bid.Frequency)
+	if lyingU <= truthfulU+Tol {
+		return nil
+	}
+	return &Counterexample{
+		Instance:        in,
+		Worker:          w,
+		TrueBid:         truth.Bid,
+		Lie:             lie,
+		TruthfulUtility: truthfulU,
+		LyingUtility:    lyingU,
+	}
+}

@@ -1,0 +1,56 @@
+// Package verify is the mechanism-verification layer of the MELODY
+// reproduction: reusable, allocation-light invariant checkers over auction
+// instances and outcomes, the LDS inference pipeline, and the money ledger,
+// plus truthfulness deviation probes with a counterexample shrinker,
+// differential oracles, and the Table-3 instance generators shared by
+// property tests and fuzz targets across the repository.
+//
+// Every checker returns an error describing the first violation found (nil
+// when the invariant holds) instead of taking a *testing.T, so the same
+// checks run from unit tests, the chaos soak, and native fuzz targets.
+// TESTING.md catalogs the invariants and maps each to the paper theorem it
+// verifies.
+//
+// # Tolerances
+//
+// Floating-point comparisons across the repository share two constants
+// instead of scattering literals:
+//
+//   - Tol (1e-9) is the pointwise tolerance for comparing two individually
+//     computed quantities: one payment against one cost or budget, a
+//     variance against zero, one utility against another. Payments are
+//     short products/sums of float64 values drawn from the paper's Table-3
+//     ranges (costs in [1,2], qualities in [2,4], budgets up to ~1e4), so
+//     each comparison accumulates at most a handful of rounding errors of
+//     relative size 2^-52 on quantities of magnitude <= 1e4 — absolute
+//     drift below ~1e-11. Tol leaves two orders of magnitude of headroom
+//     while still catching any economically meaningful violation (the
+//     smallest real gap in the workloads is ~1e-2).
+//
+//   - SumTol (1e-6) is the aggregate tolerance for comparing two different
+//     summation orders of the same money: TotalPayment against a re-summed
+//     assignment list, ledger balances against deposits. Aggregates can
+//     span ~1e5 terms, so the accumulated drift bound is ~1e4 larger than
+//     the pointwise one; SumTol scales Tol accordingly.
+//
+// Error-feasibility direction matters: feasibility checks (payment >= cost,
+// total <= budget) allow the tolerance in the lenient direction only, so a
+// genuine violation larger than the float noise always surfaces.
+package verify
+
+import "math"
+
+// Tol is the pointwise comparison tolerance. See the package documentation
+// for the rationale.
+const Tol = 1e-9
+
+// SumTol is the aggregate (re-summation) comparison tolerance. See the
+// package documentation for the rationale.
+const SumTol = 1e-6
+
+// almostEqual reports |a-b| <= tol, the symmetric form used for accounting
+// identities (as opposed to one-sided feasibility comparisons).
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// finite reports whether x is a usable float (not NaN, not infinite).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
