@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,8 +52,15 @@ fuzz-smoke:
 	$(GO) test ./internal/platform/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lds/ -run '^$$' -fuzz '^FuzzKalmanFilter$$' -fuzztime $(FUZZTIME)
 
+# load-smoke drives a short seeded load run through the real serving path
+# (loopback HTTP server, WAL group-commit backend, batched bids) and fails
+# unless it reports nonzero sustained throughput and shuts down cleanly.
+load-smoke:
+	$(GO) run ./cmd/melody-load -backend wal -workers 8 -runs 2 -bids-per-worker 4 -batch 4 -seed 1 -check
+
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
-# the latest committed one (see cmd/melody-bench).
+# the latest committed one (see cmd/melody-bench). Includes the serve/
+# kernels, which re-measure serving-path throughput via internal/loadgen.
 bench-snapshot:
 	$(GO) run ./cmd/melody-bench -baseline $$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
 

@@ -1,7 +1,8 @@
 // Command melody-bench is the repository's bench-regression harness: it runs
-// the kernel benchmarks (allocator, inference, estimator) through
-// testing.Benchmark and writes a BENCH_<n>.json snapshot so the performance
-// trajectory of the hot paths is tracked across PRs.
+// the kernel benchmarks (allocator, inference, estimator, WAL append) through
+// testing.Benchmark — plus the serve/ kernels, which drive the HTTP serving
+// path through internal/loadgen — and writes a BENCH_<n>.json snapshot so the
+// performance trajectory of the hot paths is tracked across PRs.
 //
 // Usage:
 //
@@ -28,8 +29,10 @@ import (
 	"testing"
 
 	"melody/internal/core"
+	"melody/internal/eventlog"
 	"melody/internal/experiments"
 	"melody/internal/lds"
+	"melody/internal/loadgen"
 	"melody/internal/quality"
 	"melody/internal/stats"
 )
@@ -41,6 +44,10 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries kernel-specific measurements beyond the testing.B
+	// trio; the serve/ kernels report sustained throughput and latency
+	// percentiles here (bids_per_sec, latency_p50_ms, p95, p99, max).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the on-disk BENCH_<n>.json format.
@@ -58,10 +65,13 @@ type Snapshot struct {
 	BaselineNote string  `json:"baseline_note,omitempty"`
 }
 
-// kernel is one named benchmark.
+// kernel is one named benchmark: either a testing.Benchmark function or a
+// direct kernel that produces its Entry itself (the serve/ load kernels,
+// which manage their own server lifecycle and wall-clock accounting).
 type kernel struct {
-	name string
-	fn   func(b *testing.B)
+	name   string
+	fn     func(b *testing.B)
+	direct func() (Entry, error)
 }
 
 func benchInstance(n, m int, budget float64) core.Instance {
@@ -206,17 +216,83 @@ func observeKernel(b *testing.B) {
 	}
 }
 
+// walAppendKernel measures concurrent durable appends against a real file:
+// 32 goroutines per proc hammer Log.Append with fsync-per-commit. serial
+// pins the pre-group-commit baseline (one fsync per append); the group
+// variant coalesces concurrent appends into shared fsyncs.
+func walAppendKernel(serial bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "melody-bench-wal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		log, err := eventlog.OpenOptions(filepath.Join(dir, "bench.wal"),
+			eventlog.Options{SyncEveryAppend: true, SerialCommit: serial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		b.SetParallelism(32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ev := eventlog.Event{Kind: eventlog.KindBid, Worker: "bench", Cost: 1.5, Frequency: 1}
+			for pb.Next() {
+				if _, err := log.Append(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// serveKernel runs the end-to-end HTTP serving path through loadgen:
+// NsPerOp is nanoseconds of bidding wall-clock per ingested bid, and the
+// throughput/latency detail lands in Entry.Metrics.
+func serveKernel(cfg loadgen.Config) func() (Entry, error) {
+	return func() (Entry, error) {
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		return Entry{
+			Iterations: res.Bids,
+			NsPerOp:    res.BidPhaseSeconds * 1e9 / float64(res.Bids),
+			Metrics: map[string]float64{
+				"bids_per_sec":   res.BidsPerSec,
+				"latency_p50_ms": res.Latency.P50,
+				"latency_p95_ms": res.Latency.P95,
+				"latency_p99_ms": res.Latency.P99,
+				"latency_max_ms": res.Latency.Max,
+			},
+		}, nil
+	}
+}
+
 func kernels() []kernel {
 	return []kernel{
-		{"alloc/melody/n300_m500", melodyKernel(300, 500, 2000)},
-		{"alloc/melody/n1000_m5000", melodyKernel(1000, 5000, 800)},
-		{"alloc/melody/n3000_m5000", melodyKernel(3000, 5000, 5000)},
-		{"alloc/random/n300_m500", randomKernel(300, 500, 2000)},
-		{"alloc/optub/n300_m500", optUBKernel(300, 500, 2000)},
-		{"lds/kalman_update", kalmanKernel},
-		{"lds/rts_smoother_r100", smootherKernel},
-		{"lds/em_w60_i12", emKernel},
-		{"quality/observe_t10_w60", observeKernel},
+		{name: "alloc/melody/n300_m500", fn: melodyKernel(300, 500, 2000)},
+		{name: "alloc/melody/n1000_m5000", fn: melodyKernel(1000, 5000, 800)},
+		{name: "alloc/melody/n3000_m5000", fn: melodyKernel(3000, 5000, 5000)},
+		{name: "alloc/random/n300_m500", fn: randomKernel(300, 500, 2000)},
+		{name: "alloc/optub/n300_m500", fn: optUBKernel(300, 500, 2000)},
+		{name: "lds/kalman_update", fn: kalmanKernel},
+		{name: "lds/rts_smoother_r100", fn: smootherKernel},
+		{name: "lds/em_w60_i12", fn: emKernel},
+		{name: "quality/observe_t10_w60", fn: observeKernel},
+		{name: "wal/append_fsync_serial", fn: walAppendKernel(true)},
+		{name: "wal/append_fsync_group", fn: walAppendKernel(false)},
+		// serve/ kernels measure the full HTTP serving path. The wal_serial
+		// variant with batch=1 is the pre-PR configuration (single-bid wire
+		// protocol, one fsync per append); wal_group with batch=16 is the
+		// overhauled path (batched protocol + group commit).
+		{name: "serve/bids_mem_w32_b16", direct: serveKernel(loadgen.Config{
+			Backend: loadgen.BackendMem, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 16, Seed: 11})},
+		{name: "serve/bids_wal_group_w32_b16", direct: serveKernel(loadgen.Config{
+			Backend: loadgen.BackendWAL, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 16, Seed: 11})},
+		{name: "serve/bids_wal_serial_w32_b1", direct: serveKernel(loadgen.Config{
+			Backend: loadgen.BackendWALSerial, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 1, Seed: 11})},
 	}
 }
 
@@ -309,19 +385,33 @@ func main() {
 	}
 
 	for _, k := range run {
-		res := testing.Benchmark(k.fn)
-		e := Entry{
-			Name:        k.name,
-			Iterations:  res.N,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
+		var e Entry
+		if k.direct != nil {
+			var err error
+			e, err = k.direct()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "melody-bench: %s: %v\n", k.name, err)
+				os.Exit(1)
+			}
+			e.Name = k.name
+		} else {
+			res := testing.Benchmark(k.fn)
+			e = Entry{
+				Name:        k.name,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			}
 		}
 		snap.Entries = append(snap.Entries, e)
 		line := fmt.Sprintf("%-28s %12.0f ns/op %10d B/op %8d allocs/op",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 		if b, ok := baseByName[e.Name]; ok && e.NsPerOp > 0 {
 			line += fmt.Sprintf("   %5.2fx vs baseline", b.NsPerOp/e.NsPerOp)
+		}
+		if tput, ok := e.Metrics["bids_per_sec"]; ok {
+			line += fmt.Sprintf("   %8.0f bids/sec p99=%.2fms", tput, e.Metrics["latency_p99_ms"])
 		}
 		fmt.Println(line)
 	}

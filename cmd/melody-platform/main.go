@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof side listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ func run() error {
 		bidDL      = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
 		scoreDL    = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
 		chaosSpec  = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -94,6 +96,23 @@ func run() error {
 			return err
 		}
 		logger.Printf("chaos injection active: %s", scenario)
+	}
+
+	// The profiler gets its own listener so it never shares a port (or an
+	// accidental exposure) with the public API; the blank net/http/pprof
+	// import registers its handlers on http.DefaultServeMux.
+	if *pprofAddr != "" {
+		go func() {
+			pprofSrv := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           http.DefaultServeMux,
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

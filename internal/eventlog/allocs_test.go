@@ -1,0 +1,30 @@
+//go:build !race
+
+package eventlog
+
+// The race detector's instrumentation adds allocations of its own, so the
+// zero-alloc pin lives behind !race.
+
+import "testing"
+
+// TestAppendSteadyStateAllocs pins the scratch-buffer reuse: after warmup,
+// a buffered append allocates nothing (the encoder state is pooled by
+// encoding/json, the record buffers are owned by the Log).
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	log := newLog(discardTarget{}, 0, Options{})
+	ev := Event{Kind: KindBid, Worker: "worker-123", Cost: 1.25, Frequency: 3}
+	// Warm the encoder pools and the pending buffer.
+	for i := 0; i < 100; i++ {
+		if _, err := log.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := log.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Append allocates %.1f times per op, want 0", allocs)
+	}
+}

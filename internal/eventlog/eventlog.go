@@ -4,16 +4,27 @@
 // into a fresh instance. Replay is exact because the platform is
 // deterministic given its inputs (the auction breaks ties by ID and the
 // quality model is a closed-form recursion).
+//
+// Durable appends go through a group-commit pipeline: concurrent Appends
+// encode their records into a shared batch, a single committer goroutine
+// flushes the batch with one write and one fsync, and every waiter releases
+// when its record is on disk. Under concurrent load (a bid burst from the
+// whole worker pool) the fsync cost is amortized across the batch while
+// each Append keeps the write-ahead-log contract — it returns only after
+// its record is durable — and the on-disk format is byte-identical to the
+// serial path.
 package eventlog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // Kind discriminates event payloads.
@@ -90,24 +101,111 @@ func (e Event) validate() error {
 	return nil
 }
 
-// Log is an append-only JSON-lines event log. Not safe for concurrent use;
-// the Recorder serializes access.
+// Log state errors, matchable with errors.Is.
+var (
+	// ErrClosed is returned by appends to a closed log.
+	ErrClosed = errors.New("eventlog: log is closed")
+	// ErrFailed is returned once a write, flush or fsync has failed: the
+	// durable tail is unknown, so the log refuses every further append
+	// until it is reopened (Open re-scans the file and truncates any torn
+	// tail, re-establishing a known-good end).
+	ErrFailed = errors.New("eventlog: log failed")
+)
+
+// Options configures a Log beyond the Open defaults.
+type Options struct {
+	// SyncEveryAppend makes every Append return only after its record is
+	// fsynced (write-ahead-log durability); otherwise appends are buffered
+	// and flushed on Close.
+	SyncEveryAppend bool
+	// SerialCommit disables the group-commit pipeline: each durable append
+	// performs its own write+fsync while holding the log lock, the
+	// pre-pipeline behavior. It exists as a measured baseline for
+	// cmd/melody-load and melody-bench; production callers want the
+	// default. Ignored unless SyncEveryAppend is set.
+	SerialCommit bool
+}
+
+// commitTarget is the log's durable destination: an *os.File in production,
+// a fault-injecting fake in the failure-semantics tests.
+type commitTarget interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Log is an append-only JSON-lines event log, safe for concurrent use.
+// Durable appends (SyncEveryAppend) are coalesced by a group-commit
+// pipeline; see Append.
 type Log struct {
-	f    *os.File
-	w    *bufio.Writer
+	mu   sync.Mutex
+	f    commitTarget
+	w    *bufio.Writer // buffered path for non-durable logs
 	seq  int64
 	sync bool
+	ser  bool // serial commit (baseline mode)
+
+	// pending accumulates encoded records awaiting the next commit; enc
+	// writes through an indirection so the committer can swap buffers.
+	pending *bytes.Buffer
+	spare   *bytes.Buffer
+	enc     *json.Encoder
+	crcBuf  bytes.Buffer // scratch for canonical (CRC-zeroed) encodings
+	crcEnc  *json.Encoder
+	scratch Event // reused so Encode's any-boxing never allocates
+
+	durable int64 // highest sequence number known to be on disk
+	failed  error // sticky ErrFailed-wrapped durability failure
+	closed  bool
+
+	work     *sync.Cond    // wakes the committer: pending data or close
+	done     *sync.Cond    // wakes waiters: durable advanced or failure
+	commExit chan struct{} // closed when the committer goroutine exits
+}
+
+// pendingWriter routes the encoder's output to the log's current pending
+// buffer, surviving the committer's buffer swaps.
+type pendingWriter struct{ l *Log }
+
+func (pw pendingWriter) Write(p []byte) (int, error) { return pw.l.pending.Write(p) }
+
+// newLog assembles a Log over an already-positioned commit target.
+func newLog(f commitTarget, seq int64, opts Options) *Log {
+	l := &Log{
+		f:       f,
+		w:       bufio.NewWriter(f),
+		seq:     seq,
+		sync:    opts.SyncEveryAppend,
+		ser:     opts.SerialCommit,
+		pending: new(bytes.Buffer),
+		spare:   new(bytes.Buffer),
+	}
+	l.enc = json.NewEncoder(pendingWriter{l})
+	l.crcEnc = json.NewEncoder(&l.crcBuf)
+	l.work = sync.NewCond(&l.mu)
+	l.done = sync.NewCond(&l.mu)
+	if l.sync && !l.ser {
+		l.commExit = make(chan struct{})
+		go l.commitLoop()
+	}
+	return l
 }
 
 // Open opens (creating if needed) the log at path in append mode and scans
 // existing events to resume the sequence number. When syncEveryAppend is
-// true every Append fsyncs before returning (write-ahead-log durability);
-// otherwise appends are buffered and flushed on Close.
+// true every Append fsyncs before returning (write-ahead-log durability),
+// with concurrent appends coalesced into shared fsyncs; otherwise appends
+// are buffered and flushed on Close.
 //
 // A torn final record (a partial line left by a crash mid-write) is
 // truncated away before appending resumes, so the next record never lands
 // after garbage and a later replay sees a clean log.
 func Open(path string, syncEveryAppend bool) (*Log, error) {
+	return OpenOptions(path, Options{SyncEveryAppend: syncEveryAppend})
+}
+
+// OpenOptions is Open with explicit Options.
+func OpenOptions(path string, opts Options) (*Log, error) {
 	events, valid, err := readAll(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
@@ -127,54 +225,235 @@ func Open(path string, syncEveryAppend bool) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: open %s: %w", path, err)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), seq: seq, sync: syncEveryAppend}, nil
+	return newLog(f, seq, opts), nil
 }
 
 // Append persists one event, assigning and returning its sequence number.
 // Every record carries a CRC-32 of its canonical encoding so silent disk
 // corruption is detected at replay instead of being deserialized.
+//
+// On a durable log, Append returns only once the record has been written
+// and fsynced; concurrent Appends share write+fsync batches through the
+// group-commit pipeline. Once any write, flush or fsync fails, the log's
+// durable tail is unknown: the failing appends report the failure, and
+// every later append returns ErrFailed until the log is reopened. (A
+// failed append keeps its sequence number — the record may be partially on
+// disk — so reopening, which truncates the torn tail, is the only way to
+// re-establish a consistent end of log.)
 func (l *Log) Append(e Event) (int64, error) {
-	if err := e.validate(); err != nil {
+	seq, wait, err := l.AppendAsync(e)
+	if err != nil {
 		return 0, err
+	}
+	if err := wait(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// waitDone is the no-op wait returned when the record is already as durable
+// as the log's mode promises.
+func waitDone() error { return nil }
+
+// AppendAsync validates and enqueues one event, returning its assigned
+// sequence number and a wait function that blocks until the record is as
+// durable as the log's mode promises (fsynced for durable logs, buffered
+// otherwise). It exists so a caller holding its own ordering lock — the
+// Recorder — can serialize "apply + enqueue" yet wait for the fsync outside
+// that lock, letting the group-commit pipeline coalesce concurrent
+// operations.
+func (l *Log) AppendAsync(e Event) (int64, func() error, error) {
+	if err := e.validate(); err != nil {
+		return 0, nil, err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return 0, nil, err
 	}
 	l.seq++
 	e.Seq = l.seq
-	crc, err := e.checksum()
-	if err != nil {
+	if err := l.encodeLocked(e); err != nil {
+		// Nothing reached the file: the sequence number is safely reusable.
 		l.seq--
-		return 0, err
+		l.mu.Unlock()
+		return 0, nil, err
 	}
-	e.CRC = crc
-	buf, err := json.Marshal(e)
-	if err != nil {
-		l.seq--
-		return 0, fmt.Errorf("eventlog: encode: %w", err)
-	}
-	if _, err := l.w.Write(append(buf, '\n')); err != nil {
-		l.seq--
-		return 0, fmt.Errorf("eventlog: append: %w", err)
-	}
-	if l.sync {
-		if err := l.w.Flush(); err != nil {
-			return 0, fmt.Errorf("eventlog: flush: %w", err)
+	seq := l.seq
+	switch {
+	case !l.sync:
+		// Buffered mode: hand the record to the bufio writer now; a write
+		// failure here poisons the log like any durability failure.
+		_, werr := l.w.Write(l.pending.Bytes())
+		l.pending.Reset()
+		if werr != nil {
+			l.failLocked(fmt.Errorf("append: %v", werr))
+			err := l.failed
+			l.mu.Unlock()
+			return 0, nil, err
 		}
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("eventlog: fsync: %w", err)
+		l.mu.Unlock()
+		return seq, waitDone, nil
+	case l.ser:
+		// Baseline mode: one write+fsync per append, under the lock.
+		if err := l.commitLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, nil, err
 		}
+		l.mu.Unlock()
+		return seq, waitDone, nil
+	default:
+		l.work.Signal()
+		l.mu.Unlock()
+		return seq, func() error { return l.await(seq) }, nil
 	}
-	return e.Seq, nil
+}
+
+// encodeLocked appends e's record bytes to the pending buffer: the JSON of
+// the event with its CRC populated, newline-terminated — byte-identical to
+// json.Marshal plus '\n'. All scratch buffers are reused, so a steady-state
+// append allocates nothing. Callers hold l.mu.
+func (l *Log) encodeLocked(e Event) error {
+	l.crcBuf.Reset()
+	l.scratch = e
+	l.scratch.CRC = 0
+	if err := l.crcEnc.Encode(&l.scratch); err != nil {
+		return fmt.Errorf("eventlog: encode: %w", err)
+	}
+	canon := l.crcBuf.Bytes()
+	// The encoder terminates the value with '\n'; the checksum covers the
+	// canonical value bytes only.
+	l.scratch.CRC = crc32.ChecksumIEEE(canon[:len(canon)-1])
+	mark := l.pending.Len()
+	if err := l.enc.Encode(&l.scratch); err != nil {
+		l.pending.Truncate(mark)
+		return fmt.Errorf("eventlog: encode: %w", err)
+	}
+	return nil
+}
+
+// failLocked poisons the log after a durability failure. Callers hold l.mu.
+func (l *Log) failLocked(cause error) {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("%w: %v (reopen to recover)", ErrFailed, cause)
+	}
+	l.done.Broadcast()
+	l.work.Broadcast()
+}
+
+// commitLocked flushes the pending buffer with one write+fsync. Callers
+// hold l.mu; used by the serial baseline mode and by Close's final drain.
+func (l *Log) commitLocked() error {
+	if l.pending.Len() == 0 {
+		return nil
+	}
+	_, err := l.f.Write(l.pending.Bytes())
+	l.pending.Reset()
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if err != nil {
+		l.failLocked(err)
+		return l.failed
+	}
+	l.durable = l.seq
+	return nil
+}
+
+// await blocks until seq is durable or the log has failed.
+func (l *Log) await(seq int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < seq && l.failed == nil {
+		l.done.Wait()
+	}
+	if l.durable >= seq {
+		return nil
+	}
+	return l.failed
+}
+
+// commitLoop is the group-commit pipeline: it swaps out the pending batch,
+// writes it with one write+fsync, and releases every waiter whose record
+// the batch carried. New appends accumulate into the other buffer while a
+// commit is in flight, so the pipeline self-batches under load.
+func (l *Log) commitLoop() {
+	defer close(l.commExit)
+	l.mu.Lock()
+	for {
+		for l.pending.Len() == 0 && !l.closed && l.failed == nil {
+			l.work.Wait()
+		}
+		if l.failed != nil || (l.closed && l.pending.Len() == 0) {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		l.pending, l.spare = l.spare, nil // appenders write into the other buffer
+		hi := l.seq
+		l.mu.Unlock()
+
+		_, err := l.f.Write(batch.Bytes())
+		if err == nil {
+			err = l.f.Sync()
+		}
+		batch.Reset()
+
+		l.mu.Lock()
+		l.spare = batch
+		if err != nil {
+			l.failLocked(err)
+			l.mu.Unlock()
+			return
+		}
+		l.durable = hi
+		l.done.Broadcast()
+	}
 }
 
 // Seq returns the last assigned sequence number.
-func (l *Log) Seq() int64 { return l.seq }
+func (l *Log) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
 
-// Close flushes and closes the log.
+// Close drains any in-flight commits, flushes buffered records and closes
+// the log. Appends after Close return ErrClosed.
 func (l *Log) Close() error {
-	if err := l.w.Flush(); err != nil {
-		l.f.Close()
-		return fmt.Errorf("eventlog: flush: %w", err)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
 	}
-	return l.f.Close()
+	l.closed = true
+	if l.commExit != nil {
+		// Let the committer drain the pending batch and exit.
+		l.work.Broadcast()
+		l.mu.Unlock()
+		<-l.commExit
+		l.mu.Lock()
+	}
+	err := l.failed
+	if err == nil && !l.sync {
+		if ferr := l.w.Flush(); ferr != nil {
+			err = fmt.Errorf("eventlog: flush: %w", ferr)
+		}
+	}
+	l.mu.Unlock()
+	cerr := l.f.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("eventlog: close: %w", cerr)
+	}
+	return nil
 }
 
 // ReadAll reads every event from the log at path. A truncated final line

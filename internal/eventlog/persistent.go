@@ -21,11 +21,18 @@ type PersistentPlatform struct {
 // returns the combined handle plus the log (which the caller must Close on
 // shutdown).
 func OpenPersistent(path string, p *melody.Platform) (*PersistentPlatform, *Log, error) {
+	return OpenPersistentOptions(path, p, Options{SyncEveryAppend: true})
+}
+
+// OpenPersistentOptions is OpenPersistent with explicit log Options —
+// cmd/melody-load uses it to benchmark the serial-commit baseline against
+// the group-commit pipeline.
+func OpenPersistentOptions(path string, p *melody.Platform, opts Options) (*PersistentPlatform, *Log, error) {
 	// A missing log file is a first boot, not an error.
 	if err := Replay(path, p); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, fmt.Errorf("eventlog: recover from %s: %w", path, err)
 	}
-	log, err := Open(path, true)
+	log, err := OpenOptions(path, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -50,6 +57,17 @@ func (pp *PersistentPlatform) OpenRun(tasks []melody.Task, budget float64) error
 // SubmitBid implements the platform API.
 func (pp *PersistentPlatform) SubmitBid(workerID string, bid melody.Bid) error {
 	return pp.rec.SubmitBid(workerID, bid)
+}
+
+// SubmitBids implements the batch platform API: the whole batch is applied
+// and made durable with a single group commit.
+func (pp *PersistentPlatform) SubmitBids(bids []melody.WorkerBid) []error {
+	return pp.rec.SubmitBids(bids)
+}
+
+// SubmitScores implements the batch platform API.
+func (pp *PersistentPlatform) SubmitScores(scores []melody.TaskScore) []error {
+	return pp.rec.SubmitScores(scores)
 }
 
 // CloseAuction implements the platform API.

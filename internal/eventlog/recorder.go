@@ -17,6 +17,12 @@ import (
 // so the log never contains rejected operations; a crash between apply and
 // append loses at most the operation whose acknowledgment was never
 // written.
+//
+// The recorder's mutex covers only "apply + enqueue", which pins the log's
+// record order to the platform's application order; the wait for the fsync
+// happens outside it. Concurrent mutations therefore stack up behind a
+// microsecond-scale critical section instead of a millisecond-scale fsync,
+// and their records ride shared group commits (see Log.AppendAsync).
 type Recorder struct {
 	mu  sync.Mutex
 	p   *melody.Platform
@@ -35,55 +41,133 @@ func NewRecorder(p *melody.Platform, log *Log) (*Recorder, error) {
 // Workers, Run).
 func (r *Recorder) Platform() *melody.Platform { return r.p }
 
-// RegisterWorker registers and records a worker.
-func (r *Recorder) RegisterWorker(workerID string) error {
+// record applies op to the platform and enqueues ev under the recorder's
+// ordering lock, then waits for durability outside it.
+func (r *Recorder) record(op func() error, ev Event) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.p.RegisterWorker(workerID); err != nil {
+	if err := op(); err != nil {
+		r.mu.Unlock()
 		return err
 	}
-	_, err := r.log.Append(Event{Kind: KindRegister, Worker: workerID})
-	return err
+	_, wait, err := r.log.AppendAsync(ev)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// RegisterWorker registers and records a worker.
+func (r *Recorder) RegisterWorker(workerID string) error {
+	return r.record(
+		func() error { return r.p.RegisterWorker(workerID) },
+		Event{Kind: KindRegister, Worker: workerID})
 }
 
 // OpenRun opens and records a run.
 func (r *Recorder) OpenRun(tasks []melody.Task, budget float64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.p.OpenRun(tasks, budget); err != nil {
-		return err
-	}
 	records := make([]TaskRecord, len(tasks))
 	for i, t := range tasks {
 		records[i] = TaskRecord{ID: t.ID, Threshold: t.Threshold}
 	}
-	_, err := r.log.Append(Event{Kind: KindOpenRun, Tasks: records, Budget: budget})
-	return err
+	return r.record(
+		func() error { return r.p.OpenRun(tasks, budget) },
+		Event{Kind: KindOpenRun, Tasks: records, Budget: budget})
 }
 
 // SubmitBid submits and records a bid.
 func (r *Recorder) SubmitBid(workerID string, bid melody.Bid) error {
+	return r.record(
+		func() error { return r.p.SubmitBid(workerID, bid) },
+		Event{Kind: KindBid, Worker: workerID, Cost: bid.Cost, Frequency: bid.Frequency})
+}
+
+// SubmitBids applies and records a whole batch of bids, reporting per-item
+// errors positionally. The batch is applied and enqueued under one
+// acquisition of the ordering lock and waits on a single group commit, so
+// its durability cost is one fsync regardless of size.
+func (r *Recorder) SubmitBids(bids []melody.WorkerBid) []error {
+	errs := make([]error, len(bids))
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.p.SubmitBid(workerID, bid); err != nil {
-		return err
+	applied := r.p.SubmitBids(bids)
+	var wait func() error
+	for i, b := range bids {
+		if applied[i] != nil {
+			errs[i] = applied[i]
+			continue
+		}
+		_, w, err := r.log.AppendAsync(Event{
+			Kind: KindBid, Worker: b.WorkerID, Cost: b.Bid.Cost, Frequency: b.Bid.Frequency,
+		})
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		wait = w // durability is monotone: the last record covers the batch
 	}
-	_, err := r.log.Append(Event{
-		Kind: KindBid, Worker: workerID, Cost: bid.Cost, Frequency: bid.Frequency,
-	})
-	return err
+	r.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = werr
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// SubmitScores applies and records a whole batch of scores, reporting
+// per-item errors positionally; like SubmitBids it costs one lock
+// acquisition and one group commit.
+func (r *Recorder) SubmitScores(scores []melody.TaskScore) []error {
+	errs := make([]error, len(scores))
+	r.mu.Lock()
+	applied := r.p.SubmitScores(scores)
+	var wait func() error
+	for i, s := range scores {
+		if applied[i] != nil {
+			errs[i] = applied[i]
+			continue
+		}
+		_, w, err := r.log.AppendAsync(Event{
+			Kind: KindScore, Worker: s.WorkerID, Task: s.TaskID, Score: s.Score,
+		})
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		wait = w
+	}
+	r.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = werr
+				}
+			}
+		}
+	}
+	return errs
 }
 
 // CloseAuction closes the auction and records the closure. The outcome
 // itself is not logged: replaying the close recomputes it exactly.
 func (r *Recorder) CloseAuction() (*melody.Outcome, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out, err := r.p.CloseAuction()
+	if err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	_, wait, err := r.log.AppendAsync(Event{Kind: KindClose})
+	r.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.log.Append(Event{Kind: KindClose}); err != nil {
+	if err := wait(); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -91,24 +175,16 @@ func (r *Recorder) CloseAuction() (*melody.Outcome, error) {
 
 // SubmitScore submits and records a score.
 func (r *Recorder) SubmitScore(workerID, taskID string, score float64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.p.SubmitScore(workerID, taskID, score); err != nil {
-		return err
-	}
-	_, err := r.log.Append(Event{Kind: KindScore, Worker: workerID, Task: taskID, Score: score})
-	return err
+	return r.record(
+		func() error { return r.p.SubmitScore(workerID, taskID, score) },
+		Event{Kind: KindScore, Worker: workerID, Task: taskID, Score: score})
 }
 
 // FinishRun finishes and records the run.
 func (r *Recorder) FinishRun() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.p.FinishRun(); err != nil {
-		return err
-	}
-	_, err := r.log.Append(Event{Kind: KindFinish})
-	return err
+	return r.record(
+		func() error { return r.p.FinishRun() },
+		Event{Kind: KindFinish})
 }
 
 // Replay applies every event from the log at path to a fresh platform,

@@ -1,0 +1,346 @@
+// Package loadgen drives the HTTP serving path end to end under load: it
+// boots a real platform server on a loopback listener, runs N concurrent
+// worker clients through complete seasons (bid, close, score, finish), and
+// reports sustained bid-ingest throughput with latency percentiles. It is
+// the measurement engine behind cmd/melody-load and the serve/ kernels in
+// cmd/melody-bench.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"melody"
+	"melody/internal/eventlog"
+	"melody/internal/platform"
+	"melody/internal/stats"
+)
+
+// Backend selects what the server persists to.
+const (
+	// BackendMem serves from the in-memory platform: no durability, the
+	// ceiling of the serving path.
+	BackendMem = "mem"
+	// BackendWAL serves from the write-ahead-logged platform with the
+	// group-commit pipeline (the production -wal configuration).
+	BackendWAL = "wal"
+	// BackendWALSerial is the pre-group-commit baseline: one fsync per
+	// append. Kept for before/after throughput comparisons.
+	BackendWALSerial = "wal-serial"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// Backend is BackendMem, BackendWAL or BackendWALSerial.
+	Backend string
+	// WALDir is where WAL backends put their log file; empty means a fresh
+	// temporary directory, removed when the run ends.
+	WALDir string
+	// Workers is the number of concurrent worker clients.
+	Workers int
+	// Runs is the number of complete runs (seasons of 1) to drive.
+	Runs int
+	// Tasks is the number of tasks per run.
+	Tasks int
+	// Budget is the per-run budget.
+	Budget float64
+	// BidsPerWorker is how many bids each worker submits per run; bids
+	// after the first are resubmissions (the platform replaces them), which
+	// keeps the ingest path hot without distorting the auction.
+	BidsPerWorker int
+	// Batch groups each worker's bids into batch round trips of this size;
+	// values <= 1 use the single-bid endpoint.
+	Batch int
+	// Seed drives every random choice, so a run is reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = BackendMem
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 4
+	}
+	if c.Budget <= 0 {
+		c.Budget = 200
+	}
+	if c.BidsPerWorker <= 0 {
+		c.BidsPerWorker = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Latency summarizes per-request latencies in milliseconds.
+type Latency struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Result is what a load run measured.
+type Result struct {
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	Runs    int    `json:"runs"`
+	// Bids is the total number of bids ingested across all runs.
+	Bids int `json:"bids"`
+	// BidPhaseSeconds is the wall-clock time spent in bidding phases.
+	BidPhaseSeconds float64 `json:"bid_phase_seconds"`
+	// BidsPerSec is sustained ingest throughput: Bids / BidPhaseSeconds.
+	BidsPerSec float64 `json:"bids_per_sec"`
+	// Latency summarizes the bid submission round trips (one batch POST is
+	// one sample).
+	Latency Latency `json:"latency"`
+	// ElapsedSeconds is the whole run including scoring and finishing.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// Run executes one load run and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+		EMPeriod: 10, EMWindow: 60,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var backend platform.Backend = p
+	switch cfg.Backend {
+	case BackendMem:
+	case BackendWAL, BackendWALSerial:
+		dir := cfg.WALDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "melody-load-*")
+			if err != nil {
+				return Result{}, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		opts := eventlog.Options{SyncEveryAppend: true, SerialCommit: cfg.Backend == BackendWALSerial}
+		pp, wal, err := eventlog.OpenPersistentOptions(filepath.Join(dir, "load.wal"), p, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		defer wal.Close()
+		backend = pp
+	default:
+		return Result{}, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
+	}
+
+	srv, err := platform.NewServer(backend, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	// A real TCP listener, not httptest: loadgen also runs inside the
+	// non-test melody-load binary.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers * 2,
+	}
+	defer transport.CloseIdleConnections()
+	client, err := platform.NewClient("http://"+ln.Addr().String(),
+		&http.Client{Transport: transport, Timeout: 30 * time.Second})
+	if err != nil {
+		return Result{}, err
+	}
+
+	ctx := context.Background()
+	rng := stats.NewRNG(cfg.Seed)
+	workerIDs := make([]string, cfg.Workers)
+	costs := make([]float64, cfg.Workers)
+	for i := range workerIDs {
+		workerIDs[i] = fmt.Sprintf("w%04d", i)
+		costs[i] = rng.Uniform(1, 2) // within the qualification range [1, 2]
+		if err := client.RegisterWorker(ctx, workerIDs[i]); err != nil {
+			return Result{}, fmt.Errorf("loadgen: register %s: %w", workerIDs[i], err)
+		}
+	}
+
+	res := Result{Backend: cfg.Backend, Workers: cfg.Workers, Runs: cfg.Runs}
+	var latMu sync.Mutex
+	var latencies []float64 // ms per submission round trip
+
+	start := time.Now()
+	for run := 1; run <= cfg.Runs; run++ {
+		tasks := make([]platform.TaskSpec, cfg.Tasks)
+		for j := range tasks {
+			tasks[j] = platform.TaskSpec{ID: fmt.Sprintf("r%d-t%d", run, j), Threshold: 10}
+		}
+		if err := client.OpenRun(ctx, tasks, cfg.Budget); err != nil {
+			return Result{}, fmt.Errorf("loadgen: open run %d: %w", run, err)
+		}
+
+		// Bid phase: every worker hammers the ingest path concurrently.
+		bidStart := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				id, cost := workerIDs[i], costs[i]
+				local := make([]float64, 0, cfg.BidsPerWorker)
+				if cfg.Batch > 1 {
+					for done := 0; done < cfg.BidsPerWorker; {
+						n := cfg.Batch
+						if rem := cfg.BidsPerWorker - done; n > rem {
+							n = rem
+						}
+						reqs := make([]platform.BidRequest, n)
+						for k := range reqs {
+							reqs[k] = platform.BidRequest{WorkerID: id, Cost: cost, Frequency: 1}
+						}
+						t0 := time.Now()
+						errs, err := client.SubmitBids(ctx, reqs)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						local = append(local, float64(time.Since(t0).Microseconds())/1000)
+						for _, e := range errs {
+							if e != nil {
+								errCh <- e
+								return
+							}
+						}
+						done += n
+					}
+				} else {
+					for k := 0; k < cfg.BidsPerWorker; k++ {
+						t0 := time.Now()
+						if err := client.SubmitBid(ctx, id, cost, 1); err != nil {
+							errCh <- err
+							return
+						}
+						local = append(local, float64(time.Since(t0).Microseconds())/1000)
+					}
+				}
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				latMu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return Result{}, fmt.Errorf("loadgen: bid phase run %d: %w", run, err)
+		default:
+		}
+		res.BidPhaseSeconds += time.Since(bidStart).Seconds()
+		res.Bids += cfg.Workers * cfg.BidsPerWorker
+
+		out, err := client.CloseAuction(ctx)
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: close run %d: %w", run, err)
+		}
+		scores := make([]platform.ScoreRequest, 0, len(out.Assignments))
+		for _, asg := range out.Assignments {
+			scores = append(scores, platform.ScoreRequest{
+				WorkerID: asg.WorkerID, TaskID: asg.TaskID, Score: rng.Uniform(1, 10),
+			})
+		}
+		if len(scores) > 0 {
+			errs, err := client.SubmitScores(ctx, scores)
+			if err != nil {
+				return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, e)
+				}
+			}
+		}
+		if err := client.FinishRun(ctx); err != nil {
+			return Result{}, fmt.Errorf("loadgen: finish run %d: %w", run, err)
+		}
+	}
+	res.ElapsedSeconds = time.Since(start).Seconds()
+	if res.BidPhaseSeconds > 0 {
+		res.BidsPerSec = float64(res.Bids) / res.BidPhaseSeconds
+	}
+
+	res.Latency, err = summarize(latencies)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The server must come down cleanly: Shutdown makes Serve return
+	// ErrServerClosed, anything else is a failure worth surfacing. Drop the
+	// client's keep-alive connections first — a speculatively dialed conn
+	// that never carried a request sits in StateNew on the server and would
+	// otherwise hold Shutdown until its read deadline.
+	transport.CloseIdleConnections()
+	ctxSh, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctxSh); err != nil {
+		return Result{}, fmt.Errorf("loadgen: shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return Result{}, fmt.Errorf("loadgen: serve: %w", err)
+	}
+	return res, nil
+}
+
+// summarize reduces round-trip latencies (ms) to percentiles.
+func summarize(ms []float64) (Latency, error) {
+	if len(ms) == 0 {
+		return Latency{}, errors.New("loadgen: no latency samples")
+	}
+	l := Latency{N: len(ms)}
+	for _, q := range []struct {
+		q   float64
+		dst *float64
+	}{{0.50, &l.P50}, {0.95, &l.P95}, {0.99, &l.P99}, {1.0, &l.Max}} {
+		v, err := stats.Quantile(ms, q.q)
+		if err != nil {
+			return Latency{}, err
+		}
+		*q.dst = v
+	}
+	return l, nil
+}

@@ -1,0 +1,35 @@
+package loadgen
+
+import "testing"
+
+// TestRunSmoke drives a short seeded load run against each backend and
+// checks the harness reports real work: nonzero bids, positive throughput,
+// populated percentiles, clean shutdown (Run errors on anything else).
+func TestRunSmoke(t *testing.T) {
+	for _, backend := range []string{BackendMem, BackendWAL, BackendWALSerial} {
+		t.Run(backend, func(t *testing.T) {
+			res, err := Run(Config{
+				Backend: backend, Workers: 4, Runs: 2, Tasks: 2,
+				BidsPerWorker: 3, Batch: 2, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bids != 4*2*3 {
+				t.Errorf("Bids = %d, want %d", res.Bids, 4*2*3)
+			}
+			if res.BidsPerSec <= 0 {
+				t.Errorf("BidsPerSec = %v, want > 0", res.BidsPerSec)
+			}
+			if res.Latency.N == 0 || res.Latency.P99 < res.Latency.P50 {
+				t.Errorf("latency summary inconsistent: %+v", res.Latency)
+			}
+		})
+	}
+}
+
+func TestRunUnknownBackend(t *testing.T) {
+	if _, err := Run(Config{Backend: "floppy"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

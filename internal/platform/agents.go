@@ -240,22 +240,35 @@ wait:
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
+	// All scores ship in one batch round trip; per-item errors come back in
+	// the same positions, so the tolerated cases stay per-answer.
+	var scores []ScoreRequest
 	for _, ans := range answers {
 		sample, err := ParseAnswerPayload(ans.Payload)
 		if err != nil {
 			continue // unscorable answer; skip rather than abort the run
 		}
-		score := stats.Clamp(sample, q.cfg.ScoreLo, q.cfg.ScoreHi)
-		if err := c.SubmitScore(ctx, ans.WorkerID, ans.TaskID, score); err != nil {
-			if errors.Is(err, melody.ErrNoRunOpen) {
+		scores = append(scores, ScoreRequest{
+			WorkerID: ans.WorkerID,
+			TaskID:   ans.TaskID,
+			Score:    stats.Clamp(sample, q.cfg.ScoreLo, q.cfg.ScoreHi),
+		})
+	}
+	if len(scores) > 0 {
+		errs, err := c.SubmitScores(ctx, scores)
+		if err != nil {
+			return OutcomeResponse{}, fmt.Errorf("platform: score run %d: %w", run, err)
+		}
+		for _, itemErr := range errs {
+			if itemErr == nil || errors.Is(itemErr, melody.ErrNotAssigned) {
+				continue
+			}
+			if errors.Is(itemErr, melody.ErrNoRunOpen) {
 				// The scoring deadline finished the run under us; the
 				// remaining scores are moot.
 				return out, nil
 			}
-			if errors.Is(err, melody.ErrNotAssigned) {
-				continue
-			}
-			return OutcomeResponse{}, fmt.Errorf("platform: score run %d: %w", run, err)
+			return OutcomeResponse{}, fmt.Errorf("platform: score run %d: %w", run, itemErr)
 		}
 	}
 	if err := c.FinishRun(ctx); err != nil {

@@ -1,0 +1,245 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"melody"
+)
+
+// openTestRun registers workers w0..w{n-1} and opens a run with the given
+// tasks, failing the test on any error.
+func openTestRun(t *testing.T, c *Client, n int, tasks []TaskSpec, budget float64) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if err := c.RegisterWorker(ctx, fmt.Sprintf("w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.OpenRun(ctx, tasks, budget); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBidBatchHappyPath(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	openTestRun(t, c, 4, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
+
+	bids := make([]BidRequest, 4)
+	for i := range bids {
+		bids[i] = BidRequest{WorkerID: fmt.Sprintf("w%d", i), Cost: 1.5, Frequency: 1}
+	}
+	errs, err := c.SubmitBids(ctx, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Errorf("bid %d rejected: %v", i, e)
+		}
+	}
+	out, err := c.CloseAuction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assignments) == 0 {
+		t.Error("batched bids produced no assignments")
+	}
+}
+
+// TestBidBatchPerItemErrors pins the per-item contract: a rejected item
+// carries the same sentinel-mappable error the single-bid endpoint would
+// have produced, and does not abort its neighbours.
+func TestBidBatchPerItemErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	openTestRun(t, c, 2, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
+
+	errs, err := c.SubmitBids(ctx, []BidRequest{
+		{WorkerID: "w0", Cost: 1.5, Frequency: 1},
+		{WorkerID: "ghost", Cost: 1.5, Frequency: 1},
+		{WorkerID: "w1", Cost: 1.2, Frequency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("valid bids rejected: %v, %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], melody.ErrUnknownWorker) {
+		t.Errorf("unknown-worker bid error = %v, want ErrUnknownWorker", errs[1])
+	}
+}
+
+func TestScoreBatchPerItemErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	openTestRun(t, c, 4, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
+	if _, err := c.SubmitBids(ctx, []BidRequest{
+		{WorkerID: "w0", Cost: 1.2, Frequency: 1},
+		{WorkerID: "w1", Cost: 1.4, Frequency: 1},
+		{WorkerID: "w2", Cost: 1.3, Frequency: 1},
+		{WorkerID: "w3", Cost: 1.6, Frequency: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.CloseAuction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assignments) == 0 {
+		t.Fatal("no assignments")
+	}
+	scores := []ScoreRequest{
+		{WorkerID: out.Assignments[0].WorkerID, TaskID: out.Assignments[0].TaskID, Score: 7},
+		{WorkerID: "w1", TaskID: "no-such-task", Score: 5},
+	}
+	errs, err := c.SubmitScores(ctx, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Errorf("assigned score rejected: %v", errs[0])
+	}
+	if !errors.Is(errs[1], melody.ErrNotAssigned) {
+		t.Errorf("unassigned score error = %v, want ErrNotAssigned", errs[1])
+	}
+	if err := c.FinishRun(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBidBatchIdempotentReplay pins batch-level retry safety: replaying a
+// whole batch (lost-response retry) is a per-item no-op success.
+func TestBidBatchIdempotentReplay(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	openTestRun(t, c, 3, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
+
+	bids := []BidRequest{
+		{WorkerID: "w0", Cost: 1.5, Frequency: 1},
+		{WorkerID: "w1", Cost: 1.2, Frequency: 2},
+		{WorkerID: "w2", Cost: 1.8, Frequency: 1},
+	}
+	for round := 0; round < 2; round++ {
+		errs, err := c.SubmitBids(ctx, bids)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, e := range errs {
+			if e != nil {
+				t.Errorf("round %d bid %d: %v", round, i, e)
+			}
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts, c := newTestServer(t)
+	ctx := context.Background()
+
+	if _, err := c.SubmitBids(ctx, nil); err == nil {
+		t.Error("empty batch accepted")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Errorf("empty batch error = %v, want 400 APIError", err)
+		}
+	}
+
+	over := make([]BidRequest, MaxBatchItems+1)
+	for i := range over {
+		over[i] = BidRequest{WorkerID: "w", Cost: 1, Frequency: 1}
+	}
+	if _, err := c.SubmitBids(ctx, over); err == nil {
+		t.Error("oversized batch accepted")
+	} else {
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Errorf("oversized batch error = %v, want 400 APIError", err)
+		}
+	}
+	_ = ts
+}
+
+// TestBidBatcherCoalesces drives many concurrent single-bid submissions
+// through a BidBatcher and asserts they land in far fewer HTTP round trips
+// than bids, with every caller getting its own outcome back.
+func TestBidBatcherCoalesces(t *testing.T) {
+	p := newTestPlatform(t)
+	srv, err := NewServer(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchPosts, singlePosts atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/runs/current/bids/batch":
+			batchPosts.Add(1)
+		case "/v1/runs/current/bids":
+			singlePosts.Add(1)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counted)
+	t.Cleanup(ts.Close)
+	c, err := NewClient(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nBids = 48
+	ctx := context.Background()
+	openTestRun(t, c, nBids, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
+
+	b := NewBidBatcher(c, 16, 5*time.Millisecond)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < nBids; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Submit(ctx, fmt.Sprintf("w%d", i), 1.5, 1); err != nil {
+				t.Errorf("bid %d: %v", i, err)
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+
+	if n := singlePosts.Load(); n != 0 {
+		t.Errorf("%d bids bypassed the batcher", n)
+	}
+	if n := batchPosts.Load(); n == 0 || n >= nBids {
+		t.Errorf("batcher used %d round trips for %d bids; expected coalescing", n, nBids)
+	}
+	// Per-item failure still reaches its caller through the batcher (while
+	// the auction is still open, so the unknown worker is the failure).
+	b2 := NewBidBatcher(c, 4, time.Millisecond)
+	defer b2.Close()
+	if err := b2.Submit(ctx, "ghost", 1.5, 1); !errors.Is(err, melody.ErrUnknownWorker) {
+		t.Errorf("batched unknown-worker bid error = %v, want ErrUnknownWorker", err)
+	}
+	if err := b.Submit(ctx, "late", 1.5, 1); err == nil {
+		t.Error("closed batcher accepted a bid")
+	}
+
+	// Every bid actually landed: the auction sees all workers.
+	out, err := c.CloseAuction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assignments) == 0 {
+		t.Error("no assignments from batched bids")
+	}
+}

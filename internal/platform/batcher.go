@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// BidBatcher coalesces concurrent single-bid submissions into batch round
+// trips: callers use Submit exactly like Client.SubmitBid, and bids that
+// arrive while a flush is in flight (or within the linger window) share one
+// POST /v1/runs/current/bids/batch. Each caller still gets its own per-item
+// error back. Safe for concurrent use.
+type BidBatcher struct {
+	client *Client
+
+	// maxBatch flushes as soon as this many bids are pending; linger bounds
+	// how long a lone bid waits for company.
+	maxBatch int
+	linger   time.Duration
+
+	mu      sync.Mutex
+	pending []pendingBid
+	timer   *time.Timer
+	flushes sync.WaitGroup
+	closed  bool
+}
+
+type pendingBid struct {
+	req  BidRequest
+	done chan error
+}
+
+// NewBidBatcher wraps client in a coalescing layer. maxBatch <= 0 defaults
+// to 256 (and is capped at MaxBatchItems); linger <= 0 defaults to 2ms.
+func NewBidBatcher(client *Client, maxBatch int, linger time.Duration) *BidBatcher {
+	if maxBatch <= 0 {
+		maxBatch = 256
+	}
+	if maxBatch > MaxBatchItems {
+		maxBatch = MaxBatchItems
+	}
+	if linger <= 0 {
+		linger = 2 * time.Millisecond
+	}
+	return &BidBatcher{client: client, maxBatch: maxBatch, linger: linger}
+}
+
+// Submit enqueues one bid and blocks until its batch lands (or ctx ends).
+// The returned error is the same a direct Client.SubmitBid would produce:
+// per-item platform errors map onto the melody sentinels, batch-level
+// failures are reported to every bid that rode in the batch.
+func (b *BidBatcher) Submit(ctx context.Context, workerID string, cost float64, frequency int) error {
+	done := make(chan error, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return context.Canceled
+	}
+	b.pending = append(b.pending, pendingBid{
+		req:  BidRequest{WorkerID: workerID, Cost: cost, Frequency: frequency},
+		done: done,
+	})
+	switch {
+	case len(b.pending) >= b.maxBatch:
+		b.startFlushLocked()
+	case b.timer == nil:
+		b.timer = time.AfterFunc(b.linger, b.flushTimer)
+	}
+	b.mu.Unlock()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The bid stays in its batch — cancellation abandons the wait, not
+		// the submission (retrying it later is a no-op anyway).
+		return ctx.Err()
+	}
+}
+
+// flushTimer fires when the linger window closes.
+func (b *BidBatcher) flushTimer() {
+	b.mu.Lock()
+	b.timer = nil
+	if len(b.pending) > 0 && !b.closed {
+		b.startFlushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// startFlushLocked detaches the pending batch and sends it on a background
+// goroutine; callers hold b.mu. The flush uses a background context so one
+// caller's cancellation cannot fail the neighbours sharing its batch.
+func (b *BidBatcher) startFlushLocked() {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.flushes.Add(1)
+	go func() {
+		defer b.flushes.Done()
+		reqs := make([]BidRequest, len(batch))
+		for i, p := range batch {
+			reqs[i] = p.req
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		errs, err := b.client.SubmitBids(ctx, reqs)
+		for i, p := range batch {
+			if err != nil {
+				p.done <- err
+				continue
+			}
+			p.done <- errs[i]
+		}
+	}()
+}
+
+// Close flushes any pending bids and waits for in-flight batches to land.
+// Submissions after Close fail immediately.
+func (b *BidBatcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	if len(b.pending) > 0 {
+		b.startFlushLocked()
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	b.flushes.Wait()
+}

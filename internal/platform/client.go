@@ -123,15 +123,17 @@ func NewClientWithPolicy(baseURL string, httpClient *http.Client, policy RetryPo
 
 // do issues a request with optional JSON body and decodes a JSON response
 // into out (which may be nil), retrying retryable failures with capped
-// exponential backoff. The happy path allocates nothing beyond what a
-// single un-retried request would.
+// exponential backoff. Request bodies are encoded into a pooled buffer that
+// is reused across requests (and across retries of the same request).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var buf []byte
 	if body != nil {
-		var err error
-		if buf, err = json.Marshal(body); err != nil {
+		bb := getBuf()
+		defer putBuf(bb)
+		if err := json.NewEncoder(bb).Encode(body); err != nil {
 			return fmt.Errorf("platform: encode request: %w", err)
 		}
+		buf = bb.Bytes()
 	}
 	for attempt := 0; ; attempt++ {
 		err := c.attempt(ctx, method, path, buf, out)
@@ -231,6 +233,47 @@ func (c *Client) OpenRun(ctx context.Context, tasks []TaskSpec, budget float64) 
 func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
 	return c.do(ctx, http.MethodPost, "/v1/runs/current/bids",
 		BidRequest{WorkerID: workerID, Cost: cost, Frequency: frequency}, nil)
+}
+
+// SubmitBids submits a whole slice of bids in one round trip. The returned
+// slice has one entry per bid: nil for accepted items and the same error a
+// single-item SubmitBid would have returned otherwise. The call error is
+// non-nil only when the batch itself failed (transport fault, malformed or
+// oversized batch) — in that case no per-item slice is returned.
+func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) ([]error, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/bids/batch",
+		BidBatchRequest{Bids: bids}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(bids) {
+		return nil, fmt.Errorf("platform: batch response has %d results for %d bids",
+			len(out.Results), len(bids))
+	}
+	errs := make([]error, len(bids))
+	for i, res := range out.Results {
+		errs[i] = res.Err()
+	}
+	return errs, nil
+}
+
+// SubmitScores submits a whole slice of scores in one round trip, with the
+// same per-item error contract as SubmitBids.
+func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) ([]error, error) {
+	var out BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/scores/batch",
+		ScoreBatchRequest{Scores: scores}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(scores) {
+		return nil, fmt.Errorf("platform: batch response has %d results for %d scores",
+			len(out.Results), len(scores))
+	}
+	errs := make([]error, len(scores))
+	for i, res := range out.Results {
+		errs[i] = res.Err()
+	}
+	return errs, nil
 }
 
 // CloseAuction ends bidding and returns the allocation.

@@ -32,13 +32,32 @@ type Backend interface {
 
 var _ Backend = (*melody.Platform)(nil)
 
+// BatchBackend is the optional batch extension of Backend: a whole slice of
+// bids or scores applied under one lock acquisition (and, for the WAL
+// backend, made durable by one group commit) with per-item errors. Both
+// *melody.Platform and eventlog.PersistentPlatform implement it; the server
+// detects it at construction and falls back to item-at-a-time submission
+// against backends that don't.
+type BatchBackend interface {
+	SubmitBids(bids []melody.WorkerBid) []error
+	SubmitScores(scores []melody.TaskScore) []error
+}
+
+var _ BatchBackend = (*melody.Platform)(nil)
+
 // Server exposes a platform Backend over HTTP. It adds the answer-routing
 // layer (workers submit answers, the requester fetches them for scoring)
 // that the core platform leaves to the deployment, plus the run-deadline
 // watchdog that keeps a season moving when workers or the requester crash
 // mid-run.
+//
+// Locking: stateMu guards the run lifecycle (phase, run, outcome, timer)
+// and ansMu guards the answer store, so answer traffic during scoring never
+// contends with status polls or phase transitions. When both are needed,
+// stateMu is acquired first.
 type Server struct {
 	platform Backend
+	batch    BatchBackend // non-nil when platform supports batch submission
 	logger   *log.Logger
 
 	// bidDeadline and scoreDeadline bound how long a run may sit in the
@@ -46,12 +65,14 @@ type Server struct {
 	bidDeadline   time.Duration
 	scoreDeadline time.Duration
 
-	mu      sync.Mutex
+	stateMu sync.RWMutex
 	phase   Phase
 	run     int // 1-based index of the run currently open (or last opened)
-	answers []Answer
 	outcome *OutcomeResponse
 	timer   *time.Timer // pending phase-deadline action, nil when disarmed
+
+	ansMu   sync.Mutex
+	answers []Answer
 }
 
 // ServerOption customizes a Server.
@@ -75,12 +96,15 @@ func NewServer(p Backend, logger *log.Logger, opts ...ServerOption) (*Server, er
 		return nil, errors.New("platform: nil platform")
 	}
 	s := &Server{platform: p, logger: logger, phase: PhaseIdle}
+	if bb, ok := p.(BatchBackend); ok {
+		s.batch = bb
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	st := p.State()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.run = st.CompletedRuns
 	if st.Open {
 		s.run = st.CompletedRuns + 1
@@ -99,8 +123,8 @@ func NewServer(p Backend, logger *log.Logger, opts ...ServerOption) (*Server, er
 	return s, nil
 }
 
-// scheduleLocked re-arms the phase-deadline timer; callers hold s.mu. A
-// non-positive deadline just disarms any pending action.
+// scheduleLocked re-arms the phase-deadline timer; callers hold stateMu for
+// writing. A non-positive deadline just disarms any pending action.
 func (s *Server) scheduleLocked(d time.Duration, run int, fire func(run int)) {
 	if s.timer != nil {
 		s.timer.Stop()
@@ -114,9 +138,9 @@ func (s *Server) scheduleLocked(d time.Duration, run int, fire func(run int)) {
 
 // deadlineClose fires when a run sat in bidding past the deadline.
 func (s *Server) deadlineClose(run int) {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	stale := s.phase != PhaseBidding || s.run != run
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	if stale {
 		return
 	}
@@ -131,9 +155,9 @@ func (s *Server) deadlineClose(run int) {
 // are observed as missing (empty score sets), so a crashed worker degrades
 // the quality estimate instead of blocking the season.
 func (s *Server) deadlineFinish(run int) {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	stale := s.phase != PhaseScoring || s.run != run
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	if stale {
 		return
 	}
@@ -153,11 +177,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workers/{id}/forecast", s.handleForecast)
 	mux.HandleFunc("POST /v1/runs", s.handleOpenRun)
 	mux.HandleFunc("POST /v1/runs/current/bids", s.handleBid)
+	mux.HandleFunc("POST /v1/runs/current/bids/batch", s.handleBidBatch)
 	mux.HandleFunc("POST /v1/runs/current/close", s.handleClose)
 	mux.HandleFunc("GET /v1/runs/current/outcome", s.handleOutcome)
 	mux.HandleFunc("POST /v1/runs/current/answers", s.handleAnswer)
 	mux.HandleFunc("GET /v1/runs/current/answers", s.handleListAnswers)
 	mux.HandleFunc("POST /v1/runs/current/scores", s.handleScore)
+	mux.HandleFunc("POST /v1/runs/current/scores/batch", s.handleScoreBatch)
 	mux.HandleFunc("POST /v1/runs/current/finish", s.handleFinish)
 	return mux
 }
@@ -168,33 +194,41 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// writeJSON writes v with the given status.
+// writeJSON writes v with the given status, staging the encoding through a
+// pooled buffer so steady-state responses reuse memory across requests.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// The header is already out; nothing more we can do.
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, "encode failure", http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
 }
 
-// writeError maps platform errors onto HTTP statuses, attaching the wire
-// error code so clients can recover the melody sentinel with errors.Is.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorStatus maps a platform error onto its HTTP status.
+func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, melody.ErrRunOpen),
 		errors.Is(err, melody.ErrAuctionClosed),
 		errors.Is(err, melody.ErrAuctionOpen),
 		errors.Is(err, melody.ErrNoRunOpen):
-		status = http.StatusConflict
+		return http.StatusConflict
 	case errors.Is(err, melody.ErrUnknownWorker),
 		errors.Is(err, melody.ErrNotAssigned):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, melody.ErrNoForecast):
-		status = http.StatusNotImplemented
+		return http.StatusNotImplemented
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: errorCode(err)})
+	return http.StatusBadRequest
+}
+
+// writeError maps platform errors onto HTTP statuses, attaching the wire
+// error code so clients can recover the melody sentinel with errors.Is.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), ErrorResponse{Error: err.Error(), Code: errorCode(err)})
 }
 
 // decodeBody decodes a JSON body, rejecting unknown fields.
@@ -208,10 +242,10 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	phase := s.phase
 	run := s.run
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	if phase == PhaseIdle {
 		run = s.platform.Run()
 	}
@@ -290,19 +324,21 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.mu.Lock()
+	s.stateMu.Lock()
 	run := s.platform.Run() + 1
 	// An idempotent replay of the currently open run must not reset the
 	// run's answers, outcome or deadline; only a genuinely new run does.
 	if s.phase == PhaseIdle || s.run != run {
 		s.run = run
 		s.phase = PhaseBidding
-		s.answers = nil
 		s.outcome = nil
+		s.ansMu.Lock()
+		s.answers = nil
+		s.ansMu.Unlock()
 		s.scheduleLocked(s.bidDeadline, run, s.deadlineClose)
 		s.logf("run %d opened with %d tasks, budget %g", run, len(tasks), req.Budget)
 	}
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	writeJSON(w, http.StatusCreated, struct{}{})
 }
 
@@ -320,6 +356,90 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, struct{}{})
 }
 
+// batchResults converts per-item submission errors into wire results.
+func batchResults(errs []error) []BatchItemResult {
+	results := make([]BatchItemResult, len(errs))
+	for i, err := range errs {
+		if err == nil {
+			results[i] = BatchItemResult{OK: true}
+			continue
+		}
+		results[i] = BatchItemResult{
+			Status: errorStatus(err), Error: err.Error(), Code: errorCode(err),
+		}
+	}
+	return results
+}
+
+// checkBatchSize rejects empty and oversized batches before any item is
+// applied, so a malformed batch is all-or-nothing.
+func checkBatchSize(w http.ResponseWriter, n int) bool {
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "platform: empty batch"})
+		return false
+	}
+	if n > MaxBatchItems {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("platform: batch of %d items exceeds limit %d", n, MaxBatchItems),
+		})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleBidBatch(w http.ResponseWriter, r *http.Request) {
+	var req BidBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !checkBatchSize(w, len(req.Bids)) {
+		return
+	}
+	bids := make([]melody.WorkerBid, len(req.Bids))
+	for i, b := range req.Bids {
+		bids[i] = melody.WorkerBid{
+			WorkerID: b.WorkerID,
+			Bid:      melody.Bid{Cost: b.Cost, Frequency: b.Frequency},
+		}
+	}
+	var errs []error
+	if s.batch != nil {
+		errs = s.batch.SubmitBids(bids)
+	} else {
+		errs = make([]error, len(bids))
+		for i, b := range bids {
+			errs[i] = s.platform.SubmitBid(b.WorkerID, b.Bid)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(errs)})
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	var req ScoreBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !checkBatchSize(w, len(req.Scores)) {
+		return
+	}
+	scores := make([]melody.TaskScore, len(req.Scores))
+	for i, sc := range req.Scores {
+		scores[i] = melody.TaskScore{WorkerID: sc.WorkerID, TaskID: sc.TaskID, Score: sc.Score}
+	}
+	var errs []error
+	if s.batch != nil {
+		errs = s.batch.SubmitScores(scores)
+	} else {
+		errs = make([]error, len(scores))
+		for i, sc := range scores {
+			errs[i] = s.platform.SubmitScore(sc.WorkerID, sc.TaskID, sc.Score)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(errs)})
+}
+
 func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
 	resp, err := s.closeAuction()
 	if err != nil {
@@ -334,32 +454,32 @@ func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
 // recorded outcome (the platform's close is idempotent) without restarting
 // the scoring deadline.
 func (s *Server) closeAuction() (OutcomeResponse, error) {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	if s.phase == PhaseScoring && s.outcome != nil {
 		resp := *s.outcome
-		s.mu.Unlock()
+		s.stateMu.RUnlock()
 		return resp, nil
 	}
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	out, err := s.platform.CloseAuction()
 	if err != nil {
 		return OutcomeResponse{}, err
 	}
 	resp := toOutcomeResponse(out)
-	s.mu.Lock()
+	s.stateMu.Lock()
 	s.phase = PhaseScoring
 	s.outcome = &resp
 	s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	s.logf("run %d auction closed: %d tasks selected, payment %.3f",
 		s.run, len(resp.SelectedTasks), resp.TotalPayment)
 	return resp, nil
 }
 
 func (s *Server) handleOutcome(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.stateMu.RLock()
 	out := s.outcome
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	if out == nil {
 		writeError(w, melody.ErrAuctionOpen)
 		return
@@ -373,8 +493,12 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Phase and assignment are checked under the state read lock — answer
+	// traffic never serializes against other answers at this stage — and the
+	// store mutation happens under ansMu (acquired inside stateMu, matching
+	// the lock order documented on Server).
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
 	if s.phase != PhaseScoring {
 		writeError(w, melody.ErrAuctionOpen)
 		return
@@ -383,6 +507,8 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: worker %s task %s", melody.ErrNotAssigned, req.WorkerID, req.TaskID))
 		return
 	}
+	s.ansMu.Lock()
+	defer s.ansMu.Unlock()
 	// Idempotent on (worker, task, run): a duplicate delivery replaces the
 	// recorded answer instead of duplicating it, so the requester never
 	// sees — and never double-scores — the same assignment twice.
@@ -400,7 +526,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 }
 
 // assignedLocked reports whether (worker, task) is in the current outcome.
-// Callers must hold s.mu.
+// Callers hold stateMu (read or write).
 func (s *Server) assignedLocked(workerID, taskID string) bool {
 	for _, a := range s.outcome.Assignments {
 		if a.WorkerID == workerID && a.TaskID == taskID {
@@ -411,9 +537,9 @@ func (s *Server) assignedLocked(workerID, taskID string) bool {
 }
 
 func (s *Server) handleListAnswers(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.ansMu.Lock()
 	answers := append([]Answer(nil), s.answers...)
-	s.mu.Unlock()
+	s.ansMu.Unlock()
 	writeJSON(w, http.StatusOK, AnswersResponse{Answers: answers})
 }
 
@@ -435,10 +561,10 @@ func (s *Server) handleFinish(w http.ResponseWriter, _ *http.Request) {
 		// A retried finish whose first delivery landed sees ErrNoRunOpen
 		// from the platform; when the server's state shows that run did
 		// complete, report the replay as a no-op success.
-		s.mu.Lock()
+		s.stateMu.RLock()
 		replayed := errors.Is(err, melody.ErrNoRunOpen) &&
 			s.phase == PhaseIdle && s.run > 0 && s.platform.Run() >= s.run
-		s.mu.Unlock()
+		s.stateMu.RUnlock()
 		if !replayed {
 			writeError(w, err)
 			return
@@ -454,12 +580,14 @@ func (s *Server) finishRun() error {
 	if err := s.platform.FinishRun(); err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.stateMu.Lock()
 	s.phase = PhaseIdle
-	s.answers = nil
 	s.outcome = nil
+	s.ansMu.Lock()
+	s.answers = nil
+	s.ansMu.Unlock()
 	s.scheduleLocked(0, 0, nil)
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	s.logf("run finished; %d total runs completed", s.platform.Run())
 	return nil
 }

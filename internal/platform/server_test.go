@@ -10,7 +10,9 @@ import (
 	"melody"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+// newTestPlatform builds the reference platform configuration shared by
+// the HTTP tests and the serial-equivalence comparisons.
+func newTestPlatform(t *testing.T) *melody.Platform {
 	t.Helper()
 	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
 		InitialMean: 5.5, InitialVar: 2.25,
@@ -27,7 +29,12 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(p, nil)
+	return p
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(newTestPlatform(t), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

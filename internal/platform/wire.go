@@ -7,7 +7,10 @@
 package platform
 
 import (
+	"bytes"
 	"errors"
+	"net/http"
+	"sync"
 
 	"melody"
 )
@@ -125,6 +128,54 @@ type ScoreRequest struct {
 	Score    float64 `json:"score"`
 }
 
+// MaxBatchItems bounds the item count of a single batch request; larger
+// batches are rejected with 400 before any item is applied.
+const MaxBatchItems = 4096
+
+// BidBatchRequest is the body of POST /v1/runs/current/bids/batch: many
+// bids in one round trip. Items are applied independently in order, with
+// per-item outcomes in the BatchResponse; a rejected item never aborts its
+// neighbours. Retrying a whole batch is safe — replayed items are no-op
+// successes under the platform's idempotent mutation protocol.
+type BidBatchRequest struct {
+	Bids []BidRequest `json:"bids"`
+}
+
+// ScoreBatchRequest is the body of POST /v1/runs/current/scores/batch.
+type ScoreBatchRequest struct {
+	Scores []ScoreRequest `json:"scores"`
+}
+
+// BatchItemResult is one item's outcome inside a BatchResponse: results[i]
+// reports items[i]. Status/Error/Code mirror what the single-item endpoint
+// would have answered for that item alone.
+type BatchItemResult struct {
+	OK     bool   `json:"ok"`
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"`
+}
+
+// Err surfaces a failed item as the same *APIError a single-item call
+// would have produced, so errors.Is against the melody sentinels works
+// per item; it is nil for accepted items.
+func (r BatchItemResult) Err() error {
+	if r.OK {
+		return nil
+	}
+	status := r.Status
+	if status == 0 {
+		status = http.StatusBadRequest
+	}
+	return &APIError{Status: status, Message: r.Error, Code: r.Code}
+}
+
+// BatchResponse is the body of the batch endpoints. The HTTP status is 200
+// whenever the batch itself was well-formed; item failures live here.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}
+
 // ErrorResponse is the body of every non-2xx response. Code carries the
 // machine-readable platform error so clients can map it back onto the
 // melody sentinel errors (see APIError.Is); it is empty for errors with no
@@ -179,6 +230,25 @@ func sentinelForCode(code string) error {
 		}
 	}
 	return nil
+}
+
+// bufPool recycles encode/decode buffers across requests on both sides of
+// the wire, so steady-state serving does not allocate a fresh buffer per
+// message.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// poolBufCap bounds what returns to the pool: a rare giant message must not
+// pin its buffer forever.
+const poolBufCap = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > poolBufCap {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
 }
 
 // toOutcomeResponse converts a core outcome to its wire form.

@@ -72,9 +72,11 @@ type PlatformConfig struct {
 // Platform is the paper's crowdsourcing platform: it owns the worker
 // registry, runs the per-run reverse auction, collects answer scores and
 // updates every worker's quality estimate between runs (the Fig. 2
-// workflow). Platform is safe for concurrent use.
+// workflow). Platform is safe for concurrent use; read-only queries
+// (State, Workers, Run, Quality, Forecast) share a read lock, so status
+// polls never queue behind bid ingest.
 type Platform struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	auction *Auction
 	est     Estimator
 	money   *Ledger
@@ -110,8 +112,8 @@ type RunState struct {
 
 // State returns the platform's current lifecycle snapshot.
 func (p *Platform) State() RunState {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	st := RunState{CompletedRuns: p.run}
 	if p.open != nil {
 		st.Open = true
@@ -154,8 +156,8 @@ func (p *Platform) RegisterWorker(workerID string) error {
 
 // Workers returns the registered worker IDs in sorted order.
 func (p *Platform) Workers() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	ids := make([]string, 0, len(p.workers))
 	for id := range p.workers {
 		ids = append(ids, id)
@@ -166,15 +168,17 @@ func (p *Platform) Workers() []string {
 
 // Run returns the number of completed runs.
 func (p *Platform) Run() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.run
 }
 
 // Quality returns the platform's current quality estimate for the worker.
+// The estimator is only read (never advanced), so concurrent Quality calls
+// share the platform's read lock.
 func (p *Platform) Quality(workerID string) (float64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if !p.workers[workerID] {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
 	}
@@ -185,8 +189,8 @@ func (p *Platform) Quality(workerID string) (float64, error) {
 // quality, when the platform's estimator supports it (the LDS tracker
 // does); otherwise ErrNoForecast.
 func (p *Platform) Forecast(workerID string, steps int) (QualityForecast, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if !p.workers[workerID] {
 		return QualityForecast{}, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
 	}
@@ -277,6 +281,31 @@ func sameTasks(a, b []Task) bool {
 func (p *Platform) SubmitBid(workerID string, bid Bid) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.submitBidLocked(workerID, bid)
+}
+
+// WorkerBid pairs a worker with a bid, for batch submission.
+type WorkerBid struct {
+	WorkerID string
+	Bid      Bid
+}
+
+// SubmitBids submits a whole batch of bids under one lock acquisition,
+// reporting each item's outcome positionally (nil for accepted bids). Item
+// semantics are exactly SubmitBid's, including the idempotent-replay rules;
+// a rejected item does not affect its neighbours.
+func (p *Platform) SubmitBids(bids []WorkerBid) []error {
+	errs := make([]error, len(bids))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, b := range bids {
+		errs[i] = p.submitBidLocked(b.WorkerID, b.Bid)
+	}
+	return errs
+}
+
+// submitBidLocked is SubmitBid's body; callers hold p.mu.
+func (p *Platform) submitBidLocked(workerID string, bid Bid) error {
 	if p.open == nil {
 		return ErrNoRunOpen
 	}
@@ -364,6 +393,32 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 func (p *Platform) SubmitScore(workerID, taskID string, score float64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.submitScoreLocked(workerID, taskID, score)
+}
+
+// TaskScore is one scored assignment, for batch submission.
+type TaskScore struct {
+	WorkerID string
+	TaskID   string
+	Score    float64
+}
+
+// SubmitScores submits a whole batch of scores under one lock acquisition,
+// reporting each item's outcome positionally (nil for accepted scores).
+// Item semantics are exactly SubmitScore's, including the idempotent-replay
+// rules; a rejected item does not affect its neighbours.
+func (p *Platform) SubmitScores(scores []TaskScore) []error {
+	errs := make([]error, len(scores))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, s := range scores {
+		errs[i] = p.submitScoreLocked(s.WorkerID, s.TaskID, s.Score)
+	}
+	return errs
+}
+
+// submitScoreLocked is SubmitScore's body; callers hold p.mu.
+func (p *Platform) submitScoreLocked(workerID, taskID string, score float64) error {
 	if p.open == nil {
 		return ErrNoRunOpen
 	}
