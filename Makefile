@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke load-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke load-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,13 @@ fuzz-smoke:
 # unless it reports nonzero sustained throughput and shuts down cleanly.
 load-smoke:
 	$(GO) run ./cmd/melody-load -backend wal -workers 8 -runs 2 -bids-per-worker 4 -batch 4 -seed 1 -check
+
+# obs-smoke boots the real melody-platform binary with -metrics and a WAL,
+# drives one complete run over HTTP, and scrapes /metrics + /debug/traces,
+# failing unless the documented series and lifecycle spans are present
+# (cmd/melody-obs-smoke; no curl needed).
+obs-smoke:
+	$(GO) run ./cmd/melody-obs-smoke
 
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
 # the latest committed one (see cmd/melody-bench). Includes the serve/

@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"melody/internal/core"
@@ -33,6 +34,7 @@ import (
 	"melody/internal/experiments"
 	"melody/internal/lds"
 	"melody/internal/loadgen"
+	"melody/internal/obs"
 	"melody/internal/quality"
 	"melody/internal/stats"
 )
@@ -216,19 +218,64 @@ func observeKernel(b *testing.B) {
 	}
 }
 
+// obsPrimitivesKernel measures the per-event cost of the metric primitives
+// themselves: one counter Inc plus one histogram Observe per iteration. The
+// noop variant exercises the nil-handle path every uninstrumented caller
+// takes, pinning the "disabled observability is free" contract.
+func obsPrimitivesKernel(instrumented bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		var (
+			c *obs.Counter
+			h *obs.Histogram
+		)
+		if instrumented {
+			reg := obs.NewRegistry()
+			c = reg.Counter("melody_bench_events_total", "Bench events.")
+			h = reg.Histogram("melody_bench_seconds", "Bench latencies.", obs.TimeBuckets())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(0.001)
+		}
+	}
+}
+
+// obsCounterParallelKernel hammers one sharded counter from every proc, the
+// contention profile of the serving path's request counters.
+func obsCounterParallelKernel(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("melody_bench_parallel_total", "Bench events.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
 // walAppendKernel measures concurrent durable appends against a real file:
 // 32 goroutines per proc hammer Log.Append with fsync-per-commit. serial
 // pins the pre-group-commit baseline (one fsync per append); the group
-// variant coalesces concurrent appends into shared fsyncs.
-func walAppendKernel(serial bool) func(b *testing.B) {
+// variant coalesces concurrent appends into shared fsyncs. observed adds
+// the obs registry + span ring, for the instrumented-vs-noop guard.
+func walAppendKernel(serial, observed bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		dir, err := os.MkdirTemp("", "melody-bench-wal-*")
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
-		log, err := eventlog.OpenOptions(filepath.Join(dir, "bench.wal"),
-			eventlog.Options{SyncEveryAppend: true, SerialCommit: serial})
+		opts := eventlog.Options{SyncEveryAppend: true, SerialCommit: serial}
+		if observed {
+			reg := obs.NewRegistry()
+			obs.RegisterBaseline(reg)
+			opts.Metrics = reg
+			opts.Tracer = obs.NewTracer(1024)
+		}
+		log, err := eventlog.OpenOptions(filepath.Join(dir, "bench.wal"), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -281,8 +328,12 @@ func kernels() []kernel {
 		{name: "lds/rts_smoother_r100", fn: smootherKernel},
 		{name: "lds/em_w60_i12", fn: emKernel},
 		{name: "quality/observe_t10_w60", fn: observeKernel},
-		{name: "wal/append_fsync_serial", fn: walAppendKernel(true)},
-		{name: "wal/append_fsync_group", fn: walAppendKernel(false)},
+		{name: "obs/primitives_noop", fn: obsPrimitivesKernel(false)},
+		{name: "obs/primitives_instrumented", fn: obsPrimitivesKernel(true)},
+		{name: "obs/counter_parallel", fn: obsCounterParallelKernel},
+		{name: "wal/append_fsync_serial", fn: walAppendKernel(true, false)},
+		{name: "wal/append_fsync_group", fn: walAppendKernel(false, false)},
+		{name: "wal/append_fsync_group_obs", fn: walAppendKernel(false, true)},
 		// serve/ kernels measure the full HTTP serving path. The wal_serial
 		// variant with batch=1 is the pre-PR configuration (single-bid wire
 		// protocol, one fsync per append); wal_group with batch=16 is the
@@ -293,7 +344,37 @@ func kernels() []kernel {
 			Backend: loadgen.BackendWAL, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 16, Seed: 11})},
 		{name: "serve/bids_wal_serial_w32_b1", direct: serveKernel(loadgen.Config{
 			Backend: loadgen.BackendWALSerial, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 1, Seed: 11})},
+		// _obs variants run the identical workload with the full
+		// observability stack on (registry + span ring + instrumented
+		// server/client/WAL); the -guard flag compares each pair.
+		{name: "serve/bids_mem_w32_b16_obs", direct: serveKernel(loadgen.Config{
+			Backend: loadgen.BackendMem, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 16, Seed: 11,
+			Observe: true})},
 	}
+}
+
+// guardPairs compares every <name>_obs entry against its uninstrumented
+// twin and returns a violation line per pair whose instrumented NsPerOp
+// exceeds the noop by more than tolPct percent.
+func guardPairs(entries []Entry, tolPct float64) []string {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var violations []string
+	for _, e := range entries {
+		base, ok := byName[strings.TrimSuffix(e.Name, "_obs")]
+		if !ok || !strings.HasSuffix(e.Name, "_obs") || base.NsPerOp <= 0 {
+			continue
+		}
+		overheadPct := (e.NsPerOp/base.NsPerOp - 1) * 100
+		if overheadPct > tolPct {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op vs %s %.0f ns/op (+%.1f%% > %.1f%%)",
+				e.Name, e.NsPerOp, base.Name, base.NsPerOp, overheadPct, tolPct))
+		}
+	}
+	return violations
 }
 
 // nextSnapshotName returns BENCH_<n>.json for the smallest n not yet on disk.
@@ -324,6 +405,7 @@ func main() {
 	filter := flag.String("filter", "", "regexp selecting kernels to run")
 	note := flag.String("note", "", "free-form note stored in the snapshot")
 	list := flag.Bool("list", false, "list kernel names and exit")
+	guard := flag.Float64("guard", 0, "fail if any <kernel>_obs entry is more than this percent slower than its uninstrumented twin (0 disables)")
 	flag.Parse()
 
 	ks := kernels()
@@ -416,6 +498,15 @@ func main() {
 		fmt.Println(line)
 	}
 	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
+
+	if *guard > 0 {
+		if violations := guardPairs(snap.Entries, *guard); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "melody-bench: guard:", v)
+			}
+			os.Exit(1)
+		}
+	}
 
 	path := *out
 	if path == "" {

@@ -10,6 +10,7 @@
 //	melody-load -backend wal-serial           # pre-group-commit fsync baseline
 //	melody-load -json                         # machine-readable result
 //	melody-load -check                        # exit nonzero unless real work happened
+//	melody-load -observe                      # instrument the stack; print span + metric summary
 //
 // Every random choice derives from -seed, so runs are reproducible.
 package main
@@ -37,6 +38,7 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	check := flag.Bool("check", false, "exit nonzero unless throughput is positive (smoke-test mode)")
+	flag.BoolVar(&cfg.Observe, "observe", false, "instrument the stack with metrics and trace spans; print a summary after the run")
 	flag.Parse()
 
 	res, err := loadgen.Run(cfg)
@@ -59,6 +61,24 @@ func main() {
 		fmt.Printf("latency (per submission round trip, n=%d): p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
 			res.Latency.N, res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Latency.Max)
 		fmt.Printf("total elapsed: %.3fs\n", res.ElapsedSeconds)
+		if cfg.Observe {
+			fmt.Printf("client retries: %d\n", res.ClientRetries)
+			fmt.Println("spans (name count mean max):")
+			for _, st := range res.TraceSummary {
+				fmt.Printf("  %-18s %6d  %8.1fus  %8dus\n", st.Name, st.Count, st.MeanUS, st.MaxUS)
+			}
+			fmt.Println("key series:")
+			for _, name := range []string{
+				"melody_http_requests_total{endpoint=\"bid\"}",
+				"melody_http_requests_total{endpoint=\"bid_batch\"}",
+				"melody_wal_commits_total",
+				"melody_runs_completed_total",
+			} {
+				if v, ok := res.Metrics[name]; ok {
+					fmt.Printf("  %s = %g\n", name, v)
+				}
+			}
+		}
 	}
 
 	if *check && (res.Bids == 0 || res.BidsPerSec <= 0) {

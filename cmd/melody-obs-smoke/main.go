@@ -1,0 +1,235 @@
+// Command melody-obs-smoke is the observability end-to-end check behind
+// `make obs-smoke`: it builds the real melody-platform binary, boots it with
+// -metrics and a WAL, drives one complete run through the HTTP client, then
+// scrapes GET /metrics and GET /debug/traces off the side listener and fails
+// unless the documented series and span names are present with sane values.
+// It needs no curl — the scrape is plain net/http.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"melody/internal/obs"
+	"melody/internal/platform"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "melody-obs-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "melody-obs-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "melody-platform")
+	build := exec.Command("go", "build", "-o", bin, "melody/cmd/melody-platform")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build melody-platform: %w", err)
+	}
+
+	apiAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	metricsAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+
+	proc := exec.Command(bin,
+		"-addr", apiAddr,
+		"-metrics", metricsAddr,
+		"-wal", filepath.Join(dir, "smoke.wal"),
+		"-log-level", "warn",
+	)
+	proc.Stdout, proc.Stderr = os.Stdout, os.Stderr
+	if err := proc.Start(); err != nil {
+		return fmt.Errorf("start melody-platform: %w", err)
+	}
+	defer func() {
+		_ = proc.Process.Kill()
+		_, _ = proc.Process.Wait()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client, err := platform.NewClient("http://"+apiAddr, nil)
+	if err != nil {
+		return err
+	}
+	if err := waitReady(ctx, client); err != nil {
+		return err
+	}
+	if err := driveRun(ctx, client); err != nil {
+		return err
+	}
+
+	series, err := scrape("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := checkSeries(series); err != nil {
+		return err
+	}
+	return checkTraces("http://" + metricsAddr + "/debug/traces")
+}
+
+// freeAddr grabs a loopback port the child can bind.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	return addr, ln.Close()
+}
+
+// waitReady polls /v1/status until the child is serving.
+func waitReady(ctx context.Context, c *platform.Client) error {
+	for {
+		if _, err := c.Status(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("platform never became ready: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// driveRun pushes one complete run through the platform: register, open,
+// bid, close, score, finish.
+func driveRun(ctx context.Context, c *platform.Client) error {
+	workers := []string{"w1", "w2", "w3"}
+	for _, w := range workers {
+		if err := c.RegisterWorker(ctx, w); err != nil {
+			return err
+		}
+	}
+	tasks := []platform.TaskSpec{{ID: "t1", Threshold: 10}, {ID: "t2", Threshold: 10}}
+	if err := c.OpenRun(ctx, tasks, 100); err != nil {
+		return err
+	}
+	bids := make([]platform.BidRequest, len(workers))
+	for i, w := range workers {
+		bids[i] = platform.BidRequest{WorkerID: w, Cost: 1.2 + 0.1*float64(i), Frequency: 1}
+	}
+	res, err := c.SubmitBids(ctx, bids)
+	if err != nil {
+		return err
+	}
+	if err := res.Err(); err != nil {
+		return fmt.Errorf("bid batch: %w", err)
+	}
+	out, err := c.CloseAuction(ctx)
+	if err != nil {
+		return err
+	}
+	for _, asg := range out.Assignments {
+		if err := c.SubmitScore(ctx, asg.WorkerID, asg.TaskID, 7); err != nil {
+			return err
+		}
+	}
+	return c.FinishRun(ctx)
+}
+
+// scrape fetches and parses a Prometheus text exposition.
+func scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// checkSeries asserts the documented metric families are present and that
+// the counters tied to the driven run carry the expected values.
+func checkSeries(series map[string]float64) error {
+	for _, fam := range []string{
+		"melody_wal_commit_batch_size",
+		"melody_wal_fsync_seconds",
+		"melody_http_requests_total",
+		"melody_client_retries_total",
+		"melody_auction_duration_seconds",
+		"melody_em_reestimate_seconds",
+	} {
+		if !obs.FamilyPresent(series, fam) {
+			return fmt.Errorf("/metrics is missing family %s", fam)
+		}
+	}
+	for key, want := range map[string]float64{
+		`melody_http_requests_total{endpoint="register_worker"}`: 3,
+		`melody_http_requests_total{endpoint="open_run"}`:        1,
+		`melody_http_requests_total{endpoint="bid_batch"}`:       1,
+		`melody_http_requests_total{endpoint="close"}`:           1,
+		`melody_http_requests_total{endpoint="finish"}`:          1,
+		`melody_runs_completed_total`:                            1,
+	} {
+		if got := series[key]; got != want {
+			return fmt.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	if got := series["melody_wal_commits_total"]; got <= 0 {
+		return fmt.Errorf("melody_wal_commits_total = %g, want > 0", got)
+	}
+	return nil
+}
+
+// checkTraces asserts the span ring serves JSON and recorded the run's
+// lifecycle spans.
+func checkTraces(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	var tr obs.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decode /debug/traces: %w", err)
+	}
+	seen := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		seen[sp.Name] = true
+	}
+	for _, name := range []string{"run.bidding", "run.scoring", "auction.run", "run.finish", "wal.commit"} {
+		if !seen[name] {
+			return fmt.Errorf("/debug/traces is missing span %q (have %v)", name, keys(seen))
+		}
+	}
+	if tr.Total < uint64(len(tr.Spans)) {
+		return fmt.Errorf("trace total %d < retained %d", tr.Total, len(tr.Spans))
+	}
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -10,7 +10,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints on the -pprof side listener
 	"os"
@@ -21,6 +21,7 @@ import (
 	"melody"
 	"melody/internal/chaos"
 	"melody/internal/eventlog"
+	"melody/internal/obs"
 	"melody/internal/platform"
 )
 
@@ -33,29 +34,44 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		qualityMin = flag.Float64("quality-min", 1, "qualification quality floor (Theta_m)")
-		qualityMax = flag.Float64("quality-max", 10, "qualification quality ceiling (Theta_M)")
-		costMin    = flag.Float64("cost-min", 1, "qualification cost floor (C_m)")
-		costMax    = flag.Float64("cost-max", 2, "qualification cost ceiling (C_M)")
-		initMean   = flag.Float64("init-mean", 5.5, "initial quality belief mean (mu^0)")
-		initVar    = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
-		emPeriod   = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
-		walPath    = flag.String("wal", "", "write-ahead log path; enables durable state and crash recovery")
-		bidDL      = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
-		scoreDL    = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
-		chaosSpec  = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty disables")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		qualityMin  = flag.Float64("quality-min", 1, "qualification quality floor (Theta_m)")
+		qualityMax  = flag.Float64("quality-max", 10, "qualification quality ceiling (Theta_M)")
+		costMin     = flag.Float64("cost-min", 1, "qualification cost floor (C_m)")
+		costMax     = flag.Float64("cost-max", 2, "qualification cost ceiling (C_M)")
+		initMean    = flag.Float64("init-mean", 5.5, "initial quality belief mean (mu^0)")
+		initVar     = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
+		emPeriod    = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
+		walPath     = flag.String("wal", "", "write-ahead log path; enables durable state and crash recovery")
+		bidDL       = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
+		scoreDL     = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
+		chaosSpec   = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof (plus /metrics and /debug/traces) on this side address (e.g. 127.0.0.1:6060); empty disables")
+		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/traces on this side address (e.g. 127.0.0.1:9090); empty disables")
+		traceCap    = flag.Int("trace-capacity", 1024, "bounded span ring size for /debug/traces")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "melody-platform ", log.LstdFlags)
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("component", "melody-platform")
+
+	// One registry and one span ring serve the whole process; every layer
+	// (WAL, platform core, HTTP server, chaos) records into them.
+	registry := obs.NewRegistry()
+	obs.RegisterBaseline(registry)
+	tracer := obs.NewTracer(*traceCap)
+
 	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
 		InitialMean: *initMean,
 		InitialVar:  *initVar,
 		Params:      melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
 		EMPeriod:    *emPeriod,
 		EMWindow:    60,
+		Metrics:     registry,
 	})
 	if err != nil {
 		return err
@@ -66,22 +82,31 @@ func run() error {
 			CostMin: *costMin, CostMax: *costMax,
 		},
 		Estimator: tracker,
+		Metrics:   registry,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
 	}
 	var backend platform.Backend = p
 	if *walPath != "" {
-		persistent, wal, err := eventlog.OpenPersistent(*walPath, p)
+		persistent, wal, err := eventlog.OpenPersistentOptions(*walPath, p, eventlog.Options{
+			SyncEveryAppend: true,
+			Metrics:         registry,
+			Tracer:          tracer,
+		})
 		if err != nil {
 			return err
 		}
 		defer wal.Close()
 		backend = persistent
-		logger.Printf("durable state in %s; recovered %d completed runs, %d workers",
-			*walPath, p.Run(), len(p.Workers()))
+		logger.Info("durable state recovered",
+			"wal", *walPath, "completed_runs", p.Run(), "workers", len(p.Workers()))
 	}
-	srv, err := platform.NewServer(backend, logger, platform.WithDeadlines(*bidDL, *scoreDL))
+	srv, err := platform.NewServer(backend, logger,
+		platform.WithDeadlines(*bidDL, *scoreDL),
+		platform.WithMetrics(registry),
+		platform.WithTracer(tracer))
 	if err != nil {
 		return err
 	}
@@ -91,26 +116,40 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		handler, err = chaos.Middleware(scenario, handler)
+		handler, err = chaos.Middleware(scenario, handler, chaos.WithMetrics(registry))
 		if err != nil {
 			return err
 		}
-		logger.Printf("chaos injection active: %s", scenario)
+		logger.Info("chaos injection active", "scenario", scenario.String())
 	}
+
+	// /metrics (Prometheus text) and /debug/traces (JSON span ring) mount on
+	// http.DefaultServeMux so both side listeners serve them.
+	http.Handle("GET /metrics", obs.MetricsHandler(registry))
+	http.Handle("GET /debug/traces", obs.TracesHandler(tracer))
 
 	// The profiler gets its own listener so it never shares a port (or an
 	// accidental exposure) with the public API; the blank net/http/pprof
-	// import registers its handlers on http.DefaultServeMux.
-	if *pprofAddr != "" {
+	// import registers its handlers on http.DefaultServeMux, next to
+	// /metrics and /debug/traces above.
+	sideAddrs := []struct{ name, addr string }{{"pprof", *pprofAddr}}
+	if *metricsAddr != "" && *metricsAddr != *pprofAddr {
+		sideAddrs = append(sideAddrs, struct{ name, addr string }{"metrics", *metricsAddr})
+	}
+	for _, side := range sideAddrs {
+		if side.addr == "" {
+			continue
+		}
+		side := side
 		go func() {
-			pprofSrv := &http.Server{
-				Addr:              *pprofAddr,
+			sideSrv := &http.Server{
+				Addr:              side.addr,
 				Handler:           http.DefaultServeMux,
 				ReadHeaderTimeout: 5 * time.Second,
 			}
-			logger.Printf("pprof listening on %s", *pprofAddr)
-			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("pprof listener: %v", err)
+			logger.Info("side listener up", "purpose", side.name, "addr", side.addr)
+			if err := sideSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("side listener failed", "purpose", side.name, "error", err)
 			}
 		}()
 	}
@@ -122,7 +161,7 @@ func run() error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -131,7 +170,7 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -141,4 +180,19 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// parseLogLevel maps the -log-level flag onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
 }

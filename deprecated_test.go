@@ -1,0 +1,142 @@
+package melody
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestNoCtxWrappersDriveFullLifecycle pins every deprecated context-free
+// wrapper: a complete run driven exclusively through them must behave
+// exactly like the ctx-first API.
+func TestNoCtxWrappersDriveFullLifecycle(t *testing.T) {
+	p := testPlatform(t)
+	for _, id := range []string{"alice", "bob", "carol"} {
+		if err := p.RegisterWorkerNoCtx(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := []Task{{ID: "t1", Threshold: 10}, {ID: "t2", Threshold: 10}}
+	if err := p.OpenRunNoCtx(tasks, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitBidNoCtx("alice", Bid{Cost: 1.2, Frequency: 1}); err != nil {
+		t.Fatal(err)
+	}
+	errs := p.SubmitBidsNoCtx([]WorkerBid{
+		{WorkerID: "bob", Bid: Bid{Cost: 1.4, Frequency: 1}},
+		{WorkerID: "ghost", Bid: Bid{Cost: 1.1, Frequency: 1}},
+		{WorkerID: "carol", Bid: Bid{Cost: 1.6, Frequency: 1}},
+	})
+	if len(errs) != 3 {
+		t.Fatalf("SubmitBidsNoCtx returned %d errors, want 3", len(errs))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("valid bids rejected: %v, %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], ErrUnknownWorker) {
+		t.Errorf("unknown-worker bid error = %v, want ErrUnknownWorker", errs[1])
+	}
+	out, err := p.CloseAuctionNoCtx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Assignments) == 0 {
+		t.Fatal("auction selected nothing")
+	}
+	first := out.Assignments[0]
+	if err := p.SubmitScoreNoCtx(first.WorkerID, first.TaskID, 7); err != nil {
+		t.Fatal(err)
+	}
+	var rest []TaskScore
+	for _, a := range out.Assignments[1:] {
+		rest = append(rest, TaskScore{WorkerID: a.WorkerID, TaskID: a.TaskID, Score: 6})
+	}
+	for i, err := range p.SubmitScoresNoCtx(rest) {
+		if err != nil {
+			t.Fatalf("score %d: %v", i, err)
+		}
+	}
+	if err := p.FinishRunNoCtx(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Run() != 1 {
+		t.Fatalf("Run() = %d after one finished run, want 1", p.Run())
+	}
+}
+
+// TestLegacyEstimatorConstructors pins the deprecated positional
+// constructors against their EstimatorConfig twins.
+func TestLegacyEstimatorConstructors(t *testing.T) {
+	legacy, err := NewStaticEstimatorLegacy(5.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewStaticEstimator(EstimatorConfig{Initial: 5.5, WarmupRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustEstimate(t, legacy, "w"), mustEstimate(t, cfg, "w"); got != want {
+		t.Fatalf("legacy static estimate %g != config-built %g", got, want)
+	}
+
+	lcr := NewMLCurrentRunEstimatorLegacy(4.5)
+	ccr := NewMLCurrentRunEstimator(EstimatorConfig{Initial: 4.5})
+	for _, est := range []Estimator{lcr, ccr} {
+		if err := est.Observe("w", []float64{8, 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := mustEstimate(t, lcr, "w"), mustEstimate(t, ccr, "w"); got != want {
+		t.Fatalf("legacy ML-CR estimate %g != config-built %g", got, want)
+	}
+
+	lar := NewMLAllRunsEstimatorLegacy(4.5)
+	car := NewMLAllRunsEstimator(EstimatorConfig{Initial: 4.5})
+	for _, est := range []Estimator{lar, car} {
+		if err := est.Observe("w", []float64{8, 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := mustEstimate(t, lar, "w"), mustEstimate(t, car, "w"); got != want {
+		t.Fatalf("legacy ML-AR estimate %g != config-built %g", got, want)
+	}
+}
+
+func mustEstimate(t *testing.T, est Estimator, worker string) float64 {
+	t.Helper()
+	return est.Estimate(worker)
+}
+
+// TestPlatformContextCancellation: a cancelled context rejects mutations up
+// front, and batch submissions reject every item without applying any.
+func TestPlatformContextCancellation(t *testing.T) {
+	p := testPlatform(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.RegisterWorker(ctx, "alice"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RegisterWorker with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if got := p.Workers(); len(got) != 0 {
+		t.Fatalf("cancelled RegisterWorker still registered: %v", got)
+	}
+
+	live := context.Background()
+	if err := p.RegisterWorker(live, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun(live, []Task{{ID: "t1", Threshold: 10}}, 50); err != nil {
+		t.Fatal(err)
+	}
+	res := p.SubmitBids(ctx, []WorkerBid{{WorkerID: "alice", Bid: Bid{Cost: 1.2, Frequency: 1}}})
+	if res.OK() || res.FailedCount() != 1 {
+		t.Fatalf("cancelled batch: OK=%v failed=%d, want all rejected", res.OK(), res.FailedCount())
+	}
+	if !errors.Is(res.ErrAt(0), context.Canceled) {
+		t.Fatalf("cancelled batch item error = %v, want context.Canceled", res.ErrAt(0))
+	}
+	// The rejected bid must not have been applied: the auction closes empty.
+	if _, err := p.CloseAuction(live); err != nil {
+		t.Fatal(err)
+	}
+}

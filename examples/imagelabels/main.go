@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -57,6 +58,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	const (
 		runs          = 40
 		tasksPerBatch = 4
@@ -79,7 +81,7 @@ func run() error {
 			})
 		}},
 		{"ML-AR (all-history mean)", func() (melody.Estimator, error) {
-			return melody.NewMLAllRunsEstimator(6.5), nil
+			return melody.NewMLAllRunsEstimator(melody.EstimatorConfig{Initial: 6.5}), nil
 		}},
 	}
 
@@ -97,7 +99,7 @@ func run() error {
 		}
 		annotators := pool()
 		for _, a := range annotators {
-			if err := platform.RegisterWorker(a.id); err != nil {
+			if err := platform.RegisterWorker(ctx, a.id); err != nil {
 				return err
 			}
 		}
@@ -113,15 +115,15 @@ func run() error {
 					Threshold: threshold,
 				}
 			}
-			if err := platform.OpenRun(tasks, budget); err != nil {
+			if err := platform.OpenRun(ctx, tasks, budget); err != nil {
 				return err
 			}
 			for _, a := range annotators {
-				if err := platform.SubmitBid(a.id, melody.Bid{Cost: a.cost, Frequency: a.freq}); err != nil {
+				if err := platform.SubmitBid(ctx, a.id, melody.Bid{Cost: a.cost, Frequency: a.freq}); err != nil {
 					return err
 				}
 			}
-			out, err := platform.CloseAuction()
+			out, err := platform.CloseAuction(ctx)
 			if err != nil {
 				return err
 			}
@@ -141,11 +143,11 @@ func run() error {
 				}
 				score := scoreScale(acc) + rng.Normal(0, 0.7)
 				score = math.Max(1, math.Min(10, score))
-				if err := platform.SubmitScore(asg.WorkerID, asg.TaskID, score); err != nil {
+				if err := platform.SubmitScore(ctx, asg.WorkerID, asg.TaskID, score); err != nil {
 					return err
 				}
 			}
-			if err := platform.FinishRun(); err != nil {
+			if err := platform.FinishRun(ctx); err != nil {
 				return err
 			}
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -108,9 +109,15 @@ func run() error {
 				EMPeriod: 10, EMWindow: 60,
 			})
 		}},
-		{"STATIC", func() (melody.Estimator, error) { return melody.NewStaticEstimator(5.5, 50) }},
-		{"ML-CR", func() (melody.Estimator, error) { return melody.NewMLCurrentRunEstimator(5.5), nil }},
-		{"ML-AR", func() (melody.Estimator, error) { return melody.NewMLAllRunsEstimator(5.5), nil }},
+		{"STATIC", func() (melody.Estimator, error) {
+			return melody.NewStaticEstimator(melody.EstimatorConfig{Initial: 5.5, WarmupRuns: 50})
+		}},
+		{"ML-CR", func() (melody.Estimator, error) {
+			return melody.NewMLCurrentRunEstimator(melody.EstimatorConfig{Initial: 5.5}), nil
+		}},
+		{"ML-AR", func() (melody.Estimator, error) {
+			return melody.NewMLAllRunsEstimator(melody.EstimatorConfig{Initial: 5.5}), nil
+		}},
 	}
 
 	fmt.Printf("%-8s %14s %16s\n", "method", "avg est error", "avg true utility")
@@ -130,6 +137,7 @@ func run() error {
 
 // simulate replays the fixed world under one estimator.
 func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64, err error) {
+	ctx := context.Background()
 	platform, err := melody.NewPlatform(melody.PlatformConfig{
 		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
 		Estimator: est,
@@ -138,7 +146,7 @@ func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64
 		return 0, 0, err
 	}
 	for _, id := range world.ids {
-		if err := platform.RegisterWorker(id); err != nil {
+		if err := platform.RegisterWorker(ctx, id); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -150,7 +158,7 @@ func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64
 		for j := range tasks {
 			tasks[j] = melody.Task{ID: fmt.Sprintf("r%d-t%d", run, j), Threshold: threshold}
 		}
-		if err := platform.OpenRun(tasks, budget); err != nil {
+		if err := platform.OpenRun(ctx, tasks, budget); err != nil {
 			return 0, 0, err
 		}
 		// Track this run's estimates for the error metric before scores
@@ -166,14 +174,14 @@ func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64
 				estErr += math.Abs(q - world.trajs[id][run])
 				qualified++
 			}
-			if err := platform.SubmitBid(id, world.bids[id]); err != nil {
+			if err := platform.SubmitBid(ctx, id, world.bids[id]); err != nil {
 				return 0, 0, err
 			}
 		}
 		if qualified > 0 {
 			errSum += estErr / float64(qualified)
 		}
-		out, err := platform.CloseAuction()
+		out, err := platform.CloseAuction(ctx)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -190,11 +198,11 @@ func simulate(world *latentWorld, est melody.Estimator) (avgErr, avgUtil float64
 		}
 		for _, a := range out.Assignments {
 			score := clamp(world.trajs[a.WorkerID][run]+scoreRNG.Normal(0, scoreSigma), 1, 10)
-			if err := platform.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+			if err := platform.SubmitScore(ctx, a.WorkerID, a.TaskID, score); err != nil {
 				return 0, 0, err
 			}
 		}
-		if err := platform.FinishRun(); err != nil {
+		if err := platform.FinishRun(ctx); err != nil {
 			return 0, 0, err
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,6 +40,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	zones := []zone{
 		{"downtown", 18},
 		{"harbor", 14},
@@ -83,7 +85,7 @@ func run() error {
 		return err
 	}
 	for _, o := range owners {
-		if err := platform.RegisterWorker(o.id); err != nil {
+		if err := platform.RegisterWorker(ctx, o.id); err != nil {
 			return err
 		}
 	}
@@ -104,15 +106,15 @@ func run() error {
 		for i, z := range zones {
 			tasks[i] = melody.Task{ID: fmt.Sprintf("h%02d-%s", hour, z.name), Threshold: z.qoi}
 		}
-		if err := platform.OpenRun(tasks, hourlyBudget); err != nil {
+		if err := platform.OpenRun(ctx, tasks, hourlyBudget); err != nil {
 			return err
 		}
 		for _, o := range owners {
-			if err := platform.SubmitBid(o.id, melody.Bid{Cost: o.cost, Frequency: o.perHour}); err != nil {
+			if err := platform.SubmitBid(ctx, o.id, melody.Bid{Cost: o.cost, Frequency: o.perHour}); err != nil {
 				return err
 			}
 		}
-		out, err := platform.CloseAuction()
+		out, err := platform.CloseAuction(ctx)
 		if err != nil {
 			return err
 		}
@@ -144,11 +146,11 @@ func run() error {
 			if score > 10 {
 				score = 10
 			}
-			if err := platform.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+			if err := platform.SubmitScore(ctx, a.WorkerID, a.TaskID, score); err != nil {
 				return err
 			}
 		}
-		if err := platform.FinishRun(); err != nil {
+		if err := platform.FinishRun(ctx); err != nil {
 			return err
 		}
 	}

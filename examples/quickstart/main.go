@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// --- Layer 1: a single-run auction ---------------------------------
 	auction, err := melody.NewAuction(melody.AuctionConfig{
 		QualityMin: 1, QualityMax: 10, // acceptable quality interval [Theta_m, Theta_M]
@@ -66,7 +68,7 @@ func run() error {
 		return err
 	}
 	for _, id := range []string{"ada", "bob", "cyd", "dee"} {
-		if err := platform.RegisterWorker(id); err != nil {
+		if err := platform.RegisterWorker(ctx, id); err != nil {
 			return err
 		}
 	}
@@ -76,7 +78,7 @@ func run() error {
 	latent := map[string]float64{"ada": 9, "bob": 6, "cyd": 7, "dee": 3}
 	rng := melody.NewSeededRNG(42)
 	for run := 1; run <= 8; run++ {
-		if err := platform.OpenRun([]melody.Task{
+		if err := platform.OpenRun(ctx, []melody.Task{
 			{ID: fmt.Sprintf("batch%d-a", run), Threshold: 12},
 			{ID: fmt.Sprintf("batch%d-b", run), Threshold: 12},
 		}, 25); err != nil {
@@ -89,11 +91,11 @@ func run() error {
 			"dee": {Cost: 1.1, Frequency: 2},
 		}
 		for id, bid := range bids {
-			if err := platform.SubmitBid(id, bid); err != nil {
+			if err := platform.SubmitBid(ctx, id, bid); err != nil {
 				return err
 			}
 		}
-		result, err := platform.CloseAuction()
+		result, err := platform.CloseAuction(ctx)
 		if err != nil {
 			return err
 		}
@@ -101,11 +103,11 @@ func run() error {
 		// the worker's hidden quality plus noise.
 		for _, a := range result.Assignments {
 			score := latent[a.WorkerID] + rng.Normal(0, 0.8)
-			if err := platform.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+			if err := platform.SubmitScore(ctx, a.WorkerID, a.TaskID, score); err != nil {
 				return err
 			}
 		}
-		if err := platform.FinishRun(); err != nil {
+		if err := platform.FinishRun(ctx); err != nil {
 			return err
 		}
 	}

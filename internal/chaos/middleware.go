@@ -5,16 +5,46 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"melody/internal/obs"
 )
+
+// Option configures Middleware.
+type Option func(*middlewareConfig)
+
+type middlewareConfig struct {
+	metrics *obs.Registry
+}
+
+// WithMetrics counts injected faults into the
+// melody_chaos_injected_total{fault=...} counter, one label per fault kind
+// (delay, err, drop, dup, lose).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *middlewareConfig) { c.metrics = reg }
+}
 
 // Middleware wraps an http.Handler with server-observable faults: added
 // latency, 503 responses sent without handling, duplicated deliveries (the
 // handler runs twice for one request), dropped connections before
 // handling, and lost replies (the handler runs, the connection dies before
 // the response leaves). cmd/melody-platform mounts it under -chaos.
-func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
+func Middleware(s Scenario, next http.Handler, opts ...Option) (http.Handler, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	var cfg middlewareConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var injected *obs.CounterVec
+	if cfg.metrics != nil {
+		injected = cfg.metrics.CounterVec(obs.MetricChaosInjectedTotal,
+			"Faults injected by the chaos layer, by fault kind.", "fault")
+	}
+	count := func(fault string) {
+		if injected != nil {
+			injected.With(fault).Inc()
+		}
 	}
 	d := newDice(s.Seed)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -26,6 +56,7 @@ func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
 			lose  = d.roll(s.Lose)
 		)
 		if delay > 0 {
+			count("delay")
 			select {
 			case <-r.Context().Done():
 				return
@@ -33,6 +64,7 @@ func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
 			}
 		}
 		if fail {
+			count("err")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte(`{"error":"chaos: injected server error","code":"unavailable"}` + "\n"))
@@ -41,6 +73,7 @@ func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
 		if drop {
 			// Abort the connection without a response: the client sees a
 			// transport error and the operation never happened.
+			count("drop")
 			panic(http.ErrAbortHandler)
 		}
 		if !dup && !lose {
@@ -62,12 +95,14 @@ func Middleware(s Scenario, next http.Handler) (http.Handler, error) {
 		if dup {
 			// First delivery's response is discarded, as if a network
 			// layer retransmitted the request.
+			count("dup")
 			deliver(discardWriter{})
 		}
 		if lose {
 			// Handle the request, then kill the connection before the
 			// response escapes: the operation happened, the client must
 			// retry into the idempotency layer.
+			count("lose")
 			deliver(discardWriter{})
 			panic(http.ErrAbortHandler)
 		}

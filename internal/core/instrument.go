@@ -1,0 +1,59 @@
+package core
+
+import (
+	"time"
+
+	"melody/internal/obs"
+)
+
+// Instrument wraps a mechanism so every Run is observed: wall time into the
+// melody_auction_duration_seconds histogram, the distinct-winner count and
+// committed payment into gauges, and one "auction.run" span per invocation.
+// With both reg and tr nil the mechanism is returned unwrapped, so the
+// uninstrumented path pays nothing.
+func Instrument(m Mechanism, reg *obs.Registry, tr *obs.Tracer) Mechanism {
+	if reg == nil && tr == nil {
+		return m
+	}
+	return &instrumented{
+		inner:   m,
+		dur:     reg.Histogram(obs.MetricAuctionDurationSeconds, "Wall time of one auction mechanism run.", obs.TimeBuckets()),
+		winners: reg.Gauge(obs.MetricAuctionWinners, "Distinct winning workers in the latest auction."),
+		spent:   reg.Gauge(obs.MetricAuctionSpentBudget, "Total payment committed by the latest auction."),
+		tracer:  tr,
+	}
+}
+
+type instrumented struct {
+	inner   Mechanism
+	dur     *obs.Histogram
+	winners *obs.Gauge
+	spent   *obs.Gauge
+	tracer  *obs.Tracer
+}
+
+func (im *instrumented) Name() string { return im.inner.Name() }
+
+func (im *instrumented) Run(in Instance) (*Outcome, error) {
+	sp := im.tracer.Start("auction.run")
+	sp.SetAttrInt("workers", int64(len(in.Workers)))
+	sp.SetAttrInt("tasks", int64(len(in.Tasks)))
+	start := time.Now()
+	out, err := im.inner.Run(in)
+	im.dur.Observe(time.Since(start).Seconds())
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	distinct := make(map[string]struct{}, len(out.Assignments))
+	for _, a := range out.Assignments {
+		distinct[a.WorkerID] = struct{}{}
+	}
+	im.winners.Set(float64(len(distinct)))
+	im.spent.Set(out.TotalPayment)
+	sp.SetAttrInt("winners", int64(len(distinct)))
+	sp.SetAttrInt("selected_tasks", int64(len(out.SelectedTasks)))
+	sp.End()
+	return out, nil
+}

@@ -18,6 +18,7 @@ package eventlog
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +26,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"melody/internal/obs"
 )
 
 // Kind discriminates event payloads.
@@ -124,6 +128,12 @@ type Options struct {
 	// cmd/melody-load and melody-bench; production callers want the
 	// default. Ignored unless SyncEveryAppend is set.
 	SerialCommit bool
+	// Metrics optionally receives the WAL pipeline metrics: accepted
+	// appends, group commits, records per commit and write+fsync wall time.
+	// Nil disables instrumentation.
+	Metrics *obs.Registry
+	// Tracer optionally records a "wal.commit" span per write+fsync batch.
+	Tracer *obs.Tracer
 }
 
 // commitTarget is the log's durable destination: an *os.File in production,
@@ -158,9 +168,24 @@ type Log struct {
 	failed  error // sticky ErrFailed-wrapped durability failure
 	closed  bool
 
-	work     *sync.Cond    // wakes the committer: pending data or close
-	done     *sync.Cond    // wakes waiters: durable advanced or failure
+	work *sync.Cond // wakes the committer: pending data or close
+	// doneCh is closed and replaced whenever durable advances or the log
+	// fails; waiters select on the channel they captured, so a wait can also
+	// honour a context deadline (a sync.Cond cannot).
+	doneCh   chan struct{}
 	commExit chan struct{} // closed when the committer goroutine exits
+
+	// pendingCount tracks how many records the pending buffer holds, so the
+	// committer can report records-per-commit without parsing the batch.
+	pendingCount int
+
+	// Instrumentation handles; nil (no-op) when Options.Metrics/Tracer are
+	// nil, so the uninstrumented pipeline pays one predictable branch.
+	appends   *obs.Counter
+	commits   *obs.Counter
+	batchSize *obs.Histogram
+	fsyncSecs *obs.Histogram
+	tracer    *obs.Tracer
 }
 
 // pendingWriter routes the encoder's output to the log's current pending
@@ -183,7 +208,12 @@ func newLog(f commitTarget, seq int64, opts Options) *Log {
 	l.enc = json.NewEncoder(pendingWriter{l})
 	l.crcEnc = json.NewEncoder(&l.crcBuf)
 	l.work = sync.NewCond(&l.mu)
-	l.done = sync.NewCond(&l.mu)
+	l.doneCh = make(chan struct{})
+	l.appends = opts.Metrics.Counter(obs.MetricWALAppendsTotal, "Durable WAL appends accepted.")
+	l.commits = opts.Metrics.Counter(obs.MetricWALCommitsTotal, "WAL group commits (one write+fsync each).")
+	l.batchSize = opts.Metrics.Histogram(obs.MetricWALCommitBatchSize, "Records per WAL group commit.", obs.BatchBuckets())
+	l.fsyncSecs = opts.Metrics.Histogram(obs.MetricWALFsyncSeconds, "Wall time of one WAL write+fsync batch.", obs.TimeBuckets())
+	l.tracer = opts.Tracer
 	if l.sync && !l.ser {
 		l.commExit = make(chan struct{})
 		go l.commitLoop()
@@ -245,7 +275,7 @@ func (l *Log) Append(e Event) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := wait(); err != nil {
+	if err := wait(context.Background()); err != nil {
 		return 0, err
 	}
 	return seq, nil
@@ -253,7 +283,7 @@ func (l *Log) Append(e Event) (int64, error) {
 
 // waitDone is the no-op wait returned when the record is already as durable
 // as the log's mode promises.
-func waitDone() error { return nil }
+func waitDone(context.Context) error { return nil }
 
 // AppendAsync validates and enqueues one event, returning its assigned
 // sequence number and a wait function that blocks until the record is as
@@ -262,7 +292,14 @@ func waitDone() error { return nil }
 // Recorder — can serialize "apply + enqueue" yet wait for the fsync outside
 // that lock, letting the group-commit pipeline coalesce concurrent
 // operations.
-func (l *Log) AppendAsync(e Event) (int64, func() error, error) {
+//
+// The wait function honours its context: when the deadline expires or the
+// context is cancelled before the record is durable, the wait returns the
+// context's error and the caller may give up — but the append itself is
+// already enqueued and will still reach disk with its sequence number, so
+// an abandoned wait is "unknown outcome", exactly like a lost response on
+// the wire (the idempotent mutation protocol makes retrying safe).
+func (l *Log) AppendAsync(e Event) (int64, func(context.Context) error, error) {
 	if err := e.validate(); err != nil {
 		return 0, nil, err
 	}
@@ -285,12 +322,15 @@ func (l *Log) AppendAsync(e Event) (int64, func() error, error) {
 		return 0, nil, err
 	}
 	seq := l.seq
+	l.pendingCount++
+	l.appends.Inc()
 	switch {
 	case !l.sync:
 		// Buffered mode: hand the record to the bufio writer now; a write
 		// failure here poisons the log like any durability failure.
 		_, werr := l.w.Write(l.pending.Bytes())
 		l.pending.Reset()
+		l.pendingCount = 0
 		if werr != nil {
 			l.failLocked(fmt.Errorf("append: %v", werr))
 			err := l.failed
@@ -310,7 +350,7 @@ func (l *Log) AppendAsync(e Event) (int64, func() error, error) {
 	default:
 		l.work.Signal()
 		l.mu.Unlock()
-		return seq, func() error { return l.await(seq) }, nil
+		return seq, func(ctx context.Context) error { return l.await(ctx, seq) }, nil
 	}
 }
 
@@ -342,8 +382,15 @@ func (l *Log) failLocked(cause error) {
 	if l.failed == nil {
 		l.failed = fmt.Errorf("%w: %v (reopen to recover)", ErrFailed, cause)
 	}
-	l.done.Broadcast()
+	l.notifyLocked()
 	l.work.Broadcast()
+}
+
+// notifyLocked wakes every waiter by closing the current done channel and
+// installing a fresh one. Callers hold l.mu.
+func (l *Log) notifyLocked() {
+	close(l.doneCh)
+	l.doneCh = make(chan struct{})
 }
 
 // commitLocked flushes the pending buffer with one write+fsync. Callers
@@ -352,30 +399,48 @@ func (l *Log) commitLocked() error {
 	if l.pending.Len() == 0 {
 		return nil
 	}
+	count := l.pendingCount
+	l.pendingCount = 0
+	start := time.Now()
 	_, err := l.f.Write(l.pending.Bytes())
 	l.pending.Reset()
 	if err == nil {
 		err = l.f.Sync()
 	}
+	l.fsyncSecs.Observe(time.Since(start).Seconds())
 	if err != nil {
 		l.failLocked(err)
 		return l.failed
 	}
+	l.commits.Inc()
+	l.batchSize.Observe(float64(count))
 	l.durable = l.seq
+	l.notifyLocked()
 	return nil
 }
 
-// await blocks until seq is durable or the log has failed.
-func (l *Log) await(seq int64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for l.durable < seq && l.failed == nil {
-		l.done.Wait()
+// await blocks until seq is durable, the log has failed, or ctx is done.
+// Abandoning the wait does not un-append the record; see AppendAsync.
+func (l *Log) await(ctx context.Context, seq int64) error {
+	for {
+		l.mu.Lock()
+		if l.durable >= seq {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.failed != nil {
+			err := l.failed
+			l.mu.Unlock()
+			return err
+		}
+		ch := l.doneCh
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	if l.durable >= seq {
-		return nil
-	}
-	return l.failed
 }
 
 // commitLoop is the group-commit pipeline: it swaps out the pending batch,
@@ -394,14 +459,21 @@ func (l *Log) commitLoop() {
 			return
 		}
 		batch := l.pending
+		count := l.pendingCount
 		l.pending, l.spare = l.spare, nil // appenders write into the other buffer
+		l.pendingCount = 0
 		hi := l.seq
 		l.mu.Unlock()
 
+		sp := l.tracer.Start("wal.commit")
+		sp.SetAttrInt("records", int64(count))
+		start := time.Now()
 		_, err := l.f.Write(batch.Bytes())
 		if err == nil {
 			err = l.f.Sync()
 		}
+		l.fsyncSecs.Observe(time.Since(start).Seconds())
+		sp.End()
 		batch.Reset()
 
 		l.mu.Lock()
@@ -411,8 +483,10 @@ func (l *Log) commitLoop() {
 			l.mu.Unlock()
 			return
 		}
+		l.commits.Inc()
+		l.batchSize.Observe(float64(count))
 		l.durable = hi
-		l.done.Broadcast()
+		l.notifyLocked()
 	}
 }
 

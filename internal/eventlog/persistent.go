@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -45,44 +46,44 @@ func OpenPersistentOptions(path string, p *melody.Platform, opts Options) (*Pers
 }
 
 // RegisterWorker implements the platform API.
-func (pp *PersistentPlatform) RegisterWorker(workerID string) error {
-	return pp.rec.RegisterWorker(workerID)
+func (pp *PersistentPlatform) RegisterWorker(ctx context.Context, workerID string) error {
+	return pp.rec.RegisterWorker(ctx, workerID)
 }
 
 // OpenRun implements the platform API.
-func (pp *PersistentPlatform) OpenRun(tasks []melody.Task, budget float64) error {
-	return pp.rec.OpenRun(tasks, budget)
+func (pp *PersistentPlatform) OpenRun(ctx context.Context, tasks []melody.Task, budget float64) error {
+	return pp.rec.OpenRun(ctx, tasks, budget)
 }
 
 // SubmitBid implements the platform API.
-func (pp *PersistentPlatform) SubmitBid(workerID string, bid melody.Bid) error {
-	return pp.rec.SubmitBid(workerID, bid)
+func (pp *PersistentPlatform) SubmitBid(ctx context.Context, workerID string, bid melody.Bid) error {
+	return pp.rec.SubmitBid(ctx, workerID, bid)
 }
 
 // SubmitBids implements the batch platform API: the whole batch is applied
 // and made durable with a single group commit.
-func (pp *PersistentPlatform) SubmitBids(bids []melody.WorkerBid) []error {
-	return pp.rec.SubmitBids(bids)
+func (pp *PersistentPlatform) SubmitBids(ctx context.Context, bids []melody.WorkerBid) melody.BatchResult {
+	return pp.rec.SubmitBids(ctx, bids)
 }
 
 // SubmitScores implements the batch platform API.
-func (pp *PersistentPlatform) SubmitScores(scores []melody.TaskScore) []error {
-	return pp.rec.SubmitScores(scores)
+func (pp *PersistentPlatform) SubmitScores(ctx context.Context, scores []melody.TaskScore) melody.BatchResult {
+	return pp.rec.SubmitScores(ctx, scores)
 }
 
 // CloseAuction implements the platform API.
-func (pp *PersistentPlatform) CloseAuction() (*melody.Outcome, error) {
-	return pp.rec.CloseAuction()
+func (pp *PersistentPlatform) CloseAuction(ctx context.Context) (*melody.Outcome, error) {
+	return pp.rec.CloseAuction(ctx)
 }
 
 // SubmitScore implements the platform API.
-func (pp *PersistentPlatform) SubmitScore(workerID, taskID string, score float64) error {
-	return pp.rec.SubmitScore(workerID, taskID, score)
+func (pp *PersistentPlatform) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
+	return pp.rec.SubmitScore(ctx, workerID, taskID, score)
 }
 
 // FinishRun implements the platform API.
-func (pp *PersistentPlatform) FinishRun() error {
-	return pp.rec.FinishRun()
+func (pp *PersistentPlatform) FinishRun(ctx context.Context) error {
+	return pp.rec.FinishRun(ctx)
 }
 
 // Workers implements the platform API (read-only, not logged).

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -21,34 +22,35 @@ func TestOpenPersistentFreshBoot(t *testing.T) {
 }
 
 func TestPersistentPlatformFullCycle(t *testing.T) {
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "cycle.wal")
 	pp, wal, err := OpenPersistent(path, newPlatform(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := pp.RegisterWorker(id); err != nil {
+		if err := pp.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := pp.OpenRun([]melody.Task{{ID: "t", Threshold: 10}}, 40); err != nil {
+	if err := pp.OpenRun(ctx, []melody.Task{{ID: "t", Threshold: 10}}, 40); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := pp.SubmitBid(id, melody.Bid{Cost: 1.3, Frequency: 1}); err != nil {
+		if err := pp.SubmitBid(ctx, id, melody.Bid{Cost: 1.3, Frequency: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	out, err := pp.CloseAuction()
+	out, err := pp.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, a := range out.Assignments {
-		if err := pp.SubmitScore(a.WorkerID, a.TaskID, 7); err != nil {
+		if err := pp.SubmitScore(ctx, a.WorkerID, a.TaskID, 7); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := pp.FinishRun(); err != nil {
+	if err := pp.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if pp.Run() != 1 {

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,8 +43,11 @@ func NewRecorder(p *melody.Platform, log *Log) (*Recorder, error) {
 func (r *Recorder) Platform() *melody.Platform { return r.p }
 
 // record applies op to the platform and enqueues ev under the recorder's
-// ordering lock, then waits for durability outside it.
-func (r *Recorder) record(op func() error, ev Event) error {
+// ordering lock, then waits for durability outside it. The ctx deadline
+// applies to the durability wait only: once applied + enqueued, the
+// operation will reach disk even if the caller stops waiting (see
+// Log.AppendAsync).
+func (r *Recorder) record(ctx context.Context, op func() error, ev Event) error {
 	r.mu.Lock()
 	if err := op(); err != nil {
 		r.mu.Unlock()
@@ -54,46 +58,46 @@ func (r *Recorder) record(op func() error, ev Event) error {
 	if err != nil {
 		return err
 	}
-	return wait()
+	return wait(ctx)
 }
 
 // RegisterWorker registers and records a worker.
-func (r *Recorder) RegisterWorker(workerID string) error {
-	return r.record(
-		func() error { return r.p.RegisterWorker(workerID) },
+func (r *Recorder) RegisterWorker(ctx context.Context, workerID string) error {
+	return r.record(ctx,
+		func() error { return r.p.RegisterWorker(ctx, workerID) },
 		Event{Kind: KindRegister, Worker: workerID})
 }
 
 // OpenRun opens and records a run.
-func (r *Recorder) OpenRun(tasks []melody.Task, budget float64) error {
+func (r *Recorder) OpenRun(ctx context.Context, tasks []melody.Task, budget float64) error {
 	records := make([]TaskRecord, len(tasks))
 	for i, t := range tasks {
 		records[i] = TaskRecord{ID: t.ID, Threshold: t.Threshold}
 	}
-	return r.record(
-		func() error { return r.p.OpenRun(tasks, budget) },
+	return r.record(ctx,
+		func() error { return r.p.OpenRun(ctx, tasks, budget) },
 		Event{Kind: KindOpenRun, Tasks: records, Budget: budget})
 }
 
 // SubmitBid submits and records a bid.
-func (r *Recorder) SubmitBid(workerID string, bid melody.Bid) error {
-	return r.record(
-		func() error { return r.p.SubmitBid(workerID, bid) },
+func (r *Recorder) SubmitBid(ctx context.Context, workerID string, bid melody.Bid) error {
+	return r.record(ctx,
+		func() error { return r.p.SubmitBid(ctx, workerID, bid) },
 		Event{Kind: KindBid, Worker: workerID, Cost: bid.Cost, Frequency: bid.Frequency})
 }
 
 // SubmitBids applies and records a whole batch of bids, reporting per-item
-// errors positionally. The batch is applied and enqueued under one
+// outcomes in the BatchResult. The batch is applied and enqueued under one
 // acquisition of the ordering lock and waits on a single group commit, so
 // its durability cost is one fsync regardless of size.
-func (r *Recorder) SubmitBids(bids []melody.WorkerBid) []error {
+func (r *Recorder) SubmitBids(ctx context.Context, bids []melody.WorkerBid) melody.BatchResult {
 	errs := make([]error, len(bids))
 	r.mu.Lock()
-	applied := r.p.SubmitBids(bids)
-	var wait func() error
+	applied := r.p.SubmitBids(ctx, bids)
+	var wait func(context.Context) error
 	for i, b := range bids {
-		if applied[i] != nil {
-			errs[i] = applied[i]
+		if err := applied.ErrAt(i); err != nil {
+			errs[i] = err
 			continue
 		}
 		_, w, err := r.log.AppendAsync(Event{
@@ -107,7 +111,7 @@ func (r *Recorder) SubmitBids(bids []melody.WorkerBid) []error {
 	}
 	r.mu.Unlock()
 	if wait != nil {
-		if werr := wait(); werr != nil {
+		if werr := wait(ctx); werr != nil {
 			for i := range errs {
 				if errs[i] == nil {
 					errs[i] = werr
@@ -115,20 +119,20 @@ func (r *Recorder) SubmitBids(bids []melody.WorkerBid) []error {
 			}
 		}
 	}
-	return errs
+	return melody.NewBatchResult(errs)
 }
 
 // SubmitScores applies and records a whole batch of scores, reporting
-// per-item errors positionally; like SubmitBids it costs one lock
+// per-item outcomes in the BatchResult; like SubmitBids it costs one lock
 // acquisition and one group commit.
-func (r *Recorder) SubmitScores(scores []melody.TaskScore) []error {
+func (r *Recorder) SubmitScores(ctx context.Context, scores []melody.TaskScore) melody.BatchResult {
 	errs := make([]error, len(scores))
 	r.mu.Lock()
-	applied := r.p.SubmitScores(scores)
-	var wait func() error
+	applied := r.p.SubmitScores(ctx, scores)
+	var wait func(context.Context) error
 	for i, s := range scores {
-		if applied[i] != nil {
-			errs[i] = applied[i]
+		if err := applied.ErrAt(i); err != nil {
+			errs[i] = err
 			continue
 		}
 		_, w, err := r.log.AppendAsync(Event{
@@ -142,7 +146,7 @@ func (r *Recorder) SubmitScores(scores []melody.TaskScore) []error {
 	}
 	r.mu.Unlock()
 	if wait != nil {
-		if werr := wait(); werr != nil {
+		if werr := wait(ctx); werr != nil {
 			for i := range errs {
 				if errs[i] == nil {
 					errs[i] = werr
@@ -150,14 +154,14 @@ func (r *Recorder) SubmitScores(scores []melody.TaskScore) []error {
 			}
 		}
 	}
-	return errs
+	return melody.NewBatchResult(errs)
 }
 
 // CloseAuction closes the auction and records the closure. The outcome
 // itself is not logged: replaying the close recomputes it exactly.
-func (r *Recorder) CloseAuction() (*melody.Outcome, error) {
+func (r *Recorder) CloseAuction(ctx context.Context) (*melody.Outcome, error) {
 	r.mu.Lock()
-	out, err := r.p.CloseAuction()
+	out, err := r.p.CloseAuction(ctx)
 	if err != nil {
 		r.mu.Unlock()
 		return nil, err
@@ -167,23 +171,23 @@ func (r *Recorder) CloseAuction() (*melody.Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := wait(); err != nil {
+	if err := wait(ctx); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // SubmitScore submits and records a score.
-func (r *Recorder) SubmitScore(workerID, taskID string, score float64) error {
-	return r.record(
-		func() error { return r.p.SubmitScore(workerID, taskID, score) },
+func (r *Recorder) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
+	return r.record(ctx,
+		func() error { return r.p.SubmitScore(ctx, workerID, taskID, score) },
 		Event{Kind: KindScore, Worker: workerID, Task: taskID, Score: score})
 }
 
 // FinishRun finishes and records the run.
-func (r *Recorder) FinishRun() error {
-	return r.record(
-		func() error { return r.p.FinishRun() },
+func (r *Recorder) FinishRun(ctx context.Context) error {
+	return r.record(ctx,
+		func() error { return r.p.FinishRun(ctx) },
 		Event{Kind: KindFinish})
 }
 
@@ -208,24 +212,25 @@ func Replay(path string, p *melody.Platform) error {
 }
 
 func apply(p *melody.Platform, e Event) error {
+	ctx := context.Background()
 	switch e.Kind {
 	case KindRegister:
-		return p.RegisterWorker(e.Worker)
+		return p.RegisterWorker(ctx, e.Worker)
 	case KindOpenRun:
 		tasks := make([]melody.Task, len(e.Tasks))
 		for i, t := range e.Tasks {
 			tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
 		}
-		return p.OpenRun(tasks, e.Budget)
+		return p.OpenRun(ctx, tasks, e.Budget)
 	case KindBid:
-		return p.SubmitBid(e.Worker, melody.Bid{Cost: e.Cost, Frequency: e.Frequency})
+		return p.SubmitBid(ctx, e.Worker, melody.Bid{Cost: e.Cost, Frequency: e.Frequency})
 	case KindClose:
-		_, err := p.CloseAuction()
+		_, err := p.CloseAuction(ctx)
 		return err
 	case KindScore:
-		return p.SubmitScore(e.Worker, e.Task, e.Score)
+		return p.SubmitScore(ctx, e.Worker, e.Task, e.Score)
 	case KindFinish:
-		return p.FinishRun()
+		return p.FinishRun(ctx)
 	default:
 		return fmt.Errorf("eventlog: unknown event kind %q", e.Kind)
 	}

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -14,6 +15,7 @@ import (
 // reaches identical state — the batch path must log exactly what the
 // single-op path would have.
 func TestRecorderBatchReplayEquivalence(t *testing.T) {
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "batch.wal")
 	p := newPlatform(t)
 	log, err := Open(path, true)
@@ -27,11 +29,11 @@ func TestRecorderBatchReplayEquivalence(t *testing.T) {
 
 	workers := []string{"ada", "bob", "cyd", "dee"}
 	for _, id := range workers {
-		if err := rec.RegisterWorker(id); err != nil {
+		if err := rec.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := rec.OpenRun([]melody.Task{{ID: "t1", Threshold: 11}}, 30); err != nil {
+	if err := rec.OpenRun(ctx, []melody.Task{{ID: "t1", Threshold: 11}}, 30); err != nil {
 		t.Fatal(err)
 	}
 	// One invalid item in the middle: it must fail alone, not poison the
@@ -43,8 +45,8 @@ func TestRecorderBatchReplayEquivalence(t *testing.T) {
 		{WorkerID: "cyd", Bid: melody.Bid{Cost: 1.1, Frequency: 2}},
 		{WorkerID: "dee", Bid: melody.Bid{Cost: 1.6, Frequency: 2}},
 	}
-	errs := rec.SubmitBids(bids)
-	for i, e := range errs {
+	res := rec.SubmitBids(ctx, bids)
+	for i, e := range res.Errs() {
 		if i == 1 {
 			if !errors.Is(e, melody.ErrUnknownWorker) {
 				t.Fatalf("ghost bid error = %v, want ErrUnknownWorker", e)
@@ -55,7 +57,7 @@ func TestRecorderBatchReplayEquivalence(t *testing.T) {
 			t.Fatalf("bid %d: %v", i, e)
 		}
 	}
-	out, err := rec.CloseAuction()
+	out, err := rec.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +67,12 @@ func TestRecorderBatchReplayEquivalence(t *testing.T) {
 			WorkerID: a.WorkerID, TaskID: a.TaskID, Score: 4 + float64(i),
 		})
 	}
-	for i, e := range rec.SubmitScores(scores) {
+	for i, e := range rec.SubmitScores(ctx, scores).Errs() {
 		if e != nil {
 			t.Fatalf("score %d: %v", i, e)
 		}
 	}
-	if err := rec.FinishRun(); err != nil {
+	if err := rec.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := log.Close(); err != nil {

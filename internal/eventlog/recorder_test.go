@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -37,10 +38,11 @@ func TestNewRecorderValidation(t *testing.T) {
 
 // driveRuns runs a deterministic workload through a recorder.
 func driveRuns(t *testing.T, rec *Recorder, runs int) {
+	ctx := context.Background()
 	t.Helper()
 	workers := []string{"ada", "bob", "cyd", "dee"}
 	for _, id := range workers {
-		if err := rec.RegisterWorker(id); err != nil {
+		if err := rec.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,27 +52,27 @@ func driveRuns(t *testing.T, rec *Recorder, runs int) {
 			{ID: fmt.Sprintf("r%d-a", run), Threshold: 11},
 			{ID: fmt.Sprintf("r%d-b", run), Threshold: 11},
 		}
-		if err := rec.OpenRun(tasks, 30); err != nil {
+		if err := rec.OpenRun(ctx, tasks, 30); err != nil {
 			t.Fatal(err)
 		}
 		for i, id := range workers {
 			bid := melody.Bid{Cost: 1.0 + 0.2*float64(i), Frequency: 2}
-			if err := rec.SubmitBid(id, bid); err != nil {
+			if err := rec.SubmitBid(ctx, id, bid); err != nil {
 				t.Fatal(err)
 			}
 		}
-		out, err := rec.CloseAuction()
+		out, err := rec.CloseAuction(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, a := range out.Assignments {
 			// Deterministic "scores" derived from latent quality and run.
 			score := latent[a.WorkerID] + 0.1*float64(run%3)
-			if err := rec.SubmitScore(a.WorkerID, a.TaskID, score); err != nil {
+			if err := rec.SubmitScore(ctx, a.WorkerID, a.TaskID, score); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := rec.FinishRun(); err != nil {
+		if err := rec.FinishRun(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -115,6 +117,7 @@ func TestReplayReconstructsState(t *testing.T) {
 }
 
 func TestReplayMidRunCrash(t *testing.T) {
+	ctx := context.Background()
 	// Crash after the auction closed but before the run finished: replay
 	// must land in the same mid-run state and allow the run to complete.
 	path := filepath.Join(t.TempDir(), "wal.log")
@@ -127,19 +130,19 @@ func TestReplayMidRunCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := rec.RegisterWorker(id); err != nil {
+		if err := rec.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := rec.OpenRun([]melody.Task{{ID: "t", Threshold: 10}}, 20); err != nil {
+	if err := rec.OpenRun(ctx, []melody.Task{{ID: "t", Threshold: 10}}, 20); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := rec.SubmitBid(id, melody.Bid{Cost: 1.3, Frequency: 1}); err != nil {
+		if err := rec.SubmitBid(ctx, id, melody.Bid{Cost: 1.3, Frequency: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	out, err := rec.CloseAuction()
+	out, err := rec.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +157,11 @@ func TestReplayMidRunCrash(t *testing.T) {
 	// The restored platform is mid-run: scores can be submitted and the
 	// run finished.
 	for _, a := range out.Assignments {
-		if err := restored.SubmitScore(a.WorkerID, a.TaskID, 6.5); err != nil {
+		if err := restored.SubmitScore(ctx, a.WorkerID, a.TaskID, 6.5); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := restored.FinishRun(); err != nil {
+	if err := restored.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if restored.Run() != 1 {
@@ -167,6 +170,7 @@ func TestReplayMidRunCrash(t *testing.T) {
 }
 
 func TestRecorderDoesNotLogRejectedOps(t *testing.T) {
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "wal.log")
 	log, err := Open(path, true)
 	if err != nil {
@@ -177,7 +181,7 @@ func TestRecorderDoesNotLogRejectedOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rejected: bid with no open run.
-	if err := rec.SubmitBid("ghost", melody.Bid{Cost: 1, Frequency: 1}); err == nil {
+	if err := rec.SubmitBid(ctx, "ghost", melody.Bid{Cost: 1, Frequency: 1}); err == nil {
 		t.Fatal("invalid bid accepted")
 	}
 	if err := log.Close(); err != nil {

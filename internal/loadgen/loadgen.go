@@ -19,6 +19,7 @@ import (
 
 	"melody"
 	"melody/internal/eventlog"
+	"melody/internal/obs"
 	"melody/internal/platform"
 	"melody/internal/stats"
 )
@@ -60,6 +61,11 @@ type Config struct {
 	Batch int
 	// Seed drives every random choice, so a run is reproducible.
 	Seed int64
+	// Observe instruments the whole stack (server, WAL, auction, client)
+	// with an obs registry and span ring, scrapes GET /metrics over the real
+	// listener after the run, and attaches the scrape plus a span summary to
+	// the Result.
+	Observe bool
 }
 
 // withDefaults fills zero fields.
@@ -113,16 +119,36 @@ type Result struct {
 	Latency Latency `json:"latency"`
 	// ElapsedSeconds is the whole run including scoring and finishing.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Metrics is the post-run GET /metrics scrape parsed into series
+	// (populated only with Config.Observe).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// TraceSummary aggregates the retained spans by name (populated only
+	// with Config.Observe).
+	TraceSummary []obs.SpanStat `json:"trace_summary,omitempty"`
+	// ClientRetries counts transport-level retries the load clients made
+	// (populated only with Config.Observe).
+	ClientRetries int64 `json:"client_retries,omitempty"`
 }
 
 // Run executes one load run and returns its measurements.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 
+	var (
+		registry *obs.Registry
+		tracer   *obs.Tracer
+	)
+	if cfg.Observe {
+		registry = obs.NewRegistry()
+		obs.RegisterBaseline(registry)
+		tracer = obs.NewTracer(4096)
+	}
+
 	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
 		InitialMean: 5.5, InitialVar: 2.25,
 		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
 		EMPeriod: 10, EMWindow: 60,
+		Metrics: registry,
 	})
 	if err != nil {
 		return Result{}, err
@@ -130,6 +156,8 @@ func Run(cfg Config) (Result, error) {
 	p, err := melody.NewPlatform(melody.PlatformConfig{
 		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
 		Estimator: tracker,
+		Metrics:   registry,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return Result{}, err
@@ -148,7 +176,12 @@ func Run(cfg Config) (Result, error) {
 			defer os.RemoveAll(tmp)
 			dir = tmp
 		}
-		opts := eventlog.Options{SyncEveryAppend: true, SerialCommit: cfg.Backend == BackendWALSerial}
+		opts := eventlog.Options{
+			SyncEveryAppend: true,
+			SerialCommit:    cfg.Backend == BackendWALSerial,
+			Metrics:         registry,
+			Tracer:          tracer,
+		}
 		pp, wal, err := eventlog.OpenPersistentOptions(filepath.Join(dir, "load.wal"), p, opts)
 		if err != nil {
 			return Result{}, err
@@ -159,9 +192,20 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
 	}
 
-	srv, err := platform.NewServer(backend, nil)
+	srv, err := platform.NewServer(backend, nil,
+		platform.WithMetrics(registry), platform.WithTracer(tracer))
 	if err != nil {
 		return Result{}, err
+	}
+	handler := srv.Handler()
+	if cfg.Observe {
+		// The exposition endpoints share the API listener here: loadgen
+		// scrapes its own server, the way the smoke test curls a platform.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("GET /metrics", obs.MetricsHandler(registry))
+		mux.Handle("GET /debug/traces", obs.TracesHandler(tracer))
+		handler = mux
 	}
 	// A real TCP listener, not httptest: loadgen also runs inside the
 	// non-test melody-load binary.
@@ -169,7 +213,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	defer func() {
@@ -183,8 +227,11 @@ func Run(cfg Config) (Result, error) {
 		MaxIdleConnsPerHost: cfg.Workers * 2,
 	}
 	defer transport.CloseIdleConnections()
-	client, err := platform.NewClient("http://"+ln.Addr().String(),
-		&http.Client{Transport: transport, Timeout: 30 * time.Second})
+	client, err := platform.NewClientOptions("http://"+ln.Addr().String(), platform.ClientOptions{
+		HTTPClient: &http.Client{Transport: transport, Timeout: 30 * time.Second},
+		Metrics:    registry,
+		Tracer:     tracer,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -236,17 +283,15 @@ func Run(cfg Config) (Result, error) {
 							reqs[k] = platform.BidRequest{WorkerID: id, Cost: cost, Frequency: 1}
 						}
 						t0 := time.Now()
-						errs, err := client.SubmitBids(ctx, reqs)
+						res, err := client.SubmitBids(ctx, reqs)
 						if err != nil {
 							errCh <- err
 							return
 						}
 						local = append(local, float64(time.Since(t0).Microseconds())/1000)
-						for _, e := range errs {
-							if e != nil {
-								errCh <- e
-								return
-							}
+						if err := res.Err(); err != nil {
+							errCh <- err
+							return
 						}
 						done += n
 					}
@@ -285,14 +330,12 @@ func Run(cfg Config) (Result, error) {
 			})
 		}
 		if len(scores) > 0 {
-			errs, err := client.SubmitScores(ctx, scores)
+			res, err := client.SubmitScores(ctx, scores)
 			if err != nil {
 				return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, err)
 			}
-			for _, e := range errs {
-				if e != nil {
-					return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, e)
-				}
+			if err := res.Err(); err != nil {
+				return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, err)
 			}
 		}
 		if err := client.FinishRun(ctx); err != nil {
@@ -307,6 +350,16 @@ func Run(cfg Config) (Result, error) {
 	res.Latency, err = summarize(latencies)
 	if err != nil {
 		return Result{}, err
+	}
+
+	if cfg.Observe {
+		series, err := scrapeMetrics("http://" + ln.Addr().String() + "/metrics")
+		if err != nil {
+			return Result{}, err
+		}
+		res.Metrics = series
+		res.TraceSummary = obs.Summarize(tracer.Spans())
+		res.ClientRetries = registry.Counter(obs.MetricClientRetriesTotal, "").Value()
 	}
 
 	// The server must come down cleanly: Shutdown makes Serve return
@@ -324,6 +377,23 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: serve: %w", err)
 	}
 	return res, nil
+}
+
+// scrapeMetrics fetches and parses a Prometheus text exposition.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape metrics: HTTP %d", resp.StatusCode)
+	}
+	series, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape metrics: %w", err)
+	}
+	return series, nil
 }
 
 // summarize reduces round-trip latencies (ms) to percentiles.

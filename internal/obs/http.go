@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// TracesResponse is the body of GET /debug/traces.
+type TracesResponse struct {
+	// Total counts every span ever recorded; Spans holds the retained tail,
+	// oldest first.
+	Total uint64 `json:"total"`
+	Spans []Span `json:"spans"`
+}
+
+// Handler mounts the exposition endpoints: GET /metrics (Prometheus text
+// format) and GET /debug/traces (the retained spans as JSON). Either
+// argument may be nil; its endpoint then serves an empty document.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	mux.Handle("GET /debug/traces", TracesHandler(tr))
+	return mux
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the tracer's retained spans as JSON.
+func TracesHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		resp := TracesResponse{Total: tr.Total(), Spans: tr.Spans()}
+		if resp.Spans == nil {
+			resp.Spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}

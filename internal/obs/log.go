@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns the platform's shared slog configuration: a text handler
+// on w at the given level. Components attach per-run / per-worker dimensions
+// with logger.With("run", r) / .With("worker", id) so every line of one run
+// carries the same keys.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components given a nil logger, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// nopHandler discards all records without formatting them (cheaper than a
+// text handler on io.Discard, and available before slog.DiscardHandler's Go
+// version).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }

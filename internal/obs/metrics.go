@@ -1,0 +1,507 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Registry holds named metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use, and every method is a
+// no-op on a nil *Registry: handles fetched from a nil registry are nil, and
+// nil handles discard their updates, so instrumented hot paths pay one
+// branch when observability is disabled.
+//
+// Registration is idempotent: fetching an already-registered family returns
+// the same handles, so independent subsystems can share a family by name.
+// Re-registering a name with a different kind, label or bucket layout is a
+// programming error and panics.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric family; unlabelled families keep a single child
+// under the empty label value.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	label   string // label key; "" for unlabelled families
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]any // label value -> *Counter | *Gauge | *Histogram
+	ordered  []string       // label values in first-registration order
+}
+
+// lookup returns (creating if needed) the family, enforcing a consistent
+// shape across registrations.
+func (r *Registry) lookup(name, help string, kind metricKind, label string, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, kind: kind, label: label,
+				buckets:  append([]float64(nil), buckets...),
+				children: make(map[string]any),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || f.label != label || len(f.buckets) != len(buckets) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s(label=%q), was %s(label=%q)",
+			name, kind, label, f.kind, f.label))
+	}
+	return f
+}
+
+// child returns (creating if needed) the family's metric for a label value.
+func (f *family) child(value string) any {
+	f.mu.RLock()
+	m := f.children[value]
+	f.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m = f.children[value]; m != nil {
+		return m
+	}
+	switch f.kind {
+	case kindCounter:
+		m = new(Counter)
+	case kindGauge:
+		m = new(Gauge)
+	default:
+		m = newHistogram(f.buckets)
+	}
+	f.children[value] = m
+	f.ordered = append(f.ordered, value)
+	return m
+}
+
+// Counter returns the unlabelled counter family's single counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, "", nil).child("").(*Counter)
+}
+
+// Gauge returns the unlabelled gauge family's single gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, "", nil).child("").(*Gauge)
+}
+
+// Histogram returns the unlabelled histogram family's single histogram.
+// buckets are the upper bounds (le) of the finite buckets, ascending; a
+// +Inf overflow bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, "", buckets).child("").(*Histogram)
+}
+
+// CounterVec returns a counter family labelled by one key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, kindCounter, label, nil)}
+}
+
+// HistogramVec returns a histogram family labelled by one key.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.lookup(name, help, kindHistogram, label, buckets)}
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// With returns the counter for a label value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(value).(*Counter)
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for a label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(value).(*Histogram)
+}
+
+// counterShards stripes a counter across cache lines so concurrent writers
+// (the group-commit pipeline, GOMAXPROCS HTTP handlers) do not serialize on
+// one contended word. Must be a power of two.
+const counterShards = 16
+
+type counterShard struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// shardIndex spreads concurrent writers across shards using the goroutine's
+// stack page address — stable within a goroutine, distinct across them —
+// without any per-call allocation or locking.
+func shardIndex() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>12) & (counterShards - 1)
+}
+
+// Counter is a monotonically increasing sharded atomic counter. Nil
+// counters discard updates.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (which must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Value returns the counter's current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an atomic float64 instantaneous value. Nil gauges discard
+// updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency/size histogram: counts per le bucket
+// plus a running sum, all atomic. Nil histograms discard observations.
+type Histogram struct {
+	upper  []float64 // ascending finite upper bounds
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Smallest bucket whose upper bound covers v (le semantics); past the
+	// last finite bound lands in the +Inf overflow slot.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram.
+type HistogramSnapshot struct {
+	// Upper are the finite bucket upper bounds; Cumulative[i] counts
+	// observations <= Upper[i]. Cumulative has one extra entry: the +Inf
+	// bucket, equal to Count.
+	Upper      []float64
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Upper:      append([]float64(nil), h.upper...),
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        math.Float64frombits(h.sum.Load()),
+	}
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		s.Cumulative[i] = running
+	}
+	s.Count = running
+	return s
+}
+
+// TimeBuckets returns the standard latency bucket layout (seconds), spanning
+// 100 microseconds to 10 seconds.
+func TimeBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// BatchBuckets returns the standard batch-size bucket layout: powers of two
+// up to the wire protocol's 4096-item batch limit.
+func BatchBuckets() []float64 {
+	b := make([]float64, 0, 13)
+	for v := 1.0; v <= 4096; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// LinearBuckets returns n buckets starting at start, width apart.
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExponentialBuckets returns n buckets starting at start, growing by factor.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format,
+// families sorted by name and series by label value, so the output is stable
+// for golden tests and scrape diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeTo(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeTo(b *strings.Builder) {
+	f.mu.RLock()
+	values := append([]string(nil), f.ordered...)
+	f.mu.RUnlock()
+	sort.Strings(values)
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, value := range values {
+		f.mu.RLock()
+		m := f.children[value]
+		f.mu.RUnlock()
+		switch f.kind {
+		case kindCounter:
+			writeSeries(b, f.name, f.label, value, "", float64(m.(*Counter).Value()))
+		case kindGauge:
+			writeSeries(b, f.name, f.label, value, "", m.(*Gauge).Value())
+		default:
+			s := m.(*Histogram).Snapshot()
+			for i, upper := range s.Upper {
+				writeSeries(b, f.name+"_bucket", f.label, value,
+					formatFloat(upper), float64(s.Cumulative[i]))
+			}
+			writeSeries(b, f.name+"_bucket", f.label, value, "+Inf", float64(s.Count))
+			writeSeries(b, f.name+"_sum", f.label, value, "", s.Sum)
+			writeSeries(b, f.name+"_count", f.label, value, "", float64(s.Count))
+		}
+	}
+}
+
+// writeSeries emits one sample line, assembling the label set from the
+// family label (optional) and the histogram le bound (optional).
+func writeSeries(b *strings.Builder, name, label, value, le string, v float64) {
+	b.WriteString(name)
+	if label != "" || le != "" {
+		b.WriteByte('{')
+		sep := ""
+		if label != "" {
+			fmt.Fprintf(b, "%s=%q", label, escapeLabel(value))
+			sep = ","
+		}
+		if le != "" {
+			fmt.Fprintf(b, "%sle=%q", sep, le)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// ParseText parses Prometheus text exposition into a flat series map keyed
+// exactly as written (name plus any label set, e.g.
+// `melody_http_requests_total{endpoint="bid_batch"}`). It understands the
+// subset WritePrometheus emits, which is what the smoke checks and loadgen
+// verification need.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: malformed value in %q: %w", line, err)
+		}
+		series[line[:sp]] = v
+	}
+	return series, nil
+}
+
+// FamilyPresent reports whether any series of the named family appears in a
+// ParseText result (histogram families appear via their _bucket/_sum/_count
+// series).
+func FamilyPresent(series map[string]float64, name string) bool {
+	for key := range series {
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base == name || base == name+"_bucket" || base == name+"_sum" || base == name+"_count" {
+			return true
+		}
+	}
+	return false
+}

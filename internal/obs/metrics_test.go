@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d", got)
+	}
+	g := r.Gauge("g", "")
+	g.Set(3)
+	g.Add(1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge Value = %v", got)
+	}
+	h := r.Histogram("h", "", TimeBuckets())
+	h.Observe(0.5)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram Count = %d", s.Count)
+	}
+	r.CounterVec("cv", "", "k").With("v").Inc()
+	r.HistogramVec("hv", "", "k", TimeBuckets()).With("v").Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry WritePrometheus = %q, %v", b.String(), err)
+	}
+	RegisterBaseline(nil) // must not panic
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests", "total requests")
+	for i := 0; i < 100; i++ {
+		c.Inc()
+	}
+	c.Add(11)
+	if got := c.Value(); got != 111 {
+		t.Fatalf("Value = %d, want 111", got)
+	}
+	// Idempotent registration shares the handle.
+	if again := r.Counter("requests", "total requests"); again.Value() != 111 {
+		t.Fatalf("re-registered counter lost state: %d", again.Value())
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	g := NewRegistry().Gauge("depth", "")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("Value = %v, want 2", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to an
+// upper bound lands in that bucket, a value just above it in the next, and
+// values beyond the last finite bound in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.01, 0.010000001, 0.1, 1, 1.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	wantCumulative := []uint64{1, 3, 4, 5} // le=0.01, le=0.1, le=1, +Inf
+	for i, want := range wantCumulative {
+		if s.Cumulative[i] != want {
+			t.Errorf("Cumulative[%d] = %d, want %d", i, s.Cumulative[i], want)
+		}
+	}
+	wantSum := 0.01 + 0.010000001 + 0.1 + 1 + 1.5
+	if math.Abs(s.Sum-wantSum) > 1e-12 {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBelowFirstBucket(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []float64{1, 2})
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Cumulative[0] != 2 {
+		t.Fatalf("first bucket = %d, want 2 (values at or below the bound)", s.Cumulative[0])
+	}
+}
+
+func TestMismatchedReRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+	bb := BatchBuckets()
+	if bb[0] != 1 || bb[len(bb)-1] != 4096 {
+		t.Fatalf("BatchBuckets = %v", bb)
+	}
+}
+
+// TestExpositionGolden pins the exposition format byte for byte: Prometheus
+// text parsers are strict about HELP/TYPE lines, label quoting and the +Inf
+// bucket, so any drift here is a wire-format break.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("melody_test_total", "A test counter.").Add(3)
+	r.Gauge("melody_test_depth", "A test gauge.").Set(1.5)
+	h := r.Histogram("melody_test_seconds", "A test histogram.", []float64{0.1, 2.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(7)
+	v := r.CounterVec("melody_test_by_endpoint_total", "A labelled counter.", "endpoint")
+	v.With("bid").Add(2)
+	v.With("score").Inc()
+
+	const want = `# HELP melody_test_by_endpoint_total A labelled counter.
+# TYPE melody_test_by_endpoint_total counter
+melody_test_by_endpoint_total{endpoint="bid"} 2
+melody_test_by_endpoint_total{endpoint="score"} 1
+# HELP melody_test_depth A test gauge.
+# TYPE melody_test_depth gauge
+melody_test_depth 1.5
+# HELP melody_test_seconds A test histogram.
+# TYPE melody_test_seconds histogram
+melody_test_seconds_bucket{le="0.1"} 2
+melody_test_seconds_bucket{le="2.5"} 2
+melody_test_seconds_bucket{le="+Inf"} 3
+melody_test_seconds_sum 7.1
+melody_test_seconds_count 3
+# HELP melody_test_total A test counter.
+# TYPE melody_test_total counter
+melody_test_total 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParsesBack round-trips the text format through ParseText,
+// the parser the loadgen verification and obs-smoke scrape use.
+func TestExpositionParsesBack(t *testing.T) {
+	r := NewRegistry()
+	RegisterBaseline(r)
+	r.CounterVec(MetricHTTPRequestsTotal, "", "endpoint").With("bid_batch").Add(42)
+	r.Histogram(MetricWALFsyncSeconds, "", TimeBuckets()).Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := series[MetricHTTPRequestsTotal+`{endpoint="bid_batch"}`]; got != 42 {
+		t.Errorf("parsed requests counter = %v, want 42", got)
+	}
+	if got := series[MetricWALFsyncSeconds+"_count"]; got != 1 {
+		t.Errorf("parsed fsync count = %v, want 1", got)
+	}
+	for _, fam := range []string{
+		MetricWALCommitBatchSize, MetricWALFsyncSeconds, MetricHTTPRequestsTotal,
+		MetricClientRetriesTotal, MetricAuctionDurationSeconds, MetricEMReestimateSeconds,
+	} {
+		if !FamilyPresent(series, fam) {
+			t.Errorf("baseline family %s missing from exposition", fam)
+		}
+	}
+	if FamilyPresent(series, "melody_nonexistent") {
+		t.Error("FamilyPresent reported a family that was never registered")
+	}
+}

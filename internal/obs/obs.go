@@ -1,0 +1,77 @@
+// Package obs is the platform's stdlib-only observability layer: a metrics
+// registry (sharded atomic counters, gauges and fixed-bucket histograms with
+// Prometheus text-format exposition), lightweight run-scoped trace spans
+// recorded into a bounded in-memory ring, and shared log/slog helpers. Every
+// serving-path subsystem — the WAL group-commit pipeline, the HTTP server and
+// client, the chaos middleware, the auction and the EM re-estimator — takes an
+// optional *Registry / *Tracer and stays zero-overhead when they are nil: all
+// instrument methods are no-ops on nil receivers, so the disabled path costs
+// one predictable branch.
+//
+// The exposition side is plain net/http: Handler mounts GET /metrics
+// (Prometheus text format) and GET /debug/traces (the last N spans as JSON),
+// and cmd/melody-platform serves it on the -metrics side listener (and on the
+// -pprof listener when one is configured).
+package obs
+
+// Metric names, in one place so instrumentation, exposition checks and the
+// DESIGN.md catalog cannot drift. Label conventions: a family has at most one
+// label; values are low-cardinality identifiers (endpoint and fault names,
+// never worker or task IDs).
+const (
+	// WAL group-commit pipeline (internal/eventlog).
+	MetricWALAppendsTotal    = "melody_wal_appends_total"
+	MetricWALCommitsTotal    = "melody_wal_commits_total"
+	MetricWALCommitBatchSize = "melody_wal_commit_batch_size"
+	MetricWALFsyncSeconds    = "melody_wal_fsync_seconds"
+
+	// HTTP serving path (internal/platform server), labelled by endpoint.
+	MetricHTTPRequestsTotal  = "melody_http_requests_total"
+	MetricHTTPErrorsTotal    = "melody_http_errors_total"
+	MetricHTTPRequestSeconds = "melody_http_request_seconds"
+
+	// Retrying client (internal/platform client).
+	MetricClientRequestsTotal = "melody_client_requests_total"
+	MetricClientRetriesTotal  = "melody_client_retries_total"
+
+	// Chaos middleware (internal/chaos), labelled by fault.
+	MetricChaosInjectedTotal = "melody_chaos_injected_total"
+
+	// Auction mechanism (internal/core via the melody facade).
+	MetricAuctionDurationSeconds = "melody_auction_duration_seconds"
+	MetricAuctionWinners         = "melody_auction_winners"
+	MetricAuctionSpentBudget     = "melody_auction_spent_budget"
+	MetricRunsCompletedTotal     = "melody_runs_completed_total"
+
+	// EM re-estimation (internal/quality).
+	MetricEMReestimateSeconds = "melody_em_reestimate_seconds"
+	MetricEMRunsTotal         = "melody_em_runs_total"
+	MetricEMLogLikelihood     = "melody_em_log_likelihood"
+)
+
+// RegisterBaseline pre-registers the platform's standard metric families so
+// an exposition endpoint advertises the full catalog (with zero values) from
+// boot, before any traffic has touched a subsystem. Instrumented components
+// re-register the same families idempotently and share the handles.
+func RegisterBaseline(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter(MetricWALAppendsTotal, "Durable WAL appends accepted.")
+	r.Counter(MetricWALCommitsTotal, "WAL group commits (one write+fsync each).")
+	r.Histogram(MetricWALCommitBatchSize, "Records per WAL group commit.", BatchBuckets())
+	r.Histogram(MetricWALFsyncSeconds, "Wall time of one WAL write+fsync batch.", TimeBuckets())
+	r.CounterVec(MetricHTTPRequestsTotal, "HTTP requests served, by endpoint.", "endpoint")
+	r.CounterVec(MetricHTTPErrorsTotal, "HTTP requests answered with a non-2xx status, by endpoint.", "endpoint")
+	r.HistogramVec(MetricHTTPRequestSeconds, "HTTP request handling time, by endpoint.", "endpoint", TimeBuckets())
+	r.Counter(MetricClientRequestsTotal, "Client request attempts issued.")
+	r.Counter(MetricClientRetriesTotal, "Client attempts that were retries of a failed attempt.")
+	r.CounterVec(MetricChaosInjectedTotal, "Faults injected by the chaos layer, by fault kind.", "fault")
+	r.Histogram(MetricAuctionDurationSeconds, "Wall time of one auction mechanism run.", TimeBuckets())
+	r.Gauge(MetricAuctionWinners, "Distinct winning workers in the latest auction.")
+	r.Gauge(MetricAuctionSpentBudget, "Total payment committed by the latest auction.")
+	r.Counter(MetricRunsCompletedTotal, "Completed platform runs.")
+	r.Histogram(MetricEMReestimateSeconds, "Wall time of one per-worker EM re-estimation.", TimeBuckets())
+	r.Counter(MetricEMRunsTotal, "EM re-estimations performed.")
+	r.Gauge(MetricEMLogLikelihood, "Final log marginal likelihood of the latest EM re-estimation.")
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one completed trace span: a named, run-scoped interval with
+// low-cardinality string attributes. Spans are recorded into the Tracer's
+// bounded ring when they end and exposed as JSON at /debug/traces.
+type Span struct {
+	// Name identifies the operation (e.g. "run.bidding", "wal.commit",
+	// "em.reestimate", "client.retry").
+	Name string `json:"name"`
+	// Run is the 1-based run index the span belongs to; 0 when the span is
+	// not tied to a run.
+	Run int `json:"run,omitempty"`
+	// Attrs carries extra dimensions (batch size, worker count, endpoint).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// DurationUS is the span's length in microseconds.
+	DurationUS int64 `json:"duration_us"`
+}
+
+// Tracer records completed spans into a fixed-capacity in-memory ring: the
+// last Capacity spans are retained, older ones are overwritten. A nil
+// *Tracer discards everything, so instrumented paths stay zero-overhead
+// when tracing is disabled.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total uint64
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 512
+
+// NewTracer returns a tracer retaining the last capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// ActiveSpan is an in-flight span; End records it. Nil active spans (from a
+// nil tracer) discard every call.
+type ActiveSpan struct {
+	tr    *Tracer
+	span  Span
+	ended bool
+}
+
+// Start opens a span now. Attach dimensions with SetAttr/SetRun before End.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{tr: t, span: Span{Name: name, Start: time.Now()}}
+}
+
+// SetRun tags the span with a run index.
+func (s *ActiveSpan) SetRun(run int) {
+	if s == nil {
+		return
+	}
+	s.span.Run = run
+}
+
+// SetAttr attaches one string attribute.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[key] = value
+}
+
+// SetAttrInt attaches one integer attribute.
+func (s *ActiveSpan) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End closes the span and records it. Ending twice records once.
+func (s *ActiveSpan) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.span.DurationUS = time.Since(s.span.Start).Microseconds()
+	s.tr.record(s.span)
+}
+
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Total returns how many spans have been recorded over the tracer's
+// lifetime, including those already evicted from the ring.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// SpanStat aggregates the retained spans of one name.
+type SpanStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalUS int64   `json:"total_us"`
+	MaxUS   int64   `json:"max_us"`
+	MeanUS  float64 `json:"mean_us"`
+}
+
+// Summarize groups the retained spans by name, sorted by name — the view
+// cmd/melody-load prints after a run.
+func Summarize(spans []Span) []SpanStat {
+	byName := make(map[string]*SpanStat)
+	for _, sp := range spans {
+		st := byName[sp.Name]
+		if st == nil {
+			st = &SpanStat{Name: sp.Name}
+			byName[sp.Name] = st
+		}
+		st.Count++
+		st.TotalUS += sp.DurationUS
+		if sp.DurationUS > st.MaxUS {
+			st.MaxUS = sp.DurationUS
+		}
+	}
+	out := make([]SpanStat, 0, len(byName))
+	for _, st := range byName {
+		st.MeanUS = float64(st.TotalUS) / float64(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

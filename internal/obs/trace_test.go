@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.SetRun(1)
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 3)
+	sp.End()
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v", got)
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("nil tracer Total = %d", tr.Total())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); sp.Name != want {
+			t.Errorf("spans[%d].Name = %s, want %s (oldest first)", i, sp.Name, want)
+		}
+	}
+}
+
+func TestSpanAttrsAndDoubleEnd(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("wal.commit")
+	sp.SetRun(3)
+	sp.SetAttrInt("batch", 17)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // second End must not record again
+	if tr.Total() != 1 {
+		t.Fatalf("Total = %d after double End, want 1", tr.Total())
+	}
+	got := tr.Spans()[0]
+	if got.Run != 3 || got.Attrs["batch"] != "17" {
+		t.Fatalf("span = %+v", got)
+	}
+	if got.DurationUS <= 0 {
+		t.Fatalf("DurationUS = %d, want > 0", got.DurationUS)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	spans := []Span{
+		{Name: "b", DurationUS: 10},
+		{Name: "a", DurationUS: 4},
+		{Name: "b", DurationUS: 30},
+	}
+	stats := Summarize(spans)
+	if len(stats) != 2 || stats[0].Name != "a" || stats[1].Name != "b" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	b := stats[1]
+	if b.Count != 2 || b.TotalUS != 40 || b.MaxUS != 30 || b.MeanUS != 20 {
+		t.Fatalf("b stats = %+v", b)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("melody_test_total", "help").Inc()
+	tr := NewTracer(4)
+	tr.Start("run.bidding").End()
+	h := Handler(reg, tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	series, err := ParseText(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["melody_test_total"] != 1 {
+		t.Fatalf("scraped series = %v", series)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces status = %d", rec.Code)
+	}
+	var resp TracesResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 1 || len(resp.Spans) != 1 || resp.Spans[0].Name != "run.bidding" {
+		t.Fatalf("traces response = %+v", resp)
+	}
+}
+
+func TestTracesHandlerEmptyIsNotNull(t *testing.T) {
+	rec := httptest.NewRecorder()
+	TracesHandler(NewTracer(4)).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(rec.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["spans"]) != "[]" {
+		t.Fatalf("spans = %s, want []", raw["spans"])
+	}
+}

@@ -255,12 +255,13 @@ wait:
 		})
 	}
 	if len(scores) > 0 {
-		errs, err := c.SubmitScores(ctx, scores)
+		res, err := c.SubmitScores(ctx, scores)
 		if err != nil {
 			return OutcomeResponse{}, fmt.Errorf("platform: score run %d: %w", run, err)
 		}
-		for _, itemErr := range errs {
-			if itemErr == nil || errors.Is(itemErr, melody.ErrNotAssigned) {
+		for _, item := range res.Failed() {
+			itemErr := item.Err
+			if errors.Is(itemErr, melody.ErrNotAssigned) {
 				continue
 			}
 			if errors.Is(itemErr, melody.ErrNoRunOpen) {

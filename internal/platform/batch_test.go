@@ -38,11 +38,11 @@ func TestBidBatchHappyPath(t *testing.T) {
 	for i := range bids {
 		bids[i] = BidRequest{WorkerID: fmt.Sprintf("w%d", i), Cost: 1.5, Frequency: 1}
 	}
-	errs, err := c.SubmitBids(ctx, bids)
+	res, err := c.SubmitBids(ctx, bids)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, e := range errs {
+	for i, e := range res.Errs() {
 		if e != nil {
 			t.Errorf("bid %d rejected: %v", i, e)
 		}
@@ -64,7 +64,7 @@ func TestBidBatchPerItemErrors(t *testing.T) {
 	ctx := context.Background()
 	openTestRun(t, c, 2, []TaskSpec{{ID: "t1", Threshold: 10}}, 100)
 
-	errs, err := c.SubmitBids(ctx, []BidRequest{
+	res, err := c.SubmitBids(ctx, []BidRequest{
 		{WorkerID: "w0", Cost: 1.5, Frequency: 1},
 		{WorkerID: "ghost", Cost: 1.5, Frequency: 1},
 		{WorkerID: "w1", Cost: 1.2, Frequency: 1},
@@ -72,11 +72,17 @@ func TestBidBatchPerItemErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs[0] != nil || errs[2] != nil {
-		t.Errorf("valid bids rejected: %v, %v", errs[0], errs[2])
+	if res.ErrAt(0) != nil || res.ErrAt(2) != nil {
+		t.Errorf("valid bids rejected: %v, %v", res.ErrAt(0), res.ErrAt(2))
 	}
-	if !errors.Is(errs[1], melody.ErrUnknownWorker) {
-		t.Errorf("unknown-worker bid error = %v, want ErrUnknownWorker", errs[1])
+	if !errors.Is(res.ErrAt(1), melody.ErrUnknownWorker) {
+		t.Errorf("unknown-worker bid error = %v, want ErrUnknownWorker", res.ErrAt(1))
+	}
+	if res.FailedCount() != 1 || res.OK() {
+		t.Errorf("FailedCount = %d, OK = %v; want 1, false", res.FailedCount(), res.OK())
+	}
+	if !errors.Is(res.Err(), melody.ErrUnknownWorker) {
+		t.Errorf("rolled-up Err = %v, want to match ErrUnknownWorker", res.Err())
 	}
 }
 
@@ -103,15 +109,15 @@ func TestScoreBatchPerItemErrors(t *testing.T) {
 		{WorkerID: out.Assignments[0].WorkerID, TaskID: out.Assignments[0].TaskID, Score: 7},
 		{WorkerID: "w1", TaskID: "no-such-task", Score: 5},
 	}
-	errs, err := c.SubmitScores(ctx, scores)
+	res, err := c.SubmitScores(ctx, scores)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if errs[0] != nil {
-		t.Errorf("assigned score rejected: %v", errs[0])
+	if res.ErrAt(0) != nil {
+		t.Errorf("assigned score rejected: %v", res.ErrAt(0))
 	}
-	if !errors.Is(errs[1], melody.ErrNotAssigned) {
-		t.Errorf("unassigned score error = %v, want ErrNotAssigned", errs[1])
+	if !errors.Is(res.ErrAt(1), melody.ErrNotAssigned) {
+		t.Errorf("unassigned score error = %v, want ErrNotAssigned", res.ErrAt(1))
 	}
 	if err := c.FinishRun(ctx); err != nil {
 		t.Fatal(err)
@@ -131,11 +137,11 @@ func TestBidBatchIdempotentReplay(t *testing.T) {
 		{WorkerID: "w2", Cost: 1.8, Frequency: 1},
 	}
 	for round := 0; round < 2; round++ {
-		errs, err := c.SubmitBids(ctx, bids)
+		res, err := c.SubmitBids(ctx, bids)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		for i, e := range errs {
+		for i, e := range res.Errs() {
 			if e != nil {
 				t.Errorf("round %d bid %d: %v", round, i, e)
 			}

@@ -107,13 +107,13 @@ func (b *BidBatcher) startFlushLocked() {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		errs, err := b.client.SubmitBids(ctx, reqs)
+		res, err := b.client.SubmitBids(ctx, reqs)
 		for i, p := range batch {
 			if err != nil {
 				p.done <- err
 				continue
 			}
-			p.done <- errs[i]
+			p.done <- res.ErrAt(i)
 		}
 	}()
 }

@@ -7,11 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
+
+	"melody"
+	"melody/internal/obs"
 )
 
 // APIError is a non-2xx platform response, carrying the HTTP status, the
@@ -94,31 +98,76 @@ func retryable(err error) bool {
 // Client talks to a platform Server, transparently retrying transient
 // failures per its RetryPolicy.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	reqs    *obs.Counter
+	retries *obs.Counter
+}
+
+// ClientOptions configures NewClientOptions. The zero value gives the same
+// client NewClient does: default HTTP transport, DefaultRetryPolicy, no
+// instrumentation.
+type ClientOptions struct {
+	// HTTPClient overrides the transport; nil means a default client with a
+	// 10s timeout.
+	HTTPClient *http.Client
+	// Retry overrides the retry policy; nil means DefaultRetryPolicy.
+	Retry *RetryPolicy
+	// Metrics optionally counts requests (melody_client_requests_total) and
+	// retries (melody_client_retries_total).
+	Metrics *obs.Registry
+	// Tracer optionally records one "client.retry" span per retried attempt.
+	Tracer *obs.Tracer
+	// Logger receives a debug line per retry; nil disables logging.
+	Logger *slog.Logger
 }
 
 // NewClient creates a client for the platform at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default with a 10s
 // timeout. The client retries transient failures per DefaultRetryPolicy;
-// use NewClientWithPolicy to tune or disable that.
+// use NewClientOptions to tune or disable that, or to instrument the client.
 func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
-	return NewClientWithPolicy(baseURL, httpClient, DefaultRetryPolicy())
+	return NewClientOptions(baseURL, ClientOptions{HTTPClient: httpClient})
 }
 
 // NewClientWithPolicy is NewClient with an explicit retry policy.
 func NewClientWithPolicy(baseURL string, httpClient *http.Client, policy RetryPolicy) (*Client, error) {
+	return NewClientOptions(baseURL, ClientOptions{HTTPClient: httpClient, Retry: &policy})
+}
+
+// NewClientOptions is the full-control constructor every other client
+// constructor funnels through.
+func NewClientOptions(baseURL string, opts ClientOptions) (*Client, error) {
 	if baseURL == "" {
 		return nil, errors.New("platform: empty base URL")
 	}
 	if _, err := url.Parse(baseURL); err != nil {
 		return nil, fmt.Errorf("platform: invalid base URL: %w", err)
 	}
+	httpClient := opts.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient, retry: policy}, nil
+	policy := DefaultRetryPolicy()
+	if opts.Retry != nil {
+		policy = *opts.Retry
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	return &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		http:    httpClient,
+		retry:   policy,
+		log:     logger,
+		tracer:  opts.Tracer,
+		reqs:    opts.Metrics.Counter(obs.MetricClientRequestsTotal, "Platform client API calls issued."),
+		retries: opts.Metrics.Counter(obs.MetricClientRetriesTotal, "Platform client attempts retried after a transient failure."),
+	}, nil
 }
 
 // do issues a request with optional JSON body and decodes a JSON response
@@ -135,6 +184,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		buf = bb.Bytes()
 	}
+	c.reqs.Inc()
 	for attempt := 0; ; attempt++ {
 		err := c.attempt(ctx, method, path, buf, out)
 		if err == nil {
@@ -143,11 +193,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if attempt+1 >= c.retry.MaxAttempts || !retryable(err) || ctx.Err() != nil {
 			return err
 		}
+		c.retries.Inc()
+		sp := c.tracer.Start("client.retry")
+		sp.SetAttr("path", path)
+		sp.SetAttrInt("attempt", int64(attempt+1))
+		c.log.Debug("retrying request",
+			"method", method, "path", path, "attempt", attempt+1, "error", err)
 		select {
 		case <-ctx.Done():
+			sp.End()
 			return err
 		case <-time.After(backoffDelay(c.retry, attempt, rand.Float64())):
 		}
+		sp.End()
 	}
 }
 
@@ -236,44 +294,46 @@ func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, f
 }
 
 // SubmitBids submits a whole slice of bids in one round trip. The returned
-// slice has one entry per bid: nil for accepted items and the same error a
-// single-item SubmitBid would have returned otherwise. The call error is
-// non-nil only when the batch itself failed (transport fault, malformed or
-// oversized batch) — in that case no per-item slice is returned.
-func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) ([]error, error) {
+// BatchResult carries one outcome per bid: ErrAt(i) is nil for accepted
+// items and the same error a single-item SubmitBid would have returned
+// otherwise. The call error is non-nil only when the batch itself failed
+// (transport fault, malformed or oversized batch) — in that case the zero
+// BatchResult is returned.
+func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) (melody.BatchResult, error) {
 	var out BatchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/bids/batch",
 		BidBatchRequest{Bids: bids}, &out); err != nil {
-		return nil, err
+		return melody.BatchResult{}, err
 	}
 	if len(out.Results) != len(bids) {
-		return nil, fmt.Errorf("platform: batch response has %d results for %d bids",
+		return melody.BatchResult{}, fmt.Errorf("platform: batch response has %d results for %d bids",
 			len(out.Results), len(bids))
 	}
-	errs := make([]error, len(bids))
-	for i, res := range out.Results {
-		errs[i] = res.Err()
-	}
-	return errs, nil
+	return batchResultFromWire(out.Results), nil
 }
 
 // SubmitScores submits a whole slice of scores in one round trip, with the
-// same per-item error contract as SubmitBids.
-func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) ([]error, error) {
+// same per-item contract as SubmitBids.
+func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) (melody.BatchResult, error) {
 	var out BatchResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/scores/batch",
 		ScoreBatchRequest{Scores: scores}, &out); err != nil {
-		return nil, err
+		return melody.BatchResult{}, err
 	}
 	if len(out.Results) != len(scores) {
-		return nil, fmt.Errorf("platform: batch response has %d results for %d scores",
+		return melody.BatchResult{}, fmt.Errorf("platform: batch response has %d results for %d scores",
 			len(out.Results), len(scores))
 	}
-	errs := make([]error, len(scores))
-	for i, res := range out.Results {
+	return batchResultFromWire(out.Results), nil
+}
+
+// batchResultFromWire decodes per-item wire results into a BatchResult.
+func batchResultFromWire(results []BatchItemResult) melody.BatchResult {
+	errs := make([]error, len(results))
+	for i, res := range results {
 		errs[i] = res.Err()
 	}
-	return errs, nil
+	return melody.NewBatchResult(errs)
 }
 
 // CloseAuction ends bidding and returns the allocation.

@@ -29,14 +29,14 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 	ref := newTestPlatform(t)
 
 	workerID := func(i int) string { return fmt.Sprintf("w%02d", i) }
-	cost := func(i int) float64 { return 1 + float64(i%10)/10 }       // within [1, 2]
+	cost := func(i int) float64 { return 1 + float64(i%10)/10 }            // within [1, 2]
 	score := func(i, run int) float64 { return 1 + float64((3*i+run)%10) } // within [1, 10]
 
 	for i := 0; i < nWorkers; i++ {
 		if err := c.RegisterWorker(ctx, workerID(i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := ref.RegisterWorker(workerID(i)); err != nil {
+		if err := ref.RegisterWorker(ctx, workerID(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -85,7 +85,7 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 		for i, ts := range tasks {
 			refTasks[i] = melody.Task{ID: ts.ID, Threshold: ts.Threshold}
 		}
-		if err := ref.OpenRun(refTasks, 100); err != nil {
+		if err := ref.OpenRun(ctx, refTasks, 100); err != nil {
 			t.Fatal(err)
 		}
 
@@ -102,7 +102,7 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 		}
 		wg.Wait()
 		for i := 0; i < nWorkers; i++ {
-			if err := ref.SubmitBid(workerID(i), melody.Bid{Cost: cost(i), Frequency: 1}); err != nil {
+			if err := ref.SubmitBid(ctx, workerID(i), melody.Bid{Cost: cost(i), Frequency: 1}); err != nil {
 				t.Fatalf("ref bid %d: %v", i, err)
 			}
 		}
@@ -111,7 +111,7 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		refOut, err := ref.CloseAuction()
+		refOut, err := ref.CloseAuction(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 		wg.Wait()
 		for _, asg := range refOut.Assignments {
 			i := workerIndex(asg.WorkerID)
-			if err := ref.SubmitScore(asg.WorkerID, asg.TaskID, score(i, run)); err != nil {
+			if err := ref.SubmitScore(ctx, asg.WorkerID, asg.TaskID, score(i, run)); err != nil {
 				t.Fatalf("ref score %s: %v", asg.WorkerID, err)
 			}
 		}
@@ -147,7 +147,7 @@ func TestConcurrentServingMatchesSerial(t *testing.T) {
 		if err := c.FinishRun(ctx); err != nil {
 			t.Fatal(err)
 		}
-		if err := ref.FinishRun(); err != nil {
+		if err := ref.FinishRun(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}

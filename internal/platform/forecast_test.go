@@ -70,7 +70,7 @@ func TestForecastNotImplementedForBaselines(t *testing.T) {
 	// this to 501.
 	p, err := melody.NewPlatform(melody.PlatformConfig{
 		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
-		Estimator: melody.NewMLAllRunsEstimator(5.5),
+		Estimator: melody.NewMLAllRunsEstimator(melody.EstimatorConfig{Initial: 5.5}),
 	})
 	if err != nil {
 		t.Fatal(err)

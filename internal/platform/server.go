@@ -1,28 +1,33 @@
 package platform
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"melody"
+	"melody/internal/obs"
 )
 
 // Backend is the platform surface the HTTP server drives. It is satisfied
 // by *melody.Platform and by eventlog.PersistentPlatform (the write-ahead-
 // logged variant used with -wal).
+// Mutations take the request context first, so cancellation and deadlines
+// reach the backend's durability waits; read-only queries are lock-scoped
+// and context-free.
 type Backend interface {
-	RegisterWorker(workerID string) error
-	OpenRun(tasks []melody.Task, budget float64) error
-	SubmitBid(workerID string, bid melody.Bid) error
-	CloseAuction() (*melody.Outcome, error)
-	SubmitScore(workerID, taskID string, score float64) error
-	FinishRun() error
+	RegisterWorker(ctx context.Context, workerID string) error
+	OpenRun(ctx context.Context, tasks []melody.Task, budget float64) error
+	SubmitBid(ctx context.Context, workerID string, bid melody.Bid) error
+	CloseAuction(ctx context.Context) (*melody.Outcome, error)
+	SubmitScore(ctx context.Context, workerID, taskID string, score float64) error
+	FinishRun(ctx context.Context) error
 	Workers() []string
 	Run() int
 	State() melody.RunState
@@ -39,8 +44,8 @@ var _ Backend = (*melody.Platform)(nil)
 // detects it at construction and falls back to item-at-a-time submission
 // against backends that don't.
 type BatchBackend interface {
-	SubmitBids(bids []melody.WorkerBid) []error
-	SubmitScores(scores []melody.TaskScore) []error
+	SubmitBids(ctx context.Context, bids []melody.WorkerBid) melody.BatchResult
+	SubmitScores(ctx context.Context, scores []melody.TaskScore) melody.BatchResult
 }
 
 var _ BatchBackend = (*melody.Platform)(nil)
@@ -58,7 +63,18 @@ var _ BatchBackend = (*melody.Platform)(nil)
 type Server struct {
 	platform Backend
 	batch    BatchBackend // non-nil when platform supports batch submission
-	logger   *log.Logger
+	log      *slog.Logger
+
+	// Per-endpoint metric families and the span tracer; nil (no-op) unless
+	// WithMetrics / WithTracer were given.
+	metrics *obs.Registry
+	reqs    *obs.CounterVec
+	reqErrs *obs.CounterVec
+	reqSecs *obs.HistogramVec
+	tracer  *obs.Tracer
+	// phaseSpan is the active run-phase span ("run.bidding" or
+	// "run.scoring"); guarded by stateMu.
+	phaseSpan *obs.ActiveSpan
 
 	// bidDeadline and scoreDeadline bound how long a run may sit in the
 	// bidding and scoring phases; zero disables the watchdog.
@@ -87,21 +103,39 @@ func WithDeadlines(bid, score time.Duration) ServerOption {
 	return func(s *Server) { s.bidDeadline, s.scoreDeadline = bid, score }
 }
 
+// WithMetrics instruments every endpoint with request, error and latency
+// families labelled by endpoint name.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithTracer records run-phase spans ("run.bidding" from open to close,
+// "run.scoring" from close to finish).
+func WithTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
+}
+
 // NewServer wraps a platform backend in an HTTP API. logger may be nil to
 // disable request logging. The server resumes mid-run state from the
 // backend (relevant after a WAL crash recovery): an open run restores the
 // bidding or scoring phase — with its outcome — rather than idling forever.
-func NewServer(p Backend, logger *log.Logger, opts ...ServerOption) (*Server, error) {
+func NewServer(p Backend, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
 	if p == nil {
 		return nil, errors.New("platform: nil platform")
 	}
-	s := &Server{platform: p, logger: logger, phase: PhaseIdle}
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	s := &Server{platform: p, log: logger, phase: PhaseIdle}
 	if bb, ok := p.(BatchBackend); ok {
 		s.batch = bb
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.reqs = s.metrics.CounterVec(obs.MetricHTTPRequestsTotal, "HTTP requests served, by endpoint.", "endpoint")
+	s.reqErrs = s.metrics.CounterVec(obs.MetricHTTPErrorsTotal, "HTTP requests answered with a non-2xx status, by endpoint.", "endpoint")
+	s.reqSecs = s.metrics.HistogramVec(obs.MetricHTTPRequestSeconds, "HTTP request handling time, by endpoint.", "endpoint", obs.TimeBuckets())
 	st := p.State()
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -113,11 +147,13 @@ func NewServer(p Backend, logger *log.Logger, opts ...ServerOption) (*Server, er
 			resp := toOutcomeResponse(st.Outcome)
 			s.outcome = &resp
 			s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
-			s.logf("resumed run %d in scoring phase", s.run)
+			s.startPhaseSpanLocked("run.scoring")
+			s.log.Info("resumed run in scoring phase", "run", s.run)
 		} else {
 			s.phase = PhaseBidding
 			s.scheduleLocked(s.bidDeadline, s.run, s.deadlineClose)
-			s.logf("resumed run %d in bidding phase", s.run)
+			s.startPhaseSpanLocked("run.bidding")
+			s.log.Info("resumed run in bidding phase", "run", s.run)
 		}
 	}
 	return s, nil
@@ -136,6 +172,21 @@ func (s *Server) scheduleLocked(d time.Duration, run int, fire func(run int)) {
 	s.timer = time.AfterFunc(d, func() { fire(run) })
 }
 
+// startPhaseSpanLocked ends any active phase span and opens a new one for
+// the current run. Callers hold stateMu for writing.
+func (s *Server) startPhaseSpanLocked(name string) {
+	s.phaseSpan.End()
+	s.phaseSpan = s.tracer.Start(name)
+	s.phaseSpan.SetRun(s.run)
+}
+
+// endPhaseSpanLocked closes the active phase span, if any. Callers hold
+// stateMu for writing.
+func (s *Server) endPhaseSpanLocked() {
+	s.phaseSpan.End()
+	s.phaseSpan = nil
+}
+
 // deadlineClose fires when a run sat in bidding past the deadline.
 func (s *Server) deadlineClose(run int) {
 	s.stateMu.RLock()
@@ -144,9 +195,9 @@ func (s *Server) deadlineClose(run int) {
 	if stale {
 		return
 	}
-	s.logf("run %d: bidding deadline reached, closing auction", run)
-	if _, err := s.closeAuction(); err != nil {
-		s.logf("run %d: deadline close: %v", run, err)
+	s.log.Info("bidding deadline reached, closing auction", "run", run)
+	if _, err := s.closeAuction(context.Background()); err != nil {
+		s.log.Warn("deadline close failed", "run", run, "err", err)
 	}
 }
 
@@ -161,37 +212,66 @@ func (s *Server) deadlineFinish(run int) {
 	if stale {
 		return
 	}
-	s.logf("run %d: scoring deadline reached, finishing with collected scores", run)
-	if err := s.finishRun(); err != nil {
-		s.logf("run %d: deadline finish: %v", run, err)
+	s.log.Info("scoring deadline reached, finishing with collected scores", "run", run)
+	if err := s.finishRun(context.Background()); err != nil {
+		s.log.Warn("deadline finish failed", "run", run, "err", err)
 	}
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. When the server
+// has metrics, every endpoint is wrapped with request/error counters and a
+// latency histogram labelled by a stable endpoint name; without metrics the
+// handlers are mounted bare, so the disabled path adds nothing.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
-	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
-	mux.HandleFunc("GET /v1/workers/{id}/quality", s.handleQuality)
-	mux.HandleFunc("GET /v1/workers/{id}/forecast", s.handleForecast)
-	mux.HandleFunc("POST /v1/runs", s.handleOpenRun)
-	mux.HandleFunc("POST /v1/runs/current/bids", s.handleBid)
-	mux.HandleFunc("POST /v1/runs/current/bids/batch", s.handleBidBatch)
-	mux.HandleFunc("POST /v1/runs/current/close", s.handleClose)
-	mux.HandleFunc("GET /v1/runs/current/outcome", s.handleOutcome)
-	mux.HandleFunc("POST /v1/runs/current/answers", s.handleAnswer)
-	mux.HandleFunc("GET /v1/runs/current/answers", s.handleListAnswers)
-	mux.HandleFunc("POST /v1/runs/current/scores", s.handleScore)
-	mux.HandleFunc("POST /v1/runs/current/scores/batch", s.handleScoreBatch)
-	mux.HandleFunc("POST /v1/runs/current/finish", s.handleFinish)
+	s.route(mux, "GET /v1/status", "status", s.handleStatus)
+	s.route(mux, "POST /v1/workers", "register_worker", s.handleRegisterWorker)
+	s.route(mux, "GET /v1/workers", "list_workers", s.handleListWorkers)
+	s.route(mux, "GET /v1/workers/{id}/quality", "quality", s.handleQuality)
+	s.route(mux, "GET /v1/workers/{id}/forecast", "forecast", s.handleForecast)
+	s.route(mux, "POST /v1/runs", "open_run", s.handleOpenRun)
+	s.route(mux, "POST /v1/runs/current/bids", "bid", s.handleBid)
+	s.route(mux, "POST /v1/runs/current/bids/batch", "bid_batch", s.handleBidBatch)
+	s.route(mux, "POST /v1/runs/current/close", "close", s.handleClose)
+	s.route(mux, "GET /v1/runs/current/outcome", "outcome", s.handleOutcome)
+	s.route(mux, "POST /v1/runs/current/answers", "answer", s.handleAnswer)
+	s.route(mux, "GET /v1/runs/current/answers", "list_answers", s.handleListAnswers)
+	s.route(mux, "POST /v1/runs/current/scores", "score", s.handleScore)
+	s.route(mux, "POST /v1/runs/current/scores/batch", "score_batch", s.handleScoreBatch)
+	s.route(mux, "POST /v1/runs/current/finish", "finish", s.handleFinish)
 	return mux
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
+// route mounts one endpoint, instrumenting it when metrics are enabled.
+func (s *Server) route(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
+	if s.metrics == nil {
+		mux.HandleFunc(pattern, h)
+		return
 	}
+	reqs := s.reqs.With(endpoint)
+	reqErrs := s.reqErrs.With(endpoint)
+	secs := s.reqSecs.With(endpoint)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(&sw, r)
+		secs.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			reqErrs.Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // writeJSON writes v with the given status, staging the encoding through a
@@ -262,11 +342,11 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.platform.RegisterWorker(req.WorkerID); err != nil {
+	if err := s.platform.RegisterWorker(r.Context(), req.WorkerID); err != nil {
 		writeError(w, err)
 		return
 	}
-	s.logf("registered worker %s", req.WorkerID)
+	s.log.Debug("registered worker", "worker", req.WorkerID)
 	writeJSON(w, http.StatusCreated, struct{}{})
 }
 
@@ -320,7 +400,7 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 	for i, t := range req.Tasks {
 		tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
 	}
-	if err := s.platform.OpenRun(tasks, req.Budget); err != nil {
+	if err := s.platform.OpenRun(r.Context(), tasks, req.Budget); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -336,7 +416,8 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 		s.answers = nil
 		s.ansMu.Unlock()
 		s.scheduleLocked(s.bidDeadline, run, s.deadlineClose)
-		s.logf("run %d opened with %d tasks, budget %g", run, len(tasks), req.Budget)
+		s.startPhaseSpanLocked("run.bidding")
+		s.log.Info("run opened", "run", run, "tasks", len(tasks), "budget", req.Budget)
 	}
 	s.stateMu.Unlock()
 	writeJSON(w, http.StatusCreated, struct{}{})
@@ -349,17 +430,18 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bid := melody.Bid{Cost: req.Cost, Frequency: req.Frequency}
-	if err := s.platform.SubmitBid(req.WorkerID, bid); err != nil {
+	if err := s.platform.SubmitBid(r.Context(), req.WorkerID, bid); err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct{}{})
 }
 
-// batchResults converts per-item submission errors into wire results.
-func batchResults(errs []error) []BatchItemResult {
-	results := make([]BatchItemResult, len(errs))
-	for i, err := range errs {
+// batchResults converts a backend BatchResult into wire results.
+func batchResults(res melody.BatchResult) []BatchItemResult {
+	results := make([]BatchItemResult, res.Len())
+	for i := range results {
+		err := res.ErrAt(i)
 		if err == nil {
 			results[i] = BatchItemResult{OK: true}
 			continue
@@ -403,16 +485,17 @@ func (s *Server) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 			Bid:      melody.Bid{Cost: b.Cost, Frequency: b.Frequency},
 		}
 	}
-	var errs []error
+	var res melody.BatchResult
 	if s.batch != nil {
-		errs = s.batch.SubmitBids(bids)
+		res = s.batch.SubmitBids(r.Context(), bids)
 	} else {
-		errs = make([]error, len(bids))
+		errs := make([]error, len(bids))
 		for i, b := range bids {
-			errs[i] = s.platform.SubmitBid(b.WorkerID, b.Bid)
+			errs[i] = s.platform.SubmitBid(r.Context(), b.WorkerID, b.Bid)
 		}
+		res = melody.NewBatchResult(errs)
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(errs)})
+	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(res)})
 }
 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
@@ -428,20 +511,21 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	for i, sc := range req.Scores {
 		scores[i] = melody.TaskScore{WorkerID: sc.WorkerID, TaskID: sc.TaskID, Score: sc.Score}
 	}
-	var errs []error
+	var res melody.BatchResult
 	if s.batch != nil {
-		errs = s.batch.SubmitScores(scores)
+		res = s.batch.SubmitScores(r.Context(), scores)
 	} else {
-		errs = make([]error, len(scores))
+		errs := make([]error, len(scores))
 		for i, sc := range scores {
-			errs[i] = s.platform.SubmitScore(sc.WorkerID, sc.TaskID, sc.Score)
+			errs[i] = s.platform.SubmitScore(r.Context(), sc.WorkerID, sc.TaskID, sc.Score)
 		}
+		res = melody.NewBatchResult(errs)
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(errs)})
+	writeJSON(w, http.StatusOK, BatchResponse{Results: batchResults(res)})
 }
 
-func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
-	resp, err := s.closeAuction()
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.closeAuction(r.Context())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -453,7 +537,7 @@ func (s *Server) handleClose(w http.ResponseWriter, _ *http.Request) {
 // bidding-deadline watchdog. Closing an already-closed run replays the
 // recorded outcome (the platform's close is idempotent) without restarting
 // the scoring deadline.
-func (s *Server) closeAuction() (OutcomeResponse, error) {
+func (s *Server) closeAuction(ctx context.Context) (OutcomeResponse, error) {
 	s.stateMu.RLock()
 	if s.phase == PhaseScoring && s.outcome != nil {
 		resp := *s.outcome
@@ -461,7 +545,7 @@ func (s *Server) closeAuction() (OutcomeResponse, error) {
 		return resp, nil
 	}
 	s.stateMu.RUnlock()
-	out, err := s.platform.CloseAuction()
+	out, err := s.platform.CloseAuction(ctx)
 	if err != nil {
 		return OutcomeResponse{}, err
 	}
@@ -470,9 +554,10 @@ func (s *Server) closeAuction() (OutcomeResponse, error) {
 	s.phase = PhaseScoring
 	s.outcome = &resp
 	s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
+	s.startPhaseSpanLocked("run.scoring")
 	s.stateMu.Unlock()
-	s.logf("run %d auction closed: %d tasks selected, payment %.3f",
-		s.run, len(resp.SelectedTasks), resp.TotalPayment)
+	s.log.Info("auction closed", "run", s.run,
+		"selected_tasks", len(resp.SelectedTasks), "payment", resp.TotalPayment)
 	return resp, nil
 }
 
@@ -549,15 +634,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.platform.SubmitScore(req.WorkerID, req.TaskID, req.Score); err != nil {
+	if err := s.platform.SubmitScore(r.Context(), req.WorkerID, req.TaskID, req.Score); err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, struct{}{})
 }
 
-func (s *Server) handleFinish(w http.ResponseWriter, _ *http.Request) {
-	if err := s.finishRun(); err != nil {
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if err := s.finishRun(r.Context()); err != nil {
 		// A retried finish whose first delivery landed sees ErrNoRunOpen
 		// from the platform; when the server's state shows that run did
 		// complete, report the replay as a no-op success.
@@ -576,8 +661,8 @@ func (s *Server) handleFinish(w http.ResponseWriter, _ *http.Request) {
 // finishRun is the finish path shared by the HTTP handler and the
 // scoring-deadline watchdog. Winners without scores degrade into the
 // estimator's missing-observation path inside the platform's FinishRun.
-func (s *Server) finishRun() error {
-	if err := s.platform.FinishRun(); err != nil {
+func (s *Server) finishRun(ctx context.Context) error {
+	if err := s.platform.FinishRun(ctx); err != nil {
 		return err
 	}
 	s.stateMu.Lock()
@@ -587,7 +672,8 @@ func (s *Server) finishRun() error {
 	s.answers = nil
 	s.ansMu.Unlock()
 	s.scheduleLocked(0, 0, nil)
+	s.endPhaseSpanLocked()
 	s.stateMu.Unlock()
-	s.logf("run finished; %d total runs completed", s.platform.Run())
+	s.log.Info("run finished", "completed_runs", s.platform.Run())
 	return nil
 }

@@ -8,7 +8,6 @@ package platform
 
 import (
 	"bytes"
-	"errors"
 	"net/http"
 	"sync"
 
@@ -185,51 +184,29 @@ type ErrorResponse struct {
 	Code  string `json:"code,omitempty"`
 }
 
-// Wire error codes, one per melody sentinel error.
+// Wire error codes, one per melody sentinel error. The canonical mapping
+// lives next to the sentinels in the melody package (melody.ErrorCodeFor /
+// melody.SentinelForCode); these aliases keep the wire package's historical
+// names compiling.
 const (
-	CodeRunOpen       = "run_open"
-	CodeNoRunOpen     = "no_run_open"
-	CodeAuctionClosed = "auction_closed"
-	CodeAuctionOpen   = "auction_open"
-	CodeUnknownWorker = "unknown_worker"
-	CodeNotAssigned   = "not_assigned"
-	CodeNoForecast    = "no_forecast"
+	CodeRunOpen       = string(melody.CodeRunOpen)
+	CodeNoRunOpen     = string(melody.CodeNoRunOpen)
+	CodeAuctionClosed = string(melody.CodeAuctionClosed)
+	CodeAuctionOpen   = string(melody.CodeAuctionOpen)
+	CodeUnknownWorker = string(melody.CodeUnknownWorker)
+	CodeNotAssigned   = string(melody.CodeNotAssigned)
+	CodeNoForecast    = string(melody.CodeNoForecast)
 )
-
-// wireCodes pairs each sentinel with its wire code, in one place so the
-// server-side encoding and the client-side decoding cannot drift.
-var wireCodes = []struct {
-	code     string
-	sentinel error
-}{
-	{CodeRunOpen, melody.ErrRunOpen},
-	{CodeNoRunOpen, melody.ErrNoRunOpen},
-	{CodeAuctionClosed, melody.ErrAuctionClosed},
-	{CodeAuctionOpen, melody.ErrAuctionOpen},
-	{CodeUnknownWorker, melody.ErrUnknownWorker},
-	{CodeNotAssigned, melody.ErrNotAssigned},
-	{CodeNoForecast, melody.ErrNoForecast},
-}
 
 // errorCode maps a platform error onto its wire code ("" when none).
 func errorCode(err error) string {
-	for _, wc := range wireCodes {
-		if errors.Is(err, wc.sentinel) {
-			return wc.code
-		}
-	}
-	return ""
+	return string(melody.ErrorCodeFor(err))
 }
 
 // sentinelForCode maps a wire code back onto the melody sentinel (nil when
 // unknown).
 func sentinelForCode(code string) error {
-	for _, wc := range wireCodes {
-		if wc.code == code {
-			return wc.sentinel
-		}
-	}
-	return nil
+	return melody.SentinelForCode(melody.ErrorCode(code))
 }
 
 // bufPool recycles encode/decode buffers across requests on both sides of

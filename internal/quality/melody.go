@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"melody/internal/lds"
+	"melody/internal/obs"
 )
 
 // MelodyConfig parameterizes the LDS-based estimator.
@@ -35,6 +37,12 @@ type MelodyConfig struct {
 	// BatchConcurrency bounds the goroutine pool ObserveBatch shards
 	// workers across; zero or negative means runtime.GOMAXPROCS(0).
 	BatchConcurrency int
+	// Metrics optionally receives EM re-estimation metrics: wall time per
+	// re-estimation, total count, and the latest final log-likelihood. Nil
+	// disables instrumentation.
+	Metrics *obs.Registry
+	// Tracer optionally records an "em.reestimate" span per re-estimation.
+	Tracer *obs.Tracer
 }
 
 // Validate reports whether the configuration is usable.
@@ -146,6 +154,13 @@ type Melody struct {
 	// batchGen stamps workers touched by the current ObserveBatch so
 	// duplicate IDs inside one batch are detected without a per-batch set.
 	batchGen uint64
+
+	// EM instrumentation handles; nil (no-op) when cfg.Metrics is nil. The
+	// handles are internally atomic, so concurrent ObserveBatch shards can
+	// record through them without coordination.
+	emSeconds *obs.Histogram
+	emRuns    *obs.Counter
+	emLoglik  *obs.Gauge
 }
 
 var (
@@ -158,7 +173,13 @@ func NewMelody(cfg MelodyConfig) (*Melody, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Melody{cfg: cfg, workers: make(map[string]*melodyWorker)}, nil
+	return &Melody{
+		cfg:       cfg,
+		workers:   make(map[string]*melodyWorker),
+		emSeconds: cfg.Metrics.Histogram(obs.MetricEMReestimateSeconds, "Wall time of one per-worker EM re-estimation.", obs.TimeBuckets()),
+		emRuns:    cfg.Metrics.Counter(obs.MetricEMRunsTotal, "EM re-estimations performed."),
+		emLoglik:  cfg.Metrics.Gauge(obs.MetricEMLogLikelihood, "Final log marginal likelihood of the latest EM re-estimation."),
+	}, nil
 }
 
 // Name implements Estimator.
@@ -298,10 +319,17 @@ func (m *Melody) observeWorker(w *melodyWorker, workerID string, scores []float6
 		if due {
 			w.sinceEM = 0
 			if w.hist.hasScores() {
+				sp := m.cfg.Tracer.Start("em.reestimate")
+				sp.SetAttr("worker", workerID)
+				start := time.Now()
 				res, err := w.ws.EM(w.params, w.windowInit, w.hist.view(), m.cfg.EM)
+				m.emSeconds.Observe(time.Since(start).Seconds())
+				sp.End()
 				if err != nil {
 					return fmt.Errorf("quality: worker %s EM: %w", workerID, err)
 				}
+				m.emRuns.Inc()
+				m.emLoglik.Set(res.LogLikelihood)
 				w.params = res.Params
 			}
 		}

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"melody/internal/core"
-	"melody/internal/ledger"
 	"melody/internal/lds"
+	"melody/internal/ledger"
 	"melody/internal/stats"
 )
 

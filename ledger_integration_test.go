@@ -1,6 +1,7 @@
 package melody
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -27,19 +28,20 @@ func ledgerPlatform(t *testing.T, money *Ledger) *Platform {
 }
 
 func TestPlatformWithLedgerSettlement(t *testing.T) {
+	ctx := context.Background()
 	money := NewLedger()
 	if _, err := money.Deposit(RequesterAccount, 500, "campaign funding"); err != nil {
 		t.Fatal(err)
 	}
 	p := ledgerPlatform(t, money)
 	for _, id := range []string{"a", "b", "c", "d"} {
-		if err := p.RegisterWorker(id); err != nil {
+		if err := p.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	const budget = 60.0
-	if err := p.OpenRun([]Task{{ID: "t1", Threshold: 12}, {ID: "t2", Threshold: 12}}, budget); err != nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t1", Threshold: 12}, {ID: "t2", Threshold: 12}}, budget); err != nil {
 		t.Fatal(err)
 	}
 	// Budget escrowed.
@@ -48,11 +50,11 @@ func TestPlatformWithLedgerSettlement(t *testing.T) {
 	}
 	for i, id := range []string{"a", "b", "c", "d"} {
 		bid := Bid{Cost: 1.0 + 0.2*float64(i), Frequency: 2}
-		if err := p.SubmitBid(id, bid); err != nil {
+		if err := p.SubmitBid(ctx, id, bid); err != nil {
 			t.Fatal(err)
 		}
 	}
-	out, err := p.CloseAuction()
+	out, err := p.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +69,11 @@ func TestPlatformWithLedgerSettlement(t *testing.T) {
 		}
 	}
 	for _, a := range out.Assignments {
-		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7); err != nil {
+		if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, 7); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := p.FinishRun(); err != nil {
+	if err := p.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// Unspent escrow refunded; conservation holds.
@@ -85,18 +87,20 @@ func TestPlatformWithLedgerSettlement(t *testing.T) {
 }
 
 func TestPlatformWithLedgerRequiresFunding(t *testing.T) {
+	ctx := context.Background()
 	p := ledgerPlatform(t, NewLedger()) // unfunded
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 50); err == nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 5}}, 50); err == nil {
 		t.Error("unfunded run accepted")
 	}
 }
 
 func TestPlatformWithoutLedgerUnaffected(t *testing.T) {
+	ctx := context.Background()
 	p := ledgerPlatform(t, nil)
-	if err := p.RegisterWorker("w"); err != nil {
+	if err := p.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 50); err != nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 5}}, 50); err != nil {
 		t.Fatalf("ledger-less platform failed: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package melody
 import (
 	"melody/internal/core"
 	"melody/internal/lds"
+	"melody/internal/obs"
 	"melody/internal/quality"
 	"melody/internal/stats"
 )
@@ -74,6 +75,9 @@ type QualityTrackerConfig struct {
 	EMPeriod int
 	// EMWindow bounds the history EM sees (0 = unbounded).
 	EMWindow int
+	// Metrics optionally receives EM re-estimation metrics (wall time,
+	// count, final log-likelihood). Nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 // NewQualityTracker constructs the paper's LDS quality estimator
@@ -84,25 +88,61 @@ func NewQualityTracker(cfg QualityTrackerConfig) (*quality.Melody, error) {
 		Params:   cfg.Params,
 		EMPeriod: cfg.EMPeriod,
 		EMWindow: cfg.EMWindow,
+		Metrics:  cfg.Metrics,
 	})
 }
 
+// EstimatorConfig parameterizes the baseline estimators. All constructors
+// in the family take this one config struct so call sites read the same
+// regardless of baseline (DESIGN.md §API documents the constructor style).
+type EstimatorConfig struct {
+	// Initial is the quality estimate reported for workers with no
+	// observations yet.
+	Initial float64
+	// WarmupRuns applies to the STATIC baseline only: the number of runs
+	// whose scores still update the estimate before it freezes.
+	WarmupRuns int
+}
+
 // NewStaticEstimator returns the STATIC baseline: quality frozen after the
-// first warmupRuns runs.
-func NewStaticEstimator(initial float64, warmupRuns int) (Estimator, error) {
-	return quality.NewStatic(initial, warmupRuns)
+// first cfg.WarmupRuns runs.
+func NewStaticEstimator(cfg EstimatorConfig) (Estimator, error) {
+	return quality.NewStatic(cfg.Initial, cfg.WarmupRuns)
+}
+
+// NewStaticEstimatorLegacy is NewStaticEstimator with positional arguments.
+//
+// Deprecated: use NewStaticEstimator with an EstimatorConfig.
+func NewStaticEstimatorLegacy(initial float64, warmupRuns int) (Estimator, error) {
+	return NewStaticEstimator(EstimatorConfig{Initial: initial, WarmupRuns: warmupRuns})
 }
 
 // NewMLCurrentRunEstimator returns the ML-CR baseline: quality is the mean
-// score of the latest run only.
-func NewMLCurrentRunEstimator(initial float64) Estimator {
-	return quality.NewMLCurrentRun(initial)
+// score of the latest run only. WarmupRuns is ignored.
+func NewMLCurrentRunEstimator(cfg EstimatorConfig) Estimator {
+	return quality.NewMLCurrentRun(cfg.Initial)
+}
+
+// NewMLCurrentRunEstimatorLegacy is NewMLCurrentRunEstimator with a
+// positional argument.
+//
+// Deprecated: use NewMLCurrentRunEstimator with an EstimatorConfig.
+func NewMLCurrentRunEstimatorLegacy(initial float64) Estimator {
+	return NewMLCurrentRunEstimator(EstimatorConfig{Initial: initial})
 }
 
 // NewMLAllRunsEstimator returns the ML-AR baseline: quality is the mean of
-// all scores ever observed.
-func NewMLAllRunsEstimator(initial float64) Estimator {
-	return quality.NewMLAllRuns(initial)
+// all scores ever observed. WarmupRuns is ignored.
+func NewMLAllRunsEstimator(cfg EstimatorConfig) Estimator {
+	return quality.NewMLAllRuns(cfg.Initial)
+}
+
+// NewMLAllRunsEstimatorLegacy is NewMLAllRunsEstimator with a positional
+// argument.
+//
+// Deprecated: use NewMLAllRunsEstimator with an EstimatorConfig.
+func NewMLAllRunsEstimatorLegacy(initial float64) Estimator {
+	return NewMLAllRunsEstimator(EstimatorConfig{Initial: initial})
 }
 
 // NewSeededRNG returns the deterministic random source used across the

@@ -1,6 +1,7 @@
 package melody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -69,9 +70,9 @@ func (m *MultiTypePlatform) platform(taskType string) (*Platform, error) {
 }
 
 // RegisterWorker registers the worker for every task type.
-func (m *MultiTypePlatform) RegisterWorker(workerID string) error {
+func (m *MultiTypePlatform) RegisterWorker(ctx context.Context, workerID string) error {
 	for _, taskType := range m.types {
-		if err := m.platforms[taskType].RegisterWorker(workerID); err != nil {
+		if err := m.platforms[taskType].RegisterWorker(ctx, workerID); err != nil {
 			return err
 		}
 	}
@@ -81,7 +82,7 @@ func (m *MultiTypePlatform) RegisterWorker(workerID string) error {
 // OpenRun opens one run per task type present in tasks, each with its own
 // budget. Types without tasks stay idle; every listed type must have a
 // budget entry.
-func (m *MultiTypePlatform) OpenRun(tasks []TypedTask, budgets map[string]float64) error {
+func (m *MultiTypePlatform) OpenRun(ctx context.Context, tasks []TypedTask, budgets map[string]float64) error {
 	byType := make(map[string][]Task)
 	for _, t := range tasks {
 		if _, ok := m.platforms[t.Type]; !ok {
@@ -105,7 +106,7 @@ func (m *MultiTypePlatform) OpenRun(tasks []TypedTask, budgets map[string]float6
 		if !ok {
 			continue
 		}
-		if err := m.platforms[taskType].OpenRun(typeTasks, budgets[taskType]); err != nil {
+		if err := m.platforms[taskType].OpenRun(ctx, typeTasks, budgets[taskType]); err != nil {
 			// Roll back nothing: runs already opened stay open and the
 			// caller sees which type failed. Validation above makes this
 			// reachable only through per-task validation errors.
@@ -118,20 +119,20 @@ func (m *MultiTypePlatform) OpenRun(tasks []TypedTask, budgets map[string]float6
 }
 
 // SubmitBid records a worker's bid for one task type's open run.
-func (m *MultiTypePlatform) SubmitBid(workerID, taskType string, bid Bid) error {
+func (m *MultiTypePlatform) SubmitBid(ctx context.Context, workerID, taskType string, bid Bid) error {
 	p, err := m.platform(taskType)
 	if err != nil {
 		return err
 	}
-	return p.SubmitBid(workerID, bid)
+	return p.SubmitBid(ctx, workerID, bid)
 }
 
 // CloseAuction closes every open per-type auction and returns the outcomes
 // keyed by type. Types with no open run are skipped.
-func (m *MultiTypePlatform) CloseAuction() (map[string]*Outcome, error) {
+func (m *MultiTypePlatform) CloseAuction(ctx context.Context) (map[string]*Outcome, error) {
 	outcomes := make(map[string]*Outcome)
 	for _, taskType := range m.types {
-		out, err := m.platforms[taskType].CloseAuction()
+		out, err := m.platforms[taskType].CloseAuction(ctx)
 		if err != nil {
 			if errors.Is(err, ErrNoRunOpen) {
 				continue
@@ -147,19 +148,19 @@ func (m *MultiTypePlatform) CloseAuction() (map[string]*Outcome, error) {
 }
 
 // SubmitScore records a score for a worker's answer within one type's run.
-func (m *MultiTypePlatform) SubmitScore(workerID, taskType, taskID string, score float64) error {
+func (m *MultiTypePlatform) SubmitScore(ctx context.Context, workerID, taskType, taskID string, score float64) error {
 	p, err := m.platform(taskType)
 	if err != nil {
 		return err
 	}
-	return p.SubmitScore(workerID, taskID, score)
+	return p.SubmitScore(ctx, workerID, taskID, score)
 }
 
 // FinishRun finishes every type's open run, updating per-type quality.
-func (m *MultiTypePlatform) FinishRun() error {
+func (m *MultiTypePlatform) FinishRun(ctx context.Context) error {
 	finished := 0
 	for _, taskType := range m.types {
-		err := m.platforms[taskType].FinishRun()
+		err := m.platforms[taskType].FinishRun(ctx)
 		switch {
 		case err == nil:
 			finished++

@@ -1,6 +1,7 @@
 package melody
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -40,6 +41,7 @@ func TestNewMultiTypePlatformValidation(t *testing.T) {
 }
 
 func TestMultiTypeLifecycle(t *testing.T) {
+	ctx := context.Background()
 	m, err := NewMultiTypePlatform(multiTypeConfig(t))
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +50,7 @@ func TestMultiTypeLifecycle(t *testing.T) {
 		t.Fatalf("Types = %v", got)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := m.RegisterWorker(id); err != nil {
+		if err := m.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,18 +60,18 @@ func TestMultiTypeLifecycle(t *testing.T) {
 		{Type: "sensing", Task: Task{ID: "s1", Threshold: 10}},
 	}
 	budgets := map[string]float64{"labeling": 50, "sensing": 50}
-	if err := m.OpenRun(tasks, budgets); err != nil {
+	if err := m.OpenRun(ctx, tasks, budgets); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := m.SubmitBid(id, "labeling", Bid{Cost: 1.2, Frequency: 1}); err != nil {
+		if err := m.SubmitBid(ctx, id, "labeling", Bid{Cost: 1.2, Frequency: 1}); err != nil {
 			t.Fatal(err)
 		}
-		if err := m.SubmitBid(id, "sensing", Bid{Cost: 1.8, Frequency: 1}); err != nil {
+		if err := m.SubmitBid(ctx, id, "sensing", Bid{Cost: 1.8, Frequency: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	outcomes, err := m.CloseAuction()
+	outcomes, err := m.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,12 +86,12 @@ func TestMultiTypeLifecycle(t *testing.T) {
 			score = 2.0
 		}
 		for _, a := range out.Assignments {
-			if err := m.SubmitScore(a.WorkerID, taskType, a.TaskID, score); err != nil {
+			if err := m.SubmitScore(ctx, a.WorkerID, taskType, a.TaskID, score); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if err := m.FinishRun(); err != nil {
+	if err := m.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -108,20 +110,21 @@ func TestMultiTypeLifecycle(t *testing.T) {
 }
 
 func TestMultiTypeUnknownType(t *testing.T) {
+	ctx := context.Background()
 	m, err := NewMultiTypePlatform(multiTypeConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.RegisterWorker("w"); err != nil {
+	if err := m.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SubmitBid("w", "cooking", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownTaskType) {
+	if err := m.SubmitBid(ctx, "w", "cooking", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownTaskType) {
 		t.Errorf("unknown type bid = %v", err)
 	}
 	if _, err := m.Quality("w", "cooking"); !errors.Is(err, ErrUnknownTaskType) {
 		t.Errorf("unknown type quality = %v", err)
 	}
-	err = m.OpenRun([]TypedTask{{Type: "cooking", Task: Task{ID: "t", Threshold: 1}}},
+	err = m.OpenRun(ctx, []TypedTask{{Type: "cooking", Task: Task{ID: "t", Threshold: 1}}},
 		map[string]float64{"cooking": 10})
 	if !errors.Is(err, ErrUnknownTaskType) {
 		t.Errorf("unknown type open = %v", err)
@@ -129,6 +132,7 @@ func TestMultiTypeUnknownType(t *testing.T) {
 }
 
 func TestMultiTypePartialRun(t *testing.T) {
+	ctx := context.Background()
 	// Only one type has tasks this run; the other stays idle and finish
 	// succeeds.
 	m, err := NewMultiTypePlatform(multiTypeConfig(t))
@@ -136,20 +140,20 @@ func TestMultiTypePartialRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := m.RegisterWorker(id); err != nil {
+		if err := m.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
 	tasks := []TypedTask{{Type: "labeling", Task: Task{ID: "l1", Threshold: 8}}}
-	if err := m.OpenRun(tasks, map[string]float64{"labeling": 30}); err != nil {
+	if err := m.OpenRun(ctx, tasks, map[string]float64{"labeling": 30}); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"a", "b", "c"} {
-		if err := m.SubmitBid(id, "labeling", Bid{Cost: 1.1, Frequency: 1}); err != nil {
+		if err := m.SubmitBid(ctx, id, "labeling", Bid{Cost: 1.1, Frequency: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	outcomes, err := m.CloseAuction()
+	outcomes, err := m.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,31 +164,32 @@ func TestMultiTypePartialRun(t *testing.T) {
 		t.Fatal("missing labeling outcome")
 	}
 	for _, a := range outcomes["labeling"].Assignments {
-		if err := m.SubmitScore(a.WorkerID, "labeling", a.TaskID, 7); err != nil {
+		if err := m.SubmitScore(ctx, a.WorkerID, "labeling", a.TaskID, 7); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := m.FinishRun(); err != nil {
+	if err := m.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMultiTypeOpenRunValidation(t *testing.T) {
+	ctx := context.Background()
 	m, err := NewMultiTypePlatform(multiTypeConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.OpenRun(nil, nil); err == nil {
+	if err := m.OpenRun(ctx, nil, nil); err == nil {
 		t.Error("empty task set accepted")
 	}
 	tasks := []TypedTask{{Type: "labeling", Task: Task{ID: "l1", Threshold: 8}}}
-	if err := m.OpenRun(tasks, map[string]float64{}); err == nil {
+	if err := m.OpenRun(ctx, tasks, map[string]float64{}); err == nil {
 		t.Error("missing budget accepted")
 	}
-	if _, err := m.CloseAuction(); !errors.Is(err, ErrNoRunOpen) {
+	if _, err := m.CloseAuction(ctx); !errors.Is(err, ErrNoRunOpen) {
 		t.Errorf("close with nothing open = %v", err)
 	}
-	if err := m.FinishRun(); !errors.Is(err, ErrNoRunOpen) {
+	if err := m.FinishRun(ctx); !errors.Is(err, ErrNoRunOpen) {
 		t.Errorf("finish with nothing open = %v", err)
 	}
 }

@@ -1,12 +1,15 @@
 package melody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"melody/internal/core"
 	"melody/internal/ledger"
+	"melody/internal/obs"
 )
 
 // Money-handling re-exports: an optional double-entry ledger can be
@@ -67,6 +70,12 @@ type PlatformConfig struct {
 	// winners from escrow, FinishRun refunds the remainder. Nil disables
 	// settlement.
 	Ledger *Ledger
+	// Metrics optionally receives the platform's mechanism metrics (auction
+	// duration, winners, spent budget, completed runs). Nil disables
+	// instrumentation at zero overhead.
+	Metrics *obs.Registry
+	// Tracer optionally records auction spans. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Platform is the paper's crowdsourcing platform: it owns the worker
@@ -77,12 +86,15 @@ type PlatformConfig struct {
 // polls never queue behind bid ingest.
 type Platform struct {
 	mu      sync.RWMutex
-	auction *Auction
+	mech    Mechanism
 	est     Estimator
 	money   *Ledger
 	workers map[string]bool
 	run     int
 	open    *openRun
+
+	runsCompleted *obs.Counter // nil-safe; nil when PlatformConfig.Metrics is nil
+	tracer        *obs.Tracer
 }
 
 // openRun is the mutable state of the currently open run.
@@ -135,16 +147,31 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		return nil, err
 	}
 	return &Platform{
-		auction: auction,
-		est:     cfg.Estimator,
-		money:   cfg.Ledger,
-		workers: make(map[string]bool),
+		mech:          core.Instrument(auction.mech, cfg.Metrics, cfg.Tracer),
+		est:           cfg.Estimator,
+		money:         cfg.Ledger,
+		workers:       make(map[string]bool),
+		runsCompleted: cfg.Metrics.Counter(obs.MetricRunsCompletedTotal, "Completed platform runs."),
+		tracer:        cfg.Tracer,
 	}, nil
+}
+
+// ctxErr reports whether the call should be abandoned before touching
+// platform state: a cancelled or expired context fails fast, a nil context
+// (tolerated for robustness, like net/http) never does.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // RegisterWorker adds a worker to the universal worker set. Registering an
 // existing worker is a no-op.
-func (p *Platform) RegisterWorker(workerID string) error {
+func (p *Platform) RegisterWorker(ctx context.Context, workerID string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if workerID == "" {
 		return errors.New("melody: empty worker ID")
 	}
@@ -152,6 +179,13 @@ func (p *Platform) RegisterWorker(workerID string) error {
 	defer p.mu.Unlock()
 	p.workers[workerID] = true
 	return nil
+}
+
+// RegisterWorkerNoCtx is RegisterWorker without a context.
+//
+// Deprecated: use RegisterWorker with a context.
+func (p *Platform) RegisterWorkerNoCtx(workerID string) error {
+	return p.RegisterWorker(context.Background(), workerID)
 }
 
 // Workers returns the registered worker IDs in sorted order.
@@ -210,7 +244,14 @@ func (p *Platform) Forecast(workerID string, steps int) (QualityForecast, error)
 // retry. Opening a different spec while a run is open remains ErrRunOpen.
 // Distinct runs should therefore use distinct task IDs (the bundled
 // requester generates "run<r>-task<j>").
-func (p *Platform) OpenRun(tasks []Task, budget float64) error {
+//
+// A cancelled or expired ctx fails fast before any state changes; the
+// in-memory platform does not block, so ctx otherwise only matters to
+// durable backends layered on top (their WAL waits honour the deadline).
+func (p *Platform) OpenRun(ctx context.Context, tasks []Task, budget float64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.open != nil {
@@ -257,6 +298,13 @@ func (p *Platform) OpenRun(tasks []Task, budget float64) error {
 	return nil
 }
 
+// OpenRunNoCtx is OpenRun without a context.
+//
+// Deprecated: use OpenRun with a context.
+func (p *Platform) OpenRunNoCtx(tasks []Task, budget float64) error {
+	return p.OpenRun(context.Background(), tasks, budget)
+}
+
 // sameTasks reports whether two task lists are identical (same IDs and
 // thresholds in the same order).
 func sameTasks(a, b []Task) bool {
@@ -278,10 +326,20 @@ func sameTasks(a, b []Task) bool {
 // on record after the auction closed is a no-op success (the retry of a
 // bid whose acknowledgment was lost), while a new or changed bid after the
 // close remains ErrAuctionClosed.
-func (p *Platform) SubmitBid(workerID string, bid Bid) error {
+func (p *Platform) SubmitBid(ctx context.Context, workerID string, bid Bid) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.submitBidLocked(workerID, bid)
+}
+
+// SubmitBidNoCtx is SubmitBid without a context.
+//
+// Deprecated: use SubmitBid with a context.
+func (p *Platform) SubmitBidNoCtx(workerID string, bid Bid) error {
+	return p.SubmitBid(context.Background(), workerID, bid)
 }
 
 // WorkerBid pairs a worker with a bid, for batch submission.
@@ -291,17 +349,33 @@ type WorkerBid struct {
 }
 
 // SubmitBids submits a whole batch of bids under one lock acquisition,
-// reporting each item's outcome positionally (nil for accepted bids). Item
-// semantics are exactly SubmitBid's, including the idempotent-replay rules;
-// a rejected item does not affect its neighbours.
-func (p *Platform) SubmitBids(bids []WorkerBid) []error {
+// reporting each item's outcome in the BatchResult. Item semantics are
+// exactly SubmitBid's, including the idempotent-replay rules; a rejected
+// item does not affect its neighbours. A cancelled ctx rejects every item
+// with the context error before any is applied — batches are all-or-nothing
+// with respect to cancellation.
+func (p *Platform) SubmitBids(ctx context.Context, bids []WorkerBid) BatchResult {
 	errs := make([]error, len(bids))
+	if err := ctxErr(ctx); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return NewBatchResult(errs)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i, b := range bids {
 		errs[i] = p.submitBidLocked(b.WorkerID, b.Bid)
 	}
-	return errs
+	return NewBatchResult(errs)
+}
+
+// SubmitBidsNoCtx is SubmitBids without a context, returning the legacy
+// positional error slice.
+//
+// Deprecated: use SubmitBids with a context.
+func (p *Platform) SubmitBidsNoCtx(bids []WorkerBid) []error {
+	return p.SubmitBids(context.Background(), bids).Errs()
 }
 
 // submitBidLocked is SubmitBid's body; callers hold p.mu.
@@ -334,7 +408,10 @@ func (p *Platform) submitBidLocked(workerID string, bid Bid) error {
 // CloseAuction is idempotent: closing an already-closed auction returns
 // the original outcome again without re-running the mechanism or settling
 // any payment twice, so a retried close after a lost response is safe.
-func (p *Platform) CloseAuction() (*Outcome, error) {
+func (p *Platform) CloseAuction(ctx context.Context) (*Outcome, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.open == nil {
@@ -353,7 +430,7 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 	}
 	// Deterministic instance ordering regardless of map iteration.
 	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
-	out, err := p.auction.Run(Instance{
+	out, err := p.mech.Run(Instance{
 		Workers: workers,
 		Tasks:   p.open.tasks,
 		Budget:  p.open.budget,
@@ -383,6 +460,13 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 	return out, nil
 }
 
+// CloseAuctionNoCtx is CloseAuction without a context.
+//
+// Deprecated: use CloseAuction with a context.
+func (p *Platform) CloseAuctionNoCtx() (*Outcome, error) {
+	return p.CloseAuction(context.Background())
+}
+
 // SubmitScore records the requester's score for a worker's answer to an
 // assigned task. Each assigned (worker, task) pair takes at most one score.
 //
@@ -390,10 +474,20 @@ func (p *Platform) CloseAuction() (*Outcome, error) {
 // score already on record for the pair is a no-op success (a retried
 // delivery), while a different value for an already-scored pair — or a
 // pair that was never allocated — is ErrNotAssigned.
-func (p *Platform) SubmitScore(workerID, taskID string, score float64) error {
+func (p *Platform) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.submitScoreLocked(workerID, taskID, score)
+}
+
+// SubmitScoreNoCtx is SubmitScore without a context.
+//
+// Deprecated: use SubmitScore with a context.
+func (p *Platform) SubmitScoreNoCtx(workerID, taskID string, score float64) error {
+	return p.SubmitScore(context.Background(), workerID, taskID, score)
 }
 
 // TaskScore is one scored assignment, for batch submission.
@@ -404,17 +498,32 @@ type TaskScore struct {
 }
 
 // SubmitScores submits a whole batch of scores under one lock acquisition,
-// reporting each item's outcome positionally (nil for accepted scores).
-// Item semantics are exactly SubmitScore's, including the idempotent-replay
-// rules; a rejected item does not affect its neighbours.
-func (p *Platform) SubmitScores(scores []TaskScore) []error {
+// reporting each item's outcome in the BatchResult. Item semantics are
+// exactly SubmitScore's, including the idempotent-replay rules; a rejected
+// item does not affect its neighbours. A cancelled ctx rejects every item
+// with the context error before any is applied.
+func (p *Platform) SubmitScores(ctx context.Context, scores []TaskScore) BatchResult {
 	errs := make([]error, len(scores))
+	if err := ctxErr(ctx); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return NewBatchResult(errs)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for i, s := range scores {
 		errs[i] = p.submitScoreLocked(s.WorkerID, s.TaskID, s.Score)
 	}
-	return errs
+	return NewBatchResult(errs)
+}
+
+// SubmitScoresNoCtx is SubmitScores without a context, returning the legacy
+// positional error slice.
+//
+// Deprecated: use SubmitScores with a context.
+func (p *Platform) SubmitScoresNoCtx(scores []TaskScore) []error {
+	return p.SubmitScores(context.Background(), scores).Errs()
 }
 
 // submitScoreLocked is SubmitScore's body; callers hold p.mu.
@@ -447,9 +556,15 @@ func (p *Platform) submitScoreLocked(workerID, taskID string, score float64) err
 // FinishRun ends the run: every registered worker's quality is updated from
 // the scores collected this run (an empty set for workers who won nothing),
 // and the platform becomes ready for the next OpenRun.
-func (p *Platform) FinishRun() error {
+func (p *Platform) FinishRun(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	sp := p.tracer.Start("run.finish")
+	defer sp.End()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sp.SetRun(p.run + 1)
 	if p.open == nil {
 		return ErrNoRunOpen
 	}
@@ -473,5 +588,13 @@ func (p *Platform) FinishRun() error {
 	}
 	p.run++
 	p.open = nil
+	p.runsCompleted.Inc()
 	return nil
+}
+
+// FinishRunNoCtx is FinishRun without a context.
+//
+// Deprecated: use FinishRun with a context.
+func (p *Platform) FinishRunNoCtx() error {
+	return p.FinishRun(context.Background())
 }

@@ -1,6 +1,7 @@
 package melody
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -30,15 +31,16 @@ func TestNewPlatformValidation(t *testing.T) {
 	if _, err := NewPlatform(PlatformConfig{}); err == nil {
 		t.Error("nil estimator accepted")
 	}
-	if _, err := NewPlatform(PlatformConfig{Estimator: NewMLAllRunsEstimator(5)}); err == nil {
+	if _, err := NewPlatform(PlatformConfig{Estimator: NewMLAllRunsEstimator(EstimatorConfig{Initial: 5})}); err == nil {
 		t.Error("zero auction config accepted")
 	}
 }
 
 func TestPlatformLifecycle(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
 	for _, id := range []string{"alice", "bob", "carol", "dave", "erin"} {
-		if err := p.RegisterWorker(id); err != nil {
+		if err := p.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -47,18 +49,18 @@ func TestPlatformLifecycle(t *testing.T) {
 	}
 
 	tasks := []Task{{ID: "label-1", Threshold: 10}, {ID: "label-2", Threshold: 10}}
-	if err := p.OpenRun(tasks, 100); err != nil {
+	if err := p.OpenRun(ctx, tasks, 100); err != nil {
 		t.Fatal(err)
 	}
 	// Re-opening the same run spec is an idempotent replay; a different
 	// spec while a run is open is still rejected.
-	if err := p.OpenRun(tasks, 100); err != nil {
+	if err := p.OpenRun(ctx, tasks, 100); err != nil {
 		t.Errorf("replayed open = %v, want nil", err)
 	}
-	if err := p.OpenRun(tasks, 200); !errors.Is(err, ErrRunOpen) {
+	if err := p.OpenRun(ctx, tasks, 200); !errors.Is(err, ErrRunOpen) {
 		t.Errorf("conflicting open = %v, want ErrRunOpen", err)
 	}
-	if err := p.OpenRun([]Task{{ID: "other", Threshold: 5}}, 100); !errors.Is(err, ErrRunOpen) {
+	if err := p.OpenRun(ctx, []Task{{ID: "other", Threshold: 5}}, 100); !errors.Is(err, ErrRunOpen) {
 		t.Errorf("different open = %v, want ErrRunOpen", err)
 	}
 
@@ -69,18 +71,18 @@ func TestPlatformLifecycle(t *testing.T) {
 		"dave":  {Cost: 1.8, Frequency: 2},
 	}
 	for id, b := range bids {
-		if err := p.SubmitBid(id, b); err != nil {
+		if err := p.SubmitBid(ctx, id, b); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := p.SubmitBid("mallory", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownWorker) {
+	if err := p.SubmitBid(ctx, "mallory", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrUnknownWorker) {
 		t.Errorf("unknown worker bid = %v", err)
 	}
-	if err := p.SubmitScore("alice", "label-1", 8); !errors.Is(err, ErrAuctionOpen) {
+	if err := p.SubmitScore(ctx, "alice", "label-1", 8); !errors.Is(err, ErrAuctionOpen) {
 		t.Errorf("early score = %v, want ErrAuctionOpen", err)
 	}
 
-	out, err := p.CloseAuction()
+	out, err := p.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestPlatformLifecycle(t *testing.T) {
 		t.Fatal("no tasks satisfied in a generous run")
 	}
 	// A retried close replays the same outcome instead of failing.
-	out2, err := p.CloseAuction()
+	out2, err := p.CloseAuction(ctx)
 	if err != nil {
 		t.Errorf("replayed close = %v, want nil", err)
 	}
@@ -97,35 +99,35 @@ func TestPlatformLifecycle(t *testing.T) {
 	}
 	// Replaying the bid already on record is a no-op; a changed bid after
 	// the close is still rejected.
-	if err := p.SubmitBid("alice", bids["alice"]); err != nil {
+	if err := p.SubmitBid(ctx, "alice", bids["alice"]); err != nil {
 		t.Errorf("replayed bid = %v, want nil", err)
 	}
-	if err := p.SubmitBid("alice", Bid{Cost: 1.1, Frequency: 2}); !errors.Is(err, ErrAuctionClosed) {
+	if err := p.SubmitBid(ctx, "alice", Bid{Cost: 1.1, Frequency: 2}); !errors.Is(err, ErrAuctionClosed) {
 		t.Errorf("changed late bid = %v, want ErrAuctionClosed", err)
 	}
-	if err := p.SubmitBid("erin", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrAuctionClosed) {
+	if err := p.SubmitBid(ctx, "erin", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrAuctionClosed) {
 		t.Errorf("fresh late bid = %v, want ErrAuctionClosed", err)
 	}
 
 	// Score every assignment.
 	for _, a := range out.Assignments {
-		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); err != nil {
+		if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, 7.5); err != nil {
 			t.Fatal(err)
 		}
 		// A retried score with the same value is a no-op; a different value
 		// for the consumed slot is rejected.
-		if err := p.SubmitScore(a.WorkerID, a.TaskID, 7.5); err != nil {
+		if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, 7.5); err != nil {
 			t.Errorf("replayed score = %v, want nil", err)
 		}
-		if err := p.SubmitScore(a.WorkerID, a.TaskID, 3.0); !errors.Is(err, ErrNotAssigned) {
+		if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, 3.0); !errors.Is(err, ErrNotAssigned) {
 			t.Errorf("conflicting score = %v, want ErrNotAssigned", err)
 		}
 	}
-	if err := p.SubmitScore("alice", "label-99", 5); !errors.Is(err, ErrNotAssigned) {
+	if err := p.SubmitScore(ctx, "alice", "label-99", 5); !errors.Is(err, ErrNotAssigned) {
 		t.Errorf("unassigned score = %v, want ErrNotAssigned", err)
 	}
 
-	if err := p.FinishRun(); err != nil {
+	if err := p.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if p.Run() != 1 {
@@ -146,69 +148,72 @@ func TestPlatformLifecycle(t *testing.T) {
 }
 
 func TestPlatformOpenRunValidation(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
-	if err := p.OpenRun(nil, 10); err == nil {
+	if err := p.OpenRun(ctx, nil, 10); err == nil {
 		t.Error("empty task set accepted")
 	}
-	if err := p.OpenRun([]Task{{ID: "", Threshold: 1}}, 10); err == nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "", Threshold: 1}}, 10); err == nil {
 		t.Error("empty task ID accepted")
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 0}}, 10); err == nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 0}}, 10); err == nil {
 		t.Error("zero threshold accepted")
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 1}, {ID: "t", Threshold: 1}}, 10); err == nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 1}, {ID: "t", Threshold: 1}}, 10); err == nil {
 		t.Error("duplicate task accepted")
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 1}}, -1); err == nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 1}}, -1); err == nil {
 		t.Error("negative budget accepted")
 	}
 }
 
 func TestPlatformBidValidation(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
-	if err := p.SubmitBid("w", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrNoRunOpen) {
+	if err := p.SubmitBid(ctx, "w", Bid{Cost: 1, Frequency: 1}); !errors.Is(err, ErrNoRunOpen) {
 		t.Errorf("bid without run = %v", err)
 	}
-	if err := p.RegisterWorker("w"); err != nil {
+	if err := p.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 10); err != nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 5}}, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.SubmitBid("w", Bid{Cost: 0, Frequency: 1}); err == nil {
+	if err := p.SubmitBid(ctx, "w", Bid{Cost: 0, Frequency: 1}); err == nil {
 		t.Error("zero cost accepted")
 	}
-	if err := p.SubmitBid("w", Bid{Cost: 1, Frequency: 0}); err == nil {
+	if err := p.SubmitBid(ctx, "w", Bid{Cost: 1, Frequency: 0}); err == nil {
 		t.Error("zero frequency accepted")
 	}
 }
 
 func TestPlatformMultipleRuns(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
 	for _, id := range []string{"a", "b", "c"} {
-		if err := p.RegisterWorker(id); err != nil {
+		if err := p.RegisterWorker(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for run := 0; run < 5; run++ {
-		if err := p.OpenRun([]Task{{ID: "t", Threshold: 8}}, 50); err != nil {
+		if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 8}}, 50); err != nil {
 			t.Fatal(err)
 		}
 		for _, id := range []string{"a", "b", "c"} {
-			if err := p.SubmitBid(id, Bid{Cost: 1.2, Frequency: 1}); err != nil {
+			if err := p.SubmitBid(ctx, id, Bid{Cost: 1.2, Frequency: 1}); err != nil {
 				t.Fatal(err)
 			}
 		}
-		out, err := p.CloseAuction()
+		out, err := p.CloseAuction(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, a := range out.Assignments {
-			if err := p.SubmitScore(a.WorkerID, a.TaskID, 6); err != nil {
+			if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, 6); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := p.FinishRun(); err != nil {
+		if err := p.FinishRun(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,14 +223,15 @@ func TestPlatformMultipleRuns(t *testing.T) {
 }
 
 func TestPlatformConcurrentBids(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
 	const n = 32
 	for i := 0; i < n; i++ {
-		if err := p.RegisterWorker(workerID(i)); err != nil {
+		if err := p.RegisterWorker(ctx, workerID(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 40}}, 1000); err != nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 40}}, 1000); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -233,20 +239,20 @@ func TestPlatformConcurrentBids(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := p.SubmitBid(workerID(i), Bid{Cost: 1.5, Frequency: 1}); err != nil {
+			if err := p.SubmitBid(ctx, workerID(i), Bid{Cost: 1.5, Frequency: 1}); err != nil {
 				t.Errorf("bid %d: %v", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	out, err := p.CloseAuction()
+	out, err := p.CloseAuction(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out == nil {
 		t.Fatal("nil outcome")
 	}
-	if err := p.FinishRun(); err != nil {
+	if err := p.FinishRun(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -254,11 +260,12 @@ func TestPlatformConcurrentBids(t *testing.T) {
 func workerID(i int) string { return string(rune('A'+i%26)) + string(rune('a'+i/26)) }
 
 func TestPlatformForecast(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
 	if _, err := p.Forecast("ghost", 1); !errors.Is(err, ErrUnknownWorker) {
 		t.Errorf("unknown worker forecast = %v", err)
 	}
-	if err := p.RegisterWorker("w"); err != nil {
+	if err := p.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
 	f, err := p.Forecast("w", 2)
@@ -278,14 +285,15 @@ func TestPlatformForecast(t *testing.T) {
 }
 
 func TestPlatformForecastUnsupported(t *testing.T) {
+	ctx := context.Background()
 	p, err := NewPlatform(PlatformConfig{
 		Auction:   AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
-		Estimator: NewMLAllRunsEstimator(5.5),
+		Estimator: NewMLAllRunsEstimator(EstimatorConfig{Initial: 5.5}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.RegisterWorker("w"); err != nil {
+	if err := p.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.Forecast("w", 1); !errors.Is(err, ErrNoForecast) {
@@ -294,17 +302,18 @@ func TestPlatformForecastUnsupported(t *testing.T) {
 }
 
 func TestPlatformFinishWithoutClose(t *testing.T) {
+	ctx := context.Background()
 	p := testPlatform(t)
-	if err := p.FinishRun(); !errors.Is(err, ErrNoRunOpen) {
+	if err := p.FinishRun(ctx); !errors.Is(err, ErrNoRunOpen) {
 		t.Errorf("finish without run = %v", err)
 	}
-	if err := p.RegisterWorker("w"); err != nil {
+	if err := p.RegisterWorker(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.OpenRun([]Task{{ID: "t", Threshold: 5}}, 10); err != nil {
+	if err := p.OpenRun(ctx, []Task{{ID: "t", Threshold: 5}}, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.FinishRun(); !errors.Is(err, ErrAuctionOpen) {
+	if err := p.FinishRun(ctx); !errors.Is(err, ErrAuctionOpen) {
 		t.Errorf("finish before close = %v", err)
 	}
 }
