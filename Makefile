@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke load-smoke obs-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,13 @@ verify-props:
 bench-smoke:
 	$(GO) test . -run '^$$' -bench . -benchtime 1x
 
+# bench-scale-smoke single-shots the n=10^5 auction-scale kernels through
+# the real melody-bench harness (full build, stateful kernel, incremental
+# churn): a liveness gate for the million-worker auction path without the
+# multi-minute n=10^6 kernels. -smoke writes no snapshot.
+bench-scale-smoke:
+	$(GO) run ./cmd/melody-bench -smoke -filter '^alloc/melody(_state|_inc|_scratch)?/n100000($$|_)'
+
 # chaos-smoke re-runs the seeded fault-injection suite on its own: the
 # chaos harness unit tests plus the 20-run soak season with a mid-season
 # kill and WAL recovery (internal/platform/chaos_soak_test.go).
@@ -48,6 +55,7 @@ chaos-smoke:
 # promote new corpus entries.
 fuzz-smoke:
 	$(GO) test ./internal/verify/ -run '^$$' -fuzz '^FuzzMelodyAuction$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify/ -run '^$$' -fuzz '^FuzzIncrementalAuction$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/eventlog/ -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/platform/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lds/ -run '^$$' -fuzz '^FuzzKalmanFilter$$' -fuzztime $(FUZZTIME)

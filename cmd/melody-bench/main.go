@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"math"
 	"regexp"
 	"runtime"
 	"sort"
@@ -109,6 +110,103 @@ func randomKernel(n, m int, budget float64) func(b *testing.B) {
 				b.Fatal(err)
 			}
 			if _, err := mech.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// churnWorker derives a deterministic variant of a worker for the churn
+// kernels: cost and quality are remapped inside the Table-3 supports (so the
+// worker stays qualified) as a function of its index and the cycle phase,
+// which reshuffles its position in the quality-per-cost ranking every apply.
+func churnWorker(w core.Worker, i, phase int) core.Worker {
+	frac := func(x float64) float64 { return x - math.Floor(x) }
+	w.Bid.Cost = 1 + frac(float64(i)*0.6180339887+float64(phase)*0.37)
+	w.Quality = 2 + 1.99*frac(float64(i)*0.7548776662+float64(phase)*0.53)
+	return w
+}
+
+// churnDelta builds the phase's registry delta over the first
+// churnPct percent of the instance's workers.
+func churnDelta(workers []core.Worker, churnPct, phase int) core.WorkerDelta {
+	c := len(workers) * churnPct / 100
+	ups := make([]core.Worker, c)
+	for i := 0; i < c; i++ {
+		ups[i] = churnWorker(workers[i], i, phase)
+	}
+	return core.WorkerDelta{Upserts: ups}
+}
+
+// melodyIncKernel measures the steady-state cost of one long-term run on the
+// incremental AuctionState: apply a churnPct% registry delta (alternating
+// between two value phases so every apply genuinely re-ranks workers), then
+// run the auction from the repaired cache. churnPct 0 pins the pure
+// cached-run cost with no delta at all.
+func melodyIncKernel(n, m int, budget float64, churnPct int) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchInstance(n, m, budget)
+		st, err := core.NewAuctionState(experiments.PaperSRA().AuctionConfig(),
+			core.AuctionStateOptions{ReuseOutcome: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Apply(core.WorkerDelta{Upserts: in.Workers}); err != nil {
+			b.Fatal(err)
+		}
+		deltas := [2]core.WorkerDelta{
+			churnDelta(in.Workers, churnPct, 0),
+			churnDelta(in.Workers, churnPct, 1),
+		}
+		// Warm one full cycle so the registry reaches its periodic regime and
+		// every arena is sized before the timer starts.
+		for k := 0; k < 2; k++ {
+			if err := st.Apply(deltas[k]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.RunMelody(in.Tasks, in.Budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Apply(deltas[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.RunMelody(in.Tasks, in.Budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// melodyScratchKernel is melodyIncKernel's from-scratch twin: the identical
+// alternating registry states, each run executed by the stateless mechanism
+// on a prebuilt instance. The inc/scratch ratio is the incremental cache's
+// speedup on a churnPct% delta.
+func melodyScratchKernel(n, m int, budget float64, churnPct int) func(b *testing.B) {
+	return func(b *testing.B) {
+		in := benchInstance(n, m, budget)
+		mech, err := core.NewMelody(experiments.PaperSRA().AuctionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var phases [2]core.Instance
+		for k := range phases {
+			workers := make([]core.Worker, len(in.Workers))
+			copy(workers, in.Workers)
+			// churnDelta upserts exactly the first c workers, in order.
+			c := len(workers) * churnPct / 100
+			for i := 0; i < c; i++ {
+				workers[i] = churnWorker(workers[i], i, k)
+			}
+			phases[k] = core.Instance{Workers: workers, Tasks: in.Tasks, Budget: in.Budget}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mech.Run(phases[i%2]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -322,6 +420,15 @@ func kernels() []kernel {
 		{name: "alloc/melody/n300_m500", fn: melodyKernel(300, 500, 2000)},
 		{name: "alloc/melody/n1000_m5000", fn: melodyKernel(1000, 5000, 800)},
 		{name: "alloc/melody/n3000_m5000", fn: melodyKernel(3000, 5000, 5000)},
+		// Scale kernels: the million-worker auction and the incremental
+		// AuctionState's steady-state churn path versus its from-scratch twin
+		// (the inc/scratch ratio is the cache's speedup at that churn level).
+		{name: "alloc/melody/n100000", fn: melodyKernel(100000, 5000, 20000)},
+		{name: "alloc/melody/n1000000", fn: melodyKernel(1000000, 20000, 100000)},
+		{name: "alloc/melody_state/n100000_churn0", fn: melodyIncKernel(100000, 5000, 20000, 0)},
+		{name: "alloc/melody_inc/n100000_churn1", fn: melodyIncKernel(100000, 5000, 20000, 1)},
+		{name: "alloc/melody_inc/n100000_churn10", fn: melodyIncKernel(100000, 5000, 20000, 10)},
+		{name: "alloc/melody_scratch/n100000_churn10", fn: melodyScratchKernel(100000, 5000, 20000, 10)},
 		{name: "alloc/random/n300_m500", fn: randomKernel(300, 500, 2000)},
 		{name: "alloc/optub/n300_m500", fn: optUBKernel(300, 500, 2000)},
 		{name: "lds/kalman_update", fn: kalmanKernel},
@@ -406,7 +513,15 @@ func main() {
 	note := flag.String("note", "", "free-form note stored in the snapshot")
 	list := flag.Bool("list", false, "list kernel names and exit")
 	guard := flag.Float64("guard", 0, "fail if any <kernel>_obs entry is more than this percent slower than its uninstrumented twin (0 disables)")
+	smoke := flag.Bool("smoke", false, "run each kernel exactly once (correctness/CI smoke); skip the snapshot unless -out is given")
+	testing.Init()
 	flag.Parse()
+	if *smoke {
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			fmt.Fprintf(os.Stderr, "melody-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	ks := kernels()
 	if *list {
@@ -510,6 +625,9 @@ func main() {
 
 	path := *out
 	if path == "" {
+		if *smoke {
+			return // smoke runs don't record a snapshot unless asked
+		}
 		path = nextSnapshotName(".")
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -33,6 +33,9 @@ func NewMelodyDual(cfg Config, targetUtility int) (*MelodyDual, error) {
 // Name implements Mechanism.
 func (m *MelodyDual) Name() string { return "MELODY-DUAL" }
 
+// Config returns the qualification configuration.
+func (m *MelodyDual) Config() Config { return m.cfg }
+
 // Target returns the configured utility target.
 func (m *MelodyDual) Target() int { return m.target }
 
@@ -52,11 +55,10 @@ func (m *MelodyDual) Run(in Instance) (*Outcome, error) {
 
 	pre := preAllocateAll(m.cfg, in)
 	out := &Outcome{TaskPayment: make(map[string]float64, len(pre.candidates))}
-	for _, c := range pre.candidates {
-		if len(out.SelectedTasks) >= m.target {
-			break
-		}
-		pre.accept(out, c)
+	k := len(pre.candidates)
+	if k > m.target {
+		k = m.target
 	}
+	assembleOutcome(&pre, pre.candidates[:k], make([]int, 0, k), out)
 	return out, nil
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
 )
 
 // Melody implements Algorithm 1, the paper's truthful, individually
@@ -40,50 +43,128 @@ type preAllocation struct {
 	total float64 // P_j
 }
 
-// availIndex is the allocator's next-available skip structure over the
-// ranked worker array. remaining[i] is worker i's unconsumed frequency;
-// next[i] is a path-compressed pointer to the lowest rank >= i that may
-// still be available. A prefix scan therefore skips runs of exhausted
-// workers in amortized O(1) instead of re-walking them for every task,
-// bringing Algorithm 1's pre-allocation stage to O(N + M*k) where k is the
-// per-task winner count.
-type availIndex struct {
+// rankStream supplies the quality-ranked qualified workers. ranked is the
+// materialized sorted prefix; when pool/heap are non-empty (the lazy,
+// stateless mode) the remainder of the qualified set sits in a max-heap
+// ordered by (mu/c descending, ID ascending) and is popped into ranked only
+// when the allocation actually reaches that depth. Because the comparator is
+// a strict total order (IDs are unique), the lazily materialized prefix is
+// byte-identical to the prefix of a full sort — the stream never changes the
+// outcome, only how much of the sorted queue exists.
+//
+// remaining[i] is worker i's unconsumed frequency; next[i] is a
+// path-compressed pointer to the lowest rank >= i that may still be
+// available, giving amortized-O(1) skips over exhausted ranks (the
+// availIndex structure of the indexed allocator). Both arrays cover exactly
+// the materialized prefix and grow with it; an unmaterialized rank is by
+// definition still available, so the skip structure never needs to reach
+// past the frontier.
+type rankStream struct {
+	ranked    []Worker
 	remaining []int
 	next      []int32
+	nQual     int // logical qualified count: len(ranked) + len(heap)
+
+	pool    []Worker  // unsorted qualified workers backing the heap
+	poolDen []float64 // pool[i].Quality / pool[i].Bid.Cost
+	heap    []int32   // indices into pool, max-heap by (density, then ID)
 }
 
-func newAvailIndex(ranked []Worker) availIndex {
-	a := availIndex{
-		remaining: make([]int, len(ranked)),
-		next:      make([]int32, len(ranked)),
+// initLazy filters the qualified workers into the pool and heapifies it;
+// nothing is sorted until the allocation demands it.
+func (s *rankStream) initLazy(cfg Config, workers []Worker) {
+	s.pool = make([]Worker, 0, len(workers))
+	for _, w := range workers {
+		if cfg.Qualifies(w) {
+			s.pool = append(s.pool, w)
+		}
 	}
-	for i, w := range ranked {
-		a.remaining[i] = w.Bid.Frequency
-		a.next[i] = int32(i)
+	s.poolDen = make([]float64, len(s.pool))
+	s.heap = make([]int32, len(s.pool))
+	for i, w := range s.pool {
+		s.poolDen[i] = w.Quality / w.Bid.Cost
+		s.heap[i] = int32(i)
 	}
-	return a
+	s.nQual = len(s.pool)
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
-// find returns the lowest available rank >= i, or len(remaining) when the
-// suffix is exhausted, compressing the pointer chain it walked.
-func (a *availIndex) find(i int) int {
-	n := len(a.remaining)
+// heapBefore reports whether pool index x ranks strictly before y: higher
+// density first, ID ascending on ties.
+func (s *rankStream) heapBefore(x, y int32) bool {
+	if s.poolDen[x] != s.poolDen[y] {
+		return s.poolDen[x] > s.poolDen[y]
+	}
+	return s.pool[x].ID < s.pool[y].ID
+}
+
+func (s *rankStream) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && s.heapBefore(s.heap[r], s.heap[l]) {
+			best = r
+		}
+		if !s.heapBefore(s.heap[best], s.heap[i]) {
+			return
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+}
+
+// materialize pops the heap's top into the sorted prefix, extending the
+// availability arrays alongside.
+func (s *rankStream) materialize() {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	s.siftDown(0)
+	s.ranked = append(s.ranked, s.pool[top])
+	s.remaining = append(s.remaining, s.pool[top].Bid.Frequency)
+	s.next = append(s.next, int32(len(s.ranked)-1))
+}
+
+// ensure materializes the sorted prefix through index i.
+func (s *rankStream) ensure(i int) {
+	for len(s.ranked) <= i && len(s.heap) > 0 {
+		s.materialize()
+	}
+}
+
+// find returns the lowest available rank >= i, or nQual when the suffix is
+// exhausted, compressing the pointer chain it walked. Unmaterialized ranks
+// are always available (they have never been consumed), so the walk
+// materializes at most one rank past the consumed region.
+func (s *rankStream) find(i int) int {
+	n := s.nQual
 	root := i
-	for root < n && a.remaining[root] <= 0 {
-		root = int(a.next[root])
+	for root < n {
+		s.ensure(root)
+		if s.remaining[root] > 0 {
+			break
+		}
+		root = int(s.next[root])
 	}
-	for i < n && a.remaining[i] <= 0 {
-		i, a.next[i] = int(a.next[i]), int32(root)
+	for i < n && i < root && s.remaining[i] <= 0 {
+		i, s.next[i] = int(s.next[i]), int32(root)
 	}
 	return root
 }
 
 // consume spends one unit of worker i's frequency, splicing the rank out of
 // the skip structure when it exhausts.
-func (a *availIndex) consume(i int) {
-	a.remaining[i]--
-	if a.remaining[i] == 0 {
-		a.next[i] = int32(i + 1)
+func (s *rankStream) consume(i int) {
+	s.remaining[i]--
+	if s.remaining[i] == 0 {
+		s.next[i] = int32(i + 1)
 	}
 }
 
@@ -96,52 +177,35 @@ type preAllocResult struct {
 	payArena    []float64
 }
 
-// accept copies candidate c into the outcome.
-func (r *preAllocResult) accept(out *Outcome, c preAllocation) {
-	out.SelectedTasks = append(out.SelectedTasks, c.task.ID)
-	out.TaskPayment[c.task.ID] = c.total
-	out.TotalPayment += c.total
-	for i := 0; i < c.n; i++ {
-		out.Assignments = append(out.Assignments, Assignment{
-			WorkerID: r.ranked[r.winnerArena[c.off+i]].ID,
-			TaskID:   c.task.ID,
-			Payment:  r.payArena[c.off+i],
-		})
-	}
+// reset clears the result for reuse, keeping the arena capacity.
+func (r *preAllocResult) reset() {
+	r.ranked = nil
+	r.candidates = r.candidates[:0]
+	r.winnerArena = r.winnerArena[:0]
+	r.payArena = r.payArena[:0]
 }
 
-// preAllocateAll runs Algorithm 1's pre-allocation stage (lines 2-14):
-// workers are ranked by mu/c descending, tasks by Q ascending. For each
-// task, the smallest prefix of still-available (n_i > 0) workers whose
+// preAllocCore runs Algorithm 1's pre-allocation stage (lines 2-14) over a
+// rank stream: workers ranked by mu/c descending, tasks by Q ascending. For
+// each task, the smallest prefix of still-available (n_i > 0) workers whose
 // quality sum covers Q_j wins, and each winner is paid the critical price
 // (c_pivot/mu_pivot)*mu_i where the pivot is the next available worker in
-// the ranking queue; if no pivot exists the task cannot be priced
-// truthfully and is skipped. Candidates are returned sorted ascending by
-// total payment, ready for either scheme-determination rule.
+// the ranking queue; if no pivot exists the task cannot be priced truthfully
+// and is skipped. Candidates land in res sorted ascending by total payment,
+// ready for either scheme-determination rule.
 //
 // Workers are addressed by rank position throughout — no per-task ID map —
-// and exhausted ranks are skipped via the path-compressed availIndex, so a
-// task's scan costs its winner count, not the full ranking length.
-func preAllocateAll(cfg Config, in Instance) preAllocResult {
-	ranked := rankWorkers(in.Workers, cfg)
-	tasks := sortTasksByThreshold(in.Tasks)
-	avail := newAvailIndex(ranked)
-
-	// Winner ranks and payments accumulate in shared arenas; a failed task
-	// rolls its provisional winners back by truncating.
-	res := preAllocResult{
-		ranked:      ranked,
-		candidates:  make([]preAllocation, 0, len(tasks)),
-		winnerArena: make([]int32, 0, 4*len(tasks)),
-		payArena:    make([]float64, 0, 4*len(tasks)),
-	}
+// and exhausted ranks are skipped via the path-compressed next index, so a
+// task's scan costs its winner count, not the full ranking length. With a
+// lazy stream, only the consumed prefix of the sorted queue ever exists.
+func preAllocCore(st *rankStream, tasks []Task, res *preAllocResult) {
 	for _, task := range tasks {
 		off := len(res.winnerArena)
 		sum := 0.0
 		covered := -1
-		for idx := avail.find(0); idx < len(ranked); idx = avail.find(idx + 1) {
+		for idx := st.find(0); idx < st.nQual; idx = st.find(idx + 1) {
 			res.winnerArena = append(res.winnerArena, int32(idx))
-			sum += ranked[idx].Quality
+			sum += st.ranked[idx].Quality
 			if sum >= task.Threshold {
 				covered = idx
 				break
@@ -154,8 +218,8 @@ func preAllocateAll(cfg Config, in Instance) preAllocResult {
 			res.winnerArena = res.winnerArena[:off]
 			break
 		}
-		pivot := avail.find(covered + 1)
-		if pivot >= len(ranked) {
+		pivot := st.find(covered + 1)
+		if pivot >= st.nQual {
 			// Covered only by using the last available worker, leaving no
 			// pivot to price against. Any later task needs at least as much
 			// quality from the same available set, so it too would end on
@@ -167,31 +231,152 @@ func preAllocateAll(cfg Config, in Instance) preAllocResult {
 		// Its cost density caps what each winner is paid, making the payment
 		// independent of the winner's own bid (the critical-payment rule
 		// behind Theorem 4).
-		density := ranked[pivot].Bid.Cost / ranked[pivot].Quality
+		density := st.ranked[pivot].Bid.Cost / st.ranked[pivot].Quality
 		total := 0.0
 		for _, wi := range res.winnerArena[off:] {
-			p := density * ranked[wi].Quality
+			p := density * st.ranked[wi].Quality
 			res.payArena = append(res.payArena, p)
 			total += p
 		}
 		for _, wi := range res.winnerArena[off:] {
-			avail.consume(int(wi))
+			st.consume(int(wi))
 		}
 		res.candidates = append(res.candidates, preAllocation{
 			task: task, off: off, n: len(res.winnerArena) - off, total: total,
 		})
 	}
-	sort.Slice(res.candidates, func(i, j int) bool {
-		if res.candidates[i].total != res.candidates[j].total {
-			return res.candidates[i].total < res.candidates[j].total
-		}
-		return res.candidates[i].task.ID < res.candidates[j].task.ID
-	})
+	// The stream may have reallocated its prefix while growing; capture the
+	// final backing array for outcome assembly.
+	res.ranked = st.ranked
+}
+
+// cmpCandidate orders candidates ascending by (P_j, task ID). Task IDs are
+// unique, so the order is strictly total and the sorted sequence does not
+// depend on the sorting algorithm. A plain comparison function keeps the
+// per-run sort allocation-free and avoids sort.Interface dispatch.
+func cmpCandidate(a, b preAllocation) int {
+	// Totals are finite (validated inputs), so direct comparisons beat
+	// cmp.Compare's NaN handling on this very hot path.
+	if a.total < b.total {
+		return -1
+	}
+	if a.total > b.total {
+		return 1
+	}
+	return strings.Compare(a.task.ID, b.task.ID)
+}
+
+// cmpTask orders tasks ascending by (threshold, ID) — Algorithm 1 line 3
+// with a deterministic tie-break.
+func cmpTask(a, b Task) int {
+	if a.Threshold < b.Threshold {
+		return -1
+	}
+	if a.Threshold > b.Threshold {
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
+}
+
+// preAllocateAll is the stateless pre-allocation entry point used by
+// Melody.Run and MelodyDual.Run: it builds a lazy rank stream over the
+// instance (never sorting deeper than the allocation reaches) and runs the
+// shared core.
+func preAllocateAll(cfg Config, in Instance) preAllocResult {
+	var st rankStream
+	st.initLazy(cfg, in.Workers)
+	tasks := sortTasksByThreshold(in.Tasks)
+	res := preAllocResult{
+		candidates:  make([]preAllocation, 0, len(tasks)),
+		winnerArena: make([]int32, 0, 4*len(tasks)),
+		payArena:    make([]float64, 0, 4*len(tasks)),
+	}
+	preAllocCore(&st, tasks, &res)
+	slices.SortFunc(res.candidates, cmpCandidate)
 	return res
 }
 
-// Run implements Mechanism. The two stages follow Algorithm 1: the indexed
-// pre-allocation stage (see preAllocateAll), then scheme determination
+// parallelAssembleMin is the assignment count below which the scheme sweep
+// stays serial: sharding pays for its goroutines only on large outcomes.
+const parallelAssembleMin = 4096
+
+// assembleOutcome writes the accepted candidate prefix into out. Accepted
+// candidates are always a prefix of the sorted candidate list (both scheme
+// rules accept in ascending P_j order and stop), so the layout of the final
+// assignment array is known up front: offsets[i] is the running winner count
+// before candidate i. Large outcomes are filled by a task-sharded parallel
+// sweep; every shard writes disjoint precomputed slots, so the merge order
+// is deterministic by construction and byte-identical to the serial fill.
+//
+// TotalPayment is accumulated serially in accept order so its floating-point
+// rounding matches the one-candidate-at-a-time reference exactly.
+func assembleOutcome(res *preAllocResult, accepted []preAllocation, offsets []int, out *Outcome) {
+	total := 0
+	offsets = offsets[:0]
+	for _, c := range accepted {
+		offsets = append(offsets, total)
+		total += c.n
+		out.TotalPayment += c.total
+		out.TaskPayment[c.task.ID] = c.total
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	out.SelectedTasks = grow(out.SelectedTasks, len(accepted))
+	out.Assignments = grow(out.Assignments, total)
+
+	shards := runtime.GOMAXPROCS(0)
+	if total < parallelAssembleMin || shards < 2 {
+		fillOutcome(res, accepted, offsets, out, 0, len(accepted))
+		return
+	}
+	if shards > len(accepted) {
+		shards = len(accepted)
+	}
+	var wg sync.WaitGroup
+	step := (len(accepted) + shards - 1) / shards
+	for lo := 0; lo < len(accepted); lo += step {
+		hi := lo + step
+		if hi > len(accepted) {
+			hi = len(accepted)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fillOutcome(res, accepted, offsets, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// fillOutcome writes candidates [lo, hi) into their precomputed outcome
+// slots. A named function (not a closure) so the hot serial path costs no
+// allocation.
+func fillOutcome(res *preAllocResult, accepted []preAllocation, offsets []int, out *Outcome, lo, hi int) {
+	for ci := lo; ci < hi; ci++ {
+		c := accepted[ci]
+		out.SelectedTasks[ci] = c.task.ID
+		base := offsets[ci]
+		for i := 0; i < c.n; i++ {
+			out.Assignments[base+i] = Assignment{
+				WorkerID: res.ranked[res.winnerArena[c.off+i]].ID,
+				TaskID:   c.task.ID,
+				Payment:  res.payArena[c.off+i],
+			}
+		}
+	}
+}
+
+// grow returns s resized to n, reusing capacity when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Run implements Mechanism. The two stages follow Algorithm 1: the streamed
+// pre-allocation stage (see preAllocCore), then scheme determination
 // (lines 15-21) accepting candidate tasks in ascending order of total
 // payment P_j while the remaining budget allows.
 func (m *Melody) Run(in Instance) (*Outcome, error) {
@@ -201,6 +386,7 @@ func (m *Melody) Run(in Instance) (*Outcome, error) {
 	pre := preAllocateAll(m.cfg, in)
 	out := &Outcome{TaskPayment: make(map[string]float64, len(pre.candidates))}
 	budget := in.Budget
+	k := 0
 	for _, c := range pre.candidates {
 		if c.total > budget {
 			// Candidates are sorted ascending by P_j, so nothing later fits
@@ -208,7 +394,8 @@ func (m *Melody) Run(in Instance) (*Outcome, error) {
 			break
 		}
 		budget -= c.total
-		pre.accept(out, c)
+		k++
 	}
+	assembleOutcome(&pre, pre.candidates[:k], make([]int, 0, k), out)
 	return out, nil
 }

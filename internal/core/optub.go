@@ -40,43 +40,64 @@ func NewOptUB(cfg Config) (*OptUB, error) {
 // Name implements Mechanism.
 func (o *OptUB) Name() string { return "OPT-UB" }
 
-// Run implements Mechanism. The returned outcome carries the number of
-// coverable tasks in SelectedTasks and the relaxed spend in TotalPayment;
-// Assignments is empty because the fractional cover does not correspond to
-// an integral scheme.
-func (o *OptUB) Run(in Instance) (*Outcome, error) {
-	if err := in.Validate(); err != nil {
-		return nil, fmt.Errorf("optub: %w", err)
-	}
-	type capacity struct {
-		units   float64 // remaining quality units n_i * mu_i
-		density float64 // cost per quality unit c_i / mu_i
-	}
-	caps := make([]capacity, 0, len(in.Workers))
-	for _, w := range in.Workers {
-		if !o.cfg.Qualifies(w) {
-			continue
-		}
-		caps = append(caps, capacity{
-			units:   float64(w.Bid.Frequency) * w.Quality,
-			density: w.Bid.Cost / w.Quality,
-		})
-	}
-	sort.Slice(caps, func(i, j int) bool { return caps[i].density < caps[j].density })
-	tasks := sortTasksByThreshold(in.Tasks)
+// Config returns the qualification configuration.
+func (o *OptUB) Config() Config { return o.cfg }
 
-	// The ci cursor below is OPT-UB's counterpart of the MELODY allocator's
-	// next-available index: capacity already drained is never re-scanned, so
-	// the whole sweep is O(N log N + M·k) like the indexed primal.
-	out := &Outcome{TaskPayment: make(map[string]float64, len(tasks))}
-	budget := in.Budget
+// ubCap is one qualified worker's divisible capacity in the relaxation.
+// The comparator over (density, ID) is a strict total order, so the sorted
+// capacity sequence is a pure function of the worker multiset — the property
+// the cross-run incremental cache relies on to stay byte-identical to a
+// from-scratch rebuild (ties drained in a different order would change the
+// floating-point summation of a task's cost).
+type ubCap struct {
+	id      string
+	units   float64 // full quality units n_i * mu_i
+	density float64 // cost per quality unit c_i / mu_i
+}
+
+// ubCapBefore is the capacity order: cheapest density first, ID ascending on
+// ties.
+func ubCapBefore(a, b ubCap) bool {
+	if a.density != b.density {
+		return a.density < b.density
+	}
+	return a.id < b.id
+}
+
+// ubCapSorter sorts capacities without an allocating closure.
+type ubCapSorter struct{ c []ubCap }
+
+func (s *ubCapSorter) Len() int           { return len(s.c) }
+func (s *ubCapSorter) Swap(i, j int)      { s.c[i], s.c[j] = s.c[j], s.c[i] }
+func (s *ubCapSorter) Less(i, j int) bool { return ubCapBefore(s.c[i], s.c[j]) }
+
+// ubCapOf converts a qualified worker to its capacity entry.
+func ubCapOf(w Worker) ubCap {
+	return ubCap{
+		id:      w.ID,
+		units:   float64(w.Bid.Frequency) * w.Quality,
+		density: w.Bid.Cost / w.Quality,
+	}
+}
+
+// optUBCore runs the relaxed greedy over sorted capacities. remaining[i]
+// holds caps[i]'s undrained units and is the only state mutated; the
+// returned drained index is the highest capacity entry whose remaining units
+// were touched (-1 when none), which is exactly what a cross-run cache must
+// restore. tasks must already be sorted ascending by threshold.
+//
+// The ci cursor is OPT-UB's counterpart of the MELODY allocator's
+// next-available index: capacity already drained is never re-scanned, so
+// the whole sweep is O(N log N + M·k) like the indexed primal.
+func optUBCore(caps []ubCap, remaining []float64, tasks []Task, budget float64, out *Outcome) (drained int) {
+	drained = -1
 	ci := 0 // first capacity entry with units remaining
 	for _, task := range tasks {
 		// Tentative pass: price the cover without consuming capacity.
 		need := task.Threshold
 		cost := 0.0
 		for i := ci; need > 0 && i < len(caps); i++ {
-			take := caps[i].units
+			take := remaining[i]
 			if take > need {
 				take = need
 			}
@@ -97,16 +118,44 @@ func (o *OptUB) Run(in Instance) (*Outcome, error) {
 		// The epsilon guards against float rounding between the tentative
 		// and commit passes exhausting capacity spuriously.
 		for need > 1e-12 && ci < len(caps) {
-			take := caps[ci].units
+			take := remaining[ci]
 			if take > need {
 				take = need
 			}
-			caps[ci].units -= take
+			remaining[ci] -= take
+			if ci > drained {
+				drained = ci
+			}
 			need -= take
-			if caps[ci].units <= 0 {
+			if remaining[ci] <= 0 {
 				ci++
 			}
 		}
 	}
+	return drained
+}
+
+// Run implements Mechanism. The returned outcome carries the number of
+// coverable tasks in SelectedTasks and the relaxed spend in TotalPayment;
+// Assignments is empty because the fractional cover does not correspond to
+// an integral scheme.
+func (o *OptUB) Run(in Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("optub: %w", err)
+	}
+	caps := make([]ubCap, 0, len(in.Workers))
+	for _, w := range in.Workers {
+		if o.cfg.Qualifies(w) {
+			caps = append(caps, ubCapOf(w))
+		}
+	}
+	sort.Sort(&ubCapSorter{caps})
+	remaining := make([]float64, len(caps))
+	for i := range caps {
+		remaining[i] = caps[i].units
+	}
+	tasks := sortTasksByThreshold(in.Tasks)
+	out := &Outcome{TaskPayment: make(map[string]float64, len(tasks))}
+	optUBCore(caps, remaining, tasks, in.Budget, out)
 	return out, nil
 }

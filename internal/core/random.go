@@ -33,6 +33,16 @@ import (
 type Random struct {
 	cfg Config
 	rng *stats.RNG
+
+	// Scratch reused across Runs (like the RNG itself, a Random is owned by
+	// one goroutine): the qualified working set, the per-task draw
+	// permutation, and the payment buffer. Keeping them on the mechanism
+	// drops the per-Run allocation count from one Perm and one payment slice
+	// per task to a handful of amortized outcome appends.
+	st        randomState
+	taskOrder []int
+	order     []int
+	pays      []float64
 }
 
 var _ Mechanism = (*Random)(nil)
@@ -51,7 +61,8 @@ func NewRandom(cfg Config, rng *stats.RNG) (*Random, error) {
 // Name implements Mechanism.
 func (r *Random) Name() string { return "RANDOM" }
 
-// randomState is the per-Run working set, reused across tasks.
+// randomState is the mechanism's working set, rebuilt cheaply each Run and
+// reused across tasks and Runs.
 type randomState struct {
 	qualified []Worker
 	density   []float64 // qualified[i].Quality / qualified[i].Bid.Cost
@@ -74,27 +85,28 @@ func (r *Random) Run(in Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("random: %w", err)
 	}
-	st := randomState{qualified: make([]Worker, 0, len(in.Workers))}
+	st := &r.st
+	st.qualified = st.qualified[:0]
 	for _, w := range in.Workers {
 		if r.cfg.Qualifies(w) {
 			st.qualified = append(st.qualified, w)
 		}
 	}
-	st.density = make([]float64, len(st.qualified))
-	st.remaining = make([]int, len(st.qualified))
-	st.available = make([]int32, len(st.qualified))
+	st.density = grow(st.density, len(st.qualified))
+	st.remaining = grow(st.remaining, len(st.qualified))
+	st.available = grow(st.available, len(st.qualified))
 	for i, w := range st.qualified {
 		st.density[i] = w.Quality / w.Bid.Cost
 		st.remaining[i] = w.Bid.Frequency
 		st.available[i] = int32(i)
 	}
 
-	taskOrder := r.rng.Perm(len(in.Tasks))
+	r.taskOrder = r.rng.PermInto(r.taskOrder, len(in.Tasks))
 	out := &Outcome{TaskPayment: make(map[string]float64)}
 	budget := in.Budget
-	for _, ti := range taskOrder {
+	for _, ti := range r.taskOrder {
 		task := in.Tasks[ti]
-		winners, pays, total, ok := r.poolForTask(task, &st)
+		winners, pays, total, ok := r.poolForTask(task, st)
 		if !ok || total > budget {
 			continue
 		}
@@ -136,7 +148,8 @@ func (r *Random) poolForTask(task Task, st *randomState) (winners []int32, pays 
 	// Draw without replacement in random order; grow the pool until the
 	// top-k cover Q_j. The permutation length must equal the availability
 	// count so the RNG stream matches the seed implementation draw for draw.
-	order := r.rng.Perm(len(st.available))
+	r.order = r.rng.PermInto(r.order, len(st.available))
+	order := r.order
 	st.pool = st.pool[:0]
 	var sum float64
 	found := false
@@ -164,7 +177,8 @@ func (r *Random) poolForTask(task Task, st *randomState) (winners []int32, pays 
 	pivot := st.qualified[st.pool[len(st.pool)-1]]
 	winners = st.pool[:len(st.pool)-1]
 	density := pivot.Bid.Cost / pivot.Quality
-	pays = make([]float64, len(winners))
+	r.pays = grow(r.pays, len(winners))
+	pays = r.pays
 	for i, wi := range winners {
 		pays[i] = density * st.qualified[wi].Quality
 		total += pays[i]

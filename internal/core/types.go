@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -52,40 +53,64 @@ type Instance struct {
 
 // Validate reports whether the instance is well formed.
 func (in Instance) Validate() error {
-	if in.Budget < 0 || math.IsNaN(in.Budget) || math.IsInf(in.Budget, 0) {
-		return fmt.Errorf("core: budget %v must be finite and non-negative", in.Budget)
+	if err := validateBudget(in.Budget); err != nil {
+		return err
 	}
 	seenW := make(map[string]bool, len(in.Workers))
 	for _, w := range in.Workers {
-		if w.ID == "" {
-			return errors.New("core: worker with empty ID")
+		if err := validateWorker(w); err != nil {
+			return err
 		}
 		if seenW[w.ID] {
 			return fmt.Errorf("core: duplicate worker ID %q", w.ID)
 		}
 		seenW[w.ID] = true
-		if !(w.Bid.Cost > 0) || math.IsInf(w.Bid.Cost, 0) {
-			return fmt.Errorf("core: worker %q cost %v must be positive and finite", w.ID, w.Bid.Cost)
-		}
-		if w.Bid.Frequency < 1 {
-			return fmt.Errorf("core: worker %q frequency %d must be at least 1", w.ID, w.Bid.Frequency)
-		}
-		if math.IsNaN(w.Quality) || math.IsInf(w.Quality, 0) {
-			return fmt.Errorf("core: worker %q quality %v is not finite", w.ID, w.Quality)
-		}
 	}
 	seenT := make(map[string]bool, len(in.Tasks))
 	for _, t := range in.Tasks {
-		if t.ID == "" {
-			return errors.New("core: task with empty ID")
+		if err := validateTask(t); err != nil {
+			return err
 		}
 		if seenT[t.ID] {
 			return fmt.Errorf("core: duplicate task ID %q", t.ID)
 		}
 		seenT[t.ID] = true
-		if !(t.Threshold > 0) || math.IsInf(t.Threshold, 0) {
-			return fmt.Errorf("core: task %q threshold %v must be positive and finite", t.ID, t.Threshold)
-		}
+	}
+	return nil
+}
+
+// validateBudget, validateWorker and validateTask are the per-field checks
+// behind Instance.Validate, shared with the stateful AuctionState so that
+// delta application rejects exactly the inputs a from-scratch Run would.
+func validateBudget(b float64) error {
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Errorf("core: budget %v must be finite and non-negative", b)
+	}
+	return nil
+}
+
+func validateWorker(w Worker) error {
+	if w.ID == "" {
+		return errors.New("core: worker with empty ID")
+	}
+	if !(w.Bid.Cost > 0) || math.IsInf(w.Bid.Cost, 0) {
+		return fmt.Errorf("core: worker %q cost %v must be positive and finite", w.ID, w.Bid.Cost)
+	}
+	if w.Bid.Frequency < 1 {
+		return fmt.Errorf("core: worker %q frequency %d must be at least 1", w.ID, w.Bid.Frequency)
+	}
+	if math.IsNaN(w.Quality) || math.IsInf(w.Quality, 0) {
+		return fmt.Errorf("core: worker %q quality %v is not finite", w.ID, w.Quality)
+	}
+	return nil
+}
+
+func validateTask(t Task) error {
+	if t.ID == "" {
+		return errors.New("core: task with empty ID")
+	}
+	if !(t.Threshold > 0) || math.IsInf(t.Threshold, 0) {
+		return fmt.Errorf("core: task %q threshold %v must be positive and finite", t.ID, t.Threshold)
 	}
 	return nil
 }
@@ -219,11 +244,6 @@ func rankWorkers(workers []Worker, cfg Config) []Worker {
 func sortTasksByThreshold(tasks []Task) []Task {
 	sorted := make([]Task, len(tasks))
 	copy(sorted, tasks)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Threshold != sorted[j].Threshold {
-			return sorted[i].Threshold < sorted[j].Threshold
-		}
-		return sorted[i].ID < sorted[j].ID
-	})
+	slices.SortFunc(sorted, cmpTask)
 	return sorted
 }

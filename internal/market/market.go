@@ -116,9 +116,23 @@ type RunResult struct {
 }
 
 // Engine drives the multi-run loop. Not safe for concurrent use.
+//
+// When the configured mechanism is the stateless MELODY or MELODY-DUAL, the
+// engine transparently runs it through a persistent core.AuctionState:
+// between runs it diffs the active worker set against the previous run's and
+// feeds the auction only the delta (bid/posterior updates, joins, leaves),
+// so steady-state runs repair the ranked structures locally instead of
+// re-sorting the population. Outcomes are byte-identical to calling
+// Mechanism.Run directly (pinned by TestEngineStatefulMatchesStateless).
 type Engine struct {
 	cfg Config
 	run int
+
+	// Incremental auction fast path; state is nil for mechanisms without a
+	// stateful adapter (RANDOM, OPT-UB, test doubles).
+	state *core.AuctionState
+	prev  map[string]core.Worker
+	delta core.WorkerDelta
 }
 
 // NewEngine validates the configuration and returns a ready engine.
@@ -126,7 +140,68 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	// The engine fully consumes each outcome before the next Step, so the
+	// state can recycle the outcome arenas (ReuseOutcome).
+	var mechCfg core.Config
+	switch m := cfg.Mechanism.(type) {
+	case *core.Melody:
+		mechCfg = m.Config()
+	case *core.MelodyDual:
+		mechCfg = m.Config()
+	default:
+		return e, nil
+	}
+	state, err := core.NewAuctionState(mechCfg, core.AuctionStateOptions{ReuseOutcome: true})
+	if err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	e.state = state
+	e.prev = make(map[string]core.Worker)
+	return e, nil
+}
+
+// runAuction executes one run's mechanism, through the incremental state
+// when one is attached.
+func (e *Engine) runAuction(in core.Instance) (*core.Outcome, error) {
+	if e.state == nil {
+		return e.cfg.Mechanism.Run(in)
+	}
+	d := e.delta
+	d.Upserts = d.Upserts[:0]
+	d.Removes = d.Removes[:0]
+	seen := make(map[string]bool, len(in.Workers))
+	for _, w := range in.Workers {
+		seen[w.ID] = true
+		if prev, ok := e.prev[w.ID]; !ok || prev != w {
+			d.Upserts = append(d.Upserts, w)
+		}
+	}
+	for id := range e.prev {
+		if !seen[id] {
+			d.Removes = append(d.Removes, id)
+		}
+	}
+	e.delta = d
+	if err := e.state.Apply(d); err != nil {
+		return nil, err
+	}
+	// Sync the mirror only after Apply committed, so a rejected delta leaves
+	// mirror and state agreeing.
+	for _, w := range d.Upserts {
+		e.prev[w.ID] = w
+	}
+	for _, id := range d.Removes {
+		delete(e.prev, id)
+	}
+	switch m := e.cfg.Mechanism.(type) {
+	case *core.Melody:
+		return e.state.RunMelody(in.Tasks, in.Budget)
+	case *core.MelodyDual:
+		return e.state.RunDual(m.Target(), in.Tasks)
+	default:
+		return nil, errors.New("market: stateful path attached to unknown mechanism")
+	}
 }
 
 // Run returns the number of completed runs.
@@ -180,7 +255,7 @@ func (e *Engine) Step() (*RunResult, error) {
 
 	// 3. The mechanism determines the allocation and payment schemes.
 	instance := core.Instance{Workers: workers, Tasks: tasks, Budget: spec.Budget}
-	out, err := cfg.Mechanism.Run(instance)
+	out, err := e.runAuction(instance)
 	if err != nil {
 		return nil, fmt.Errorf("market: run %d: %w", runIdx+1, err)
 	}

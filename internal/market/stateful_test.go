@@ -1,0 +1,108 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/quality"
+	"melody/internal/stats"
+	"melody/internal/workerpool"
+)
+
+// opaqueMechanism hides the concrete mechanism type from NewEngine's
+// type switch, forcing the engine onto the stateless Mechanism.Run path.
+type opaqueMechanism struct{ core.Mechanism }
+
+// statefulTestEngine builds an engine over a seeded population with churn
+// (arrival/departure windows), so the stateful path exercises joins and
+// leaves as well as per-run bid and posterior updates.
+func statefulTestEngine(t *testing.T, seed int64, mech core.Mechanism, runs int) *Engine {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	workers, err := workerpool.NewPopulation(r.Split(), workerpool.PopulationConfig{
+		N: 40, Runs: runs,
+		CostMin: 1, CostMax: 2, FreqMin: 1, FreqMax: 5,
+		QualityLo: 1, QualityHi: 10, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic churn windows: every 4th worker arrives late, every 5th
+	// departs early, so the stateful path sees joins and leaves mid-sequence.
+	for i, w := range workers {
+		if i%4 == 1 {
+			w.ArrivalRun = 2 + i%7
+		}
+		if i%5 == 2 {
+			w.DepartureRun = runs - 3 - i%5
+		}
+	}
+	est := quality.NewMLAllRuns(5.5)
+	eng, err := NewEngine(Config{
+		Mechanism: mech, Auction: longTermAuctionConfig(),
+		Estimator: est, Workers: workers,
+		TasksPerRun: 6, ThresholdMin: 20, ThresholdMax: 40,
+		Budget: 600, ScoreSigma: 3, ScoreLo: 1, ScoreHi: 10,
+		RNG: r.Split(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineStatefulMatchesStateless runs two identically-seeded long-term
+// simulations — one through the incremental AuctionState fast path, one
+// with the mechanism's concrete type hidden so every run re-executes the
+// stateless algorithm — and requires bit-identical telemetry on every run,
+// for both MELODY and MELODY-DUAL.
+func TestEngineStatefulMatchesStateless(t *testing.T) {
+	const runs = 40
+	mkMelody := func(t *testing.T) core.Mechanism {
+		m, err := core.NewMelody(longTermAuctionConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mkDual := func(t *testing.T) core.Mechanism {
+		m, err := core.NewMelodyDual(longTermAuctionConfig(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func(*testing.T) core.Mechanism
+	}{
+		{"melody", mkMelody},
+		{"dual", mkDual},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			stateful := statefulTestEngine(t, 90125, tc.mk(t), runs)
+			if stateful.state == nil {
+				t.Fatal("engine did not attach the stateful auction path")
+			}
+			stateless := statefulTestEngine(t, 90125, opaqueMechanism{tc.mk(t)}, runs)
+			if stateless.state != nil {
+				t.Fatal("opaque mechanism unexpectedly got the stateful path")
+			}
+			for run := 0; run < runs; run++ {
+				a, err := stateful.Step()
+				if err != nil {
+					t.Fatalf("run %d: stateful: %v", run+1, err)
+				}
+				b, err := stateless.Step()
+				if err != nil {
+					t.Fatalf("run %d: stateless: %v", run+1, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("run %d: stateful engine diverged from stateless\n got: %+v\nwant: %+v", run+1, a, b)
+				}
+			}
+		})
+	}
+}

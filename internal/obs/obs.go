@@ -43,6 +43,11 @@ const (
 	MetricAuctionSpentBudget     = "melody_auction_spent_budget"
 	MetricRunsCompletedTotal     = "melody_runs_completed_total"
 
+	// Incremental auction cache (core.AuctionState).
+	MetricAuctionIncrementalRepairsTotal = "melody_auction_incremental_repairs_total"
+	MetricAuctionFullRebuildsTotal       = "melody_auction_full_rebuilds_total"
+	MetricAuctionCacheChurnRatio         = "melody_auction_cache_churn_ratio"
+
 	// EM re-estimation (internal/quality).
 	MetricEMReestimateSeconds = "melody_em_reestimate_seconds"
 	MetricEMRunsTotal         = "melody_em_runs_total"
@@ -71,6 +76,9 @@ func RegisterBaseline(r *Registry) {
 	r.Gauge(MetricAuctionWinners, "Distinct winning workers in the latest auction.")
 	r.Gauge(MetricAuctionSpentBudget, "Total payment committed by the latest auction.")
 	r.Counter(MetricRunsCompletedTotal, "Completed platform runs.")
+	r.Counter(MetricAuctionIncrementalRepairsTotal, "Auction cache deltas applied by local repair.")
+	r.Counter(MetricAuctionFullRebuildsTotal, "Auction cache deltas applied by full rebuild.")
+	r.Gauge(MetricAuctionCacheChurnRatio, "Registry fraction mutated by the latest delta.")
 	r.Histogram(MetricEMReestimateSeconds, "Wall time of one per-worker EM re-estimation.", TimeBuckets())
 	r.Counter(MetricEMRunsTotal, "EM re-estimations performed.")
 	r.Gauge(MetricEMLogLikelihood, "Final log marginal likelihood of the latest EM re-estimation.")

@@ -55,6 +55,25 @@ func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
 
+// PermInto writes a random permutation of [0, n) into p, reusing its
+// capacity, and returns the resized slice. It replicates math/rand's Perm
+// draw for draw — one Intn(i+1) per element — so swapping Perm for PermInto
+// leaves the RNG stream, and therefore every downstream outcome,
+// bit-identical.
+func (r *RNG) PermInto(p []int, n int) []int {
+	if cap(p) < n {
+		p = make([]int, n)
+	} else {
+		p = p[:n]
+	}
+	for i := 0; i < n; i++ {
+		j := r.src.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
 // Normal returns a Gaussian sample with the given mean and standard
 // deviation.
 func (r *RNG) Normal(mean, stddev float64) float64 {

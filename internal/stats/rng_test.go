@@ -133,3 +133,43 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// TestPermIntoMatchesPerm pins PermInto to Perm: same seed, same sequence of
+// lengths, identical permutations AND identical downstream stream state —
+// the property that lets callers swap one for the other without changing any
+// seeded experiment.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	a := NewRNG(31337)
+	b := NewRNG(31337)
+	var buf []int
+	for _, n := range []int{0, 1, 2, 7, 64, 3, 100} {
+		want := a.Perm(n)
+		buf = b.PermInto(buf, n)
+		if len(want) != len(buf) {
+			t.Fatalf("n=%d: length mismatch %d vs %d", n, len(buf), len(want))
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("n=%d: PermInto diverged from Perm at %d: %v vs %v", n, i, buf, want)
+			}
+		}
+	}
+	// The streams must still be aligned after interleaved use.
+	for i := 0; i < 100; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d: stream diverged after PermInto: %v vs %v", i, x, y)
+		}
+	}
+}
+
+// TestPermIntoReusesCapacity asserts the warm path allocates nothing.
+func TestPermIntoReusesCapacity(t *testing.T) {
+	r := NewRNG(1)
+	buf := make([]int, 0, 128)
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = r.PermInto(buf, 100)
+	})
+	if allocs != 0 {
+		t.Errorf("warm PermInto allocates %.1f objects, want 0", allocs)
+	}
+}

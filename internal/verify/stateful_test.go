@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"testing"
+
+	"melody/internal/core"
+	"melody/internal/stats"
+)
+
+// TestStatefulMatchesStateless replays long churn sequences (joins, leaves,
+// bid and posterior updates) through a persistent core.AuctionState and
+// requires every run's MELODY, MELODY-DUAL and OPT-UB outcome to be
+// byte-identical to the stateless mechanisms and the naive reference oracle
+// run from scratch on the registry snapshot. Churn levels straddle the
+// repair/rebuild threshold, and both outcome modes (fresh and arena-reused)
+// are covered.
+func TestStatefulMatchesStateless(t *testing.T) {
+	cfg := PaperConfig()
+	cases := []struct {
+		name  string
+		churn float64
+		opts  core.AuctionStateOptions
+	}{
+		{"churn1pct", 0.01, core.AuctionStateOptions{}},
+		{"churn10pct", 0.10, core.AuctionStateOptions{}},
+		{"churn10pct-reuse", 0.10, core.AuctionStateOptions{ReuseOutcome: true}},
+		{"churn60pct-rebuild", 0.60, core.AuctionStateOptions{}},
+		{"always-repair", 0.30, core.AuctionStateOptions{ChurnThreshold: 1}},
+		{"always-rebuild", 0.05, core.AuctionStateOptions{ChurnThreshold: 1e-9}},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := stats.NewRNG(int64(700 + i))
+			steps := RandomChurnSequence(r, 55, 60, 8, tc.churn)
+			if err := CheckStatefulSequence(cfg, steps, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStatefulSequenceTinyRegistries drives the degenerate shapes — an
+// empty registry, a single worker, registries that drain to nothing — where
+// the merge repair and the availability restore hit their boundaries.
+func TestStatefulSequenceTinyRegistries(t *testing.T) {
+	cfg := PaperConfig()
+	r := stats.NewRNG(31)
+	for _, n := range []int{1, 2, 3} {
+		steps := RandomChurnSequence(r, 50, n, 3, 0.9)
+		if err := CheckStatefulSequence(cfg, steps, core.AuctionStateOptions{}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// FuzzIncrementalAuction lets the fuzzer steer a whole churn sequence: the
+// RNG seed, registry and task-set sizes, sequence length, churn level and
+// the cache's repair/rebuild threshold. Every step of every sequence is
+// checked byte-identical against the stateless mechanisms and the reference
+// oracle, so any divergence between the incremental structures and a
+// from-scratch build — however deep into a sequence — is a crash.
+//
+// Run the smoke pass with `make fuzz-smoke`, or explore with
+//
+//	go test ./internal/verify -run '^$' -fuzz FuzzIncrementalAuction
+func FuzzIncrementalAuction(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(5), uint8(10), uint8(3), uint8(128), false)
+	f.Add(int64(2), uint8(1), uint8(3), uint8(50), uint8(230), uint8(1), true)
+	f.Add(int64(3), uint8(60), uint8(8), uint8(12), uint8(25), uint8(255), false)
+	f.Add(int64(4), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), true)
+	f.Add(int64(-77), uint8(255), uint8(255), uint8(255), uint8(255), uint8(64), true)
+
+	cfg := PaperConfig()
+	f.Fuzz(func(t *testing.T, seed int64, n, m, runs, churnRaw, thresholdRaw uint8, reuse bool) {
+		r := stats.NewRNG(seed)
+		sequence := RandomChurnSequence(r,
+			1+int(runs%16),
+			1+int(n%64),
+			1+int(m%10),
+			float64(churnRaw)/255,
+		)
+		opts := core.AuctionStateOptions{
+			ChurnThreshold: float64(thresholdRaw) / 255,
+			ReuseOutcome:   reuse,
+		}
+		if err := CheckStatefulSequence(cfg, sequence, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

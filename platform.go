@@ -86,12 +86,18 @@ type PlatformConfig struct {
 // polls never queue behind bid ingest.
 type Platform struct {
 	mu      sync.RWMutex
-	mech    Mechanism
+	auction *core.AuctionState
 	est     Estimator
 	money   *Ledger
 	workers map[string]bool
 	run     int
 	open    *openRun
+
+	// bidders mirrors the worker set last applied to the auction state, so
+	// each CloseAuction feeds the kernel only the run-over-run delta
+	// (changed bids or estimates, joins, leaves) instead of the full
+	// registry.
+	bidders map[string]Worker
 
 	runsCompleted *obs.Counter // nil-safe; nil when PlatformConfig.Metrics is nil
 	tracer        *obs.Tracer
@@ -142,15 +148,25 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if cfg.Estimator == nil {
 		return nil, errors.New("melody: platform needs an estimator")
 	}
-	auction, err := NewAuction(cfg.Auction)
+	// The platform runs MELODY through the persistent incremental kernel:
+	// outcomes are byte-identical to the stateless Auction, but consecutive
+	// runs repair the cached worker ranking from the bid delta instead of
+	// re-sorting the registry. Outcomes stay independently owned (no arena
+	// reuse) because they are stored on the open run and replayed to
+	// retried CloseAuction calls.
+	state, err := core.NewAuctionState(cfg.Auction, core.AuctionStateOptions{
+		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Platform{
-		mech:          core.Instrument(auction.mech, cfg.Metrics, cfg.Tracer),
+		auction:       state,
 		est:           cfg.Estimator,
 		money:         cfg.Ledger,
 		workers:       make(map[string]bool),
+		bidders:       make(map[string]Worker),
 		runsCompleted: cfg.Metrics.Counter(obs.MetricRunsCompletedTotal, "Completed platform runs."),
 		tracer:        cfg.Tracer,
 	}, nil
@@ -420,21 +436,32 @@ func (p *Platform) CloseAuction(ctx context.Context) (*Outcome, error) {
 	if p.open.outcome != nil {
 		return p.open.outcome, nil // retried close: replay the outcome
 	}
-	workers := make([]Worker, 0, len(p.open.bids))
+	// Feed the incremental kernel this run's bidder delta: new and changed
+	// (bid, estimate) pairs re-enter the cached ranking, absent bidders
+	// leave it. Delta order does not matter — the kernel's sorted structures
+	// are a pure function of the worker multiset.
+	var delta core.WorkerDelta
 	for id, bid := range p.open.bids {
-		workers = append(workers, Worker{
-			ID:      id,
-			Bid:     bid,
-			Quality: p.est.Estimate(id),
-		})
+		w := Worker{ID: id, Bid: bid, Quality: p.est.Estimate(id)}
+		if prev, ok := p.bidders[id]; !ok || prev != w {
+			delta.Upserts = append(delta.Upserts, w)
+		}
 	}
-	// Deterministic instance ordering regardless of map iteration.
-	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
-	out, err := p.mech.Run(Instance{
-		Workers: workers,
-		Tasks:   p.open.tasks,
-		Budget:  p.open.budget,
-	})
+	for id := range p.bidders {
+		if _, ok := p.open.bids[id]; !ok {
+			delta.Removes = append(delta.Removes, id)
+		}
+	}
+	if err := p.auction.Apply(delta); err != nil {
+		return nil, err
+	}
+	for _, w := range delta.Upserts {
+		p.bidders[w.ID] = w
+	}
+	for _, id := range delta.Removes {
+		delete(p.bidders, id)
+	}
+	out, err := p.auction.RunMelody(p.open.tasks, p.open.budget)
 	if err != nil {
 		return nil, err
 	}
