@@ -44,10 +44,13 @@ bench-scale-smoke:
 	$(GO) run ./cmd/melody-bench -smoke -filter '^alloc/melody(_state|_inc|_scratch)?/n100000($$|_)'
 
 # chaos-smoke re-runs the seeded fault-injection suite on its own: the
-# chaos harness unit tests plus the 20-run soak season with a mid-season
-# kill and WAL recovery (internal/platform/chaos_soak_test.go).
+# chaos harness unit tests, the 20-run soak season with a mid-season kill
+# and WAL recovery (internal/platform/chaos_soak_test.go), and the
+# segmented-engine soaks with mid-segment / mid-rotation / mid-snapshot
+# kills and primary-kill replica promotion
+# (internal/platform/segmented_soak_test.go).
 chaos-smoke:
-	$(GO) test ./internal/chaos/ ./internal/platform/ -run 'TestChaosSoakSeason|TestTransport|TestMiddleware' -count 1
+	$(GO) test ./internal/chaos/ ./internal/platform/ -run 'TestChaosSoakSeason|TestSegmentedChaosSoakSeason|TestReplicaPromotionSoak|TestTransport|TestMiddleware|TestFailpoints' -count 1
 
 # fuzz-smoke gives each native fuzz target a short budget on top of its
 # committed seed corpus (testdata/fuzz/ in each package); any crasher is a
@@ -57,6 +60,8 @@ fuzz-smoke:
 	$(GO) test ./internal/verify/ -run '^$$' -fuzz '^FuzzMelodyAuction$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify/ -run '^$$' -fuzz '^FuzzIncrementalAuction$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/eventlog/ -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eventlog/ -run '^$$' -fuzz '^FuzzSegmentHeaderDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eventlog/ -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/platform/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lds/ -run '^$$' -fuzz '^FuzzKalmanFilter$$' -fuzztime $(FUZZTIME)
 

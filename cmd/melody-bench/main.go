@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"testing"
 
+	"melody"
 	"melody/internal/core"
 	"melody/internal/eventlog"
 	"melody/internal/experiments"
@@ -392,6 +394,116 @@ func walAppendKernel(serial, observed bool) func(b *testing.B) {
 	}
 }
 
+// recoveryPlatform builds the fresh platform the recovery kernels recover
+// into; the configuration matches the segmented-engine test workload.
+func recoveryPlatform() (*melody.Platform, error) {
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+		EMPeriod: 5, EMWindow: 40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+	})
+}
+
+// buildRecoveryDir populates a segmented storage directory with the history
+// of `runs` deterministic crowdsourcing runs (about ten records each), so
+// the recovery kernels time OpenPersistentSegmented against a realistic log.
+func buildRecoveryDir(dir string, runs int, opts eventlog.SegmentedOptions) error {
+	p, err := recoveryPlatform()
+	if err != nil {
+		return err
+	}
+	pp, seg, err := eventlog.OpenPersistentSegmented(dir, p, opts)
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	ctx := context.Background()
+	workers := []string{"ada", "bob", "cyd", "dee"}
+	for _, id := range workers {
+		if err := pp.RegisterWorker(ctx, id); err != nil {
+			return err
+		}
+	}
+	latent := map[string]float64{"ada": 8, "bob": 6, "cyd": 7, "dee": 4}
+	for run := 1; run <= runs; run++ {
+		tasks := []melody.Task{
+			{ID: fmt.Sprintf("r%d-a", run), Threshold: 11},
+			{ID: fmt.Sprintf("r%d-b", run), Threshold: 11},
+		}
+		if err := pp.OpenRun(ctx, tasks, 30); err != nil {
+			return err
+		}
+		for i, id := range workers {
+			if err := pp.SubmitBid(ctx, id, melody.Bid{Cost: 1.0 + 0.2*float64(i), Frequency: 2}); err != nil {
+				return err
+			}
+		}
+		out, err := pp.CloseAuction(ctx)
+		if err != nil {
+			return err
+		}
+		for _, a := range out.Assignments {
+			score := latent[a.WorkerID] + 0.1*float64(run%3)
+			if err := pp.SubmitScore(ctx, a.WorkerID, a.TaskID, score); err != nil {
+				return err
+			}
+		}
+		if err := pp.FinishRun(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walRecoveryKernel measures cold-start recovery of the segmented storage
+// engine: each iteration recovers a fresh platform from the same on-disk
+// history. snapshotEvery 0 is the full from-scratch replay over every
+// record; a positive value installs run-boundary snapshots while the
+// history is built, so recovery loads the newest snapshot and replays only
+// the tail — the measurement behind the bounded-recovery claim (snap/
+// entries stay flat as runs grow, full/ entries grow linearly).
+func walRecoveryKernel(runs, snapshotEvery int) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "melody-bench-recovery-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		opts := eventlog.SegmentedOptions{
+			SegmentBytes:  64 << 10,
+			SnapshotEvery: snapshotEvery,
+		}
+		if err := buildRecoveryDir(dir, runs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := recoveryPlatform()
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp, seg, err := eventlog.OpenPersistentSegmented(dir, p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pp.Run() != runs {
+				b.Fatalf("recovered %d runs, want %d", pp.Run(), runs)
+			}
+			if err := seg.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // serveKernel runs the end-to-end HTTP serving path through loadgen:
 // NsPerOp is nanoseconds of bidding wall-clock per ingested bid, and the
 // throughput/latency detail lands in Entry.Metrics.
@@ -441,6 +553,15 @@ func kernels() []kernel {
 		{name: "wal/append_fsync_serial", fn: walAppendKernel(true, false)},
 		{name: "wal/append_fsync_group", fn: walAppendKernel(false, false)},
 		{name: "wal/append_fsync_group_obs", fn: walAppendKernel(false, true)},
+		// Recovery kernels: cold-start time of the segmented engine vs log
+		// length. full_ replays every record from scratch (no snapshots) and
+		// grows linearly with history; snap_ recovers from run-boundary
+		// snapshots (every 1000 records) plus the tail, and must stay flat as
+		// the run count quadruples.
+		{name: "wal/recovery/full_r500", fn: walRecoveryKernel(500, 0)},
+		{name: "wal/recovery/full_r2000", fn: walRecoveryKernel(2000, 0)},
+		{name: "wal/recovery/snap_r500", fn: walRecoveryKernel(500, 1000)},
+		{name: "wal/recovery/snap_r2000", fn: walRecoveryKernel(2000, 1000)},
 		// serve/ kernels measure the full HTTP serving path. The wal_serial
 		// variant with batch=1 is the pre-PR configuration (single-bid wire
 		// protocol, one fsync per append); wal_group with batch=16 is the

@@ -42,7 +42,14 @@ func run() error {
 		initMean    = flag.Float64("init-mean", 5.5, "initial quality belief mean (mu^0)")
 		initVar     = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
 		emPeriod    = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
-		walPath     = flag.String("wal", "", "write-ahead log path; enables durable state and crash recovery")
+		walPath     = flag.String("wal", "", "single-file write-ahead log path; enables durable state and crash recovery")
+		walDir      = flag.String("wal-dir", "", "segmented storage engine directory; enables durable state, snapshots, bounded recovery and replication")
+		segBytes    = flag.Int64("segment-bytes", eventlog.DefaultSegmentBytes, "segment rotation threshold for -wal-dir")
+		snapEvery   = flag.Int("snapshot-every", 10000, "take a state snapshot once this many records accumulated since the last one (0 disables; requires -wal-dir)")
+		noCompact   = flag.Bool("no-compaction", false, "keep snapshot-covered segments on disk (requires -wal-dir)")
+		replicaOf   = flag.String("replica-of", "", "run as a replica of the primary at this base URL, mirroring its -wal-dir files locally (requires -wal-dir)")
+		replicaID   = flag.String("replica-id", "", "replica name reported in acks (default: hostname)")
+		promote     = flag.Bool("promote", false, "promote: boot as primary from a directory previously populated by -replica-of (requires -wal-dir)")
 		bidDL       = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
 		scoreDL     = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
 		chaosSpec   = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
@@ -59,11 +66,26 @@ func run() error {
 	}
 	logger := obs.NewLogger(os.Stderr, level).With("component", "melody-platform")
 
+	switch {
+	case *walPath != "" && *walDir != "":
+		return errors.New("-wal and -wal-dir are mutually exclusive")
+	case *replicaOf != "" && *walDir == "":
+		return errors.New("-replica-of requires -wal-dir (the local mirror directory)")
+	case *replicaOf != "" && *promote:
+		return errors.New("-replica-of and -promote are mutually exclusive: stop following before promoting")
+	case *promote && *walDir == "":
+		return errors.New("-promote requires -wal-dir (the replica's data directory)")
+	}
+
 	// One registry and one span ring serve the whole process; every layer
 	// (WAL, platform core, HTTP server, chaos) records into them.
 	registry := obs.NewRegistry()
 	obs.RegisterBaseline(registry)
 	tracer := obs.NewTracer(*traceCap)
+
+	if *replicaOf != "" {
+		return runReplica(logger, registry, tracer, *replicaOf, *walDir, *replicaID, *metricsAddr)
+	}
 
 	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
 		InitialMean: *initMean,
@@ -89,7 +111,13 @@ func run() error {
 		return err
 	}
 	var backend platform.Backend = p
-	if *walPath != "" {
+	serverOpts := []platform.ServerOption{
+		platform.WithDeadlines(*bidDL, *scoreDL),
+		platform.WithMetrics(registry),
+		platform.WithTracer(tracer),
+	}
+	switch {
+	case *walPath != "":
 		persistent, wal, err := eventlog.OpenPersistentOptions(*walPath, p, eventlog.Options{
 			SyncEveryAppend: true,
 			Metrics:         registry,
@@ -102,11 +130,36 @@ func run() error {
 		backend = persistent
 		logger.Info("durable state recovered",
 			"wal", *walPath, "completed_runs", p.Run(), "workers", len(p.Workers()))
+	case *walDir != "":
+		// Promotion of a replica is nothing special: the replica's directory
+		// holds a byte-identical copy of the primary's durable files, so the
+		// standard recovery path below reconstructs exactly the state the
+		// primary had acknowledged.
+		persistent, seg, err := eventlog.OpenPersistentSegmented(*walDir, p, eventlog.SegmentedOptions{
+			Options: eventlog.Options{
+				SyncEveryAppend: true,
+				Metrics:         registry,
+				Tracer:          tracer,
+			},
+			SegmentBytes:      *segBytes,
+			SnapshotEvery:     *snapEvery,
+			DisableCompaction: *noCompact,
+		})
+		if err != nil {
+			return err
+		}
+		defer seg.Close()
+		backend = persistent
+		serverOpts = append(serverOpts, platform.WithReplicationSource(seg))
+		event := "durable state recovered"
+		if *promote {
+			event = "replica promoted to primary"
+		}
+		logger.Info(event,
+			"wal_dir", *walDir, "completed_runs", p.Run(), "workers", len(p.Workers()),
+			"snapshot_seq", seg.SnapshotSeq(), "seq", seg.Seq())
 	}
-	srv, err := platform.NewServer(backend, logger,
-		platform.WithDeadlines(*bidDL, *scoreDL),
-		platform.WithMetrics(registry),
-		platform.WithTracer(tracer))
+	srv, err := platform.NewServer(backend, logger, serverOpts...)
 	if err != nil {
 		return err
 	}
@@ -180,6 +233,52 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+// runReplica follows a primary, mirroring its segmented storage engine into
+// the local -wal-dir until interrupted. The process serves no platform API:
+// its product is the directory, which a later `-wal-dir <dir> -promote`
+// start turns into a primary.
+func runReplica(logger *slog.Logger, registry *obs.Registry, tracer *obs.Tracer, primaryURL, dir, id, metricsAddr string) error {
+	src, err := platform.NewReplicationClient(primaryURL, nil)
+	if err != nil {
+		return err
+	}
+	rep, err := eventlog.NewReplicator(eventlog.ReplicatorConfig{
+		Dir:     dir,
+		Source:  src,
+		ID:      id,
+		Metrics: registry,
+		Tracer:  tracer,
+	})
+	if err != nil {
+		return err
+	}
+	if metricsAddr != "" {
+		http.Handle("GET /metrics", obs.MetricsHandler(registry))
+		http.Handle("GET /debug/traces", obs.TracesHandler(tracer))
+		go func() {
+			sideSrv := &http.Server{
+				Addr:              metricsAddr,
+				Handler:           http.DefaultServeMux,
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			logger.Info("side listener up", "purpose", "metrics", "addr", metricsAddr)
+			if err := sideSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("side listener failed", "purpose", "metrics", "error", err)
+			}
+		}()
+	}
+	logger.Info("replicating", "primary", primaryURL, "dir", dir)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = rep.Run(ctx)
+	seg, off := rep.Position()
+	logger.Info("replication stopped", "rounds", rep.Rounds(), "segment", seg, "offset", off)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
 }
 
 // parseLogLevel maps the -log-level flag onto a slog.Level.

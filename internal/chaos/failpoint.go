@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Failpoints is a deterministic kill-point registry for crash testing the
+// storage engine. A subsystem under test threads a hook (Hook) into its
+// write paths and consults it at named points — "just before the rotation
+// rename", "halfway through a segment append" — and a test arms the precise
+// hit it wants to die at. Unlike the probabilistic Scenario faults, an
+// armed failpoint fires exactly once at exactly the chosen hit, so a soak
+// can kill a process mid-rotation on demand and then assert recovery.
+//
+// Failpoints is safe for concurrent use; the zero value of the hook (nil)
+// injects nothing, matching the nil-disabled convention of the obs layer.
+type Failpoints struct {
+	mu    sync.Mutex
+	armed map[string]int // name -> remaining hits before firing (1 = next)
+	hits  map[string]int // name -> total times the point was reached
+	fired map[string]int // name -> times the point actually failed
+}
+
+// NewFailpoints returns an empty registry.
+func NewFailpoints() *Failpoints {
+	return &Failpoints{
+		armed: make(map[string]int),
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// Arm schedules the failpoint to fire on its nth future hit (n = 1 means
+// the very next one). Re-arming replaces the previous schedule.
+func (f *Failpoints) Arm(name string, n int) {
+	if f == nil || n < 1 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed[name] = n
+}
+
+// Disarm cancels a pending schedule.
+func (f *Failpoints) Disarm(name string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.armed, name)
+}
+
+// Check records a hit at the named point and reports whether the armed
+// schedule says to fail here: a non-nil error wrapping ErrInjected. The
+// instrumented subsystem returns that error up its failure path, simulating
+// a crash at the point.
+func (f *Failpoints) Check(name string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hits[name]++
+	n, ok := f.armed[name]
+	if !ok {
+		return nil
+	}
+	if n > 1 {
+		f.armed[name] = n - 1
+		return nil
+	}
+	delete(f.armed, name)
+	f.fired[name]++
+	return fmt.Errorf("%w: failpoint %s", ErrInjected, name)
+}
+
+// Hits returns how many times the named point has been reached.
+func (f *Failpoints) Hits(name string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[name]
+}
+
+// Fired returns how many times the named point has injected a failure.
+func (f *Failpoints) Fired(name string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[name]
+}
+
+// Hook adapts the registry to the plain func(name) error hook shape storage
+// code accepts, keeping that code free of a chaos dependency. A nil
+// registry yields a nil hook (no instrumentation at all).
+func (f *Failpoints) Hook() func(string) error {
+	if f == nil {
+		return nil
+	}
+	return f.Check
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailpointsFireOnNthHit(t *testing.T) {
+	fp := NewFailpoints()
+	fp.Arm("x", 3)
+	for i := 1; i <= 2; i++ {
+		if err := fp.Check("x"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := fp.Check("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 err = %v, want ErrInjected", err)
+	}
+	// One-shot: the schedule is consumed.
+	if err := fp.Check("x"); err != nil {
+		t.Fatalf("hit 4 fired again: %v", err)
+	}
+	if fp.Hits("x") != 4 || fp.Fired("x") != 1 {
+		t.Errorf("hits = %d fired = %d, want 4 and 1", fp.Hits("x"), fp.Fired("x"))
+	}
+}
+
+func TestFailpointsDisarmAndNil(t *testing.T) {
+	fp := NewFailpoints()
+	fp.Arm("y", 1)
+	fp.Disarm("y")
+	if err := fp.Check("y"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	var nilFP *Failpoints
+	if nilFP.Hook() != nil {
+		t.Error("nil registry returned a non-nil hook")
+	}
+	if err := nilFP.Check("z"); err != nil {
+		t.Error("nil registry injected a fault")
+	}
+	fp.Arm("neg", 0) // n < 1 is ignored
+	if err := fp.Check("neg"); err != nil {
+		t.Errorf("n=0 arm fired: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// compactLocked drops every sealed segment whose records are wholly covered
+// by the installed snapshot, plus the superseded snapshot file, returning
+// how many segments it removed. Snapshots are taken only at run boundaries
+// (every run at or below the snapshot sequence is settled), so coverage by
+// sequence is exactly the "no unsettled run" safety condition: a segment
+// holding any record of an open run necessarily extends past the snapshot
+// sequence and is kept. The active segment is never a candidate.
+//
+// Callers hold s.snapMu.
+func (s *SegmentedLog) compactLocked(prevSnapshot string) (int, error) {
+	snapSeq := s.snapSeq
+	s.sw.mu.Lock()
+	defer s.sw.mu.Unlock()
+	var kept []sealedSegment
+	var errs []error
+	dropped := 0
+	for _, seg := range s.sw.sealed {
+		if seg.last > snapSeq {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, seg.name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			errs = append(errs, fmt.Errorf("eventlog: compact %s: %w", seg.name, err))
+			kept = append(kept, seg)
+			continue
+		}
+		dropped++
+	}
+	s.sw.sealed = kept
+	if prevSnapshot != "" && prevSnapshot != s.snapName {
+		if err := os.Remove(filepath.Join(s.dir, prevSnapshot)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			errs = append(errs, fmt.Errorf("eventlog: drop superseded snapshot %s: %w", prevSnapshot, err))
+		}
+	}
+	if dropped > 0 {
+		if err := syncDir(s.dir); err != nil {
+			errs = append(errs, err)
+		}
+		s.compacted.Add(int64(dropped))
+	}
+	return dropped, errors.Join(errs...)
+}

@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -155,6 +156,12 @@ type Log struct {
 	sync bool
 	ser  bool // serial commit (baseline mode)
 
+	// seg, when non-nil, routes batch writes through the segmented engine's
+	// rotation-aware writer instead of a plain file append. The commit
+	// pipeline is otherwise unchanged — record encoding, fsync semantics and
+	// failure poisoning are identical to the single-file engine.
+	seg *segmentWriter
+
 	// pending accumulates encoded records awaiting the next commit; enc
 	// writes through an indirection so the committer can swap buffers.
 	pending *bytes.Buffer
@@ -251,9 +258,20 @@ func OpenOptions(path string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("eventlog: truncate torn tail of %s: %w", path, err)
 		}
 	}
+	_, statErr := os.Stat(path)
+	created := errors.Is(statErr, os.ErrNotExist)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: open %s: %w", path, err)
+	}
+	if created {
+		// Make the new file's directory entry durable: without the parent
+		// fsync a crash shortly after boot can lose the whole log file even
+		// though every appended record was fsynced into it.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return newLog(f, seq, opts), nil
 }
@@ -327,8 +345,16 @@ func (l *Log) AppendAsync(e Event) (int64, func(context.Context) error, error) {
 	switch {
 	case !l.sync:
 		// Buffered mode: hand the record to the bufio writer now; a write
-		// failure here poisons the log like any durability failure.
-		_, werr := l.w.Write(l.pending.Bytes())
+		// failure here poisons the log like any durability failure. A
+		// segmented log skips the bufio layer so rotation still sees every
+		// record (the per-record write is one syscall either way at the
+		// segment sizes in play).
+		var werr error
+		if l.seg != nil {
+			werr = l.seg.writeBatch(l.pending.Bytes(), seq, seq)
+		} else {
+			_, werr = l.w.Write(l.pending.Bytes())
+		}
 		l.pending.Reset()
 		l.pendingCount = 0
 		if werr != nil {
@@ -380,7 +406,7 @@ func (l *Log) encodeLocked(e Event) error {
 // failLocked poisons the log after a durability failure. Callers hold l.mu.
 func (l *Log) failLocked(cause error) {
 	if l.failed == nil {
-		l.failed = fmt.Errorf("%w: %v (reopen to recover)", ErrFailed, cause)
+		l.failed = fmt.Errorf("%w: %w (reopen to recover)", ErrFailed, cause)
 	}
 	l.notifyLocked()
 	l.work.Broadcast()
@@ -393,6 +419,17 @@ func (l *Log) notifyLocked() {
 	l.doneCh = make(chan struct{})
 }
 
+// writeAll lands one encoded batch covering sequences [lo, hi] on the
+// commit target: the segmented writer (which may rotate first) when one is
+// attached, a plain append otherwise.
+func (l *Log) writeAll(p []byte, lo, hi int64) error {
+	if l.seg != nil {
+		return l.seg.writeBatch(p, lo, hi)
+	}
+	_, err := l.f.Write(p)
+	return err
+}
+
 // commitLocked flushes the pending buffer with one write+fsync. Callers
 // hold l.mu; used by the serial baseline mode and by Close's final drain.
 func (l *Log) commitLocked() error {
@@ -402,7 +439,7 @@ func (l *Log) commitLocked() error {
 	count := l.pendingCount
 	l.pendingCount = 0
 	start := time.Now()
-	_, err := l.f.Write(l.pending.Bytes())
+	err := l.writeAll(l.pending.Bytes(), l.seq-int64(count)+1, l.seq)
 	l.pending.Reset()
 	if err == nil {
 		err = l.f.Sync()
@@ -468,7 +505,7 @@ func (l *Log) commitLoop() {
 		sp := l.tracer.Start("wal.commit")
 		sp.SetAttrInt("records", int64(count))
 		start := time.Now()
-		_, err := l.f.Write(batch.Bytes())
+		err := l.writeAll(batch.Bytes(), hi-int64(count)+1, hi)
 		if err == nil {
 			err = l.f.Sync()
 		}

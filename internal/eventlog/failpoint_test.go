@@ -1,0 +1,184 @@
+package eventlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"melody/internal/chaos"
+)
+
+// TestFailpointMidSegmentAppend kills the engine halfway through a batch
+// write (half the bytes reach the file, then the "process" dies) and
+// requires recovery to truncate the torn half-batch and resume cleanly.
+func TestFailpointMidSegmentAppend(t *testing.T) {
+	dir := t.TempDir()
+	fp := chaos.NewFailpoints()
+	opts := SegmentedOptions{SegmentBytes: 1 << 20, Failpoint: fp.Hook()}
+	l, _ := openSegmented(t, dir, opts)
+	appendN(t, l.Log, 10)
+
+	fp.Arm(FailpointSegmentAppend, 1)
+	if _, err := l.Append(Event{Kind: KindRegister, Worker: "doomed"}); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("armed append err = %v, want ErrInjected", err)
+	}
+	if fp.Fired(FailpointSegmentAppend) != 1 {
+		t.Fatal("failpoint never fired")
+	}
+	l.Close() // the poisoned log's close error is the crash, not a failure
+
+	// The file now ends in half a record. Recovery must drop it.
+	l2, rec := openSegmented(t, dir, SegmentedOptions{SegmentBytes: 1 << 20})
+	defer l2.Close()
+	if len(rec.Events) != 10 {
+		t.Fatalf("recovered %d events, want 10 (torn batch dropped)", len(rec.Events))
+	}
+	if seq := appendN(t, l2.Log, 1); seq != 11 {
+		t.Errorf("post-recovery seq = %d, want 11", seq)
+	}
+}
+
+// TestFailpointMidRotationRename kills the engine after the next segment's
+// temp file is staged but before the rename installs it. Recovery must
+// sweep the debris and keep appending to the old segment chain.
+func TestFailpointMidRotationRename(t *testing.T) {
+	dir := t.TempDir()
+	fp := chaos.NewFailpoints()
+	opts := SegmentedOptions{SegmentBytes: 256, Failpoint: fp.Hook()}
+	l, _ := openSegmented(t, dir, opts)
+
+	fp.Arm(FailpointRotateRename, 1)
+	var crashed int64
+	for i := 0; i < 100; i++ {
+		seq, err := l.Append(Event{Kind: KindRegister, Worker: "w"})
+		if err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			crashed = int64(i) // records 1..i landed before the crash
+			break
+		}
+		if seq != int64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("rotation failpoint never fired within 100 appends")
+	}
+	l.Close()
+
+	// Temp debris must exist now (staged segment that was never renamed)...
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	debris := 0
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			debris++
+		}
+	}
+	if debris == 0 {
+		t.Fatal("no staged temp file found after mid-rotation crash")
+	}
+
+	// ...and recovery sweeps it, resuming exactly after the last durable
+	// record.
+	l2, rec := openSegmented(t, dir, SegmentedOptions{SegmentBytes: 256})
+	defer l2.Close()
+	if int64(len(rec.Events)) != crashed {
+		t.Fatalf("recovered %d events, want %d", len(rec.Events), crashed)
+	}
+	if seq := appendN(t, l2.Log, 1); seq != crashed+1 {
+		t.Errorf("post-recovery seq = %d, want %d", seq, crashed+1)
+	}
+}
+
+// TestFailpointMidSnapshotWrite kills the engine halfway through staging a
+// snapshot temp file. The failure must not poison the log, and recovery
+// must fall back to the previous snapshot (or none) and full tail replay.
+func TestFailpointMidSnapshotWrite(t *testing.T) {
+	dir := t.TempDir()
+	fp := chaos.NewFailpoints()
+	opts := SegmentedOptions{SegmentBytes: 1 << 20, Failpoint: fp.Hook()}
+	l, _ := openSegmented(t, dir, opts)
+	appendN(t, l.Log, 10)
+	if err := l.WriteSnapshot(5, 1, []byte(`{"good":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	fp.Arm(FailpointSnapshotWrite, 1)
+	if err := l.WriteSnapshot(10, 2, []byte(`{"doomed":true}`)); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("armed snapshot err = %v, want ErrInjected", err)
+	}
+	// The log itself is unharmed: appends still work.
+	if seq := appendN(t, l.Log, 2); seq != 12 {
+		t.Fatalf("append after snapshot failure got seq %d", seq)
+	}
+	l.Close()
+
+	l2, rec := openSegmented(t, dir, SegmentedOptions{SegmentBytes: 1 << 20})
+	defer l2.Close()
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 5 {
+		t.Fatalf("recovered snapshot %+v, want the intact seq-5 one", rec.Snapshot)
+	}
+	if len(rec.Events) != 7 || rec.Events[0].Seq != 6 {
+		t.Fatalf("recovered tail %d events from %d, want 7 from 6", len(rec.Events), rec.Events[0].Seq)
+	}
+}
+
+// TestDirectorySyncOnCreateAndInstall is the crash-durability regression for
+// the missing parent-directory fsync: creating a log file, installing a
+// rotated segment, and installing a snapshot must each fsync the directory
+// entry, or a power cut can forget the file itself even though its contents
+// were synced.
+func TestDirectorySyncOnCreateAndInstall(t *testing.T) {
+	before := dirSyncs.Load()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	log, err := OpenOptions(path, Options{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	afterCreate := dirSyncs.Load()
+	if afterCreate <= before {
+		t.Error("creating a single-file WAL never fsynced its parent directory")
+	}
+	// Reopening an existing file must not redundantly sync the directory.
+	log, err = OpenOptions(path, Options{SyncEveryAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dirSyncs.Load(); got != afterCreate {
+		t.Errorf("reopening an existing WAL synced the directory %d extra times", got-afterCreate)
+	}
+
+	// Segment rotation and snapshot install both create directory entries;
+	// each must fsync the directory.
+	dir := t.TempDir()
+	mark := dirSyncs.Load()
+	l, _ := openSegmented(t, dir, SegmentedOptions{SegmentBytes: 256})
+	defer l.Close()
+	afterOpen := dirSyncs.Load()
+	if afterOpen <= mark {
+		t.Error("creating the first segment never fsynced the directory")
+	}
+	appendN(t, l.Log, 40) // forces rotations
+	afterRotate := dirSyncs.Load()
+	if afterRotate <= afterOpen {
+		t.Error("segment rotation never fsynced the directory")
+	}
+	if err := l.WriteSnapshot(30, 3, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if dirSyncs.Load() <= afterRotate {
+		t.Error("snapshot install never fsynced the directory")
+	}
+}

@@ -2,9 +2,11 @@ package eventlog
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"melody"
 )
@@ -44,6 +46,87 @@ func OpenPersistentOptions(path string, p *melody.Platform, opts Options) (*Pers
 	}
 	return &PersistentPlatform{rec: rec}, log, nil
 }
+
+// OpenPersistentSegmented opens (or creates) the segmented storage engine
+// in dir, recovers the given freshly constructed platform from the newest
+// valid snapshot plus the log tail, and returns the combined handle plus
+// the segmented log (which the caller must Close on shutdown). Recovery is
+// bounded: segments the snapshot covers are never read.
+//
+// Promotion of a replica is this same call on the replica's data directory:
+// the replica's files are byte-identical to the primary's durable prefix,
+// so recovery reconstructs exactly the state the primary had acknowledged.
+func OpenPersistentSegmented(dir string, p *melody.Platform, opts SegmentedOptions) (*PersistentPlatform, *SegmentedLog, error) {
+	if p == nil {
+		return nil, nil, errors.New("eventlog: recover needs a platform")
+	}
+	slog, recovered, err := OpenSegmented(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*PersistentPlatform, *SegmentedLog, error) {
+		slog.Close()
+		return nil, nil, err
+	}
+	if snap := recovered.Snapshot; snap != nil {
+		var ps melody.PlatformSnapshot
+		if err := json.Unmarshal(snap.State, &ps); err != nil {
+			return fail(fmt.Errorf("eventlog: decode platform snapshot at seq %d: %w", snap.Seq, err))
+		}
+		if err := p.RestoreSnapshot(&ps); err != nil {
+			return fail(fmt.Errorf("eventlog: restore snapshot at seq %d: %w", snap.Seq, err))
+		}
+	}
+	for _, e := range recovered.Events {
+		if err := apply(p, e); err != nil {
+			return fail(fmt.Errorf("eventlog: replay seq %d (%s): %w", e.Seq, e.Kind, err))
+		}
+	}
+	rec, err := NewRecorder(p, slog.Log)
+	if err != nil {
+		return fail(err)
+	}
+	rec.seg = slog
+	return &PersistentPlatform{rec: rec}, slog, nil
+}
+
+// ReplaySegments applies every event from every segment in dir to a fresh
+// platform, ignoring snapshots entirely — the full from-scratch replay. It
+// exists as the differential oracle for bounded recovery: on a directory
+// whose history was never compacted, OpenPersistentSegmented (snapshot +
+// tail) and ReplaySegments must land on bit-identical platform state.
+func ReplaySegments(dir string, p *melody.Platform) error {
+	if p == nil {
+		return errors.New("eventlog: replay needs a platform")
+	}
+	segs, err := scanSegmentDir(dir)
+	if err != nil {
+		return err
+	}
+	expect := int64(0)
+	for i, seg := range segs {
+		if expect != 0 && seg.base != expect {
+			return fmt.Errorf("eventlog: segment chain gap: %s starts at %d, want %d", seg.name, seg.base, expect)
+		}
+		_, events, _, _, err := readSegment(filepath.Join(dir, seg.name))
+		if err != nil {
+			return err
+		}
+		if i < len(segs)-1 && len(events) > 0 {
+			expect = events[len(events)-1].Seq + 1
+		}
+		for _, e := range events {
+			if err := apply(p, e); err != nil {
+				return fmt.Errorf("eventlog: replay seq %d (%s): %w", e.Seq, e.Kind, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SnapshotErr exposes the most recent snapshot failure (see
+// Recorder.SnapshotErr); always nil on a single-file backend.
+func (pp *PersistentPlatform) SnapshotErr() error { return pp.rec.SnapshotErr() }
 
 // RegisterWorker implements the platform API.
 func (pp *PersistentPlatform) RegisterWorker(ctx context.Context, workerID string) error {

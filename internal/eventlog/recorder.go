@@ -2,6 +2,7 @@ package eventlog
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,15 @@ type Recorder struct {
 	mu  sync.Mutex
 	p   *melody.Platform
 	log *Log
+
+	// seg, when non-nil, is the segmented engine owning the log: FinishRun
+	// then takes periodic state snapshots at run boundaries (the only
+	// points where the platform can export a consistent snapshot).
+	seg *SegmentedLog
+	// snapErr records the most recent snapshot failure. Snapshots are a
+	// recovery-time optimization, so a failure never fails the run that
+	// triggered it; it is surfaced here for operators and tests instead.
+	snapErr error
 }
 
 // NewRecorder wraps platform with the log.
@@ -184,11 +194,68 @@ func (r *Recorder) SubmitScore(ctx context.Context, workerID, taskID string, sco
 		Event{Kind: KindScore, Worker: workerID, Task: taskID, Score: score})
 }
 
-// FinishRun finishes and records the run.
+// FinishRun finishes and records the run. On a segmented log that is due
+// for a snapshot, the platform's state is captured under the ordering lock
+// — so it reflects exactly the log prefix ending at the finish record — and
+// written out only after that record is durable, keeping the snapshot's
+// covered sequence at or below the durable tail (a snapshot may never claim
+// records a crash could still tear away).
 func (r *Recorder) FinishRun(ctx context.Context) error {
-	return r.record(ctx,
-		func() error { return r.p.FinishRun(ctx) },
-		Event{Kind: KindFinish})
+	if r.seg == nil {
+		return r.record(ctx,
+			func() error { return r.p.FinishRun(ctx) },
+			Event{Kind: KindFinish})
+	}
+	r.mu.Lock()
+	if err := r.p.FinishRun(ctx); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	seq, wait, err := r.log.AppendAsync(Event{Kind: KindFinish})
+	var snap *melody.PlatformSnapshot
+	var runs int
+	if err == nil && r.seg.ShouldSnapshot() {
+		runs = r.p.Run()
+		var serr error
+		if snap, serr = r.p.SnapshotState(); serr != nil {
+			// The estimator may not support snapshots (ErrNoSnapshot);
+			// recovery then falls back to full replay.
+			r.snapErr = serr
+			snap = nil
+		}
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if werr := wait(ctx); werr != nil {
+		return werr
+	}
+	if snap != nil {
+		r.writeSnapshot(seq, runs, snap)
+	}
+	return nil
+}
+
+// writeSnapshot encodes and installs a platform snapshot, recording rather
+// than returning failures: the run that triggered the snapshot has already
+// committed.
+func (r *Recorder) writeSnapshot(seq int64, runs int, snap *melody.PlatformSnapshot) {
+	state, err := json.Marshal(snap)
+	if err == nil {
+		err = r.seg.WriteSnapshot(seq, runs, state)
+	}
+	r.mu.Lock()
+	r.snapErr = err
+	r.mu.Unlock()
+}
+
+// SnapshotErr returns the most recent snapshot failure (nil after a
+// successful snapshot or when none was attempted).
+func (r *Recorder) SnapshotErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapErr
 }
 
 // Replay applies every event from the log at path to a fresh platform,

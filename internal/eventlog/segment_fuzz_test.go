@@ -1,0 +1,137 @@
+package eventlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSegmentHeaderDecode feeds arbitrary bytes to the segment-header
+// decoder and checks the framing contract:
+//
+//  1. DecodeSegmentHeader never panics, whatever the line contains;
+//  2. anything it accepts satisfies the header invariants (magic, version,
+//     positive base, verified CRC);
+//  3. accepted headers round-trip: re-encoding the decoded header produces
+//     a line the decoder accepts and that decodes to the same header.
+//
+// Explore with `go test ./internal/eventlog -run '^$' -fuzz FuzzSegmentHeaderDecode`.
+func FuzzSegmentHeaderDecode(f *testing.F) {
+	for _, h := range []SegmentHeader{
+		{Base: 1},
+		{Base: 5001, PrevCRC: 0xdeadbeef},
+		{Base: 1<<62 + 7, PrevCRC: 1},
+	} {
+		line, err := EncodeSegmentHeader(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{"magic":"melodyseg","version":1,"base":1,"crc":12345}` + "\n")) // CRC mismatch
+	f.Add([]byte(`{"magic":"other","version":1,"base":1}` + "\n"))                 // wrong magic
+	f.Add([]byte(`{"magic":"melodyseg","version":9,"base":1}` + "\n"))             // future version
+	f.Add([]byte(`{"magic":"melodyseg","version":1,"base":0}` + "\n"))             // base < 1
+	f.Add([]byte(`{garbage`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		h, err := DecodeSegmentHeader(line)
+		if err != nil {
+			return
+		}
+		if h.Magic != SegmentMagic || h.Version != segmentVersion {
+			t.Fatalf("decoder accepted magic %q version %d", h.Magic, h.Version)
+		}
+		if h.Base < 1 {
+			t.Fatalf("decoder accepted base %d", h.Base)
+		}
+		want, werr := h.checksum()
+		if werr != nil || h.CRC != want {
+			t.Fatalf("decoder accepted CRC %d, canonical is %d (%v)", h.CRC, want, werr)
+		}
+		again, err := EncodeSegmentHeader(h)
+		if err != nil {
+			t.Fatalf("re-encode of accepted header failed: %v", err)
+		}
+		h2, err := DecodeSegmentHeader(again)
+		if err != nil {
+			t.Fatalf("re-encoded header rejected: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("round trip changed header: %+v -> %+v", h, h2)
+		}
+	})
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder and
+// checks the same contract as FuzzSegmentHeaderDecode for the snapshot
+// envelope: no panics, accepted snapshots satisfy the envelope invariants
+// (format, version, non-negative seq/runs, verified CRC when present), and
+// accepted snapshots survive an encode/decode round trip with identical
+// metadata and payload bytes.
+//
+// Explore with `go test ./internal/eventlog -run '^$' -fuzz FuzzSnapshotDecode`.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, s := range []Snapshot{
+		{Seq: 0, Runs: 0},
+		{Seq: 42, Runs: 3, State: []byte(`{"version":1,"completed_runs":3}`)},
+		{Seq: 9000, Runs: 17, State: []byte(`{"nested":{"floats":[0.1,2.5e-3]}}`)},
+	} {
+		line, err := EncodeSnapshot(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte(`{"format":"melody-snapshot","version":1,"seq":1,"runs":1,"crc":99}` + "\n")) // CRC mismatch
+	f.Add([]byte(`{"format":"other","version":1,"seq":1,"runs":1}` + "\n"))                    // wrong format
+	f.Add([]byte(`{"format":"melody-snapshot","version":2,"seq":1,"runs":1}` + "\n"))          // future version
+	f.Add([]byte(`{"format":"melody-snapshot","version":1,"seq":-1,"runs":0}` + "\n"))         // negative seq
+	f.Add([]byte(`{"format":"melody-snapshot","version":1,"seq":1,"runs":1}` + "\n"))          // no CRC: legacy accept
+	f.Add([]byte(`{garbage`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if s.Format != SnapshotFormat || s.Version != snapshotFileVersion {
+			t.Fatalf("decoder accepted format %q version %d", s.Format, s.Version)
+		}
+		if s.Seq < 0 || s.Runs < 0 {
+			t.Fatalf("decoder accepted seq %d runs %d", s.Seq, s.Runs)
+		}
+		if s.CRC != 0 {
+			want, werr := s.checksum()
+			if werr != nil || s.CRC != want {
+				t.Fatalf("decoder accepted CRC %d, canonical is %d (%v)", s.CRC, want, werr)
+			}
+		}
+		again, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		s2, err := DecodeSnapshot(again)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		if s2.Seq != s.Seq || s2.Runs != s.Runs {
+			t.Fatalf("round trip changed metadata: %+v -> %+v", s, s2)
+		}
+		// EncodeSnapshot canonicalizes (compacts) the payload, so compare
+		// the round trip against the canonical form of what was accepted.
+		canon, err := EncodeSnapshot(Snapshot{Seq: s.Seq, Runs: s.Runs, State: s.State})
+		if err != nil {
+			t.Fatalf("canonicalize accepted payload: %v", err)
+		}
+		cs, err := DecodeSnapshot(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !bytes.Equal(s2.State, cs.State) {
+			t.Fatalf("round trip changed payload: %q -> %q", cs.State, s2.State)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package ledger
+
+import (
+	"testing"
+)
+
+func TestLedgerSnapshotRoundTrip(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 100, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Transfer(KindEscrow, Requester, Escrow, 30, "run 1 budget"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Transfer(KindPayment, Escrow, "worker:ada", 12, "run 1 payment"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := l.Snapshot()
+	restored := New()
+	// Pre-restore state — e.g. the boot-time season deposit a recovering
+	// process repeats before loading the snapshot — must be discarded, or
+	// the requester would be double-funded.
+	if _, err := restored.Deposit(Requester, 100, "boot funding"); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, acc := range l.Accounts() {
+		if got := restored.Balance(acc.Account); got != acc.Balance {
+			t.Errorf("account %s: restored balance %v, want %v", acc.Account, got, acc.Balance)
+		}
+	}
+	liveEntries := l.Entries()
+	gotEntries := restored.Entries()
+	if len(gotEntries) != len(liveEntries) {
+		t.Fatalf("restored %d entries, want %d", len(gotEntries), len(liveEntries))
+	}
+	for i := range liveEntries {
+		if gotEntries[i] != liveEntries[i] {
+			t.Errorf("entry %d: restored %+v, want %+v", i, gotEntries[i], liveEntries[i])
+		}
+	}
+
+	// Sequence numbering continues from the snapshot, not from the discarded
+	// pre-restore history.
+	seq, err := restored.Deposit(Requester, 1, "post-restore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := liveEntries[len(liveEntries)-1].Seq + 1
+	if seq != wantSeq {
+		t.Errorf("post-restore seq = %d, want %d", seq, wantSeq)
+	}
+}
+
+func TestLedgerRestoreValidation(t *testing.T) {
+	l := New()
+	if err := l.Restore(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestLedgerSnapshotIsDeepCopy(t *testing.T) {
+	l := New()
+	if _, err := l.Deposit(Requester, 50, "funding"); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	// Mutating the live ledger after the snapshot must not leak into it.
+	if _, err := l.Deposit(Requester, 999, "later"); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Balances[Requester] != 50 {
+		t.Errorf("snapshot balance mutated to %v", snap.Balances[Requester])
+	}
+	if len(snap.Entries) != 1 {
+		t.Errorf("snapshot entries mutated: %d", len(snap.Entries))
+	}
+}

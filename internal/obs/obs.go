@@ -25,6 +25,17 @@ const (
 	MetricWALCommitBatchSize = "melody_wal_commit_batch_size"
 	MetricWALFsyncSeconds    = "melody_wal_fsync_seconds"
 
+	// Segmented storage engine (internal/eventlog): segment lifecycle,
+	// snapshot freshness, bounded recovery and replication progress.
+	MetricWALSegmentsTotal           = "melody_wal_segments_total"
+	MetricWALActiveSegmentBytes      = "melody_wal_active_segment_bytes"
+	MetricWALSnapshotAgeSeconds      = "melody_wal_snapshot_age_seconds"
+	MetricWALSnapshotsTotal          = "melody_wal_snapshots_total"
+	MetricWALCompactedSegmentsTotal  = "melody_wal_compacted_segments_total"
+	MetricWALRecoveryReplayedRecords = "melody_wal_recovery_replayed_records"
+	MetricReplicaBytesTotal          = "melody_replica_bytes_total"
+	MetricReplicaLagBytes            = "melody_replica_lag_bytes"
+
 	// HTTP serving path (internal/platform server), labelled by endpoint.
 	MetricHTTPRequestsTotal  = "melody_http_requests_total"
 	MetricHTTPErrorsTotal    = "melody_http_errors_total"
@@ -66,6 +77,14 @@ func RegisterBaseline(r *Registry) {
 	r.Counter(MetricWALCommitsTotal, "WAL group commits (one write+fsync each).")
 	r.Histogram(MetricWALCommitBatchSize, "Records per WAL group commit.", BatchBuckets())
 	r.Histogram(MetricWALFsyncSeconds, "Wall time of one WAL write+fsync batch.", TimeBuckets())
+	r.Counter(MetricWALSegmentsTotal, "WAL segments created (including the first of each boot).")
+	r.Gauge(MetricWALActiveSegmentBytes, "Bytes written to the active WAL segment.")
+	r.Gauge(MetricWALSnapshotAgeSeconds, "Seconds since the newest state snapshot, updated on storage-engine activity.")
+	r.Counter(MetricWALSnapshotsTotal, "State snapshots written.")
+	r.Counter(MetricWALCompactedSegmentsTotal, "WAL segments dropped by compaction.")
+	r.Gauge(MetricWALRecoveryReplayedRecords, "Records replayed by the most recent recovery.")
+	r.Counter(MetricReplicaBytesTotal, "Bytes streamed to this replica from its primary.")
+	r.Gauge(MetricReplicaLagBytes, "Durable bytes the primary holds that this replica has not yet acked.")
 	r.CounterVec(MetricHTTPRequestsTotal, "HTTP requests served, by endpoint.", "endpoint")
 	r.CounterVec(MetricHTTPErrorsTotal, "HTTP requests answered with a non-2xx status, by endpoint.", "endpoint")
 	r.HistogramVec(MetricHTTPRequestSeconds, "HTTP request handling time, by endpoint.", "endpoint", TimeBuckets())

@@ -1,0 +1,205 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+
+	"melody/internal/eventlog"
+)
+
+// ReplicationSource is the storage-engine surface the server exposes to
+// replicas: the durable file manifest and frame-aligned byte-range reads.
+// *eventlog.SegmentedLog satisfies it.
+type ReplicationSource interface {
+	Manifest() (eventlog.Manifest, error)
+	ReadFileRange(name string, off int64, maxLen int) (data []byte, done bool, err error)
+}
+
+var _ ReplicationSource = (*eventlog.SegmentedLog)(nil)
+
+// WithReplicationSource mounts the /v1/replication endpoints, serving the
+// given storage engine's durable files to pulling replicas.
+func WithReplicationSource(src ReplicationSource) ServerOption {
+	return func(s *Server) { s.replSrc = src }
+}
+
+// ReplicaState is one replica's acked position as seen by the primary.
+type ReplicaState struct {
+	ID      string    `json:"id"`
+	Segment string    `json:"segment"`
+	Offset  int64     `json:"offset"`
+	LastAck time.Time `json:"last_ack"`
+}
+
+// ReplicationStatusResponse reports the primary's durable sequence and
+// every replica that has acked, for failover tooling to pick the most
+// caught-up replica.
+type ReplicationStatusResponse struct {
+	Seq      int64          `json:"seq"`
+	Replicas []ReplicaState `json:"replicas"`
+}
+
+// ChunkResponse carries one byte range of a replicated file. Data is
+// base64 on the wire (JSON []byte); Done reports the bytes reach the
+// file's durable end.
+type ChunkResponse struct {
+	Data []byte `json:"data"`
+	Done bool   `json:"done"`
+}
+
+// AckRequest reports a replica's durable position to the primary.
+type AckRequest struct {
+	ReplicaID string `json:"replica_id"`
+	Segment   string `json:"segment"`
+	Offset    int64  `json:"offset"`
+}
+
+// mountReplication adds the replication endpoints; called from Handler when
+// a source was configured.
+func (s *Server) mountReplication(mux *http.ServeMux) {
+	s.route(mux, "GET /v1/replication/manifest", "repl_manifest", s.handleReplManifest)
+	s.route(mux, "GET /v1/replication/chunk", "repl_chunk", s.handleReplChunk)
+	s.route(mux, "POST /v1/replication/ack", "repl_ack", s.handleReplAck)
+	s.route(mux, "GET /v1/replication/status", "repl_status", s.handleReplStatus)
+}
+
+func (s *Server) handleReplManifest(w http.ResponseWriter, _ *http.Request) {
+	m, err := s.replSrc.Manifest()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleReplChunk(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "platform: missing name parameter"})
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "platform: invalid off parameter"})
+		return
+	}
+	maxLen := 0
+	if raw := q.Get("max"); raw != "" {
+		if maxLen, err = strconv.Atoi(raw); err != nil || maxLen < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "platform: invalid max parameter"})
+			return
+		}
+	}
+	data, done, err := s.replSrc.ReadFileRange(name, off, maxLen)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, eventlog.ErrUnknownFile) {
+			// The file was compacted away (or never existed); the replica
+			// re-fetches the manifest and moves on.
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ChunkResponse{Data: data, Done: done})
+}
+
+func (s *Server) handleReplAck(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ReplicaID == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "platform: missing replica_id"})
+		return
+	}
+	s.replMu.Lock()
+	if s.replicas == nil {
+		s.replicas = make(map[string]ReplicaState)
+	}
+	s.replicas[req.ReplicaID] = ReplicaState{
+		ID: req.ReplicaID, Segment: req.Segment, Offset: req.Offset, LastAck: time.Now(),
+	}
+	s.replMu.Unlock()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, _ *http.Request) {
+	m, err := s.replSrc.Manifest()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.replMu.Lock()
+	replicas := make([]ReplicaState, 0, len(s.replicas))
+	for _, st := range s.replicas {
+		replicas = append(replicas, st)
+	}
+	s.replMu.Unlock()
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i].ID < replicas[j].ID })
+	writeJSON(w, http.StatusOK, ReplicationStatusResponse{Seq: m.Seq, Replicas: replicas})
+}
+
+// ReplicationClient implements eventlog.ReplicaSource against a primary's
+// /v1/replication endpoints, so a replica process follows a live primary
+// with nothing but its base URL:
+//
+//	src, _ := platform.NewReplicationClient(primaryURL, nil)
+//	rep, _ := eventlog.NewReplicator(eventlog.ReplicatorConfig{Dir: dir, Source: src})
+//	rep.Run(ctx)
+type ReplicationClient struct {
+	c *Client
+}
+
+var _ eventlog.ReplicaSource = (*ReplicationClient)(nil)
+
+// NewReplicationClient builds a replication source for the primary at
+// baseURL. httpClient may be nil for a default with a 10s timeout; the
+// underlying platform client's retry policy smooths over primary restarts.
+func NewReplicationClient(baseURL string, httpClient *http.Client) (*ReplicationClient, error) {
+	c, err := NewClient(baseURL, httpClient)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationClient{c: c}, nil
+}
+
+// Manifest implements eventlog.ReplicaSource.
+func (rc *ReplicationClient) Manifest(ctx context.Context) (eventlog.Manifest, error) {
+	var m eventlog.Manifest
+	err := rc.c.do(ctx, http.MethodGet, "/v1/replication/manifest", nil, &m)
+	return m, err
+}
+
+// Chunk implements eventlog.ReplicaSource.
+func (rc *ReplicationClient) Chunk(ctx context.Context, name string, off int64, maxLen int) ([]byte, bool, error) {
+	path := fmt.Sprintf("/v1/replication/chunk?name=%s&off=%d&max=%d",
+		url.QueryEscape(name), off, maxLen)
+	var out ChunkResponse
+	if err := rc.c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, false, err
+	}
+	return out.Data, out.Done, nil
+}
+
+// Ack implements eventlog.ReplicaSource.
+func (rc *ReplicationClient) Ack(ctx context.Context, replicaID, segment string, off int64) error {
+	return rc.c.do(ctx, http.MethodPost, "/v1/replication/ack",
+		AckRequest{ReplicaID: replicaID, Segment: segment, Offset: off}, nil)
+}
+
+// ReplicationStatus fetches the primary's replication status (for failover
+// tooling; not part of the ReplicaSource contract).
+func (rc *ReplicationClient) ReplicationStatus(ctx context.Context) (ReplicationStatusResponse, error) {
+	var out ReplicationStatusResponse
+	err := rc.c.do(ctx, http.MethodGet, "/v1/replication/status", nil, &out)
+	return out, err
+}

@@ -1,0 +1,539 @@
+package platform
+
+// Segmented-engine chaos soaks: seasons driven over the segmented storage
+// engine (rotation, snapshots, compaction) through the chaos middleware,
+// with deterministic kill points — mid-segment append, mid-rotation rename,
+// mid-snapshot write — armed mid-season, plus a primary-kill /
+// replica-promotion soak. After every life the recovered (or promoted)
+// platform must be bit-identical to the state the previous life
+// acknowledged, money must be conserved, and no run may overspend.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"melody"
+	"melody/internal/chaos"
+	"melody/internal/eventlog"
+	"melody/internal/stats"
+)
+
+// segWorld is one life of the platform on the segmented engine.
+type segWorld struct {
+	platform  *melody.Platform
+	ledger    *melody.Ledger
+	backend   *eventlog.PersistentPlatform
+	seg       *eventlog.SegmentedLog
+	ts        *httptest.Server
+	agents    []*WorkerAgent
+	requester *Requester
+}
+
+func segSoakOptions(fp *chaos.Failpoints) eventlog.SegmentedOptions {
+	return eventlog.SegmentedOptions{
+		Options:       eventlog.Options{SyncEveryAppend: true},
+		SegmentBytes:  1024, // a run's records span segments, forcing rotations
+		SnapshotEvery: 30,   // a snapshot lands roughly every few runs
+		Failpoint:     fp.Hook(),
+	}
+}
+
+func startSegWorld(t *testing.T, ctx context.Context, dir string, fp *chaos.Failpoints, scenario chaos.Scenario, rng *stats.RNG) *segWorld {
+	t.Helper()
+	p, ledger := buildLedgerPlatform(t)
+	backend, seg, err := eventlog.OpenPersistentSegmented(dir, p, segSoakOptions(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(backend, nil,
+		WithDeadlines(10*time.Second, 10*time.Second),
+		WithReplicationSource(seg))
+	if err != nil {
+		seg.Close()
+		t.Fatal(err)
+	}
+	handler, err := chaos.Middleware(scenario, srv.Handler())
+	if err != nil {
+		seg.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+
+	policy := RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	newRetryingClient := func() *Client {
+		c, err := NewClientWithPolicy(ts.URL, ts.Client(), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	w := &segWorld{platform: p, ledger: ledger, backend: backend, seg: seg, ts: ts}
+	for i := 0; i < 4; i++ {
+		latent := 4 + float64(i)*1.5
+		agent, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+			Client:        newRetryingClient(),
+			WorkerID:      fmt.Sprintf("seg-%d", i),
+			Cost:          1.1 + 0.2*float64(i),
+			Frequency:     2,
+			LatentQuality: func(int) float64 { return latent },
+			ScoreSigma:    0.4,
+			PollInterval:  10 * time.Millisecond,
+			RNG:           rng.Split(),
+		})
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+		w.agents = append(w.agents, agent)
+	}
+	w.requester, err = NewRequester(RequesterConfig{
+		Client:        newRetryingClient(),
+		Tasks:         soakTasks,
+		Budget:        soakBudget,
+		BidWait:       150 * time.Millisecond,
+		AnswerTimeout: 5 * time.Second,
+		ScoreLo:       1, ScoreHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// kill tears the world down abruptly; state survives only on disk.
+func (w *segWorld) kill(t *testing.T) {
+	t.Helper()
+	for _, a := range w.agents {
+		if err := a.Stop(); err != nil {
+			t.Errorf("agent stop: %v", err)
+		}
+	}
+	w.ts.Close()
+	w.seg.Close() // a poisoned log's close error is the simulated crash itself
+}
+
+// assertRecoveredMatchesLive boots a throwaway recovery from dir and
+// compares it against the given live state: run counter, worker set, exact
+// quality floats, exact ledger balances.
+func assertRecoveredMatchesLive(t *testing.T, dir string, live *melody.Platform, liveLedger *melody.Ledger) {
+	t.Helper()
+	p, ledger := buildLedgerPlatform(t)
+	backend, seg, err := eventlog.OpenPersistentSegmented(dir, p, eventlog.SegmentedOptions{
+		Options: eventlog.Options{SyncEveryAppend: true},
+	})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer seg.Close()
+	_ = backend
+	if p.Run() != live.Run() {
+		t.Errorf("recovered runs = %d, live = %d", p.Run(), live.Run())
+	}
+	liveWorkers := live.Workers()
+	gotWorkers := p.Workers()
+	if len(gotWorkers) != len(liveWorkers) {
+		t.Fatalf("recovered workers = %v, live = %v", gotWorkers, liveWorkers)
+	}
+	for i, id := range liveWorkers {
+		if gotWorkers[i] != id {
+			t.Fatalf("recovered workers = %v, live = %v", gotWorkers, liveWorkers)
+		}
+		lq, err := live.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := p.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lq != rq {
+			t.Errorf("worker %s: recovered quality %v != live %v", id, rq, lq)
+		}
+	}
+	for _, acc := range liveLedger.Accounts() {
+		if got := ledger.Balance(acc.Account); math.Abs(got-acc.Balance) > 1e-9 {
+			t.Errorf("account %s: recovered balance %.6f != live %.6f", acc.Account, got, acc.Balance)
+		}
+	}
+}
+
+// assertMoneyConserved checks the ledger invariants at season end.
+func assertMoneyConserved(t *testing.T, ledger *melody.Ledger, outcomes []OutcomeResponse) {
+	t.Helper()
+	totalPaid := 0.0
+	for i, out := range outcomes {
+		if out.TotalPayment > soakBudget+1e-9 {
+			t.Errorf("run %d overspent: paid %.3f of budget %.1f", i+1, out.TotalPayment, soakBudget)
+		}
+		totalPaid += out.TotalPayment
+	}
+	sum := 0.0
+	for _, acc := range ledger.Accounts() {
+		if acc.Balance < -1e-9 {
+			t.Errorf("account %s has negative balance %.6f", acc.Account, acc.Balance)
+		}
+		sum += acc.Balance
+	}
+	if math.Abs(sum-soakDeposit) > 1e-6 {
+		t.Errorf("ledger lost money: balances sum to %.6f, deposits were %.1f", sum, soakDeposit)
+	}
+	if esc := ledger.Balance("escrow"); math.Abs(esc) > 1e-9 {
+		t.Errorf("escrow not empty after season: %.6f", esc)
+	}
+	reqBal := ledger.Balance(melody.RequesterAccount)
+	if math.Abs(reqBal-(soakDeposit-totalPaid)) > 1e-6 {
+		t.Errorf("requester balance %.6f, want %.6f", reqBal, soakDeposit-totalPaid)
+	}
+}
+
+// TestSegmentedChaosSoakSeason runs a 14-run season on the segmented engine
+// through chaos middleware, with three armed kills: mid-segment append,
+// mid-rotation rename, and mid-snapshot write. Each kill is followed by a
+// recovery whose state must match what the dead life had acknowledged.
+func TestSegmentedChaosSoakSeason(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	dir := filepath.Join(t.TempDir(), "segwal")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	scenario := chaos.Scenario{
+		Seed: 42, Drop: 0.02, Dup: 0.04, Err: 0.04, Lose: 0.02,
+		DelayMax: 2 * time.Millisecond,
+	}
+	rng := stats.NewRNG(99)
+	var outcomes []OutcomeResponse
+	const totalRuns = 14
+
+	// Each life arms one kill point after a couple of healthy runs, drives
+	// until the poisoned log surfaces the crash, and dies.
+	kills := []string{eventlog.FailpointSegmentAppend, eventlog.FailpointRotateRename}
+	run := 1
+	for life, kp := range kills {
+		fp := chaos.NewFailpoints()
+		scenario.Seed = int64(42 + life)
+		w := startSegWorld(t, ctx, dir, fp, scenario, rng)
+		healthy := run + 2
+		for ; run <= healthy && run <= totalRuns; run++ {
+			out, err := w.requester.RunOnce(ctx, run)
+			if err != nil {
+				t.Fatalf("life %d run %d: %v", life, run, err)
+			}
+			outcomes = append(outcomes, out)
+		}
+		// Arm the kill: the next append that crosses the point poisons the
+		// log, so some run soon fails mid-flight.
+		fp.Arm(kp, 1)
+		liveRuns := w.platform.Run()
+		for ; run <= totalRuns; run++ {
+			out, err := w.requester.RunOnce(ctx, run)
+			if err != nil {
+				break
+			}
+			liveRuns = w.platform.Run()
+			outcomes = append(outcomes, out)
+		}
+		if fp.Fired(kp) == 0 {
+			t.Fatalf("life %d: kill point %s never fired", life, kp)
+		}
+		w.kill(t)
+
+		// Recovery must reach at least the acknowledged completed runs and
+		// reproduce the quality state for fully settled history.
+		p2, _ := buildLedgerPlatform(t)
+		_, seg2, err := eventlog.OpenPersistentSegmented(dir, p2, eventlog.SegmentedOptions{
+			Options: eventlog.Options{SyncEveryAppend: true},
+		})
+		if err != nil {
+			t.Fatalf("life %d recovery: %v", life, err)
+		}
+		if p2.Run() < liveRuns {
+			t.Errorf("life %d: recovered %d runs, acknowledged %d", life, p2.Run(), liveRuns)
+		}
+		seg2.Close()
+		// The failed run is re-driven from the top next life (idempotent
+		// mutation protocol), so rewind the loop to it.
+		run = p2.Run() + 1
+	}
+
+	// Final life: no kills on the write path, but arm the snapshot point —
+	// a snapshot failure must NOT fail any run, only surface on SnapshotErr.
+	fp := chaos.NewFailpoints()
+	scenario.Seed = 77
+	w := startSegWorld(t, ctx, dir, fp, scenario, rng)
+	fp.Arm(eventlog.FailpointSnapshotWrite, 1)
+	snapKillSeen := false
+	for ; run <= totalRuns; run++ {
+		out, err := w.requester.RunOnce(ctx, run)
+		if err != nil {
+			t.Fatalf("final life run %d: %v", run, err)
+		}
+		outcomes = append(outcomes, out)
+		// The snapshot failure must surface on SnapshotErr without failing
+		// the run; check right after the firing run, before a later
+		// successful snapshot clears the error again.
+		if !snapKillSeen && fp.Fired(eventlog.FailpointSnapshotWrite) > 0 {
+			snapKillSeen = true
+			if err := w.backend.SnapshotErr(); err == nil {
+				t.Error("snapshot kill fired but SnapshotErr is nil")
+			}
+		}
+	}
+	if w.platform.Run() != totalRuns {
+		t.Errorf("completed runs = %d, want %d", w.platform.Run(), totalRuns)
+	}
+	assertMoneyConserved(t, w.ledger, outcomes)
+
+	// The finished season recovers bit-identically.
+	w.kill(t)
+	assertRecoveredMatchesLive(t, dir, w.platform, w.ledger)
+}
+
+// TestReplicaPromotionSoak kills a primary mid-season and promotes a
+// replica that had been streaming its segments over the wire (through the
+// same chaos middleware as the client traffic). The promoted platform must
+// be bit-identical both to the primary's acknowledged state and to a full
+// from-scratch replay of the replica's files, must conserve money, and must
+// keep serving runs.
+func TestReplicaPromotionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	primaryDir := filepath.Join(t.TempDir(), "primary")
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rng := stats.NewRNG(7)
+	scenario := chaos.Scenario{
+		Seed: 11, Drop: 0.02, Dup: 0.03, Err: 0.03, Lose: 0.02,
+		DelayMax: time.Millisecond,
+	}
+
+	p, ledger := buildLedgerPlatform(t)
+	// Compaction stays off on the primary so the replica mirrors the whole
+	// chain and a full from-scratch replay oracle is possible.
+	backend, seg, err := eventlog.OpenPersistentSegmented(primaryDir, p, eventlog.SegmentedOptions{
+		Options:           eventlog.Options{SyncEveryAppend: true},
+		SegmentBytes:      1024,
+		SnapshotEvery:     30,
+		DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(backend, nil,
+		WithDeadlines(10*time.Second, 10*time.Second),
+		WithReplicationSource(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := chaos.Middleware(scenario, srv.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+
+	policy := RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	newClient := func() *Client {
+		c, err := NewClientWithPolicy(ts.URL, ts.Client(), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	var agents []*WorkerAgent
+	for i := 0; i < 4; i++ {
+		latent := 4 + float64(i)*1.5
+		agent, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+			Client:        newClient(),
+			WorkerID:      fmt.Sprintf("rep-%d", i),
+			Cost:          1.1 + 0.2*float64(i),
+			Frequency:     2,
+			LatentQuality: func(int) float64 { return latent },
+			ScoreSigma:    0.4,
+			PollInterval:  10 * time.Millisecond,
+			RNG:           rng.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, agent)
+	}
+	requester, err := NewRequester(RequesterConfig{
+		Client:  newClient(),
+		Tasks:   soakTasks,
+		Budget:  soakBudget,
+		BidWait: 150 * time.Millisecond, AnswerTimeout: 5 * time.Second,
+		ScoreLo: 1, ScoreHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica streams over the same chaotic wire the clients use.
+	replSrcClient, err := NewClientWithPolicy(ts.URL, ts.Client(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eventlog.NewReplicator(eventlog.ReplicatorConfig{
+		Dir:    replicaDir,
+		Source: &ReplicationClient{c: replSrcClient},
+		ID:     "soak-replica",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var outcomes []OutcomeResponse
+	const runs = 10
+	for run := 1; run <= runs; run++ {
+		out, err := requester.RunOnce(ctx, run)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		outcomes = append(outcomes, out)
+		if _, err := rep.Sync(ctx); err != nil {
+			t.Fatalf("replica sync after run %d: %v", run, err)
+		}
+	}
+	// Drain to the durable tail, then kill the primary abruptly.
+	for {
+		prog, err := rep.Sync(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.BytesCopied == 0 && prog.LagBytes == 0 {
+			break
+		}
+	}
+	if seg.SnapshotSeq() == 0 {
+		t.Fatal("primary never snapshotted; promotion would not exercise the bounded path")
+	}
+	for _, a := range agents {
+		_ = a.Stop()
+	}
+	ts.Close()
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote the replica: standard recovery over its mirrored files.
+	pp, pledger := buildLedgerPlatform(t)
+	promoted, pseg, err := eventlog.OpenPersistentSegmented(replicaDir, pp, eventlog.SegmentedOptions{
+		Options:      eventlog.Options{SyncEveryAppend: true},
+		SegmentBytes: 1024, SnapshotEvery: 30, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatalf("promotion: %v", err)
+	}
+
+	// Oracle 1: bit-identical to the primary's acknowledged state.
+	if pp.Run() != p.Run() {
+		t.Errorf("promoted runs = %d, primary = %d", pp.Run(), p.Run())
+	}
+	for _, id := range p.Workers() {
+		lq, err := p.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := pp.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != lq {
+			t.Errorf("worker %s: promoted quality %v != primary %v", id, q, lq)
+		}
+	}
+	for _, acc := range ledger.Accounts() {
+		if got := pledger.Balance(acc.Account); math.Abs(got-acc.Balance) > 1e-9 {
+			t.Errorf("account %s: promoted balance %.6f != primary %.6f", acc.Account, got, acc.Balance)
+		}
+	}
+
+	// Oracle 2: bit-identical to a full from-scratch replay of the replica's
+	// own files (no snapshot shortcut).
+	replayed, _ := buildLedgerPlatform(t)
+	if err := eventlog.ReplaySegments(replicaDir, replayed); err != nil {
+		t.Fatalf("full replay of replica files: %v", err)
+	}
+	for _, id := range pp.Workers() {
+		q, err := pp.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := replayed.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q != rq {
+			t.Errorf("worker %s: promoted %v != full replay %v", id, q, rq)
+		}
+	}
+
+	// Money conservation on the promoted node.
+	assertMoneyConserved(t, pledger, outcomes)
+
+	// The promoted node keeps serving: two more runs through a fresh server.
+	srv2, err := NewServer(promoted, nil,
+		WithDeadlines(10*time.Second, 10*time.Second),
+		WithReplicationSource(pseg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer pseg.Close()
+	newClient2 := func() *Client {
+		c, err := NewClientWithPolicy(ts2.URL, ts2.Client(), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	var agents2 []*WorkerAgent
+	for i := 0; i < 4; i++ {
+		latent := 4 + float64(i)*1.5
+		agent, err := NewWorkerAgent(ctx, WorkerAgentConfig{
+			Client:        newClient2(),
+			WorkerID:      fmt.Sprintf("rep-%d", i),
+			Cost:          1.1 + 0.2*float64(i),
+			Frequency:     2,
+			LatentQuality: func(int) float64 { return latent },
+			ScoreSigma:    0.4,
+			PollInterval:  10 * time.Millisecond,
+			RNG:           rng.Split(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents2 = append(agents2, agent)
+	}
+	defer func() {
+		for _, a := range agents2 {
+			_ = a.Stop()
+		}
+	}()
+	requester2, err := NewRequester(RequesterConfig{
+		Client:  newClient2(),
+		Tasks:   soakTasks,
+		Budget:  soakBudget,
+		BidWait: 150 * time.Millisecond, AnswerTimeout: 5 * time.Second,
+		ScoreLo: 1, ScoreHi: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := runs + 1; run <= runs+2; run++ {
+		if _, err := requester2.RunOnce(ctx, run); err != nil {
+			t.Fatalf("post-promotion run %d: %v", run, err)
+		}
+	}
+	if pp.Run() != runs+2 {
+		t.Errorf("post-promotion completed runs = %d, want %d", pp.Run(), runs+2)
+	}
+}

@@ -89,6 +89,12 @@ type Server struct {
 
 	ansMu   sync.Mutex
 	answers []Answer
+
+	// replSrc, when non-nil, exposes the storage engine's durable files on
+	// the /v1/replication endpoints; replMu guards the ack positions.
+	replSrc  ReplicationSource
+	replMu   sync.Mutex
+	replicas map[string]ReplicaState
 }
 
 // ServerOption customizes a Server.
@@ -239,6 +245,9 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "POST /v1/runs/current/scores", "score", s.handleScore)
 	s.route(mux, "POST /v1/runs/current/scores/batch", "score_batch", s.handleScoreBatch)
 	s.route(mux, "POST /v1/runs/current/finish", "finish", s.handleFinish)
+	if s.replSrc != nil {
+		s.mountReplication(mux)
+	}
 	return mux
 }
 

@@ -1,0 +1,120 @@
+package quality
+
+import (
+	"fmt"
+	"testing"
+
+	"melody/internal/stats"
+)
+
+// driveEstimator feeds a deterministic multi-run trace into m.
+func driveEstimator(t *testing.T, m *Melody, runs int) {
+	t.Helper()
+	r := stats.NewRNG(7)
+	ids := []string{"w0", "w1", "w2", "w3"}
+	for run := 0; run < runs; run++ {
+		for i, id := range ids {
+			var scores []float64
+			for k := 0; k < (run+i)%3; k++ {
+				scores = append(scores, r.Normal(5, 2))
+			}
+			if err := m.Observe(id, scores); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestEstimatorSnapshotRoundTrip(t *testing.T) {
+	cfg := batchTestConfig()
+	m, err := NewMelody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive past an EM re-estimation so the snapshot must carry learned
+	// params and window history, not just posteriors.
+	driveEstimator(t, m, 12)
+
+	blob, err := m.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewMelody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		want := m.Estimate(id)
+		got := restored.Estimate(id)
+		if got != want {
+			t.Errorf("worker %s: restored quality %v, want %v (bit-identical)", id, got, want)
+		}
+		wf, err := m.Forecast(id, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := restored.Forecast(id, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf.Mean != gf.Mean || wf.Var != gf.Var {
+			t.Errorf("worker %s: restored forecast (%v,%v), want (%v,%v)", id, gf.Mean, gf.Var, wf.Mean, wf.Var)
+		}
+	}
+
+	// Continuing both estimators with identical observations must keep them
+	// bit-identical — the snapshot carried everything, including the EM
+	// window needed for the next re-estimation.
+	driveEstimator(t, m, 6)
+	driveEstimator(t, restored, 6)
+	for _, id := range []string{"w0", "w1", "w2", "w3"} {
+		want := m.Estimate(id)
+		got := restored.Estimate(id)
+		if got != want {
+			t.Errorf("worker %s diverged after restore: %v vs %v", id, got, want)
+		}
+	}
+}
+
+func TestRestoreStateValidation(t *testing.T) {
+	m, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveEstimator(t, m, 2)
+	blob, err := m.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	used, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveEstimator(t, used, 1)
+	if err := used.RestoreState(blob); err == nil {
+		t.Error("restore into a non-empty estimator accepted")
+	}
+
+	fresh, err := NewMelody(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, blob := range map[string][]byte{
+		"garbage":       []byte("not json"),
+		"wrong version": []byte(`{"version":42,"workers":[]}`),
+		"empty id":      []byte(`{"version":1,"workers":[{"id":""}]}`),
+		"duplicate id": []byte(fmt.Sprintf(
+			`{"version":1,"workers":[%s,%s]}`,
+			`{"id":"w","posterior":{"mean":1,"var":1},"params":{"a":1,"gamma":1,"eta":1},"window_init":{"mean":1,"var":1}}`,
+			`{"id":"w","posterior":{"mean":1,"var":1},"params":{"a":1,"gamma":1,"eta":1},"window_init":{"mean":1,"var":1}}`)),
+	} {
+		if err := fresh.RestoreState(blob); err == nil {
+			t.Errorf("%s: restore accepted", name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package melody
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"melody/internal/core"
+	"melody/internal/ledger"
+)
+
+// EstimatorSnapshotter is the optional estimator capability of exporting
+// and restoring its full dynamic state as an opaque payload. The MELODY
+// quality tracker implements it; a platform whose estimator does not cannot
+// be snapshotted (ErrNoSnapshot) and recovers by full log replay instead.
+type EstimatorSnapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// Snapshot errors, matchable with errors.Is.
+var (
+	// ErrNoSnapshot is returned when the platform's estimator cannot export
+	// its state, so state snapshots are unavailable.
+	ErrNoSnapshot = errors.New("melody: estimator does not support snapshots")
+	// ErrSnapshotMidRun is returned when a snapshot is requested while a run
+	// is open: snapshots are taken only at run boundaries, where every run
+	// is settled and the platform state is a pure function of the event
+	// history.
+	ErrSnapshotMidRun = errors.New("melody: snapshot requires a run boundary")
+)
+
+// PlatformSnapshot is the platform's full durable state at a run boundary:
+// everything needed to resume exactly where the writer stopped, without
+// replaying the event history that produced it. Restored state is
+// bit-identical to a from-scratch replay because every field round-trips
+// exactly (floats use Go's shortest-exact JSON encoding) and the auction
+// kernel's caches are a pure function of the bidder set.
+type PlatformSnapshot struct {
+	Version       int      `json:"version"`
+	CompletedRuns int      `json:"completed_runs"`
+	Workers       []string `json:"workers,omitempty"`
+	// Bidders is the worker set last applied to the auction kernel, with
+	// the exact quality estimates captured at their auction close.
+	Bidders   []Worker         `json:"bidders,omitempty"`
+	Estimator json.RawMessage  `json:"estimator,omitempty"`
+	Ledger    *ledger.Snapshot `json:"ledger,omitempty"`
+}
+
+// platformSnapshotVersion guards the snapshot encoding.
+const platformSnapshotVersion = 1
+
+// SnapshotState captures the platform's full state at a run boundary. It
+// fails with ErrSnapshotMidRun while a run is open and with ErrNoSnapshot
+// when the estimator cannot export its state. The returned snapshot shares
+// no memory with the live platform.
+func (p *Platform) SnapshotState() (*PlatformSnapshot, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.open != nil {
+		return nil, ErrSnapshotMidRun
+	}
+	es, ok := p.est.(EstimatorSnapshotter)
+	if !ok {
+		return nil, ErrNoSnapshot
+	}
+	estState, err := es.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("melody: snapshot estimator: %w", err)
+	}
+	snap := &PlatformSnapshot{
+		Version:       platformSnapshotVersion,
+		CompletedRuns: p.run,
+		Estimator:     estState,
+	}
+	for id := range p.workers {
+		snap.Workers = append(snap.Workers, id)
+	}
+	sort.Strings(snap.Workers)
+	for _, w := range p.bidders {
+		snap.Bidders = append(snap.Bidders, w)
+	}
+	sort.Slice(snap.Bidders, func(i, j int) bool { return snap.Bidders[i].ID < snap.Bidders[j].ID })
+	if p.money != nil {
+		snap.Ledger = p.money.Snapshot()
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot installs a snapshot into a freshly constructed platform
+// (same configuration as the writer: auction intervals, estimator
+// parameters, ledger presence). After the restore, replaying the event-log
+// tail recorded after the snapshot brings the platform to the exact state a
+// full from-scratch replay would reach.
+func (p *Platform) RestoreSnapshot(snap *PlatformSnapshot) error {
+	if snap == nil {
+		return errors.New("melody: restore needs a snapshot")
+	}
+	if snap.Version != platformSnapshotVersion {
+		return fmt.Errorf("melody: snapshot version %d (want %d)", snap.Version, platformSnapshotVersion)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.run != 0 || p.open != nil || len(p.workers) != 0 || len(p.bidders) != 0 {
+		return errors.New("melody: restore target is not a fresh platform")
+	}
+	if len(snap.Estimator) > 0 {
+		es, ok := p.est.(EstimatorSnapshotter)
+		if !ok {
+			return ErrNoSnapshot
+		}
+		if err := es.RestoreState(snap.Estimator); err != nil {
+			return fmt.Errorf("melody: restore estimator: %w", err)
+		}
+	}
+	if len(snap.Bidders) > 0 {
+		// The auction kernel's cached ranking is derived state: a pure
+		// function of the bidder multiset. Reseeding it through the same
+		// delta path CloseAuction uses reproduces it exactly.
+		upserts := make([]Worker, len(snap.Bidders))
+		copy(upserts, snap.Bidders)
+		if err := p.auction.Apply(core.WorkerDelta{Upserts: upserts}); err != nil {
+			return fmt.Errorf("melody: restore auction state: %w", err)
+		}
+		for _, w := range snap.Bidders {
+			p.bidders[w.ID] = w
+		}
+	}
+	for _, id := range snap.Workers {
+		if id == "" {
+			return errors.New("melody: snapshot worker with empty ID")
+		}
+		p.workers[id] = true
+	}
+	if snap.Ledger != nil {
+		if p.money == nil {
+			return errors.New("melody: snapshot carries a ledger but the platform has none")
+		}
+		if err := p.money.Restore(snap.Ledger); err != nil {
+			return err
+		}
+	}
+	p.run = snap.CompletedRuns
+	return nil
+}

@@ -1,0 +1,192 @@
+package melody_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"melody"
+)
+
+func snapshotPlatform(t *testing.T) (*melody.Platform, *melody.Ledger) {
+	t.Helper()
+	ledger := melody.NewLedger()
+	if _, err := ledger.Deposit(melody.RequesterAccount, 500, "season funding"); err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+		InitialMean: 5.5, InitialVar: 2.25,
+		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+		EMPeriod: 3, EMWindow: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := melody.NewPlatform(melody.PlatformConfig{
+		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		Estimator: tracker,
+		Ledger:    ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ledger
+}
+
+func driveSeason(t *testing.T, p *melody.Platform, runs int) {
+	t.Helper()
+	ctx := context.Background()
+	workers := []string{"ada", "bob", "cyd"}
+	for _, id := range workers {
+		if err := p.RegisterWorker(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latent := map[string]float64{"ada": 8, "bob": 6, "cyd": 4}
+	for run := 1; run <= runs; run++ {
+		tasks := []melody.Task{
+			{ID: fmt.Sprintf("r%d-a", run), Threshold: 11},
+			{ID: fmt.Sprintf("r%d-b", run), Threshold: 11},
+		}
+		if err := p.OpenRun(ctx, tasks, 30); err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range workers {
+			if err := p.SubmitBid(ctx, id, melody.Bid{Cost: 1.0 + 0.2*float64(i), Frequency: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := p.CloseAuction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range out.Assignments {
+			if err := p.SubmitScore(ctx, a.WorkerID, a.TaskID, latent[a.WorkerID]+0.1*float64(run%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.FinishRun(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlatformSnapshotRoundTrip is the heart of the storage engine's
+// snapshot feature: export a mid-season platform, restore it into a fresh
+// one, and demand bit-identical observable state — run counter, workers,
+// exact quality floats, exact ledger balances — plus identical behavior on
+// the next run.
+func TestPlatformSnapshotRoundTrip(t *testing.T) {
+	p, ledger := snapshotPlatform(t)
+	driveSeason(t, p, 5)
+
+	snap, err := p.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot crosses the storage engine as JSON; round-trip it the
+	// same way so the test covers the real encoding path (float64 survives
+	// JSON exactly via shortest-representation encoding).
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded melody.PlatformSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, restoredLedger := snapshotPlatform(t)
+	if err := restored.RestoreSnapshot(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Run() != p.Run() {
+		t.Errorf("restored runs = %d, want %d", restored.Run(), p.Run())
+	}
+	liveWorkers := p.Workers()
+	gotWorkers := restored.Workers()
+	if len(gotWorkers) != len(liveWorkers) {
+		t.Fatalf("restored workers %v, want %v", gotWorkers, liveWorkers)
+	}
+	for i, id := range liveWorkers {
+		if gotWorkers[i] != id {
+			t.Fatalf("restored workers %v, want %v", gotWorkers, liveWorkers)
+		}
+		lq, err := p.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := restored.Quality(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lq != rq {
+			t.Errorf("worker %s: restored quality %v != live %v", id, rq, lq)
+		}
+		lf, err := p.Forecast(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := restored.Forecast(id, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lf.Mean != rf.Mean || lf.Var != rf.Var {
+			t.Errorf("worker %s: restored forecast (%v,%v) != live (%v,%v)", id, rf.Mean, rf.Var, lf.Mean, lf.Var)
+		}
+	}
+	for _, acc := range ledger.Accounts() {
+		if got := restoredLedger.Balance(acc.Account); got != acc.Balance {
+			t.Errorf("account %s: restored balance %v != live %v", acc.Account, got, acc.Balance)
+		}
+	}
+
+	// Behavioral equivalence: the next run must produce the same outcome on
+	// both platforms (same auction inputs, same posterior state).
+	driveSeason(t, p, 1)
+	driveSeason(t, restored, 1)
+	for _, id := range liveWorkers {
+		lq, _ := p.Quality(id)
+		rq, _ := restored.Quality(id)
+		if lq != rq {
+			t.Errorf("worker %s: post-restore run diverged: %v vs %v", id, rq, lq)
+		}
+	}
+}
+
+func TestSnapshotStateRejectsMidRun(t *testing.T) {
+	p, _ := snapshotPlatform(t)
+	ctx := context.Background()
+	if err := p.RegisterWorker(ctx, "ada"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OpenRun(ctx, []melody.Task{{ID: "t", Threshold: 5}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SnapshotState(); !errors.Is(err, melody.ErrSnapshotMidRun) {
+		t.Errorf("mid-run snapshot err = %v, want ErrSnapshotMidRun", err)
+	}
+}
+
+func TestRestoreSnapshotRequiresFreshPlatform(t *testing.T) {
+	p, _ := snapshotPlatform(t)
+	driveSeason(t, p, 1)
+	snap, err := p.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, _ := snapshotPlatform(t)
+	driveSeason(t, used, 1)
+	if err := used.RestoreSnapshot(snap); err == nil {
+		t.Error("restore into a used platform accepted")
+	}
+	fresh, _ := snapshotPlatform(t)
+	wrong := *snap
+	wrong.Version = 99
+	if err := fresh.RestoreSnapshot(&wrong); err == nil {
+		t.Error("restore of unknown snapshot version accepted")
+	}
+}
