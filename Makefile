@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,8 +15,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order so inter-test state
+# dependencies can't hide; the shuffle seed is printed on failure.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # race re-runs the suite under the race detector; the concurrent paths
 # (quality.ObserveBatch, market.RunReplications, experiments.forEachPoint)
@@ -70,6 +72,21 @@ fuzz-smoke:
 # unless it reports nonzero sustained throughput and shuts down cleanly.
 load-smoke:
 	$(GO) run ./cmd/melody-load -backend wal -workers 8 -runs 2 -bids-per-worker 4 -batch 4 -seed 1 -check
+
+# slo-smoke is the overload SLO gate (see TESTING.md "The SLO gate"): it
+# calibrates the machine's ungated bid capacity, then drives a rated run
+# (shedding must be rare) and a 3x-overload run (shedding must engage, every
+# run must settle, the money invariants must hold exactly, goroutines must
+# drain). All assertions are relative to the calibrated capacity, so the
+# gate is meaningful on any machine.
+slo-smoke:
+	$(GO) run ./cmd/melody-load -scenario slo-smoke -duration 1s
+
+# overload-bench-smoke single-shots the serve/overload kernel family (Poisson
+# rated + 3x, flash-crowd burst) through melody-bench: a liveness gate for
+# the open-loop overload path. -smoke writes no snapshot.
+overload-bench-smoke:
+	$(GO) run ./cmd/melody-bench -smoke -filter '^serve/overload'
 
 # obs-smoke boots the real melody-platform binary with -metrics and a WAL,
 # drives one complete run over HTTP, and scrapes /metrics + /debug/traces,

@@ -21,6 +21,7 @@ const (
 	CodeUnknownWorker ErrorCode = "unknown_worker"
 	CodeNotAssigned   ErrorCode = "not_assigned"
 	CodeNoForecast    ErrorCode = "no_forecast"
+	CodeOverloaded    ErrorCode = "overloaded"
 )
 
 // errorCodes pairs each sentinel with its code, in one place so encoding
@@ -36,6 +37,7 @@ var errorCodes = []struct {
 	{CodeUnknownWorker, ErrUnknownWorker},
 	{CodeNotAssigned, ErrNotAssigned},
 	{CodeNoForecast, ErrNoForecast},
+	{CodeOverloaded, ErrOverloaded},
 }
 
 // ErrorCodeFor maps an error onto its wire code, or "" when the error

@@ -22,14 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
-	"math"
 	"regexp"
 	"runtime"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"melody"
 	"melody/internal/core"
@@ -38,6 +39,7 @@ import (
 	"melody/internal/lds"
 	"melody/internal/loadgen"
 	"melody/internal/obs"
+	"melody/internal/platform"
 	"melody/internal/quality"
 	"melody/internal/stats"
 )
@@ -527,6 +529,50 @@ func serveKernel(cfg loadgen.Config) func() (Entry, error) {
 	}
 }
 
+// overloadKernel runs an open-loop overload scenario through loadgen:
+// NsPerOp is goodput wall-clock per accepted bid, and the offered/goodput/
+// shed detail lands in Entry.Metrics. Invariant violations fail the kernel.
+func overloadKernel(cfg loadgen.OverloadConfig) func() (Entry, error) {
+	return func() (Entry, error) {
+		res, err := loadgen.RunOverload(cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		if len(res.Violations) > 0 {
+			return Entry{}, fmt.Errorf("invariant violations: %s", strings.Join(res.Violations, "; "))
+		}
+		if res.Accepted == 0 {
+			return Entry{}, fmt.Errorf("no bids accepted (%d offered, %d shed)", res.Offered, res.Shed)
+		}
+		return Entry{
+			Iterations: res.Accepted,
+			NsPerOp:    1e9 / res.GoodputPerSec,
+			Metrics: map[string]float64{
+				"offered_per_sec": res.OfferedPerSec,
+				"bids_per_sec":    res.GoodputPerSec,
+				"shed_rate":       res.ShedRate,
+				"latency_p50_ms":  res.Latency.P50,
+				"latency_p99_ms":  res.Latency.P99,
+				"runs_completed":  float64(res.RunsCompleted),
+			},
+		}, nil
+	}
+}
+
+// overloadLoad is the shared harness config for the serve/overload kernels:
+// a 250 bids/sec per-tenant admission budget, single-attempt clients (one
+// arrival, one verdict), and a funded ledger so the money invariants run.
+func overloadLoad(seed int64) loadgen.Config {
+	return loadgen.Config{
+		Backend: loadgen.BackendMem, Workers: 16, Runs: 2, Tasks: 2, Seed: seed,
+		Tenant: "bench",
+		Retry:  &platform.RetryPolicy{MaxAttempts: 1},
+		Admission: &platform.AdmissionConfig{
+			TenantRatePerSec: 250, TenantBurst: 50, RetryAfter: 5 * time.Millisecond,
+		},
+	}
+}
+
 func kernels() []kernel {
 	return []kernel{
 		{name: "alloc/melody/n300_m500", fn: melodyKernel(300, 500, 2000)},
@@ -578,6 +624,21 @@ func kernels() []kernel {
 		{name: "serve/bids_mem_w32_b16_obs", direct: serveKernel(loadgen.Config{
 			Backend: loadgen.BackendMem, Workers: 32, Runs: 3, BidsPerWorker: 32, Batch: 16, Seed: 11,
 			Observe: true})},
+		// serve/overload kernels drive the admission-controlled path
+		// open-loop against a 250 bids/sec tenant budget: rated offers 200/s
+		// (shed ~0), 3x offers 750/s (sheds roughly two thirds), flash
+		// alternates 1500/s crowds with a 100/s background. Every variant
+		// must settle all runs with exact money conservation.
+		{name: "serve/overload_rated_r200", direct: overloadKernel(loadgen.OverloadConfig{
+			Load: overloadLoad(11), Arrival: loadgen.ArrivalPoisson,
+			Rate: 200, Duration: time.Second})},
+		{name: "serve/overload_3x_r750", direct: overloadKernel(loadgen.OverloadConfig{
+			Load: overloadLoad(12), Arrival: loadgen.ArrivalPoisson,
+			Rate: 750, Duration: time.Second})},
+		{name: "serve/overload_flash_r1500", direct: overloadKernel(loadgen.OverloadConfig{
+			Load: overloadLoad(13), Arrival: loadgen.ArrivalBurst,
+			Rate: 1500, BaseRate: 100, Duration: time.Second,
+			BurstPeriod: 250 * time.Millisecond, BurstLen: 60 * time.Millisecond})},
 	}
 }
 

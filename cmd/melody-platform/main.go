@@ -50,6 +50,12 @@ func run() error {
 		replicaOf   = flag.String("replica-of", "", "run as a replica of the primary at this base URL, mirroring its -wal-dir files locally (requires -wal-dir)")
 		replicaID   = flag.String("replica-id", "", "replica name reported in acks (default: hostname)")
 		promote     = flag.Bool("promote", false, "promote: boot as primary from a directory previously populated by -replica-of (requires -wal-dir)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: concurrent ingest requests before queuing/shedding (0 disables)")
+		admitQueue  = flag.Int("admission-queue", 0, "admission control: ingest requests allowed to wait for a slot before shedding (with -max-inflight)")
+		queueTO     = flag.Duration("queue-timeout", 0, "admission control: longest a queued ingest request waits before it is shed (default 100ms)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "admission control: per-tenant ingest budget in requests/sec via the X-Melody-Tenant header (0 disables)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "admission control: per-tenant token bucket capacity (default max(1, -tenant-rate))")
+		retryAfter  = flag.Duration("retry-after", 0, "admission control: Retry-After hint attached to 429 sheds (default 250ms)")
 		bidDL       = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
 		scoreDL     = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
 		chaosSpec   = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
@@ -115,6 +121,20 @@ func run() error {
 		platform.WithDeadlines(*bidDL, *scoreDL),
 		platform.WithMetrics(registry),
 		platform.WithTracer(tracer),
+	}
+	admission := platform.AdmissionConfig{
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *admitQueue,
+		QueueTimeout:     *queueTO,
+		TenantRatePerSec: *tenantRate,
+		TenantBurst:      *tenantBurst,
+		RetryAfter:       *retryAfter,
+	}
+	if *maxInflight > 0 || *tenantRate > 0 {
+		serverOpts = append(serverOpts, platform.WithAdmission(admission))
+		logger.Info("admission control armed",
+			"max_inflight", *maxInflight, "queue", *admitQueue,
+			"tenant_rate", *tenantRate)
 	}
 	switch {
 	case *walPath != "":

@@ -129,8 +129,8 @@ type AuctionState struct {
 	tasksReady bool
 	taskSeen   map[string]uint64
 	taskEpoch  uint64
-	offsets   []int
-	out       Outcome // reused outcome backing store (ReuseOutcome)
+	offsets    []int
+	out        Outcome // reused outcome backing store (ReuseOutcome)
 
 	// Instrumentation (nil-safe no-ops when Options.Metrics/Tracer are nil).
 	repairs    *obs.Counter

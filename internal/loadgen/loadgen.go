@@ -4,6 +4,12 @@
 // reports sustained bid-ingest throughput with latency percentiles. It is
 // the measurement engine behind cmd/melody-load and the serve/ kernels in
 // cmd/melody-bench.
+//
+// Two drive modes share one harness: Run is the closed-loop mode (every
+// worker waits for its previous request), RunOverload is the open-loop mode
+// (arrivals fire on a schedule regardless of completions) used to push a
+// server past its capacity and watch admission control shed. AssertSLO
+// turns either result into a pass/fail service-level gate for CI.
 package loadgen
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"melody"
@@ -66,6 +73,29 @@ type Config struct {
 	// listener after the run, and attaches the scrape plus a span summary to
 	// the Result.
 	Observe bool
+
+	// Admission arms server-side admission control; nil serves ungated.
+	// With a gate armed, shed bids are counted in Result.Shed instead of
+	// failing the run.
+	Admission *platform.AdmissionConfig
+	// Adaptive arms the load clients' AIMD concurrency window; nil leaves
+	// client concurrency fixed.
+	Adaptive *platform.AdaptiveConfig
+	// Retry overrides the load clients' retry policy; nil keeps the client
+	// default. Overload measurements usually want MaxAttempts 1 so a shed
+	// is counted once rather than retried into acceptance.
+	Retry *platform.RetryPolicy
+	// Tenant is sent as the X-Melody-Tenant header by the load clients,
+	// engaging per-tenant rate limits when Admission configures them.
+	Tenant string
+	// Ledger attaches a funded double-entry ledger to the platform so every
+	// run escrows, pays and refunds real money — the state the money
+	// conservation invariants check after an overload run.
+	Ledger bool
+	// WrapHandler, when non-nil, wraps the outermost HTTP handler — the
+	// hook the chaos middleware uses to combine fault injection with
+	// overload.
+	WrapHandler func(http.Handler) http.Handler
 }
 
 // withDefaults fills zero fields.
@@ -108,8 +138,11 @@ type Result struct {
 	Backend string `json:"backend"`
 	Workers int    `json:"workers"`
 	Runs    int    `json:"runs"`
-	// Bids is the total number of bids ingested across all runs.
+	// Bids is the total number of bids the platform accepted across all
+	// runs. Without admission control every attempted bid is accepted.
 	Bids int `json:"bids"`
+	// Shed is the number of bids admission control refused with 429.
+	Shed int `json:"shed,omitempty"`
 	// BidPhaseSeconds is the wall-clock time spent in bidding phases.
 	BidPhaseSeconds float64 `json:"bid_phase_seconds"`
 	// BidsPerSec is sustained ingest throughput: Bids / BidPhaseSeconds.
@@ -130,40 +163,63 @@ type Result struct {
 	ClientRetries int64 `json:"client_retries,omitempty"`
 }
 
-// Run executes one load run and returns its measurements.
-func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
+// harness is one booted serving stack: platform (optionally WAL-backed and
+// ledger-funded), HTTP server on a real loopback listener, and a shared
+// client transport. Both drive modes build on it.
+type harness struct {
+	cfg      Config
+	registry *obs.Registry
+	tracer   *obs.Tracer
+	plat     *melody.Platform
+	money    *melody.Ledger // nil without Config.Ledger
+	addr     string
 
-	var (
-		registry *obs.Registry
-		tracer   *obs.Tracer
-	)
+	httpSrv   *http.Server
+	serveErr  chan error
+	transport *http.Transport
+	cleanups  []func() // run LIFO by close()
+	closed    bool
+}
+
+// startHarness boots the serving stack for cfg. Callers must call close()
+// (idempotent); shutdown() first for a verified graceful stop.
+func startHarness(cfg Config) (*harness, error) {
+	h := &harness{cfg: cfg}
 	if cfg.Observe {
-		registry = obs.NewRegistry()
-		obs.RegisterBaseline(registry)
-		tracer = obs.NewTracer(4096)
+		h.registry = obs.NewRegistry()
+		obs.RegisterBaseline(h.registry)
+		h.tracer = obs.NewTracer(4096)
 	}
 
 	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
 		InitialMean: 5.5, InitialVar: 2.25,
 		Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
 		EMPeriod: 10, EMWindow: 60,
-		Metrics: registry,
+		Metrics: h.registry,
 	})
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	p, err := melody.NewPlatform(melody.PlatformConfig{
+	if cfg.Ledger {
+		h.money = melody.NewLedger()
+		// Fund the requester for every run's escrow up front; finishes
+		// refund what the auction did not spend.
+		if _, err := h.money.Deposit(melody.RequesterAccount, cfg.Budget*float64(cfg.Runs), "loadgen funding"); err != nil {
+			return nil, err
+		}
+	}
+	h.plat, err = melody.NewPlatform(melody.PlatformConfig{
 		Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
 		Estimator: tracker,
-		Metrics:   registry,
-		Tracer:    tracer,
+		Ledger:    h.money,
+		Metrics:   h.registry,
+		Tracer:    h.tracer,
 	})
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
-	var backend platform.Backend = p
+	var backend platform.Backend = h.plat
 	switch cfg.Backend {
 	case BackendMem:
 	case BackendWAL, BackendWALSerial:
@@ -171,67 +227,158 @@ func Run(cfg Config) (Result, error) {
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "melody-load-*")
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
-			defer os.RemoveAll(tmp)
+			h.cleanups = append(h.cleanups, func() { os.RemoveAll(tmp) })
 			dir = tmp
 		}
 		opts := eventlog.Options{
 			SyncEveryAppend: true,
 			SerialCommit:    cfg.Backend == BackendWALSerial,
-			Metrics:         registry,
-			Tracer:          tracer,
+			Metrics:         h.registry,
+			Tracer:          h.tracer,
 		}
-		pp, wal, err := eventlog.OpenPersistentOptions(filepath.Join(dir, "load.wal"), p, opts)
+		pp, wal, err := eventlog.OpenPersistentOptions(filepath.Join(dir, "load.wal"), h.plat, opts)
 		if err != nil {
-			return Result{}, err
+			h.close()
+			return nil, err
 		}
-		defer wal.Close()
+		h.cleanups = append(h.cleanups, func() { wal.Close() })
 		backend = pp
 	default:
-		return Result{}, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
+		h.close()
+		return nil, fmt.Errorf("loadgen: unknown backend %q", cfg.Backend)
 	}
 
-	srv, err := platform.NewServer(backend, nil,
-		platform.WithMetrics(registry), platform.WithTracer(tracer))
-	if err != nil {
-		return Result{}, err
+	srvOpts := []platform.ServerOption{
+		platform.WithMetrics(h.registry), platform.WithTracer(h.tracer),
 	}
-	handler := srv.Handler()
+	if cfg.Admission != nil {
+		srvOpts = append(srvOpts, platform.WithAdmission(*cfg.Admission))
+	}
+	srv, err := platform.NewServer(backend, nil, srvOpts...)
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	handler := http.Handler(srv.Handler())
 	if cfg.Observe {
 		// The exposition endpoints share the API listener here: loadgen
 		// scrapes its own server, the way the smoke test curls a platform.
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		mux.Handle("GET /metrics", obs.MetricsHandler(registry))
-		mux.Handle("GET /debug/traces", obs.TracesHandler(tracer))
+		mux.Handle("GET /metrics", obs.MetricsHandler(h.registry))
+		mux.Handle("GET /debug/traces", obs.TracesHandler(h.tracer))
 		handler = mux
+	}
+	if cfg.WrapHandler != nil {
+		handler = cfg.WrapHandler(handler)
 	}
 	// A real TCP listener, not httptest: loadgen also runs inside the
 	// non-test melody-load binary.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return Result{}, err
+		h.close()
+		return nil, err
 	}
-	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
-	}()
+	h.addr = ln.Addr().String()
+	h.httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	h.serveErr = make(chan error, 1)
+	go func() { h.serveErr <- h.httpSrv.Serve(ln) }()
 
-	transport := &http.Transport{
+	h.transport = &http.Transport{
 		MaxIdleConns:        cfg.Workers * 2,
 		MaxIdleConnsPerHost: cfg.Workers * 2,
 	}
-	defer transport.CloseIdleConnections()
-	client, err := platform.NewClientOptions("http://"+ln.Addr().String(), platform.ClientOptions{
-		HTTPClient: &http.Client{Transport: transport, Timeout: 30 * time.Second},
-		Metrics:    registry,
-		Tracer:     tracer,
+	return h, nil
+}
+
+// client builds a platform client against the harness server, wired to the
+// harness observability and the Config's retry/adaptive/tenant knobs.
+func (h *harness) client() (*platform.Client, error) {
+	return platform.NewClientOptions("http://"+h.addr, platform.ClientOptions{
+		HTTPClient: &http.Client{Transport: h.transport, Timeout: 30 * time.Second},
+		Metrics:    h.registry,
+		Tracer:     h.tracer,
+		Retry:      h.cfg.Retry,
+		Adaptive:   h.cfg.Adaptive,
+		Tenant:     h.cfg.Tenant,
 	})
+}
+
+// controlClient is the requester-side client: no tenant identity and no
+// adaptive window, so control-plane traffic is never entangled with the
+// load clients' budgets. (The server exempts the control plane anyway;
+// this keeps the measurement honest too.)
+func (h *harness) controlClient() (*platform.Client, error) {
+	return platform.NewClientOptions("http://"+h.addr, platform.ClientOptions{
+		HTTPClient: &http.Client{Transport: h.transport, Timeout: 30 * time.Second},
+		Metrics:    h.registry,
+		Tracer:     h.tracer,
+	})
+}
+
+// shutdown stops the server gracefully and verifies Serve exited clean.
+func (h *harness) shutdown() error {
+	// Drop the client's keep-alive connections first — a speculatively
+	// dialed conn that never carried a request sits in StateNew on the
+	// server and would otherwise hold Shutdown until its read deadline.
+	h.transport.CloseIdleConnections()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("loadgen: shutdown: %w", err)
+	}
+	if err := <-h.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("loadgen: serve: %w", err)
+	}
+	h.serveErr = nil
+	return nil
+}
+
+// close releases everything the harness holds; safe to call twice and
+// after shutdown.
+func (h *harness) close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = h.httpSrv.Shutdown(ctx)
+		cancel()
+		if h.serveErr != nil {
+			<-h.serveErr
+		}
+	}
+	if h.transport != nil {
+		h.transport.CloseIdleConnections()
+	}
+	for i := len(h.cleanups) - 1; i >= 0; i-- {
+		h.cleanups[i]()
+	}
+	h.cleanups = nil
+}
+
+// scrape fetches the harness's own /metrics endpoint (Observe only).
+func (h *harness) scrape() (map[string]float64, error) {
+	return scrapeMetrics("http://" + h.addr + "/metrics")
+}
+
+// Run executes one closed-loop load run and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	h, err := startHarness(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.close()
+
+	client, err := h.client()
+	if err != nil {
+		return Result{}, err
+	}
+	control, err := h.controlClient()
 	if err != nil {
 		return Result{}, err
 	}
@@ -243,7 +390,7 @@ func Run(cfg Config) (Result, error) {
 	for i := range workerIDs {
 		workerIDs[i] = fmt.Sprintf("w%04d", i)
 		costs[i] = rng.Uniform(1, 2) // within the qualification range [1, 2]
-		if err := client.RegisterWorker(ctx, workerIDs[i]); err != nil {
+		if err := control.RegisterWorker(ctx, workerIDs[i]); err != nil {
 			return Result{}, fmt.Errorf("loadgen: register %s: %w", workerIDs[i], err)
 		}
 	}
@@ -251,6 +398,7 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Backend: cfg.Backend, Workers: cfg.Workers, Runs: cfg.Runs}
 	var latMu sync.Mutex
 	var latencies []float64 // ms per submission round trip
+	var accepted, shed atomic.Int64
 
 	start := time.Now()
 	for run := 1; run <= cfg.Runs; run++ {
@@ -258,11 +406,13 @@ func Run(cfg Config) (Result, error) {
 		for j := range tasks {
 			tasks[j] = platform.TaskSpec{ID: fmt.Sprintf("r%d-t%d", run, j), Threshold: 10}
 		}
-		if err := client.OpenRun(ctx, tasks, cfg.Budget); err != nil {
+		if err := control.OpenRun(ctx, tasks, cfg.Budget); err != nil {
 			return Result{}, fmt.Errorf("loadgen: open run %d: %w", run, err)
 		}
 
-		// Bid phase: every worker hammers the ingest path concurrently.
+		// Bid phase: every worker hammers the ingest path concurrently. A
+		// 429 shed is part of the measurement, not a failure; anything else
+		// aborts the run.
 		bidStart := time.Now()
 		var wg sync.WaitGroup
 		errCh := make(chan error, cfg.Workers)
@@ -284,12 +434,17 @@ func Run(cfg Config) (Result, error) {
 						}
 						t0 := time.Now()
 						res, err := client.SubmitBids(ctx, reqs)
-						if err != nil {
-							errCh <- err
-							return
-						}
-						local = append(local, float64(time.Since(t0).Microseconds())/1000)
-						if err := res.Err(); err != nil {
+						switch {
+						case err == nil:
+							local = append(local, float64(time.Since(t0).Microseconds())/1000)
+							if err := res.Err(); err != nil {
+								errCh <- err
+								return
+							}
+							accepted.Add(int64(n))
+						case errors.Is(err, melody.ErrOverloaded):
+							shed.Add(int64(n))
+						default:
 							errCh <- err
 							return
 						}
@@ -298,11 +453,17 @@ func Run(cfg Config) (Result, error) {
 				} else {
 					for k := 0; k < cfg.BidsPerWorker; k++ {
 						t0 := time.Now()
-						if err := client.SubmitBid(ctx, id, cost, 1); err != nil {
+						err := client.SubmitBid(ctx, id, cost, 1)
+						switch {
+						case err == nil:
+							local = append(local, float64(time.Since(t0).Microseconds())/1000)
+							accepted.Add(1)
+						case errors.Is(err, melody.ErrOverloaded):
+							shed.Add(1)
+						default:
 							errCh <- err
 							return
 						}
-						local = append(local, float64(time.Since(t0).Microseconds())/1000)
 					}
 				}
 				latMu.Lock()
@@ -317,9 +478,8 @@ func Run(cfg Config) (Result, error) {
 		default:
 		}
 		res.BidPhaseSeconds += time.Since(bidStart).Seconds()
-		res.Bids += cfg.Workers * cfg.BidsPerWorker
 
-		out, err := client.CloseAuction(ctx)
+		out, err := control.CloseAuction(ctx)
 		if err != nil {
 			return Result{}, fmt.Errorf("loadgen: close run %d: %w", run, err)
 		}
@@ -330,7 +490,7 @@ func Run(cfg Config) (Result, error) {
 			})
 		}
 		if len(scores) > 0 {
-			res, err := client.SubmitScores(ctx, scores)
+			res, err := control.SubmitScores(ctx, scores)
 			if err != nil {
 				return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, err)
 			}
@@ -338,43 +498,40 @@ func Run(cfg Config) (Result, error) {
 				return Result{}, fmt.Errorf("loadgen: score run %d: %w", run, err)
 			}
 		}
-		if err := client.FinishRun(ctx); err != nil {
+		if err := control.FinishRun(ctx); err != nil {
 			return Result{}, fmt.Errorf("loadgen: finish run %d: %w", run, err)
 		}
 	}
 	res.ElapsedSeconds = time.Since(start).Seconds()
+	res.Bids = int(accepted.Load())
+	res.Shed = int(shed.Load())
 	if res.BidPhaseSeconds > 0 {
 		res.BidsPerSec = float64(res.Bids) / res.BidPhaseSeconds
 	}
 
-	res.Latency, err = summarize(latencies)
-	if err != nil {
-		return Result{}, err
+	// A run where admission shed everything has no samples; that is a
+	// measurement (melody-load turns it into a failing exit), not an error.
+	if len(latencies) > 0 || res.Shed == 0 {
+		res.Latency, err = summarize(latencies)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	if cfg.Observe {
-		series, err := scrapeMetrics("http://" + ln.Addr().String() + "/metrics")
+		series, err := h.scrape()
 		if err != nil {
 			return Result{}, err
 		}
 		res.Metrics = series
-		res.TraceSummary = obs.Summarize(tracer.Spans())
-		res.ClientRetries = registry.Counter(obs.MetricClientRetriesTotal, "").Value()
+		res.TraceSummary = obs.Summarize(h.tracer.Spans())
+		res.ClientRetries = h.registry.Counter(obs.MetricClientRetriesTotal, "").Value()
 	}
 
 	// The server must come down cleanly: Shutdown makes Serve return
-	// ErrServerClosed, anything else is a failure worth surfacing. Drop the
-	// client's keep-alive connections first — a speculatively dialed conn
-	// that never carried a request sits in StateNew on the server and would
-	// otherwise hold Shutdown until its read deadline.
-	transport.CloseIdleConnections()
-	ctxSh, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := httpSrv.Shutdown(ctxSh); err != nil {
-		return Result{}, fmt.Errorf("loadgen: shutdown: %w", err)
-	}
-	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return Result{}, fmt.Errorf("loadgen: serve: %w", err)
+	// ErrServerClosed, anything else is a failure worth surfacing.
+	if err := h.shutdown(); err != nil {
+		return Result{}, err
 	}
 	return res, nil
 }

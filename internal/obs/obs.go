@@ -41,9 +41,19 @@ const (
 	MetricHTTPErrorsTotal    = "melody_http_errors_total"
 	MetricHTTPRequestSeconds = "melody_http_request_seconds"
 
+	// Admission control (internal/platform server), labelled by endpoint
+	// where a label makes sense. Queue depth counts requests waiting for an
+	// ingest slot; shed requests were answered 429 without touching the
+	// backend.
+	MetricAdmissionShedTotal        = "melody_admission_shed_total"
+	MetricAdmissionRateLimitedTotal = "melody_admission_rate_limited_total"
+	MetricAdmissionQueueDepth       = "melody_admission_queue_depth"
+	MetricAdmissionInFlight         = "melody_admission_in_flight"
+
 	// Retrying client (internal/platform client).
 	MetricClientRequestsTotal = "melody_client_requests_total"
 	MetricClientRetriesTotal  = "melody_client_retries_total"
+	MetricClientWindow        = "melody_client_concurrency_window"
 
 	// Chaos middleware (internal/chaos), labelled by fault.
 	MetricChaosInjectedTotal = "melody_chaos_injected_total"
@@ -88,8 +98,13 @@ func RegisterBaseline(r *Registry) {
 	r.CounterVec(MetricHTTPRequestsTotal, "HTTP requests served, by endpoint.", "endpoint")
 	r.CounterVec(MetricHTTPErrorsTotal, "HTTP requests answered with a non-2xx status, by endpoint.", "endpoint")
 	r.HistogramVec(MetricHTTPRequestSeconds, "HTTP request handling time, by endpoint.", "endpoint", TimeBuckets())
+	r.CounterVec(MetricAdmissionShedTotal, "Requests shed with 429 by admission control, by endpoint.", "endpoint")
+	r.Counter(MetricAdmissionRateLimitedTotal, "Requests shed because a tenant exhausted its rate budget.")
+	r.Gauge(MetricAdmissionQueueDepth, "Ingest requests currently queued for an admission slot.")
+	r.Gauge(MetricAdmissionInFlight, "Ingest requests currently holding an admission slot.")
 	r.Counter(MetricClientRequestsTotal, "Client request attempts issued.")
 	r.Counter(MetricClientRetriesTotal, "Client attempts that were retries of a failed attempt.")
+	r.Gauge(MetricClientWindow, "Adaptive client concurrency window (floor of the AIMD window).")
 	r.CounterVec(MetricChaosInjectedTotal, "Faults injected by the chaos layer, by fault kind.", "fault")
 	r.Histogram(MetricAuctionDurationSeconds, "Wall time of one auction mechanism run.", TimeBuckets())
 	r.Gauge(MetricAuctionWinners, "Distinct winning workers in the latest auction.")

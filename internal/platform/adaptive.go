@@ -1,0 +1,137 @@
+package platform
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"melody/internal/obs"
+)
+
+// AdaptiveConfig tunes the client's AIMD concurrency window: the number of
+// platform calls a Client lets proceed concurrently grows by roughly one
+// per window of successes (additive increase) and halves on every
+// overload signal — a 429 shed or a Retry-After hint — mirroring how the
+// server's admission gate wants clients to behave (multiplicative
+// decrease). The window floor keeps progress alive through sustained
+// overload; honoring Retry-After does the actual waiting.
+type AdaptiveConfig struct {
+	// MinWindow is the floor the window never drops below; 0 defaults to 1.
+	MinWindow int
+	// MaxWindow caps additive growth; 0 defaults to 256.
+	MaxWindow int
+	// InitialWindow is the starting window; 0 defaults to MinWindow+1.
+	InitialWindow int
+	// Backoff is the multiplicative-decrease factor applied on overload;
+	// 0 defaults to 0.5. Values are clamped into (0, 1).
+	Backoff float64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.MinWindow <= 0 {
+		c.MinWindow = 1
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 256
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = c.MinWindow
+	}
+	if c.InitialWindow <= 0 {
+		c.InitialWindow = c.MinWindow + 1
+	}
+	if c.InitialWindow > c.MaxWindow {
+		c.InitialWindow = c.MaxWindow
+	}
+	if !(c.Backoff > 0 && c.Backoff < 1) {
+		c.Backoff = 0.5
+	}
+	return c
+}
+
+// adaptiveLimiter is the AIMD window shared by every call on one Client.
+// Acquire blocks while the in-flight count has used up the current window;
+// onSuccess / onOverload move the window. Safe for concurrent use.
+type adaptiveLimiter struct {
+	cfg AdaptiveConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	window   float64 // fractional AIMD state; floor() is the usable window
+	inFlight int
+
+	gauge *obs.Gauge // nil-safe
+}
+
+func newAdaptiveLimiter(cfg AdaptiveConfig, gauge *obs.Gauge) *adaptiveLimiter {
+	l := &adaptiveLimiter{cfg: cfg.withDefaults(), gauge: gauge}
+	l.cond = sync.NewCond(&l.mu)
+	l.window = float64(l.cfg.InitialWindow)
+	l.gauge.Set(math.Floor(l.window))
+	return l
+}
+
+// acquire blocks until an in-flight slot is free under the current window
+// or ctx ends. The caller must release() exactly once after acquiring.
+func (l *adaptiveLimiter) acquire(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A cond wait cannot watch ctx directly; a watcher goroutine wakes the
+	// waiters when the context ends so cancelled callers leave the queue.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.inFlight >= int(l.window) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.cond.Wait()
+	}
+	l.inFlight++
+	return nil
+}
+
+// release frees the slot taken by acquire.
+func (l *adaptiveLimiter) release() {
+	l.mu.Lock()
+	l.inFlight--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// onSuccess applies additive increase: one extra slot per full window of
+// successful calls.
+func (l *adaptiveLimiter) onSuccess() {
+	l.mu.Lock()
+	l.window += 1 / l.window
+	if max := float64(l.cfg.MaxWindow); l.window > max {
+		l.window = max
+	}
+	l.gauge.Set(math.Floor(l.window))
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// onOverload applies multiplicative decrease after a shed (429) response.
+func (l *adaptiveLimiter) onOverload() {
+	l.mu.Lock()
+	l.window *= l.cfg.Backoff
+	if min := float64(l.cfg.MinWindow); l.window < min {
+		l.window = min
+	}
+	l.gauge.Set(math.Floor(l.window))
+	l.mu.Unlock()
+}
+
+// Window exposes the current usable window, for tests and reporting.
+func (l *adaptiveLimiter) Window() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.window)
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +26,10 @@ type APIError struct {
 	Status  int
 	Message string
 	Code    string
+	// RetryAfter is the server's backoff hint from a Retry-After header
+	// (zero when absent). Admission-control sheds (429) always carry one;
+	// the retrying client never retries sooner than the hint.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -96,11 +101,15 @@ func retryable(err error) bool {
 }
 
 // Client talks to a platform Server, transparently retrying transient
-// failures per its RetryPolicy.
+// failures per its RetryPolicy. With ClientOptions.Adaptive set it also
+// runs an AIMD concurrency window over all concurrent calls, backing off
+// when the server sheds load and probing back up on success.
 type Client struct {
 	base    string
 	http    *http.Client
 	retry   RetryPolicy
+	tenant  string
+	limiter *adaptiveLimiter // nil without ClientOptions.Adaptive
 	log     *slog.Logger
 	tracer  *obs.Tracer
 	reqs    *obs.Counter
@@ -123,6 +132,14 @@ type ClientOptions struct {
 	Tracer *obs.Tracer
 	// Logger receives a debug line per retry; nil disables logging.
 	Logger *slog.Logger
+	// Adaptive enables the AIMD concurrency window: concurrent calls on
+	// this client are capped by a window that halves on 429 sheds and
+	// grows by one per window of successes. Nil disables the limiter.
+	Adaptive *AdaptiveConfig
+	// Tenant, when non-empty, is sent as the X-Melody-Tenant header on
+	// every request, attributing the traffic to a per-tenant rate budget
+	// under server-side admission control.
+	Tenant string
 }
 
 // NewClient creates a client for the platform at baseURL (e.g.
@@ -159,15 +176,31 @@ func NewClientOptions(baseURL string, opts ClientOptions) (*Client, error) {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
-	return &Client{
+	c := &Client{
 		base:    strings.TrimRight(baseURL, "/"),
 		http:    httpClient,
 		retry:   policy,
+		tenant:  opts.Tenant,
 		log:     logger,
 		tracer:  opts.Tracer,
 		reqs:    opts.Metrics.Counter(obs.MetricClientRequestsTotal, "Platform client API calls issued."),
 		retries: opts.Metrics.Counter(obs.MetricClientRetriesTotal, "Platform client attempts retried after a transient failure."),
-	}, nil
+	}
+	if opts.Adaptive != nil {
+		c.limiter = newAdaptiveLimiter(*opts.Adaptive,
+			opts.Metrics.Gauge(obs.MetricClientWindow, "Adaptive client concurrency window (floor of the AIMD window)."))
+	}
+	return c, nil
+}
+
+// ConcurrencyWindow reports the adaptive limiter's current window, or 0
+// when the client runs without one. Load generators use it to observe the
+// AIMD dynamics.
+func (c *Client) ConcurrencyWindow() int {
+	if c.limiter == nil {
+		return 0
+	}
+	return c.limiter.Window()
 }
 
 // do issues a request with optional JSON body and decodes a JSON response
@@ -185,10 +218,22 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		buf = bb.Bytes()
 	}
 	c.reqs.Inc()
+	if c.limiter != nil {
+		if err := c.limiter.acquire(ctx); err != nil {
+			return err
+		}
+		defer c.limiter.release()
+	}
 	for attempt := 0; ; attempt++ {
 		err := c.attempt(ctx, method, path, buf, out)
 		if err == nil {
+			if c.limiter != nil {
+				c.limiter.onSuccess()
+			}
 			return nil
+		}
+		if c.limiter != nil && overloaded(err) {
+			c.limiter.onOverload()
 		}
 		if attempt+1 >= c.retry.MaxAttempts || !retryable(err) || ctx.Err() != nil {
 			return err
@@ -199,14 +244,28 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		sp.SetAttrInt("attempt", int64(attempt+1))
 		c.log.Debug("retrying request",
 			"method", method, "path", path, "attempt", attempt+1, "error", err)
+		// The server's Retry-After hint is a floor under the backoff: the
+		// client never knocks again sooner than the gate asked it to.
+		delay := backoffDelay(c.retry, attempt, rand.Float64())
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > delay {
+			delay = apiErr.RetryAfter
+		}
 		select {
 		case <-ctx.Done():
 			sp.End()
 			return err
-		case <-time.After(backoffDelay(c.retry, attempt, rand.Float64())):
+		case <-time.After(delay):
 		}
 		sp.End()
 	}
+}
+
+// overloaded reports whether an attempt failed because the server shed the
+// request under admission control.
+func overloaded(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
 }
 
 // attempt issues the request once.
@@ -222,6 +281,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, buf []byte, o
 	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("platform: %s %s: %w", method, path, err)
@@ -232,7 +294,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, buf []byte, o
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
 			apiErr.Error = resp.Status
 		}
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error, Code: apiErr.Code}
+		return &APIError{
+			Status: resp.StatusCode, Message: apiErr.Error, Code: apiErr.Code,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -241,6 +306,20 @@ func (c *Client) attempt(ctx context.Context, method, path string, buf []byte, o
 		return fmt.Errorf("platform: decode response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header value in seconds. The server
+// emits integer seconds for >=1s delays (the RFC 7231 form) and decimal
+// seconds below that; HTTP-date values and garbage parse to zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs <= 0 || secs > 3600 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // Status fetches the platform's current run phase.

@@ -81,6 +81,12 @@ type Server struct {
 	bidDeadline   time.Duration
 	scoreDeadline time.Duration
 
+	// admission, when non-nil, gates the sheddable ingest endpoints
+	// (register/bid/answer) behind bounded queues and per-tenant rate
+	// limits; the control plane and scoring are never shed, so an opened
+	// run always settles. See AdmissionConfig.
+	admission *admission
+
 	stateMu sync.RWMutex
 	phase   Phase
 	run     int // 1-based index of the run currently open (or last opened)
@@ -142,6 +148,9 @@ func NewServer(p Backend, logger *slog.Logger, opts ...ServerOption) (*Server, e
 	s.reqs = s.metrics.CounterVec(obs.MetricHTTPRequestsTotal, "HTTP requests served, by endpoint.", "endpoint")
 	s.reqErrs = s.metrics.CounterVec(obs.MetricHTTPErrorsTotal, "HTTP requests answered with a non-2xx status, by endpoint.", "endpoint")
 	s.reqSecs = s.metrics.HistogramVec(obs.MetricHTTPRequestSeconds, "HTTP request handling time, by endpoint.", "endpoint", obs.TimeBuckets())
+	if s.admission != nil {
+		s.admission.instrument(s.metrics)
+	}
 	st := p.State()
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -231,16 +240,16 @@ func (s *Server) deadlineFinish(run int) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "GET /v1/status", "status", s.handleStatus)
-	s.route(mux, "POST /v1/workers", "register_worker", s.handleRegisterWorker)
+	s.route(mux, "POST /v1/workers", "register_worker", s.gate("register_worker", s.handleRegisterWorker))
 	s.route(mux, "GET /v1/workers", "list_workers", s.handleListWorkers)
 	s.route(mux, "GET /v1/workers/{id}/quality", "quality", s.handleQuality)
 	s.route(mux, "GET /v1/workers/{id}/forecast", "forecast", s.handleForecast)
 	s.route(mux, "POST /v1/runs", "open_run", s.handleOpenRun)
-	s.route(mux, "POST /v1/runs/current/bids", "bid", s.handleBid)
-	s.route(mux, "POST /v1/runs/current/bids/batch", "bid_batch", s.handleBidBatch)
+	s.route(mux, "POST /v1/runs/current/bids", "bid", s.gate("bid", s.handleBid))
+	s.route(mux, "POST /v1/runs/current/bids/batch", "bid_batch", s.gate("bid_batch", s.handleBidBatch))
 	s.route(mux, "POST /v1/runs/current/close", "close", s.handleClose)
 	s.route(mux, "GET /v1/runs/current/outcome", "outcome", s.handleOutcome)
-	s.route(mux, "POST /v1/runs/current/answers", "answer", s.handleAnswer)
+	s.route(mux, "POST /v1/runs/current/answers", "answer", s.gate("answer", s.handleAnswer))
 	s.route(mux, "GET /v1/runs/current/answers", "list_answers", s.handleListAnswers)
 	s.route(mux, "POST /v1/runs/current/scores", "score", s.handleScore)
 	s.route(mux, "POST /v1/runs/current/scores/batch", "score_batch", s.handleScoreBatch)
@@ -310,6 +319,8 @@ func errorStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, melody.ErrNoForecast):
 		return http.StatusNotImplemented
+	case errors.Is(err, melody.ErrOverloaded):
+		return http.StatusTooManyRequests
 	}
 	return http.StatusBadRequest
 }

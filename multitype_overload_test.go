@@ -1,0 +1,168 @@
+package melody_test
+
+// Money conservation across concurrent multi-type runs under overload:
+// three task types share one funded ledger while bid storms race auction
+// closes, invalid bids are refused, and every season settles. Whatever
+// the interleaving, the shared ledger must conserve money exactly and
+// leave escrow empty — the invariant the HTTP-level overload scenarios
+// (internal/loadgen) assert through the serving stack, checked here at
+// the engine layer where the races are tightest. Run under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"melody"
+	"melody/internal/verify"
+)
+
+func TestMultiTypeConcurrentRunsConserveMoney(t *testing.T) {
+	const (
+		seasons    = 3
+		workers    = 12
+		goroutines = 8
+		bidsPerG   = 40
+		budget     = 150.0
+	)
+	types := []string{"labeling", "sensing", "transcribe"}
+
+	money := melody.NewLedger()
+	if _, err := money.Deposit(melody.RequesterAccount, budget*float64(len(types)*seasons), "campaign funding"); err != nil {
+		t.Fatal(err)
+	}
+	configs := make(map[string]melody.PlatformConfig, len(types))
+	for _, taskType := range types {
+		tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+			InitialMean: 5.5, InitialVar: 2.25,
+			Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+			EMPeriod: 10, EMWindow: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs[taskType] = melody.PlatformConfig{
+			Auction:   melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+			Estimator: tracker,
+			Ledger:    money,
+		}
+	}
+	m, err := melody.NewMultiTypePlatform(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ids := make([]string, workers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%02d", i)
+		if err := m.RegisterWorker(ctx, ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for season := 1; season <= seasons; season++ {
+		var tasks []melody.TypedTask
+		budgets := make(map[string]float64, len(types))
+		for _, taskType := range types {
+			for j := 0; j < 2; j++ {
+				tasks = append(tasks, melody.TypedTask{Type: taskType, Task: melody.Task{
+					ID: fmt.Sprintf("s%d-%s-t%d", season, taskType, j), Threshold: 10,
+				}})
+			}
+			budgets[taskType] = budget
+		}
+		if err := m.OpenRun(ctx, tasks, budgets); err != nil {
+			t.Fatal(err)
+		}
+
+		// The storm: concurrent bidders across every type, a fraction of
+		// them submitting disqualified costs (the engine-level analogue of
+		// refused load), racing a close that fires partway through. Every
+		// bid must resolve to accepted or a clean refusal; nothing may
+		// corrupt the shared ledger.
+		var accepted, refused atomic.Int64
+		var wg sync.WaitGroup
+		closeReady := make(chan struct{})
+		var once sync.Once
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < bidsPerG; i++ {
+					if g == 0 && i == bidsPerG/2 {
+						once.Do(func() { close(closeReady) })
+					}
+					taskType := types[(g+i)%len(types)]
+					cost := 1.0 + 0.9*float64(i%10)/10
+					if i%7 == 0 {
+						cost = 5.0 // disqualified at auction time, accepted at ingest
+					}
+					err := m.SubmitBid(ctx, ids[(g*bidsPerG+i)%workers], taskType,
+						melody.Bid{Cost: cost, Frequency: 1})
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, melody.ErrAuctionClosed),
+						errors.Is(err, melody.ErrNoRunOpen):
+						refused.Add(1)
+					default:
+						t.Errorf("season %d bid: %v", season, err)
+					}
+				}
+			}(g)
+		}
+		// Close mid-storm so late bids race the phase transition.
+		<-closeReady
+		outcomes, err := m.CloseAuction(ctx)
+		if err != nil {
+			t.Fatalf("season %d close: %v", season, err)
+		}
+		wg.Wait()
+		if got := accepted.Load() + refused.Load(); got != goroutines*bidsPerG {
+			t.Errorf("season %d: %d bids accounted, want %d", season, got, goroutines*bidsPerG)
+		}
+
+		for taskType, out := range outcomes {
+			for _, a := range out.Assignments {
+				if err := m.SubmitScore(ctx, a.WorkerID, taskType, a.TaskID, 6.5); err != nil {
+					t.Fatalf("season %d score %s/%s: %v", season, taskType, a.WorkerID, err)
+				}
+			}
+		}
+		if err := m.FinishRun(ctx); err != nil {
+			t.Fatalf("season %d finish: %v", season, err)
+		}
+
+		// The invariants hold between seasons too, not just at the end.
+		if err := verify.CheckMoneyConservation(money); err != nil {
+			t.Fatalf("season %d: %v", season, err)
+		}
+		if err := verify.CheckEscrowSettled(money); err != nil {
+			t.Fatalf("season %d: %v", season, err)
+		}
+	}
+
+	// Final books: conservation, settled escrow, and the requester spent no
+	// more than the deposits (payments flowed to workers, the rest came
+	// back).
+	if err := verify.CheckMoneyConservation(money); err != nil {
+		t.Error(err)
+	}
+	if err := verify.CheckEscrowSettled(money); err != nil {
+		t.Error(err)
+	}
+	var workerTotal float64
+	for _, ab := range money.Accounts() {
+		if ab.Account != melody.RequesterAccount && string(ab.Account) != "escrow" {
+			workerTotal += ab.Balance
+		}
+	}
+	funding := budget * float64(len(types)*seasons)
+	if requester := money.Balance(melody.RequesterAccount); requester+workerTotal > funding+1e-6 ||
+		requester+workerTotal < funding-1e-6 {
+		t.Errorf("requester %v + workers %v != funding %v", requester, workerTotal, funding)
+	}
+}

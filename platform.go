@@ -50,6 +50,11 @@ var (
 	// ErrNoForecast is returned when the platform's estimator cannot
 	// produce predictive distributions (only the LDS tracker can).
 	ErrNoForecast = errors.New("melody: estimator does not support forecasting")
+	// ErrOverloaded is returned when the serving front-end sheds a request
+	// under admission control: the platform itself never saw it, so the
+	// request had no effect and may be retried after the advertised
+	// Retry-After delay.
+	ErrOverloaded = errors.New("melody: server overloaded")
 )
 
 // Forecaster is the optional estimator capability of producing k-step-ahead
