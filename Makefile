@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +94,15 @@ overload-bench-smoke:
 # (cmd/melody-obs-smoke; no curl needed).
 obs-smoke:
 	$(GO) run ./cmd/melody-obs-smoke
+
+# multirun-smoke drives the mixed-tenant scenario through the run
+# scheduler's full HTTP path: 2 tenants x 4 overlapping runs, once with
+# tenants serialized and once concurrent. The scenario fails unless every
+# run's outcome is byte-identical across the passes, money is conserved
+# exactly with escrow and the epoch pool drained, and the serving stacks
+# leak no goroutines.
+multirun-smoke:
+	$(GO) run ./cmd/melody-load -scenario multirun -tenants 2 -runs 4 -workers-per-tenant 8 -epoch-every 2 -seed 1 -check
 
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
 # the latest committed one (see cmd/melody-bench). Includes the serve/

@@ -22,6 +22,8 @@ const (
 	CodeNotAssigned   ErrorCode = "not_assigned"
 	CodeNoForecast    ErrorCode = "no_forecast"
 	CodeOverloaded    ErrorCode = "overloaded"
+	CodeUnknownRun    ErrorCode = "unknown_run"
+	CodeUnknownTenant ErrorCode = "unknown_tenant"
 )
 
 // errorCodes pairs each sentinel with its code, in one place so encoding
@@ -38,6 +40,8 @@ var errorCodes = []struct {
 	{CodeNotAssigned, ErrNotAssigned},
 	{CodeNoForecast, ErrNoForecast},
 	{CodeOverloaded, ErrOverloaded},
+	{CodeUnknownRun, ErrUnknownRun},
+	{CodeUnknownTenant, ErrUnknownTenant},
 }
 
 // ErrorCodeFor maps an error onto its wire code, or "" when the error

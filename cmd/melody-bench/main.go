@@ -559,6 +559,38 @@ func overloadKernel(cfg loadgen.OverloadConfig) func() (Entry, error) {
 	}
 }
 
+// multirunKernel runs the mixed-tenant multi-run scenario through loadgen:
+// the identical workload executes once with tenants serial and once with
+// all tenants concurrent, against fresh run-scheduler stacks. NsPerOp is
+// concurrent wall-clock per completed run; the serial/concurrent goodput
+// and their ratio land in Entry.Metrics. The scenario itself asserts
+// byte-identical per-run outcomes, exact money conservation, drained
+// settlement and zero goroutine leaks — any violation fails the kernel.
+func multirunKernel(cfg loadgen.MultiRunConfig) func() (Entry, error) {
+	return func() (Entry, error) {
+		res, err := loadgen.RunMultiRun(cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		match := 0.0
+		if res.OutcomesMatch {
+			match = 1
+		}
+		return Entry{
+			Iterations: res.TotalRuns,
+			NsPerOp:    res.ConcurrentSeconds * 1e9 / float64(res.TotalRuns),
+			Metrics: map[string]float64{
+				"serial_runs_per_sec":     res.SerialRunsPerSec,
+				"concurrent_runs_per_sec": res.ConcurrentRunsPerSec,
+				"speedup":                 res.Speedup,
+				"outcomes_match":          match,
+				"epochs":                  float64(res.Epochs),
+				"bids":                    float64(res.Bids),
+			},
+		}, nil
+	}
+}
+
 // overloadLoad is the shared harness config for the serve/overload kernels:
 // a 250 bids/sec per-tenant admission budget, single-attempt clients (one
 // arrival, one verdict), and a funded ledger so the money invariants run.
@@ -639,6 +671,27 @@ func kernels() []kernel {
 			Load: overloadLoad(13), Arrival: loadgen.ArrivalBurst,
 			Rate: 1500, BaseRate: 100, Duration: time.Second,
 			BurstPeriod: 250 * time.Millisecond, BurstLen: 60 * time.Millisecond})},
+		// serve/multirun kernels: 8 tenants drive 8 concurrent runs through
+		// the run scheduler, measured against the identical workload with
+		// tenants executed one at a time (the speedup metric is concurrent
+		// over serial goodput; outcomes must stay byte-identical). sched_wal
+		// drives the scheduler in-process over the group-commit WAL — the
+		// fsync-bound case where overlapping runs amortize commits — while
+		// the http_ variants pay the full serving path per request.
+		{name: "serve/multirun_sched_wal_t8", direct: multirunKernel(loadgen.MultiRunConfig{
+			Tenants: 8, RunsPerTenant: 2, WorkersPerTenant: 8, Tasks: 2,
+			BidsPerWorker: 4, EpochEvery: 4, Seed: 11,
+			Backend: loadgen.BackendWAL, Direct: true})},
+		{name: "serve/multirun_sched_mem_t8", direct: multirunKernel(loadgen.MultiRunConfig{
+			Tenants: 8, RunsPerTenant: 2, WorkersPerTenant: 8, Tasks: 2,
+			BidsPerWorker: 4, EpochEvery: 4, Seed: 11, Direct: true})},
+		{name: "serve/multirun_http_mem_t8", direct: multirunKernel(loadgen.MultiRunConfig{
+			Tenants: 8, RunsPerTenant: 2, WorkersPerTenant: 8, Tasks: 2,
+			BidsPerWorker: 4, EpochEvery: 4, Seed: 11})},
+		{name: "serve/multirun_http_wal_t8", direct: multirunKernel(loadgen.MultiRunConfig{
+			Tenants: 8, RunsPerTenant: 2, WorkersPerTenant: 8, Tasks: 2,
+			BidsPerWorker: 4, EpochEvery: 4, Seed: 11,
+			Backend: loadgen.BackendWAL})},
 	}
 }
 

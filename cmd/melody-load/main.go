@@ -11,6 +11,10 @@
 //	burst     open-loop flash crowds: -rate bursts over -base-rate background
 //	slo-smoke calibrate this machine's capacity, then run rated load and a
 //	          3x overload and assert the SLO gate (CI entry point)
+//	multirun  mixed-tenant concurrency: -tenants tenants each drive -runs
+//	          overlapping runs through the run scheduler, once serially and
+//	          once concurrently; asserts identical outcomes, money
+//	          conservation and zero goroutine leaks
 //
 // Usage:
 //
@@ -18,8 +22,11 @@
 //	melody-load -backend wal -workers 64      # group-commit WAL under load
 //	melody-load -scenario poisson -rate 500 -max-inflight 8 -admission-queue 16
 //	melody-load -scenario slo-smoke           # machine-scaled CI gate
+//	melody-load -scenario multirun -tenants 2 -runs 4 -check
 //	melody-load -json                         # machine-readable result
 //	melody-load -check                        # exit nonzero unless real work happened
+//	melody-load -mutexprofile mutex.pprof -blockprofile block.pprof
+//	                                          # write contention profiles
 //
 // Every random choice derives from -seed, so runs are reproducible. The
 // exit status is the verdict: refused-everything, failed invariants or a
@@ -31,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"melody/internal/loadgen"
@@ -71,9 +80,24 @@ func main() {
 	ratedFraction := flag.Float64("rated-fraction", 0.5, "slo-smoke: rated load as a fraction of calibrated capacity")
 	overloadFactor := flag.Float64("overload-factor", 3, "slo-smoke: overload as a multiple of rated load")
 
+	tenants := flag.Int("tenants", 2, "multirun: concurrent tenants")
+	workersPerTenant := flag.Int("workers-per-tenant", 8, "multirun: workers bidding in each tenant's runs")
+	epochEvery := flag.Int("epoch-every", 2, "multirun: settle payouts every N finished runs (0 = per run)")
+	direct := flag.Bool("direct", false, "multirun: drive the scheduler in-process instead of over HTTP")
+
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
+
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	check := flag.Bool("check", false, "exit nonzero unless throughput is positive (smoke-test mode)")
 	flag.Parse()
+
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 
 	if *maxInflight > 0 || *tenantRate > 0 {
 		cfg.Admission = &platform.AdmissionConfig{
@@ -100,13 +124,75 @@ func main() {
 		}, *asJSON)
 	case "slo-smoke":
 		err = runSLOSmoke(cfg, *ratedFraction, *overloadFactor, *duration, *asJSON)
+	case "multirun":
+		err = runMultiRun(loadgen.MultiRunConfig{
+			Tenants: *tenants, RunsPerTenant: cfg.Runs, WorkersPerTenant: *workersPerTenant,
+			Tasks: cfg.Tasks, Budget: cfg.Budget, BidsPerWorker: cfg.BidsPerWorker,
+			Batch: cfg.Batch, Seed: cfg.Seed, EpochEvery: *epochEvery,
+			Backend: cfg.Backend, WALDir: cfg.WALDir, Direct: *direct,
+		}, *asJSON, *check)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	// The contention profiles cover the scenario just driven; write them
+	// even when the scenario failed (a hung or contended run is exactly
+	// when the profile matters).
+	if *mutexProfile != "" {
+		if perr := writeProfile("mutex", *mutexProfile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if *blockProfile != "" {
+		if perr := writeProfile("block", *blockProfile); perr != nil && err == nil {
+			err = perr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "melody-load:", err)
 		os.Exit(1)
 	}
+}
+
+// writeProfile dumps one named runtime profile (pprof format).
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("write %s profile: %w", name, err)
+	}
+	fmt.Printf("%s profile written to %s\n", name, path)
+	return nil
+}
+
+// runMultiRun drives the mixed-tenant scenario and prints the serial vs
+// concurrent comparison. Outcome divergence, conservation failures and
+// goroutine leaks surface as errors from loadgen.
+func runMultiRun(cfg loadgen.MultiRunConfig, asJSON, check bool) error {
+	res, err := loadgen.RunMultiRun(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return printJSON(res)
+	}
+	fmt.Printf("tenants=%d runs-per-tenant=%d (%d total), %d bids per pass\n",
+		res.Tenants, res.RunsPerTenant, res.TotalRuns, res.Bids)
+	fmt.Printf("serial:     %.3fs (%.1f runs/sec)\n", res.SerialSeconds, res.SerialRunsPerSec)
+	fmt.Printf("concurrent: %.3fs (%.1f runs/sec) -> %.2fx goodput\n",
+		res.ConcurrentSeconds, res.ConcurrentRunsPerSec, res.Speedup)
+	fmt.Printf("outcomes byte-identical across passes: %v; payout epochs: %d\n",
+		res.OutcomesMatch, res.Epochs)
+	if check && res.ConcurrentRunsPerSec <= 0 {
+		return fmt.Errorf("check failed: no sustained multirun throughput")
+	}
+	return nil
 }
 
 // runClosed is the classic closed-loop measurement. A server that refuses

@@ -51,11 +51,17 @@ func run() error {
 		replicaID   = flag.String("replica-id", "", "replica name reported in acks (default: hostname)")
 		promote     = flag.Bool("promote", false, "promote: boot as primary from a directory previously populated by -replica-of (requires -wal-dir)")
 		maxInflight = flag.Int("max-inflight", 0, "admission control: concurrent ingest requests before queuing/shedding (0 disables)")
+		ansInflight = flag.Int("answer-inflight", 0, "admission control: separate concurrent-request budget for answer submission, so answer uploads cannot starve bid ingest (0 disables)")
 		admitQueue  = flag.Int("admission-queue", 0, "admission control: ingest requests allowed to wait for a slot before shedding (with -max-inflight)")
 		queueTO     = flag.Duration("queue-timeout", 0, "admission control: longest a queued ingest request waits before it is shed (default 100ms)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "admission control: per-tenant ingest budget in requests/sec via the X-Melody-Tenant header (0 disables)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "admission control: per-tenant token bucket capacity (default max(1, -tenant-rate))")
 		retryAfter  = flag.Duration("retry-after", 0, "admission control: Retry-After hint attached to 429 sheds (default 250ms)")
+		multiMode   = flag.Bool("multi", false, "serve concurrent multi-tenant runs via the run scheduler (/v1/runs/{id}); tenants are created on first use")
+		tenantRuns  = flag.Int("tenant-max-runs", 0, "admission control: runs a tenant may hold open concurrently (0 disables; requires -multi)")
+		epochEvery  = flag.Int("epoch-every", 0, "settle worker payouts in epochs of this many finished runs instead of per run (requires -multi and -fund)")
+		fund        = flag.Float64("fund", 0, "deposit this much into the requester's ledger account at boot; enables double-entry settlement (budgets escrow on open, payouts on finish)")
+		shards      = flag.Int("registry-shards", 0, "worker registry stripe count, rounded up to a power of two (0 uses the default; requires -multi)")
 		bidDL       = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
 		scoreDL     = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
 		chaosSpec   = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
@@ -81,6 +87,12 @@ func run() error {
 		return errors.New("-replica-of and -promote are mutually exclusive: stop following before promoting")
 	case *promote && *walDir == "":
 		return errors.New("-promote requires -wal-dir (the replica's data directory)")
+	case !*multiMode && (*tenantRuns > 0 || *epochEvery > 0 || *shards > 0):
+		return errors.New("-tenant-max-runs, -epoch-every and -registry-shards require -multi")
+	case *multiMode && *walDir != "":
+		return errors.New("-multi supports -wal (single-file log); the segmented engine serves the single-run platform only")
+	case *epochEvery > 0 && *fund <= 0:
+		return errors.New("-epoch-every requires -fund (epoch settlement aggregates ledger payouts)")
 	}
 
 	// One registry and one span ring serve the whole process; every layer
@@ -93,95 +105,153 @@ func run() error {
 		return runReplica(logger, registry, tracer, *replicaOf, *walDir, *replicaID, *metricsAddr)
 	}
 
-	tracker, err := melody.NewQualityTracker(melody.QualityTrackerConfig{
+	trackerConfig := melody.QualityTrackerConfig{
 		InitialMean: *initMean,
 		InitialVar:  *initVar,
 		Params:      melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
 		EMPeriod:    *emPeriod,
 		EMWindow:    60,
 		Metrics:     registry,
-	})
-	if err != nil {
-		return err
 	}
-	p, err := melody.NewPlatform(melody.PlatformConfig{
-		Auction: melody.AuctionConfig{
-			QualityMin: *qualityMin, QualityMax: *qualityMax,
-			CostMin: *costMin, CostMax: *costMax,
-		},
-		Estimator: tracker,
-		Metrics:   registry,
-		Tracer:    tracer,
-	})
-	if err != nil {
-		return err
+	auction := melody.AuctionConfig{
+		QualityMin: *qualityMin, QualityMax: *qualityMax,
+		CostMin: *costMin, CostMax: *costMax,
 	}
-	var backend platform.Backend = p
+	var money *melody.Ledger
+	if *fund > 0 {
+		money = melody.NewLedger()
+		if _, err := money.Deposit(melody.RequesterAccount, *fund, "boot funding"); err != nil {
+			return err
+		}
+		logger.Info("ledger funded", "requester_deposit", *fund)
+	}
 	serverOpts := []platform.ServerOption{
 		platform.WithDeadlines(*bidDL, *scoreDL),
 		platform.WithMetrics(registry),
 		platform.WithTracer(tracer),
 	}
 	admission := platform.AdmissionConfig{
-		MaxInFlight:      *maxInflight,
-		MaxQueue:         *admitQueue,
-		QueueTimeout:     *queueTO,
-		TenantRatePerSec: *tenantRate,
-		TenantBurst:      *tenantBurst,
-		RetryAfter:       *retryAfter,
+		MaxInFlight:       *maxInflight,
+		AnswerMaxInFlight: *ansInflight,
+		MaxQueue:          *admitQueue,
+		QueueTimeout:      *queueTO,
+		TenantRatePerSec:  *tenantRate,
+		TenantBurst:       *tenantBurst,
+		RetryAfter:        *retryAfter,
+		TenantMaxRuns:     *tenantRuns,
 	}
-	if *maxInflight > 0 || *tenantRate > 0 {
+	if *maxInflight > 0 || *tenantRate > 0 || *ansInflight > 0 || *tenantRuns > 0 {
 		serverOpts = append(serverOpts, platform.WithAdmission(admission))
 		logger.Info("admission control armed",
-			"max_inflight", *maxInflight, "queue", *admitQueue,
-			"tenant_rate", *tenantRate)
+			"max_inflight", *maxInflight, "answer_inflight", *ansInflight,
+			"queue", *admitQueue, "tenant_rate", *tenantRate,
+			"tenant_max_runs", *tenantRuns)
 	}
-	switch {
-	case *walPath != "":
-		persistent, wal, err := eventlog.OpenPersistentOptions(*walPath, p, eventlog.Options{
-			SyncEveryAppend: true,
-			Metrics:         registry,
-			Tracer:          tracer,
+
+	var srv *platform.Server
+	if *multiMode {
+		// Multi-tenant mode: the run scheduler serves concurrent runs keyed
+		// by ID, one platform (estimator + auction) per tenant, created on a
+		// tenant's first OpenRun.
+		sched, err := melody.NewRunScheduler(melody.SchedulerConfig{
+			Auction: auction,
+			NewEstimator: func(string) (melody.Estimator, error) {
+				return melody.NewQualityTracker(trackerConfig)
+			},
+			Ledger:         money,
+			EpochEvery:     *epochEvery,
+			RegistryShards: *shards,
+			Metrics:        registry,
+			Tracer:         tracer,
 		})
 		if err != nil {
 			return err
 		}
-		defer wal.Close()
-		backend = persistent
-		logger.Info("durable state recovered",
-			"wal", *walPath, "completed_runs", p.Run(), "workers", len(p.Workers()))
-	case *walDir != "":
-		// Promotion of a replica is nothing special: the replica's directory
-		// holds a byte-identical copy of the primary's durable files, so the
-		// standard recovery path below reconstructs exactly the state the
-		// primary had acknowledged.
-		persistent, seg, err := eventlog.OpenPersistentSegmented(*walDir, p, eventlog.SegmentedOptions{
-			Options: eventlog.Options{
+		var backend platform.MultiRunBackend = sched
+		if *walPath != "" {
+			persistent, wal, err := eventlog.OpenPersistentScheduler(*walPath, sched, eventlog.Options{
 				SyncEveryAppend: true,
 				Metrics:         registry,
 				Tracer:          tracer,
-			},
-			SegmentBytes:      *segBytes,
-			SnapshotEvery:     *snapEvery,
-			DisableCompaction: *noCompact,
+			})
+			if err != nil {
+				return err
+			}
+			defer wal.Close()
+			backend = persistent
+			logger.Info("durable multi-run state recovered",
+				"wal", *walPath, "completed_runs", sched.CompletedRuns(),
+				"open_runs", len(sched.OpenRuns()), "workers", len(sched.Workers()))
+		}
+		srv, err = platform.NewMultiServer(backend, logger, serverOpts...)
+		if err != nil {
+			return err
+		}
+		logger.Info("multi-tenant run scheduler serving",
+			"epoch_every", *epochEvery, "registry_shards", *shards)
+	} else {
+		tracker, err := melody.NewQualityTracker(trackerConfig)
+		if err != nil {
+			return err
+		}
+		p, err := melody.NewPlatform(melody.PlatformConfig{
+			Auction:   auction,
+			Estimator: tracker,
+			Ledger:    money,
+			Metrics:   registry,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			return err
 		}
-		defer seg.Close()
-		backend = persistent
-		serverOpts = append(serverOpts, platform.WithReplicationSource(seg))
-		event := "durable state recovered"
-		if *promote {
-			event = "replica promoted to primary"
+		var backend platform.Backend = p
+		switch {
+		case *walPath != "":
+			persistent, wal, err := eventlog.OpenPersistentOptions(*walPath, p, eventlog.Options{
+				SyncEveryAppend: true,
+				Metrics:         registry,
+				Tracer:          tracer,
+			})
+			if err != nil {
+				return err
+			}
+			defer wal.Close()
+			backend = persistent
+			logger.Info("durable state recovered",
+				"wal", *walPath, "completed_runs", p.Run(), "workers", len(p.Workers()))
+		case *walDir != "":
+			// Promotion of a replica is nothing special: the replica's directory
+			// holds a byte-identical copy of the primary's durable files, so the
+			// standard recovery path below reconstructs exactly the state the
+			// primary had acknowledged.
+			persistent, seg, err := eventlog.OpenPersistentSegmented(*walDir, p, eventlog.SegmentedOptions{
+				Options: eventlog.Options{
+					SyncEveryAppend: true,
+					Metrics:         registry,
+					Tracer:          tracer,
+				},
+				SegmentBytes:      *segBytes,
+				SnapshotEvery:     *snapEvery,
+				DisableCompaction: *noCompact,
+			})
+			if err != nil {
+				return err
+			}
+			defer seg.Close()
+			backend = persistent
+			serverOpts = append(serverOpts, platform.WithReplicationSource(seg))
+			event := "durable state recovered"
+			if *promote {
+				event = "replica promoted to primary"
+			}
+			logger.Info(event,
+				"wal_dir", *walDir, "completed_runs", p.Run(), "workers", len(p.Workers()),
+				"snapshot_seq", seg.SnapshotSeq(), "seq", seg.Seq())
 		}
-		logger.Info(event,
-			"wal_dir", *walDir, "completed_runs", p.Run(), "workers", len(p.Workers()),
-			"snapshot_seq", seg.SnapshotSeq(), "seq", seg.Seq())
-	}
-	srv, err := platform.NewServer(backend, logger, serverOpts...)
-	if err != nil {
-		return err
+		srv, err = platform.NewServer(backend, logger, serverOpts...)
+		if err != nil {
+			return err
+		}
 	}
 	handler := srv.Handler()
 	if *chaosSpec != "" {

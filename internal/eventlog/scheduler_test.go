@@ -1,0 +1,243 @@
+package eventlog
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"melody"
+)
+
+// newSchedulerForLog builds a run scheduler with the reference
+// configuration and a funded ledger; replay requires writer and reader to
+// be constructed identically.
+func newSchedulerForLog(t *testing.T, funded float64, epochEvery int) (*melody.RunScheduler, *melody.Ledger) {
+	t.Helper()
+	money := melody.NewLedger()
+	if _, err := money.Deposit(melody.RequesterAccount, funded, "test funding"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := melody.NewRunScheduler(melody.SchedulerConfig{
+		Auction: melody.AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		NewEstimator: func(string) (melody.Estimator, error) {
+			return melody.NewQualityTracker(melody.QualityTrackerConfig{
+				InitialMean: 5.5, InitialVar: 2.25,
+				Params:   melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+				EMPeriod: 10, EMWindow: 50,
+			})
+		},
+		Ledger:     money,
+		EpochEvery: epochEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, money
+}
+
+// ledgerBalances flattens a ledger into a comparable map.
+func ledgerBalances(l *melody.Ledger) map[melody.LedgerAccount]float64 {
+	out := map[melody.LedgerAccount]float64{}
+	for _, ab := range l.Accounts() {
+		out[ab.Account] = ab.Balance
+	}
+	return out
+}
+
+// TestPersistentSchedulerReplay interleaves two tenants' runs through a
+// persistent scheduler, then replays the log into a fresh scheduler and
+// checks the rebuilt state — completed runs, worker registry, per-run
+// outcomes, and every ledger balance — matches the original byte for byte.
+func TestPersistentSchedulerReplay(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "sched.wal")
+	const tenants, runs, workers = 2, 2, 4
+
+	orig, origMoney := newSchedulerForLog(t, float64(tenants*runs)*100, 2)
+	ps, log, err := OpenPersistentScheduler(path, orig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < tenants; ti++ {
+		for i := 0; i < workers; i++ {
+			if err := ps.RegisterWorker(ctx, fmt.Sprintf("t%d-w%d", ti, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Interleave the tenants' runs concurrently so the log carries a mixed
+	// total order that replay must route back per run ID.
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for r := 1; r <= runs; r++ {
+				runID := fmt.Sprintf("%s-r%d", tenant, r)
+				tasks := []melody.Task{{ID: runID + "-t1", Threshold: 10}}
+				if err := ps.OpenRun(ctx, runID, tenant, tasks, 100); err != nil {
+					errCh <- err
+					return
+				}
+				bids := make([]melody.WorkerBid, workers)
+				for i := range bids {
+					bids[i] = melody.WorkerBid{
+						WorkerID: fmt.Sprintf("%s-w%d", tenant, i),
+						Bid:      melody.Bid{Cost: 1 + 0.1*float64(i), Frequency: 1},
+					}
+				}
+				if res := ps.SubmitBids(ctx, runID, bids); res.Err() != nil {
+					errCh <- res.Err()
+					return
+				}
+				out, err := ps.CloseAuction(ctx, runID)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				scores := make([]melody.TaskScore, 0, len(out.Assignments))
+				for _, a := range out.Assignments {
+					scores = append(scores, melody.TaskScore{WorkerID: a.WorkerID, TaskID: a.TaskID, Score: 7})
+				}
+				if res := ps.SubmitScores(ctx, runID, scores); res.Err() != nil {
+					errCh <- res.Err()
+					return
+				}
+				if err := ps.FinishRun(ctx, runID); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("t%d", ti))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt, rebuiltMoney := newSchedulerForLog(t, float64(tenants*runs)*100, 2)
+	if err := ReplayScheduler(path, rebuilt); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+
+	if o, r := orig.CompletedRuns(), rebuilt.CompletedRuns(); o != r {
+		t.Errorf("completed runs: orig %d, rebuilt %d", o, r)
+	}
+	ow, rw := orig.Workers(), rebuilt.Workers()
+	if fmt.Sprint(ow) != fmt.Sprint(rw) {
+		t.Errorf("workers diverged:\n%v\n%v", ow, rw)
+	}
+	for ti := 0; ti < tenants; ti++ {
+		for r := 1; r <= runs; r++ {
+			runID := fmt.Sprintf("t%d-r%d", ti, r)
+			oi, err := orig.Run(runID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ri, err := rebuilt.Run(runID)
+			if err != nil {
+				t.Fatalf("rebuilt missing run %s: %v", runID, err)
+			}
+			if !ri.Finished {
+				t.Errorf("run %s not finished after replay", runID)
+			}
+			if fmt.Sprintf("%+v", oi.Outcome) != fmt.Sprintf("%+v", ri.Outcome) {
+				t.Errorf("run %s outcome diverged:\n%+v\n%+v", runID, oi.Outcome, ri.Outcome)
+			}
+		}
+	}
+	ob, rb := ledgerBalances(origMoney), ledgerBalances(rebuiltMoney)
+	if fmt.Sprint(ob) != fmt.Sprint(rb) {
+		t.Errorf("ledger balances diverged:\norig    %v\nrebuilt %v", ob, rb)
+	}
+	if o, r := orig.Settler().Epochs(), rebuilt.Settler().Epochs(); o != r {
+		t.Errorf("epochs: orig %d, rebuilt %d", o, r)
+	}
+}
+
+// TestOpenPersistentSchedulerResume reopens a log mid-run: the second boot
+// must recover the open run and carry it to completion, and a third boot
+// sees the finished state.
+func TestOpenPersistentSchedulerResume(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "resume.wal")
+
+	s1, _ := newSchedulerForLog(t, 100, 0)
+	ps1, log1, err := OpenPersistentScheduler(path, s1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps1.RegisterWorker(ctx, "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps1.OpenRun(ctx, "r1", "a", []melody.Task{{ID: "t1", Threshold: 10}}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps1.SubmitBid(ctx, "r1", "w0", melody.Bid{Cost: 1.5, Frequency: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := newSchedulerForLog(t, 100, 0)
+	ps2, log2, err := OpenPersistentScheduler(path, s2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := s2.OpenRuns()
+	if len(open) != 1 || open[0].ID != "r1" {
+		t.Fatalf("after reopen, open runs = %+v, want [r1]", open)
+	}
+	out, err := ps2.CloseAuction(ctx, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Assignments {
+		if err := ps2.SubmitScore(ctx, "r1", a.WorkerID, a.TaskID, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps2.FinishRun(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, _ := newSchedulerForLog(t, 100, 0)
+	if err := ReplayScheduler(path, s3); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s3.Run("r1")
+	if err != nil || !info.Finished {
+		t.Errorf("third boot: Run(r1) = %+v, %v; want finished", info, err)
+	}
+}
+
+// TestReplaySchedulerRejectsRunlessEvents checks a single-run log (events
+// without run IDs) cannot be replayed into a scheduler by mistake.
+func TestReplaySchedulerRejectsRunlessEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "single.wal")
+	log, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(Event{Kind: KindBid, Worker: "w0", Cost: 1, Frequency: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newSchedulerForLog(t, 100, 0)
+	if err := ReplayScheduler(path, s); err == nil {
+		t.Error("replaying a run-less event into a scheduler succeeded")
+	}
+}

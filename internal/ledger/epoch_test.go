@@ -1,0 +1,160 @@
+package ledger
+
+import (
+	"math"
+	"testing"
+)
+
+func fundedLedger(t *testing.T, amount float64) *Ledger {
+	t.Helper()
+	l := New()
+	if _, err := l.Deposit(Requester, amount, "test funding"); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// settleRun escrows a budget, pays the given worker amounts through the
+// settler's pool, refunds the remainder, and reports the run finished.
+func settleRun(t *testing.T, l *Ledger, s *EpochSettler, run int, budget float64, payments map[Account]float64) bool {
+	t.Helper()
+	rs, err := l.OpenRunEpoch(run, budget, s)
+	if err != nil {
+		t.Fatalf("run %d: %v", run, err)
+	}
+	for w, amt := range payments {
+		if err := rs.Pay(w, amt, "t1"); err != nil {
+			t.Fatalf("run %d pay %s: %v", run, w, err)
+		}
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("run %d close: %v", run, err)
+	}
+	settled, err := s.RunFinished()
+	if err != nil {
+		t.Fatalf("run %d finished: %v", run, err)
+	}
+	return settled
+}
+
+// TestEpochSettlerAccrualAndPayout drives two epochs of two runs each and
+// checks the core contract: payments park in the pool mid-epoch, drain
+// into one aggregated payout per worker at the boundary, and every epoch
+// leaves the pool at (residue-swept) zero with the total conserved.
+func TestEpochSettlerAccrualAndPayout(t *testing.T) {
+	l := fundedLedger(t, 400)
+	s := NewEpochSettler(l, 2)
+	if s.Every() != 2 {
+		t.Fatalf("Every() = %d, want 2", s.Every())
+	}
+
+	// Run 1: mid-epoch — money accrues, nothing pays out.
+	if settled := settleRun(t, l, s, 1, 100, map[Account]float64{"w1": 10, "w2": 5}); settled {
+		t.Error("epoch settled after 1 of 2 runs")
+	}
+	if got := l.Balance(EpochPool); math.Abs(got-15) > 1e-9 {
+		t.Errorf("pool mid-epoch = %v, want 15", got)
+	}
+	if got := s.Pending(); math.Abs(got-15) > 1e-9 {
+		t.Errorf("Pending() = %v, want 15", got)
+	}
+	if got := l.Balance("w1"); got != 0 {
+		t.Errorf("w1 paid mid-epoch: %v", got)
+	}
+	if s.Epochs() != 0 {
+		t.Errorf("Epochs() = %d mid-epoch, want 0", s.Epochs())
+	}
+
+	// Run 2: boundary — the pool drains into aggregated payouts.
+	if settled := settleRun(t, l, s, 2, 100, map[Account]float64{"w1": 7}); !settled {
+		t.Error("epoch did not settle after 2 runs")
+	}
+	if got := s.Epochs(); got != 1 {
+		t.Errorf("Epochs() = %d, want 1", got)
+	}
+	if got := l.Balance(EpochPool); math.Abs(got) > 1e-9 {
+		t.Errorf("pool after settle = %v, want 0", got)
+	}
+	if got := l.Balance("w1"); math.Abs(got-17) > 1e-9 {
+		t.Errorf("w1 = %v, want 17 (aggregated across runs)", got)
+	}
+	if got := l.Balance("w2"); math.Abs(got-5) > 1e-9 {
+		t.Errorf("w2 = %v, want 5", got)
+	}
+	// Aggregation: one payout entry per worker per epoch, not per payment.
+	payouts := 0
+	for _, e := range l.Entries() {
+		if e.Kind == KindPayout {
+			payouts++
+		}
+	}
+	if payouts != 2 {
+		t.Errorf("payout entries = %d, want 2 (one per worker)", payouts)
+	}
+
+	// Conservation: balances still sum to the deposit.
+	var total float64
+	for _, ab := range l.Accounts() {
+		total += ab.Balance
+	}
+	if math.Abs(total-400) > 1e-9 {
+		t.Errorf("balances sum to %v, want 400", total)
+	}
+}
+
+// TestEpochSettlerFlush parks one run's payments mid-epoch and checks
+// Flush drains them immediately — the shutdown path — and that a Flush on
+// an empty pool is a no-op that still resets the epoch position.
+func TestEpochSettlerFlush(t *testing.T) {
+	l := fundedLedger(t, 100)
+	s := NewEpochSettler(l, 5)
+	if settled := settleRun(t, l, s, 1, 50, map[Account]float64{"w1": 12}); settled {
+		t.Error("epoch settled after 1 of 5 runs")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := l.Balance("w1"); math.Abs(got-12) > 1e-9 {
+		t.Errorf("w1 after flush = %v, want 12", got)
+	}
+	if got := l.Balance(EpochPool); math.Abs(got) > 1e-9 {
+		t.Errorf("pool after flush = %v, want 0", got)
+	}
+	if got := s.Epochs(); got != 1 {
+		t.Errorf("Epochs() after flush = %d, want 1", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("empty Flush: %v", err)
+	}
+	if got := s.Epochs(); got != 1 {
+		t.Errorf("empty Flush advanced epochs to %d", got)
+	}
+}
+
+// TestEpochSettlerEveryFloor checks every <= 1 degenerates to per-run
+// settlement.
+func TestEpochSettlerEveryFloor(t *testing.T) {
+	l := fundedLedger(t, 100)
+	s := NewEpochSettler(l, 0)
+	if s.Every() != 1 {
+		t.Fatalf("Every() = %d, want 1", s.Every())
+	}
+	if settled := settleRun(t, l, s, 1, 50, map[Account]float64{"w1": 3}); !settled {
+		t.Error("every=1 settler did not settle after one run")
+	}
+	if got := l.Balance("w1"); math.Abs(got-3) > 1e-9 {
+		t.Errorf("w1 = %v, want 3", got)
+	}
+}
+
+// TestOpenRunEpochValidation checks the settler/ledger binding rules.
+func TestOpenRunEpochValidation(t *testing.T) {
+	l := fundedLedger(t, 100)
+	if _, err := l.OpenRunEpoch(1, 10, nil); err == nil {
+		t.Error("nil settler accepted")
+	}
+	other := NewEpochSettler(New(), 2)
+	if _, err := l.OpenRunEpoch(1, 10, other); err == nil {
+		t.Error("settler bound to another ledger accepted")
+	}
+}

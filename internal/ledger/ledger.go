@@ -153,6 +153,9 @@ type RunSettlement struct {
 	budget float64
 	spent  float64
 	open   bool
+	// epoch, when non-nil, routes payments through the epoch pool instead
+	// of paying workers directly (see OpenRunEpoch).
+	epoch *EpochSettler
 }
 
 // OpenRun escrows the run's budget from the requester account.
@@ -174,8 +177,12 @@ func (s *RunSettlement) Pay(worker Account, amount float64, taskID string) error
 		return fmt.Errorf("ledger: run %d payment %.6f would exceed budget %.6f (spent %.6f)",
 			s.run, amount, s.budget, s.spent)
 	}
-	if _, err := s.ledger.Transfer(KindPayment, Escrow, worker, amount,
-		fmt.Sprintf("run %d task %s", s.run, taskID)); err != nil {
+	memo := fmt.Sprintf("run %d task %s", s.run, taskID)
+	if s.epoch != nil {
+		if err := s.epoch.pay(worker, amount, memo); err != nil {
+			return err
+		}
+	} else if _, err := s.ledger.Transfer(KindPayment, Escrow, worker, amount, memo); err != nil {
 		return err
 	}
 	s.spent += amount

@@ -31,6 +31,15 @@ type AdmissionConfig struct {
 	// MaxInFlight caps concurrently admitted ingest requests; 0 disables
 	// the concurrency gate.
 	MaxInFlight int
+	// AnswerMaxInFlight carves the answer endpoint out of the shared
+	// in-flight gate into its own budget, so a flood of answer uploads
+	// during scoring can never occupy every slot and starve bid ingest
+	// (and vice versa). 0 keeps answers on the shared gate.
+	AnswerMaxInFlight int
+	// TenantMaxRuns caps how many runs a tenant (TenantHeader) may hold in
+	// flight at once on a multi-run backend; further opens are shed with
+	// 429 until one of the tenant's runs finishes. 0 disables the quota.
+	TenantMaxRuns int
 	// MaxQueue is how many ingest requests may wait for a slot beyond
 	// MaxInFlight before new arrivals fast-fail with 429. 0 means no
 	// waiting room: the gate sheds as soon as every slot is taken.
@@ -72,7 +81,8 @@ func (c AdmissionConfig) withDefaults() AdmissionConfig {
 
 // enabled reports whether any gate is configured.
 func (c AdmissionConfig) enabled() bool {
-	return c.MaxInFlight > 0 || c.TenantRatePerSec > 0
+	return c.MaxInFlight > 0 || c.AnswerMaxInFlight > 0 ||
+		c.TenantRatePerSec > 0 || c.TenantMaxRuns > 0
 }
 
 // WithAdmission arms admission control on the server's ingest endpoints.
@@ -89,14 +99,23 @@ func WithAdmission(cfg AdmissionConfig) ServerOption {
 // blocks the control plane — only the endpoints the server explicitly
 // routes through it.
 type admission struct {
-	cfg   AdmissionConfig
-	slots chan struct{} // nil when MaxInFlight is 0
+	cfg AdmissionConfig
+	// slots is the shared ingest semaphore; ansSlots, when non-nil, is the
+	// answer endpoint's dedicated budget (per-endpoint admission), so
+	// answer uploads and bid ingest shed independently.
+	slots    chan struct{} // nil when MaxInFlight is 0
+	ansSlots chan struct{} // nil when AnswerMaxInFlight is 0
 
 	queued   atomic.Int64
 	inFlight atomic.Int64
 
 	mu      sync.Mutex
 	buckets map[string]*tokenBucket
+
+	// runsMu guards openRuns, the per-tenant runs-in-flight counts backing
+	// the TenantMaxRuns quota.
+	runsMu   sync.Mutex
+	openRuns map[string]int
 
 	// nil-safe instrument handles, bound by instrument().
 	shed        *obs.CounterVec
@@ -116,8 +135,14 @@ func newAdmission(cfg AdmissionConfig) *admission {
 	if a.cfg.MaxInFlight > 0 {
 		a.slots = make(chan struct{}, a.cfg.MaxInFlight)
 	}
+	if a.cfg.AnswerMaxInFlight > 0 {
+		a.ansSlots = make(chan struct{}, a.cfg.AnswerMaxInFlight)
+	}
 	if a.cfg.TenantRatePerSec > 0 {
 		a.buckets = make(map[string]*tokenBucket)
+	}
+	if a.cfg.TenantMaxRuns > 0 {
+		a.openRuns = make(map[string]int)
 	}
 	return a
 }
@@ -146,11 +171,17 @@ func (a *admission) admit(r *http.Request, endpoint string) (release func(), ok 
 			return nil, false
 		}
 	}
-	if a.slots == nil {
+	// The answer endpoint draws from its own budget when one is carved
+	// out; everything else shares the main gate.
+	slots := a.slots
+	if endpoint == "answer" && a.ansSlots != nil {
+		slots = a.ansSlots
+	}
+	if slots == nil {
 		return func() {}, true
 	}
 	select {
-	case a.slots <- struct{}{}:
+	case slots <- struct{}{}:
 	default:
 		// Every slot is taken: join the bounded queue or shed. The queued
 		// counter admits one waiter past MaxQueue in a race at worst —
@@ -165,7 +196,7 @@ func (a *admission) admit(r *http.Request, endpoint string) (release func(), ok 
 		defer timer.Stop()
 		var admitted bool
 		select {
-		case a.slots <- struct{}{}:
+		case slots <- struct{}{}:
 			admitted = true
 		case <-timer.C:
 		case <-r.Context().Done():
@@ -179,8 +210,36 @@ func (a *admission) admit(r *http.Request, endpoint string) (release func(), ok 
 	}
 	a.inFlightG.Set(float64(a.inFlight.Add(1)))
 	return func() {
-		<-a.slots
+		<-slots
 		a.inFlightG.Set(float64(a.inFlight.Add(-1)))
+	}, true
+}
+
+// acquireRun claims one of a tenant's runs-in-flight quota slots. It
+// returns the release to call when the run finishes (or fails to open),
+// or ok=false when the tenant is at its cap and the open must be shed.
+// Tenants are identified by TenantHeader; requests without one share the
+// unnamed bucket. A nil admission or a zero quota admits everything.
+func (a *admission) acquireRun(tenant string) (release func(), ok bool) {
+	if a == nil || a.openRuns == nil {
+		return func() {}, true
+	}
+	a.runsMu.Lock()
+	defer a.runsMu.Unlock()
+	if a.openRuns[tenant] >= a.cfg.TenantMaxRuns {
+		a.shed.With("open_run").Inc()
+		return nil, false
+	}
+	a.openRuns[tenant]++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.runsMu.Lock()
+			defer a.runsMu.Unlock()
+			if a.openRuns[tenant] > 0 {
+				a.openRuns[tenant]--
+			}
+		})
 	}, true
 }
 

@@ -98,7 +98,9 @@ func TestAdmissionConcurrencyGateSheds(t *testing.T) {
 	if err := <-pinned; err != nil && !errors.Is(err, melody.ErrAuctionClosed) {
 		t.Errorf("pinned bid err = %v, want nil or ErrAuctionClosed", err)
 	}
-	if err := srv.finishRun(ctx); err != nil {
+	if rs, err := srv.lookupRun("current"); err != nil {
+		t.Errorf("resolve current run: %v", err)
+	} else if err := srv.finishRun(ctx, rs); err != nil {
 		t.Errorf("finish after shed: %v", err)
 	}
 }
@@ -380,7 +382,9 @@ func TestAdmissionConcurrentStorm(t *testing.T) {
 	if _, err := setup.CloseAuction(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.finishRun(ctx); err != nil {
+	if rs, err := srv.lookupRun("current"); err != nil {
+		t.Fatal(err)
+	} else if err := srv.finishRun(ctx, rs); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -366,21 +366,68 @@ func (c *Client) OpenRun(ctx context.Context, tasks []TaskSpec, budget float64) 
 	return c.do(ctx, http.MethodPost, "/v1/runs", OpenRunRequest{Tasks: tasks, Budget: budget}, nil)
 }
 
-// SubmitBid submits or replaces a worker's bid for the open run.
-func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
-	return c.do(ctx, http.MethodPost, "/v1/runs/current/bids",
+// OpenRunID opens a run under a client-chosen ID for a tenant and returns
+// the run-scoped handle. The ID is the idempotency key: retrying the same
+// (id, tasks, budget) open is a no-op success, while reusing an ID with a
+// different spec is rejected. Required form on a multi-run backend;
+// works against a single-run backend too (tenant may be empty there).
+func (c *Client) OpenRunID(ctx context.Context, id, tenant string, tasks []TaskSpec, budget float64) (*RunAPI, error) {
+	var out OpenRunResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runs",
+		OpenRunRequest{Tasks: tasks, Budget: budget, ID: id, Tenant: tenant}, &out)
+	if err != nil {
+		return nil, err
+	}
+	runID := out.RunID
+	if runID == "" {
+		runID = id
+	}
+	return c.Run(runID), nil
+}
+
+// Runs lists the runs currently in flight, in open order.
+func (c *Client) Runs(ctx context.Context) ([]RunStatus, error) {
+	var out RunsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/runs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Runs, nil
+}
+
+// Run returns a handle scoped to one run's /v1/runs/{id}/... endpoints.
+// The special ID "current" (what the legacy current-run methods delegate
+// to) addresses the most recently opened in-flight run.
+func (c *Client) Run(id string) *RunAPI {
+	return &RunAPI{c: c, id: id}
+}
+
+// RunAPI is a client handle scoped to a single run. All methods route to
+// /v1/runs/{id}/..., so calls against different runs — different tenants'
+// auctions — proceed concurrently on the server with no shared phase.
+type RunAPI struct {
+	c  *Client
+	id string
+}
+
+// ID returns the run ID the handle is scoped to.
+func (r *RunAPI) ID() string { return r.id }
+
+// path builds the run-scoped endpoint path.
+func (r *RunAPI) path(suffix string) string {
+	return "/v1/runs/" + url.PathEscape(r.id) + suffix
+}
+
+// SubmitBid submits or replaces a worker's bid for this run.
+func (r *RunAPI) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
+	return r.c.do(ctx, http.MethodPost, r.path("/bids"),
 		BidRequest{WorkerID: workerID, Cost: cost, Frequency: frequency}, nil)
 }
 
-// SubmitBids submits a whole slice of bids in one round trip. The returned
-// BatchResult carries one outcome per bid: ErrAt(i) is nil for accepted
-// items and the same error a single-item SubmitBid would have returned
-// otherwise. The call error is non-nil only when the batch itself failed
-// (transport fault, malformed or oversized batch) — in that case the zero
-// BatchResult is returned.
-func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) (melody.BatchResult, error) {
+// SubmitBids submits a whole slice of bids for this run in one round trip,
+// with the same per-item contract as Client.SubmitBids.
+func (r *RunAPI) SubmitBids(ctx context.Context, bids []BidRequest) (melody.BatchResult, error) {
 	var out BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/bids/batch",
+	if err := r.c.do(ctx, http.MethodPost, r.path("/bids/batch"),
 		BidBatchRequest{Bids: bids}, &out); err != nil {
 		return melody.BatchResult{}, err
 	}
@@ -391,11 +438,46 @@ func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) (melody.Batc
 	return batchResultFromWire(out.Results), nil
 }
 
-// SubmitScores submits a whole slice of scores in one round trip, with the
-// same per-item contract as SubmitBids.
-func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) (melody.BatchResult, error) {
+// CloseAuction ends this run's bidding and returns the allocation.
+func (r *RunAPI) CloseAuction(ctx context.Context) (OutcomeResponse, error) {
+	var out OutcomeResponse
+	err := r.c.do(ctx, http.MethodPost, r.path("/close"), nil, &out)
+	return out, err
+}
+
+// Outcome fetches this run's allocation after the auction closed.
+func (r *RunAPI) Outcome(ctx context.Context) (OutcomeResponse, error) {
+	var out OutcomeResponse
+	err := r.c.do(ctx, http.MethodGet, r.path("/outcome"), nil, &out)
+	return out, err
+}
+
+// SubmitAnswer uploads a worker's answer for a task assigned in this run.
+func (r *RunAPI) SubmitAnswer(ctx context.Context, workerID, taskID, payload string) error {
+	return r.c.do(ctx, http.MethodPost, r.path("/answers"),
+		AnswerRequest{WorkerID: workerID, TaskID: taskID, Payload: payload}, nil)
+}
+
+// Answers lists the answers submitted so far in this run.
+func (r *RunAPI) Answers(ctx context.Context) ([]Answer, error) {
+	var out AnswersResponse
+	if err := r.c.do(ctx, http.MethodGet, r.path("/answers"), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Answers, nil
+}
+
+// SubmitScore records the requester's score for an answer in this run.
+func (r *RunAPI) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
+	return r.c.do(ctx, http.MethodPost, r.path("/scores"),
+		ScoreRequest{WorkerID: workerID, TaskID: taskID, Score: score}, nil)
+}
+
+// SubmitScores submits a whole slice of scores for this run in one round
+// trip, with the same per-item contract as SubmitBids.
+func (r *RunAPI) SubmitScores(ctx context.Context, scores []ScoreRequest) (melody.BatchResult, error) {
 	var out BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/runs/current/scores/batch",
+	if err := r.c.do(ctx, http.MethodPost, r.path("/scores/batch"),
 		ScoreBatchRequest{Scores: scores}, &out); err != nil {
 		return melody.BatchResult{}, err
 	}
@@ -404,6 +486,32 @@ func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) (melod
 			len(out.Results), len(scores))
 	}
 	return batchResultFromWire(out.Results), nil
+}
+
+// FinishRun completes this run and triggers its tenant's quality update.
+func (r *RunAPI) FinishRun(ctx context.Context) error {
+	return r.c.do(ctx, http.MethodPost, r.path("/finish"), nil, nil)
+}
+
+// SubmitBid submits or replaces a worker's bid for the open run.
+func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
+	return c.Run("current").SubmitBid(ctx, workerID, cost, frequency)
+}
+
+// SubmitBids submits a whole slice of bids in one round trip. The returned
+// BatchResult carries one outcome per bid: ErrAt(i) is nil for accepted
+// items and the same error a single-item SubmitBid would have returned
+// otherwise. The call error is non-nil only when the batch itself failed
+// (transport fault, malformed or oversized batch) — in that case the zero
+// BatchResult is returned.
+func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) (melody.BatchResult, error) {
+	return c.Run("current").SubmitBids(ctx, bids)
+}
+
+// SubmitScores submits a whole slice of scores in one round trip, with the
+// same per-item contract as SubmitBids.
+func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) (melody.BatchResult, error) {
+	return c.Run("current").SubmitScores(ctx, scores)
 }
 
 // batchResultFromWire decodes per-item wire results into a BatchResult.
@@ -417,40 +525,30 @@ func batchResultFromWire(results []BatchItemResult) melody.BatchResult {
 
 // CloseAuction ends bidding and returns the allocation.
 func (c *Client) CloseAuction(ctx context.Context) (OutcomeResponse, error) {
-	var out OutcomeResponse
-	err := c.do(ctx, http.MethodPost, "/v1/runs/current/close", nil, &out)
-	return out, err
+	return c.Run("current").CloseAuction(ctx)
 }
 
 // Outcome fetches the current run's allocation after the auction closed.
 func (c *Client) Outcome(ctx context.Context) (OutcomeResponse, error) {
-	var out OutcomeResponse
-	err := c.do(ctx, http.MethodGet, "/v1/runs/current/outcome", nil, &out)
-	return out, err
+	return c.Run("current").Outcome(ctx)
 }
 
 // SubmitAnswer uploads a worker's answer for an assigned task.
 func (c *Client) SubmitAnswer(ctx context.Context, workerID, taskID, payload string) error {
-	return c.do(ctx, http.MethodPost, "/v1/runs/current/answers",
-		AnswerRequest{WorkerID: workerID, TaskID: taskID, Payload: payload}, nil)
+	return c.Run("current").SubmitAnswer(ctx, workerID, taskID, payload)
 }
 
 // Answers lists the answers submitted so far in the current run.
 func (c *Client) Answers(ctx context.Context) ([]Answer, error) {
-	var out AnswersResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/runs/current/answers", nil, &out); err != nil {
-		return nil, err
-	}
-	return out.Answers, nil
+	return c.Run("current").Answers(ctx)
 }
 
 // SubmitScore records the requester's score for an answer.
 func (c *Client) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
-	return c.do(ctx, http.MethodPost, "/v1/runs/current/scores",
-		ScoreRequest{WorkerID: workerID, TaskID: taskID, Score: score}, nil)
+	return c.Run("current").SubmitScore(ctx, workerID, taskID, score)
 }
 
 // FinishRun completes the run and triggers the quality update.
 func (c *Client) FinishRun(ctx context.Context) error {
-	return c.do(ctx, http.MethodPost, "/v1/runs/current/finish", nil, nil)
+	return c.Run("current").FinishRun(ctx)
 }

@@ -15,9 +15,9 @@ import (
 	"melody/internal/obs"
 )
 
-// Backend is the platform surface the HTTP server drives. It is satisfied
-// by *melody.Platform and by eventlog.PersistentPlatform (the write-ahead-
-// logged variant used with -wal).
+// Backend is the single-run platform surface the HTTP server drives. It is
+// satisfied by *melody.Platform and by eventlog.PersistentPlatform (the
+// write-ahead-logged variant used with -wal).
 // Mutations take the request context first, so cancellation and deadlines
 // reach the backend's durability waits; read-only queries are lock-scoped
 // and context-free.
@@ -50,19 +50,81 @@ type BatchBackend interface {
 
 var _ BatchBackend = (*melody.Platform)(nil)
 
-// Server exposes a platform Backend over HTTP. It adds the answer-routing
+// MultiRunBackend is the multi-tenant platform surface: every run-scoped
+// mutation is keyed by run ID, so N runs from different tenants proceed
+// concurrently. It is satisfied by *melody.RunScheduler and by
+// eventlog.PersistentScheduler (the WAL-backed variant).
+type MultiRunBackend interface {
+	RegisterWorker(ctx context.Context, workerID string) error
+	OpenRun(ctx context.Context, runID, tenant string, tasks []melody.Task, budget float64) error
+	SubmitBid(ctx context.Context, runID, workerID string, bid melody.Bid) error
+	SubmitBids(ctx context.Context, runID string, bids []melody.WorkerBid) melody.BatchResult
+	CloseAuction(ctx context.Context, runID string) (*melody.Outcome, error)
+	SubmitScore(ctx context.Context, runID, workerID, taskID string, score float64) error
+	SubmitScores(ctx context.Context, runID string, scores []melody.TaskScore) melody.BatchResult
+	FinishRun(ctx context.Context, runID string) error
+	Workers() []string
+	CompletedRuns() int
+	OpenRuns() []melody.RunInfo
+	Run(runID string) (melody.RunInfo, error)
+	Quality(tenant, workerID string) (float64, error)
+	Forecast(tenant, workerID string, steps int) (melody.QualityForecast, error)
+}
+
+var _ MultiRunBackend = (*melody.RunScheduler)(nil)
+
+// maxDoneRuns bounds how many finished runs the server remembers for
+// idempotent replays of late client retries; older entries are evicted in
+// completion order.
+const maxDoneRuns = 1024
+
+// runState is one run's HTTP-side state machine: its lifecycle phase,
+// recorded outcome, answer store, watchdog timer and phase span. Each run
+// owns its own mutex, so two tenants' runs never contend on a shared
+// phase lock — the run registry (Server.mu) is only held for map lookups,
+// never across a backend call or another run's work.
+type runState struct {
+	id     string
+	tenant string
+	num    int // 1-based open index, for logs/spans/legacy status
+
+	mu      sync.Mutex
+	phase   Phase
+	tasks   []melody.Task // open spec for replay detection; nil after resume
+	budget  float64
+	spec    bool // whether tasks/budget record the open spec
+	outcome *OutcomeResponse
+	answers []Answer
+	timer   *time.Timer // pending phase-deadline action, nil when disarmed
+	span    *obs.ActiveSpan
+	done    bool
+	// quotaRelease returns the tenant's runs-in-flight quota slot; nil
+	// once released (or when no quota is armed).
+	quotaRelease func()
+}
+
+// Server exposes a platform backend over HTTP. It adds the answer-routing
 // layer (workers submit answers, the requester fetches them for scoring)
 // that the core platform leaves to the deployment, plus the run-deadline
 // watchdog that keeps a season moving when workers or the requester crash
 // mid-run.
 //
-// Locking: stateMu guards the run lifecycle (phase, run, outcome, timer)
-// and ansMu guards the answer store, so answer traffic during scoring never
-// contends with status polls or phase transitions. When both are needed,
-// stateMu is acquired first.
+// Runs are addressed as /v1/runs/{id}/...; the id "current" is a
+// deprecated alias for the most recently opened run that is still in
+// flight, kept so single-run clients work unchanged. A Server drives
+// either a single-run Backend (NewServer) or a MultiRunBackend
+// (NewMultiServer, e.g. a melody.RunScheduler) — on the latter, runs from
+// different tenants move through bidding→scoring→finish concurrently.
+//
+// Locking: Server.mu guards only the run registry (runs map, current
+// pointer, counters) and is never held across a backend call; each
+// runState.mu guards that run's phase/outcome/answers. Lock order:
+// Server.mu and runState.mu are never nested except registry-then-run for
+// reads; backend-internal locks are below both.
 type Server struct {
-	platform Backend
-	batch    BatchBackend // non-nil when platform supports batch submission
+	platform Backend         // single-run backend; nil in multi-run mode
+	batch    BatchBackend    // non-nil when platform supports batch submission
+	multi    MultiRunBackend // multi-run backend; nil in single-run mode
 	log      *slog.Logger
 
 	// Per-endpoint metric families and the span tracer; nil (no-op) unless
@@ -72,9 +134,6 @@ type Server struct {
 	reqErrs *obs.CounterVec
 	reqSecs *obs.HistogramVec
 	tracer  *obs.Tracer
-	// phaseSpan is the active run-phase span ("run.bidding" or
-	// "run.scoring"); guarded by stateMu.
-	phaseSpan *obs.ActiveSpan
 
 	// bidDeadline and scoreDeadline bound how long a run may sit in the
 	// bidding and scoring phases; zero disables the watchdog.
@@ -83,18 +142,17 @@ type Server struct {
 
 	// admission, when non-nil, gates the sheddable ingest endpoints
 	// (register/bid/answer) behind bounded queues and per-tenant rate
-	// limits; the control plane and scoring are never shed, so an opened
-	// run always settles. See AdmissionConfig.
+	// limits, and bounds per-tenant runs in flight; the control plane and
+	// scoring are never shed, so an opened run always settles. See
+	// AdmissionConfig.
 	admission *admission
 
-	stateMu sync.RWMutex
-	phase   Phase
-	run     int // 1-based index of the run currently open (or last opened)
-	outcome *OutcomeResponse
-	timer   *time.Timer // pending phase-deadline action, nil when disarmed
-
-	ansMu   sync.Mutex
-	answers []Answer
+	mu        sync.RWMutex
+	runs      map[string]*runState // by run ID, in-flight and recently done
+	order     []string             // in-flight run IDs in open order
+	doneOrder []string             // finished run IDs, for bounded retention
+	current   *runState            // most recently opened in-flight run
+	lastRun   int                  // 1-based index of the last opened run
 
 	// replSrc, when non-nil, exposes the storage engine's durable files on
 	// the /v1/replication endpoints; replMu guards the ack positions.
@@ -127,21 +185,12 @@ func WithTracer(tr *obs.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = tr }
 }
 
-// NewServer wraps a platform backend in an HTTP API. logger may be nil to
-// disable request logging. The server resumes mid-run state from the
-// backend (relevant after a WAL crash recovery): an open run restores the
-// bidding or scoring phase — with its outcome — rather than idling forever.
-func NewServer(p Backend, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
-	if p == nil {
-		return nil, errors.New("platform: nil platform")
-	}
+// newServer builds the common server shell and binds instruments.
+func newServer(logger *slog.Logger, opts ...ServerOption) *Server {
 	if logger == nil {
 		logger = obs.NopLogger()
 	}
-	s := &Server{platform: p, log: logger, phase: PhaseIdle}
-	if bb, ok := p.(BatchBackend); ok {
-		s.batch = bb
-	}
+	s := &Server{log: logger, runs: make(map[string]*runState)}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -151,68 +200,105 @@ func NewServer(p Backend, logger *slog.Logger, opts ...ServerOption) (*Server, e
 	if s.admission != nil {
 		s.admission.instrument(s.metrics)
 	}
+	return s
+}
+
+// resumeRun installs a runState for a run the backend reports as still in
+// flight (relevant after a WAL crash recovery), restoring its phase —
+// with its outcome — and re-arming the matching deadline.
+func (s *Server) resumeRun(id, tenant string, num int, outcome *melody.Outcome) {
+	rs := &runState{id: id, tenant: tenant, num: num, phase: PhaseBidding}
+	rs.mu.Lock()
+	if outcome != nil {
+		rs.phase = PhaseScoring
+		resp := toOutcomeResponse(outcome)
+		rs.outcome = &resp
+		s.scheduleRunLocked(rs, s.scoreDeadline, s.deadlineFinish)
+		s.startRunSpanLocked(rs, "run.scoring")
+		s.log.Info("resumed run in scoring phase", "run", id)
+	} else {
+		s.scheduleRunLocked(rs, s.bidDeadline, s.deadlineClose)
+		s.startRunSpanLocked(rs, "run.bidding")
+		s.log.Info("resumed run in bidding phase", "run", id)
+	}
+	rs.mu.Unlock()
+	s.runs[id] = rs
+	s.order = append(s.order, id)
+	s.current = rs
+}
+
+// NewServer wraps a single-run platform backend in the HTTP API. logger
+// may be nil to disable request logging. The server resumes mid-run state
+// from the backend: an open run restores the bidding or scoring phase —
+// with its outcome — rather than idling forever.
+func NewServer(p Backend, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("platform: nil platform")
+	}
+	s := newServer(logger, opts...)
+	s.platform = p
+	if bb, ok := p.(BatchBackend); ok {
+		s.batch = bb
+	}
 	st := p.State()
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
-	s.run = st.CompletedRuns
+	s.lastRun = st.CompletedRuns
 	if st.Open {
-		s.run = st.CompletedRuns + 1
-		if st.AuctionClosed {
-			s.phase = PhaseScoring
-			resp := toOutcomeResponse(st.Outcome)
-			s.outcome = &resp
-			s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
-			s.startPhaseSpanLocked("run.scoring")
-			s.log.Info("resumed run in scoring phase", "run", s.run)
-		} else {
-			s.phase = PhaseBidding
-			s.scheduleLocked(s.bidDeadline, s.run, s.deadlineClose)
-			s.startPhaseSpanLocked("run.bidding")
-			s.log.Info("resumed run in bidding phase", "run", s.run)
-		}
+		num := st.CompletedRuns + 1
+		s.lastRun = num
+		s.resumeRun(fmt.Sprintf("r%d", num), "", num, st.Outcome)
 	}
 	return s, nil
 }
 
-// scheduleLocked re-arms the phase-deadline timer; callers hold stateMu for
-// writing. A non-positive deadline just disarms any pending action.
-func (s *Server) scheduleLocked(d time.Duration, run int, fire func(run int)) {
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
+// NewMultiServer wraps a multi-run backend (a melody.RunScheduler or its
+// WAL-backed variant) in the same HTTP API, with concurrent per-run state
+// machines: every run the backend reports open is resumed with its phase
+// and deadline.
+func NewMultiServer(m MultiRunBackend, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("platform: nil backend")
+	}
+	s := newServer(logger, opts...)
+	s.multi = m
+	for _, info := range m.OpenRuns() {
+		s.lastRun++
+		s.resumeRun(info.ID, info.Tenant, s.lastRun, info.Outcome)
+	}
+	return s, nil
+}
+
+// scheduleRunLocked re-arms a run's phase-deadline timer; callers hold
+// rs.mu. A non-positive deadline just disarms any pending action.
+func (s *Server) scheduleRunLocked(rs *runState, d time.Duration, fire func(*runState)) {
+	if rs.timer != nil {
+		rs.timer.Stop()
+		rs.timer = nil
 	}
 	if d <= 0 {
 		return
 	}
-	s.timer = time.AfterFunc(d, func() { fire(run) })
+	rs.timer = time.AfterFunc(d, func() { fire(rs) })
 }
 
-// startPhaseSpanLocked ends any active phase span and opens a new one for
-// the current run. Callers hold stateMu for writing.
-func (s *Server) startPhaseSpanLocked(name string) {
-	s.phaseSpan.End()
-	s.phaseSpan = s.tracer.Start(name)
-	s.phaseSpan.SetRun(s.run)
-}
-
-// endPhaseSpanLocked closes the active phase span, if any. Callers hold
-// stateMu for writing.
-func (s *Server) endPhaseSpanLocked() {
-	s.phaseSpan.End()
-	s.phaseSpan = nil
+// startRunSpanLocked ends a run's active phase span and opens a new one.
+// Callers hold rs.mu.
+func (s *Server) startRunSpanLocked(rs *runState, name string) {
+	rs.span.End()
+	rs.span = s.tracer.Start(name)
+	rs.span.SetRun(rs.num)
 }
 
 // deadlineClose fires when a run sat in bidding past the deadline.
-func (s *Server) deadlineClose(run int) {
-	s.stateMu.RLock()
-	stale := s.phase != PhaseBidding || s.run != run
-	s.stateMu.RUnlock()
+func (s *Server) deadlineClose(rs *runState) {
+	rs.mu.Lock()
+	stale := rs.done || rs.phase != PhaseBidding
+	rs.mu.Unlock()
 	if stale {
 		return
 	}
-	s.log.Info("bidding deadline reached, closing auction", "run", run)
-	if _, err := s.closeAuction(context.Background()); err != nil {
-		s.log.Warn("deadline close failed", "run", run, "err", err)
+	s.log.Info("bidding deadline reached, closing auction", "run", rs.id)
+	if _, err := s.closeRun(context.Background(), rs); err != nil {
+		s.log.Warn("deadline close failed", "run", rs.id, "err", err)
 	}
 }
 
@@ -220,16 +306,16 @@ func (s *Server) deadlineClose(run int) {
 // run finishes with whatever scores arrived; winners that never answered
 // are observed as missing (empty score sets), so a crashed worker degrades
 // the quality estimate instead of blocking the season.
-func (s *Server) deadlineFinish(run int) {
-	s.stateMu.RLock()
-	stale := s.phase != PhaseScoring || s.run != run
-	s.stateMu.RUnlock()
+func (s *Server) deadlineFinish(rs *runState) {
+	rs.mu.Lock()
+	stale := rs.done || rs.phase != PhaseScoring
+	rs.mu.Unlock()
 	if stale {
 		return
 	}
-	s.log.Info("scoring deadline reached, finishing with collected scores", "run", run)
-	if err := s.finishRun(context.Background()); err != nil {
-		s.log.Warn("deadline finish failed", "run", run, "err", err)
+	s.log.Info("scoring deadline reached, finishing with collected scores", "run", rs.id)
+	if err := s.finishRun(context.Background(), rs); err != nil {
+		s.log.Warn("deadline finish failed", "run", rs.id, "err", err)
 	}
 }
 
@@ -237,6 +323,10 @@ func (s *Server) deadlineFinish(run int) {
 // has metrics, every endpoint is wrapped with request/error counters and a
 // latency histogram labelled by a stable endpoint name; without metrics the
 // handlers are mounted bare, so the disabled path adds nothing.
+//
+// Run-scoped routes take /v1/runs/{run}/..., where {run} is the run ID
+// from OpenRunResponse or the deprecated alias "current" (the most
+// recently opened in-flight run).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "GET /v1/status", "status", s.handleStatus)
@@ -244,16 +334,17 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /v1/workers", "list_workers", s.handleListWorkers)
 	s.route(mux, "GET /v1/workers/{id}/quality", "quality", s.handleQuality)
 	s.route(mux, "GET /v1/workers/{id}/forecast", "forecast", s.handleForecast)
+	s.route(mux, "GET /v1/runs", "list_runs", s.handleListRuns)
 	s.route(mux, "POST /v1/runs", "open_run", s.handleOpenRun)
-	s.route(mux, "POST /v1/runs/current/bids", "bid", s.gate("bid", s.handleBid))
-	s.route(mux, "POST /v1/runs/current/bids/batch", "bid_batch", s.gate("bid_batch", s.handleBidBatch))
-	s.route(mux, "POST /v1/runs/current/close", "close", s.handleClose)
-	s.route(mux, "GET /v1/runs/current/outcome", "outcome", s.handleOutcome)
-	s.route(mux, "POST /v1/runs/current/answers", "answer", s.gate("answer", s.handleAnswer))
-	s.route(mux, "GET /v1/runs/current/answers", "list_answers", s.handleListAnswers)
-	s.route(mux, "POST /v1/runs/current/scores", "score", s.handleScore)
-	s.route(mux, "POST /v1/runs/current/scores/batch", "score_batch", s.handleScoreBatch)
-	s.route(mux, "POST /v1/runs/current/finish", "finish", s.handleFinish)
+	s.route(mux, "POST /v1/runs/{run}/bids", "bid", s.gate("bid", s.handleBid))
+	s.route(mux, "POST /v1/runs/{run}/bids/batch", "bid_batch", s.gate("bid_batch", s.handleBidBatch))
+	s.route(mux, "POST /v1/runs/{run}/close", "close", s.handleClose)
+	s.route(mux, "GET /v1/runs/{run}/outcome", "outcome", s.handleOutcome)
+	s.route(mux, "POST /v1/runs/{run}/answers", "answer", s.gate("answer", s.handleAnswer))
+	s.route(mux, "GET /v1/runs/{run}/answers", "list_answers", s.handleListAnswers)
+	s.route(mux, "POST /v1/runs/{run}/scores", "score", s.handleScore)
+	s.route(mux, "POST /v1/runs/{run}/scores/batch", "score_batch", s.handleScoreBatch)
+	s.route(mux, "POST /v1/runs/{run}/finish", "finish", s.handleFinish)
 	if s.replSrc != nil {
 		s.mountReplication(mux)
 	}
@@ -315,7 +406,9 @@ func errorStatus(err error) int {
 		errors.Is(err, melody.ErrNoRunOpen):
 		return http.StatusConflict
 	case errors.Is(err, melody.ErrUnknownWorker),
-		errors.Is(err, melody.ErrNotAssigned):
+		errors.Is(err, melody.ErrNotAssigned),
+		errors.Is(err, melody.ErrUnknownRun),
+		errors.Is(err, melody.ErrUnknownTenant):
 		return http.StatusNotFound
 	case errors.Is(err, melody.ErrNoForecast):
 		return http.StatusNotImplemented
@@ -341,19 +434,96 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// completedRuns reports the backend's finished-run count.
+func (s *Server) completedRuns() int {
+	if s.multi != nil {
+		return s.multi.CompletedRuns()
+	}
+	return s.platform.Run()
+}
+
+// backendWorkers lists the backend's registered workers.
+func (s *Server) backendWorkers() []string {
+	if s.multi != nil {
+		return s.multi.Workers()
+	}
+	return s.platform.Workers()
+}
+
+// lookupRun resolves a run path segment to its state. "current" (and the
+// empty segment) is the deprecated single-run alias for the most recently
+// opened in-flight run.
+func (s *Server) lookupRun(name string) (*runState, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" || name == "current" {
+		if s.current == nil {
+			return nil, melody.ErrNoRunOpen
+		}
+		return s.current, nil
+	}
+	if rs := s.runs[name]; rs != nil {
+		return rs, nil
+	}
+	return nil, fmt.Errorf("%w: %s", melody.ErrUnknownRun, name)
+}
+
+// resolveRun resolves the {run} path value of a request.
+func (s *Server) resolveRun(r *http.Request) (*runState, error) {
+	return s.lookupRun(r.PathValue("run"))
+}
+
+// isDone reports whether the run has finished.
+func (rs *runState) isDone() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.done
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.stateMu.RLock()
-	phase := s.phase
-	run := s.run
-	s.stateMu.RUnlock()
+	s.mu.RLock()
+	cur := s.current
+	open := len(s.order)
+	s.mu.RUnlock()
+	phase := PhaseIdle
+	run := 0
+	if cur != nil {
+		cur.mu.Lock()
+		if !cur.done {
+			phase = cur.phase
+			run = cur.num
+		}
+		cur.mu.Unlock()
+	}
 	if phase == PhaseIdle {
-		run = s.platform.Run()
+		run = s.completedRuns()
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
-		Run:     run,
-		Phase:   phase,
-		Workers: len(s.platform.Workers()),
+		Run:      run,
+		Phase:    phase,
+		Workers:  len(s.backendWorkers()),
+		OpenRuns: open,
 	})
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	states := make([]*runState, 0, len(s.order))
+	for _, id := range s.order {
+		if rs := s.runs[id]; rs != nil {
+			states = append(states, rs)
+		}
+	}
+	s.mu.RUnlock()
+	resp := RunsResponse{Runs: make([]RunStatus, 0, len(states))}
+	for _, rs := range states {
+		rs.mu.Lock()
+		if !rs.done {
+			resp.Runs = append(resp.Runs, RunStatus{RunID: rs.id, Tenant: rs.tenant, Phase: rs.phase})
+		}
+		rs.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
@@ -362,7 +532,13 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.platform.RegisterWorker(r.Context(), req.WorkerID); err != nil {
+	var err error
+	if s.multi != nil {
+		err = s.multi.RegisterWorker(r.Context(), req.WorkerID)
+	} else {
+		err = s.platform.RegisterWorker(r.Context(), req.WorkerID)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -371,12 +547,27 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, WorkersResponse{Workers: s.platform.Workers()})
+	writeJSON(w, http.StatusOK, WorkersResponse{Workers: s.backendWorkers()})
+}
+
+// requestTenant extracts the caller's tenant for tenant-scoped reads: the
+// ?tenant= query parameter, else the admission tenant header.
+func requestTenant(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return r.Header.Get(TenantHeader)
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	q, err := s.platform.Quality(id)
+	var q float64
+	var err error
+	if s.multi != nil {
+		q, err = s.multi.Quality(requestTenant(r), id)
+	} else {
+		q, err = s.platform.Quality(id)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -395,7 +586,13 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		}
 		steps = v
 	}
-	f, err := s.platform.Forecast(id, steps)
+	var f melody.QualityForecast
+	var err error
+	if s.multi != nil {
+		f, err = s.multi.Forecast(requestTenant(r), id, steps)
+	} else {
+		f, err = s.platform.Forecast(id, steps)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -410,6 +607,19 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tasksEqual reports whether two task lists are identical.
+func tasksEqual(a, b []melody.Task) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 	var req OpenRunRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -420,27 +630,132 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 	for i, t := range req.Tasks {
 		tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
 	}
-	if err := s.platform.OpenRun(r.Context(), tasks, req.Budget); err != nil {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get(TenantHeader)
+	}
+
+	// Replay fast path: an explicit run ID the server already knows is an
+	// idempotency key. A finished run with the same spec acknowledges
+	// without touching the backend; a different spec is a conflict.
+	if req.ID != "" {
+		s.mu.RLock()
+		rs := s.runs[req.ID]
+		s.mu.RUnlock()
+		if rs != nil {
+			rs.mu.Lock()
+			mismatch := rs.spec && (rs.budget != req.Budget || !tasksEqual(rs.tasks, tasks))
+			done := rs.done
+			rs.mu.Unlock()
+			if mismatch {
+				writeError(w, fmt.Errorf("%w: run %q already opened with a different spec", melody.ErrRunOpen, req.ID))
+				return
+			}
+			if done {
+				writeJSON(w, http.StatusCreated, OpenRunResponse{RunID: req.ID})
+				return
+			}
+			// Still in flight: fall through to the backend's idempotent open.
+		}
+	}
+
+	// Claim a runs-in-flight quota slot before the backend sees the open,
+	// so a shed open has no side effects; the claim is returned on replay
+	// detection, open failure, and run finish.
+	release := func() {}
+	if s.admission != nil {
+		quotaTenant := r.Header.Get(TenantHeader)
+		if quotaTenant == "" {
+			quotaTenant = tenant
+		}
+		rel, ok := s.admission.acquireRun(quotaTenant)
+		if !ok {
+			writeShed(w, s.admission.cfg.RetryAfter)
+			return
+		}
+		release = rel
+	}
+
+	var err error
+	if s.multi != nil {
+		switch {
+		case req.ID == "":
+			err = fmt.Errorf("platform: open run needs an id on a multi-run backend")
+		case tenant == "":
+			err = fmt.Errorf("platform: open run needs a tenant on a multi-run backend")
+		default:
+			err = s.multi.OpenRun(r.Context(), req.ID, tenant, tasks, req.Budget)
+		}
+	} else {
+		err = s.platform.OpenRun(r.Context(), tasks, req.Budget)
+	}
+	if err != nil {
+		release()
 		writeError(w, err)
 		return
 	}
-	s.stateMu.Lock()
-	run := s.platform.Run() + 1
-	// An idempotent replay of the currently open run must not reset the
-	// run's answers, outcome or deadline; only a genuinely new run does.
-	if s.phase == PhaseIdle || s.run != run {
-		s.run = run
-		s.phase = PhaseBidding
-		s.outcome = nil
-		s.ansMu.Lock()
-		s.answers = nil
-		s.ansMu.Unlock()
-		s.scheduleLocked(s.bidDeadline, run, s.deadlineClose)
-		s.startPhaseSpanLocked("run.bidding")
-		s.log.Info("run opened", "run", run, "tasks", len(tasks), "budget", req.Budget)
+
+	id := req.ID
+	num := 0
+	if s.multi == nil {
+		num = s.platform.Run() + 1
+		if id == "" {
+			id = fmt.Sprintf("r%d", num)
+		}
+	} else if info, ierr := s.multi.Run(id); ierr == nil && info.Finished {
+		// The backend replayed an open for a run it already completed but
+		// the server no longer tracks; acknowledge without resurrecting it.
+		release()
+		writeJSON(w, http.StatusCreated, OpenRunResponse{RunID: id})
+		return
 	}
-	s.stateMu.Unlock()
-	writeJSON(w, http.StatusCreated, struct{}{})
+
+	s.mu.Lock()
+	if existing := s.runs[id]; existing != nil && !existing.isDoneRegistryLocked() {
+		// Idempotent replay of a run already in flight: nothing to reset.
+		s.mu.Unlock()
+		release()
+		writeJSON(w, http.StatusCreated, OpenRunResponse{RunID: id})
+		return
+	}
+	rs := &runState{
+		id: id, tenant: tenant, num: num, phase: PhaseBidding,
+		tasks: tasks, budget: req.Budget, spec: true, quotaRelease: release,
+	}
+	if s.multi == nil {
+		s.lastRun = num
+	} else {
+		s.lastRun++
+		rs.num = s.lastRun
+	}
+	s.runs[id] = rs
+	s.order = append(s.order, id)
+	s.current = rs
+	s.mu.Unlock()
+
+	rs.mu.Lock()
+	s.scheduleRunLocked(rs, s.bidDeadline, s.deadlineClose)
+	s.startRunSpanLocked(rs, "run.bidding")
+	rs.mu.Unlock()
+	s.log.Info("run opened", "run", id, "tenant", tenant, "tasks", len(tasks), "budget", req.Budget)
+	writeJSON(w, http.StatusCreated, OpenRunResponse{RunID: id})
+}
+
+// isDoneRegistryLocked is isDone for callers already holding Server.mu;
+// taking rs.mu under the registry lock follows the documented lock order.
+func (rs *runState) isDoneRegistryLocked() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.done
+}
+
+// errsOf builds a BatchResult failing every one of n items with err.
+func errsOf(n int, err error) melody.BatchResult {
+	errs := make([]error, n)
+	for i := range errs {
+		errs[i] = err
+	}
+	return melody.NewBatchResult(errs)
 }
 
 func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
@@ -449,8 +764,22 @@ func (s *Server) handleBid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if rs.isDone() {
+		writeError(w, fmt.Errorf("%w: run %s finished", melody.ErrNoRunOpen, rs.id))
+		return
+	}
 	bid := melody.Bid{Cost: req.Cost, Frequency: req.Frequency}
-	if err := s.platform.SubmitBid(r.Context(), req.WorkerID, bid); err != nil {
+	if s.multi != nil {
+		err = s.multi.SubmitBid(r.Context(), rs.id, req.WorkerID, bid)
+	} else {
+		err = s.platform.SubmitBid(r.Context(), req.WorkerID, bid)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -506,9 +835,16 @@ func (s *Server) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var res melody.BatchResult
-	if s.batch != nil {
+	switch rs, err := s.resolveRun(r); {
+	case err != nil:
+		res = errsOf(len(bids), err)
+	case rs.isDone():
+		res = errsOf(len(bids), fmt.Errorf("%w: run %s finished", melody.ErrNoRunOpen, rs.id))
+	case s.multi != nil:
+		res = s.multi.SubmitBids(r.Context(), rs.id, bids)
+	case s.batch != nil:
 		res = s.batch.SubmitBids(r.Context(), bids)
-	} else {
+	default:
 		errs := make([]error, len(bids))
 		for i, b := range bids {
 			errs[i] = s.platform.SubmitBid(r.Context(), b.WorkerID, b.Bid)
@@ -532,9 +868,16 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		scores[i] = melody.TaskScore{WorkerID: sc.WorkerID, TaskID: sc.TaskID, Score: sc.Score}
 	}
 	var res melody.BatchResult
-	if s.batch != nil {
+	switch rs, err := s.resolveRun(r); {
+	case err != nil:
+		res = errsOf(len(scores), err)
+	case rs.isDone():
+		res = errsOf(len(scores), fmt.Errorf("%w: run %s finished", melody.ErrNoRunOpen, rs.id))
+	case s.multi != nil:
+		res = s.multi.SubmitScores(r.Context(), rs.id, scores)
+	case s.batch != nil:
 		res = s.batch.SubmitScores(r.Context(), scores)
-	} else {
+	default:
 		errs := make([]error, len(scores))
 		for i, sc := range scores {
 			errs[i] = s.platform.SubmitScore(r.Context(), sc.WorkerID, sc.TaskID, sc.Score)
@@ -545,7 +888,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.closeAuction(r.Context())
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.closeRun(r.Context(), rs)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -553,38 +901,61 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// closeAuction is the close path shared by the HTTP handler and the
+// closeRun is the close path shared by the HTTP handler and the
 // bidding-deadline watchdog. Closing an already-closed run replays the
-// recorded outcome (the platform's close is idempotent) without restarting
-// the scoring deadline.
-func (s *Server) closeAuction(ctx context.Context) (OutcomeResponse, error) {
-	s.stateMu.RLock()
-	if s.phase == PhaseScoring && s.outcome != nil {
-		resp := *s.outcome
-		s.stateMu.RUnlock()
+// recorded outcome (the backend's close is idempotent) without restarting
+// the scoring deadline — even after the run finished, so late retries
+// stay safe.
+func (s *Server) closeRun(ctx context.Context, rs *runState) (OutcomeResponse, error) {
+	rs.mu.Lock()
+	if rs.outcome != nil {
+		resp := *rs.outcome
+		rs.mu.Unlock()
 		return resp, nil
 	}
-	s.stateMu.RUnlock()
-	out, err := s.platform.CloseAuction(ctx)
+	if rs.done {
+		rs.mu.Unlock()
+		return OutcomeResponse{}, fmt.Errorf("%w: run %s finished", melody.ErrNoRunOpen, rs.id)
+	}
+	rs.mu.Unlock()
+
+	var out *melody.Outcome
+	var err error
+	if s.multi != nil {
+		out, err = s.multi.CloseAuction(ctx, rs.id)
+	} else {
+		out, err = s.platform.CloseAuction(ctx)
+	}
 	if err != nil {
 		return OutcomeResponse{}, err
 	}
 	resp := toOutcomeResponse(out)
-	s.stateMu.Lock()
-	s.phase = PhaseScoring
-	s.outcome = &resp
-	s.scheduleLocked(s.scoreDeadline, s.run, s.deadlineFinish)
-	s.startPhaseSpanLocked("run.scoring")
-	s.stateMu.Unlock()
-	s.log.Info("auction closed", "run", s.run,
+	rs.mu.Lock()
+	if rs.outcome == nil {
+		rs.outcome = &resp
+		rs.phase = PhaseScoring
+		s.scheduleRunLocked(rs, s.scoreDeadline, s.deadlineFinish)
+		s.startRunSpanLocked(rs, "run.scoring")
+	}
+	resp = *rs.outcome
+	rs.mu.Unlock()
+	s.log.Info("auction closed", "run", rs.id,
 		"selected_tasks", len(resp.SelectedTasks), "payment", resp.TotalPayment)
 	return resp, nil
 }
 
-func (s *Server) handleOutcome(w http.ResponseWriter, _ *http.Request) {
-	s.stateMu.RLock()
-	out := s.outcome
-	s.stateMu.RUnlock()
+func (s *Server) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		if errors.Is(err, melody.ErrNoRunOpen) {
+			err = melody.ErrAuctionOpen // legacy "current" semantics when idle
+		}
+		writeError(w, err)
+		return
+	}
+	rs.mu.Lock()
+	out := rs.outcome
+	rs.mu.Unlock()
 	if out == nil {
 		writeError(w, melody.ErrAuctionOpen)
 		return
@@ -598,42 +969,46 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Phase and assignment are checked under the state read lock — answer
-	// traffic never serializes against other answers at this stage — and the
-	// store mutation happens under ansMu (acquired inside stateMu, matching
-	// the lock order documented on Server).
-	s.stateMu.RLock()
-	defer s.stateMu.RUnlock()
-	if s.phase != PhaseScoring {
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		if errors.Is(err, melody.ErrNoRunOpen) {
+			err = melody.ErrAuctionOpen // legacy "current" semantics when idle
+		}
+		writeError(w, err)
+		return
+	}
+	// Phase, assignment and the store mutation all sit under the run's own
+	// lock: answer traffic serializes per run, never across runs.
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.done || rs.phase != PhaseScoring {
 		writeError(w, melody.ErrAuctionOpen)
 		return
 	}
-	if s.outcome == nil || !s.assignedLocked(req.WorkerID, req.TaskID) {
+	if rs.outcome == nil || !rs.assignedLocked(req.WorkerID, req.TaskID) {
 		writeError(w, fmt.Errorf("%w: worker %s task %s", melody.ErrNotAssigned, req.WorkerID, req.TaskID))
 		return
 	}
-	s.ansMu.Lock()
-	defer s.ansMu.Unlock()
 	// Idempotent on (worker, task, run): a duplicate delivery replaces the
 	// recorded answer instead of duplicating it, so the requester never
 	// sees — and never double-scores — the same assignment twice.
-	for i := range s.answers {
-		if s.answers[i].WorkerID == req.WorkerID && s.answers[i].TaskID == req.TaskID {
-			s.answers[i].Payload = req.Payload
+	for i := range rs.answers {
+		if rs.answers[i].WorkerID == req.WorkerID && rs.answers[i].TaskID == req.TaskID {
+			rs.answers[i].Payload = req.Payload
 			writeJSON(w, http.StatusAccepted, struct{}{})
 			return
 		}
 	}
-	s.answers = append(s.answers, Answer{
+	rs.answers = append(rs.answers, Answer{
 		WorkerID: req.WorkerID, TaskID: req.TaskID, Payload: req.Payload,
 	})
 	writeJSON(w, http.StatusAccepted, struct{}{})
 }
 
-// assignedLocked reports whether (worker, task) is in the current outcome.
-// Callers hold stateMu (read or write).
-func (s *Server) assignedLocked(workerID, taskID string) bool {
-	for _, a := range s.outcome.Assignments {
+// assignedLocked reports whether (worker, task) is in the run's outcome.
+// Callers hold rs.mu.
+func (rs *runState) assignedLocked(workerID, taskID string) bool {
+	for _, a := range rs.outcome.Assignments {
 		if a.WorkerID == workerID && a.TaskID == taskID {
 			return true
 		}
@@ -641,10 +1016,21 @@ func (s *Server) assignedLocked(workerID, taskID string) bool {
 	return false
 }
 
-func (s *Server) handleListAnswers(w http.ResponseWriter, _ *http.Request) {
-	s.ansMu.Lock()
-	answers := append([]Answer(nil), s.answers...)
-	s.ansMu.Unlock()
+func (s *Server) handleListAnswers(w http.ResponseWriter, r *http.Request) {
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		if errors.Is(err, melody.ErrNoRunOpen) {
+			// Legacy "current" semantics: no run means no answers, not an
+			// error — the requester polls this between runs.
+			writeJSON(w, http.StatusOK, AnswersResponse{})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	rs.mu.Lock()
+	answers := append([]Answer(nil), rs.answers...)
+	rs.mu.Unlock()
 	writeJSON(w, http.StatusOK, AnswersResponse{Answers: answers})
 }
 
@@ -654,7 +1040,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.platform.SubmitScore(r.Context(), req.WorkerID, req.TaskID, req.Score); err != nil {
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if rs.isDone() {
+		writeError(w, fmt.Errorf("%w: run %s finished", melody.ErrNoRunOpen, rs.id))
+		return
+	}
+	if s.multi != nil {
+		err = s.multi.SubmitScore(r.Context(), rs.id, req.WorkerID, req.TaskID, req.Score)
+	} else {
+		err = s.platform.SubmitScore(r.Context(), req.WorkerID, req.TaskID, req.Score)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -662,38 +1062,99 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
-	if err := s.finishRun(r.Context()); err != nil {
-		// A retried finish whose first delivery landed sees ErrNoRunOpen
-		// from the platform; when the server's state shows that run did
-		// complete, report the replay as a no-op success.
-		s.stateMu.RLock()
-		replayed := errors.Is(err, melody.ErrNoRunOpen) &&
-			s.phase == PhaseIdle && s.run > 0 && s.platform.Run() >= s.run
-		s.stateMu.RUnlock()
-		if !replayed {
-			writeError(w, err)
-			return
+	rs, err := s.resolveRun(r)
+	if err != nil {
+		// A retried finish whose first delivery landed may find no current
+		// run at all (single-run alias after the server completed the run,
+		// possibly across a restart); report the replay as a no-op success.
+		if s.multi == nil && errors.Is(err, melody.ErrNoRunOpen) {
+			s.mu.RLock()
+			last := s.lastRun
+			s.mu.RUnlock()
+			if last > 0 && s.platform.Run() >= last {
+				writeJSON(w, http.StatusOK, struct{}{})
+				return
+			}
 		}
+		writeError(w, err)
+		return
+	}
+	if err := s.finishRun(r.Context(), rs); err != nil {
+		writeError(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 // finishRun is the finish path shared by the HTTP handler and the
 // scoring-deadline watchdog. Winners without scores degrade into the
-// estimator's missing-observation path inside the platform's FinishRun.
-func (s *Server) finishRun(ctx context.Context) error {
-	if err := s.platform.FinishRun(ctx); err != nil {
+// estimator's missing-observation path inside the backend's FinishRun.
+// Finishing an already-finished run is a no-op success.
+func (s *Server) finishRun(ctx context.Context, rs *runState) error {
+	if rs.isDone() {
+		return nil // retried finish
+	}
+	var err error
+	if s.multi != nil {
+		err = s.multi.FinishRun(ctx, rs.id)
+	} else {
+		err = s.platform.FinishRun(ctx)
+	}
+	if err != nil {
+		// The deadline watchdog (or a concurrent retry) may have finished
+		// the run between our check and the backend call.
+		if rs.isDone() && errors.Is(err, melody.ErrNoRunOpen) {
+			return nil
+		}
 		return err
 	}
-	s.stateMu.Lock()
-	s.phase = PhaseIdle
-	s.outcome = nil
-	s.ansMu.Lock()
-	s.answers = nil
-	s.ansMu.Unlock()
-	s.scheduleLocked(0, 0, nil)
-	s.endPhaseSpanLocked()
-	s.stateMu.Unlock()
-	s.log.Info("run finished", "completed_runs", s.platform.Run())
+	s.completeRun(rs)
+	s.log.Info("run finished", "run", rs.id, "completed_runs", s.completedRuns())
 	return nil
+}
+
+// completeRun transitions a run to done: the watchdog disarms, the phase
+// span ends, the answer store is released, the tenant's runs-in-flight
+// quota slot returns, and the run leaves the in-flight registry (retained
+// for idempotent replays until evicted). The recorded outcome is kept so
+// late close retries still replay it.
+func (s *Server) completeRun(rs *runState) {
+	rs.mu.Lock()
+	if rs.done {
+		rs.mu.Unlock()
+		return
+	}
+	rs.done = true
+	rs.phase = PhaseIdle
+	rs.answers = nil
+	if rs.timer != nil {
+		rs.timer.Stop()
+		rs.timer = nil
+	}
+	rs.span.End()
+	rs.span = nil
+	release := rs.quotaRelease
+	rs.quotaRelease = nil
+	rs.mu.Unlock()
+	if release != nil {
+		release()
+	}
+
+	s.mu.Lock()
+	if s.current == rs {
+		s.current = nil
+	}
+	for i, id := range s.order {
+		if id == rs.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.doneOrder = append(s.doneOrder, rs.id)
+	for len(s.doneOrder) > maxDoneRuns {
+		evict := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.runs, evict)
+	}
+	s.mu.Unlock()
 }

@@ -33,10 +33,14 @@ type StatusResponse struct {
 	// Run is the 1-based index of the current run while one is open, or the
 	// number of completed runs when idle.
 	Run int `json:"run"`
-	// Phase is the lifecycle phase.
+	// Phase is the lifecycle phase of the most recently opened run (idle
+	// when no run is open).
 	Phase Phase `json:"phase"`
 	// Workers is the number of registered workers.
 	Workers int `json:"workers"`
+	// OpenRuns is the number of runs currently in flight; at most 1 on a
+	// single-run backend, unbounded on a run-scheduler backend.
+	OpenRuns int `json:"openRuns,omitempty"`
 }
 
 // RegisterWorkerRequest is the body of POST /v1/workers.
@@ -73,12 +77,40 @@ type TaskSpec struct {
 }
 
 // OpenRunRequest is the body of POST /v1/runs.
+//
+// ID and Tenant address the run-scheduler backend: ID is the
+// client-chosen, scheduler-wide unique run identifier (the idempotency
+// key every later /v1/runs/{id}/... call routes on), and Tenant names the
+// tenant whose estimator and run sequence the run belongs to. Both are
+// optional on a single-run backend, where the server synthesizes "r<n>"
+// IDs; ID is required on a multi-run backend.
 type OpenRunRequest struct {
 	Tasks  []TaskSpec `json:"tasks"`
 	Budget float64    `json:"budget"`
+	ID     string     `json:"id,omitempty"`
+	Tenant string     `json:"tenant,omitempty"`
 }
 
-// BidRequest is the body of POST /v1/runs/current/bids.
+// OpenRunResponse is the body of a successful POST /v1/runs: the run's ID
+// (echoed or synthesized) for use in /v1/runs/{id}/... paths.
+type OpenRunResponse struct {
+	RunID string `json:"runId"`
+}
+
+// RunStatus is one in-flight run in a RunsResponse.
+type RunStatus struct {
+	RunID  string `json:"runId"`
+	Tenant string `json:"tenant,omitempty"`
+	Phase  Phase  `json:"phase"`
+}
+
+// RunsResponse is the body of GET /v1/runs: every run currently in
+// flight, in open order.
+type RunsResponse struct {
+	Runs []RunStatus `json:"runs"`
+}
+
+// BidRequest is the body of POST /v1/runs/{run}/bids.
 type BidRequest struct {
 	WorkerID  string  `json:"workerId"`
 	Cost      float64 `json:"cost"`

@@ -47,3 +47,20 @@ func CheckEscrowSettled(l *ledger.Ledger) error {
 	}
 	return nil
 }
+
+// CheckSettlementDrained is CheckEscrowSettled extended across epoch
+// settlement: after every run has finished and the settler has flushed,
+// neither escrow nor the epoch pool may hold money — every escrowed cent
+// either reached a worker (as an aggregated epoch payout) or refunded to
+// the requester. Run it with CheckMoneyConservation after a multi-tenant
+// season: together they prove concurrent runs moved money without creating,
+// destroying, or stranding any.
+func CheckSettlementDrained(l *ledger.Ledger) error {
+	if err := CheckEscrowSettled(l); err != nil {
+		return err
+	}
+	if b := l.Balance(ledger.EpochPool); math.Abs(b) > SumTol {
+		return fmt.Errorf("verify: epoch pool holds %v after flush; expected 0", b)
+	}
+	return nil
+}

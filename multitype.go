@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrUnknownTaskType is returned for operations on an unconfigured task
@@ -129,17 +130,39 @@ func (m *MultiTypePlatform) SubmitBid(ctx context.Context, workerID, taskType st
 
 // CloseAuction closes every open per-type auction and returns the outcomes
 // keyed by type. Types with no open run are skipped.
+//
+// The per-type closes run concurrently — each type is an independent
+// Platform with its own lock and auction kernel, so the winner-selection
+// work parallelizes across types. Results are then folded in sorted type
+// order, which keeps the returned map and error exactly what the old
+// sequential loop produced: outcomes for the types preceding the first
+// failing type, and that type's wrapped error.
 func (m *MultiTypePlatform) CloseAuction(ctx context.Context) (map[string]*Outcome, error) {
+	type closeResult struct {
+		out *Outcome
+		err error
+	}
+	results := make([]closeResult, len(m.types))
+	var wg sync.WaitGroup
+	for i, taskType := range m.types {
+		wg.Add(1)
+		go func(i int, p *Platform) {
+			defer wg.Done()
+			out, err := p.CloseAuction(ctx)
+			results[i] = closeResult{out: out, err: err}
+		}(i, m.platforms[taskType])
+	}
+	wg.Wait()
 	outcomes := make(map[string]*Outcome)
-	for _, taskType := range m.types {
-		out, err := m.platforms[taskType].CloseAuction(ctx)
-		if err != nil {
-			if errors.Is(err, ErrNoRunOpen) {
+	for i, taskType := range m.types {
+		res := results[i]
+		if res.err != nil {
+			if errors.Is(res.err, ErrNoRunOpen) {
 				continue
 			}
-			return outcomes, fmt.Errorf("melody: type %q: %w", taskType, err)
+			return outcomes, fmt.Errorf("melody: type %q: %w", taskType, res.err)
 		}
-		outcomes[taskType] = out
+		outcomes[taskType] = res.out
 	}
 	if len(outcomes) == 0 {
 		return nil, ErrNoRunOpen

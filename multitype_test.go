@@ -3,6 +3,7 @@ package melody
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -191,5 +192,102 @@ func TestMultiTypeOpenRunValidation(t *testing.T) {
 	}
 	if err := m.FinishRun(ctx); !errors.Is(err, ErrNoRunOpen) {
 		t.Errorf("finish with nothing open = %v", err)
+	}
+}
+
+// TestMultiTypeConcurrentCloseEquivalence checks the concurrent per-type
+// close keeps the old sequential semantics: with eight types open, every
+// type's outcome is byte-identical to what a standalone Platform with the
+// same configuration and bids produces.
+func TestMultiTypeConcurrentCloseEquivalence(t *testing.T) {
+	ctx := context.Background()
+	newTracker := func() Estimator {
+		tracker, err := NewQualityTracker(QualityTrackerConfig{
+			InitialMean: 5.5, InitialVar: 2.25,
+			Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 4},
+			EMPeriod: 5, EMWindow: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tracker
+	}
+	auction := AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2}
+
+	const nTypes = 8
+	types := make([]string, nTypes)
+	configs := make(map[string]PlatformConfig, nTypes)
+	for i := range types {
+		types[i] = fmt.Sprintf("type%d", i)
+		configs[types[i]] = PlatformConfig{Auction: auction, Estimator: newTracker()}
+	}
+	m, err := NewMultiTypePlatform(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := []string{"a", "b", "c", "d", "e"}
+	// Bid costs vary by (worker, type) but are deterministic, so the
+	// standalone reference platforms can replay them exactly.
+	cost := func(w string, ti int) float64 {
+		return 1 + 0.9*float64((int(w[0])*7+ti*13)%100)/100
+	}
+
+	tasks := make([]TypedTask, 0, nTypes)
+	budgets := make(map[string]float64, nTypes)
+	for i, taskType := range types {
+		tasks = append(tasks, TypedTask{Type: taskType, Task: Task{ID: fmt.Sprintf("t%d", i), Threshold: 10}})
+		budgets[taskType] = 50
+	}
+	for _, w := range workers {
+		if err := m.RegisterWorker(ctx, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.OpenRun(ctx, tasks, budgets); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		for i, taskType := range types {
+			if err := m.SubmitBid(ctx, w, taskType, Bid{Cost: cost(w, i), Frequency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	outcomes, err := m.CloseAuction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != nTypes {
+		t.Fatalf("outcomes for %d types, want %d", len(outcomes), nTypes)
+	}
+
+	// Reference: one standalone platform per type, closed serially.
+	for i, taskType := range types {
+		ref, err := NewPlatform(PlatformConfig{Auction: auction, Estimator: newTracker()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if err := ref.RegisterWorker(ctx, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ref.OpenRun(ctx, []Task{{ID: fmt.Sprintf("t%d", i), Threshold: 10}}, 50); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if err := ref.SubmitBid(ctx, w, Bid{Cost: cost(w, i), Frequency: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := ref.CloseAuction(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := outcomes[taskType]; fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Errorf("type %s outcome diverged from serial reference:\nconcurrent %+v\nserial     %+v",
+				taskType, got, want)
+		}
 	}
 }

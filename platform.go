@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"melody/internal/core"
@@ -20,7 +19,16 @@ type (
 	Ledger = ledger.Ledger
 	// LedgerAccount identifies a ledger account.
 	LedgerAccount = ledger.Account
+	// EpochSettler batches per-run payments into periodic payout epochs on
+	// a shared ledger (see ledger.NewEpochSettler).
+	EpochSettler = ledger.EpochSettler
 )
+
+// NewEpochSettler returns an epoch settler that drains the payout pool
+// every `every` finished runs on the given ledger.
+func NewEpochSettler(l *Ledger, every int) *EpochSettler {
+	return ledger.NewEpochSettler(l, every)
+}
 
 // NewLedger returns an empty ledger. Fund the requester with
 // Deposit(RequesterAccount, ...) before opening runs on a ledger-backed
@@ -75,6 +83,15 @@ type PlatformConfig struct {
 	// winners from escrow, FinishRun refunds the remainder. Nil disables
 	// settlement.
 	Ledger *Ledger
+	// Settler optionally routes this platform's payments through a shared
+	// epoch pool instead of paying workers directly at each auction close;
+	// the RunScheduler drains the pool into aggregated payout batches at
+	// epoch boundaries. Requires Ledger; nil keeps direct per-run payouts.
+	Settler *EpochSettler
+	// Registry optionally shares a striped worker registry with other
+	// platforms (the RunScheduler gives every tenant platform the same
+	// one). Nil gives the platform a private registry.
+	Registry *WorkerRegistry
 	// Metrics optionally receives the platform's mechanism metrics (auction
 	// duration, winners, spent budget, completed runs). Nil disables
 	// instrumentation at zero overhead.
@@ -94,9 +111,20 @@ type Platform struct {
 	auction *core.AuctionState
 	est     Estimator
 	money   *Ledger
-	workers map[string]bool
+	settler *EpochSettler
 	run     int
 	open    *openRun
+
+	// registry holds the universal worker set behind striped locks, so
+	// registration and membership checks never queue behind p.mu (and a
+	// RunScheduler can share one registry across every tenant platform).
+	registry *WorkerRegistry
+
+	// estMu guards the estimator separately from the run state: Quality
+	// and Forecast take only estMu.RLock, so posterior lookups never
+	// contend with bid ingest (which holds p.mu but leaves the estimator
+	// alone). Lock order: p.mu before estMu; registry stripes innermost.
+	estMu sync.RWMutex
 
 	// bidders mirrors the worker set last applied to the auction state, so
 	// each CloseAuction feeds the kernel only the run-over-run delta
@@ -166,11 +194,19 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Settler != nil && cfg.Ledger == nil {
+		return nil, errors.New("melody: epoch settlement needs a ledger")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewWorkerRegistry(0)
+	}
 	return &Platform{
 		auction:       state,
 		est:           cfg.Estimator,
 		money:         cfg.Ledger,
-		workers:       make(map[string]bool),
+		settler:       cfg.Settler,
+		registry:      reg,
 		bidders:       make(map[string]Worker),
 		runsCompleted: cfg.Metrics.Counter(obs.MetricRunsCompletedTotal, "Completed platform runs."),
 		tracer:        cfg.Tracer,
@@ -196,9 +232,7 @@ func (p *Platform) RegisterWorker(ctx context.Context, workerID string) error {
 	if workerID == "" {
 		return errors.New("melody: empty worker ID")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.workers[workerID] = true
+	p.registry.Register(workerID)
 	return nil
 }
 
@@ -211,14 +245,13 @@ func (p *Platform) RegisterWorkerNoCtx(workerID string) error {
 
 // Workers returns the registered worker IDs in sorted order.
 func (p *Platform) Workers() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	ids := make([]string, 0, len(p.workers))
-	for id := range p.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+	return p.registry.All()
+}
+
+// Registry returns the platform's worker registry (shared when the
+// platform was built with PlatformConfig.Registry).
+func (p *Platform) Registry() *WorkerRegistry {
+	return p.registry
 }
 
 // Run returns the number of completed runs.
@@ -230,13 +263,14 @@ func (p *Platform) Run() int {
 
 // Quality returns the platform's current quality estimate for the worker.
 // The estimator is only read (never advanced), so concurrent Quality calls
-// share the platform's read lock.
+// share the estimator's read lock — never p.mu, so a quality poll cannot
+// queue behind bid ingest.
 func (p *Platform) Quality(workerID string) (float64, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if !p.workers[workerID] {
+	if !p.registry.Has(workerID) {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
 	}
+	p.estMu.RLock()
+	defer p.estMu.RUnlock()
 	return p.est.Estimate(workerID), nil
 }
 
@@ -244,15 +278,15 @@ func (p *Platform) Quality(workerID string) (float64, error) {
 // quality, when the platform's estimator supports it (the LDS tracker
 // does); otherwise ErrNoForecast.
 func (p *Platform) Forecast(workerID string, steps int) (QualityForecast, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if !p.workers[workerID] {
+	if !p.registry.Has(workerID) {
 		return QualityForecast{}, fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
 	}
 	f, ok := p.est.(Forecaster)
 	if !ok {
 		return QualityForecast{}, ErrNoForecast
 	}
+	p.estMu.RLock()
+	defer p.estMu.RUnlock()
 	return f.Forecast(workerID, steps)
 }
 
@@ -309,7 +343,13 @@ func (p *Platform) OpenRun(ctx context.Context, tasks []Task, budget float64) er
 		scores: make(map[string][]float64),
 	}
 	if p.money != nil && budget > 0 {
-		settlement, err := p.money.OpenRun(p.run+1, budget)
+		var settlement *ledger.RunSettlement
+		var err error
+		if p.settler != nil {
+			settlement, err = p.money.OpenRunEpoch(p.run+1, budget, p.settler)
+		} else {
+			settlement, err = p.money.OpenRun(p.run+1, budget)
+		}
 		if err != nil {
 			return fmt.Errorf("melody: escrow run budget: %w", err)
 		}
@@ -404,7 +444,7 @@ func (p *Platform) submitBidLocked(workerID string, bid Bid) error {
 	if p.open == nil {
 		return ErrNoRunOpen
 	}
-	if !p.workers[workerID] {
+	if !p.registry.Has(workerID) {
 		return fmt.Errorf("%w: %s", ErrUnknownWorker, workerID)
 	}
 	if !(bid.Cost > 0) {
@@ -446,12 +486,14 @@ func (p *Platform) CloseAuction(ctx context.Context) (*Outcome, error) {
 	// leave it. Delta order does not matter — the kernel's sorted structures
 	// are a pure function of the worker multiset.
 	var delta core.WorkerDelta
+	p.estMu.RLock()
 	for id, bid := range p.open.bids {
 		w := Worker{ID: id, Bid: bid, Quality: p.est.Estimate(id)}
 		if prev, ok := p.bidders[id]; !ok || prev != w {
 			delta.Upserts = append(delta.Upserts, w)
 		}
 	}
+	p.estMu.RUnlock()
 	for id := range p.bidders {
 		if _, ok := p.open.bids[id]; !ok {
 			delta.Removes = append(delta.Removes, id)
@@ -603,16 +645,15 @@ func (p *Platform) FinishRun(ctx context.Context) error {
 	if p.open.outcome == nil {
 		return ErrAuctionOpen
 	}
-	ids := make([]string, 0, len(p.workers))
-	for id := range p.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := p.registry.All()
+	p.estMu.Lock()
 	for _, id := range ids {
 		if err := p.est.Observe(id, p.open.scores[id]); err != nil {
+			p.estMu.Unlock()
 			return fmt.Errorf("melody: update %s: %w", id, err)
 		}
 	}
+	p.estMu.Unlock()
 	if p.open.settlement != nil {
 		if err := p.open.settlement.Close(); err != nil {
 			return fmt.Errorf("melody: refund escrow: %w", err)

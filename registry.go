@@ -1,0 +1,119 @@
+package melody
+
+import (
+	"sort"
+	"sync"
+)
+
+// WorkerRegistry is a striped set of registered worker IDs. The set is
+// split across a fixed number of shards (a power of two) selected by an
+// FNV-1a hash of the worker ID, so concurrent registrations and membership
+// checks contend only when they land on the same stripe — registration
+// and quality-lookup traffic never queues behind a platform-wide lock,
+// and a registry can be shared by every tenant platform of a RunScheduler
+// without becoming the bottleneck the single `map[string]bool` was.
+//
+// The shard count is fixed at construction: resizing a striped map online
+// would require a global lock, exactly what the stripes exist to avoid.
+// 32 shards is the default — enough to spread a GOMAXPROCS' worth of
+// ingest goroutines with a few KB of overhead, and membership checks are
+// read-locked so only same-shard writers ever collide.
+type WorkerRegistry struct {
+	shards []registryShard
+	mask   uint32
+}
+
+type registryShard struct {
+	mu  sync.RWMutex
+	ids map[string]bool
+}
+
+// DefaultRegistryShards is the shard count used when NewWorkerRegistry is
+// given n <= 0.
+const DefaultRegistryShards = 32
+
+// NewWorkerRegistry returns an empty registry with n shards, rounded up to
+// the next power of two so shard selection is a mask, not a modulo.
+// n <= 0 selects DefaultRegistryShards.
+func NewWorkerRegistry(n int) *WorkerRegistry {
+	if n <= 0 {
+		n = DefaultRegistryShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	r := &WorkerRegistry{shards: make([]registryShard, size), mask: uint32(size - 1)}
+	for i := range r.shards {
+		r.shards[i].ids = make(map[string]bool)
+	}
+	return r
+}
+
+// shard returns the stripe for a worker ID (FNV-1a, inlined to avoid the
+// hash.Hash allocation on the hot membership path).
+func (r *WorkerRegistry) shard(id string) *registryShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &r.shards[h&r.mask]
+}
+
+// Register adds a worker ID to the set. Registering an existing worker is
+// a no-op; Register reports whether the ID was new.
+func (r *WorkerRegistry) Register(id string) bool {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ids[id] {
+		return false
+	}
+	s.ids[id] = true
+	return true
+}
+
+// Has reports whether a worker ID is registered.
+func (r *WorkerRegistry) Has(id string) bool {
+	s := r.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids[id]
+}
+
+// Len returns the number of registered workers.
+func (r *WorkerRegistry) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.ids)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// All returns every registered worker ID in sorted order. The snapshot is
+// per-shard consistent: IDs registered concurrently with the scan may or
+// may not appear, exactly like the map iteration it replaces.
+func (r *WorkerRegistry) All() []string {
+	ids := make([]string, 0, r.Len())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for id := range s.ids {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Shards returns the registry's shard count (a power of two).
+func (r *WorkerRegistry) Shards() int { return len(r.shards) }

@@ -1,0 +1,92 @@
+package melody
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestWorkerRegistryShardRounding(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-1, DefaultRegistryShards},
+		{0, DefaultRegistryShards},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{17, 32},
+		{64, 64},
+	}
+	for _, c := range cases {
+		if got := NewWorkerRegistry(c.n).Shards(); got != c.want {
+			t.Errorf("NewWorkerRegistry(%d).Shards() = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWorkerRegistrySemantics(t *testing.T) {
+	r := NewWorkerRegistry(4)
+	if r.Has("w1") {
+		t.Error("empty registry has w1")
+	}
+	if !r.Register("w1") {
+		t.Error("first Register(w1) = false, want true")
+	}
+	if r.Register("w1") {
+		t.Error("second Register(w1) = true, want false (no-op)")
+	}
+	if !r.Has("w1") || r.Has("w2") {
+		t.Errorf("membership wrong: Has(w1)=%v Has(w2)=%v", r.Has("w1"), r.Has("w2"))
+	}
+	r.Register("w2")
+	if got := r.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+	want := []string{"w1", "w2"}
+	got := r.All()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("All() = %v, want %v", got, want)
+	}
+}
+
+// TestWorkerRegistryConcurrent hammers one registry from many goroutines
+// with overlapping ID ranges: exactly one registration per ID may win, the
+// final membership must be complete, and readers race the writers without
+// tripping the race detector.
+func TestWorkerRegistryConcurrent(t *testing.T) {
+	const goroutines, ids = 8, 500
+	r := NewWorkerRegistry(8)
+	wins := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				id := fmt.Sprintf("w%03d", i)
+				if r.Register(id) {
+					wins[g]++
+				}
+				_ = r.Has(id)
+				if i%100 == 0 {
+					_ = r.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != ids {
+		t.Errorf("total winning registrations = %d, want %d (duplicate wins)", total, ids)
+	}
+	if got := r.Len(); got != ids {
+		t.Errorf("Len() = %d, want %d", got, ids)
+	}
+	all := r.All()
+	if len(all) != ids || !sort.StringsAreSorted(all) {
+		t.Errorf("All() returned %d ids (sorted=%v), want %d sorted", len(all), sort.StringsAreSorted(all), ids)
+	}
+}

@@ -1,0 +1,500 @@
+package melody
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"melody/internal/obs"
+)
+
+// Scheduler errors, matchable with errors.Is.
+var (
+	// ErrUnknownRun is returned for operations on a run ID the scheduler
+	// has never opened.
+	ErrUnknownRun = errors.New("melody: unknown run")
+	// ErrUnknownTenant is returned when a tenant-scoped query cannot be
+	// routed to a tenant platform.
+	ErrUnknownTenant = errors.New("melody: unknown tenant")
+)
+
+// SchedulerConfig assembles a RunScheduler.
+type SchedulerConfig struct {
+	// Auction holds the qualification intervals shared by every tenant's
+	// mechanism.
+	Auction AuctionConfig
+	// NewEstimator builds the quality estimator for a tenant the first
+	// time it opens a run. Each tenant owns its estimator, so its
+	// long-term quality trajectory — and therefore its auction outcomes —
+	// are independent of how other tenants' runs interleave.
+	NewEstimator func(tenant string) (Estimator, error)
+	// Ledger optionally settles money across every tenant on one shared
+	// double-entry ledger. Nil disables settlement.
+	Ledger *Ledger
+	// EpochEvery batches payouts: every EpochEvery finished runs, the
+	// accrued escrow payments are drained from the epoch pool into one
+	// aggregated payout batch per worker. 0 keeps direct per-run payouts.
+	EpochEvery int
+	// RegistryShards sets the shared worker registry's stripe count
+	// (rounded up to a power of two); <= 0 selects the default.
+	RegistryShards int
+	// Metrics optionally instruments every tenant platform. Nil disables.
+	Metrics *obs.Registry
+	// Tracer optionally records auction spans. Nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+// RunInfo describes one scheduler run.
+type RunInfo struct {
+	// ID is the run's scheduler-wide unique identifier.
+	ID string
+	// Tenant owns the run.
+	Tenant string
+	// AuctionClosed reports whether the run's auction has closed.
+	AuctionClosed bool
+	// Finished reports whether the run has completed settlement.
+	Finished bool
+	// Outcome is the allocation; non-nil once AuctionClosed.
+	Outcome *Outcome
+}
+
+// RunScheduler multiplexes many concurrent runs from many tenants over a
+// shared striped worker registry and (optionally) a shared ledger. Each
+// tenant maps to one Platform — its own estimator and incremental auction
+// kernel — so a tenant's run outcomes are byte-identical to executing its
+// runs serially, while different tenants' runs proceed through
+// bidding→scoring→finish with no shared phase lock: the only cross-tenant
+// contention points are the registry stripes and the ledger/settler
+// mutexes, both of which are held for single operations only.
+//
+// Within a tenant runs stay sequential (the long-term quality estimator is
+// a per-run recurrence, so overlapping a tenant's own runs would make its
+// posteriors order-dependent); opening a second run for a tenant whose
+// previous run has not finished returns ErrRunOpen.
+//
+// Lock order: schedRun.mu → (Platform.mu → estMu) and schedRun.mu →
+// RunScheduler.mu; registry stripes and ledger/settler mutexes innermost.
+// RunScheduler.mu is never held across a Platform call.
+type RunScheduler struct {
+	cfg      SchedulerConfig
+	registry *WorkerRegistry
+	settler  *EpochSettler
+
+	mu         sync.RWMutex
+	tenants    map[string]*Platform
+	tenantOpen map[string]string // tenant -> its open run ID
+	runs       map[string]*schedRun
+	order      []string // run IDs in open order
+	completed  int
+}
+
+// schedRun is one run's scheduling state. All mutations of the run
+// (bid/close/score/finish) serialize on mu, which is what makes the
+// done/outcome checks race-free against a retried finish: a mutation can
+// never land on the tenant platform's *next* run, because opening that
+// next run requires this run's finish to have completed first.
+type schedRun struct {
+	id     string
+	tenant string
+	p      *Platform
+
+	mu      sync.Mutex
+	tasks   []Task
+	budget  float64
+	outcome *Outcome
+	done    bool
+}
+
+// NewRunScheduler constructs a RunScheduler.
+func NewRunScheduler(cfg SchedulerConfig) (*RunScheduler, error) {
+	if cfg.NewEstimator == nil {
+		return nil, errors.New("melody: scheduler needs an estimator factory")
+	}
+	if cfg.EpochEvery > 0 && cfg.Ledger == nil {
+		return nil, errors.New("melody: epoch settlement needs a ledger")
+	}
+	s := &RunScheduler{
+		cfg:        cfg,
+		registry:   NewWorkerRegistry(cfg.RegistryShards),
+		tenants:    make(map[string]*Platform),
+		tenantOpen: make(map[string]string),
+		runs:       make(map[string]*schedRun),
+	}
+	if cfg.EpochEvery > 0 {
+		s.settler = NewEpochSettler(cfg.Ledger, cfg.EpochEvery)
+	}
+	return s, nil
+}
+
+// Registry returns the shared striped worker registry.
+func (s *RunScheduler) Registry() *WorkerRegistry { return s.registry }
+
+// Settler returns the epoch settler, nil when EpochEvery was 0.
+func (s *RunScheduler) Settler() *EpochSettler { return s.settler }
+
+// Ledger returns the shared ledger, nil when settlement is disabled.
+func (s *RunScheduler) Ledger() *Ledger { return s.cfg.Ledger }
+
+// RegisterWorker adds a worker to the shared registry; workers are
+// visible to every tenant. Registering an existing worker is a no-op.
+func (s *RunScheduler) RegisterWorker(ctx context.Context, workerID string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if workerID == "" {
+		return errors.New("melody: empty worker ID")
+	}
+	s.registry.Register(workerID)
+	return nil
+}
+
+// Workers returns the registered worker IDs in sorted order.
+func (s *RunScheduler) Workers() []string { return s.registry.All() }
+
+// CompletedRuns returns the number of finished runs across all tenants.
+func (s *RunScheduler) CompletedRuns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.completed
+}
+
+// Tenants returns the tenants that have opened at least one run, sorted.
+func (s *RunScheduler) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts := make([]string, 0, len(s.tenants))
+	for t := range s.tenants {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}
+
+// OpenRuns returns every not-yet-finished run in open order.
+func (s *RunScheduler) OpenRuns() []RunInfo {
+	s.mu.RLock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	runsByID := make(map[string]*schedRun, len(ids))
+	for _, id := range ids {
+		runsByID[id] = s.runs[id]
+	}
+	s.mu.RUnlock()
+	out := make([]RunInfo, 0, len(ids))
+	for _, id := range ids {
+		r := runsByID[id]
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		info := RunInfo{ID: r.id, Tenant: r.tenant, AuctionClosed: r.outcome != nil,
+			Finished: r.done, Outcome: r.outcome}
+		r.mu.Unlock()
+		if !info.Finished {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Run returns one run's info, or ErrUnknownRun.
+func (s *RunScheduler) Run(runID string) (RunInfo, error) {
+	r, err := s.resolve(runID)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunInfo{ID: r.id, Tenant: r.tenant, AuctionClosed: r.outcome != nil,
+		Finished: r.done, Outcome: r.outcome}, nil
+}
+
+// TenantPlatform returns the platform owning a tenant's runs, or
+// ErrUnknownTenant. The empty tenant resolves only when exactly one
+// tenant exists (a convenience for single-tenant deployments and the
+// deprecated tenant-less read endpoints).
+func (s *RunScheduler) TenantPlatform(tenant string) (*Platform, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tenant == "" {
+		if len(s.tenants) == 1 {
+			for _, p := range s.tenants {
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: %d tenants exist, specify one", ErrUnknownTenant, len(s.tenants))
+	}
+	p := s.tenants[tenant]
+	if p == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTenant, tenant)
+	}
+	return p, nil
+}
+
+// Quality returns a tenant's current quality estimate for a worker.
+func (s *RunScheduler) Quality(tenant, workerID string) (float64, error) {
+	p, err := s.TenantPlatform(tenant)
+	if err != nil {
+		return 0, err
+	}
+	return p.Quality(workerID)
+}
+
+// Forecast returns a tenant's k-step-ahead quality forecast for a worker.
+func (s *RunScheduler) Forecast(tenant, workerID string, steps int) (QualityForecast, error) {
+	p, err := s.TenantPlatform(tenant)
+	if err != nil {
+		return QualityForecast{}, err
+	}
+	return p.Forecast(workerID, steps)
+}
+
+// platformFor returns (creating on first use) a tenant's platform;
+// callers hold s.mu.
+func (s *RunScheduler) platformFor(tenant string) (*Platform, error) {
+	if p := s.tenants[tenant]; p != nil {
+		return p, nil
+	}
+	est, err := s.cfg.NewEstimator(tenant)
+	if err != nil {
+		return nil, fmt.Errorf("melody: estimator for tenant %q: %w", tenant, err)
+	}
+	p, err := NewPlatform(PlatformConfig{
+		Auction:   s.cfg.Auction,
+		Estimator: est,
+		Ledger:    s.cfg.Ledger,
+		Settler:   s.settler,
+		Registry:  s.registry,
+		Metrics:   s.cfg.Metrics,
+		Tracer:    s.cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.tenants[tenant] = p
+	return p, nil
+}
+
+// resolve maps a run ID to its scheduling state.
+func (s *RunScheduler) resolve(runID string) (*schedRun, error) {
+	s.mu.RLock()
+	r := s.runs[runID]
+	s.mu.RUnlock()
+	if r == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownRun, runID)
+	}
+	return r, nil
+}
+
+// OpenRun opens a run under a scheduler-wide unique ID for a tenant.
+//
+// OpenRun is idempotent on the run ID: re-opening a known ID with the
+// identical spec is a no-op success whether the run is still in flight or
+// already finished, so a client that lost the acknowledgment can retry
+// blindly. A known ID with a different spec or tenant is an error, and a
+// new ID for a tenant whose previous run has not finished is ErrRunOpen.
+func (s *RunScheduler) OpenRun(ctx context.Context, runID, tenant string, tasks []Task, budget float64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if runID == "" {
+		return errors.New("melody: empty run ID")
+	}
+	if tenant == "" {
+		return errors.New("melody: empty tenant")
+	}
+	s.mu.Lock()
+	if r := s.runs[runID]; r != nil {
+		s.mu.Unlock()
+		return s.reopen(ctx, r, tenant, tasks, budget)
+	}
+	if openID, busy := s.tenantOpen[tenant]; busy {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q run %q", ErrRunOpen, tenant, openID)
+	}
+	p, err := s.platformFor(tenant)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// Claim the slot before the (escrowing) platform call so a concurrent
+	// OpenRun for the same tenant conflicts instead of double-opening;
+	// roll the claim back if the platform rejects the spec.
+	r := &schedRun{id: runID, tenant: tenant, p: p,
+		tasks: append([]Task(nil), tasks...), budget: budget}
+	s.runs[runID] = r
+	s.tenantOpen[tenant] = runID
+	s.order = append(s.order, runID)
+	s.mu.Unlock()
+
+	if err := p.OpenRun(ctx, tasks, budget); err != nil {
+		s.mu.Lock()
+		delete(s.runs, runID)
+		delete(s.tenantOpen, tenant)
+		for i, id := range s.order {
+			if id == runID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// reopen handles OpenRun on an already-known run ID: the retry path.
+func (s *RunScheduler) reopen(ctx context.Context, r *schedRun, tenant string, tasks []Task, budget float64) error {
+	if r.tenant != tenant {
+		return fmt.Errorf("melody: run %q belongs to tenant %q", r.id, r.tenant)
+	}
+	r.mu.Lock()
+	same := r.budget == budget && sameTasks(r.tasks, tasks)
+	done := r.done
+	r.mu.Unlock()
+	if !same {
+		return fmt.Errorf("%w: run %q already open with a different spec", ErrRunOpen, r.id)
+	}
+	if done {
+		return nil // retried open of a run that already completed
+	}
+	// The run is still in flight: the platform's own idempotent open
+	// confirms (or re-establishes, if the first call raced) the spec.
+	return r.p.OpenRun(ctx, tasks, budget)
+}
+
+// mutate runs fn against a run's platform with the run's mutation lock
+// held, after rejecting runs that already finished.
+func (s *RunScheduler) mutate(runID string, fn func(r *schedRun) error) error {
+	r, err := s.resolve(runID)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return fmt.Errorf("%w: run %s finished", ErrNoRunOpen, runID)
+	}
+	return fn(r)
+}
+
+// SubmitBid records a worker's bid for a run, with Platform.SubmitBid's
+// idempotent-replay semantics.
+func (s *RunScheduler) SubmitBid(ctx context.Context, runID, workerID string, bid Bid) error {
+	return s.mutate(runID, func(r *schedRun) error {
+		return r.p.SubmitBid(ctx, workerID, bid)
+	})
+}
+
+// SubmitBids submits a batch of bids for a run.
+func (s *RunScheduler) SubmitBids(ctx context.Context, runID string, bids []WorkerBid) BatchResult {
+	r, err := s.resolve(runID)
+	if err == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.done {
+			err = fmt.Errorf("%w: run %s finished", ErrNoRunOpen, runID)
+		} else {
+			return r.p.SubmitBids(ctx, bids)
+		}
+	}
+	errs := make([]error, len(bids))
+	for i := range errs {
+		errs[i] = err
+	}
+	return NewBatchResult(errs)
+}
+
+// CloseAuction ends a run's bidding phase and returns the outcome.
+// Closing an already-closed run replays the original outcome — even after
+// the run finished, so late retries stay safe.
+func (s *RunScheduler) CloseAuction(ctx context.Context, runID string) (*Outcome, error) {
+	r, err := s.resolve(runID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.outcome != nil {
+		return r.outcome, nil
+	}
+	if r.done {
+		// Finished without a recorded outcome: only possible for runs
+		// resurrected by replay tools; treat like the single-run platform.
+		return nil, fmt.Errorf("%w: run %s finished", ErrNoRunOpen, runID)
+	}
+	out, err := r.p.CloseAuction(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.outcome = out
+	return out, nil
+}
+
+// SubmitScore records the requester's score for an assigned (worker,
+// task) pair of a run.
+func (s *RunScheduler) SubmitScore(ctx context.Context, runID, workerID, taskID string, score float64) error {
+	return s.mutate(runID, func(r *schedRun) error {
+		return r.p.SubmitScore(ctx, workerID, taskID, score)
+	})
+}
+
+// SubmitScores submits a batch of scores for a run.
+func (s *RunScheduler) SubmitScores(ctx context.Context, runID string, scores []TaskScore) BatchResult {
+	r, err := s.resolve(runID)
+	if err == nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.done {
+			err = fmt.Errorf("%w: run %s finished", ErrNoRunOpen, runID)
+		} else {
+			return r.p.SubmitScores(ctx, scores)
+		}
+	}
+	errs := make([]error, len(scores))
+	for i := range errs {
+		errs[i] = err
+	}
+	return NewBatchResult(errs)
+}
+
+// FinishRun completes a run: quality estimates update from the collected
+// scores, unspent escrow refunds, and — when epoch settlement is on — the
+// epoch counter advances, draining the payout pool at epoch boundaries.
+// Finishing an already-finished run is a no-op success.
+func (s *RunScheduler) FinishRun(ctx context.Context, runID string) error {
+	r, err := s.resolve(runID)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return nil // retried finish
+	}
+	if err := r.p.FinishRun(ctx); err != nil {
+		return err
+	}
+	r.done = true
+	s.mu.Lock()
+	delete(s.tenantOpen, r.tenant)
+	s.completed++
+	s.mu.Unlock()
+	if s.settler != nil {
+		if _, err := s.settler.RunFinished(); err != nil {
+			return fmt.Errorf("melody: epoch settlement: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush force-settles any payments still parked in the epoch pool — the
+// shutdown path for mid-epoch stops. A no-op without epoch settlement.
+func (s *RunScheduler) Flush() error {
+	if s.settler == nil {
+		return nil
+	}
+	return s.settler.Flush()
+}

@@ -1,0 +1,244 @@
+package melody
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// testScheduler builds a run scheduler with a fresh estimator per tenant
+// and, when funded > 0, a shared ledger carrying that requester deposit.
+func testScheduler(t *testing.T, funded float64, epochEvery int) (*RunScheduler, *Ledger) {
+	t.Helper()
+	var money *Ledger
+	if funded > 0 {
+		money = NewLedger()
+		if _, err := money.Deposit(RequesterAccount, funded, "test funding"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewRunScheduler(SchedulerConfig{
+		Auction: AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+		NewEstimator: func(string) (Estimator, error) {
+			return NewQualityTracker(QualityTrackerConfig{
+				InitialMean: 5.5, InitialVar: 2.25,
+				Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+				EMPeriod: 10, EMWindow: 50,
+			})
+		},
+		Ledger:     money,
+		EpochEvery: epochEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, money
+}
+
+// driveRun pushes one run through its full lifecycle for a tenant whose
+// workers are named "<tenant>-w<i>".
+func driveRun(ctx context.Context, s *RunScheduler, tenant, runID string, workers int) error {
+	tasks := []Task{
+		{ID: runID + "-t1", Threshold: 10},
+		{ID: runID + "-t2", Threshold: 10},
+	}
+	if err := s.OpenRun(ctx, runID, tenant, tasks, 100); err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for i := 0; i < workers; i++ {
+		w := fmt.Sprintf("%s-w%d", tenant, i)
+		bid := Bid{Cost: 1 + 0.1*float64(i), Frequency: 1}
+		if err := s.SubmitBid(ctx, runID, w, bid); err != nil {
+			return fmt.Errorf("bid %s: %w", w, err)
+		}
+	}
+	out, err := s.CloseAuction(ctx, runID)
+	if err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	for _, a := range out.Assignments {
+		if err := s.SubmitScore(ctx, runID, a.WorkerID, a.TaskID, 7); err != nil {
+			return fmt.Errorf("score: %w", err)
+		}
+	}
+	if err := s.FinishRun(ctx, runID); err != nil {
+		return fmt.Errorf("finish: %w", err)
+	}
+	return nil
+}
+
+// TestSchedulerConcurrentTenants drives four tenants' run sequences
+// concurrently over one shared ledger — the race-detector target for the
+// no-shared-phase-lock design. Afterwards every cent must be accounted
+// for: balances sum to the deposit, nothing is stranded in escrow or the
+// epoch pool, and no account is overdrawn.
+func TestSchedulerConcurrentTenants(t *testing.T) {
+	ctx := context.Background()
+	const tenants, runs, workers = 4, 3, 6
+	s, money := testScheduler(t, float64(tenants*runs)*100, 2)
+
+	for ti := 0; ti < tenants; ti++ {
+		for i := 0; i < workers; i++ {
+			if err := s.RegisterWorker(ctx, fmt.Sprintf("t%d-w%d", ti, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for r := 1; r <= runs; r++ {
+				if err := driveRun(ctx, s, tenant, fmt.Sprintf("%s-r%d", tenant, r), workers); err != nil {
+					errCh <- fmt.Errorf("%s run %d: %w", tenant, r, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("t%d", ti))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	if got := s.CompletedRuns(); got != tenants*runs {
+		t.Errorf("CompletedRuns() = %d, want %d", got, tenants*runs)
+	}
+	if got := len(s.OpenRuns()); got != 0 {
+		t.Errorf("OpenRuns() = %d, want 0", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Money conservation, exactly: deposits in, balances out.
+	var total, deposits float64
+	for _, ab := range money.Accounts() {
+		if ab.Balance < -1e-9 {
+			t.Errorf("account %q overdrawn: %v", ab.Account, ab.Balance)
+		}
+		total += ab.Balance
+	}
+	for _, e := range money.Entries() {
+		if e.Kind == "deposit" {
+			deposits += e.Amount
+		}
+	}
+	if math.Abs(total-deposits) > 1e-6 {
+		t.Errorf("money not conserved: balances %v, deposits %v", total, deposits)
+	}
+	for _, acct := range []LedgerAccount{"escrow", "epoch_pool"} {
+		if b := money.Balance(acct); math.Abs(b) > 1e-9 {
+			t.Errorf("%s holds %v after flush, want 0", acct, b)
+		}
+	}
+}
+
+// TestSchedulerRunIsolation verifies the per-tenant sequencing rules: a
+// tenant cannot hold two open runs, another tenant can, and run IDs are
+// globally unique.
+func TestSchedulerRunIsolation(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 0, 0)
+	tasks := []Task{{ID: "t1", Threshold: 10}}
+	if err := s.OpenRun(ctx, "a-r1", "a", tasks, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenRun(ctx, "a-r2", "a", tasks, 50); !errors.Is(err, ErrRunOpen) {
+		t.Errorf("second open for tenant a = %v, want ErrRunOpen", err)
+	}
+	if err := s.OpenRun(ctx, "b-r1", "b", tasks, 50); err != nil {
+		t.Errorf("tenant b open = %v, want nil (runs must not share a phase lock)", err)
+	}
+	if err := s.OpenRun(ctx, "a-r1", "c", tasks, 50); err == nil {
+		t.Error("reusing run ID a-r1 under another tenant succeeded")
+	}
+	if _, err := s.Run("nope"); !errors.Is(err, ErrUnknownRun) {
+		t.Errorf("Run(nope) = %v, want ErrUnknownRun", err)
+	}
+	if _, err := s.CloseAuction(ctx, "nope"); !errors.Is(err, ErrUnknownRun) {
+		t.Errorf("CloseAuction(nope) = %v, want ErrUnknownRun", err)
+	}
+}
+
+// TestSchedulerIdempotentReplay proves run-ID-keyed mutations replay as
+// no-ops: a client that lost a response and retries open, bid, close and
+// finish observes success (and the identical outcome), and none of the
+// retries move money or state a second time.
+func TestSchedulerIdempotentReplay(t *testing.T) {
+	ctx := context.Background()
+	s, money := testScheduler(t, 200, 0)
+	for i := 0; i < 4; i++ {
+		if err := s.RegisterWorker(ctx, fmt.Sprintf("a-w%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := []Task{{ID: "r1-t1", Threshold: 10}}
+	if err := s.OpenRun(ctx, "r1", "a", tasks, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Retried open with the same ID and spec: accepted, no second escrow.
+	if err := s.OpenRun(ctx, "r1", "a", tasks, 100); err != nil {
+		t.Errorf("replayed open = %v, want nil", err)
+	}
+	if got := money.Balance("escrow"); math.Abs(got-100) > 1e-9 {
+		t.Errorf("escrow after replayed open = %v, want 100 (double escrow?)", got)
+	}
+	// A replayed open with a different spec must conflict, not overwrite.
+	if err := s.OpenRun(ctx, "r1", "a", tasks, 150); !errors.Is(err, ErrRunOpen) {
+		t.Errorf("conflicting replay = %v, want ErrRunOpen", err)
+	}
+
+	bid := Bid{Cost: 1.2, Frequency: 1}
+	if err := s.SubmitBid(ctx, "r1", "a-w0", bid); err != nil {
+		t.Fatal(err)
+	}
+	// Retried bid: same worker, same run — an upsert, not a duplicate.
+	if err := s.SubmitBid(ctx, "r1", "a-w0", bid); err != nil {
+		t.Errorf("replayed bid = %v, want nil", err)
+	}
+
+	out1, err := s.CloseAuction(ctx, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retried close replays the recorded outcome rather than re-running
+	// the auction.
+	out2, err := s.CloseAuction(ctx, "r1")
+	if err != nil {
+		t.Fatalf("replayed close = %v, want nil", err)
+	}
+	if fmt.Sprintf("%+v", out1) != fmt.Sprintf("%+v", out2) {
+		t.Errorf("replayed close outcome diverged:\n%+v\n%+v", out1, out2)
+	}
+
+	for _, a := range out1.Assignments {
+		if err := s.SubmitScore(ctx, "r1", a.WorkerID, a.TaskID, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FinishRun(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	paid := money.Balance(RequesterAccount)
+	// Retried finish: the run is done; the retry acks without paying again.
+	if err := s.FinishRun(ctx, "r1"); err != nil {
+		t.Errorf("replayed finish = %v, want nil", err)
+	}
+	if got := money.Balance(RequesterAccount); got != paid {
+		t.Errorf("requester balance moved on replayed finish: %v -> %v", paid, got)
+	}
+	// And a replayed close after finish still serves the outcome.
+	if _, err := s.CloseAuction(ctx, "r1"); err != nil {
+		t.Errorf("close replay after finish = %v, want outcome", err)
+	}
+	if info, err := s.Run("r1"); err != nil || !info.Finished {
+		t.Errorf("Run(r1) = %+v, %v; want finished", info, err)
+	}
+}

@@ -74,10 +74,7 @@ func (p *Platform) SnapshotState() (*PlatformSnapshot, error) {
 		CompletedRuns: p.run,
 		Estimator:     estState,
 	}
-	for id := range p.workers {
-		snap.Workers = append(snap.Workers, id)
-	}
-	sort.Strings(snap.Workers)
+	snap.Workers = p.registry.All()
 	for _, w := range p.bidders {
 		snap.Bidders = append(snap.Bidders, w)
 	}
@@ -102,7 +99,7 @@ func (p *Platform) RestoreSnapshot(snap *PlatformSnapshot) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.run != 0 || p.open != nil || len(p.workers) != 0 || len(p.bidders) != 0 {
+	if p.run != 0 || p.open != nil || p.registry.Len() != 0 || len(p.bidders) != 0 {
 		return errors.New("melody: restore target is not a fresh platform")
 	}
 	if len(snap.Estimator) > 0 {
@@ -131,7 +128,7 @@ func (p *Platform) RestoreSnapshot(snap *PlatformSnapshot) error {
 		if id == "" {
 			return errors.New("melody: snapshot worker with empty ID")
 		}
-		p.workers[id] = true
+		p.registry.Register(id)
 	}
 	if snap.Ledger != nil {
 		if p.money == nil {
