@@ -3,11 +3,11 @@ GO ?= go
 # exploration sessions (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke clean
+.PHONY: ci vet build test race verify-props bench-smoke bench-scale-smoke bench-snapshot chaos-smoke fuzz-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke fairness-smoke clean
 
 # ci is the tier-1 gate (see ROADMAP.md): everything must pass before a
 # change lands.
-ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke
+ci: vet build test race verify-props chaos-smoke fuzz-smoke bench-smoke bench-scale-smoke load-smoke obs-smoke slo-smoke overload-bench-smoke multirun-smoke fairness-smoke
 
 vet:
 	$(GO) vet ./...
@@ -103,6 +103,14 @@ obs-smoke:
 # leak no goroutines.
 multirun-smoke:
 	$(GO) run ./cmd/melody-load -scenario multirun -tenants 2 -runs 4 -workers-per-tenant 8 -epoch-every 2 -seed 1 -check
+
+# fairness-smoke drives 8 quota-bounded tenants through synchronized close
+# volleys behind the weighted-fair gate and fails unless the max/min
+# per-tenant median close-latency ratio stays <= 2, every over-quota open is
+# refused, spend matches the ledger exactly (including after WAL replay),
+# and per-run outcomes are byte-identical to serial execution.
+fairness-smoke:
+	$(GO) run ./cmd/melody-load -scenario fairness -seed 1 -check
 
 # bench-snapshot records a full BENCH_<n>.json regression snapshot against
 # the latest committed one (see cmd/melody-bench). Includes the serve/

@@ -24,6 +24,11 @@ const (
 	CodeOverloaded    ErrorCode = "overloaded"
 	CodeUnknownRun    ErrorCode = "unknown_run"
 	CodeUnknownTenant ErrorCode = "unknown_tenant"
+	CodeQuotaExceeded ErrorCode = "quota_exceeded"
+	// CodeTenantMismatch rejects requests naming two disagreeing tenants
+	// (header vs body); distinct from unknown_tenant so clients can tell a
+	// routing bug from a missing tenant.
+	CodeTenantMismatch ErrorCode = "tenant_mismatch"
 )
 
 // errorCodes pairs each sentinel with its code, in one place so encoding
@@ -42,6 +47,8 @@ var errorCodes = []struct {
 	{CodeOverloaded, ErrOverloaded},
 	{CodeUnknownRun, ErrUnknownRun},
 	{CodeUnknownTenant, ErrUnknownTenant},
+	{CodeQuotaExceeded, ErrQuotaExceeded},
+	{CodeTenantMismatch, ErrTenantMismatch},
 }
 
 // ErrorCodeFor maps an error onto its wire code, or "" when the error

@@ -591,6 +591,42 @@ func multirunKernel(cfg loadgen.MultiRunConfig) func() (Entry, error) {
 	}
 }
 
+// fairnessKernel runs the weighted-fair close scheduling scenario through
+// loadgen: 8 equal-weight tenants close in synchronized volleys through a
+// fair gate, with lifetime budget quotas enforced at every open. NsPerOp
+// is gated wall-clock per completed run; the fairness ratio (max/min
+// per-tenant median close latency), quota refusal count and replay verdict
+// land in Entry.Metrics. The scenario itself asserts the ratio bound,
+// byte-identical outcomes, ledger-exact spend accounting and quota
+// survival across WAL replay — any violation fails the kernel.
+func fairnessKernel(cfg loadgen.FairnessConfig) func() (Entry, error) {
+	return func() (Entry, error) {
+		res, err := loadgen.RunFairness(cfg)
+		if err != nil {
+			return Entry{}, err
+		}
+		match, replay := 0.0, 0.0
+		if res.OutcomesMatch {
+			match = 1
+		}
+		if res.ReplayConsistent {
+			replay = 1
+		}
+		return Entry{
+			Iterations: res.TotalRuns,
+			NsPerOp:    res.ConcurrentSeconds * 1e9 / float64(res.TotalRuns),
+			Metrics: map[string]float64{
+				"fairness_ratio":      res.FairnessRatio,
+				"min_median_close_ms": res.MinMedianCloseMs,
+				"max_median_close_ms": res.MaxMedianCloseMs,
+				"quota_refusals":      float64(res.QuotaRefusals),
+				"outcomes_match":      match,
+				"replay_consistent":   replay,
+			},
+		}, nil
+	}
+}
+
 // overloadLoad is the shared harness config for the serve/overload kernels:
 // a 250 bids/sec per-tenant admission budget, single-attempt clients (one
 // arrival, one verdict), and a funded ledger so the money invariants run.
@@ -692,6 +728,15 @@ func kernels() []kernel {
 			Tenants: 8, RunsPerTenant: 2, WorkersPerTenant: 8, Tasks: 2,
 			BidsPerWorker: 4, EpochEvery: 4, Seed: 11,
 			Backend: loadgen.BackendWAL})},
+		// serve/fairness kernels: 8 quota-bounded tenants close in
+		// synchronized volleys through the weighted-fair gate (capacity 1 =
+		// fully serialized closes, capacity 2 = two at a time). Each kernel
+		// asserts the max/min median close-latency ratio <= 2, quota
+		// refusals, exact spend accounting and WAL-replay consistency.
+		{name: "serve/fairness_gate1_t8", direct: fairnessKernel(loadgen.FairnessConfig{
+			Tenants: 8, CloseConcurrency: 1, Seed: 11})},
+		{name: "serve/fairness_gate2_t8", direct: fairnessKernel(loadgen.FairnessConfig{
+			Tenants: 8, CloseConcurrency: 2, Seed: 11})},
 	}
 }
 

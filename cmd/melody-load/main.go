@@ -14,7 +14,11 @@
 //	multirun  mixed-tenant concurrency: -tenants tenants each drive -runs
 //	          overlapping runs through the run scheduler, once serially and
 //	          once concurrently; asserts identical outcomes, money
-//	          conservation and zero goroutine leaks
+//	          conservation, tenant quota invariants and zero goroutine leaks
+//	fairness  weighted-fair close scheduling: -tenants tenants close every
+//	          round through a -close-concurrency gate; asserts the max/min
+//	          median close-latency ratio, quota refusals, ledger-exact
+//	          spend accounting and quota survival across WAL replay
 //
 // Usage:
 //
@@ -80,10 +84,12 @@ func main() {
 	ratedFraction := flag.Float64("rated-fraction", 0.5, "slo-smoke: rated load as a fraction of calibrated capacity")
 	overloadFactor := flag.Float64("overload-factor", 3, "slo-smoke: overload as a multiple of rated load")
 
-	tenants := flag.Int("tenants", 2, "multirun: concurrent tenants")
-	workersPerTenant := flag.Int("workers-per-tenant", 8, "multirun: workers bidding in each tenant's runs")
+	tenants := flag.Int("tenants", 2, "multirun/fairness: concurrent tenants")
+	workersPerTenant := flag.Int("workers-per-tenant", 8, "multirun/fairness: workers bidding in each tenant's runs")
 	epochEvery := flag.Int("epoch-every", 2, "multirun: settle payouts every N finished runs (0 = per run)")
 	direct := flag.Bool("direct", false, "multirun: drive the scheduler in-process instead of over HTTP")
+	closeConc := flag.Int("close-concurrency", 0, "auction closes admitted at once through the weighted-fair gate (0: multirun ungated, fairness serialized)")
+	maxRatio := flag.Float64("max-ratio", 2, "fairness: acceptance bound on max/min median close latency across tenants")
 
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file")
@@ -130,7 +136,28 @@ func main() {
 			Tasks: cfg.Tasks, Budget: cfg.Budget, BidsPerWorker: cfg.BidsPerWorker,
 			Batch: cfg.Batch, Seed: cfg.Seed, EpochEvery: *epochEvery,
 			Backend: cfg.Backend, WALDir: cfg.WALDir, Direct: *direct,
+			CloseConcurrency: *closeConc,
 		}, *asJSON, *check)
+	case "fairness":
+		// The generic flags carry non-zero defaults sized for other
+		// scenarios; forward only the ones the user actually set, so the
+		// fairness scenario's own (heavier) defaults apply otherwise.
+		fcfg := loadgen.FairnessConfig{Seed: cfg.Seed, CloseConcurrency: *closeConc, MaxRatio: *maxRatio}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "tenants":
+				fcfg.Tenants = *tenants
+			case "runs":
+				fcfg.Rounds = cfg.Runs
+			case "workers-per-tenant":
+				fcfg.WorkersPerTenant = *workersPerTenant
+			case "tasks":
+				fcfg.Tasks = cfg.Tasks
+			case "budget":
+				fcfg.Budget = cfg.Budget
+			}
+		})
+		err = runFairness(fcfg, *asJSON, *check)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -191,6 +218,32 @@ func runMultiRun(cfg loadgen.MultiRunConfig, asJSON, check bool) error {
 		res.OutcomesMatch, res.Epochs)
 	if check && res.ConcurrentRunsPerSec <= 0 {
 		return fmt.Errorf("check failed: no sustained multirun throughput")
+	}
+	return nil
+}
+
+// runFairness drives the weighted-fair close scheduling scenario and
+// prints the fairness and quota verdicts. A ratio breach, outcome
+// divergence, missed quota refusal or replay inconsistency surfaces as an
+// error from loadgen.
+func runFairness(cfg loadgen.FairnessConfig, asJSON, check bool) error {
+	res, err := loadgen.RunFairness(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return printJSON(res)
+	}
+	fmt.Printf("tenants=%d rounds=%d (%d total runs), close-concurrency=%d\n",
+		res.Tenants, res.Rounds, res.TotalRuns, res.CloseConcurrency)
+	fmt.Printf("median close latency across tenants: %.3f..%.3f ms -> fairness ratio %.2f\n",
+		res.MinMedianCloseMs, res.MaxMedianCloseMs, res.FairnessRatio)
+	fmt.Printf("outcomes byte-identical across passes: %v\n", res.OutcomesMatch)
+	fmt.Printf("quota: %d/%d over-quota opens refused; spend matches ledger: %v; WAL replay consistent: %v\n",
+		res.QuotaRefusals, res.Tenants, res.SpentMatchesLedger, res.ReplayConsistent)
+	fmt.Printf("serial: %.3fs, concurrent: %.3fs\n", res.SerialSeconds, res.ConcurrentSeconds)
+	if check && res.QuotaRefusals != res.Tenants {
+		return fmt.Errorf("check failed: %d quota refusals, want %d", res.QuotaRefusals, res.Tenants)
 	}
 	return nil
 }

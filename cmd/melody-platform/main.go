@@ -3,6 +3,10 @@
 // and score collection, and LDS-based quality tracking between runs
 // (Algorithms 2-3). Pair it with cmd/melody-worker agents and a
 // cmd/melody-requester driver.
+//
+// Configuration resolves in three layers: built-in defaults
+// (platform.DefaultConfig), then a -config JSON file, then explicit
+// command-line flags. The resolved configuration is logged at startup.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	_ "net/http/pprof" // profiling endpoints on the -pprof side listener
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -32,124 +37,176 @@ func main() {
 	}
 }
 
-func run() error {
+// resolveConfig binds every flag with defaults from platform.DefaultConfig,
+// loads the optional -config JSON file as the base layer, and then applies
+// only the flags the user explicitly set on top of it.
+func resolveConfig() (platform.Config, error) {
+	def := platform.DefaultConfig()
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
-		qualityMin  = flag.Float64("quality-min", 1, "qualification quality floor (Theta_m)")
-		qualityMax  = flag.Float64("quality-max", 10, "qualification quality ceiling (Theta_M)")
-		costMin     = flag.Float64("cost-min", 1, "qualification cost floor (C_m)")
-		costMax     = flag.Float64("cost-max", 2, "qualification cost ceiling (C_M)")
-		initMean    = flag.Float64("init-mean", 5.5, "initial quality belief mean (mu^0)")
-		initVar     = flag.Float64("init-var", 2.25, "initial quality belief variance (sigma^0)")
-		emPeriod    = flag.Int("em-period", 10, "EM re-estimation period T (0 disables)")
-		walPath     = flag.String("wal", "", "single-file write-ahead log path; enables durable state and crash recovery")
-		walDir      = flag.String("wal-dir", "", "segmented storage engine directory; enables durable state, snapshots, bounded recovery and replication")
-		segBytes    = flag.Int64("segment-bytes", eventlog.DefaultSegmentBytes, "segment rotation threshold for -wal-dir")
-		snapEvery   = flag.Int("snapshot-every", 10000, "take a state snapshot once this many records accumulated since the last one (0 disables; requires -wal-dir)")
-		noCompact   = flag.Bool("no-compaction", false, "keep snapshot-covered segments on disk (requires -wal-dir)")
-		replicaOf   = flag.String("replica-of", "", "run as a replica of the primary at this base URL, mirroring its -wal-dir files locally (requires -wal-dir)")
-		replicaID   = flag.String("replica-id", "", "replica name reported in acks (default: hostname)")
-		promote     = flag.Bool("promote", false, "promote: boot as primary from a directory previously populated by -replica-of (requires -wal-dir)")
-		maxInflight = flag.Int("max-inflight", 0, "admission control: concurrent ingest requests before queuing/shedding (0 disables)")
-		ansInflight = flag.Int("answer-inflight", 0, "admission control: separate concurrent-request budget for answer submission, so answer uploads cannot starve bid ingest (0 disables)")
-		admitQueue  = flag.Int("admission-queue", 0, "admission control: ingest requests allowed to wait for a slot before shedding (with -max-inflight)")
-		queueTO     = flag.Duration("queue-timeout", 0, "admission control: longest a queued ingest request waits before it is shed (default 100ms)")
-		tenantRate  = flag.Float64("tenant-rate", 0, "admission control: per-tenant ingest budget in requests/sec via the X-Melody-Tenant header (0 disables)")
-		tenantBurst = flag.Float64("tenant-burst", 0, "admission control: per-tenant token bucket capacity (default max(1, -tenant-rate))")
-		retryAfter  = flag.Duration("retry-after", 0, "admission control: Retry-After hint attached to 429 sheds (default 250ms)")
-		multiMode   = flag.Bool("multi", false, "serve concurrent multi-tenant runs via the run scheduler (/v1/runs/{id}); tenants are created on first use")
-		tenantRuns  = flag.Int("tenant-max-runs", 0, "admission control: runs a tenant may hold open concurrently (0 disables; requires -multi)")
-		epochEvery  = flag.Int("epoch-every", 0, "settle worker payouts in epochs of this many finished runs instead of per run (requires -multi and -fund)")
-		fund        = flag.Float64("fund", 0, "deposit this much into the requester's ledger account at boot; enables double-entry settlement (budgets escrow on open, payouts on finish)")
-		shards      = flag.Int("registry-shards", 0, "worker registry stripe count, rounded up to a power of two (0 uses the default; requires -multi)")
-		bidDL       = flag.Duration("bid-deadline", 0, "close a run's auction after this long in bidding (0 disables)")
-		scoreDL     = flag.Duration("score-deadline", 0, "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
-		chaosSpec   = flag.String("chaos", "", `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof (plus /metrics and /debug/traces) on this side address (e.g. 127.0.0.1:6060); empty disables")
-		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/traces on this side address (e.g. 127.0.0.1:9090); empty disables")
-		traceCap    = flag.Int("trace-capacity", 1024, "bounded span ring size for /debug/traces")
-		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		configPath  = flag.String("config", "", "JSON config file (see platform.Config); explicit flags override its values")
+		addr        = flag.String("addr", def.Addr, "listen address")
+		qualityMin  = flag.Float64("quality-min", def.QualityMin, "qualification quality floor (Theta_m)")
+		qualityMax  = flag.Float64("quality-max", def.QualityMax, "qualification quality ceiling (Theta_M)")
+		costMin     = flag.Float64("cost-min", def.CostMin, "qualification cost floor (C_m)")
+		costMax     = flag.Float64("cost-max", def.CostMax, "qualification cost ceiling (C_M)")
+		initMean    = flag.Float64("init-mean", def.InitMean, "initial quality belief mean (mu^0)")
+		initVar     = flag.Float64("init-var", def.InitVar, "initial quality belief variance (sigma^0)")
+		emPeriod    = flag.Int("em-period", def.EMPeriod, "EM re-estimation period T (0 disables)")
+		walPath     = flag.String("wal", def.WAL, "single-file write-ahead log path; enables durable state and crash recovery")
+		walDir      = flag.String("wal-dir", def.WALDir, "segmented storage engine directory; enables durable state, snapshots, bounded recovery and replication")
+		segBytes    = flag.Int64("segment-bytes", def.SegmentBytes, "segment rotation threshold for -wal-dir")
+		snapEvery   = flag.Int("snapshot-every", def.SnapshotEvery, "take a state snapshot once this many records accumulated since the last one (0 disables; requires -wal-dir)")
+		noCompact   = flag.Bool("no-compaction", def.NoCompaction, "keep snapshot-covered segments on disk (requires -wal-dir)")
+		replicaOf   = flag.String("replica-of", def.ReplicaOf, "run as a replica of the primary at this base URL, mirroring its -wal-dir files locally (requires -wal-dir)")
+		replicaID   = flag.String("replica-id", def.ReplicaID, "replica name reported in acks (default: hostname)")
+		promote     = flag.Bool("promote", def.Promote, "promote: boot as primary from a directory previously populated by -replica-of (requires -wal-dir)")
+		maxInflight = flag.Int("max-inflight", def.MaxInFlight, "admission control: concurrent ingest requests before queuing/shedding (0 disables)")
+		ansInflight = flag.Int("answer-inflight", def.AnswerInFlight, "admission control: separate concurrent-request budget for answer submission, so answer uploads cannot starve bid ingest (0 disables)")
+		admitQueue  = flag.Int("admission-queue", def.AdmissionQueue, "admission control: ingest requests allowed to wait for a slot before shedding (with -max-inflight)")
+		queueTO     = flag.Duration("queue-timeout", def.QueueTimeout.Std(), "admission control: longest a queued ingest request waits before it is shed (default 100ms)")
+		tenantRate  = flag.Float64("tenant-rate", def.TenantRate, "admission control: per-tenant ingest budget in requests/sec via the X-Melody-Tenant header (0 disables)")
+		tenantBurst = flag.Float64("tenant-burst", def.TenantBurst, "admission control: per-tenant token bucket capacity (default max(1, -tenant-rate))")
+		retryAfter  = flag.Duration("retry-after", def.RetryAfter.Std(), "admission control: Retry-After hint attached to 429 sheds (default 250ms)")
+		multiMode   = flag.Bool("multi", def.Multi, "serve concurrent multi-tenant runs via the run scheduler (/v1/runs/{id}); tenants are created on first use")
+		tenantRuns  = flag.Int("tenant-max-runs", def.TenantMaxRuns, "admission control: runs a tenant may hold open concurrently (0 disables; requires -multi)")
+		epochEvery  = flag.Int("epoch-every", def.EpochEvery, "settle worker payouts in epochs of this many finished runs instead of per run (requires -multi and -fund)")
+		fund        = flag.Float64("fund", def.Fund, "deposit this much into the requester's ledger account at boot; enables double-entry settlement (budgets escrow on open, payouts on finish)")
+		shards      = flag.Int("registry-shards", def.RegistryShards, "worker registry stripe count, rounded up to a power of two (0 uses the default; requires -multi)")
+		closeConc   = flag.Int("close-concurrency", def.CloseConcurrency, "weighted-fair gate: auction closes allowed to run concurrently across tenants (0 disables the gate; requires -multi)")
+		bidDL       = flag.Duration("bid-deadline", def.BidDeadline.Std(), "close a run's auction after this long in bidding (0 disables)")
+		scoreDL     = flag.Duration("score-deadline", def.ScoreDeadline.Std(), "finish a run after this long in scoring, treating absent winners as missing (0 disables)")
+		chaosSpec   = flag.String("chaos", def.Chaos, `inject deterministic faults in front of the API, e.g. "seed=42,drop=0.05,dup=0.1,err=0.02,lose=0.03,delay=1ms-20ms"`)
+		pprofAddr   = flag.String("pprof", def.PprofAddr, "serve net/http/pprof (plus /metrics and /debug/traces) on this side address (e.g. 127.0.0.1:6060); empty disables")
+		metricsAddr = flag.String("metrics", def.MetricsAddr, "serve /metrics and /debug/traces on this side address (e.g. 127.0.0.1:9090); empty disables")
+		traceCap    = flag.Int("trace-capacity", def.TraceCapacity, "bounded span ring size for /debug/traces")
+		logLevel    = flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	level, err := parseLogLevel(*logLevel)
+	cfg := def
+	if *configPath != "" {
+		loaded, err := platform.LoadConfig(*configPath)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = loaded
+	}
+	// A flag the user typed beats the file; a flag left at its default does
+	// not clobber a file-provided value.
+	overrides := map[string]func(){
+		"addr":              func() { cfg.Addr = *addr },
+		"quality-min":       func() { cfg.QualityMin = *qualityMin },
+		"quality-max":       func() { cfg.QualityMax = *qualityMax },
+		"cost-min":          func() { cfg.CostMin = *costMin },
+		"cost-max":          func() { cfg.CostMax = *costMax },
+		"init-mean":         func() { cfg.InitMean = *initMean },
+		"init-var":          func() { cfg.InitVar = *initVar },
+		"em-period":         func() { cfg.EMPeriod = *emPeriod },
+		"wal":               func() { cfg.WAL = *walPath },
+		"wal-dir":           func() { cfg.WALDir = *walDir },
+		"segment-bytes":     func() { cfg.SegmentBytes = *segBytes },
+		"snapshot-every":    func() { cfg.SnapshotEvery = *snapEvery },
+		"no-compaction":     func() { cfg.NoCompaction = *noCompact },
+		"replica-of":        func() { cfg.ReplicaOf = *replicaOf },
+		"replica-id":        func() { cfg.ReplicaID = *replicaID },
+		"promote":           func() { cfg.Promote = *promote },
+		"max-inflight":      func() { cfg.MaxInFlight = *maxInflight },
+		"answer-inflight":   func() { cfg.AnswerInFlight = *ansInflight },
+		"admission-queue":   func() { cfg.AdmissionQueue = *admitQueue },
+		"queue-timeout":     func() { cfg.QueueTimeout = platform.Duration(*queueTO) },
+		"tenant-rate":       func() { cfg.TenantRate = *tenantRate },
+		"tenant-burst":      func() { cfg.TenantBurst = *tenantBurst },
+		"retry-after":       func() { cfg.RetryAfter = platform.Duration(*retryAfter) },
+		"multi":             func() { cfg.Multi = *multiMode },
+		"tenant-max-runs":   func() { cfg.TenantMaxRuns = *tenantRuns },
+		"epoch-every":       func() { cfg.EpochEvery = *epochEvery },
+		"fund":              func() { cfg.Fund = *fund },
+		"registry-shards":   func() { cfg.RegistryShards = *shards },
+		"close-concurrency": func() { cfg.CloseConcurrency = *closeConc },
+		"bid-deadline":      func() { cfg.BidDeadline = platform.Duration(*bidDL) },
+		"score-deadline":    func() { cfg.ScoreDeadline = platform.Duration(*scoreDL) },
+		"chaos":             func() { cfg.Chaos = *chaosSpec },
+		"pprof":             func() { cfg.PprofAddr = *pprofAddr },
+		"metrics":           func() { cfg.MetricsAddr = *metricsAddr },
+		"trace-capacity":    func() { cfg.TraceCapacity = *traceCap },
+		"log-level":         func() { cfg.LogLevel = *logLevel },
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if apply, ok := overrides[f.Name]; ok {
+			apply()
+		}
+	})
+	return cfg, cfg.Validate()
+}
+
+func run() error {
+	cfg, err := resolveConfig()
+	if err != nil {
+		return err
+	}
+
+	level, err := parseLogLevel(cfg.LogLevel)
 	if err != nil {
 		return err
 	}
 	logger := obs.NewLogger(os.Stderr, level).With("component", "melody-platform")
-
-	switch {
-	case *walPath != "" && *walDir != "":
-		return errors.New("-wal and -wal-dir are mutually exclusive")
-	case *replicaOf != "" && *walDir == "":
-		return errors.New("-replica-of requires -wal-dir (the local mirror directory)")
-	case *replicaOf != "" && *promote:
-		return errors.New("-replica-of and -promote are mutually exclusive: stop following before promoting")
-	case *promote && *walDir == "":
-		return errors.New("-promote requires -wal-dir (the replica's data directory)")
-	case !*multiMode && (*tenantRuns > 0 || *epochEvery > 0 || *shards > 0):
-		return errors.New("-tenant-max-runs, -epoch-every and -registry-shards require -multi")
-	case *multiMode && *walDir != "":
-		return errors.New("-multi supports -wal (single-file log); the segmented engine serves the single-run platform only")
-	case *epochEvery > 0 && *fund <= 0:
-		return errors.New("-epoch-every requires -fund (epoch settlement aggregates ledger payouts)")
-	}
+	logger.Info("resolved config", "config", cfg.String())
 
 	// One registry and one span ring serve the whole process; every layer
 	// (WAL, platform core, HTTP server, chaos) records into them.
 	registry := obs.NewRegistry()
 	obs.RegisterBaseline(registry)
-	tracer := obs.NewTracer(*traceCap)
+	tracer := obs.NewTracer(cfg.TraceCapacity)
 
-	if *replicaOf != "" {
-		return runReplica(logger, registry, tracer, *replicaOf, *walDir, *replicaID, *metricsAddr)
+	if cfg.ReplicaOf != "" {
+		return runReplica(logger, registry, tracer, cfg.ReplicaOf, cfg.WALDir, cfg.ReplicaID, cfg.MetricsAddr)
 	}
 
 	trackerConfig := melody.QualityTrackerConfig{
-		InitialMean: *initMean,
-		InitialVar:  *initVar,
+		InitialMean: cfg.InitMean,
+		InitialVar:  cfg.InitVar,
 		Params:      melody.QualityParams{A: 1, Gamma: 0.3, Eta: 9},
-		EMPeriod:    *emPeriod,
+		EMPeriod:    cfg.EMPeriod,
 		EMWindow:    60,
 		Metrics:     registry,
 	}
 	auction := melody.AuctionConfig{
-		QualityMin: *qualityMin, QualityMax: *qualityMax,
-		CostMin: *costMin, CostMax: *costMax,
+		QualityMin: cfg.QualityMin, QualityMax: cfg.QualityMax,
+		CostMin: cfg.CostMin, CostMax: cfg.CostMax,
 	}
 	var money *melody.Ledger
-	if *fund > 0 {
+	if cfg.Fund > 0 {
 		money = melody.NewLedger()
-		if _, err := money.Deposit(melody.RequesterAccount, *fund, "boot funding"); err != nil {
+		if _, err := money.Deposit(melody.RequesterAccount, cfg.Fund, "boot funding"); err != nil {
 			return err
 		}
-		logger.Info("ledger funded", "requester_deposit", *fund)
+		logger.Info("ledger funded", "requester_deposit", cfg.Fund)
 	}
 	serverOpts := []platform.ServerOption{
-		platform.WithDeadlines(*bidDL, *scoreDL),
+		platform.WithDeadlines(cfg.BidDeadline.Std(), cfg.ScoreDeadline.Std()),
 		platform.WithMetrics(registry),
 		platform.WithTracer(tracer),
 	}
 	admission := platform.AdmissionConfig{
-		MaxInFlight:       *maxInflight,
-		AnswerMaxInFlight: *ansInflight,
-		MaxQueue:          *admitQueue,
-		QueueTimeout:      *queueTO,
-		TenantRatePerSec:  *tenantRate,
-		TenantBurst:       *tenantBurst,
-		RetryAfter:        *retryAfter,
-		TenantMaxRuns:     *tenantRuns,
+		MaxInFlight:       cfg.MaxInFlight,
+		AnswerMaxInFlight: cfg.AnswerInFlight,
+		MaxQueue:          cfg.AdmissionQueue,
+		QueueTimeout:      cfg.QueueTimeout.Std(),
+		TenantRatePerSec:  cfg.TenantRate,
+		TenantBurst:       cfg.TenantBurst,
+		RetryAfter:        cfg.RetryAfter.Std(),
+		TenantMaxRuns:     cfg.TenantMaxRuns,
 	}
-	if *maxInflight > 0 || *tenantRate > 0 || *ansInflight > 0 || *tenantRuns > 0 {
+	if cfg.MaxInFlight > 0 || cfg.TenantRate > 0 || cfg.AnswerInFlight > 0 || cfg.TenantMaxRuns > 0 {
 		serverOpts = append(serverOpts, platform.WithAdmission(admission))
 		logger.Info("admission control armed",
-			"max_inflight", *maxInflight, "answer_inflight", *ansInflight,
-			"queue", *admitQueue, "tenant_rate", *tenantRate,
-			"tenant_max_runs", *tenantRuns)
+			"max_inflight", cfg.MaxInFlight, "answer_inflight", cfg.AnswerInFlight,
+			"queue", cfg.AdmissionQueue, "tenant_rate", cfg.TenantRate,
+			"tenant_max_runs", cfg.TenantMaxRuns)
 	}
 
 	var srv *platform.Server
-	if *multiMode {
+	if cfg.Multi {
 		// Multi-tenant mode: the run scheduler serves concurrent runs keyed
 		// by ID, one platform (estimator + auction) per tenant, created on a
 		// tenant's first OpenRun.
@@ -158,18 +215,34 @@ func run() error {
 			NewEstimator: func(string) (melody.Estimator, error) {
 				return melody.NewQualityTracker(trackerConfig)
 			},
-			Ledger:         money,
-			EpochEvery:     *epochEvery,
-			RegistryShards: *shards,
-			Metrics:        registry,
-			Tracer:         tracer,
+			Ledger:           money,
+			EpochEvery:       cfg.EpochEvery,
+			RegistryShards:   cfg.RegistryShards,
+			CloseConcurrency: cfg.CloseConcurrency,
+			Metrics:          registry,
+			Tracer:           tracer,
 		})
 		if err != nil {
 			return err
 		}
+		// Boot-time tenant policies from the config file apply before WAL
+		// recovery, so replayed runtime PUTs override them.
+		if len(cfg.Tenants) > 0 {
+			names := make([]string, 0, len(cfg.Tenants))
+			for name := range cfg.Tenants {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if err := sched.SetTenantPolicy(context.Background(), name, cfg.Tenants[name].Policy()); err != nil {
+					return fmt.Errorf("tenant %q boot policy: %w", name, err)
+				}
+				logger.Info("tenant policy provisioned", "tenant", name)
+			}
+		}
 		var backend platform.MultiRunBackend = sched
-		if *walPath != "" {
-			persistent, wal, err := eventlog.OpenPersistentScheduler(*walPath, sched, eventlog.Options{
+		if cfg.WAL != "" {
+			persistent, wal, err := eventlog.OpenPersistentScheduler(cfg.WAL, sched, eventlog.Options{
 				SyncEveryAppend: true,
 				Metrics:         registry,
 				Tracer:          tracer,
@@ -180,7 +253,7 @@ func run() error {
 			defer wal.Close()
 			backend = persistent
 			logger.Info("durable multi-run state recovered",
-				"wal", *walPath, "completed_runs", sched.CompletedRuns(),
+				"wal", cfg.WAL, "completed_runs", sched.CompletedRuns(),
 				"open_runs", len(sched.OpenRuns()), "workers", len(sched.Workers()))
 		}
 		srv, err = platform.NewMultiServer(backend, logger, serverOpts...)
@@ -188,7 +261,8 @@ func run() error {
 			return err
 		}
 		logger.Info("multi-tenant run scheduler serving",
-			"epoch_every", *epochEvery, "registry_shards", *shards)
+			"epoch_every", cfg.EpochEvery, "registry_shards", cfg.RegistryShards,
+			"close_concurrency", cfg.CloseConcurrency)
 	} else {
 		tracker, err := melody.NewQualityTracker(trackerConfig)
 		if err != nil {
@@ -206,8 +280,8 @@ func run() error {
 		}
 		var backend platform.Backend = p
 		switch {
-		case *walPath != "":
-			persistent, wal, err := eventlog.OpenPersistentOptions(*walPath, p, eventlog.Options{
+		case cfg.WAL != "":
+			persistent, wal, err := eventlog.OpenPersistentOptions(cfg.WAL, p, eventlog.Options{
 				SyncEveryAppend: true,
 				Metrics:         registry,
 				Tracer:          tracer,
@@ -218,21 +292,21 @@ func run() error {
 			defer wal.Close()
 			backend = persistent
 			logger.Info("durable state recovered",
-				"wal", *walPath, "completed_runs", p.Run(), "workers", len(p.Workers()))
-		case *walDir != "":
+				"wal", cfg.WAL, "completed_runs", p.Run(), "workers", len(p.Workers()))
+		case cfg.WALDir != "":
 			// Promotion of a replica is nothing special: the replica's directory
 			// holds a byte-identical copy of the primary's durable files, so the
 			// standard recovery path below reconstructs exactly the state the
 			// primary had acknowledged.
-			persistent, seg, err := eventlog.OpenPersistentSegmented(*walDir, p, eventlog.SegmentedOptions{
+			persistent, seg, err := eventlog.OpenPersistentSegmented(cfg.WALDir, p, eventlog.SegmentedOptions{
 				Options: eventlog.Options{
 					SyncEveryAppend: true,
 					Metrics:         registry,
 					Tracer:          tracer,
 				},
-				SegmentBytes:      *segBytes,
-				SnapshotEvery:     *snapEvery,
-				DisableCompaction: *noCompact,
+				SegmentBytes:      cfg.SegmentBytes,
+				SnapshotEvery:     cfg.SnapshotEvery,
+				DisableCompaction: cfg.NoCompaction,
 			})
 			if err != nil {
 				return err
@@ -241,11 +315,11 @@ func run() error {
 			backend = persistent
 			serverOpts = append(serverOpts, platform.WithReplicationSource(seg))
 			event := "durable state recovered"
-			if *promote {
+			if cfg.Promote {
 				event = "replica promoted to primary"
 			}
 			logger.Info(event,
-				"wal_dir", *walDir, "completed_runs", p.Run(), "workers", len(p.Workers()),
+				"wal_dir", cfg.WALDir, "completed_runs", p.Run(), "workers", len(p.Workers()),
 				"snapshot_seq", seg.SnapshotSeq(), "seq", seg.Seq())
 		}
 		srv, err = platform.NewServer(backend, logger, serverOpts...)
@@ -254,8 +328,8 @@ func run() error {
 		}
 	}
 	handler := srv.Handler()
-	if *chaosSpec != "" {
-		scenario, err := chaos.Parse(*chaosSpec)
+	if cfg.Chaos != "" {
+		scenario, err := chaos.Parse(cfg.Chaos)
 		if err != nil {
 			return err
 		}
@@ -275,9 +349,9 @@ func run() error {
 	// accidental exposure) with the public API; the blank net/http/pprof
 	// import registers its handlers on http.DefaultServeMux, next to
 	// /metrics and /debug/traces above.
-	sideAddrs := []struct{ name, addr string }{{"pprof", *pprofAddr}}
-	if *metricsAddr != "" && *metricsAddr != *pprofAddr {
-		sideAddrs = append(sideAddrs, struct{ name, addr string }{"metrics", *metricsAddr})
+	sideAddrs := []struct{ name, addr string }{{"pprof", cfg.PprofAddr}}
+	if cfg.MetricsAddr != "" && cfg.MetricsAddr != cfg.PprofAddr {
+		sideAddrs = append(sideAddrs, struct{ name, addr string }{"metrics", cfg.MetricsAddr})
 	}
 	for _, side := range sideAddrs {
 		if side.addr == "" {
@@ -298,13 +372,13 @@ func run() error {
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.Addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr)
+	logger.Info("listening", "addr", cfg.Addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

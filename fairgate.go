@@ -1,0 +1,153 @@
+package melody
+
+import (
+	"context"
+	"sync"
+)
+
+// fairGate is a weighted-fair admission gate for auction closes, an
+// approximate start-time fair queueing (SFQ) scheduler over tenants. Each
+// acquire is tagged with a virtual start time — the later of the gate's
+// virtual clock and the tenant's previous finish tag — and a finish tag
+// start+1/weight; when a slot frees, the waiter with the smallest finish
+// tag is admitted and the virtual clock advances to it. Heavier tenants
+// therefore close proportionally more often under contention, an idle
+// tenant cannot bank credit while away (its start tag is clamped to the
+// current virtual clock), and no waiter starves: finish tags are fixed at
+// enqueue time, so a tenant re-arriving later always tags behind the
+// tenants already waiting.
+//
+// Equal finish tags — the common case when equal-weight tenants close in
+// synchronized volleys, since every volley ties on the same virtual time —
+// break toward the waiter whose tenant was admitted most recently, falling
+// back to arrival order. Sweeping back across the previous admission order
+// each volley (elevator order) equalizes cumulative queue position across
+// tenants instead of leaving tie order to goroutine wakeup luck; it cannot
+// starve, because an admitted tenant's next request tags strictly later
+// and ties are only among requests already enqueued.
+//
+// The gate reorders only the admission of CloseAuction calls, never their
+// inputs, so per-run outcomes remain byte-identical to serial execution.
+type fairGate struct {
+	capacity int
+
+	mu        sync.Mutex
+	inflight  int
+	vnow      float64
+	vtime     map[string]float64 // tenant -> finish tag of its last admission
+	seq       uint64
+	admits    uint64            // admission counter, stamps lastAdmit
+	lastAdmit map[string]uint64 // tenant -> admission stamp of its last admission
+	waiters   []*fairTicket
+}
+
+// fairTicket is one queued acquire.
+type fairTicket struct {
+	tenant string
+	finish float64
+	seq    uint64 // final tie-break for equal finish tags and admit stamps
+	ready  chan struct{}
+}
+
+// newFairGate returns a gate admitting at most capacity closes at once;
+// capacity <= 0 returns nil (gate disabled).
+func newFairGate(capacity int) *fairGate {
+	if capacity <= 0 {
+		return nil
+	}
+	return &fairGate{
+		capacity:  capacity,
+		vtime:     make(map[string]float64),
+		lastAdmit: make(map[string]uint64),
+	}
+}
+
+// acquire blocks until the tenant is admitted or ctx is done. Every
+// successful acquire must be paired with exactly one release.
+func (g *fairGate) acquire(ctx context.Context, tenant string, weight float64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	start := g.vnow
+	if last, ok := g.vtime[tenant]; ok && last > start {
+		start = last
+	}
+	finish := start + 1/weight
+	g.vtime[tenant] = finish
+	if g.inflight < g.capacity && len(g.waiters) == 0 {
+		g.inflight++
+		g.vnow = finish
+		g.admits++
+		g.lastAdmit[tenant] = g.admits
+		g.mu.Unlock()
+		return nil
+	}
+	t := &fairTicket{tenant: tenant, finish: finish, seq: g.seq, ready: make(chan struct{})}
+	g.seq++
+	g.waiters = append(g.waiters, t)
+	g.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-t.ready:
+			// Admitted while cancelling: the slot is ours, hand it back.
+			g.inflight--
+			g.admitLocked()
+		default:
+			for i, w := range g.waiters {
+				if w == t {
+					g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees one slot and admits the best waiter, if any.
+func (g *fairGate) release() {
+	g.mu.Lock()
+	g.inflight--
+	g.admitLocked()
+	g.mu.Unlock()
+}
+
+// admitLocked admits waiters in minimum-finish-tag order (elevator order
+// on ties, then arrival order) while slots are free; callers hold g.mu.
+func (g *fairGate) admitLocked() {
+	for g.inflight < g.capacity && len(g.waiters) > 0 {
+		best := 0
+		for i, w := range g.waiters[1:] {
+			if g.beats(w, g.waiters[best]) {
+				best = i + 1
+			}
+		}
+		t := g.waiters[best]
+		g.waiters = append(g.waiters[:best], g.waiters[best+1:]...)
+		g.inflight++
+		if t.finish > g.vnow {
+			g.vnow = t.finish
+		}
+		g.admits++
+		g.lastAdmit[t.tenant] = g.admits
+		close(t.ready)
+	}
+}
+
+// beats reports whether waiter a should be admitted before waiter b.
+func (g *fairGate) beats(a, b *fairTicket) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
+	}
+	if la, lb := g.lastAdmit[a.tenant], g.lastAdmit[b.tenant]; la != lb {
+		return la > lb
+	}
+	return a.seq < b.seq
+}

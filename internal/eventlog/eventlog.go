@@ -44,12 +44,26 @@ const (
 	KindClose    Kind = "close_auction"
 	KindScore    Kind = "score"
 	KindFinish   Kind = "finish_run"
+	// KindTenantPolicy records a tenant-policy install/update on a
+	// multi-run (scheduler) log; replay reconstructs quotas exactly,
+	// last write winning.
+	KindTenantPolicy Kind = "tenant_policy"
 )
 
 // TaskRecord is a task inside an open_run event.
 type TaskRecord struct {
 	ID        string  `json:"id"`
 	Threshold float64 `json:"threshold"`
+}
+
+// PolicyRecord is the durable form of a melody.TenantPolicy inside a
+// tenant_policy event. Quotas keep the in-memory sign convention
+// (negative = unlimited), so the full policy state round-trips.
+type PolicyRecord struct {
+	BudgetQuota      float64 `json:"budgetQuota"`
+	EpochBudgetQuota float64 `json:"epochBudgetQuota"`
+	MaxRuns          int     `json:"maxRuns,omitempty"`
+	Weight           float64 `json:"weight,omitempty"`
 }
 
 // Event is one durable platform operation. Fields are populated according
@@ -68,8 +82,11 @@ type Event struct {
 	// interleaved events from concurrent runs replay against the right run.
 	// Empty on single-run logs, which replay unchanged.
 	Run string `json:"run,omitempty"`
-	// Tenant names the run's tenant on a multi-run open_run event.
+	// Tenant names the run's tenant on a multi-run open_run event, and the
+	// policy's tenant on a tenant_policy event.
 	Tenant string `json:"tenant,omitempty"`
+	// Policy carries a tenant_policy event's full policy record.
+	Policy *PolicyRecord `json:"policy,omitempty"`
 	// CRC is the IEEE CRC-32 of the record's canonical encoding (the JSON
 	// of the event with CRC itself zeroed), detecting silent on-disk
 	// corruption. Zero means "no checksum": records written before
@@ -107,6 +124,10 @@ func (e Event) validate() error {
 			return errors.New("eventlog: score event without worker or task")
 		}
 	case KindClose, KindFinish:
+	case KindTenantPolicy:
+		if e.Tenant == "" || e.Policy == nil {
+			return errors.New("eventlog: tenant_policy event without tenant or policy")
+		}
 	default:
 		return fmt.Errorf("eventlog: unknown event kind %q", e.Kind)
 	}

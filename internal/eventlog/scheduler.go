@@ -211,6 +211,43 @@ func (ps *PersistentScheduler) FinishRun(ctx context.Context, runID string) erro
 		Event{Kind: KindFinish, Run: runID})
 }
 
+// SetTenantPolicy installs and records a tenant policy. Policy events
+// ride the same total order as run events, so replay reconstructs the
+// quota in force at every point of the log — an open refused for quota
+// before a crash is refused again on replay.
+func (ps *PersistentScheduler) SetTenantPolicy(ctx context.Context, tenant string, p melody.TenantPolicy) error {
+	return ps.record(ctx,
+		func() error { return ps.s.SetTenantPolicy(ctx, tenant, p) },
+		Event{Kind: KindTenantPolicy, Tenant: tenant, Policy: &PolicyRecord{
+			BudgetQuota:      p.BudgetQuota,
+			EpochBudgetQuota: p.EpochBudgetQuota,
+			MaxRuns:          p.MaxRuns,
+			Weight:           p.Weight,
+		}})
+}
+
+// TenantPolicy delegates to the scheduler.
+func (ps *PersistentScheduler) TenantPolicy(tenant string) (melody.TenantPolicy, bool) {
+	return ps.s.TenantPolicy(tenant)
+}
+
+// TenantStatus delegates to the scheduler.
+func (ps *PersistentScheduler) TenantStatus(tenant string) (melody.TenantStatus, error) {
+	return ps.s.TenantStatus(tenant)
+}
+
+// TenantStatuses delegates to the scheduler.
+func (ps *PersistentScheduler) TenantStatuses() []melody.TenantStatus {
+	return ps.s.TenantStatuses()
+}
+
+// ResizeRegistry delegates to the scheduler. Registry placement is
+// derived state (replay re-registers every worker), so resizes are not
+// logged.
+func (ps *PersistentScheduler) ResizeRegistry(ctx context.Context, n int) (melody.RegistryInfo, error) {
+	return ps.s.ResizeRegistry(ctx, n)
+}
+
 // Workers delegates to the scheduler.
 func (ps *PersistentScheduler) Workers() []string { return ps.s.Workers() }
 
@@ -257,12 +294,19 @@ func ReplayScheduler(path string, s *melody.RunScheduler) error {
 
 func applyScheduler(s *melody.RunScheduler, e Event) error {
 	ctx := context.Background()
-	if e.Kind != KindRegister && e.Run == "" {
+	if e.Kind != KindRegister && e.Kind != KindTenantPolicy && e.Run == "" {
 		return errors.New("eventlog: scheduler event without run ID (single-run log?)")
 	}
 	switch e.Kind {
 	case KindRegister:
 		return s.RegisterWorker(ctx, e.Worker)
+	case KindTenantPolicy:
+		return s.SetTenantPolicy(ctx, e.Tenant, melody.TenantPolicy{
+			BudgetQuota:      e.Policy.BudgetQuota,
+			EpochBudgetQuota: e.Policy.EpochBudgetQuota,
+			MaxRuns:          e.Policy.MaxRuns,
+			Weight:           e.Policy.Weight,
+		})
 	case KindOpenRun:
 		tasks := make([]melody.Task, len(e.Tasks))
 		for i, t := range e.Tasks {

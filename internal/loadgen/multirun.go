@@ -52,6 +52,9 @@ type MultiRunConfig struct {
 	// EpochEvery batches payouts into settlement epochs of this many
 	// finished runs; 0 settles per run.
 	EpochEvery int
+	// CloseConcurrency bounds auction closes running at once through the
+	// scheduler's weighted-fair gate; 0 leaves closes ungated.
+	CloseConcurrency int
 	// Backend is BackendMem (default) or BackendWAL. With BackendWAL every
 	// mutation is appended to a durable event log before acknowledging, and
 	// concurrent tenants amortize fsyncs through group commit — the goodput
@@ -161,11 +164,22 @@ func startMultiStack(cfg MultiRunConfig, pass string) (*multiStack, error) {
 				EMPeriod: 10, EMWindow: 60,
 			})
 		},
-		Ledger:     money,
-		EpochEvery: cfg.EpochEvery,
+		Ledger:           money,
+		EpochEvery:       cfg.EpochEvery,
+		CloseConcurrency: cfg.CloseConcurrency,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Every tenant gets a lifetime budget quota of exactly its season
+	// (runs x budget): the workload fits, and the verify checker below can
+	// hold the scheduler's spend accounting to a real bound.
+	for i := 0; i < cfg.Tenants; i++ {
+		policy := melody.UnlimitedTenantPolicy()
+		policy.BudgetQuota = cfg.Budget * float64(cfg.RunsPerTenant)
+		if err := sched.SetTenantPolicy(context.Background(), fmt.Sprintf("tenant%d", i), policy); err != nil {
+			return nil, err
+		}
 	}
 	st := &multiStack{sched: sched, money: money}
 	var backend platform.MultiRunBackend = sched
@@ -559,6 +573,9 @@ func multiPass(cfg MultiRunConfig, loads []tenantWorkload, concurrent bool) (map
 		return nil, 0, 0, 0, err
 	}
 	if err := verify.CheckSettlementDrained(st.money); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if err := verify.CheckTenantQuotas(tenantUsages(st.sched.TenantStatuses())); err != nil {
 		return nil, 0, 0, 0, err
 	}
 	epochs := 0

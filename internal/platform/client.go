@@ -362,6 +362,10 @@ func (c *Client) Forecast(ctx context.Context, workerID string, steps int) (Fore
 }
 
 // OpenRun starts a run with the given tasks and budget.
+//
+// Deprecated: use OpenRunID, which names the run (the idempotency key)
+// and its tenant explicitly and returns the run-scoped RunAPI handle.
+// OpenRun only works against single-run backends.
 func (c *Client) OpenRun(ctx context.Context, tasks []TaskSpec, budget float64) error {
 	return c.do(ctx, http.MethodPost, "/v1/runs", OpenRunRequest{Tasks: tasks, Budget: budget}, nil)
 }
@@ -392,6 +396,44 @@ func (c *Client) Runs(ctx context.Context) ([]RunStatus, error) {
 		return nil, err
 	}
 	return out.Runs, nil
+}
+
+// Tenants lists every known tenant's control-plane status (policy-only
+// tenants included), sorted by tenant. Multi-run backends only.
+func (c *Client) Tenants(ctx context.Context) ([]TenantStatusResponse, error) {
+	var out TenantsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Tenants, nil
+}
+
+// Tenant fetches one tenant's control-plane status: its policy (if any)
+// and its spend ledger. Unknown tenants map back to
+// melody.ErrUnknownTenant via errors.Is.
+func (c *Client) Tenant(ctx context.Context, id string) (TenantStatusResponse, error) {
+	var out TenantStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// PutTenant installs or replaces a tenant's policy and returns the
+// resulting status. Tenants may be provisioned before their first run;
+// lowering a quota below the tenant's outstanding commitment never fails
+// (the open run settles, future opens are refused).
+func (c *Client) PutTenant(ctx context.Context, id string, policy TenantPolicySpec) (TenantStatusResponse, error) {
+	var out TenantStatusResponse
+	err := c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(id),
+		TenantPolicyRequest{Policy: policy}, &out)
+	return out, err
+}
+
+// ResizeRegistry reshards the server's worker registry online and reports
+// the resulting shard count and how many workers moved.
+func (c *Client) ResizeRegistry(ctx context.Context, shards int) (RegistryResponse, error) {
+	var out RegistryResponse
+	err := c.do(ctx, http.MethodPut, "/v1/registry", RegistryResizeRequest{Shards: shards}, &out)
+	return out, err
 }
 
 // Run returns a handle scoped to one run's /v1/runs/{id}/... endpoints.
@@ -494,6 +536,9 @@ func (r *RunAPI) FinishRun(ctx context.Context) error {
 }
 
 // SubmitBid submits or replaces a worker's bid for the open run.
+//
+// Deprecated: use Run(id).SubmitBid — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, frequency int) error {
 	return c.Run("current").SubmitBid(ctx, workerID, cost, frequency)
 }
@@ -504,12 +549,18 @@ func (c *Client) SubmitBid(ctx context.Context, workerID string, cost float64, f
 // otherwise. The call error is non-nil only when the batch itself failed
 // (transport fault, malformed or oversized batch) — in that case the zero
 // BatchResult is returned.
+//
+// Deprecated: use Run(id).SubmitBids — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) SubmitBids(ctx context.Context, bids []BidRequest) (melody.BatchResult, error) {
 	return c.Run("current").SubmitBids(ctx, bids)
 }
 
 // SubmitScores submits a whole slice of scores in one round trip, with the
 // same per-item contract as SubmitBids.
+//
+// Deprecated: use Run(id).SubmitScores — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) SubmitScores(ctx context.Context, scores []ScoreRequest) (melody.BatchResult, error) {
 	return c.Run("current").SubmitScores(ctx, scores)
 }
@@ -524,31 +575,49 @@ func batchResultFromWire(results []BatchItemResult) melody.BatchResult {
 }
 
 // CloseAuction ends bidding and returns the allocation.
+//
+// Deprecated: use Run(id).CloseAuction — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) CloseAuction(ctx context.Context) (OutcomeResponse, error) {
 	return c.Run("current").CloseAuction(ctx)
 }
 
 // Outcome fetches the current run's allocation after the auction closed.
+//
+// Deprecated: use Run(id).Outcome — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) Outcome(ctx context.Context) (OutcomeResponse, error) {
 	return c.Run("current").Outcome(ctx)
 }
 
 // SubmitAnswer uploads a worker's answer for an assigned task.
+//
+// Deprecated: use Run(id).SubmitAnswer — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) SubmitAnswer(ctx context.Context, workerID, taskID, payload string) error {
 	return c.Run("current").SubmitAnswer(ctx, workerID, taskID, payload)
 }
 
 // Answers lists the answers submitted so far in the current run.
+//
+// Deprecated: use Run(id).Answers — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) Answers(ctx context.Context) ([]Answer, error) {
 	return c.Run("current").Answers(ctx)
 }
 
 // SubmitScore records the requester's score for an answer.
+//
+// Deprecated: use Run(id).SubmitScore — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) SubmitScore(ctx context.Context, workerID, taskID string, score float64) error {
 	return c.Run("current").SubmitScore(ctx, workerID, taskID, score)
 }
 
 // FinishRun completes the run and triggers the quality update.
+//
+// Deprecated: use Run(id).FinishRun — this method routes through the
+// deprecated "current" run alias, which is ambiguous once runs overlap.
 func (c *Client) FinishRun(ctx context.Context) error {
 	return c.Run("current").FinishRun(ctx)
 }

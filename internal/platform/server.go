@@ -69,6 +69,13 @@ type MultiRunBackend interface {
 	Run(runID string) (melody.RunInfo, error)
 	Quality(tenant, workerID string) (float64, error)
 	Forecast(tenant, workerID string, steps int) (melody.QualityForecast, error)
+	// Tenant control plane: typed policies (budget quotas, run caps,
+	// close-scheduling weights) administered over /v1/tenants.
+	SetTenantPolicy(ctx context.Context, tenant string, p melody.TenantPolicy) error
+	TenantStatus(tenant string) (melody.TenantStatus, error)
+	TenantStatuses() []melody.TenantStatus
+	// ResizeRegistry reshards the worker registry online.
+	ResizeRegistry(ctx context.Context, n int) (melody.RegistryInfo, error)
 }
 
 var _ MultiRunBackend = (*melody.RunScheduler)(nil)
@@ -345,6 +352,10 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "POST /v1/runs/{run}/scores", "score", s.handleScore)
 	s.route(mux, "POST /v1/runs/{run}/scores/batch", "score_batch", s.handleScoreBatch)
 	s.route(mux, "POST /v1/runs/{run}/finish", "finish", s.handleFinish)
+	s.route(mux, "GET /v1/tenants", "list_tenants", s.handleListTenants)
+	s.route(mux, "GET /v1/tenants/{id}", "get_tenant", s.handleGetTenant)
+	s.route(mux, "PUT /v1/tenants/{id}", "put_tenant", s.handlePutTenant)
+	s.route(mux, "PUT /v1/registry", "resize_registry", s.handleResizeRegistry)
 	if s.replSrc != nil {
 		s.mountReplication(mux)
 	}
@@ -414,6 +425,12 @@ func errorStatus(err error) int {
 		return http.StatusNotImplemented
 	case errors.Is(err, melody.ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, melody.ErrQuotaExceeded):
+		// Permanent until the policy changes, so not 429: clients must not
+		// blindly retry a refused open.
+		return http.StatusForbidden
+	case errors.Is(err, melody.ErrTenantMismatch):
+		return http.StatusBadRequest
 	}
 	return http.StatusBadRequest
 }
@@ -630,9 +647,17 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 	for i, t := range req.Tasks {
 		tasks[i] = melody.Task{ID: t.ID, Threshold: t.Threshold}
 	}
+	// Tenant-identity precedence: header and body may each name the
+	// tenant, but when both do they must agree — rejecting the conflict
+	// outright beats one silently winning and a run (or an admission
+	// quota slot) landing on the wrong tenant.
 	tenant := req.Tenant
-	if tenant == "" {
-		tenant = r.Header.Get(TenantHeader)
+	if header := r.Header.Get(TenantHeader); header != "" {
+		if tenant != "" && tenant != header {
+			writeError(w, fmt.Errorf("%w: header %q vs body %q", melody.ErrTenantMismatch, header, req.Tenant))
+			return
+		}
+		tenant = header
 	}
 
 	// Replay fast path: an explicit run ID the server already knows is an
@@ -664,11 +689,7 @@ func (s *Server) handleOpenRun(w http.ResponseWriter, r *http.Request) {
 	// detection, open failure, and run finish.
 	release := func() {}
 	if s.admission != nil {
-		quotaTenant := r.Header.Get(TenantHeader)
-		if quotaTenant == "" {
-			quotaTenant = tenant
-		}
-		rel, ok := s.admission.acquireRun(quotaTenant)
+		rel, ok := s.admission.acquireRun(tenant)
 		if !ok {
 			writeShed(w, s.admission.cfg.RetryAfter)
 			return
@@ -1084,6 +1105,91 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// requireMulti guards the tenant control plane: the single-run platform
+// has no tenants, so the endpoints exist only on multi-run servers.
+func (s *Server) requireMulti(w http.ResponseWriter) bool {
+	if s.multi == nil {
+		writeJSON(w, http.StatusNotImplemented, ErrorResponse{
+			Error: "platform: tenant control plane requires the multi-run scheduler (-multi)",
+		})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireMulti(w) {
+		return
+	}
+	statuses := s.multi.TenantStatuses()
+	resp := TenantsResponse{Tenants: make([]TenantStatusResponse, len(statuses))}
+	for i, st := range statuses {
+		resp.Tenants[i] = toTenantStatusResponse(st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMulti(w) {
+		return
+	}
+	st, err := s.multi.TenantStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTenantStatusResponse(st))
+}
+
+func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMulti(w) {
+		return
+	}
+	id := r.PathValue("id")
+	// The path names the tenant; a disagreeing X-Melody-Tenant header is
+	// the same routing bug the open path rejects.
+	if header := r.Header.Get(TenantHeader); header != "" && header != id {
+		writeError(w, fmt.Errorf("%w: header %q vs path %q", melody.ErrTenantMismatch, header, id))
+		return
+	}
+	var req TenantPolicyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.multi.SetTenantPolicy(r.Context(), id, req.Policy.Policy()); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.multi.TenantStatus(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.log.Info("tenant policy set", "tenant", id,
+		"budgetQuota", st.Policy.BudgetQuota, "epochBudgetQuota", st.Policy.EpochBudgetQuota,
+		"maxRuns", st.Policy.MaxRuns, "weight", st.Weight)
+	writeJSON(w, http.StatusOK, toTenantStatusResponse(st))
+}
+
+func (s *Server) handleResizeRegistry(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMulti(w) {
+		return
+	}
+	var req RegistryResizeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.multi.ResizeRegistry(r.Context(), req.Shards)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.log.Info("registry resized", "shards", info.Shards, "workers", info.Workers, "moved", info.Moved)
+	writeJSON(w, http.StatusOK, RegistryResponse{Shards: info.Shards, Workers: info.Workers, Moved: info.Moved})
 }
 
 // finishRun is the finish path shared by the HTTP handler and the

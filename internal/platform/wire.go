@@ -230,6 +230,117 @@ const (
 	CodeNoForecast    = string(melody.CodeNoForecast)
 )
 
+// Tenant control-plane wire types. Admin surfaces ship typed
+// request/response structs — never ad-hoc maps — so the schema is
+// greppable, versionable, and fuzzable like the rest of the wire (see
+// DESIGN §13).
+
+// TenantPolicySpec is the wire form of a melody.TenantPolicy. The quota
+// fields are pointers so "absent" (unlimited) and an explicit 0 (no
+// budget at all) stay distinguishable in JSON.
+type TenantPolicySpec struct {
+	// BudgetQuota caps lifetime committed spend (settled + escrowed);
+	// absent or negative disables the cap, zero refuses any budgeted open.
+	BudgetQuota *float64 `json:"budgetQuota,omitempty"`
+	// EpochBudgetQuota caps committed spend per settlement epoch; same
+	// convention as BudgetQuota.
+	EpochBudgetQuota *float64 `json:"epochBudgetQuota,omitempty"`
+	// MaxRuns caps lifetime opened runs; <= 0 disables the cap.
+	MaxRuns int `json:"maxRuns,omitempty"`
+	// Weight is the weighted-fair close-admission share; <= 0 selects 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Policy converts the wire spec into the in-memory policy.
+func (s TenantPolicySpec) Policy() melody.TenantPolicy {
+	p := melody.UnlimitedTenantPolicy()
+	if s.BudgetQuota != nil {
+		p.BudgetQuota = *s.BudgetQuota
+	}
+	if s.EpochBudgetQuota != nil {
+		p.EpochBudgetQuota = *s.EpochBudgetQuota
+	}
+	p.MaxRuns = s.MaxRuns
+	p.Weight = s.Weight
+	return p
+}
+
+// specFromPolicy converts an in-memory policy back to its wire form.
+func specFromPolicy(p melody.TenantPolicy) TenantPolicySpec {
+	s := TenantPolicySpec{MaxRuns: p.MaxRuns, Weight: p.Weight}
+	if p.BudgetQuota >= 0 {
+		q := p.BudgetQuota
+		s.BudgetQuota = &q
+	}
+	if p.EpochBudgetQuota >= 0 {
+		q := p.EpochBudgetQuota
+		s.EpochBudgetQuota = &q
+	}
+	return s
+}
+
+// TenantPolicyRequest is the body of PUT /v1/tenants/{id}.
+type TenantPolicyRequest struct {
+	Policy TenantPolicySpec `json:"policy"`
+}
+
+// TenantStatusResponse is one tenant's control-plane status: GET
+// /v1/tenants/{id} and the PUT acknowledgment.
+type TenantStatusResponse struct {
+	Tenant string `json:"tenant"`
+	// Policy is the installed policy; absent when the tenant has run
+	// history but no policy (unconstrained).
+	Policy *TenantPolicySpec `json:"policy,omitempty"`
+	// Spent is the settled spend across the tenant's finished runs.
+	Spent float64 `json:"spent"`
+	// EpochSpent is the settled spend in the current settlement epoch.
+	EpochSpent float64 `json:"epochSpent,omitempty"`
+	// Escrowed is the budget committed by the tenant's open run.
+	Escrowed float64 `json:"escrowed,omitempty"`
+	// RunsOpened counts runs ever opened, including the open one.
+	RunsOpened int `json:"runsOpened,omitempty"`
+	// OpenRunID is the tenant's open run, omitted when none.
+	OpenRunID string `json:"openRunId,omitempty"`
+	// Weight is the effective close-scheduling weight.
+	Weight float64 `json:"weight"`
+}
+
+// TenantsResponse is the body of GET /v1/tenants.
+type TenantsResponse struct {
+	Tenants []TenantStatusResponse `json:"tenants"`
+}
+
+// RegistryResizeRequest is the body of PUT /v1/registry: an elastic
+// reshard of the worker registry.
+type RegistryResizeRequest struct {
+	Shards int `json:"shards"`
+}
+
+// RegistryResponse describes the registry after a resize.
+type RegistryResponse struct {
+	Shards  int `json:"shards"`
+	Workers int `json:"workers"`
+	Moved   int `json:"moved,omitempty"`
+}
+
+// toTenantStatusResponse converts a scheduler status to its wire form.
+func toTenantStatusResponse(st melody.TenantStatus) TenantStatusResponse {
+	resp := TenantStatusResponse{
+		Tenant:     st.Tenant,
+		Spent:      st.Spent,
+		EpochSpent: st.EpochSpent,
+		Escrowed:   st.Escrowed,
+		RunsOpened: st.RunsOpened,
+		OpenRunID:  st.OpenRun,
+		Weight:     st.Weight,
+	}
+	if st.HasPolicy {
+		spec := specFromPolicy(st.Policy)
+		resp.Policy = &spec
+	}
+	return resp
+}
+
 // errorCode maps a platform error onto its wire code ("" when none).
 func errorCode(err error) string {
 	return string(melody.ErrorCodeFor(err))

@@ -1,0 +1,60 @@
+package verify
+
+import "fmt"
+
+// TenantUsage is the checker-neutral view of one tenant's budget accounting,
+// adapted from melody.TenantStatus by the caller (this package must not
+// depend on the root module).
+type TenantUsage struct {
+	Tenant string
+
+	// HasQuota marks a tenant with an enforced lifetime budget quota; when
+	// false, Quota is ignored (the tenant is unlimited).
+	HasQuota bool
+	Quota    float64
+
+	// Spent is realized spend across settled runs; Escrowed is budget held
+	// by the currently open run, not yet settled or refunded.
+	Spent    float64
+	Escrowed float64
+
+	// RunsOpened counts admitted opens; MaxRuns ≤ 0 means uncapped.
+	RunsOpened int
+	MaxRuns    int
+}
+
+// CheckTenantQuotas verifies the scheduler's admission invariant for every
+// tenant: committed money (realized spend plus outstanding escrow) never
+// exceeds the quota that was enforced at OpenRun, counters are sane, and a
+// capped tenant never opened more runs than its cap. A violation means an
+// open was admitted that the quota should have refused — the crowdsourcing
+// analogue of an overdraft.
+func CheckTenantQuotas(usages []TenantUsage) error {
+	for _, u := range usages {
+		if !finite(u.Spent) || !finite(u.Escrowed) {
+			return fmt.Errorf("verify: tenant %q has non-finite usage (spent %v, escrowed %v)", u.Tenant, u.Spent, u.Escrowed)
+		}
+		if u.Spent < -Tol {
+			return fmt.Errorf("verify: tenant %q has negative spend %v", u.Tenant, u.Spent)
+		}
+		if u.Escrowed < -Tol {
+			return fmt.Errorf("verify: tenant %q has negative escrow %v", u.Tenant, u.Escrowed)
+		}
+		if u.RunsOpened < 0 {
+			return fmt.Errorf("verify: tenant %q has negative run count %d", u.Tenant, u.RunsOpened)
+		}
+		if u.HasQuota {
+			if !finite(u.Quota) || u.Quota < 0 {
+				return fmt.Errorf("verify: tenant %q has invalid quota %v", u.Tenant, u.Quota)
+			}
+			if committed := u.Spent + u.Escrowed; committed > u.Quota+SumTol {
+				return fmt.Errorf("verify: tenant %q over quota: spent %v + escrowed %v = %v exceeds quota %v",
+					u.Tenant, u.Spent, u.Escrowed, committed, u.Quota)
+			}
+		}
+		if u.MaxRuns > 0 && u.RunsOpened > u.MaxRuns {
+			return fmt.Errorf("verify: tenant %q opened %d runs, cap is %d", u.Tenant, u.RunsOpened, u.MaxRuns)
+		}
+	}
+	return nil
+}

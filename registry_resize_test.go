@@ -1,0 +1,139 @@
+package melody
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestRegistryResizeKeepsMembership: growing and then shrinking the shard
+// count preserves the exact member set, and no-op resizes move nothing.
+func TestRegistryResizeKeepsMembership(t *testing.T) {
+	r := NewWorkerRegistry(4)
+	var want []string
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("w%03d", i)
+		r.Register(id)
+		want = append(want, id)
+	}
+	sort.Strings(want)
+
+	for _, n := range []int{16, 2, 64, 4} {
+		shards, _ := r.Resize(n)
+		if shards != n {
+			t.Fatalf("Resize(%d) shards = %d (power-of-two input must be exact)", n, shards)
+		}
+		got := r.All()
+		if len(got) != len(want) {
+			t.Fatalf("after Resize(%d): %d workers, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("after Resize(%d): member %d = %q, want %q", n, i, got[i], want[i])
+			}
+		}
+		if r.Len() != len(want) {
+			t.Fatalf("Len() = %d after Resize(%d), want %d", r.Len(), n, len(want))
+		}
+	}
+	if shards, moved := r.Resize(4); shards != 4 || moved != 0 {
+		t.Fatalf("no-op resize = (%d, %d), want (4, 0)", shards, moved)
+	}
+}
+
+// TestRegistryResizeMovesMinority: consistent-hash placement moves roughly
+// the changed capacity fraction on a grow, not everything — doubling 8→16
+// shards should relocate about half the keys, and far fewer than a
+// modulo-style rehash would.
+func TestRegistryResizeMovesMinority(t *testing.T) {
+	const workers = 2000
+	r := NewWorkerRegistry(8)
+	for i := 0; i < workers; i++ {
+		r.Register(fmt.Sprintf("worker-%04d", i))
+	}
+	_, moved := r.Resize(16)
+	// Expected movement is ~1/2; accept a wide band around it but reject
+	// full-rehash behavior (a modulo scheme moves ~15/16 of the keys).
+	if moved < workers/5 || moved > workers*4/5 {
+		t.Fatalf("grow 8->16 moved %d of %d keys, want roughly half", moved, workers)
+	}
+	// Shrinking back moves only the keys owned by the dropped shards.
+	_, movedBack := r.Resize(8)
+	if movedBack < workers/5 || movedBack > workers*4/5 {
+		t.Fatalf("shrink 16->8 moved %d of %d keys, want roughly half", movedBack, workers)
+	}
+}
+
+// TestRegistryResizeConcurrentTraffic races registrations and membership
+// checks against a churn of grows and shrinks: no registered ID may ever
+// be reported missing, and the final member set must be exact. Run under
+// -race this is the migration protocol's main test.
+func TestRegistryResizeConcurrentTraffic(t *testing.T) {
+	r := NewWorkerRegistry(4)
+	const (
+		writers      = 4
+		perWriter    = 300
+		resizeRounds = 20
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%03d", w, i)
+				r.Register(id)
+				// A just-registered ID must be visible immediately, even
+				// mid-migration.
+				if !r.Has(id) {
+					t.Errorf("registered %s not visible", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{8, 2, 32, 4, 16, 1}
+		for i := 0; i < resizeRounds; i++ {
+			r.Resize(sizes[i%len(sizes)])
+		}
+	}()
+	wg.Wait()
+
+	if got, want := r.Len(), writers*perWriter; got != want {
+		t.Fatalf("after churn: Len() = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if id := fmt.Sprintf("w%d-%03d", w, i); !r.Has(id) {
+				t.Fatalf("worker %s lost in resize churn", id)
+			}
+		}
+	}
+}
+
+// TestSchedulerResizeRegistry: the scheduler surface rounds the requested
+// count, reports the member total, and a resize mid-season does not
+// disturb subsequent runs.
+func TestSchedulerResizeRegistry(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	registerTenantWorkers(t, s, "acme", 6)
+	if err := driveRun(ctx, s, "acme", "r1", 6); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.ResizeRegistry(ctx, 5) // rounds up to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 8 || info.Workers != 6 {
+		t.Fatalf("ResizeRegistry(5) = %+v, want shards 8 workers 6", info)
+	}
+	if err := driveRun(ctx, s, "acme", "r2", 6); err != nil {
+		t.Fatalf("run after resize: %v", err)
+	}
+}

@@ -37,9 +37,14 @@ type SchedulerConfig struct {
 	// accrued escrow payments are drained from the epoch pool into one
 	// aggregated payout batch per worker. 0 keeps direct per-run payouts.
 	EpochEvery int
-	// RegistryShards sets the shared worker registry's stripe count
-	// (rounded up to a power of two); <= 0 selects the default.
+	// RegistryShards sets the shared worker registry's initial shard count
+	// (rounded up to a power of two); <= 0 selects the default. The count
+	// is elastic after construction via ResizeRegistry.
 	RegistryShards int
+	// CloseConcurrency bounds how many auction closes may execute at
+	// once, admitted in weighted-fair order across tenants (see
+	// TenantPolicy.Weight); <= 0 leaves closes ungated, today's behavior.
+	CloseConcurrency int
 	// Metrics optionally instruments every tenant platform. Nil disables.
 	Metrics *obs.Registry
 	// Tracer optionally records auction spans. Nil disables tracing.
@@ -81,6 +86,7 @@ type RunScheduler struct {
 	cfg      SchedulerConfig
 	registry *WorkerRegistry
 	settler  *EpochSettler
+	gate     *fairGate // weighted-fair close admission; nil when ungated
 
 	mu         sync.RWMutex
 	tenants    map[string]*Platform
@@ -88,6 +94,7 @@ type RunScheduler struct {
 	runs       map[string]*schedRun
 	order      []string // run IDs in open order
 	completed  int
+	tstates    map[string]*tenantState // tenant -> policy + spend ledger
 }
 
 // schedRun is one run's scheduling state. All mutations of the run
@@ -118,9 +125,11 @@ func NewRunScheduler(cfg SchedulerConfig) (*RunScheduler, error) {
 	s := &RunScheduler{
 		cfg:        cfg,
 		registry:   NewWorkerRegistry(cfg.RegistryShards),
+		gate:       newFairGate(cfg.CloseConcurrency),
 		tenants:    make(map[string]*Platform),
 		tenantOpen: make(map[string]string),
 		runs:       make(map[string]*schedRun),
+		tstates:    make(map[string]*tenantState),
 	}
 	if cfg.EpochEvery > 0 {
 		s.settler = NewEpochSettler(cfg.Ledger, cfg.EpochEvery)
@@ -130,6 +139,20 @@ func NewRunScheduler(cfg SchedulerConfig) (*RunScheduler, error) {
 
 // Registry returns the shared striped worker registry.
 func (s *RunScheduler) Registry() *WorkerRegistry { return s.registry }
+
+// ResizeRegistry rescales the shared worker registry to n shards (rounded
+// up to a power of two, <= 0 selects the default) by consistent-hash
+// migration: reads and registrations proceed concurrently and only the
+// keys whose ring owner changed move. Registry placement is derived
+// state, so resizes are not WAL events — replay re-registers workers into
+// whatever shard count the rebooted scheduler was configured with.
+func (s *RunScheduler) ResizeRegistry(ctx context.Context, n int) (RegistryInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return RegistryInfo{}, err
+	}
+	shards, moved := s.registry.Resize(n)
+	return RegistryInfo{Shards: shards, Workers: s.registry.Len(), Moved: moved}, nil
+}
 
 // Settler returns the epoch settler, nil when EpochEvery was 0.
 func (s *RunScheduler) Settler() *EpochSettler { return s.settler }
@@ -314,8 +337,16 @@ func (s *RunScheduler) OpenRun(ctx context.Context, runID, tenant string, tasks 
 		s.mu.Unlock()
 		return fmt.Errorf("%w: tenant %q run %q", ErrRunOpen, tenant, openID)
 	}
+	// Enforce the tenant's policy (budget quota against settled spend,
+	// run-count cap) before any money moves; on success the budget is
+	// committed to the tenant's spend ledger until the run finishes.
+	if err := s.admitRunLocked(tenant, budget); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	p, err := s.platformFor(tenant)
 	if err != nil {
+		s.releaseRunLocked(tenant)
 		s.mu.Unlock()
 		return err
 	}
@@ -339,6 +370,7 @@ func (s *RunScheduler) OpenRun(ctx context.Context, runID, tenant string, tasks 
 				break
 			}
 		}
+		s.releaseRunLocked(tenant)
 		s.mu.Unlock()
 		return err
 	}
@@ -425,6 +457,16 @@ func (s *RunScheduler) CloseAuction(ctx context.Context, runID string) (*Outcome
 		// resurrected by replay tools; treat like the single-run platform.
 		return nil, fmt.Errorf("%w: run %s finished", ErrNoRunOpen, runID)
 	}
+	// Under a close-concurrency bound, admission is weighted-fair across
+	// tenants so a heavy tenant cannot monopolize kernel time. The gate
+	// reorders only when closes start, never their inputs, so outcomes
+	// stay byte-identical to serial execution.
+	if s.gate != nil {
+		if err := s.gate.acquire(ctx, r.tenant, s.closeWeight(r.tenant)); err != nil {
+			return nil, err
+		}
+		defer s.gate.release()
+	}
 	out, err := r.p.CloseAuction(ctx)
 	if err != nil {
 		return nil, err
@@ -478,13 +520,25 @@ func (s *RunScheduler) FinishRun(ctx context.Context, runID string) error {
 		return err
 	}
 	r.done = true
+	// The run's committed budget settles into actual spend: every
+	// finished run closed its auction first (or never will), so the
+	// recorded outcome's total payment is the tenant's realized cost.
+	spend := 0.0
+	if r.outcome != nil {
+		spend = r.outcome.TotalPayment
+	}
 	s.mu.Lock()
 	delete(s.tenantOpen, r.tenant)
 	s.completed++
+	s.settleRunLocked(r.tenant, spend)
 	s.mu.Unlock()
 	if s.settler != nil {
-		if _, err := s.settler.RunFinished(); err != nil {
+		settled, err := s.settler.RunFinished()
+		if err != nil {
 			return fmt.Errorf("melody: epoch settlement: %w", err)
+		}
+		if settled {
+			s.resetEpochSpend()
 		}
 	}
 	return nil

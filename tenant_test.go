@@ -1,0 +1,502 @@
+package melody
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// registerTenantWorkers registers the "<tenant>-w<i>" workers driveRun bids
+// with.
+func registerTenantWorkers(t *testing.T, s *RunScheduler, tenant string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.RegisterWorker(context.Background(), fmt.Sprintf("%s-w%d", tenant, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTenantZeroBudgetQuota: an explicit quota of 0 refuses every budgeted
+// open but still admits zero-budget runs, and the refusal leaves no trace
+// in the tenant's ledger.
+func TestTenantZeroBudgetQuota(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	policy := UnlimitedTenantPolicy()
+	policy.BudgetQuota = 0
+	if err := s.SetTenantPolicy(ctx, "acme", policy); err != nil {
+		t.Fatal(err)
+	}
+
+	err := s.OpenRun(ctx, "r1", "acme", []Task{{ID: "t1", Threshold: 10}}, 1)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("budgeted open under zero quota = %v, want ErrQuotaExceeded", err)
+	}
+	st, err := s.TenantStatus("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunsOpened != 0 || st.Escrowed != 0 {
+		t.Fatalf("refused open left state behind: %+v", st)
+	}
+
+	if err := s.OpenRun(ctx, "r1", "acme", []Task{{ID: "t1", Threshold: 10}}, 0); err != nil {
+		t.Fatalf("zero-budget open under zero quota = %v, want success", err)
+	}
+}
+
+// TestTenantQuotaCoversEscrow: the quota binds against committed spend, so
+// a second run whose budget would overlap the open run's escrow is refused
+// even though nothing has settled yet; after the run settles (spending less
+// than its budget) the freed headroom admits it.
+func TestTenantQuotaCoversEscrow(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	registerTenantWorkers(t, s, "acme", 4)
+	policy := UnlimitedTenantPolicy()
+	policy.BudgetQuota = 150
+	if err := s.SetTenantPolicy(ctx, "acme", policy); err != nil {
+		t.Fatal(err)
+	}
+
+	// driveRun's budget is 100, so run 2 fits only after run 1's actual
+	// spend (a few units of payment) replaces its 100-unit escrow.
+	if err := s.OpenRun(ctx, "r1", "acme", []Task{{ID: "r1-t1", Threshold: 10}}, 100); err != nil {
+		t.Fatal(err)
+	}
+	// The tenant's single-open-run rule would also refuse here; lowering
+	// the quota below escrow and checking the error classes the refusal.
+	st, _ := s.TenantStatus("acme")
+	if st.Escrowed != 100 {
+		t.Fatalf("escrowed = %v, want 100", st.Escrowed)
+	}
+	for i := 0; i < 4; i++ {
+		w := fmt.Sprintf("acme-w%d", i)
+		if err := s.SubmitBid(ctx, "r1", w, Bid{Cost: 1 + 0.1*float64(i), Frequency: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := s.CloseAuction(ctx, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Assignments {
+		if err := s.SubmitScore(ctx, "r1", a.WorkerID, a.TaskID, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FinishRun(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ = s.TenantStatus("acme")
+	if st.Escrowed != 0 || st.Spent != out.TotalPayment {
+		t.Fatalf("settlement ledger = %+v, want escrow 0 and spent %v", st, out.TotalPayment)
+	}
+	// Settled spend is small, so a second 100-unit run now fits under 150…
+	if err := s.OpenRun(ctx, "r2", "acme", []Task{{ID: "r2-t1", Threshold: 10}}, 100); err != nil {
+		t.Fatalf("open within freed headroom = %v, want success", err)
+	}
+	// …but a third would stack another 100 of budget on the open escrow.
+	err = s.OpenRun(ctx, "r3", "acme", []Task{{ID: "r3-t1", Threshold: 10}}, 100)
+	if errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("quota fired before the single-open-run rule: %v", err)
+	}
+	if !errors.Is(err, ErrRunOpen) {
+		t.Fatalf("second concurrent open = %v, want ErrRunOpen", err)
+	}
+}
+
+// TestTenantQuotaLoweredBelowSpend: lowering a quota under the tenant's
+// realized spend never disturbs history — the ledger keeps its numbers —
+// but every future budgeted open is refused until the policy is raised.
+func TestTenantQuotaLoweredBelowSpend(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	registerTenantWorkers(t, s, "acme", 4)
+	if err := driveRun(ctx, s, "acme", "r1", 4); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.TenantStatus("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spent <= 0 {
+		t.Fatalf("spent = %v after a settled run, want > 0", st.Spent)
+	}
+
+	clamp := UnlimitedTenantPolicy()
+	clamp.BudgetQuota = st.Spent / 2
+	if err := s.SetTenantPolicy(ctx, "acme", clamp); err != nil {
+		t.Fatalf("lowering quota below realized spend = %v, want success", err)
+	}
+	after, _ := s.TenantStatus("acme")
+	if after.Spent != st.Spent || after.RunsOpened != st.RunsOpened {
+		t.Fatalf("policy change rewrote history: %+v -> %+v", st, after)
+	}
+	err = s.OpenRun(ctx, "r2", "acme", []Task{{ID: "r2-t1", Threshold: 10}}, 10)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("open above clamped quota = %v, want ErrQuotaExceeded", err)
+	}
+	// Raising the quota clears the refusal — it is policy, not damage.
+	raise := UnlimitedTenantPolicy()
+	raise.BudgetQuota = st.Spent + 100
+	if err := s.SetTenantPolicy(ctx, "acme", raise); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenRun(ctx, "r2", "acme", []Task{{ID: "r2-t1", Threshold: 10}}, 10); err != nil {
+		t.Fatalf("open after quota raise = %v, want success", err)
+	}
+}
+
+// TestTenantMaxRuns: the run-count cap counts every opened run, refused
+// opens do not consume it, and other tenants are unaffected.
+func TestTenantMaxRuns(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	registerTenantWorkers(t, s, "acme", 3)
+	registerTenantWorkers(t, s, "rival", 3)
+	policy := UnlimitedTenantPolicy()
+	policy.MaxRuns = 2
+	if err := s.SetTenantPolicy(ctx, "acme", policy); err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 1; r <= 2; r++ {
+		if err := driveRun(ctx, s, "acme", fmt.Sprintf("r%d", r), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.OpenRun(ctx, "r3", "acme", []Task{{ID: "r3-t1", Threshold: 10}}, 10)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("open past MaxRuns = %v, want ErrQuotaExceeded", err)
+	}
+	st, _ := s.TenantStatus("acme")
+	if st.RunsOpened != 2 {
+		t.Fatalf("refused open bumped RunsOpened to %d, want 2", st.RunsOpened)
+	}
+	if err := driveRun(ctx, s, "rival", "q1", 3); err != nil {
+		t.Fatalf("uncapped tenant blocked by a neighbor's cap: %v", err)
+	}
+}
+
+// TestTenantEpochQuotaResets: the per-epoch quota refuses a second run in
+// the same settlement epoch but clears at the epoch boundary, while the
+// lifetime ledger keeps accumulating.
+func TestTenantEpochQuotaResets(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 2) // epoch settles every 2 finished runs
+	registerTenantWorkers(t, s, "acme", 3)
+	registerTenantWorkers(t, s, "filler", 3)
+	policy := UnlimitedTenantPolicy()
+	policy.EpochBudgetQuota = 120
+	if err := s.SetTenantPolicy(ctx, "acme", policy); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1 settles a few units of spend inside the epoch; a second
+	// 100-unit run would stack on that within the same epoch only if the
+	// settled spend stays under 20, so pin the refusal with a lower cap
+	// first: after the run, epochSpent+100 must exceed 120 - spent edge
+	// cases aside, assert both directions explicitly.
+	if err := driveRun(ctx, s, "acme", "r1", 3); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.TenantStatus("acme")
+	if st.EpochSpent != st.Spent || st.EpochSpent <= 0 {
+		t.Fatalf("epoch ledger diverged before any boundary: %+v", st)
+	}
+	// A quota between 100 and epochSpent+100 refuses the stacked open now
+	// but admits a fresh 100-unit run once the epoch ledger resets.
+	tight := UnlimitedTenantPolicy()
+	tight.EpochBudgetQuota = 100 + st.EpochSpent/2
+	if err := s.SetTenantPolicy(ctx, "acme", tight); err != nil {
+		t.Fatal(err)
+	}
+	err := s.OpenRun(ctx, "r2", "acme", []Task{{ID: "r2-t1", Threshold: 10}}, 100)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("open past epoch quota = %v, want ErrQuotaExceeded", err)
+	}
+
+	// A filler run completes the 2-run epoch, resetting epoch spend.
+	if err := driveRun(ctx, s, "filler", "f1", 3); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.TenantStatus("acme")
+	if st.EpochSpent != 0 {
+		t.Fatalf("epoch spend = %v after the boundary, want 0", st.EpochSpent)
+	}
+	if st.Spent <= 0 {
+		t.Fatalf("lifetime spend = %v, must survive the epoch reset", st.Spent)
+	}
+	if err := s.OpenRun(ctx, "r2", "acme", []Task{{ID: "r2-t1", Threshold: 10}}, 100); err != nil {
+		t.Fatalf("open in the fresh epoch = %v, want success", err)
+	}
+}
+
+// TestTenantPolicyValidation: non-finite quotas and weights are rejected,
+// as are policies for the empty tenant.
+func TestTenantPolicyValidation(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 0, 0)
+	nan := UnlimitedTenantPolicy()
+	nan.BudgetQuota = nan.BudgetQuota / 0 // -Inf
+	if err := s.SetTenantPolicy(ctx, "acme", nan); err == nil {
+		t.Fatal("infinite budget quota accepted")
+	}
+	bad := UnlimitedTenantPolicy()
+	bad.Weight = bad.Weight / 0
+	if err := s.SetTenantPolicy(ctx, "acme", bad); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+	if err := s.SetTenantPolicy(ctx, "", UnlimitedTenantPolicy()); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	if _, err := s.TenantStatus("ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("status of unknown tenant = %v, want ErrUnknownTenant", err)
+	}
+}
+
+// TestTenantStatuses: the listing includes policy-only tenants (quotas are
+// provisioned before first use) alongside tenants with run history, sorted
+// by name.
+func TestTenantStatuses(t *testing.T) {
+	ctx := context.Background()
+	s, _ := testScheduler(t, 1000, 0)
+	registerTenantWorkers(t, s, "zeta", 3)
+	if err := driveRun(ctx, s, "zeta", "z1", 3); err != nil {
+		t.Fatal(err)
+	}
+	policy := UnlimitedTenantPolicy()
+	policy.Weight = 4
+	if err := s.SetTenantPolicy(ctx, "alpha", policy); err != nil {
+		t.Fatal(err)
+	}
+
+	sts := s.TenantStatuses()
+	if len(sts) != 2 || sts[0].Tenant != "alpha" || sts[1].Tenant != "zeta" {
+		t.Fatalf("statuses = %+v, want [alpha zeta]", sts)
+	}
+	if !sts[0].HasPolicy || sts[0].Weight != 4 || sts[0].RunsOpened != 0 {
+		t.Fatalf("policy-only tenant = %+v", sts[0])
+	}
+	if sts[1].HasPolicy || sts[1].Weight != 1 || sts[1].RunsOpened != 1 {
+		t.Fatalf("history-only tenant = %+v", sts[1])
+	}
+}
+
+// TestFairGateCapacityAndOrder: with capacity 1, queued waiters are
+// admitted in finish-tag order — a heavier tenant's requests tag closer
+// together, so it is admitted proportionally more often.
+func TestFairGateCapacityAndOrder(t *testing.T) {
+	ctx := context.Background()
+	g := newFairGate(1)
+	if err := g.acquire(ctx, "hold", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enqueue 3 heavy-tenant and 3 light-tenant waiters while the slot is
+	// held; weights 2:1 should interleave heavy twice as often.
+	const perTenant = 3
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range []string{"heavy", "light"} {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				w := 1.0
+				if tenant == "heavy" {
+					w = 2
+				}
+				if err := g.acquire(ctx, tenant, w); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				<-release
+				g.release()
+			}(tenant)
+		}
+	}
+	// Wait until all 6 are parked, then start draining one at a time.
+	for {
+		g.mu.Lock()
+		n := len(g.waiters)
+		g.mu.Unlock()
+		if n == 2*perTenant {
+			break
+		}
+	}
+	close(release)
+	g.release() // frees the held slot; drain cascades via paired releases
+	wg.Wait()
+
+	if len(order) != 2*perTenant {
+		t.Fatalf("admitted %d waiters, want %d", len(order), 2*perTenant)
+	}
+	// Finish tags: heavy at 0.5, 1.0, 1.5; light at 1, 2, 3. Ties between
+	// heavy's 1.0 and light's 1.0 break by admission recency (heavy was
+	// admitted last), so the exact order is deterministic: heavy, heavy,
+	// light, heavy, light, light.
+	want := []string{"heavy", "heavy", "light", "heavy", "light", "light"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairGateElevatorTieBreak: equal finish tags break toward the tenant
+// admitted most recently, sweeping admission order back and forth across
+// volleys instead of replaying arrival order.
+func TestFairGateElevatorTieBreak(t *testing.T) {
+	g := newFairGate(1)
+	enqueue := func(tenant string) {
+		// Build tickets directly (the gate is saturated by construction):
+		// inflight is forced so admitLocked drains one at a time.
+		g.mu.Lock()
+		start := g.vnow
+		if last, ok := g.vtime[tenant]; ok && last > start {
+			start = last
+		}
+		finish := start + 1
+		g.vtime[tenant] = finish
+		tk := &fairTicket{tenant: tenant, finish: finish, seq: g.seq, ready: make(chan struct{})}
+		g.seq++
+		g.waiters = append(g.waiters, tk)
+		g.mu.Unlock()
+	}
+	drain := func() []string {
+		var out []string
+		for {
+			g.mu.Lock()
+			if len(g.waiters) == 0 {
+				g.mu.Unlock()
+				return out
+			}
+			g.inflight = 0 // free the slot
+			g.admitLocked()
+			// admitLocked closed exactly one ready channel; recover which.
+			var admitted string
+			best := uint64(0)
+			for tenant, stamp := range g.lastAdmit {
+				if stamp > best {
+					best, admitted = stamp, tenant
+				}
+			}
+			out = append(out, admitted)
+			g.mu.Unlock()
+		}
+	}
+
+	// Volley 1 arrives in order a, b, c with no admission history: arrival
+	// order wins.
+	g.inflight = 1
+	for _, tenant := range []string{"a", "b", "c"} {
+		enqueue(tenant)
+	}
+	if got := drain(); fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("first volley admitted %v, want [a b c]", got)
+	}
+	// Volley 2 arrives in the same order but ties on finish tags; the
+	// elevator sweeps back across the previous admissions: c, b, a.
+	g.inflight = 1
+	for _, tenant := range []string{"a", "b", "c"} {
+		enqueue(tenant)
+	}
+	if got := drain(); fmt.Sprint(got) != "[c b a]" {
+		t.Fatalf("second volley admitted %v, want [c b a] (elevator)", got)
+	}
+}
+
+// TestFairGateCancel: a cancelled waiter leaves the queue without
+// consuming a slot, and a context cancelled before acquire is rejected
+// up front.
+func TestFairGateCancel(t *testing.T) {
+	g := newFairGate(1)
+	if err := g.acquire(context.Background(), "hold", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(ctx, "waiter", 1) }()
+	for {
+		g.mu.Lock()
+		n := len(g.waiters)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	g.mu.Lock()
+	if len(g.waiters) != 0 {
+		t.Fatalf("cancelled waiter still queued: %d", len(g.waiters))
+	}
+	g.mu.Unlock()
+	// The held slot is unaffected; releasing it leaves a clean gate.
+	g.release()
+	if err := g.acquire(context.Background(), "next", 1); err != nil {
+		t.Fatalf("acquire after cancel churn = %v", err)
+	}
+	g.release()
+}
+
+// TestSchedulerGatedOutcomesMatchUngated: the same two-tenant workload
+// produces byte-identical outcomes with and without the close gate — the
+// gate reorders admission, never inputs.
+func TestSchedulerGatedOutcomesMatchUngated(t *testing.T) {
+	ctx := context.Background()
+	outcomes := func(gated bool) map[string]string {
+		cfg := SchedulerConfig{
+			Auction: AuctionConfig{QualityMin: 1, QualityMax: 10, CostMin: 1, CostMax: 2},
+			NewEstimator: func(string) (Estimator, error) {
+				return NewQualityTracker(QualityTrackerConfig{
+					InitialMean: 5.5, InitialVar: 2.25,
+					Params:   QualityParams{A: 1, Gamma: 0.3, Eta: 9},
+					EMPeriod: 10, EMWindow: 50,
+				})
+			},
+		}
+		if gated {
+			cfg.CloseConcurrency = 1
+		}
+		s, err := NewRunScheduler(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]string)
+		for _, tenant := range []string{"a", "b"} {
+			registerTenantWorkers(t, s, tenant, 4)
+			for r := 1; r <= 2; r++ {
+				id := fmt.Sprintf("%s-r%d", tenant, r)
+				if err := driveRun(ctx, s, tenant, id, 4); err != nil {
+					t.Fatal(err)
+				}
+				info, err := s.Run(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[id] = fmt.Sprintf("%+v", info.Outcome)
+			}
+		}
+		return got
+	}
+	plain, gated := outcomes(false), outcomes(true)
+	for id, want := range plain {
+		if gated[id] != want {
+			t.Errorf("run %s diverged under the gate:\nungated %s\ngated   %s", id, want, gated[id])
+		}
+	}
+}
